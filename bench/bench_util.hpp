@@ -1,0 +1,145 @@
+// Shared scaffolding for the paper-reproduction benches: realm setup over
+// real TCP loopback, pseudo-agent registration, aligned table printing, and
+// simple statistics.
+//
+// Every bench prints (a) the paper's reported numbers for the experiment it
+// regenerates and (b) the numbers measured on this machine. Absolute values
+// differ — the paper ran Java on 2004 Sun Blade 1000s over fast Ethernet;
+// this is C++ on loopback — but the qualitative shape must match, and
+// EXPERIMENTS.md records both.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "net/tcp.hpp"
+
+namespace naplet::bench {
+
+using namespace std::chrono_literals;
+
+inline util::ByteSpan span(const std::string& s) {
+  return util::ByteSpan(reinterpret_cast<const std::uint8_t*>(s.data()),
+                        s.size());
+}
+
+/// Mean of a sample (ms).
+inline double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+inline double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0;
+  const double m = mean(xs);
+  double sum = 0;
+  for (double x : xs) sum += (x - m) * (x - m);
+  return std::sqrt(sum / static_cast<double>(xs.size() - 1));
+}
+
+/// A realm of TCP-loopback nodes with pseudo-agents driven directly by the
+/// bench thread (no agent threads; the protocol stack is identical).
+class BenchRealm {
+ public:
+  explicit BenchRealm(int nodes, bool security = true,
+                      crypto::DhGroup group = crypto::DhGroup::kModp2048) {
+    realm_ = std::make_unique<nsock::Realm>();
+    for (int i = 0; i < nodes; ++i) {
+      nsock::NodeConfig config;
+      config.controller.security = security;
+      config.controller.dh_group = group;
+      realm_->add_node("node" + std::to_string(i), config);
+    }
+    auto status = realm_->start();
+    if (!status.ok()) {
+      std::fprintf(stderr, "realm start failed: %s\n",
+                   status.to_string().c_str());
+      std::abort();
+    }
+  }
+
+  ~BenchRealm() { realm_->stop(); }
+
+  nsock::NapletRuntime& node(int i) {
+    return realm_->node("node" + std::to_string(i));
+  }
+  nsock::SocketController& ctrl(int i) { return node(i).controller(); }
+  agent::LocationService& locations() { return realm_->locations(); }
+
+  agent::AgentId pseudo_agent(const std::string& name, int node_index) {
+    agent::AgentId id(name);
+    locations().register_agent(id, node(node_index).server().node_info());
+    return id;
+  }
+
+  /// Full pseudo-migration of an agent's sessions between nodes; returns
+  /// elapsed milliseconds. `agent_cost` models the shipping of the agent's
+  /// code and state (the paper's Ta-migrate, ~220 ms on its testbed),
+  /// which the pseudo-agent harness otherwise skips.
+  double migrate(const agent::AgentId& id, int from, int to,
+                 util::Duration agent_cost = {}) {
+    util::Stopwatch sw(util::RealClock::instance());
+    locations().begin_migration(id);
+    auto st = ctrl(from).prepare_migration(id);
+    if (!st.ok()) {
+      // Abort the hop: keep the agent (and its suspended sessions) where
+      // they are and resume them, mirroring AgentServer's rollback.
+      std::fprintf(stderr, "bench migrate (prepare) failed: %s\n",
+                   st.to_string().c_str());
+      locations().register_agent(id, node(from).server().node_info());
+      (void)ctrl(from).complete_migration(id);
+      return sw.elapsed_ms();
+    }
+    const util::Bytes sessions = ctrl(from).export_sessions(id);
+    if (agent_cost.count() > 0) {
+      util::RealClock::instance().sleep_for(agent_cost);
+    }
+    st = ctrl(to).import_sessions(
+        id, util::ByteSpan(sessions.data(), sessions.size()));
+    locations().register_agent(id, node(to).server().node_info());
+    if (st.ok()) st = ctrl(to).complete_migration(id);
+    if (!st.ok()) {
+      std::fprintf(stderr, "bench migrate failed: %s\n",
+                   st.to_string().c_str());
+    }
+    return sw.elapsed_ms();
+  }
+
+ private:
+  std::unique_ptr<nsock::Realm> realm_;
+};
+
+/// Fixed-width table printing.
+inline void print_header(const std::string& title,
+                         const std::vector<std::string>& columns) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  for (const auto& c : columns) std::printf("%18s", c.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < columns.size(); ++i) std::printf("%18s", "---");
+  std::printf("\n");
+}
+
+inline void print_row(const std::vector<std::string>& cells) {
+  for (const auto& c : cells) std::printf("%18s", c.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+/// True when NAPLET_BENCH_FAST is set: shrink sweeps for smoke runs.
+inline bool fast_mode() {
+  const char* env = std::getenv("NAPLET_BENCH_FAST");
+  return env != nullptr && env[0] != '0';
+}
+
+}  // namespace naplet::bench

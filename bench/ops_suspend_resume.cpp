@@ -1,0 +1,91 @@
+// Reproduces the §4.2 text numbers: the cost of suspend and resume
+// operations, and the headline comparison — keeping a connection alive
+// with suspend+resume versus closing before migration and reopening after.
+//
+// Paper: suspend 27.8 ms, resume 16.9 ms (handshaking ≈50% and ≈70% of
+// those); close+reopen ≈147 ms vs suspend+resume < 1/3 of that.
+#include "bench/bench_util.hpp"
+
+namespace naplet::bench {
+namespace {
+
+struct Costs {
+  double suspend_ms;
+  double resume_ms;
+  double close_reopen_ms;
+};
+
+Costs measure(int iterations) {
+  BenchRealm realm(2, /*security=*/true);
+  auto alice = realm.pseudo_agent("alice", 0);
+  auto bob = realm.pseudo_agent("bob", 1);
+  if (!realm.ctrl(1).listen(bob).ok()) std::abort();
+
+  auto client = realm.ctrl(0).connect(alice, bob);
+  if (!client.ok()) std::abort();
+  auto server = realm.ctrl(1).accept(bob, 5s);
+  if (!server.ok()) std::abort();
+
+  std::vector<double> suspend_ms, resume_ms;
+  for (int i = 0; i < iterations; ++i) {
+    util::Stopwatch sw(util::RealClock::instance());
+    if (!realm.ctrl(0).suspend(*client).ok()) std::abort();
+    suspend_ms.push_back(sw.elapsed_ms());
+
+    sw.reset();
+    if (!realm.ctrl(0).resume(*client).ok()) std::abort();
+    resume_ms.push_back(sw.elapsed_ms());
+  }
+  (void)realm.ctrl(0).close(*client);
+
+  // close + reopen: the alternative strategy around each migration.
+  std::vector<double> close_reopen_ms;
+  for (int i = 0; i < iterations; ++i) {
+    auto conn = realm.ctrl(0).connect(alice, bob);
+    if (!conn.ok()) std::abort();
+    auto acc = realm.ctrl(1).accept(bob, 5s);
+    if (!acc.ok()) std::abort();
+
+    util::Stopwatch sw(util::RealClock::instance());
+    if (!realm.ctrl(0).close(*conn).ok()) std::abort();
+    auto reconn = realm.ctrl(0).connect(alice, bob);
+    if (!reconn.ok()) std::abort();
+    auto reacc = realm.ctrl(1).accept(bob, 5s);
+    if (!reacc.ok()) std::abort();
+    close_reopen_ms.push_back(sw.elapsed_ms());
+    (void)realm.ctrl(0).close(*reconn);
+  }
+
+  return {mean(suspend_ms), mean(resume_ms), mean(close_reopen_ms)};
+}
+
+}  // namespace
+}  // namespace naplet::bench
+
+int main() {
+  using namespace naplet::bench;
+  const int iterations = fast_mode() ? 10 : 100;
+
+  std::printf("§4.2 reproduction: suspend/resume primitive costs "
+              "(%d iterations)\n", iterations);
+  std::printf("Paper: suspend 27.8 ms, resume 16.9 ms, close+reopen ~147 ms "
+              "(suspend+resume < 1/3 of close+reopen)\n");
+
+  const Costs costs = measure(iterations);
+  const double migrate_cost = costs.suspend_ms + costs.resume_ms;
+
+  print_header("Suspend/resume vs close+reopen (measured)",
+               {"operation", "mean (ms)"});
+  print_row({"suspend", fmt(costs.suspend_ms, 3)});
+  print_row({"resume", fmt(costs.resume_ms, 3)});
+  print_row({"suspend+resume", fmt(migrate_cost, 3)});
+  print_row({"close+reopen", fmt(costs.close_reopen_ms, 3)});
+
+  std::printf("\nshape checks:\n");
+  std::printf("  suspend+resume < close+reopen : %s (%.3f < %.3f)\n",
+              migrate_cost < costs.close_reopen_ms ? "PASS" : "FAIL",
+              migrate_cost, costs.close_reopen_ms);
+  std::printf("  ratio suspend+resume / close+reopen = %.2f  (paper: < 0.33)\n",
+              migrate_cost / costs.close_reopen_ms);
+  return 0;
+}

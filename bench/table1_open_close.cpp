@@ -1,0 +1,107 @@
+// Reproduces paper Table 1 (§4.2): average latency to open and close a
+// connection, for a raw TCP socket (the "Java Socket" analog), NapletSocket
+// without security, and NapletSocket with security.
+//
+// Paper (2004, Java / Sun Blade 1000 / fast Ethernet):
+//   Java Socket          open   3.7 ms   close  0.6 ms
+//   NapletSocket w/o sec open  18.2 ms   close 12.5 ms
+//   NapletSocket w/ sec  open 134.4 ms   close 12.6 ms
+//
+// Expected shape here: raw << w/o security << with security, with the
+// security gap dominated by Diffie–Hellman key establishment.
+#include "bench/bench_util.hpp"
+
+namespace naplet::bench {
+namespace {
+
+struct OpenClose {
+  double open_ms;
+  double close_ms;
+};
+
+OpenClose measure_raw_socket(int iterations) {
+  auto network = std::make_shared<net::TcpNetwork>();
+  auto listener = network->listen(0);
+  if (!listener.ok()) std::abort();
+  const net::Endpoint dest = (*listener)->local_endpoint();
+
+  std::vector<double> open_ms, close_ms;
+  for (int i = 0; i < iterations; ++i) {
+    util::Stopwatch sw(util::RealClock::instance());
+    auto client = network->connect(dest, 2s);
+    auto server = (*listener)->accept(2s);
+    if (!client.ok() || !server.ok()) std::abort();
+    open_ms.push_back(sw.elapsed_ms());
+
+    sw.reset();
+    (*client)->close();
+    (*server)->close();
+    close_ms.push_back(sw.elapsed_ms());
+  }
+  return {mean(open_ms), mean(close_ms)};
+}
+
+OpenClose measure_naplet(bool security, int iterations) {
+  BenchRealm realm(2, security);
+  auto alice = realm.pseudo_agent("alice", 0);
+  auto bob = realm.pseudo_agent("bob", 1);
+  if (!realm.ctrl(1).listen(bob).ok()) std::abort();
+
+  std::vector<double> open_ms, close_ms;
+  for (int i = 0; i < iterations; ++i) {
+    util::Stopwatch sw(util::RealClock::instance());
+    auto client = realm.ctrl(0).connect(alice, bob);
+    if (!client.ok()) {
+      std::fprintf(stderr, "connect failed: %s\n",
+                   client.status().to_string().c_str());
+      std::abort();
+    }
+    auto server = realm.ctrl(1).accept(bob, 5s);
+    if (!server.ok()) std::abort();
+    open_ms.push_back(sw.elapsed_ms());
+
+    sw.reset();
+    if (!realm.ctrl(0).close(*client).ok()) std::abort();
+    close_ms.push_back(sw.elapsed_ms());
+  }
+  return {mean(open_ms), mean(close_ms)};
+}
+
+}  // namespace
+}  // namespace naplet::bench
+
+int main() {
+  using namespace naplet::bench;
+  const int iterations = fast_mode() ? 10 : 100;
+
+  std::printf("Table 1 reproduction: connection open/close latency "
+              "(%d iterations each)\n", iterations);
+  std::printf("Paper values: raw 3.7/0.6 ms, w/o security 18.2/12.5 ms, "
+              "with security 134.4/12.6 ms\n");
+
+  const OpenClose raw = measure_raw_socket(iterations);
+  const OpenClose insecure = measure_naplet(false, iterations);
+  const OpenClose secure = measure_naplet(true, iterations);
+
+  print_header("Table 1 (measured, this machine)",
+               {"connection type", "open (ms)", "close (ms)"});
+  print_row({"raw TCP socket", fmt(raw.open_ms, 3), fmt(raw.close_ms, 3)});
+  print_row({"NapletSocket w/o", fmt(insecure.open_ms, 3),
+             fmt(insecure.close_ms, 3)});
+  print_row({"NapletSocket sec", fmt(secure.open_ms, 3),
+             fmt(secure.close_ms, 3)});
+
+  std::printf("\nshape checks:\n");
+  std::printf("  raw < w/o security          : %s (%.3f < %.3f)\n",
+              raw.open_ms < insecure.open_ms ? "PASS" : "FAIL",
+              raw.open_ms, insecure.open_ms);
+  std::printf("  w/o security < with security: %s (%.3f < %.3f)\n",
+              insecure.open_ms < secure.open_ms ? "PASS" : "FAIL",
+              insecure.open_ms, secure.open_ms);
+  std::printf("  security dominates open cost: %s (security adds %.1f%%)\n",
+              (secure.open_ms - insecure.open_ms) > insecure.open_ms * 0.5
+                  ? "PASS"
+                  : "FAIL",
+              100.0 * (secure.open_ms - insecure.open_ms) / insecure.open_ms);
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Deployment-shaped realm: agent servers that share a *networked*
+// directory service instead of an in-process registry — the paper's
+// testbed shape, where a well-known host runs the location service and
+// every Naplet node talks to it over the network.
+//
+//   directory host:   DirectoryServer  (TCP)
+//   node "alpha":     AgentServer + controller + RemoteLocationService
+//   node "beta":      AgentServer + controller + RemoteLocationService
+//
+// A courier agent launched on alpha looks up its peer through the remote
+// directory, connects, migrates to beta (the transfer destination is also
+// resolved remotely), and keeps its connection.
+//
+// Run:  ./examples/directory_realm
+#include <cstdio>
+
+#include "agent/directory.hpp"
+#include "crypto/random.hpp"
+#include "core/naplet_socket.hpp"
+#include "core/runtime.hpp"
+#include "net/tcp.hpp"
+
+namespace {
+
+using namespace naplet;
+using namespace std::chrono_literals;
+
+class DeskAgent : public agent::Agent {
+ public:
+  void run(agent::AgentContext& ctx) override {
+    auto listener = nsock::NapletServerSocket::open(ctx);
+    if (!listener.ok()) return;
+    auto conn = (*listener)->accept(15s);
+    if (!conn.ok()) return;
+    for (;;) {
+      auto msg = (*conn)->recv(5s);
+      if (!msg.ok()) break;
+      std::printf("[desk@%s] received: %s\n", ctx.server_name().c_str(),
+                  std::string(msg->body.begin(), msg->body.end()).c_str());
+      if (!(*conn)->send(std::string_view("ack")).ok()) break;
+    }
+  }
+  void persist(util::Archive&) override {}
+  std::string type_name() const override { return "DeskAgent"; }
+};
+NAPLET_REGISTER_AGENT(DeskAgent);
+
+class CourierAgent : public agent::Agent {
+ public:
+  std::uint64_t conn_id = 0;
+  std::uint32_t hops = 0;
+
+  void run(agent::AgentContext& ctx) override {
+    std::unique_ptr<nsock::NapletSocket> conn;
+    if (conn_id == 0) {
+      auto opened = nsock::NapletSocket::open(ctx, agent::AgentId("desk"));
+      if (!opened.ok()) {
+        std::printf("courier: open failed: %s\n",
+                    opened.status().to_string().c_str());
+        return;
+      }
+      conn = std::move(*opened);
+      conn_id = conn->conn_id();
+    } else {
+      auto reattached = nsock::NapletSocket::reattach(ctx, conn_id);
+      if (!reattached.ok()) return;
+      conn = std::move(*reattached);
+    }
+
+    const std::string report =
+        "delivery " + std::to_string(hops) + " from " + ctx.server_name();
+    if (!conn->send(report).ok()) return;
+    if (!conn->recv(5s).ok()) return;
+
+    if (hops == 0) {
+      ++hops;
+      ctx.migrate_to("beta");  // destination resolved via the directory
+    } else {
+      (void)conn->close();
+    }
+  }
+  void persist(util::Archive& ar) override {
+    ar.field(conn_id);
+    ar.field(hops);
+  }
+  std::string type_name() const override { return "CourierAgent"; }
+};
+NAPLET_REGISTER_AGENT(CourierAgent);
+
+}  // namespace
+
+int main() {
+  std::printf("naplet++ example: realm over a networked directory service\n\n");
+
+  auto network = std::make_shared<naplet::net::TcpNetwork>();
+
+  // The directory host.
+  agent::LocationService authority;
+  agent::DirectoryServer directory(network, authority);
+  if (!directory.start().ok()) return 1;
+  std::printf("directory listening at %s\n",
+              directory.endpoint().to_string().c_str());
+
+  // Each node gets its own remote client onto the shared directory.
+  agent::RemoteLocationService locations_alpha(network, directory.endpoint());
+  agent::RemoteLocationService locations_beta(network, directory.endpoint());
+
+  const util::Bytes realm_key = crypto::random_bytes(32);
+  auto make_node = [&](const std::string& name,
+                       agent::LocationService& locations) {
+    nsock::NodeConfig config;
+    config.server.name = name;
+    config.server.realm_key = realm_key;
+    config.controller.dh_group = crypto::DhGroup::kModp768;
+    return std::make_unique<nsock::NapletRuntime>(network, locations,
+                                                  std::move(config));
+  };
+  auto alpha = make_node("alpha", locations_alpha);
+  auto beta = make_node("beta", locations_beta);
+  if (!alpha->start().ok() || !beta->start().ok()) return 1;
+
+  (void)beta->server().launch(std::make_unique<DeskAgent>(),
+                              agent::AgentId("desk"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  (void)alpha->server().launch(std::make_unique<CourierAgent>(),
+                               agent::AgentId("courier"));
+
+  agent::wait_agent_gone(locations_alpha, agent::AgentId("courier"),
+                         std::chrono::seconds(30));
+  agent::wait_agent_gone(locations_alpha, agent::AgentId("desk"),
+                         std::chrono::seconds(30));
+
+  std::printf("\ndirectory served %llu requests\n",
+              static_cast<unsigned long long>(directory.requests_served()));
+  alpha->stop();
+  beta->stop();
+  directory.stop();
+  std::printf("done.\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+#include "agent/agent.hpp"
+
+namespace naplet::agent {
+
+AgentFactory& AgentFactory::instance() {
+  static AgentFactory factory;
+  return factory;
+}
+
+void AgentFactory::register_type(const std::string& type_name, Ctor ctor) {
+  std::lock_guard lock(mu_);
+  ctors_[type_name] = std::move(ctor);
+}
+
+util::StatusOr<std::unique_ptr<Agent>> AgentFactory::create(
+    const std::string& type_name) const {
+  Ctor ctor;
+  {
+    std::lock_guard lock(mu_);
+    auto it = ctors_.find(type_name);
+    if (it == ctors_.end()) {
+      return util::NotFound("agent type not registered: " + type_name);
+    }
+    ctor = it->second;
+  }
+  return ctor();
+}
+
+bool AgentFactory::has(const std::string& type_name) const {
+  std::lock_guard lock(mu_);
+  return ctors_.contains(type_name);
+}
+
+}  // namespace naplet::agent

@@ -1,0 +1,117 @@
+// Mobile agent programming model.
+//
+// An Agent's thread stack cannot migrate between hosts in C++, so the model
+// is hop-oriented (the style of classic agent systems): the server calls
+// run(ctx) when the agent lands; the agent does its work for this hop and
+// either requests migration (ctx.migrate_to(...) then return) or finishes
+// (plain return). All state that must survive a hop lives in persist()ed
+// members. The docking system suspends the agent's NapletSocket connections
+// before the hop and resumes them after landing, so from the agent's point
+// of view its connections simply stay open across run() invocations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "agent/agent_id.hpp"
+#include "agent/location.hpp"
+#include "util/serial.hpp"
+#include "util/status.hpp"
+
+namespace naplet::agent {
+
+struct Mail {
+  AgentId from;
+  util::Bytes body;
+
+  void persist(util::Archive& ar) {
+    ar.field(from);
+    ar.field(body);
+  }
+};
+
+/// Per-hop services handed to Agent::run. Implemented by the AgentServer.
+class AgentContext {
+ public:
+  virtual ~AgentContext() = default;
+
+  [[nodiscard]] virtual const AgentId& self() const = 0;
+  [[nodiscard]] virtual const std::string& server_name() const = 0;
+  /// 0 on the launch host, incremented per migration.
+  [[nodiscard]] virtual std::uint32_t hop_count() const = 0;
+
+  /// Request migration to the named server after run() returns.
+  /// The request is validated (permission, destination known) at hop time.
+  virtual void migrate_to(const std::string& server_name) = 0;
+
+  /// PostOffice: asynchronous persistent messaging (pre-existing Naplet
+  /// facility; complementary to NapletSocket).
+  virtual util::Status send_mail(const AgentId& to, util::ByteSpan body) = 0;
+  /// Blocking mailbox read; nullopt on timeout.
+  virtual std::optional<Mail> read_mail(util::Duration timeout) = 0;
+
+  /// Directory access.
+  [[nodiscard]] virtual LocationService& locations() = 0;
+
+  /// Extension point: named middleware services (the NapletSocket
+  /// controller registers itself as "napletsocket"). Returns nullptr when
+  /// absent. Use service_as<T>() for the typed form.
+  [[nodiscard]] virtual void* service(const std::string& name) = 0;
+
+  template <typename T>
+  [[nodiscard]] T* service_as(const std::string& name) {
+    return static_cast<T*>(service(name));
+  }
+};
+
+/// Base class for user agents. Subclasses add persist()ed state fields and
+/// implement run(). Register each concrete type with AgentFactory (or the
+/// NAPLET_REGISTER_AGENT macro) so destination servers can reconstruct it.
+class Agent {
+ public:
+  virtual ~Agent() = default;
+
+  /// Called once per hop. Return to either migrate (if requested) or finish.
+  virtual void run(AgentContext& ctx) = 0;
+
+  /// Serialize/restore the agent's migrating state.
+  virtual void persist(util::Archive& ar) = 0;
+
+  /// Registered type name used to reconstruct the agent after migration.
+  [[nodiscard]] virtual std::string type_name() const = 0;
+};
+
+/// Registry of agent constructors keyed by type name.
+class AgentFactory {
+ public:
+  using Ctor = std::function<std::unique_ptr<Agent>()>;
+
+  static AgentFactory& instance();
+
+  void register_type(const std::string& type_name, Ctor ctor);
+  [[nodiscard]] util::StatusOr<std::unique_ptr<Agent>> create(
+      const std::string& type_name) const;
+  [[nodiscard]] bool has(const std::string& type_name) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Ctor> ctors_;
+};
+
+/// Helper for static registration:
+///   NAPLET_REGISTER_AGENT(MyAgent);  // MyAgent::type_name() == "MyAgent"
+#define NAPLET_REGISTER_AGENT(Type)                                      \
+  namespace {                                                            \
+  const bool naplet_registered_##Type = [] {                             \
+    ::naplet::agent::AgentFactory::instance().register_type(             \
+        #Type, [] { return std::make_unique<Type>(); });                 \
+    return true;                                                         \
+  }();                                                                   \
+  }
+
+}  // namespace naplet::agent

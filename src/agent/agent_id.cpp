@@ -1,0 +1,21 @@
+#include "agent/agent_id.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace naplet::agent {
+
+std::uint64_t AgentId::priority_hash() const {
+  const crypto::Sha256Digest digest = crypto::Sha256::hash(name_);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = v << 8 | digest[static_cast<std::size_t>(i)];
+  return v;
+}
+
+bool AgentId::outranks(const AgentId& other) const {
+  const std::uint64_t mine = priority_hash();
+  const std::uint64_t theirs = other.priority_hash();
+  if (mine != theirs) return mine > theirs;
+  return name_ > other.name_;
+}
+
+}  // namespace naplet::agent

@@ -1,0 +1,45 @@
+// Agent identity and the hash-derived migration priority (paper §3.1).
+//
+// When both endpoints of a connection try to migrate at once, exactly one
+// must win. The paper derives a total order from a hash of each agent's
+// unique ID — unlike role-based priority (client vs server), this cannot
+// form circular wait chains across multiple connections, so it is
+// deadlock-free. We use the first 8 bytes of SHA-256(id) with the id string
+// itself as a tiebreaker.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "util/serial.hpp"
+
+namespace naplet::agent {
+
+class AgentId {
+ public:
+  AgentId() = default;
+  explicit AgentId(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] bool empty() const noexcept { return name_.empty(); }
+
+  /// 64-bit migration priority derived from SHA-256(name). Larger wins.
+  [[nodiscard]] std::uint64_t priority_hash() const;
+
+  /// True if this agent outranks `other` for concurrent migration.
+  /// Total order: (priority_hash, name) — never a tie between distinct ids.
+  [[nodiscard]] bool outranks(const AgentId& other) const;
+
+  void persist(util::Archive& ar) { ar.field(name_); }
+
+  friend bool operator==(const AgentId&, const AgentId&) = default;
+  friend auto operator<=>(const AgentId& a, const AgentId& b) {
+    return a.name_ <=> b.name_;
+  }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace naplet::agent

@@ -1,0 +1,136 @@
+// AgentServer: the Naplet docking station (paper §1, §2).
+//
+// Hosts agent threads, admits incoming migrations over a TCP listener,
+// transfers departing agents (state + mailbox + suspended connection
+// sessions), and wires together the middleware components: ServerBus
+// (reliable UDP control), PostOffice, AccessController, and — via the
+// ConnectionMigrator seam — the NapletSocket controller from the core
+// library.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "agent/access_control.hpp"
+#include "agent/agent.hpp"
+#include "agent/bus.hpp"
+#include "agent/location.hpp"
+#include "agent/migrator.hpp"
+#include "agent/postoffice.hpp"
+#include "net/transport.hpp"
+
+namespace naplet::agent {
+
+struct AgentServerConfig {
+  std::string name;
+  std::uint16_t control_port = 0;    // 0 = auto
+  std::uint16_t migration_port = 0;  // 0 = auto
+  util::Bytes realm_key;             // shared across the deployment
+  PostOfficeConfig post_config{};
+  net::RudpConfig rudp_config{};
+  /// Simulated agent transfer cost added to each hop (models code/state
+  /// shipping beyond the session bytes; the paper's Ta-migrate is ~220 ms).
+  util::Duration extra_migration_cost{0};
+};
+
+class AgentServer {
+ public:
+  AgentServer(net::NetworkPtr network, LocationService& locations,
+              AgentServerConfig config);
+  ~AgentServer();
+
+  AgentServer(const AgentServer&) = delete;
+  AgentServer& operator=(const AgentServer&) = delete;
+
+  /// Bind sockets, start threads, register the server in the directory.
+  util::Status start();
+  void stop();
+
+  // ---- composition hooks (core library / application wiring) ----
+
+  /// Install the NapletSocket controller (or leave the default NullMigrator).
+  void set_migrator(ConnectionMigrator* migrator);
+  /// Expose a named middleware service to agents via AgentContext::service.
+  void register_service(const std::string& name, void* service);
+  /// Core sets this once its redirector is listening.
+  void set_redirector_endpoint(const net::Endpoint& endpoint);
+
+  // ---- agent lifecycle ----
+
+  /// Admit a brand-new agent. It starts running on its own thread.
+  util::Status launch(std::unique_ptr<Agent> agent, AgentId id);
+
+  // ---- accessors ----
+
+  [[nodiscard]] NodeInfo node_info() const;
+  [[nodiscard]] const std::string& name() const { return config_.name; }
+  [[nodiscard]] ServerBus& bus() { return *bus_; }
+  [[nodiscard]] AccessController& access() { return access_; }
+  [[nodiscard]] PostOffice& post() { return *post_; }
+  [[nodiscard]] net::Network& network() { return *network_; }
+  [[nodiscard]] LocationService& locations() { return locations_; }
+  [[nodiscard]] ConnectionMigrator& migrator() { return *migrator_; }
+
+  [[nodiscard]] std::size_t resident_count() const;
+  [[nodiscard]] std::uint64_t migrations_in() const {
+    return migrations_in_.load();
+  }
+  [[nodiscard]] std::uint64_t migrations_out() const {
+    return migrations_out_.load();
+  }
+
+ private:
+  class ContextImpl;
+  struct Resident {
+    std::unique_ptr<Agent> agent;
+    std::shared_ptr<ContextImpl> context;
+    std::thread thread;
+  };
+
+  void migration_accept_loop();
+  void handle_incoming_migration(net::StreamPtr stream);
+  /// Run one hop of `id` on the calling thread; afterwards transfer or
+  /// terminate the agent.
+  void agent_thread_main(AgentId id);
+  util::Status transfer_agent(const AgentId& id, const std::string& dest_name);
+  void terminate_agent(const AgentId& id);
+  void admit(std::unique_ptr<Agent> agent, AgentId id, std::uint32_t hop,
+             std::vector<Mail> mailbox, util::ByteSpan sessions);
+  void reap_finished_threads();
+
+  net::NetworkPtr network_;
+  LocationService& locations_;
+  AgentServerConfig config_;
+  AccessController access_;
+
+  std::unique_ptr<ServerBus> bus_;
+  std::unique_ptr<PostOffice> post_;
+  net::ListenerPtr migration_listener_;
+  net::Endpoint redirector_endpoint_;
+
+  NullMigrator null_migrator_;
+  ConnectionMigrator* migrator_ = &null_migrator_;
+  std::map<std::string, void*> services_;
+
+  mutable std::mutex mu_;
+  std::map<AgentId, Resident> residents_;
+  std::vector<std::thread> finished_;  // agent threads awaiting join
+  std::vector<std::thread> migration_handlers_;
+
+  std::thread migration_acceptor_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<std::uint64_t> migrations_in_{0};
+  std::atomic<std::uint64_t> migrations_out_{0};
+};
+
+/// Convenience for tests/examples: block until the agent has terminated
+/// (deregistered everywhere). False on timeout.
+bool wait_agent_gone(const LocationService& locations, const AgentId& id,
+                     util::Duration timeout);
+
+}  // namespace naplet::agent

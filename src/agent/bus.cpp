@@ -1,0 +1,60 @@
+#include "agent/bus.hpp"
+
+#include "util/bytes.hpp"
+#include "util/log.hpp"
+
+namespace naplet::agent {
+
+ServerBus::ServerBus(std::unique_ptr<net::ReliableChannel> channel)
+    : channel_(std::move(channel)), dispatcher_([this] { dispatch_loop(); }) {}
+
+ServerBus::~ServerBus() {
+  stop();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void ServerBus::stop() {
+  if (stopped_.exchange(true)) return;
+  channel_->close();
+}
+
+void ServerBus::subscribe(BusKind kind, Handler handler) {
+  std::lock_guard lock(mu_);
+  handlers_[kind] = std::move(handler);
+}
+
+util::Status ServerBus::send(const net::Endpoint& dest, BusKind kind,
+                             util::ByteSpan payload) {
+  util::BytesWriter w(payload.size() + 1);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.raw(payload);
+  return channel_->send(dest,
+                        util::ByteSpan(w.data().data(), w.data().size()));
+}
+
+void ServerBus::dispatch_loop() {
+  while (!stopped_.load()) {
+    auto msg = channel_->recv(std::chrono::milliseconds(200));
+    if (!msg) {
+      if (stopped_.load()) break;
+      continue;
+    }
+    if (msg->payload.empty()) continue;
+    const auto kind = static_cast<BusKind>(msg->payload[0]);
+    Handler handler;
+    {
+      std::lock_guard lock(mu_);
+      auto it = handlers_.find(kind);
+      if (it != handlers_.end()) handler = it->second;
+    }
+    if (!handler) {
+      NAPLET_LOG(kDebug, "bus") << "no handler for kind "
+                                << static_cast<int>(kind);
+      continue;
+    }
+    handler(msg->from, util::ByteSpan(msg->payload.data() + 1,
+                                      msg->payload.size() - 1));
+  }
+}
+
+}  // namespace naplet::agent

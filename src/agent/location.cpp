@@ -1,0 +1,85 @@
+#include "agent/location.hpp"
+
+namespace naplet::agent {
+
+void LocationService::register_agent(const AgentId& id, const NodeInfo& node) {
+  {
+    std::lock_guard lock(mu_);
+    entries_[id] = Entry{node, /*in_transit=*/false};
+  }
+  cv_.notify_all();
+}
+
+void LocationService::begin_migration(const AgentId& id) {
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(id);
+  if (it != entries_.end()) it->second.in_transit = true;
+}
+
+void LocationService::deregister_agent(const AgentId& id) {
+  {
+    std::lock_guard lock(mu_);
+    entries_.erase(id);
+  }
+  cv_.notify_all();
+}
+
+std::optional<NodeInfo> LocationService::try_lookup(const AgentId& id) const {
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end() || it->second.in_transit) return std::nullopt;
+  return it->second.node;
+}
+
+util::StatusOr<NodeInfo> LocationService::lookup(const AgentId& id,
+                                                 util::Duration timeout) const {
+  std::unique_lock lock(mu_);
+  NodeInfo found;
+  const bool ok = cv_.wait_for(lock, timeout, [&] {
+    auto it = entries_.find(id);
+    if (it == entries_.end() || it->second.in_transit) return false;
+    found = it->second.node;
+    return true;
+  });
+  if (!ok) {
+    return util::NotFound("agent '" + id.name() +
+                          "' not registered (or still in transit)");
+  }
+  return found;
+}
+
+bool LocationService::known(const AgentId& id) const {
+  std::lock_guard lock(mu_);
+  return entries_.contains(id);
+}
+
+void LocationService::register_server(const NodeInfo& node) {
+  std::lock_guard lock(mu_);
+  servers_[node.server_name] = node;
+}
+
+void LocationService::deregister_server(const std::string& server_name) {
+  std::lock_guard lock(mu_);
+  servers_.erase(server_name);
+}
+
+util::StatusOr<NodeInfo> LocationService::lookup_server(
+    const std::string& server_name) const {
+  std::lock_guard lock(mu_);
+  auto it = servers_.find(server_name);
+  if (it == servers_.end()) {
+    return util::NotFound("server not registered: " + server_name);
+  }
+  return it->second;
+}
+
+std::size_t LocationService::size() const {
+  std::lock_guard lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [id, entry] : entries_) {
+    if (!entry.in_transit) ++n;
+  }
+  return n;
+}
+
+}  // namespace naplet::agent

@@ -1,0 +1,94 @@
+// Agent location service (paper §2.1).
+//
+// Maps an agent ID to the server currently hosting it, giving agents
+// location-transparent connection setup: NapletSocket consults the service
+// once at connect time; after that all traffic flows over the established
+// connection and no lookups are needed.
+//
+// The registry is an in-process directory shared by every AgentServer in
+// the deployment (the paper's testbed equivalent would be a well-known
+// directory host). Thread-safe; supports waiting for an agent to appear
+// and an "in transit" state during migration.
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "agent/agent_id.hpp"
+#include "net/endpoint.hpp"
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace naplet::agent {
+
+/// How to reach one agent server's service points.
+struct NodeInfo {
+  std::string server_name;
+  net::Endpoint control;     // UDP control channel (ServerBus)
+  net::Endpoint redirector;  // TCP redirector (data-socket handoff)
+  net::Endpoint migration;   // TCP migration listener
+
+  void persist(util::Archive& ar) {
+    ar.field(server_name);
+    ar.field(control.host);
+    ar.field(control.port);
+    ar.field(redirector.host);
+    ar.field(redirector.port);
+    ar.field(migration.host);
+    ar.field(migration.port);
+  }
+
+  friend bool operator==(const NodeInfo&, const NodeInfo&) = default;
+};
+
+class LocationService {
+ public:
+  virtual ~LocationService() = default;
+
+  /// Record (or update) an agent's current host.
+  virtual void register_agent(const AgentId& id, const NodeInfo& node);
+
+  /// Mark an agent as departing `from`; lookups block (or fail fast via
+  /// try_lookup) until the agent re-registers at its destination.
+  virtual void begin_migration(const AgentId& id);
+
+  /// Remove an agent entirely (termination).
+  virtual void deregister_agent(const AgentId& id);
+
+  /// Current host if registered and not in transit.
+  [[nodiscard]] virtual std::optional<NodeInfo> try_lookup(
+      const AgentId& id) const;
+
+  /// Block until the agent is registered and settled, up to `timeout`.
+  [[nodiscard]] virtual util::StatusOr<NodeInfo> lookup(
+      const AgentId& id, util::Duration timeout) const;
+
+  /// True if the agent is known (settled or in transit).
+  [[nodiscard]] virtual bool known(const AgentId& id) const;
+
+  /// Number of settled agents (tests/observability).
+  [[nodiscard]] virtual std::size_t size() const;
+
+  // ---- server directory (destinations for migration) ----
+
+  virtual void register_server(const NodeInfo& node);
+  virtual void deregister_server(const std::string& server_name);
+  [[nodiscard]] virtual util::StatusOr<NodeInfo> lookup_server(
+      const std::string& server_name) const;
+
+ private:
+  struct Entry {
+    NodeInfo node;
+    bool in_transit = false;
+  };
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::map<AgentId, Entry> entries_;
+  std::map<std::string, NodeInfo> servers_;
+};
+
+}  // namespace naplet::agent

@@ -1,0 +1,218 @@
+#include "agent/postoffice.hpp"
+
+#include "util/log.hpp"
+
+namespace naplet::agent {
+
+PostOffice::PostOffice(ServerBus& bus, LocationService& locations,
+                       std::string server_name, PostOfficeConfig config)
+    : bus_(bus),
+      locations_(locations),
+      server_name_(std::move(server_name)),
+      config_(config) {
+  bus_.subscribe(BusKind::kMail,
+                 [this](const net::Endpoint& from, util::ByteSpan payload) {
+                   on_bus_mail(from, payload);
+                 });
+  retrier_ = std::thread([this] { retry_loop(); });
+}
+
+PostOffice::~PostOffice() {
+  stop();
+  if (retrier_.joinable()) retrier_.join();
+}
+
+void PostOffice::stop() {
+  if (stopped_.exchange(true)) return;
+  std::vector<std::shared_ptr<util::BlockingQueue<Mail>>> boxes;
+  {
+    std::lock_guard lock(mu_);
+    for (auto& [id, box] : mailboxes_) boxes.push_back(box);
+  }
+  for (auto& box : boxes) box->close();
+  retry_cv_.notify_all();
+}
+
+void PostOffice::open_mailbox(const AgentId& id) {
+  std::lock_guard lock(mu_);
+  if (!mailboxes_.contains(id)) {
+    mailboxes_[id] = std::make_shared<util::BlockingQueue<Mail>>();
+  }
+}
+
+void PostOffice::close_mailbox(const AgentId& id) {
+  std::shared_ptr<util::BlockingQueue<Mail>> box;
+  {
+    std::lock_guard lock(mu_);
+    auto it = mailboxes_.find(id);
+    if (it == mailboxes_.end()) return;
+    box = it->second;
+    mailboxes_.erase(it);
+  }
+  box->close();
+}
+
+std::vector<Mail> PostOffice::drain_mailbox(const AgentId& id) {
+  std::shared_ptr<util::BlockingQueue<Mail>> box;
+  {
+    std::lock_guard lock(mu_);
+    auto it = mailboxes_.find(id);
+    if (it == mailboxes_.end()) return {};
+    box = it->second;
+    mailboxes_.erase(it);
+  }
+  std::vector<Mail> out;
+  while (auto mail = box->try_pop()) out.push_back(std::move(*mail));
+  box->close();
+  return out;
+}
+
+void PostOffice::restore_mailbox(const AgentId& id, std::vector<Mail> mail) {
+  open_mailbox(id);
+  std::shared_ptr<util::BlockingQueue<Mail>> box;
+  {
+    std::lock_guard lock(mu_);
+    box = mailboxes_[id];
+  }
+  for (auto& m : mail) box->push(std::move(m));
+}
+
+util::Bytes PostOffice::encode(const Envelope& envelope) {
+  util::BytesWriter w;
+  w.str(envelope.to.name());
+  w.str(envelope.mail.from.name());
+  w.bytes(util::ByteSpan(envelope.mail.body.data(), envelope.mail.body.size()));
+  w.u8(envelope.hops);
+  return std::move(w).take();
+}
+
+util::StatusOr<PostOffice::Envelope> PostOffice::decode(
+    util::ByteSpan payload) {
+  util::BytesReader r(payload);
+  auto to = r.str();
+  if (!to.ok()) return to.status();
+  auto from = r.str();
+  if (!from.ok()) return from.status();
+  auto body = r.bytes();
+  if (!body.ok()) return body.status();
+  auto hops = r.u8();
+  if (!hops.ok()) return hops.status();
+  Envelope envelope;
+  envelope.to = AgentId(std::move(*to));
+  envelope.mail = Mail{AgentId(std::move(*from)), std::move(*body)};
+  envelope.hops = *hops;
+  return envelope;
+}
+
+bool PostOffice::try_route(Envelope& envelope) {
+  // Local delivery?
+  {
+    std::lock_guard lock(mu_);
+    auto it = mailboxes_.find(envelope.to);
+    if (it != mailboxes_.end()) {
+      it->second->push(envelope.mail);
+      return true;
+    }
+  }
+
+  // Remote: route to the receiver's current server.
+  auto node = locations_.try_lookup(envelope.to);
+  if (!node) return false;  // unknown or in transit: park for retry
+  if (node->server_name == server_name_) {
+    // Registered here but no mailbox yet (admission race): retry shortly.
+    return false;
+  }
+  if (envelope.hops >= config_.max_forward_hops) {
+    dead_letters_.fetch_add(1);
+    NAPLET_LOG(kWarn, "postoffice")
+        << "dropping mail to " << envelope.to.name() << ": hop limit";
+    return true;  // dropped; do not retry
+  }
+  ++envelope.hops;
+  forwarded_.fetch_add(envelope.hops > 1 ? 1 : 0);
+  const util::Bytes wire = encode(envelope);
+  auto status = bus_.send(node->control, BusKind::kMail,
+                          util::ByteSpan(wire.data(), wire.size()));
+  if (!status.ok()) {
+    --envelope.hops;
+    return false;  // transient send failure: retry
+  }
+  return true;
+}
+
+util::Status PostOffice::send(const AgentId& from, const AgentId& to,
+                              util::ByteSpan body) {
+  if (stopped_.load()) return util::Cancelled("postoffice stopped");
+  Envelope envelope;
+  envelope.to = to;
+  envelope.mail = Mail{from, util::Bytes(body.begin(), body.end())};
+  envelope.deadline_us = util::RealClock::instance().now_us() +
+                         config_.delivery_ttl.count();
+  if (try_route(envelope)) return util::OkStatus();
+  {
+    std::lock_guard lock(mu_);
+    parked_.push_back(std::move(envelope));
+  }
+  retry_cv_.notify_all();
+  return util::OkStatus();  // accepted for (persistent) delivery
+}
+
+std::optional<Mail> PostOffice::read(const AgentId& owner,
+                                     util::Duration timeout) {
+  std::shared_ptr<util::BlockingQueue<Mail>> box;
+  {
+    std::lock_guard lock(mu_);
+    auto it = mailboxes_.find(owner);
+    if (it == mailboxes_.end()) return std::nullopt;
+    box = it->second;
+  }
+  return box->pop_for(timeout);
+}
+
+void PostOffice::on_bus_mail(const net::Endpoint& /*from*/,
+                             util::ByteSpan payload) {
+  auto envelope = decode(payload);
+  if (!envelope.ok()) {
+    NAPLET_LOG(kWarn, "postoffice") << "bad mail frame: "
+                                    << envelope.status().to_string();
+    return;
+  }
+  envelope->deadline_us = util::RealClock::instance().now_us() +
+                          config_.delivery_ttl.count();
+  if (!try_route(*envelope)) {
+    std::lock_guard lock(mu_);
+    parked_.push_back(std::move(*envelope));
+  }
+}
+
+void PostOffice::retry_loop() {
+  std::unique_lock lock(mu_);
+  while (!stopped_.load()) {
+    retry_cv_.wait_for(lock, config_.retry_interval);
+    if (stopped_.load()) break;
+
+    std::vector<Envelope> pending = std::move(parked_);
+    parked_.clear();
+    lock.unlock();
+
+    const std::int64_t now = util::RealClock::instance().now_us();
+    std::vector<Envelope> still_pending;
+    for (auto& envelope : pending) {
+      if (try_route(envelope)) continue;
+      if (now >= envelope.deadline_us) {
+        dead_letters_.fetch_add(1);
+        NAPLET_LOG(kWarn, "postoffice")
+            << "dropping mail to " << envelope.to.name() << ": TTL expired";
+        continue;
+      }
+      still_pending.push_back(std::move(envelope));
+    }
+
+    lock.lock();
+    for (auto& envelope : still_pending) {
+      parked_.push_back(std::move(envelope));
+    }
+  }
+}
+
+}  // namespace naplet::agent

@@ -1,0 +1,95 @@
+// PostOffice: mailbox-based asynchronous persistent communication — the
+// pre-existing Naplet facility that NapletSocket complements (paper §1).
+//
+// Each server keeps a mailbox per resident agent. Mail addressed to a
+// remote agent is routed via the location service and the server bus; mail
+// for an agent that has moved on is forwarded (bounded hop count). Mail
+// that cannot be routed yet (receiver in transit) is parked and retried by
+// a background thread — the "persistent" half of the semantics. A mailbox
+// migrates with its agent.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "agent/agent.hpp"
+#include "agent/bus.hpp"
+#include "agent/location.hpp"
+#include "util/sync.hpp"
+
+namespace naplet::agent {
+
+struct PostOfficeConfig {
+  util::Duration retry_interval{std::chrono::milliseconds(50)};
+  util::Duration delivery_ttl{std::chrono::seconds(10)};
+  std::uint8_t max_forward_hops = 16;
+};
+
+class PostOffice {
+ public:
+  PostOffice(ServerBus& bus, LocationService& locations,
+             std::string server_name, PostOfficeConfig config = {});
+  ~PostOffice();
+
+  PostOffice(const PostOffice&) = delete;
+  PostOffice& operator=(const PostOffice&) = delete;
+
+  /// Mailbox lifecycle, driven by the AgentServer.
+  void open_mailbox(const AgentId& id);
+  void close_mailbox(const AgentId& id);
+  [[nodiscard]] std::vector<Mail> drain_mailbox(const AgentId& id);
+  void restore_mailbox(const AgentId& id, std::vector<Mail> mail);
+
+  /// Send mail from a resident agent. Local receivers get direct delivery;
+  /// remote ones are routed; unroutable mail is parked for retry.
+  util::Status send(const AgentId& from, const AgentId& to,
+                    util::ByteSpan body);
+
+  /// Blocking mailbox read for a resident agent.
+  std::optional<Mail> read(const AgentId& owner, util::Duration timeout);
+
+  void stop();
+
+  // Observability.
+  [[nodiscard]] std::uint64_t forwarded() const { return forwarded_.load(); }
+  [[nodiscard]] std::uint64_t dead_letters() const {
+    return dead_letters_.load();
+  }
+
+ private:
+  struct Envelope {
+    AgentId to;
+    Mail mail;
+    std::uint8_t hops = 0;
+    std::int64_t deadline_us = 0;
+  };
+
+  void on_bus_mail(const net::Endpoint& from, util::ByteSpan payload);
+  /// Attempt delivery (local or remote); false if it must be retried.
+  bool try_route(Envelope& envelope);
+  void retry_loop();
+
+  static util::Bytes encode(const Envelope& envelope);
+  static util::StatusOr<Envelope> decode(util::ByteSpan payload);
+
+  ServerBus& bus_;
+  LocationService& locations_;
+  std::string server_name_;
+  PostOfficeConfig config_;
+
+  std::mutex mu_;
+  std::map<AgentId, std::shared_ptr<util::BlockingQueue<Mail>>> mailboxes_;
+  std::vector<Envelope> parked_;
+
+  std::atomic<bool> stopped_{false};
+  std::atomic<std::uint64_t> forwarded_{0};
+  std::atomic<std::uint64_t> dead_letters_{0};
+
+  std::condition_variable retry_cv_;
+  std::thread retrier_;
+};
+
+}  // namespace naplet::agent

@@ -1,0 +1,649 @@
+#include "core/controller.hpp"
+
+#include <algorithm>
+
+#include "crypto/random.hpp"
+#include "net/frame.hpp"
+#include "util/log.hpp"
+
+namespace naplet::nsock {
+
+// ===========================================================================
+// Lifecycle
+
+SocketController::SocketController(agent::AgentServer& server,
+                                   ControllerConfig config)
+    : server_(server), config_(config) {}
+
+SocketController::~SocketController() { stop(); }
+
+util::Status SocketController::start() {
+  if (started_.exchange(true)) return util::OkStatus();
+
+  redirector_ = std::make_unique<Redirector>(
+      server_.network(), config_.redirector_port,
+      [this](std::shared_ptr<net::Stream> stream, HandoffMsg msg) {
+        on_handoff(std::move(stream), std::move(msg));
+      });
+  NAPLET_RETURN_IF_ERROR(redirector_->start());
+
+  server_.bus().subscribe(
+      agent::BusKind::kControl,
+      [this](const net::Endpoint& from, util::ByteSpan payload) {
+        on_ctrl(from, payload);
+      });
+  server_.set_redirector_endpoint(redirector_->endpoint());
+  server_.set_migrator(this);
+  server_.register_service(kServiceName, this);
+  if (config_.failure_recovery.enabled) {
+    repair_thread_ = std::thread([this] { repair_loop(); });
+  }
+  return util::OkStatus();
+}
+
+void SocketController::stop() {
+  if (!started_.load() || stopped_.exchange(true)) return;
+  std::map<std::pair<std::uint64_t, std::string>, SessionPtr> sessions;
+  {
+    std::lock_guard lock(mu_);
+    sessions = std::exchange(sessions_, {});
+    for (auto& [id, queue] : accept_queues_) queue->close();
+    accept_queues_.clear();
+  }
+  for (auto& [id, session] : sessions) {
+    session->close_stream();
+    session->park_event().set();
+    session->resume_event().set();
+    session->responses().close();
+  }
+  if (redirector_) redirector_->stop();
+  if (repair_thread_.joinable()) repair_thread_.join();
+}
+
+agent::NodeInfo SocketController::self_node() const {
+  return server_.node_info();
+}
+
+// ===========================================================================
+// Small helpers
+
+util::Status SocketController::send_ctrl(const net::Endpoint& dest,
+                                         CtrlMsg& msg,
+                                         util::ByteSpan session_key) {
+  msg.node = self_node();
+  const util::Bytes payload = msg.mac_payload();
+  msg.mac = compute_mac(session_key,
+                        util::ByteSpan(payload.data(), payload.size()));
+  const util::Bytes encoded = msg.encode();
+  return server_.bus().send(dest, agent::BusKind::kControl,
+                            util::ByteSpan(encoded.data(), encoded.size()));
+}
+
+util::Status SocketController::send_session_ctrl(const net::Endpoint& dest,
+                                                 CtrlMsg& msg,
+                                                 const Session& session) {
+  // Sender identity rides in client_agent for post-setup messages so the
+  // receiver can address the right endpoint's session (it is MAC-covered).
+  msg.client_agent = session.local_agent().name();
+  return send_ctrl(dest, msg,
+                   util::ByteSpan(session.session_key().data(),
+                                  session.session_key().size()));
+}
+
+util::Status SocketController::reply_handoff(net::Stream& stream,
+                                             HandoffMsg msg,
+                                             util::ByteSpan session_key) {
+  msg.node = self_node();
+  const util::Bytes payload = msg.mac_payload();
+  msg.mac = compute_mac(session_key,
+                        util::ByteSpan(payload.data(), payload.size()));
+  const util::Bytes encoded = msg.encode();
+  return net::write_frame(stream,
+                          util::ByteSpan(encoded.data(), encoded.size()));
+}
+
+SessionPtr SocketController::find_session(std::uint64_t conn_id) const {
+  std::lock_guard lock(mu_);
+  auto it = sessions_.lower_bound({conn_id, std::string()});
+  if (it == sessions_.end() || it->first.first != conn_id) return nullptr;
+  return it->second;
+}
+
+SessionPtr SocketController::find_session_from(
+    std::uint64_t conn_id, const std::string& sender) const {
+  std::lock_guard lock(mu_);
+  SessionPtr sole;
+  int matches = 0;
+  for (auto it = sessions_.lower_bound({conn_id, std::string()});
+       it != sessions_.end() && it->first.first == conn_id; ++it) {
+    if (!sender.empty() && it->second->peer_agent().name() == sender) {
+      return it->second;
+    }
+    sole = it->second;
+    ++matches;
+  }
+  // Tolerate a missing sender field only when the match is unambiguous.
+  return (sender.empty() && matches == 1) ? sole : nullptr;
+}
+
+void SocketController::insert_session(const SessionPtr& session) {
+  std::lock_guard lock(mu_);
+  sessions_[{session->conn_id(), session->local_agent().name()}] = session;
+}
+
+void SocketController::remove_session(const SessionPtr& session) {
+  std::lock_guard lock(mu_);
+  sessions_.erase({session->conn_id(), session->local_agent().name()});
+}
+
+std::vector<SessionPtr> SocketController::sessions_of(
+    const agent::AgentId& id) const {
+  std::vector<SessionPtr> out;
+  std::lock_guard lock(mu_);
+  for (const auto& [key, session] : sessions_) {
+    if (session->local_agent() == id) out.push_back(session);
+  }
+  return out;  // map order => sorted by conn_id (deterministic sweep)
+}
+
+bool SocketController::agent_is_migrating(const agent::AgentId& id) const {
+  std::lock_guard lock(mu_);
+  return migrating_agents_.contains(id);
+}
+
+std::size_t SocketController::session_count() const {
+  std::lock_guard lock(mu_);
+  return sessions_.size();
+}
+
+ControllerStats SocketController::stats() const {
+  ControllerStats out;
+  {
+    std::lock_guard lock(mu_);
+    out.sessions = sessions_.size();
+    for (const auto& [key, session] : sessions_) {
+      ++out.by_state[static_cast<std::size_t>(session->state())];
+    }
+    out.listening_agents = accept_queues_.size();
+    out.migrating_agents = migrating_agents_.size();
+  }
+  out.mac_rejections = mac_rejections_.load();
+  out.access_denials = access_denials_.load();
+  out.links_repaired = links_repaired_.load();
+  out.peers_declared_dead = peers_declared_dead_.load();
+  auto& channel = server_.bus().channel();
+  out.ctrl_messages_sent = channel.messages_sent();
+  out.ctrl_retransmissions = channel.retransmissions();
+  out.ctrl_duplicates_dropped = channel.duplicates_dropped();
+  return out;
+}
+
+// ===========================================================================
+// Bus dispatch
+
+void SocketController::on_ctrl(const net::Endpoint& from,
+                               util::ByteSpan payload) {
+  auto msg = CtrlMsg::decode(payload);
+  if (!msg.ok()) {
+    NAPLET_LOG(kWarn, "controller")
+        << "bad ctrl message from " << from.to_string() << ": "
+        << msg.status().to_string();
+    return;
+  }
+  switch (msg->type) {
+    case CtrlType::kConnect:
+      handle_connect(from, std::move(*msg));
+      return;
+    case CtrlType::kConnectAck:
+    case CtrlType::kConnectReject:
+      handle_connect_reply(std::move(*msg));
+      return;
+    case CtrlType::kSus:
+      handle_sus(std::move(*msg));
+      return;
+    case CtrlType::kSusAck:
+    case CtrlType::kAckWait:
+      handle_sus_response(std::move(*msg));
+      return;
+    case CtrlType::kSusRes:
+      handle_sus_res(std::move(*msg));
+      return;
+    case CtrlType::kCls:
+      handle_cls(std::move(*msg));
+      return;
+    case CtrlType::kClsAck:
+    case CtrlType::kSusResAck:
+      handle_simple_ack(std::move(*msg));
+      return;
+    case CtrlType::kReject: {
+      NAPLET_LOG(kDebug, "controller")
+          << "peer rejected conn " << msg->conn_id << ": " << msg->reason;
+      // Route to the waiting operation: "unknown connection" usually means
+      // the peer agent is mid-transit (its session exported but not yet
+      // imported), and the initiator should refresh its location and retry
+      // rather than waiting out the full response timeout.
+      if (SessionPtr session =
+              find_session_from(msg->conn_id, msg->client_agent)) {
+        session->responses().push(Session::CtrlResponse{
+            static_cast<std::uint8_t>(CtrlType::kReject), 0});
+      }
+      return;
+    }
+    case CtrlType::kHeartbeat:
+      // Liveness probe: the reliability layer already ACKed it; nothing
+      // else to do (fault-tolerance extension).
+      return;
+  }
+}
+
+void SocketController::on_handoff(std::shared_ptr<net::Stream> stream,
+                                  HandoffMsg msg) {
+  switch (msg.type) {
+    case HandoffType::kAttach:
+      handle_attach(std::move(stream), std::move(msg));
+      return;
+    case HandoffType::kResume:
+      handle_resume_request(std::move(stream), std::move(msg));
+      return;
+    default:
+      stream->close();
+      return;
+  }
+}
+
+// ===========================================================================
+// Connection setup (paper §2.2 "Open a connection", §3.4 socket handoff)
+
+util::StatusOr<SessionPtr> SocketController::connect(
+    const agent::AgentId& self, const agent::AgentId& peer,
+    ConnectBreakdown* breakdown) {
+  util::RealClock& clock = util::RealClock::instance();
+  ConnectBreakdown local_breakdown;
+  ConnectBreakdown& bd = breakdown != nullptr ? *breakdown : local_breakdown;
+  bd = ConnectBreakdown{};
+  util::Stopwatch sw(clock);
+
+  // [management] correlation state for the CONNECT reply.
+  const std::uint64_t verifier = crypto::random_u64();
+  auto pending = std::make_shared<PendingConnect>();
+  {
+    std::lock_guard lock(mu_);
+    pending_connects_[verifier] = pending;
+  }
+  auto cleanup_pending = [&] {
+    std::lock_guard lock(mu_);
+    pending_connects_.erase(verifier);
+  };
+  bd.management_ms += sw.elapsed_ms();
+
+  // [security check] local authorization + credential issuance. The server
+  // side's authenticate/authorize runs inside the handshake round trip.
+  sw.reset();
+  util::Bytes token_bytes;
+  if (config_.security) {
+    auto allowed = server_.access().check(
+        agent::Subject{agent::Subject::Kind::kAgent, self.name()},
+        agent::Permission::kUseNapletSocket);
+    if (!allowed.ok()) {
+      access_denials_.fetch_add(1);
+      cleanup_pending();
+      return allowed;
+    }
+    agent::AuthToken token = server_.access().issue_token(self);
+    util::Archive ar;
+    ar.field(token);
+    token_bytes = std::move(ar).take_bytes();
+  }
+  bd.security_check_ms += sw.elapsed_ms();
+
+  // [key exchange] our half of Diffie–Hellman.
+  sw.reset();
+  std::optional<crypto::DhKeyPair> dh;
+  if (config_.security) {
+    auto keypair = crypto::DhKeyPair::generate(config_.dh_group);
+    if (!keypair.ok()) {
+      cleanup_pending();
+      return keypair.status();
+    }
+    dh = std::move(*keypair);
+  }
+  bd.key_exchange_ms += sw.elapsed_ms();
+
+  // [handshake] locate the peer and run the CONNECT round trip.
+  sw.reset();
+  auto peer_node = server_.locations().lookup(peer, config_.connect_timeout);
+  if (!peer_node.ok()) {
+    cleanup_pending();
+    return peer_node.status();
+  }
+  CtrlMsg req;
+  req.type = CtrlType::kConnect;
+  req.verifier = verifier;
+  req.client_agent = self.name();
+  req.server_agent = peer.name();
+  if (dh) req.dh_public = dh->public_value();
+  req.token = token_bytes;
+  if (auto st = send_ctrl(peer_node->control, req, {}); !st.ok()) {
+    cleanup_pending();
+    return st;
+  }
+  if (!pending->done.wait_for(config_.connect_timeout)) {
+    cleanup_pending();
+    return util::Timeout("no CONNECT reply from " + peer.name());
+  }
+  cleanup_pending();
+  if (!pending->status.ok()) return pending->status;
+  bd.handshake_ms += sw.elapsed_ms();
+
+  // [key exchange] derive the session key from the server's public value.
+  sw.reset();
+  util::Bytes session_key;
+  if (dh) {
+    auto key = dh->session_key(util::ByteSpan(
+        pending->server_dh_public.data(), pending->server_dh_public.size()));
+    if (!key.ok()) return key.status();
+    session_key.assign(key->begin(), key->end());
+  }
+  bd.key_exchange_ms += sw.elapsed_ms();
+
+  // [management] build the client-side session.
+  sw.reset();
+  auto session = std::make_shared<Session>(pending->conn_id, verifier,
+                                           /*is_client=*/true, self, peer);
+  session->set_peer_node(pending->server_node);
+  session->set_session_key(session_key);
+  if (config_.failure_recovery.enabled) {
+    session->enable_history(config_.failure_recovery.history_bytes);
+  }
+  NAPLET_RETURN_IF_ERROR(session->advance(ConnEvent::kAppConnect));
+  bd.management_ms += sw.elapsed_ms();
+
+  // [open socket] raw TCP to the server's redirector.
+  sw.reset();
+  auto stream = server_.network().connect(pending->server_node.redirector,
+                                          config_.connect_timeout);
+  if (!stream.ok()) return stream.status();
+  std::shared_ptr<net::Stream> data_socket(std::move(*stream));
+  bd.open_socket_ms += sw.elapsed_ms();
+
+  // [handshake] complete setup by sending our ID over the handoff stream.
+  sw.reset();
+  HandoffMsg attach;
+  attach.type = HandoffType::kAttach;
+  attach.conn_id = pending->conn_id;
+  attach.verifier = verifier;
+  attach.agent = self.name();
+  if (auto st = reply_handoff(*data_socket, attach,
+                              util::ByteSpan(session_key.data(),
+                                             session_key.size()));
+      !st.ok()) {
+    return st;
+  }
+  auto reply_frame = net::read_frame(*data_socket);
+  if (!reply_frame.ok()) return reply_frame.status();
+  auto reply = HandoffMsg::decode(
+      util::ByteSpan(reply_frame->data(), reply_frame->size()));
+  if (!reply.ok()) return reply.status();
+  if (reply->type != HandoffType::kAttachOk) {
+    return util::PermissionDenied("attach rejected: " + reply->reason);
+  }
+  bd.handshake_ms += sw.elapsed_ms();
+
+  // [management] finalize and register.
+  sw.reset();
+  session->attach_stream(std::move(data_socket));
+  NAPLET_RETURN_IF_ERROR(session->advance(ConnEvent::kRecvConnectAck));
+  insert_session(session);
+  bd.management_ms += sw.elapsed_ms();
+  return session;
+}
+
+void SocketController::handle_connect(const net::Endpoint& from,
+                                      CtrlMsg msg) {
+  CtrlMsg reply;
+  reply.verifier = msg.verifier;
+
+  const net::Endpoint reply_to =
+      msg.node.control.port != 0 ? msg.node.control : from;
+
+  auto reject = [&](util::Status why) {
+    access_denials_.fetch_add(1);
+    reply.type = CtrlType::kConnectReject;
+    reply.reason = why.to_string();
+    (void)send_ctrl(reply_to, reply, {});
+  };
+
+  // Target agent must be listening here.
+  const agent::AgentId target(msg.server_agent);
+  std::shared_ptr<util::BlockingQueue<SessionPtr>> queue;
+  {
+    std::lock_guard lock(mu_);
+    auto it = accept_queues_.find(target);
+    if (it != accept_queues_.end()) queue = it->second;
+  }
+  if (queue == nullptr) {
+    reject(util::NotFound("agent '" + msg.server_agent +
+                          "' is not listening on this server"));
+    return;
+  }
+
+  // Security: authenticate the client's token, authorize the request, and
+  // run our half of the key exchange (paper Fig. 8's dominant cost).
+  util::Bytes session_key;
+  util::Bytes server_dh_public;
+  if (config_.security) {
+    agent::AuthToken token;
+    if (auto st = util::Archive::decode(
+            util::ByteSpan(msg.token.data(), msg.token.size()), token);
+        !st.ok() || msg.token.empty()) {
+      reject(util::Unauthenticated("missing or malformed credential"));
+      return;
+    }
+    auto subject = server_.access().authenticate(token);
+    if (!subject.ok()) {
+      reject(subject.status());
+      return;
+    }
+    if (subject->name != msg.client_agent) {
+      reject(util::Unauthenticated("credential/agent mismatch"));
+      return;
+    }
+    if (auto st = server_.access().check(
+            *subject, agent::Permission::kUseNapletSocket);
+        !st.ok()) {
+      reject(st);
+      return;
+    }
+
+    auto dh = crypto::DhKeyPair::generate(config_.dh_group);
+    if (!dh.ok()) {
+      reject(dh.status());
+      return;
+    }
+    auto key = dh->session_key(
+        util::ByteSpan(msg.dh_public.data(), msg.dh_public.size()));
+    if (!key.ok()) {
+      reject(key.status());
+      return;
+    }
+    session_key.assign(key->begin(), key->end());
+    server_dh_public = dh->public_value();
+  }
+
+  // Allocate the connection and park it until the client's ATTACH arrives.
+  std::uint64_t conn_id;
+  {
+    std::lock_guard lock(mu_);
+    do {
+      conn_id = crypto::random_u64();
+    } while (conn_id == 0 ||
+             [&] {
+               auto it = sessions_.lower_bound({conn_id, std::string()});
+               return it != sessions_.end() && it->first.first == conn_id;
+             }());
+  }
+  auto session = std::make_shared<Session>(conn_id, msg.verifier,
+                                           /*is_client=*/false, target,
+                                           agent::AgentId(msg.client_agent));
+  session->set_peer_node(msg.node);
+  session->set_session_key(std::move(session_key));
+  if (config_.failure_recovery.enabled) {
+    session->enable_history(config_.failure_recovery.history_bytes);
+  }
+  (void)session->advance(ConnEvent::kAppListen);
+  (void)session->advance(ConnEvent::kRecvConnect);  // -> CONNECT_ACKED
+  insert_session(session);
+
+  reply.type = CtrlType::kConnectAck;
+  reply.conn_id = conn_id;
+  reply.dh_public = server_dh_public;
+  if (auto st = send_ctrl(reply_to, reply, {}); !st.ok()) {
+    NAPLET_LOG(kWarn, "controller")
+        << "CONNECT_ACK send failed: " << st.to_string();
+    remove_session(session);
+  }
+}
+
+void SocketController::handle_connect_reply(CtrlMsg msg) {
+  std::shared_ptr<PendingConnect> pending;
+  {
+    std::lock_guard lock(mu_);
+    auto it = pending_connects_.find(msg.verifier);
+    if (it == pending_connects_.end()) return;  // late/duplicate reply
+    pending = it->second;
+  }
+  if (msg.type == CtrlType::kConnectReject) {
+    pending->status = util::PermissionDenied(msg.reason);
+  } else {
+    pending->conn_id = msg.conn_id;
+    pending->server_dh_public = std::move(msg.dh_public);
+    pending->server_node = msg.node;
+  }
+  pending->done.set();
+}
+
+void SocketController::handle_attach(std::shared_ptr<net::Stream> stream,
+                                     HandoffMsg msg) {
+  auto fail = [&](const std::string& reason) {
+    HandoffMsg err;
+    err.type = HandoffType::kError;
+    err.conn_id = msg.conn_id;
+    err.reason = reason;
+    (void)reply_handoff(*stream, err, {});
+    stream->close();
+  };
+
+  SessionPtr session = find_session_from(msg.conn_id, msg.agent);
+  if (session == nullptr) {
+    fail("unknown connection");
+    return;
+  }
+  if (msg.verifier != session->verifier()) {
+    fail("verifier mismatch");
+    return;
+  }
+  const util::Bytes payload = msg.mac_payload();
+  if (!verify_mac(util::ByteSpan(session->session_key().data(),
+                                 session->session_key().size()),
+                  util::ByteSpan(payload.data(), payload.size()),
+                  util::ByteSpan(msg.mac.data(), msg.mac.size()))) {
+    mac_rejections_.fetch_add(1);
+    fail("MAC verification failed");
+    return;
+  }
+  if (session->state() != ConnState::kConnectAcked) {
+    fail("connection not awaiting attach");
+    return;
+  }
+
+  session->attach_stream(stream);
+  HandoffMsg ok;
+  ok.type = HandoffType::kAttachOk;
+  ok.conn_id = msg.conn_id;
+  if (auto st = reply_handoff(*stream, ok,
+                              util::ByteSpan(session->session_key().data(),
+                                             session->session_key().size()));
+      !st.ok()) {
+    session->close_stream();
+    return;
+  }
+  (void)session->advance(ConnEvent::kRecvAttach);  // -> ESTABLISHED
+
+  std::shared_ptr<util::BlockingQueue<SessionPtr>> queue;
+  {
+    std::lock_guard lock(mu_);
+    auto it = accept_queues_.find(session->local_agent());
+    if (it != accept_queues_.end()) queue = it->second;
+  }
+  if (queue != nullptr) {
+    queue->push(session);
+  } else {
+    // The listener vanished between CONNECT and ATTACH; tear down.
+    NAPLET_LOG(kWarn, "controller")
+        << "listener gone for conn " << msg.conn_id << "; closing";
+    session->close_stream();
+  }
+}
+
+// ===========================================================================
+// Listen / accept
+
+util::Status SocketController::listen(const agent::AgentId& self) {
+  if (config_.security) {
+    auto allowed = server_.access().check(
+        agent::Subject{agent::Subject::Kind::kAgent, self.name()},
+        agent::Permission::kUseNapletSocket);
+    if (!allowed.ok()) {
+      access_denials_.fetch_add(1);
+      return allowed;
+    }
+  }
+  std::lock_guard lock(mu_);
+  if (accept_queues_.contains(self)) {
+    return util::AlreadyExists("agent already listening: " + self.name());
+  }
+  accept_queues_[self] = std::make_shared<util::BlockingQueue<SessionPtr>>();
+  return util::OkStatus();
+}
+
+util::Status SocketController::unlisten(const agent::AgentId& self) {
+  std::shared_ptr<util::BlockingQueue<SessionPtr>> queue;
+  {
+    std::lock_guard lock(mu_);
+    auto it = accept_queues_.find(self);
+    if (it == accept_queues_.end()) {
+      return util::NotFound("agent not listening: " + self.name());
+    }
+    queue = it->second;
+    accept_queues_.erase(it);
+  }
+  queue->close();
+  return util::OkStatus();
+}
+
+bool SocketController::is_listening(const agent::AgentId& self) const {
+  std::lock_guard lock(mu_);
+  return accept_queues_.contains(self);
+}
+
+util::StatusOr<SessionPtr> SocketController::accept(const agent::AgentId& self,
+                                                    util::Duration timeout) {
+  std::shared_ptr<util::BlockingQueue<SessionPtr>> queue;
+  {
+    std::lock_guard lock(mu_);
+    auto it = accept_queues_.find(self);
+    if (it == accept_queues_.end()) {
+      return util::FailedPrecondition("agent not listening: " + self.name());
+    }
+    queue = it->second;
+  }
+  auto session = queue->pop_for(timeout);
+  if (!session) {
+    return queue->closed()
+               ? util::Cancelled("listener closed")
+               : util::Timeout("accept timed out for " + self.name());
+  }
+  return *session;
+}
+
+}  // namespace naplet::nsock

@@ -1,0 +1,253 @@
+// SocketController: the NapletSocket management component (paper §2.1).
+//
+// One controller per agent server, shared by all of that server's
+// NapletSockets. It owns:
+//  * connection setup — the CONNECT/ACK+ID/ID handshake, agent-oriented
+//    access control, and Diffie–Hellman session-key establishment;
+//  * the suspension protocol — SUS/SUS_ACK/ACK_WAIT/SUS_RES with the
+//    overlapped and non-overlapped concurrent-migration rules and
+//    hash-priority arbitration (§3.1) plus the multi-connection sweep
+//    rules (§3.2);
+//  * resume — data-socket re-binding through the peer's redirector,
+//    including the RESUME_WAIT delays and location-service fallback when
+//    the last-known peer address is stale;
+//  * close — CLS/CLS_ACK;
+//  * the ConnectionMigrator hooks the docking system calls around hops.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "agent/agent_server.hpp"
+#include "core/redirector.hpp"
+#include "core/session.hpp"
+#include "core/stats.hpp"
+#include "core/wire.hpp"
+#include "crypto/dh.hpp"
+
+namespace naplet::nsock {
+
+/// Fault-tolerance extension (the paper's §7 future work): detection and
+/// recovery from link/host failures. Off by default — the paper's protocol
+/// assumes coordinated suspensions only.
+struct FailureRecoveryConfig {
+  bool enabled = false;
+  /// Repair-loop cadence: scan for broken data sockets, probe idle peers.
+  util::Duration probe_interval{std::chrono::milliseconds(200)};
+  /// Consecutive unacknowledged heartbeats before a peer is declared dead
+  /// and its sessions aborted.
+  int miss_threshold = 3;
+  /// Per-session bound on the sent-frame retransmission history that makes
+  /// uncoordinated stream loss recoverable without data loss.
+  std::size_t history_bytes = 1 << 20;
+};
+
+struct ControllerConfig {
+  /// Security on: authenticate + authorize at connect, DH session keys,
+  /// HMAC-verified control messages. Off: the Table-1 "w/o security" mode.
+  bool security = true;
+  crypto::DhGroup dh_group = crypto::DhGroup::kModp768;
+  std::uint16_t redirector_port = 0;
+  FailureRecoveryConfig failure_recovery{};
+
+  util::Duration ctrl_response_timeout{std::chrono::seconds(5)};
+  util::Duration connect_timeout{std::chrono::seconds(5)};
+  util::Duration resume_timeout{std::chrono::seconds(10)};
+  util::Duration drain_timeout{std::chrono::seconds(5)};
+  /// How long a parked suspend waits for the peer's migration to finish.
+  util::Duration park_timeout{std::chrono::seconds(30)};
+  /// Default application send/recv blocking bound.
+  util::Duration io_timeout{std::chrono::seconds(30)};
+};
+
+/// Client-observed phase breakdown of one connection setup (Figure 8).
+struct ConnectBreakdown {
+  double management_ms = 0;
+  double security_check_ms = 0;  // authentication + authorization
+  double key_exchange_ms = 0;    // DH generate + shared-secret derivation
+  double handshake_ms = 0;       // control-channel and handoff round trips
+  double open_socket_ms = 0;     // raw TCP connect to the redirector
+
+  [[nodiscard]] double total_ms() const {
+    return management_ms + security_check_ms + key_exchange_ms +
+           handshake_ms + open_socket_ms;
+  }
+};
+
+class SocketController final : public agent::ConnectionMigrator {
+ public:
+  SocketController(agent::AgentServer& server, ControllerConfig config = {});
+  ~SocketController() override;
+
+  SocketController(const SocketController&) = delete;
+  SocketController& operator=(const SocketController&) = delete;
+
+  /// Start the redirector, subscribe to the control bus, and register this
+  /// controller as the server's migrator + the "napletsocket" service.
+  util::Status start();
+  void stop();
+
+  [[nodiscard]] net::Endpoint redirector_endpoint() const {
+    return redirector_ ? redirector_->endpoint() : net::Endpoint{};
+  }
+  [[nodiscard]] const ControllerConfig& config() const { return config_; }
+  [[nodiscard]] agent::AgentServer& server() { return server_; }
+
+  // ---- agent-facing operations (wrapped by NapletSocket classes) ----
+
+  /// Active open from `self` to `peer` (paper Fig. 6 flow). On success the
+  /// session is ESTABLISHED. `breakdown` (optional) receives phase timings.
+  util::StatusOr<SessionPtr> connect(const agent::AgentId& self,
+                                     const agent::AgentId& peer,
+                                     ConnectBreakdown* breakdown = nullptr);
+
+  /// Passive open: make `self` accept NapletSocket connections.
+  util::Status listen(const agent::AgentId& self);
+  util::Status unlisten(const agent::AgentId& self);
+  [[nodiscard]] bool is_listening(const agent::AgentId& self) const;
+
+  /// Accept the next established inbound connection for `self`.
+  util::StatusOr<SessionPtr> accept(const agent::AgentId& self,
+                                    util::Duration timeout);
+
+  /// Suspend a connection (explicit application control, paper §2.1).
+  util::Status suspend(const SessionPtr& session);
+  /// Resume a suspended connection (reconnect through the peer redirector).
+  util::Status resume(const SessionPtr& session);
+  /// Close from ESTABLISHED or SUSPENDED.
+  util::Status close(const SessionPtr& session);
+
+  // ---- ConnectionMigrator ----
+
+  util::Status prepare_migration(const agent::AgentId& id) override;
+  util::Bytes export_sessions(const agent::AgentId& id) override;
+  util::Status import_sessions(const agent::AgentId& id,
+                               util::ByteSpan data) override;
+  util::Status complete_migration(const agent::AgentId& id) override;
+  void close_all(const agent::AgentId& id) override;
+
+  // ---- observability ----
+
+  /// Look up a live session by connection id (tests, benches, tooling).
+  [[nodiscard]] SessionPtr session_by_id(std::uint64_t conn_id) const {
+    return find_session(conn_id);
+  }
+
+  [[nodiscard]] std::size_t session_count() const;
+  [[nodiscard]] std::uint64_t mac_rejections() const {
+    return mac_rejections_.load();
+  }
+  [[nodiscard]] std::uint64_t access_denials() const {
+    return access_denials_.load();
+  }
+  /// Consistent snapshot of the connection table and every counter.
+  [[nodiscard]] ControllerStats stats() const;
+
+  /// Fault-tolerance extension counters.
+  [[nodiscard]] std::uint64_t links_repaired() const {
+    return links_repaired_.load();
+  }
+  [[nodiscard]] std::uint64_t peers_declared_dead() const {
+    return peers_declared_dead_.load();
+  }
+
+  /// Service name under which the controller registers with the server.
+  static constexpr const char* kServiceName = "napletsocket";
+
+ private:
+  struct PendingConnect {
+    util::Event done;
+    util::Status status = util::OkStatus();
+    std::uint64_t conn_id = 0;
+    util::Bytes server_dh_public;
+    agent::NodeInfo server_node;
+  };
+
+  // Bus / handoff entry points.
+  void on_ctrl(const net::Endpoint& from, util::ByteSpan payload);
+  void on_handoff(std::shared_ptr<net::Stream> stream, HandoffMsg msg);
+
+  // Control-message handlers.
+  void handle_connect(const net::Endpoint& from, CtrlMsg msg);
+  void handle_connect_reply(CtrlMsg msg);
+  void handle_sus(CtrlMsg msg);
+  void handle_sus_response(CtrlMsg msg);  // SUS_ACK / ACK_WAIT
+  void handle_sus_res(CtrlMsg msg);
+  void handle_cls(CtrlMsg msg);
+  void handle_simple_ack(CtrlMsg msg);    // CLS_ACK / SUS_RES_ACK
+
+  // Handoff handlers.
+  void handle_attach(std::shared_ptr<net::Stream> stream, HandoffMsg msg);
+  void handle_resume_request(std::shared_ptr<net::Stream> stream,
+                             HandoffMsg msg);
+
+  // Internals.
+  util::Status send_ctrl(const net::Endpoint& dest, CtrlMsg& msg,
+                         util::ByteSpan session_key);
+  /// Stamp the sender agent + MAC from `session` and send to `dest`.
+  util::Status send_session_ctrl(const net::Endpoint& dest, CtrlMsg& msg,
+                                 const Session& session);
+  util::Status reply_handoff(net::Stream& stream, HandoffMsg msg,
+                             util::ByteSpan session_key);
+  /// First session with this conn id (tests/tools; unique in practice
+  /// except when both endpoints live on one node).
+  [[nodiscard]] SessionPtr find_session(std::uint64_t conn_id) const;
+  /// The session with this conn id whose PEER is `sender` — the correct
+  /// target for a message sent by `sender`. Falls back to the sole match
+  /// when `sender` is empty.
+  [[nodiscard]] SessionPtr find_session_from(std::uint64_t conn_id,
+                                             const std::string& sender) const;
+  void insert_session(const SessionPtr& session);
+  void remove_session(const SessionPtr& session);
+  [[nodiscard]] std::vector<SessionPtr> sessions_of(
+      const agent::AgentId& id) const;
+  [[nodiscard]] bool agent_is_migrating(const agent::AgentId& id) const;
+  /// The §3.2 sweep step for one connection during prepare_migration.
+  util::Status suspend_for_migration(const SessionPtr& session,
+                                     const agent::AgentId& id);
+  /// Active suspend from ESTABLISHED (shared by app suspend + migration).
+  util::Status active_suspend(const SessionPtr& session);
+  /// Complete a passive suspension (drain + close) after agreeing to SUS.
+  void finish_passive_suspend(const SessionPtr& session,
+                              std::uint64_t peer_mark);
+  /// Reconnect a suspended session through the peer's redirector.
+  util::Status do_resume(const SessionPtr& session);
+
+  [[nodiscard]] agent::NodeInfo self_node() const;
+
+  // Fault-tolerance extension internals.
+  void repair_loop();
+  void repair_session(const SessionPtr& session);
+  void probe_peers();
+  /// Abort a session locally (peer declared dead): no handshake, waiters
+  /// released, registry entry dropped.
+  void abort_session(const SessionPtr& session);
+
+  agent::AgentServer& server_;
+  ControllerConfig config_;
+  std::unique_ptr<Redirector> redirector_;
+
+  mutable std::mutex mu_;
+  // Keyed by (conn_id, local agent): the two endpoints of one connection
+  // may both be hosted by this controller (same-node agent pairs).
+  std::map<std::pair<std::uint64_t, std::string>, SessionPtr> sessions_;
+  std::map<agent::AgentId,
+           std::shared_ptr<util::BlockingQueue<SessionPtr>>>
+      accept_queues_;
+  std::map<std::uint64_t, std::shared_ptr<PendingConnect>> pending_connects_;
+  std::set<agent::AgentId> migrating_agents_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<std::uint64_t> mac_rejections_{0};
+  std::atomic<std::uint64_t> access_denials_{0};
+
+  // Fault-tolerance extension state.
+  std::thread repair_thread_;
+  std::map<std::uint64_t, int> heartbeat_misses_;  // conn_id -> misses
+  std::atomic<std::uint64_t> links_repaired_{0};
+  std::atomic<std::uint64_t> peers_declared_dead_{0};
+};
+
+}  // namespace naplet::nsock

@@ -1,0 +1,947 @@
+// SocketController — suspension, resume, close, and the ConnectionMigrator
+// hooks (paper §2.2 suspend/resume/close, §3.1 concurrent migration,
+// §3.2 multiple connections). Split from controller.cpp for readability.
+#include <algorithm>
+
+#include "core/controller.hpp"
+#include "crypto/random.hpp"
+#include "net/frame.hpp"
+#include "util/log.hpp"
+
+namespace naplet::nsock {
+
+namespace {
+
+constexpr util::Duration kRetrySleep = std::chrono::milliseconds(20);
+constexpr util::Duration kStatePollSlice = std::chrono::milliseconds(50);
+
+std::int64_t now_us() { return util::RealClock::instance().now_us(); }
+
+std::optional<Session::CtrlResponse> wait_response(
+    Session& session, std::initializer_list<CtrlType> want,
+    util::Duration timeout) {
+  const std::int64_t deadline = now_us() + timeout.count();
+  for (;;) {
+    const std::int64_t remaining = deadline - now_us();
+    if (remaining <= 0) return std::nullopt;
+    auto resp = session.responses().pop_for(util::us(remaining));
+    if (!resp) return std::nullopt;
+    for (CtrlType t : want) {
+      if (resp->type == static_cast<std::uint8_t>(t)) return resp;
+    }
+    NAPLET_LOG(kDebug, "controller")
+        << "conn " << session.conn_id() << ": discarding stale response type "
+        << static_cast<int>(resp->type);
+  }
+}
+
+bool verify_session_mac(Session& session, const CtrlMsg& msg) {
+  const util::Bytes payload = msg.mac_payload();
+  return verify_mac(util::ByteSpan(session.session_key().data(),
+                                   session.session_key().size()),
+                    util::ByteSpan(payload.data(), payload.size()),
+                    util::ByteSpan(msg.mac.data(), msg.mac.size()));
+}
+
+}  // namespace
+
+// ===========================================================================
+// Suspension — active side
+
+util::Status SocketController::suspend(const SessionPtr& session) {
+  if (session == nullptr) return util::InvalidArgument("null session");
+  const ConnState st = session->state();
+  if (st == ConnState::kEstablished) return active_suspend(session);
+  if (st == ConnState::kSuspended || st == ConnState::kSuspendWait) {
+    return suspend_for_migration(session, session->local_agent());
+  }
+  if (st == ConnState::kSusAcked) {
+    // A passive suspension is mid-drain; wait for it to settle, then the
+    // connection is suspended (remotely) and §3.2 rules apply.
+    session->wait_state(
+        [](ConnState s) { return s != ConnState::kSusAcked; },
+        config_.ctrl_response_timeout);
+    return suspend(session);
+  }
+  return util::FailedPrecondition(
+      "cannot suspend from state " + std::string(to_string(st)));
+}
+
+util::Status SocketController::active_suspend(const SessionPtr& session) {
+  NAPLET_RETURN_IF_ERROR(session->advance(ConnEvent::kAppSuspend));
+  // This is OUR suspension round: bookkeeping from any previous round is
+  // obsolete. (Clearing here also closes a scheduling window where the
+  // resume handler's own clear lands after this suspend has begun.)
+  session->update_flags([](Session::Flags& f) {
+    f.remote_suspended = false;
+    f.peer_waiting_resume = false;
+  });
+  const std::uint64_t mark = session->freeze_writes_and_mark();
+
+  CtrlMsg sus;
+  sus.type = CtrlType::kSus;
+  sus.conn_id = session->conn_id();
+  sus.sent_seq = mark;
+  NAPLET_RETURN_IF_ERROR(
+      send_session_ctrl(session->peer_node().control, sus, *session));
+
+  // Wait for the peer's reply while KEEPING OUR RECEIVE SIDE DRAINING:
+  // the peer can only reply after freezing its writers, and one of those
+  // writers may be blocked on TCP backpressure that only our reads can
+  // relieve (the application reader is already parked on the state cell).
+  // A REJECT means the peer's session is mid-transit (exported, not yet
+  // imported at its destination): refresh the peer's location and resend.
+  std::optional<Session::CtrlResponse> resp;
+  {
+    const std::int64_t deadline =
+        util::RealClock::instance().now_us() +
+        config_.ctrl_response_timeout.count();
+    while (util::RealClock::instance().now_us() < deadline) {
+      resp = wait_response(
+          *session,
+          {CtrlType::kSusAck, CtrlType::kAckWait, CtrlType::kReject},
+          std::chrono::milliseconds(20));
+      if (resp &&
+          resp->type == static_cast<std::uint8_t>(CtrlType::kReject)) {
+        resp.reset();
+        util::RealClock::instance().sleep_for(kRetrySleep);
+        if (auto fresh =
+                server_.locations().try_lookup(session->peer_agent())) {
+          session->set_peer_node(*fresh);
+        }
+        (void)send_session_ctrl(session->peer_node().control, sus, *session);
+        continue;
+      }
+      if (resp) break;
+      session->pump_available(std::chrono::milliseconds(20));
+    }
+  }
+  if (!resp) {
+    // Peer unreachable: fail-safe local suspension (the FSM's timeout arc).
+    (void)session->advance(ConnEvent::kTimeout);
+    session->close_stream();
+    return util::Timeout("no SUS response for conn " +
+                         std::to_string(session->conn_id()));
+  }
+
+  // Both replies carry the peer's declared high-water mark: pull every
+  // in-flight frame into the input buffer before closing the socket.
+  auto drained = session->drain_to_mark(resp->sent_seq, config_.drain_timeout);
+  session->close_stream();
+
+  if (resp->type == static_cast<std::uint8_t>(CtrlType::kSusAck)) {
+    NAPLET_RETURN_IF_ERROR(session->advance(ConnEvent::kRecvSusAck));
+    return drained;
+  }
+
+  // ACK_WAIT: overlapped concurrent migration and the peer outranks us
+  // (paper Fig. 4(a), low-priority side). Park until its SUS_RES.
+  NAPLET_RETURN_IF_ERROR(session->advance(ConnEvent::kRecvAckWait));
+  session->update_flags([](Session::Flags& f) {
+    f.local_suspend_parked = true;
+  });
+  const bool released = session->park_event().wait_for(config_.park_timeout);
+  session->park_event().reset();
+  session->update_flags([](Session::Flags& f) {
+    f.local_suspend_parked = false;
+  });
+  if (!drained.ok()) return drained;
+  if (!released) {
+    return util::Timeout("parked suspend not released for conn " +
+                         std::to_string(session->conn_id()));
+  }
+  return util::OkStatus();
+}
+
+// ===========================================================================
+// Suspension — passive side (bus thread)
+
+void SocketController::handle_sus(CtrlMsg msg) {
+  SessionPtr session = find_session_from(msg.conn_id, msg.client_agent);
+  CtrlMsg reply;
+  reply.conn_id = msg.conn_id;
+
+  if (session == nullptr) {
+    reply.type = CtrlType::kReject;
+    reply.reason = "unknown connection";
+    (void)send_ctrl(msg.node.control, reply, {});
+    return;
+  }
+  if (!verify_session_mac(*session, msg)) {
+    mac_rejections_.fetch_add(1);
+    reply.type = CtrlType::kReject;
+    reply.reason = "MAC verification failed";
+    (void)send_ctrl(msg.node.control, reply, {});
+    return;
+  }
+  session->set_peer_node(msg.node);
+  const util::ByteSpan key(session->session_key().data(),
+                           session->session_key().size());
+
+  // A SUS may land while a resume is one step from completion (RES_ACKED
+  // or RES_SENT about to see its RESUME_OK); wait briefly for that to
+  // settle rather than rejecting a legitimate request. The wait is capped
+  // tightly: this runs on the controller's single dispatch thread, and a
+  // long block would head-of-line-delay every other connection's control
+  // traffic. If it does not settle, the sender's retry loop covers it.
+  if (session->state() == ConnState::kResAcked ||
+      session->state() == ConnState::kResSent) {
+    session->wait_state(
+        [](ConnState s) {
+          return s != ConnState::kResAcked && s != ConnState::kResSent;
+        },
+        std::chrono::milliseconds(250));
+  }
+
+  const ConnState st = session->state();
+  switch (st) {
+    case ConnState::kEstablished: {
+      // Normal passive suspension (paper §2.2).
+      (void)session->advance(ConnEvent::kRecvSus);  // -> SUS_ACKED
+      const std::uint64_t mark = session->freeze_writes_and_mark();
+      session->update_flags([&](Session::Flags& f) {
+        f.remote_suspended = true;
+        f.peer_declared_seq = msg.sent_seq;
+      });
+      reply.type = CtrlType::kSusAck;
+      reply.sent_seq = mark;
+      (void)send_session_ctrl(msg.node.control, reply, *session);
+      finish_passive_suspend(session, msg.sent_seq);
+      return;
+    }
+
+    case ConnState::kSusSent: {
+      // Overlapped concurrent migration (paper Fig. 4(a)): our SUS and the
+      // peer's crossed. Priority (agent-ID hash) breaks the tie.
+      const std::uint64_t mark = session->sent_seq();  // frozen already
+      if (session->local_has_priority()) {
+        // We win: delay the peer with ACK_WAIT and note that we owe it a
+        // SUS_RES once our migration completes.
+        session->update_flags([&](Session::Flags& f) {
+          f.peer_parked = true;
+          f.peer_declared_seq = msg.sent_seq;
+        });
+        reply.type = CtrlType::kAckWait;
+        reply.sent_seq = mark;
+        (void)send_session_ctrl(msg.node.control, reply, *session);
+      } else {
+        // Low priority always acknowledges (paper: "side A always
+        // acknowledges a SUSPEND request since it has a low priority").
+        session->update_flags([&](Session::Flags& f) {
+          f.remote_suspended = true;
+          f.peer_declared_seq = msg.sent_seq;
+        });
+        reply.type = CtrlType::kSusAck;
+        reply.sent_seq = mark;
+        (void)send_session_ctrl(msg.node.control, reply, *session);
+        // Our own active_suspend drains and closes once ACK_WAIT arrives.
+      }
+      return;
+    }
+
+    case ConnState::kSusAcked:
+    case ConnState::kSuspended:
+    case ConnState::kSuspendWait: {
+      // Duplicate SUS (a lost ACK was retransmitted around): re-acknowledge.
+      reply.type = CtrlType::kSusAck;
+      reply.sent_seq = session->sent_seq();
+      (void)send_session_ctrl(msg.node.control, reply, *session);
+      return;
+    }
+
+    case ConnState::kResumeWait: {
+      // Our resume was parked awaiting the peer's reconnect, but the peer
+      // is suspending again instead (another migration round began). Its
+      // suspension supersedes the parked resume: accept it — we are
+      // already quiesced (no data socket) — and wake the parked waiter,
+      // whose resume completes as a passive suspension.
+      (void)session->advance(ConnEvent::kRecvSus);  // -> SUSPENDED
+      session->update_flags([&](Session::Flags& f) {
+        f.remote_suspended = true;
+        f.peer_declared_seq = msg.sent_seq;
+      });
+      reply.type = CtrlType::kSusAck;
+      reply.sent_seq = session->sent_seq();
+      (void)send_session_ctrl(msg.node.control, reply, *session);
+      session->resume_event().set();
+      return;
+    }
+
+    default: {
+      reply.type = CtrlType::kReject;
+      reply.reason = "SUS in state " + std::string(to_string(st));
+      (void)send_session_ctrl(msg.node.control, reply, *session);
+      return;
+    }
+  }
+}
+
+void SocketController::finish_passive_suspend(const SessionPtr& session,
+                                              std::uint64_t peer_mark) {
+  auto drained = session->drain_to_mark(peer_mark, config_.drain_timeout);
+  if (!drained.ok()) {
+    NAPLET_LOG(kError, "controller")
+        << "conn " << session->conn_id()
+        << ": passive drain failed: " << drained.to_string();
+  }
+  session->close_stream();
+  (void)session->advance(ConnEvent::kExecSuspended);  // -> SUSPENDED
+}
+
+void SocketController::handle_sus_response(CtrlMsg msg) {
+  SessionPtr session = find_session_from(msg.conn_id, msg.client_agent);
+  if (session == nullptr) return;
+  if (!verify_session_mac(*session, msg)) {
+    mac_rejections_.fetch_add(1);
+    return;
+  }
+  session->set_peer_node(msg.node);
+  session->responses().push(Session::CtrlResponse{
+      static_cast<std::uint8_t>(msg.type), msg.sent_seq});
+}
+
+void SocketController::handle_sus_res(CtrlMsg msg) {
+  SessionPtr session = find_session_from(msg.conn_id, msg.client_agent);
+  if (session == nullptr) return;
+  if (!verify_session_mac(*session, msg)) {
+    mac_rejections_.fetch_add(1);
+    return;
+  }
+  // The peer has landed; record its new endpoints and release our parked
+  // suspend (paper Fig. 4(a): SUS_RES -> SUS_RES_ACK).
+  session->set_peer_node(msg.node);
+  if (session->state() == ConnState::kSuspendWait) {
+    (void)session->advance(ConnEvent::kRecvSusRes);  // -> SUSPENDED
+  }
+  session->update_flags([](Session::Flags& f) { f.remote_suspended = false; });
+
+  CtrlMsg ack;
+  ack.type = CtrlType::kSusResAck;
+  ack.conn_id = msg.conn_id;
+  (void)send_session_ctrl(msg.node.control, ack, *session);
+  session->park_event().set();
+}
+
+void SocketController::handle_simple_ack(CtrlMsg msg) {
+  SessionPtr session = find_session_from(msg.conn_id, msg.client_agent);
+  if (session == nullptr) return;
+  if (!verify_session_mac(*session, msg)) {
+    mac_rejections_.fetch_add(1);
+    return;
+  }
+  session->responses().push(Session::CtrlResponse{
+      static_cast<std::uint8_t>(msg.type), msg.sent_seq});
+}
+
+// ===========================================================================
+// Resume
+
+util::Status SocketController::resume(const SessionPtr& session) {
+  if (session == nullptr) return util::InvalidArgument("null session");
+  return do_resume(session);
+}
+
+util::Status SocketController::do_resume(const SessionPtr& session) {
+  const ConnState st = session->state();
+  if (st == ConnState::kEstablished) return util::OkStatus();
+  if (st == ConnState::kResumeWait) {
+    // Parked resume: the peer owes us the reconnect (paper Fig. 4(b)) —
+    // unless it begins another suspension first, which supersedes the
+    // parked resume and leaves us passively SUSPENDED (also success: the
+    // peer reconnects after its own migration).
+    auto final_state = session->wait_state(
+        [](ConnState s) {
+          return s == ConnState::kEstablished || !is_live(s) ||
+                 s == ConnState::kSuspended;
+        },
+        config_.resume_timeout);
+    if (final_state && (*final_state == ConnState::kEstablished ||
+                        (*final_state == ConnState::kSuspended &&
+                         session->flags().remote_suspended))) {
+      return util::OkStatus();
+    }
+    return util::Timeout("parked resume not completed for conn " +
+                         std::to_string(session->conn_id()));
+  }
+  if (st != ConnState::kSuspended) {
+    return util::FailedPrecondition(
+        "cannot resume from state " + std::string(to_string(st)));
+  }
+
+  NAPLET_RETURN_IF_ERROR(session->advance(ConnEvent::kAppResume));
+  const std::int64_t deadline = now_us() + config_.resume_timeout.count();
+
+  while (now_us() < deadline) {
+    // A glare resume from the peer may have established us already.
+    const ConnState current = session->state();
+    if (current == ConnState::kEstablished) return util::OkStatus();
+    if (current == ConnState::kResumeWait) {
+      auto final_state = session->wait_state(
+          [](ConnState s) {
+            return s == ConnState::kEstablished || !is_live(s);
+          },
+          util::us(std::max<std::int64_t>(1, deadline - now_us())));
+      if (final_state && *final_state == ConnState::kEstablished) {
+        return util::OkStatus();
+      }
+      break;
+    }
+    if (!is_live(current)) return util::Aborted("connection closed");
+
+    const agent::NodeInfo peer_node = session->peer_node();
+    auto stream = server_.network().connect(peer_node.redirector,
+                                            std::chrono::seconds(1));
+    if (!stream.ok()) {
+      // Stale address (the peer may itself be migrating): refresh via the
+      // location service and retry.
+      auto fresh = server_.locations().try_lookup(session->peer_agent());
+      if (fresh) session->set_peer_node(*fresh);
+      util::RealClock::instance().sleep_for(kRetrySleep);
+      continue;
+    }
+    std::shared_ptr<net::Stream> data_socket(std::move(*stream));
+
+    HandoffMsg req;
+    req.type = HandoffType::kResume;
+    req.conn_id = session->conn_id();
+    req.verifier = session->verifier();
+    req.sent_seq = session->sent_seq();
+    req.recv_seq = session->highest_rx_seq();
+    req.agent = session->local_agent().name();
+    req.node = self_node();
+    if (auto st2 = reply_handoff(*data_socket, req,
+                                 util::ByteSpan(session->session_key().data(),
+                                                session->session_key().size()));
+        !st2.ok()) {
+      data_socket->close();
+      util::RealClock::instance().sleep_for(kRetrySleep);
+      continue;
+    }
+    auto reply_frame = net::read_frame(*data_socket);
+    if (!reply_frame.ok()) {
+      data_socket->close();
+      util::RealClock::instance().sleep_for(kRetrySleep);
+      continue;
+    }
+    auto reply = HandoffMsg::decode(
+        util::ByteSpan(reply_frame->data(), reply_frame->size()));
+    if (!reply.ok()) {
+      data_socket->close();
+      return reply.status();
+    }
+
+    switch (reply->type) {
+      case HandoffType::kResumeOk: {
+        // Reliability invariant: every frame the peer sent before its
+        // suspension must already be in our buffer — unless the
+        // fault-tolerance extension can replay it from the peer's history
+        // (the peer replays frames > our declared recv_seq itself).
+        if (!config_.failure_recovery.enabled &&
+            session->highest_rx_seq() < reply->sent_seq) {
+          data_socket->close();
+          return util::ProtocolError(
+              "resume would lose data: have " +
+              std::to_string(session->highest_rx_seq()) + ", peer sent " +
+              std::to_string(reply->sent_seq));
+        }
+        session->set_peer_node(reply->node);
+        session->close_stream();  // a glare may have installed the peer's
+                                  // (now superseded) socket
+        session->attach_stream(std::move(data_socket));
+        // Fault-tolerance extension: replay anything the peer missed
+        // (uncoordinated loss) before unblocking writers.
+        if (config_.failure_recovery.enabled) {
+          if (auto rp = session->replay_history(reply->recv_seq); !rp.ok()) {
+            NAPLET_LOG(kWarn, "recovery")
+                << "conn " << session->conn_id()
+                << ": replay failed: " << rp.to_string();
+          }
+        }
+        if (auto adv = session->advance(ConnEvent::kRecvResumeOk);
+            !adv.ok()) {
+          // Glare tail: the peer's own attempt already established us; its
+          // OK to our attempt means both sides now hold THIS stream.
+          if (session->state() != ConnState::kEstablished) return adv;
+        }
+        session->update_flags([](Session::Flags& f) {
+          f.remote_suspended = false;
+        });
+        return util::OkStatus();
+      }
+      case HandoffType::kResumeWait: {
+        // Peer has a parked suspend (paper Fig. 4(b)); it will reconnect
+        // to us after its own migration.
+        data_socket->close();
+        if (auto adv = session->advance(ConnEvent::kRecvResumeWait);
+            !adv.ok()) {
+          // The peer's own RESUME may already have re-established us while
+          // this stale reply was in flight; that is success, not an error.
+          if (session->state() == ConnState::kEstablished) {
+            return util::OkStatus();
+          }
+          return adv;
+        }
+        auto final_state = session->wait_state(
+            [](ConnState s) {
+              return s == ConnState::kEstablished || !is_live(s) ||
+                     s == ConnState::kSuspended;
+            },
+            util::us(std::max<std::int64_t>(1, deadline - now_us())));
+        if (final_state && (*final_state == ConnState::kEstablished ||
+                            (*final_state == ConnState::kSuspended &&
+                             session->flags().remote_suspended))) {
+          // Established, or superseded by the peer's new suspension (it
+          // reconnects to us after its migration).
+          return util::OkStatus();
+        }
+        return util::Timeout("RESUME_WAIT not released for conn " +
+                             std::to_string(session->conn_id()));
+      }
+      case HandoffType::kError:
+      default: {
+        // Peer in transit or glare rejection: refresh location and retry.
+        data_socket->close();
+        auto fresh = server_.locations().try_lookup(session->peer_agent());
+        if (fresh) session->set_peer_node(*fresh);
+        util::RealClock::instance().sleep_for(kRetrySleep);
+        continue;
+      }
+    }
+  }
+
+  (void)session->advance(ConnEvent::kTimeout);  // RES_SENT -> SUSPENDED
+  return util::Timeout("resume timed out for conn " +
+                       std::to_string(session->conn_id()));
+}
+
+void SocketController::handle_resume_request(
+    std::shared_ptr<net::Stream> stream, HandoffMsg msg) {
+  auto fail = [&](const std::string& reason) {
+    HandoffMsg err;
+    err.type = HandoffType::kError;
+    err.conn_id = msg.conn_id;
+    err.reason = reason;
+    (void)reply_handoff(*stream, err, {});
+    stream->close();
+  };
+
+  SessionPtr session = find_session_from(msg.conn_id, msg.agent);
+  if (session == nullptr) {
+    fail("unknown connection");
+    return;
+  }
+  if (msg.verifier != session->verifier()) {
+    fail("verifier mismatch");
+    return;
+  }
+  const util::Bytes payload = msg.mac_payload();
+  if (!verify_mac(util::ByteSpan(session->session_key().data(),
+                                 session->session_key().size()),
+                  util::ByteSpan(payload.data(), payload.size()),
+                  util::ByteSpan(msg.mac.data(), msg.mac.size()))) {
+    mac_rejections_.fetch_add(1);
+    fail("MAC verification failed");
+    return;
+  }
+  session->set_peer_node(msg.node);
+  const util::ByteSpan key(session->session_key().data(),
+                           session->session_key().size());
+
+  // If this agent is itself migrating (or has a parked suspend), delay the
+  // peer's resume and let our suspension finish (paper Fig. 4(b), Fig. 5).
+  const bool parked = session->flags().local_suspend_parked;
+  if (parked || agent_is_migrating(session->local_agent())) {
+    HandoffMsg wait;
+    wait.type = HandoffType::kResumeWait;
+    wait.conn_id = msg.conn_id;
+    (void)reply_handoff(*stream, wait, key);
+    stream->close();
+    session->update_flags([](Session::Flags& f) {
+      f.peer_waiting_resume = true;
+      f.remote_suspended = false;  // the peer has finished its migration
+    });
+    if (session->state() == ConnState::kSuspendWait) {
+      (void)session->advance(ConnEvent::kRecvResume);  // -> SUSPENDED
+    }
+    session->park_event().set();
+    return;
+  }
+
+  const ConnState st = session->state();
+  if (st == ConnState::kEstablished) {
+    // Either the peer lost our previous RESUME_OK and is retrying, or it
+    // detected a link failure we have not noticed yet (our end may look
+    // healthy until we next touch the socket). A MAC-verified RESUME from
+    // the legitimate peer is itself evidence the old stream is dead:
+    // accept the re-attach. (Simultaneous-resume glare is confined to the
+    // RES_SENT state, which keeps its priority guard below — if we were
+    // resuming ourselves we would not be in ESTABLISHED.)
+    NAPLET_LOG(kDebug, "controller")
+        << "conn " << msg.conn_id << ": re-attach on established connection";
+    session->close_stream();
+  } else if (st == ConnState::kResSent) {
+    // Resume glare: the higher-priority side's attempt wins.
+    if (session->local_has_priority()) {
+      fail("resume glare: retry");
+      return;
+    }
+    (void)session->advance(ConnEvent::kRecvResume);  // -> RES_ACKED
+  } else if (st == ConnState::kSuspended || st == ConnState::kResumeWait) {
+    (void)session->advance(ConnEvent::kRecvResume);  // -> RES_ACKED
+  } else {
+    fail("RESUME in state " + std::string(to_string(st)));
+    return;
+  }
+
+  if (!config_.failure_recovery.enabled &&
+      session->highest_rx_seq() < msg.sent_seq) {
+    fail("resume would lose data");
+    return;
+  }
+
+  session->attach_stream(stream);
+  HandoffMsg ok;
+  ok.type = HandoffType::kResumeOk;
+  ok.conn_id = msg.conn_id;
+  ok.sent_seq = session->sent_seq();
+  ok.recv_seq = session->highest_rx_seq();
+  // Reply BEFORE advancing: advancing wakes writers blocked on the state
+  // cell, and their data frames must not interleave ahead of the
+  // RESUME_OK handshake frame on this same stream.
+  if (auto st2 = reply_handoff(*stream, ok, key); !st2.ok()) {
+    session->close_stream();
+    return;
+  }
+  // Fault-tolerance extension: replay frames the mover missed, before
+  // advancing (writers stay blocked until the state change, so replayed
+  // frames keep their position ahead of new traffic).
+  if (config_.failure_recovery.enabled) {
+    if (auto rp = session->replay_history(msg.recv_seq); !rp.ok()) {
+      NAPLET_LOG(kWarn, "recovery")
+          << "conn " << session->conn_id()
+          << ": replay failed: " << rp.to_string();
+    }
+  }
+  if (session->state() == ConnState::kResAcked) {
+    (void)session->advance(ConnEvent::kExecResumed);  // -> ESTABLISHED
+  }
+  // The connection is live again: any prior suspension bookkeeping is
+  // obsolete (otherwise a later migration of this side would wrongly
+  // conclude the peer still owes a reconnect).
+  session->update_flags([](Session::Flags& f) {
+    f.remote_suspended = false;
+  });
+  session->resume_event().set();
+}
+
+// ===========================================================================
+// Close
+
+util::Status SocketController::close(const SessionPtr& session) {
+  if (session == nullptr) return util::InvalidArgument("null session");
+  const ConnState st = session->state();
+  if (!is_live(st)) return util::OkStatus();  // idempotent
+  if (st != ConnState::kEstablished && st != ConnState::kSuspended) {
+    return util::FailedPrecondition(
+        "cannot close from state " + std::string(to_string(st)));
+  }
+
+  NAPLET_RETURN_IF_ERROR(session->advance(ConnEvent::kAppClose));
+  CtrlMsg cls;
+  cls.type = CtrlType::kCls;
+  cls.conn_id = session->conn_id();
+  // Like suspend, close declares the sender's data high-water mark so the
+  // peer can flush everything in transmission before tearing down.
+  cls.sent_seq = session->freeze_writes_and_mark();
+  (void)send_session_ctrl(session->peer_node().control, cls, *session);
+
+  // Same draining discipline as suspension while waiting for the ACK (the
+  // peer's freeze may be stuck behind a backpressured writer).
+  std::optional<Session::CtrlResponse> resp;
+  {
+    const std::int64_t deadline =
+        util::RealClock::instance().now_us() +
+        config_.ctrl_response_timeout.count();
+    while (util::RealClock::instance().now_us() < deadline) {
+      resp = wait_response(*session, {CtrlType::kClsAck},
+                           std::chrono::milliseconds(20));
+      if (resp) break;
+      session->pump_available(std::chrono::milliseconds(20));
+    }
+  }
+  if (resp) {
+    // Pull the peer's final frames into the buffer; they remain readable
+    // by the application even after the state reaches CLOSED.
+    (void)session->drain_to_mark(resp->sent_seq, config_.drain_timeout);
+  }
+  session->close_stream();
+  (void)session->advance(resp ? ConnEvent::kRecvClsAck : ConnEvent::kTimeout);
+  remove_session(session);
+  session->park_event().set();
+  session->resume_event().set();
+  return util::OkStatus();
+}
+
+void SocketController::handle_cls(CtrlMsg msg) {
+  SessionPtr session = find_session_from(msg.conn_id, msg.client_agent);
+  CtrlMsg ack;
+  ack.conn_id = msg.conn_id;
+  if (session == nullptr) {
+    // Already closed (duplicate CLS): re-ACK so the peer can finish.
+    ack.type = CtrlType::kClsAck;
+    (void)send_ctrl(msg.node.control, ack, {});
+    return;
+  }
+  if (!verify_session_mac(*session, msg)) {
+    mac_rejections_.fetch_add(1);
+    ack.type = CtrlType::kReject;
+    ack.reason = "MAC verification failed";
+    (void)send_session_ctrl(msg.node.control, ack, *session);
+    return;
+  }
+
+  const ConnState st = session->state();
+  if (st == ConnState::kEstablished || st == ConnState::kSuspended) {
+    (void)session->advance(ConnEvent::kRecvCls);  // -> CLOSE_ACKED
+  }
+  ack.type = CtrlType::kClsAck;
+  ack.sent_seq = session->freeze_writes_and_mark();
+  (void)send_session_ctrl(msg.node.control, ack, *session);
+  // Flush the closer's in-flight frames into the buffer before teardown;
+  // the application can still read them after CLOSED.
+  (void)session->drain_to_mark(msg.sent_seq, config_.drain_timeout);
+  session->close_stream();
+  if (session->state() == ConnState::kCloseAcked) {
+    (void)session->advance(ConnEvent::kExecClosed);  // -> CLOSED
+  }
+  remove_session(session);
+  session->park_event().set();
+  session->resume_event().set();
+}
+
+// ===========================================================================
+// ConnectionMigrator (docking-system hooks)
+
+util::Status SocketController::prepare_migration(const agent::AgentId& id) {
+  {
+    std::lock_guard lock(mu_);
+    migrating_agents_.insert(id);
+  }
+  for (const SessionPtr& session : sessions_of(id)) {
+    auto status = suspend_for_migration(session, id);
+    if (!status.ok()) {
+      std::lock_guard lock(mu_);
+      migrating_agents_.erase(id);
+      return status;
+    }
+  }
+  return util::OkStatus();
+}
+
+util::Status SocketController::suspend_for_migration(
+    const SessionPtr& session, const agent::AgentId& id) {
+  const std::int64_t deadline = now_us() + config_.park_timeout.count();
+  for (;;) {
+    const ConnState st = session->state();
+    switch (st) {
+      case ConnState::kEstablished:
+        return active_suspend(session);
+
+      case ConnState::kSuspended:
+      case ConnState::kSuspendWait: {
+        const Session::Flags f = session->flags();
+        if (!f.remote_suspended) return util::OkStatus();  // ours already
+
+        // Remotely suspended: the peer agent is migrating. Decide by
+        // priority (paper §3.2): the high-priority side may proceed when it
+        // also holds a local suspension against the same peer on another
+        // connection (which guarantees the peer's own sweep will park);
+        // otherwise it must wait its turn.
+        if (session->local_has_priority()) {
+          bool holds_local = false;
+          for (const SessionPtr& other : sessions_of(id)) {
+            if (other == session) continue;
+            if (other->peer_agent() != session->peer_agent()) continue;
+            const ConnState ost = other->state();
+            if ((ost == ConnState::kSuspended ||
+                 ost == ConnState::kSusSent) &&
+                !other->flags().remote_suspended) {
+              holds_local = true;
+              break;
+            }
+          }
+          if (holds_local) return util::OkStatus();
+        }
+
+        // Park (SUSPEND_WAIT) until the peer finishes migrating.
+        if (st == ConnState::kSuspended) {
+          (void)session->advance(ConnEvent::kAppSuspend);  // -> SUSPEND_WAIT
+        }
+        session->update_flags([](Session::Flags& f2) {
+          f2.local_suspend_parked = true;
+        });
+        const bool released =
+            session->park_event().wait_for(config_.park_timeout);
+        session->park_event().reset();
+        session->update_flags([](Session::Flags& f2) {
+          f2.local_suspend_parked = false;
+        });
+        if (!released) {
+          return util::Timeout("parked suspend not released for conn " +
+                               std::to_string(session->conn_id()));
+        }
+        if (!is_live(session->state())) return util::OkStatus();
+        return util::OkStatus();
+      }
+
+      case ConnState::kSusAcked:
+      case ConnState::kSusSent:
+      case ConnState::kResSent:
+      case ConnState::kResAcked:
+      case ConnState::kResumeWait:
+        // A transition is in flight on another thread; let it settle.
+        if (now_us() >= deadline) {
+          return util::Timeout("connection stuck in " +
+                               std::string(to_string(st)));
+        }
+        session->wait_state(
+            [st](ConnState s) { return s != st; }, kStatePollSlice);
+        continue;
+
+      case ConnState::kClosed:
+      case ConnState::kCloseSent:
+      case ConnState::kCloseAcked:
+        return util::OkStatus();  // nothing to migrate
+
+      case ConnState::kListen:
+      case ConnState::kConnectSent:
+      case ConnState::kConnectAcked:
+        // Connection setup mid-flight during migration: treat as settled
+        // enough — wait briefly, then give up gracefully.
+        if (now_us() >= deadline) {
+          return util::Timeout("connection stuck in " +
+                               std::string(to_string(st)));
+        }
+        session->wait_state(
+            [st](ConnState s) { return s != st; }, kStatePollSlice);
+        continue;
+    }
+  }
+}
+
+util::Bytes SocketController::export_sessions(const agent::AgentId& id) {
+  std::vector<SessionPtr> sessions;
+  {
+    std::lock_guard lock(mu_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      if (it->second->local_agent() == id) {
+        sessions.push_back(it->second);
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    migrating_agents_.erase(id);
+  }
+
+  util::BytesWriter w;
+  w.u32(static_cast<std::uint32_t>(sessions.size()));
+  for (const SessionPtr& session : sessions) {
+    const util::Bytes blob = session->export_state();
+    w.bytes(util::ByteSpan(blob.data(), blob.size()));
+    // The live state now travels in the blob; kill the original so stale
+    // handles cannot double-deliver its buffered frames.
+    session->mark_moved();
+  }
+  return std::move(w).take();
+}
+
+util::Status SocketController::import_sessions(const agent::AgentId& id,
+                                               util::ByteSpan data) {
+  if (data.empty()) return util::OkStatus();
+  util::BytesReader r(data);
+  auto count = r.u32();
+  if (!count.ok()) return count.status();
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto blob = r.bytes();
+    if (!blob.ok()) return blob.status();
+    auto session = Session::import_state(
+        util::ByteSpan(blob->data(), blob->size()));
+    if (!session.ok()) return session.status();
+    if ((*session)->local_agent() != id) {
+      return util::ProtocolError("imported session belongs to '" +
+                                 (*session)->local_agent().name() + "'");
+    }
+    if (config_.failure_recovery.enabled) {
+      (*session)->enable_history(config_.failure_recovery.history_bytes);
+    }
+    insert_session(*session);
+  }
+  return util::OkStatus();
+}
+
+util::Status SocketController::complete_migration(const agent::AgentId& id) {
+  {
+    std::lock_guard lock(mu_);
+    migrating_agents_.erase(id);
+  }
+  util::Status first_error = util::OkStatus();
+  for (const SessionPtr& session : sessions_of(id)) {
+    const Session::Flags f = session->flags();
+
+    if (f.peer_parked) {
+      // Overlapped winner (paper Fig. 4(a)): tell the parked peer we are
+      // done; stay SUSPENDED — the peer migrates next and reconnects to us.
+      CtrlMsg sus_res;
+      sus_res.type = CtrlType::kSusRes;
+      sus_res.conn_id = session->conn_id();
+      (void)send_session_ctrl(session->peer_node().control, sus_res,
+                              *session);
+      auto resp = wait_response(*session, {CtrlType::kSusResAck},
+                                config_.ctrl_response_timeout);
+      if (!resp) {
+        NAPLET_LOG(kWarn, "controller")
+            << "conn " << session->conn_id() << ": no SUS_RES_ACK";
+      }
+      session->update_flags([](Session::Flags& f2) {
+        f2.peer_parked = false;
+      });
+      continue;
+    }
+
+    if (f.peer_waiting_resume) {
+      // Non-overlapped tail (paper Fig. 4(b)/Fig. 5): the peer's resume was
+      // delayed by our RESUME_WAIT; we owe the reconnect.
+      session->update_flags([](Session::Flags& f2) {
+        f2.peer_waiting_resume = false;
+      });
+      auto status = do_resume(session);
+      if (!status.ok() && first_error.ok()) first_error = status;
+      continue;
+    }
+
+    if (f.remote_suspended) {
+      // The peer is mid-migration; it reconnects to us when it lands.
+      continue;
+    }
+
+    auto status = do_resume(session);
+    if (!status.ok() && first_error.ok()) first_error = status;
+  }
+  return first_error;
+}
+
+void SocketController::close_all(const agent::AgentId& id) {
+  for (const SessionPtr& session : sessions_of(id)) {
+    if (session->state() == ConnState::kEstablished ||
+        session->state() == ConnState::kSuspended) {
+      (void)close(session);
+    } else {
+      session->close_stream();
+      remove_session(session);
+    }
+  }
+  if (is_listening(id)) (void)unlisten(id);
+}
+
+}  // namespace naplet::nsock

@@ -1,0 +1,134 @@
+// SocketController — fault-tolerance extension (paper §7 future work).
+//
+// The paper's mechanism assumes every data-socket teardown is coordinated
+// by the suspension protocol; link or host failures are explicitly left to
+// future work. This extension adds:
+//
+//  * broken-link detection: a read EOF / write error on the data socket
+//    while ESTABLISHED marks the session broken;
+//  * automatic repair: the repair loop force-suspends a broken session
+//    locally (via the FSM's timeout arcs) and re-runs the resume handshake;
+//    both sides exchange their receive high-water marks and replay missed
+//    frames from the bounded retransmission history, preserving
+//    exactly-once delivery even though no drain could run;
+//  * host-failure detection: periodic HEARTBEAT control messages; the
+//    reliability layer's ACK is the liveness signal. After `miss_threshold`
+//    consecutive unacknowledged probes the peer is declared dead and the
+//    session is aborted locally, releasing any blocked callers.
+//
+// Everything here is gated behind ControllerConfig::failure_recovery.
+#include "core/controller.hpp"
+#include "util/log.hpp"
+
+namespace naplet::nsock {
+
+void SocketController::repair_loop() {
+  const FailureRecoveryConfig& fr = config_.failure_recovery;
+  while (!stopped_.load()) {
+    util::RealClock::instance().sleep_for(fr.probe_interval);
+    if (stopped_.load()) break;
+
+    std::vector<SessionPtr> sessions;
+    {
+      std::lock_guard lock(mu_);
+      for (const auto& [key, session] : sessions_) sessions.push_back(session);
+    }
+
+    for (const SessionPtr& session : sessions) {
+      if (stopped_.load()) break;
+      if (session->state() == ConnState::kEstablished &&
+          session->is_broken() &&
+          !agent_is_migrating(session->local_agent())) {
+        repair_session(session);
+      }
+    }
+    probe_peers();
+  }
+}
+
+void SocketController::repair_session(const SessionPtr& session) {
+  NAPLET_LOG(kWarn, "recovery")
+      << "conn " << session->conn_id()
+      << ": data socket lost outside the protocol; repairing";
+
+  // Force a local suspension through the FSM's legal timeout arcs, then
+  // re-run resume. Only proceed if the session is still established (the
+  // peer's repair may already be re-attaching through our redirector).
+  if (!session->advance(ConnEvent::kAppSuspend).ok()) return;
+  session->close_stream();
+  if (!session->advance(ConnEvent::kTimeout).ok()) return;  // -> SUSPENDED
+
+  auto status = do_resume(session);
+  if (status.ok()) {
+    links_repaired_.fetch_add(1);
+    NAPLET_LOG(kInfo, "recovery")
+        << "conn " << session->conn_id() << ": link repaired";
+  } else {
+    NAPLET_LOG(kWarn, "recovery")
+        << "conn " << session->conn_id()
+        << ": repair failed: " << status.to_string();
+  }
+}
+
+void SocketController::probe_peers() {
+  const FailureRecoveryConfig& fr = config_.failure_recovery;
+  std::vector<SessionPtr> sessions;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& [key, session] : sessions_) sessions.push_back(session);
+  }
+
+  std::vector<SessionPtr> dead;
+  for (const SessionPtr& session : sessions) {
+    if (stopped_.load()) return;
+    if (session->state() != ConnState::kEstablished) continue;
+    if (agent_is_migrating(session->local_agent())) continue;
+
+    // The reliability layer's ACK doubles as the liveness signal: a send
+    // that exhausts its retransmissions is a missed heartbeat.
+    CtrlMsg probe;
+    probe.type = CtrlType::kHeartbeat;
+    probe.conn_id = session->conn_id();
+    const auto status =
+        send_session_ctrl(session->peer_node().control, probe, *session);
+
+    std::lock_guard lock(mu_);
+    if (status.ok()) {
+      heartbeat_misses_.erase(session->conn_id());
+      continue;
+    }
+    const int misses = ++heartbeat_misses_[session->conn_id()];
+    if (misses >= fr.miss_threshold) {
+      heartbeat_misses_.erase(session->conn_id());
+      NAPLET_LOG(kError, "recovery")
+          << "conn " << session->conn_id() << ": peer "
+          << session->peer_agent().name() << " unresponsive after " << misses
+          << " probes; declaring dead";
+      dead.push_back(session);
+    }
+  }
+
+  for (const SessionPtr& session : dead) {
+    peers_declared_dead_.fetch_add(1);
+    abort_session(session);
+  }
+}
+
+void SocketController::abort_session(const SessionPtr& session) {
+  // Deregister first so that by the time waiters observe CLOSED the
+  // controller's books are already consistent.
+  remove_session(session);
+  session->close_stream();
+  const ConnState st = session->state();
+  if (st == ConnState::kEstablished || st == ConnState::kSuspended) {
+    (void)session->advance(ConnEvent::kAppClose);  // -> CLOSE_SENT
+  }
+  if (session->state() == ConnState::kCloseSent) {
+    (void)session->advance(ConnEvent::kTimeout);  // -> CLOSED (no handshake)
+  }
+  session->park_event().set();
+  session->resume_event().set();
+  session->responses().close();
+}
+
+}  // namespace naplet::nsock

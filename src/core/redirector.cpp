@@ -1,0 +1,83 @@
+#include "core/redirector.hpp"
+
+#include "net/frame.hpp"
+#include "util/log.hpp"
+
+namespace naplet::nsock {
+
+Redirector::Redirector(net::Network& network, std::uint16_t port,
+                       HandoffHandler handler)
+    : network_(network), port_(port), handler_(std::move(handler)) {}
+
+Redirector::~Redirector() { stop(); }
+
+util::Status Redirector::start() {
+  auto listener = network_.listen(port_);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(*listener);
+  acceptor_ = std::thread([this] { accept_loop(); });
+  return util::OkStatus();
+}
+
+void Redirector::stop() {
+  if (stopped_.exchange(true)) return;
+  if (listener_) listener_->close();
+  if (acceptor_.joinable()) acceptor_.join();
+  reap_handlers(/*all=*/true);
+}
+
+net::Endpoint Redirector::endpoint() const {
+  return listener_ ? listener_->local_endpoint() : net::Endpoint{};
+}
+
+void Redirector::accept_loop() {
+  while (!stopped_.load()) {
+    auto accepted = listener_->accept(std::chrono::milliseconds(200));
+    if (!accepted.ok()) {
+      if (accepted.status().code() == util::StatusCode::kTimeout) continue;
+      break;  // listener closed
+    }
+    std::shared_ptr<net::Stream> stream(std::move(*accepted));
+    std::thread worker([this, stream]() mutable {
+      auto frame = net::read_frame(*stream);
+      if (!frame.ok()) {
+        bad_handoffs_.fetch_add(1);
+        stream->close();
+        return;
+      }
+      auto msg = HandoffMsg::decode(util::ByteSpan(frame->data(),
+                                                   frame->size()));
+      if (!msg.ok()) {
+        bad_handoffs_.fetch_add(1);
+        NAPLET_LOG(kWarn, "redirector")
+            << "bad handoff frame: " << msg.status().to_string();
+        stream->close();
+        return;
+      }
+      handler_(std::move(stream), std::move(*msg));
+    });
+    {
+      std::lock_guard lock(handlers_mu_);
+      handlers_.push_back(std::move(worker));
+    }
+    reap_handlers(/*all=*/false);
+  }
+}
+
+void Redirector::reap_handlers(bool all) {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard lock(handlers_mu_);
+    if (all) {
+      done = std::exchange(handlers_, {});
+    } else if (handlers_.size() > 32) {
+      // Bound the backlog; joining old handlers is cheap (they are short).
+      done.swap(handlers_);
+    }
+  }
+  for (auto& t : done) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace naplet::nsock

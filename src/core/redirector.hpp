@@ -1,0 +1,62 @@
+// Redirector: the per-host shared TCP acceptor for socket handoff
+// (paper §3.4, Figure 6).
+//
+// A client (or a resuming mover) connects to the redirector and sends one
+// handoff frame naming the connection. The redirector routes the accepted
+// socket to the controller, which hands it to the right NapletServerSocket
+// or suspended session — saving the name/port query round trip and the
+// per-agent port table the paper describes.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/wire.hpp"
+#include "net/transport.hpp"
+
+namespace naplet::nsock {
+
+class Redirector {
+ public:
+  /// Handler owns the stream; it validates, replies on the stream, and
+  /// either installs it as a data socket or closes it.
+  using HandoffHandler =
+      std::function<void(std::shared_ptr<net::Stream>, HandoffMsg)>;
+
+  Redirector(net::Network& network, std::uint16_t port,
+             HandoffHandler handler);
+  ~Redirector();
+
+  Redirector(const Redirector&) = delete;
+  Redirector& operator=(const Redirector&) = delete;
+
+  util::Status start();
+  void stop();
+
+  [[nodiscard]] net::Endpoint endpoint() const;
+
+  /// Handoffs whose first frame was malformed (observability).
+  [[nodiscard]] std::uint64_t bad_handoffs() const {
+    return bad_handoffs_.load();
+  }
+
+ private:
+  void accept_loop();
+  void reap_handlers(bool all);
+
+  net::Network& network_;
+  std::uint16_t port_;
+  HandoffHandler handler_;
+
+  net::ListenerPtr listener_;
+  std::thread acceptor_;
+  std::mutex handlers_mu_;
+  std::vector<std::thread> handlers_;
+  std::atomic<bool> stopped_{false};
+  std::atomic<std::uint64_t> bad_handoffs_{0};
+};
+
+}  // namespace naplet::nsock

@@ -1,0 +1,499 @@
+#include "core/session.hpp"
+
+#include <algorithm>
+
+#include "core/wire.hpp"
+#include "net/frame.hpp"
+#include "util/log.hpp"
+#include "util/serial.hpp"
+
+namespace naplet::nsock {
+
+namespace {
+constexpr util::Duration kPumpSlice = std::chrono::milliseconds(100);
+constexpr util::Duration kStateWaitSlice = std::chrono::milliseconds(100);
+
+std::int64_t now_us() { return util::RealClock::instance().now_us(); }
+
+bool is_dead(ConnState s) { return !is_live(s); }
+}  // namespace
+
+Session::Session(std::uint64_t conn_id, std::uint64_t verifier, bool is_client,
+                 agent::AgentId local_agent, agent::AgentId peer_agent)
+    : conn_id_(conn_id),
+      verifier_(verifier),
+      is_client_(is_client),
+      local_agent_(std::move(local_agent)),
+      peer_agent_(std::move(peer_agent)) {}
+
+agent::NodeInfo Session::peer_node() const {
+  std::lock_guard lock(node_mu_);
+  return peer_node_;
+}
+
+void Session::set_peer_node(const agent::NodeInfo& node) {
+  std::lock_guard lock(node_mu_);
+  peer_node_ = node;
+}
+
+util::Status Session::advance(ConnEvent event) {
+  // Validate-and-swap under the cell's own lock via update().
+  util::Status result = util::OkStatus();
+  state_.update([&](ConnState& s) {
+    auto next = transition(s, event);
+    if (!next) {
+      result = util::ProtocolError(
+          "illegal transition: " + std::string(to_string(s)) + " on " +
+          std::string(to_string(event)) + " (conn " +
+          std::to_string(conn_id_) + ")");
+      return;
+    }
+    NAPLET_LOG(kTrace, "fsm") << "conn " << conn_id_ << " ["
+                              << (is_client_ ? "client" : "server") << "] "
+                              << to_string(s) << " --" << to_string(event)
+                              << "--> " << to_string(*next);
+    s = *next;
+  });
+  return result;
+}
+
+void Session::attach_stream(std::shared_ptr<net::Stream> stream) {
+  {
+    std::lock_guard lock(stream_mu_);
+    stream_ = std::move(stream);
+  }
+  broken_.store(false);
+}
+
+bool Session::has_stream() const {
+  std::lock_guard lock(stream_mu_);
+  return stream_ != nullptr;
+}
+
+void Session::close_stream() {
+  std::shared_ptr<net::Stream> victim;
+  {
+    std::lock_guard lock(stream_mu_);
+    victim = std::exchange(stream_, nullptr);
+  }
+  if (victim) victim->close();
+}
+
+std::shared_ptr<net::Stream> Session::stream() const {
+  std::lock_guard lock(stream_mu_);
+  return stream_;
+}
+
+std::uint64_t Session::sent_seq() const {
+  std::lock_guard lock(write_mu_);
+  return tx_seq_;
+}
+
+std::uint64_t Session::highest_rx_seq() const {
+  std::lock_guard lock(buf_mu_);
+  return rx_high_;
+}
+
+std::size_t Session::buffered_frames() const {
+  std::lock_guard lock(buf_mu_);
+  return buffer_.size();
+}
+
+Session::Flags Session::flags() const {
+  std::lock_guard lock(flags_mu_);
+  return flags_;
+}
+
+std::uint64_t Session::freeze_writes_and_mark() {
+  // Callers set the FSM state to a non-transfer state *first*; taking the
+  // write lock afterwards waits out any in-flight send, so the returned
+  // mark covers every frame that was or will be written before suspension.
+  std::lock_guard lock(write_mu_);
+  return tx_seq_;
+}
+
+util::Status Session::send(util::ByteSpan body, util::Duration timeout) {
+  const std::int64_t deadline = now_us() + timeout.count();
+  for (;;) {
+    {
+      std::unique_lock wl(write_mu_);
+      const ConnState st = state_.get();
+      if (is_dead(st)) {
+        return util::Aborted("connection " + std::to_string(conn_id_) +
+                             " is closed");
+      }
+      if (can_transfer(st)) {
+        auto s = stream();
+        if (s != nullptr) {
+          DataFrame frame{tx_seq_ + 1, util::Bytes(body.begin(), body.end())};
+          const util::Bytes encoded = frame.encode();
+          auto status = net::write_frame(
+              *s, util::ByteSpan(encoded.data(), encoded.size()));
+          if (status.ok()) {
+            ++tx_seq_;
+            if (history_enabled_) {
+              history_bytes_ += frame.body.size();
+              history_.emplace_back(frame.seq, std::move(frame.body));
+              while (history_bytes_ > history_limit_bytes_ &&
+                     !history_.empty()) {
+                history_bytes_ -= history_.front().second.size();
+                history_.pop_front();
+              }
+            }
+            return util::OkStatus();
+          }
+          // The socket may have been torn down by a racing suspension;
+          // re-check the state before reporting an error. An error while
+          // still ESTABLISHED is an uncoordinated link failure.
+          if (can_transfer(state_.get())) {
+            broken_.store(true);
+            return status;
+          }
+        }
+      }
+    }
+    if (now_us() >= deadline) {
+      return util::Timeout("send blocked (state " +
+                           std::string(to_string(state_.get())) + ")");
+    }
+    state_.wait_for([](ConnState s) { return can_transfer(s) || is_dead(s); },
+                    kStateWaitSlice);
+  }
+}
+
+void Session::parse_raw_locked() {
+  // Caller holds buf_mu_.
+  for (;;) {
+    if (rx_raw_.size() < 4) return;
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) len = len << 8 | rx_raw_[static_cast<std::size_t>(i)];
+    if (rx_raw_.size() < 4 + static_cast<std::size_t>(len)) return;
+
+    auto frame = DataFrame::decode(util::ByteSpan(rx_raw_.data() + 4, len));
+    rx_raw_.erase(rx_raw_.begin(),
+                  rx_raw_.begin() + 4 + static_cast<std::ptrdiff_t>(len));
+    if (!frame.ok()) {
+      NAPLET_LOG(kWarn, "session") << "conn " << conn_id_ << ": bad frame: "
+                                   << frame.status().to_string();
+      continue;
+    }
+    if (frame->seq <= rx_high_) {
+      NAPLET_LOG(kDebug, "session")
+          << "conn " << conn_id_ << ": duplicate frame seq " << frame->seq;
+      continue;  // exactly-once: drop duplicates
+    }
+    rx_high_ = frame->seq;
+    buffer_.push_back(BufferedFrame{frame->seq, std::move(frame->body)});
+  }
+}
+
+util::StatusOr<bool> Session::pump_socket(std::int64_t deadline_us) {
+  auto s = stream();
+  if (s == nullptr) return util::Unavailable("no data socket");
+
+  const std::int64_t budget_us =
+      std::min<std::int64_t>(kPumpSlice.count(),
+                             std::max<std::int64_t>(1, deadline_us - now_us()));
+  std::uint8_t chunk[16384];
+  auto n = s->read_some_for(chunk, sizeof chunk, util::us(budget_us));
+  if (!n.ok()) {
+    if (n.status().code() == util::StatusCode::kTimeout) return false;
+    return n.status();
+  }
+  if (*n == 0) return util::Unavailable("data socket closed by peer");
+
+  std::lock_guard lock(buf_mu_);
+  const std::size_t frames_before = buffer_.size();
+  rx_raw_.insert(rx_raw_.end(), chunk, chunk + *n);
+  parse_raw_locked();
+  return buffer_.size() > frames_before;
+}
+
+util::StatusOr<RecvResult> Session::recv(util::Duration timeout) {
+  const std::int64_t deadline = now_us() + timeout.count();
+  for (;;) {
+    {
+      std::lock_guard lock(buf_mu_);
+      if (!buffer_.empty()) {
+        BufferedFrame frame = std::move(buffer_.front());
+        buffer_.pop_front();
+        delivered_ = frame.seq;
+        RecvResult result;
+        result.body = std::move(frame.body);
+        result.seq = frame.seq;
+        result.from_buffer = replay_low_ != 0 && frame.seq <= replay_low_;
+        return result;
+      }
+    }
+
+    const ConnState st = state_.get();
+    if (is_dead(st)) {
+      return util::Aborted("connection " + std::to_string(conn_id_) +
+                           " is closed");
+    }
+    if (now_us() >= deadline) return util::Timeout("recv timed out");
+
+    if (!can_transfer(st)) {
+      state_.wait_for(
+          [](ConnState s) { return can_transfer(s) || is_dead(s); },
+          kStateWaitSlice);
+      continue;
+    }
+
+    std::lock_guard rl(read_mu_);
+    auto pumped = pump_socket(deadline);
+    if (!pumped.ok()) {
+      // Socket gone: either a racing suspension (the state will change
+      // shortly) or an uncoordinated link failure (flagged for the
+      // fault-tolerance extension's repair loop; without it we keep
+      // polling until the deadline, as in the paper).
+      if (can_transfer(state_.get())) broken_.store(true);
+      util::RealClock::instance().sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+  }
+}
+
+util::Status Session::drain_to_mark(std::uint64_t peer_mark,
+                                    util::Duration timeout) {
+  const std::int64_t deadline = now_us() + timeout.count();
+  std::lock_guard rl(read_mu_);
+  for (;;) {
+    {
+      std::lock_guard lock(buf_mu_);
+      if (rx_high_ >= peer_mark) {
+        // Everything in transmission is now buffered; mark the replay
+        // boundary so Fig.7-style traces can distinguish buffered frames.
+        replay_low_ = rx_high_;
+        return util::OkStatus();
+      }
+    }
+    if (now_us() >= deadline) {
+      return util::ProtocolError(
+          "drain incomplete: have seq " + std::to_string(highest_rx_seq()) +
+          ", peer declared " + std::to_string(peer_mark));
+    }
+    auto pumped = pump_socket(deadline);
+    if (!pumped.ok()) {
+      // Socket closed under us while data is still missing — that would be
+      // a reliability bug; report it loudly (tests assert on this).
+      std::lock_guard lock(buf_mu_);
+      if (rx_high_ >= peer_mark) continue;
+      return util::ProtocolError("data socket lost before drain completed: " +
+                                 pumped.status().to_string());
+    }
+  }
+}
+
+void Session::enable_history(std::size_t max_bytes) {
+  std::lock_guard lock(write_mu_);
+  history_enabled_ = true;
+  history_limit_bytes_ = max_bytes;
+}
+
+bool Session::history_enabled() const {
+  std::lock_guard lock(write_mu_);
+  return history_enabled_;
+}
+
+util::StatusOr<std::vector<std::pair<std::uint64_t, util::Bytes>>>
+Session::history_since(std::uint64_t after_seq) const {
+  std::lock_guard lock(write_mu_);
+  if (after_seq >= tx_seq_) return std::vector<std::pair<std::uint64_t, util::Bytes>>{};
+  // The oldest retained frame must cover after_seq + 1.
+  if (history_.empty() || history_.front().first > after_seq + 1) {
+    return util::OutOfRange(
+        "retransmission history no longer covers seq " +
+        std::to_string(after_seq + 1) + " (oldest retained: " +
+        std::to_string(history_.empty() ? 0 : history_.front().first) + ")");
+  }
+  std::vector<std::pair<std::uint64_t, util::Bytes>> out;
+  for (const auto& [seq, body] : history_) {
+    if (seq > after_seq) out.emplace_back(seq, body);
+  }
+  return out;
+}
+
+util::Status Session::replay_history(std::uint64_t after_seq) {
+  auto frames = history_since(after_seq);
+  if (!frames.ok()) return frames.status();
+  if (frames->empty()) return util::OkStatus();
+  auto s = stream();
+  if (s == nullptr) return util::Unavailable("no data socket for replay");
+  for (auto& [seq, body] : *frames) {
+    const util::Bytes encoded = DataFrame{seq, std::move(body)}.encode();
+    NAPLET_RETURN_IF_ERROR(net::write_frame(
+        *s, util::ByteSpan(encoded.data(), encoded.size())));
+  }
+  NAPLET_LOG(kInfo, "session") << "conn " << conn_id_ << ": replayed "
+                               << frames->size() << " frames after seq "
+                               << after_seq;
+  return util::OkStatus();
+}
+
+bool Session::is_broken() const { return broken_.load(); }
+
+void Session::mark_moved() {
+  close_stream();
+  {
+    std::lock_guard lock(buf_mu_);
+    buffer_.clear();
+    rx_raw_.clear();
+  }
+  // Internal teardown, not a protocol transition: stale holders see the
+  // connection as closed and their blocked operations abort.
+  state_.set(ConnState::kClosed);
+  park_event_.set();
+  resume_event_.set();
+  responses_.close();
+}
+
+void Session::pump_available(util::Duration budget) {
+  std::unique_lock rl(read_mu_, std::try_to_lock);
+  if (!rl.owns_lock()) {
+    // Another reader (app recv or a drain) is already pumping; let it.
+    util::RealClock::instance().sleep_for(budget);
+    return;
+  }
+  (void)pump_socket(now_us() + budget.count());
+}
+
+util::Bytes Session::export_state() const {
+  util::BytesWriter w;
+  w.u64(conn_id_);
+  w.u64(verifier_);
+  w.boolean(is_client_);
+  w.str(local_agent_.name());
+  w.str(peer_agent_.name());
+  w.bytes(util::ByteSpan(session_key_.data(), session_key_.size()));
+
+  {
+    std::lock_guard lock(node_mu_);
+    util::BytesWriter nw;
+    nw.str(peer_node_.server_name);
+    nw.str(peer_node_.control.host);
+    nw.u16(peer_node_.control.port);
+    nw.str(peer_node_.redirector.host);
+    nw.u16(peer_node_.redirector.port);
+    nw.str(peer_node_.migration.host);
+    nw.u16(peer_node_.migration.port);
+    w.bytes(util::ByteSpan(nw.data().data(), nw.data().size()));
+  }
+
+  {
+    std::lock_guard lock(write_mu_);
+    w.u64(tx_seq_);
+  }
+  {
+    std::lock_guard lock(buf_mu_);
+    w.u64(rx_high_);
+    w.u64(delivered_);
+    w.u64(replay_low_);
+    w.u32(static_cast<std::uint32_t>(buffer_.size()));
+    for (const auto& frame : buffer_) {
+      w.u64(frame.seq);
+      w.bytes(util::ByteSpan(frame.body.data(), frame.body.size()));
+    }
+    w.bytes(util::ByteSpan(rx_raw_.data(), rx_raw_.size()));
+  }
+  {
+    std::lock_guard lock(flags_mu_);
+    w.boolean(flags_.remote_suspended);
+    w.boolean(flags_.local_suspend_parked);
+    w.boolean(flags_.peer_parked);
+    w.boolean(flags_.peer_waiting_resume);
+    w.u64(flags_.peer_declared_seq);
+  }
+  return std::move(w).take();
+}
+
+util::StatusOr<SessionPtr> Session::import_state(util::ByteSpan data) {
+  util::BytesReader r(data);
+  auto conn_id = r.u64();
+  auto verifier = r.u64();
+  auto is_client = r.boolean();
+  auto local_name = r.str();
+  auto peer_name = r.str();
+  auto key = r.bytes();
+  auto node_bytes = r.bytes();
+  if (!conn_id.ok() || !verifier.ok() || !is_client.ok() ||
+      !local_name.ok() || !peer_name.ok() || !key.ok() || !node_bytes.ok()) {
+    return util::ProtocolError("bad session header");
+  }
+
+  auto session = std::make_shared<Session>(
+      *conn_id, *verifier, *is_client, agent::AgentId(std::move(*local_name)),
+      agent::AgentId(std::move(*peer_name)));
+  session->session_key_ = std::move(*key);
+
+  {
+    util::BytesReader nr(util::ByteSpan(node_bytes->data(), node_bytes->size()));
+    agent::NodeInfo node;
+    auto sn = nr.str();
+    auto ch = nr.str();
+    auto cp = nr.u16();
+    auto rh = nr.str();
+    auto rp = nr.u16();
+    auto mh = nr.str();
+    auto mp = nr.u16();
+    if (!sn.ok() || !ch.ok() || !cp.ok() || !rh.ok() || !rp.ok() || !mh.ok() ||
+        !mp.ok()) {
+      return util::ProtocolError("bad peer node encoding");
+    }
+    node.server_name = std::move(*sn);
+    node.control = {std::move(*ch), *cp};
+    node.redirector = {std::move(*rh), *rp};
+    node.migration = {std::move(*mh), *mp};
+    session->peer_node_ = std::move(node);
+  }
+
+  auto tx_seq = r.u64();
+  auto rx_high = r.u64();
+  auto delivered = r.u64();
+  auto replay_low = r.u64();
+  auto count = r.u32();
+  if (!tx_seq.ok() || !rx_high.ok() || !delivered.ok() || !replay_low.ok() ||
+      !count.ok()) {
+    return util::ProtocolError("bad session counters");
+  }
+  session->tx_seq_ = *tx_seq;
+  session->rx_high_ = *rx_high;
+  session->delivered_ = *delivered;
+  session->replay_low_ = *replay_low;
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto seq = r.u64();
+    auto body = r.bytes();
+    if (!seq.ok() || !body.ok()) return util::ProtocolError("bad buffered frame");
+    session->buffer_.push_back(BufferedFrame{*seq, std::move(*body)});
+  }
+  auto raw = r.bytes();
+  if (!raw.ok()) return util::ProtocolError("bad raw tail");
+  session->rx_raw_ = std::move(*raw);
+
+  auto remote_suspended = r.boolean();
+  auto local_parked = r.boolean();
+  auto peer_parked = r.boolean();
+  auto peer_waiting = r.boolean();
+  auto peer_declared = r.u64();
+  if (!remote_suspended.ok() || !local_parked.ok() || !peer_parked.ok() ||
+      !peer_waiting.ok() || !peer_declared.ok()) {
+    return util::ProtocolError("bad session flags");
+  }
+  session->flags_.remote_suspended = *remote_suspended;
+  session->flags_.local_suspend_parked = *local_parked;
+  session->flags_.peer_parked = *peer_parked;
+  session->flags_.peer_waiting_resume = *peer_waiting;
+  session->flags_.peer_declared_seq = *peer_declared;
+
+  if (r.remaining() != 0) return util::ProtocolError("trailing session bytes");
+
+  // A migrated session lands suspended; the buffered frames are replays.
+  session->state_.set(ConnState::kSuspended);
+  if (!session->buffer_.empty()) {
+    session->replay_low_ =
+        std::max(session->replay_low_, session->buffer_.back().seq);
+  }
+  return session;
+}
+
+}  // namespace naplet::nsock

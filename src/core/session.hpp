@@ -1,0 +1,254 @@
+// Per-connection session state: the data socket, the NapletInputStream
+// replay buffer, sequence bookkeeping for exactly-once delivery, the FSM
+// state cell, and the concurrent-migration flags.
+//
+// Exactly-once design (paper §3.1):
+//  * every data message is framed with a monotonically increasing u64 seq;
+//  * suspend drains all in-flight frames into the input buffer using the
+//    peer's declared high-water mark (carried on SUS/SUS_ACK), so nothing
+//    in transmission is lost when the data socket closes;
+//  * the buffer migrates with the agent; after resume, reads are served
+//    from the buffer until exhausted, then from the new socket;
+//  * frames with seq <= the highest already received are duplicates and
+//    are dropped, so delivery is exactly-once even across resume races.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "agent/agent_id.hpp"
+#include "agent/location.hpp"
+#include "core/state.hpp"
+#include "net/transport.hpp"
+#include "util/sync.hpp"
+
+namespace naplet::nsock {
+
+class Session;
+using SessionPtr = std::shared_ptr<Session>;
+
+/// Result of a receive, with provenance for observability (Fig. 7 traces
+/// distinguish socket reads from buffer replays).
+struct RecvResult {
+  util::Bytes body;
+  std::uint64_t seq = 0;
+  bool from_buffer = false;
+};
+
+class Session {
+ public:
+  Session(std::uint64_t conn_id, std::uint64_t verifier, bool is_client,
+          agent::AgentId local_agent, agent::AgentId peer_agent);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // ---- identity ----
+  [[nodiscard]] std::uint64_t conn_id() const noexcept { return conn_id_; }
+  [[nodiscard]] std::uint64_t verifier() const noexcept { return verifier_; }
+  [[nodiscard]] bool is_client() const noexcept { return is_client_; }
+  [[nodiscard]] const agent::AgentId& local_agent() const noexcept {
+    return local_agent_;
+  }
+  [[nodiscard]] const agent::AgentId& peer_agent() const noexcept {
+    return peer_agent_;
+  }
+
+  /// True if the local agent outranks the peer for concurrent migration.
+  [[nodiscard]] bool local_has_priority() const {
+    return local_agent_.outranks(peer_agent_);
+  }
+
+  [[nodiscard]] agent::NodeInfo peer_node() const;
+  void set_peer_node(const agent::NodeInfo& node);
+
+  [[nodiscard]] const util::Bytes& session_key() const noexcept {
+    return session_key_;
+  }
+  void set_session_key(util::Bytes key) { session_key_ = std::move(key); }
+
+  // ---- FSM ----
+
+  [[nodiscard]] ConnState state() const { return state_.get(); }
+
+  /// Validate `event` against the transition table and apply it.
+  /// kProtocolError on an illegal transition (state unchanged).
+  util::Status advance(ConnEvent event);
+
+  /// Wait until the state satisfies `pred`; nullopt on timeout.
+  template <typename Pred>
+  std::optional<ConnState> wait_state(Pred&& pred, util::Duration timeout) {
+    return state_.wait_for(std::forward<Pred>(pred), timeout);
+  }
+
+  // ---- data path ----
+
+  /// Install a (new) data socket. Does not change the FSM state.
+  void attach_stream(std::shared_ptr<net::Stream> stream);
+  [[nodiscard]] bool has_stream() const;
+  void close_stream();
+
+  /// Send one message; blocks while the connection is suspended (the paper:
+  /// no data can be exchanged in SUSPENDED) until re-established, the
+  /// connection dies (kAborted), or `timeout` passes.
+  util::Status send(util::ByteSpan body, util::Duration timeout);
+
+  /// Receive one message: buffer first, then socket. Blocks across
+  /// suspension like send().
+  util::StatusOr<RecvResult> recv(util::Duration timeout);
+
+  // ---- suspension support (controller-driven) ----
+
+  /// Atomically block writers and return the send high-water mark to
+  /// declare in SUS / SUS_ACK. Idempotent while suspended.
+  std::uint64_t freeze_writes_and_mark();
+
+  /// Pull frames off the socket into the buffer until the peer's declared
+  /// mark is reached (or timeout). Tolerates an already-closed socket if
+  /// the mark was already reached.
+  util::Status drain_to_mark(std::uint64_t peer_mark, util::Duration timeout);
+
+  /// Opportunistically pull whatever is on the socket into the buffer for
+  /// up to `budget`. Used by the suspend initiator while it waits for the
+  /// peer's SUS_ACK: the peer's reply is produced only after it freezes
+  /// its writers, and a writer blocked on TCP backpressure needs US to
+  /// keep draining — otherwise handshake and data path deadlock.
+  void pump_available(util::Duration budget);
+
+  [[nodiscard]] std::uint64_t sent_seq() const;
+  [[nodiscard]] std::uint64_t highest_rx_seq() const;
+  [[nodiscard]] std::size_t buffered_frames() const;
+
+  // ---- concurrent-migration flags (paper §3.1, §3.2) ----
+
+  struct Flags {
+    bool remote_suspended = false;   // peer initiated the suspension
+    bool local_suspend_parked = false;  // our suspend op is blocked
+    bool peer_parked = false;        // we ACK_WAIT'ed the peer: owe SUS_RES
+    bool peer_waiting_resume = false;  // peer RESUMEd into our parked
+                                       // suspend: we owe the reconnect
+    std::uint64_t peer_declared_seq = 0;
+  };
+
+  /// Read or mutate flags under the flag lock.
+  [[nodiscard]] Flags flags() const;
+  template <typename Fn>
+  void update_flags(Fn&& fn) {
+    std::lock_guard lock(flags_mu_);
+    fn(flags_);
+  }
+
+  /// Parked local suspend operations wait on this event (released by
+  /// SUS_RES or a peer RESUME that we answer with RESUME_WAIT).
+  util::Event& park_event() { return park_event_; }
+  /// Parked local resume operations wait on this one.
+  util::Event& resume_event() { return resume_event_; }
+
+  /// Control responses (SUS_ACK / ACK_WAIT / SUS_RES_ACK / CLS_ACK) routed
+  /// from the bus handler to the blocked initiating operation.
+  struct CtrlResponse {
+    std::uint8_t type = 0;      // CtrlType value
+    std::uint64_t sent_seq = 0; // responder's declared high-water mark
+  };
+  util::BlockingQueue<CtrlResponse>& responses() { return responses_; }
+
+  // ---- fault-tolerance extension (paper §7 future work) ----
+  //
+  // With history enabled, sent frames are retained (bounded) so that after
+  // an UNCOORDINATED stream loss — where the suspend protocol could not
+  // flush — a resume can replay everything the peer missed. The receiver's
+  // duplicate suppression makes the replay idempotent.
+
+  /// Enable sent-frame retention, bounded to ~`max_bytes` of bodies.
+  void enable_history(std::size_t max_bytes);
+  [[nodiscard]] bool history_enabled() const;
+
+  /// Frames with seq > `after_seq`, oldest first. If the span is no longer
+  /// fully retained (evicted by the bound), kOutOfRange.
+  [[nodiscard]] util::StatusOr<std::vector<std::pair<std::uint64_t, util::Bytes>>>
+  history_since(std::uint64_t after_seq) const;
+
+  /// Re-send retained frames with seq > `after_seq` on the attached stream
+  /// (original sequence numbers; receiver dedup keeps this exactly-once).
+  util::Status replay_history(std::uint64_t after_seq);
+
+  /// True once the data socket failed outside the suspension protocol
+  /// (read EOF / write error while ESTABLISHED). Cleared by attach_stream.
+  [[nodiscard]] bool is_broken() const;
+
+  // ---- migration serialization ----
+
+  /// Serialize the suspended session (state must be SUSPENDED or
+  /// SUSPEND_WAIT-adjacent; the socket must already be closed).
+  [[nodiscard]] util::Bytes export_state() const;
+  static util::StatusOr<SessionPtr> import_state(util::ByteSpan data);
+
+  /// Neutralize this object after its state has been exported: the session
+  /// now lives in the imported clone, and any stale handle still pointing
+  /// here must observe a dead connection — NOT deliver from the old buffer
+  /// (that would duplicate what the clone replays). Idempotent.
+  void mark_moved();
+
+ private:
+  struct BufferedFrame {
+    std::uint64_t seq;
+    util::Bytes body;
+  };
+
+  /// Read one complete frame from the socket into rx_raw_/buffer, honoring
+  /// `deadline_us`. Returns true if a frame was appended.
+  util::StatusOr<bool> pump_socket(std::int64_t deadline_us);
+  /// Parse any complete frames out of rx_raw_ into the buffer.
+  void parse_raw_locked();
+
+  std::shared_ptr<net::Stream> stream() const;
+
+  // identity
+  std::uint64_t conn_id_;
+  std::uint64_t verifier_;
+  bool is_client_;
+  agent::AgentId local_agent_;
+  agent::AgentId peer_agent_;
+  util::Bytes session_key_;
+
+  mutable std::mutex node_mu_;
+  agent::NodeInfo peer_node_;
+
+  util::WaitableCell<ConnState> state_{ConnState::kClosed};
+
+  // data path
+  mutable std::mutex stream_mu_;
+  std::shared_ptr<net::Stream> stream_;
+
+  mutable std::mutex write_mu_;
+  std::uint64_t tx_seq_ = 0;  // last sequence number sent
+
+  // Retransmission history (guarded by write_mu_).
+  bool history_enabled_ = false;
+  std::size_t history_limit_bytes_ = 0;
+  std::size_t history_bytes_ = 0;
+  std::deque<std::pair<std::uint64_t, util::Bytes>> history_;
+
+  std::atomic<bool> broken_{false};
+
+  mutable std::mutex read_mu_;   // serializes socket readers
+  mutable std::mutex buf_mu_;    // guards buffer + rx bookkeeping
+  std::deque<BufferedFrame> buffer_;
+  util::Bytes rx_raw_;           // unparsed bytes (partial frame tail)
+  std::uint64_t rx_high_ = 0;    // highest frame seq pulled off the wire
+  std::uint64_t delivered_ = 0;  // highest seq handed to the application
+  std::uint64_t replay_low_ = 0; // frames with seq <= this were buffered
+                                 // across a suspension (Fig. 7 provenance)
+
+  mutable std::mutex flags_mu_;
+  Flags flags_;
+  util::Event park_event_;
+  util::Event resume_event_;
+  util::BlockingQueue<CtrlResponse> responses_;
+};
+
+}  // namespace naplet::nsock

@@ -1,0 +1,88 @@
+// NapletSocket connection state machine (paper Table 1 and Figure 3).
+//
+// The FSM is a pure transition function so it can be tested exhaustively
+// without any I/O. The controller consults it as a guard before every state
+// change; an illegal (state, event) pair is a protocol error, never UB.
+//
+// 14 states, extended from the TCP state machine. States in the paper's
+// bold (new beyond TCP): SUS_SENT, SUS_ACKED, SUSPEND_WAIT, SUSPENDED,
+// RES_SENT, RES_ACKED, RESUME_WAIT.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace naplet::nsock {
+
+enum class ConnState : std::uint8_t {
+  kClosed = 0,       // not connected
+  kListen,           // ready to accept connections
+  kConnectSent,      // sent a CONNECT request
+  kConnectAcked,     // confirmed a CONNECT request
+  kEstablished,      // normal state for data transfer
+  kSusSent,          // sent a SUSPEND request
+  kSusAcked,         // confirmed a SUSPEND request
+  kSuspendWait,      // wait in a suspend operation (concurrent migration)
+  kSuspended,        // the connection is suspended
+  kResSent,          // sent a RESUME request
+  kResAcked,         // confirmed a RESUME request
+  kResumeWait,       // wait in a resume operation (concurrent migration)
+  kCloseSent,        // sent a CLOSE request
+  kCloseAcked,       // confirmed a CLOSE request
+};
+
+inline constexpr int kConnStateCount = 14;
+
+enum class ConnEvent : std::uint8_t {
+  // Application calls.
+  kAppListen = 0,
+  kAppConnect,
+  kAppSuspend,
+  kAppResume,
+  kAppClose,
+  // Received control / handoff messages.
+  kRecvConnect,
+  kRecvConnectAck,   // ACK + socket ID from the server
+  kRecvAttach,       // client's ID arriving over the handoff stream
+  kRecvSus,
+  kRecvSusAck,
+  kRecvAckWait,      // peer delays our suspend (overlapped migration)
+  kRecvSusRes,       // peer finished migrating; our parked suspend continues
+  kRecvResume,       // peer reconnects through our redirector
+  kRecvResumeOk,
+  kRecvResumeWait,   // peer has a parked suspend; our resume is delayed
+  kRecvCls,
+  kRecvClsAck,
+  kRecvReject,
+  // Internal completions.
+  kExecSuspended,    // drain finished, data socket closed
+  kExecResumed,      // new data socket installed
+  kExecClosed,
+  kTimeout,
+};
+
+inline constexpr int kConnEventCount = 21;
+
+[[nodiscard]] std::string_view to_string(ConnState state) noexcept;
+[[nodiscard]] std::string_view to_string(ConnEvent event) noexcept;
+
+/// The pure transition function. nullopt = illegal event in this state.
+/// A returned state equal to the input state is a legal self-transition
+/// (e.g. a concurrent SUS arriving while we are in kSusSent).
+[[nodiscard]] std::optional<ConnState> transition(ConnState state,
+                                                  ConnEvent event) noexcept;
+
+/// True if the state permits application data transfer.
+[[nodiscard]] constexpr bool can_transfer(ConnState state) noexcept {
+  return state == ConnState::kEstablished;
+}
+
+/// True for states from which the connection can still become established
+/// again (i.e. not closed / closing).
+[[nodiscard]] constexpr bool is_live(ConnState state) noexcept {
+  return state != ConnState::kClosed && state != ConnState::kCloseSent &&
+         state != ConnState::kCloseAcked;
+}
+
+}  // namespace naplet::nsock

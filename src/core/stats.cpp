@@ -1,0 +1,29 @@
+#include "core/stats.hpp"
+
+#include <sstream>
+
+namespace naplet::nsock {
+
+std::string ControllerStats::to_string() const {
+  std::ostringstream out;
+  out << "sessions=" << sessions;
+  bool any = false;
+  for (int i = 0; i < kConnStateCount; ++i) {
+    if (by_state[static_cast<std::size_t>(i)] == 0) continue;
+    out << (any ? "," : " [") << ::naplet::nsock::to_string(
+                                      static_cast<ConnState>(i))
+        << ":" << by_state[static_cast<std::size_t>(i)];
+    any = true;
+  }
+  if (any) out << "]";
+  out << " listeners=" << listening_agents
+      << " migrating=" << migrating_agents
+      << " mac_rej=" << mac_rejections << " denials=" << access_denials
+      << " repairs=" << links_repaired << " dead_peers=" << peers_declared_dead
+      << " ctrl{sent=" << ctrl_messages_sent
+      << ",retx=" << ctrl_retransmissions
+      << ",dups=" << ctrl_duplicates_dropped << "}";
+  return out.str();
+}
+
+}  // namespace naplet::nsock

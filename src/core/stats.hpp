@@ -1,0 +1,32 @@
+// Structured controller statistics for operators, examples, and benches:
+// a consistent snapshot of the connection table plus every protocol
+// counter, with a printable rendering.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "core/state.hpp"
+
+namespace naplet::nsock {
+
+struct ControllerStats {
+  std::size_t sessions = 0;
+  std::array<std::size_t, kConnStateCount> by_state{};
+  std::size_t listening_agents = 0;
+  std::size_t migrating_agents = 0;
+
+  std::uint64_t mac_rejections = 0;
+  std::uint64_t access_denials = 0;
+  std::uint64_t links_repaired = 0;
+  std::uint64_t peers_declared_dead = 0;
+
+  // Reliability-layer (control channel) counters.
+  std::uint64_t ctrl_messages_sent = 0;
+  std::uint64_t ctrl_retransmissions = 0;
+  std::uint64_t ctrl_duplicates_dropped = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace naplet::nsock

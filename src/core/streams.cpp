@@ -1,0 +1,89 @@
+#include "core/streams.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace naplet::nsock {
+
+util::Status NapletOutputStream::write(util::ByteSpan data) {
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+  if (buffer_.size() >= flush_threshold_) return flush();
+  return util::OkStatus();
+}
+
+util::Status NapletOutputStream::flush() {
+  if (buffer_.empty()) return util::OkStatus();
+  if (socket_ == nullptr) {
+    return util::FailedPrecondition("output stream not bound to a socket");
+  }
+  NAPLET_RETURN_IF_ERROR(
+      socket_->send(util::ByteSpan(buffer_.data(), buffer_.size())));
+  buffer_.clear();
+  return util::OkStatus();
+}
+
+util::StatusOr<std::size_t> NapletInputStream::read(std::uint8_t* out,
+                                                    std::size_t max,
+                                                    util::Duration timeout) {
+  if (max == 0) return std::size_t{0};
+
+  // Serve the held tail first (never blocks).
+  if (tail_offset_ < tail_.size()) {
+    const std::size_t take = std::min(max, tail_.size() - tail_offset_);
+    std::memcpy(out, tail_.data() + tail_offset_, take);
+    tail_offset_ += take;
+    if (tail_offset_ == tail_.size()) {
+      tail_.clear();
+      tail_offset_ = 0;
+    }
+    return take;
+  }
+
+  if (socket_ == nullptr) {
+    return util::FailedPrecondition("input stream not bound to a socket");
+  }
+  auto message = socket_->recv(timeout);
+  if (!message.ok()) return message.status();
+
+  const std::size_t take = std::min(max, message->body.size());
+  std::memcpy(out, message->body.data(), take);
+  if (take < message->body.size()) {
+    tail_.assign(message->body.begin() + static_cast<std::ptrdiff_t>(take),
+                 message->body.end());
+    tail_offset_ = 0;
+  }
+  return take;
+}
+
+util::Status NapletInputStream::read_exact(std::uint8_t* out, std::size_t n,
+                                           util::Duration timeout) {
+  const std::int64_t deadline =
+      util::RealClock::instance().now_us() + timeout.count();
+  std::size_t got = 0;
+  while (got < n) {
+    const std::int64_t remaining =
+        deadline - util::RealClock::instance().now_us();
+    if (remaining <= 0) {
+      return util::Timeout("read_exact got " + std::to_string(got) + "/" +
+                           std::to_string(n) + " bytes");
+    }
+    auto chunk = read(out + got, n - got, util::us(remaining));
+    if (!chunk.ok()) return chunk.status();
+    got += *chunk;
+  }
+  return util::OkStatus();
+}
+
+void NapletInputStream::persist(util::Archive& ar) {
+  if (ar.is_writing()) {
+    // Compact: only the unread part travels.
+    util::Bytes unread(tail_.begin() + static_cast<std::ptrdiff_t>(tail_offset_),
+                       tail_.end());
+    ar.field(unread);
+  } else {
+    ar.field(tail_);
+    tail_offset_ = 0;
+  }
+}
+
+}  // namespace naplet::nsock

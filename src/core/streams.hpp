@@ -1,0 +1,88 @@
+// Byte-stream adapters over a NapletSocket session — the paper's actual
+// programming interface (NapletSocket "resembles Java Socket in semantics",
+// i.e. agents read and write byte streams through NapletInputStream /
+// NapletOutputStream, §2.1/§3.1).
+//
+// The session layer transports discrete sequence-numbered messages; these
+// adapters present them as a continuous byte stream:
+//
+//  * NapletOutputStream buffers writes and flushes them as one message at
+//    a threshold (or explicitly) — small writes don't pay per-message cost;
+//  * NapletInputStream reads across message boundaries, holding the unread
+//    tail of the last message.
+//
+// Both adapters are persist()-able: an agent that migrates mid-stream
+// stores the adapter in its own persist() and reconstructs it over the
+// reattached socket — the buffered tail travels with the agent exactly
+// like the session's own NapletInputStream buffer.
+#pragma once
+
+#include "core/naplet_socket.hpp"
+
+namespace naplet::nsock {
+
+class NapletOutputStream {
+ public:
+  /// `flush_threshold`: buffered bytes that trigger an automatic flush.
+  explicit NapletOutputStream(std::size_t flush_threshold = 8192)
+      : flush_threshold_(flush_threshold) {}
+
+  /// Bind to (or rebind after migration to) a live socket handle.
+  void bind(NapletSocket* socket) { socket_ = socket; }
+
+  /// Buffer `data`; flushes automatically when the threshold is reached.
+  util::Status write(util::ByteSpan data);
+  util::Status write(std::string_view text) {
+    return write(util::ByteSpan(
+        reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+  }
+
+  /// Send everything buffered as one message (no-op when empty).
+  util::Status flush();
+
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+
+  /// Carry unflushed bytes across a migration hop.
+  void persist(util::Archive& ar) {
+    std::uint64_t threshold = flush_threshold_;
+    ar.field(threshold);
+    flush_threshold_ = static_cast<std::size_t>(threshold);
+    ar.field(buffer_);
+  }
+
+ private:
+  NapletSocket* socket_ = nullptr;  // not owned; rebind() after each hop
+  std::size_t flush_threshold_;
+  util::Bytes buffer_;
+};
+
+class NapletInputStream {
+ public:
+  NapletInputStream() = default;
+
+  void bind(NapletSocket* socket) { socket_ = socket; }
+
+  /// Read up to `max` bytes (at least 1 unless timeout/closed): first from
+  /// the held tail, then from the next message.
+  util::StatusOr<std::size_t> read(std::uint8_t* out, std::size_t max,
+                                   util::Duration timeout);
+
+  /// Read exactly `n` bytes or fail (kTimeout / kAborted).
+  util::Status read_exact(std::uint8_t* out, std::size_t n,
+                          util::Duration timeout);
+
+  /// Bytes available without touching the socket.
+  [[nodiscard]] std::size_t buffered() const {
+    return tail_.size() - tail_offset_;
+  }
+
+  /// Carry the unread tail across a migration hop.
+  void persist(util::Archive& ar);
+
+ private:
+  NapletSocket* socket_ = nullptr;
+  util::Bytes tail_;
+  std::size_t tail_offset_ = 0;
+};
+
+}  // namespace naplet::nsock

@@ -1,0 +1,241 @@
+#include "core/wire.hpp"
+
+#include "crypto/hmac.hpp"
+
+namespace naplet::nsock {
+
+namespace {
+
+void write_node(util::BytesWriter& w, const agent::NodeInfo& node) {
+  w.str(node.server_name);
+  w.str(node.control.host);
+  w.u16(node.control.port);
+  w.str(node.redirector.host);
+  w.u16(node.redirector.port);
+  w.str(node.migration.host);
+  w.u16(node.migration.port);
+}
+
+util::Status read_node(util::BytesReader& r, agent::NodeInfo& node) {
+  auto name = r.str();
+  if (!name.ok()) return name.status();
+  node.server_name = std::move(*name);
+
+  auto read_endpoint = [&r](net::Endpoint& ep) -> util::Status {
+    auto host = r.str();
+    if (!host.ok()) return host.status();
+    auto port = r.u16();
+    if (!port.ok()) return port.status();
+    ep.host = std::move(*host);
+    ep.port = *port;
+    return util::OkStatus();
+  };
+  NAPLET_RETURN_IF_ERROR(read_endpoint(node.control));
+  NAPLET_RETURN_IF_ERROR(read_endpoint(node.redirector));
+  NAPLET_RETURN_IF_ERROR(read_endpoint(node.migration));
+  return util::OkStatus();
+}
+
+}  // namespace
+
+void persist_node(util::Archive& ar, agent::NodeInfo& node) {
+  node.persist(ar);
+}
+
+std::string_view to_string(CtrlType type) noexcept {
+  switch (type) {
+    case CtrlType::kConnect: return "CONNECT";
+    case CtrlType::kConnectAck: return "CONNECT_ACK";
+    case CtrlType::kConnectReject: return "CONNECT_REJECT";
+    case CtrlType::kSus: return "SUS";
+    case CtrlType::kSusAck: return "SUS_ACK";
+    case CtrlType::kAckWait: return "ACK_WAIT";
+    case CtrlType::kSusRes: return "SUS_RES";
+    case CtrlType::kSusResAck: return "SUS_RES_ACK";
+    case CtrlType::kCls: return "CLS";
+    case CtrlType::kClsAck: return "CLS_ACK";
+    case CtrlType::kReject: return "REJECT";
+    case CtrlType::kHeartbeat: return "HEARTBEAT";
+  }
+  return "?";
+}
+
+std::string_view to_string(HandoffType type) noexcept {
+  switch (type) {
+    case HandoffType::kAttach: return "ATTACH";
+    case HandoffType::kAttachOk: return "ATTACH_OK";
+    case HandoffType::kResume: return "RESUME";
+    case HandoffType::kResumeOk: return "RESUME_OK";
+    case HandoffType::kResumeWait: return "RESUME_WAIT";
+    case HandoffType::kError: return "ERROR";
+  }
+  return "?";
+}
+
+util::Bytes CtrlMsg::mac_payload() const {
+  util::BytesWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(conn_id);
+  w.u64(verifier);
+  w.u64(sent_seq);
+  w.str(client_agent);
+  w.str(server_agent);
+  write_node(w, node);
+  w.bytes(util::ByteSpan(dh_public.data(), dh_public.size()));
+  w.bytes(util::ByteSpan(token.data(), token.size()));
+  w.str(reason);
+  return std::move(w).take();
+}
+
+util::Bytes CtrlMsg::encode() const {
+  const util::Bytes payload = mac_payload();
+  util::BytesWriter w(payload.size() + mac.size() + 8);
+  w.raw(util::ByteSpan(payload.data(), payload.size()));
+  w.bytes(util::ByteSpan(mac.data(), mac.size()));
+  return std::move(w).take();
+}
+
+util::StatusOr<CtrlMsg> CtrlMsg::decode(util::ByteSpan data) {
+  util::BytesReader r(data);
+  CtrlMsg msg;
+
+  auto type_byte = r.u8();
+  if (!type_byte.ok()) return type_byte.status();
+  if (*type_byte < static_cast<std::uint8_t>(CtrlType::kConnect) ||
+      *type_byte > static_cast<std::uint8_t>(CtrlType::kHeartbeat)) {
+    return util::ProtocolError("bad ctrl type " + std::to_string(*type_byte));
+  }
+  msg.type = static_cast<CtrlType>(*type_byte);
+
+  auto conn_id = r.u64();
+  if (!conn_id.ok()) return conn_id.status();
+  msg.conn_id = *conn_id;
+  auto verifier = r.u64();
+  if (!verifier.ok()) return verifier.status();
+  msg.verifier = *verifier;
+  auto sent_seq = r.u64();
+  if (!sent_seq.ok()) return sent_seq.status();
+  msg.sent_seq = *sent_seq;
+
+  auto client_agent = r.str();
+  if (!client_agent.ok()) return client_agent.status();
+  msg.client_agent = std::move(*client_agent);
+  auto server_agent = r.str();
+  if (!server_agent.ok()) return server_agent.status();
+  msg.server_agent = std::move(*server_agent);
+
+  NAPLET_RETURN_IF_ERROR(read_node(r, msg.node));
+
+  auto dh_public = r.bytes();
+  if (!dh_public.ok()) return dh_public.status();
+  msg.dh_public = std::move(*dh_public);
+  auto token = r.bytes();
+  if (!token.ok()) return token.status();
+  msg.token = std::move(*token);
+  auto reason = r.str();
+  if (!reason.ok()) return reason.status();
+  msg.reason = std::move(*reason);
+
+  auto mac = r.bytes();
+  if (!mac.ok()) return mac.status();
+  msg.mac = std::move(*mac);
+
+  if (r.remaining() != 0) return util::ProtocolError("trailing ctrl bytes");
+  return msg;
+}
+
+util::Bytes HandoffMsg::mac_payload() const {
+  util::BytesWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(conn_id);
+  w.u64(verifier);
+  w.u64(sent_seq);
+  w.u64(recv_seq);
+  w.str(agent);
+  write_node(w, node);
+  w.str(reason);
+  return std::move(w).take();
+}
+
+util::Bytes HandoffMsg::encode() const {
+  const util::Bytes payload = mac_payload();
+  util::BytesWriter w(payload.size() + mac.size() + 8);
+  w.raw(util::ByteSpan(payload.data(), payload.size()));
+  w.bytes(util::ByteSpan(mac.data(), mac.size()));
+  return std::move(w).take();
+}
+
+util::StatusOr<HandoffMsg> HandoffMsg::decode(util::ByteSpan data) {
+  util::BytesReader r(data);
+  HandoffMsg msg;
+
+  auto type_byte = r.u8();
+  if (!type_byte.ok()) return type_byte.status();
+  if (*type_byte < static_cast<std::uint8_t>(HandoffType::kAttach) ||
+      *type_byte > static_cast<std::uint8_t>(HandoffType::kError)) {
+    return util::ProtocolError("bad handoff type " +
+                               std::to_string(*type_byte));
+  }
+  msg.type = static_cast<HandoffType>(*type_byte);
+
+  auto conn_id = r.u64();
+  if (!conn_id.ok()) return conn_id.status();
+  msg.conn_id = *conn_id;
+  auto verifier = r.u64();
+  if (!verifier.ok()) return verifier.status();
+  msg.verifier = *verifier;
+  auto sent_seq = r.u64();
+  if (!sent_seq.ok()) return sent_seq.status();
+  msg.sent_seq = *sent_seq;
+
+  auto recv_seq = r.u64();
+  if (!recv_seq.ok()) return recv_seq.status();
+  msg.recv_seq = *recv_seq;
+
+  auto sender = r.str();
+  if (!sender.ok()) return sender.status();
+  msg.agent = std::move(*sender);
+
+  NAPLET_RETURN_IF_ERROR(read_node(r, msg.node));
+
+  auto reason = r.str();
+  if (!reason.ok()) return reason.status();
+  msg.reason = std::move(*reason);
+
+  auto mac = r.bytes();
+  if (!mac.ok()) return mac.status();
+  msg.mac = std::move(*mac);
+
+  if (r.remaining() != 0) return util::ProtocolError("trailing handoff bytes");
+  return msg;
+}
+
+util::Bytes compute_mac(util::ByteSpan session_key, util::ByteSpan payload) {
+  if (session_key.empty()) return {};
+  const crypto::Sha256Digest tag = crypto::hmac_sha256(session_key, payload);
+  return util::Bytes(tag.begin(), tag.end());
+}
+
+bool verify_mac(util::ByteSpan session_key, util::ByteSpan payload,
+                util::ByteSpan tag) {
+  if (session_key.empty()) return true;  // security disabled
+  return crypto::hmac_sha256_verify(session_key, payload, tag);
+}
+
+util::Bytes DataFrame::encode() const {
+  util::BytesWriter w(body.size() + 8);
+  w.u64(seq);
+  w.raw(util::ByteSpan(body.data(), body.size()));
+  return std::move(w).take();
+}
+
+util::StatusOr<DataFrame> DataFrame::decode(util::ByteSpan data) {
+  util::BytesReader r(data);
+  auto seq = r.u64();
+  if (!seq.ok()) return seq.status();
+  auto body = r.raw(r.remaining());
+  if (!body.ok()) return body.status();
+  return DataFrame{*seq, std::move(*body)};
+}
+
+}  // namespace naplet::nsock

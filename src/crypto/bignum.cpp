@@ -1,0 +1,372 @@
+#include "crypto/bignum.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace naplet::crypto {
+
+namespace {
+constexpr std::uint64_t kBase = 1ULL << 32;
+
+int hex_nibble(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+BigUint::BigUint(std::uint64_t v) {
+  if (v != 0) limbs_.push_back(static_cast<std::uint32_t>(v));
+  if (v >> 32) limbs_.push_back(static_cast<std::uint32_t>(v >> 32));
+}
+
+void BigUint::normalize() noexcept {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+util::StatusOr<BigUint> BigUint::from_hex(std::string_view hex) {
+  if (hex.empty()) return util::InvalidArgument("empty hex string");
+  BigUint out;
+  // Parse from the least significant end, 8 hex digits per limb.
+  std::size_t end = hex.size();
+  while (end > 0) {
+    const std::size_t begin = end >= 8 ? end - 8 : 0;
+    std::uint32_t limb = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const int nib = hex_nibble(hex[i]);
+      if (nib < 0) return util::InvalidArgument("non-hex character");
+      limb = limb << 4 | static_cast<std::uint32_t>(nib);
+    }
+    out.limbs_.push_back(limb);
+    end = begin;
+  }
+  out.normalize();
+  return out;
+}
+
+BigUint BigUint::from_bytes(util::ByteSpan data) {
+  BigUint out;
+  // data is big-endian; consume from the tail 4 bytes at a time.
+  std::size_t end = data.size();
+  while (end > 0) {
+    const std::size_t begin = end >= 4 ? end - 4 : 0;
+    std::uint32_t limb = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      limb = limb << 8 | data[i];
+    }
+    out.limbs_.push_back(limb);
+    end = begin;
+  }
+  out.normalize();
+  return out;
+}
+
+std::string BigUint::to_hex() const {
+  if (limbs_.empty()) return "0";
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(limbs_.size() * 8);
+  // Most significant limb without leading zeros.
+  std::uint32_t top = limbs_.back();
+  bool started = false;
+  for (int shift = 28; shift >= 0; shift -= 4) {
+    const unsigned nib = (top >> shift) & 0xF;
+    if (nib != 0 || started) {
+      out.push_back(kDigits[nib]);
+      started = true;
+    }
+  }
+  for (std::size_t i = limbs_.size() - 1; i-- > 0;) {
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      out.push_back(kDigits[(limbs_[i] >> shift) & 0xF]);
+    }
+  }
+  return out;
+}
+
+util::Bytes BigUint::to_bytes(std::size_t min_size) const {
+  util::Bytes out;
+  if (!limbs_.empty()) {
+    // Most significant limb: skip leading zero bytes.
+    std::uint32_t top = limbs_.back();
+    bool started = false;
+    for (int shift = 24; shift >= 0; shift -= 8) {
+      const std::uint8_t b = static_cast<std::uint8_t>(top >> shift);
+      if (b != 0 || started) {
+        out.push_back(b);
+        started = true;
+      }
+    }
+    for (std::size_t i = limbs_.size() - 1; i-- > 0;) {
+      for (int shift = 24; shift >= 0; shift -= 8) {
+        out.push_back(static_cast<std::uint8_t>(limbs_[i] >> shift));
+      }
+    }
+  }
+  if (out.size() < min_size) {
+    out.insert(out.begin(), min_size - out.size(), 0);
+  }
+  return out;
+}
+
+std::size_t BigUint::bit_length() const noexcept {
+  if (limbs_.empty()) return 0;
+  std::uint32_t top = limbs_.back();
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigUint::bit(std::size_t i) const noexcept {
+  const std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+std::uint64_t BigUint::to_u64() const noexcept {
+  std::uint64_t v = 0;
+  if (!limbs_.empty()) v = limbs_[0];
+  if (limbs_.size() > 1) v |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  return v;
+}
+
+int BigUint::compare(const BigUint& other) const noexcept {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) {
+      return limbs_[i] < other.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+BigUint BigUint::add(const BigUint& other) const {
+  BigUint out;
+  const std::size_t n = std::max(limbs_.size(), other.limbs_.size());
+  out.limbs_.reserve(n + 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < limbs_.size()) sum += limbs_[i];
+    if (i < other.limbs_.size()) sum += other.limbs_[i];
+    out.limbs_.push_back(static_cast<std::uint32_t>(sum));
+    carry = sum >> 32;
+  }
+  if (carry) out.limbs_.push_back(static_cast<std::uint32_t>(carry));
+  return out;
+}
+
+BigUint BigUint::sub(const BigUint& other) const {
+  assert(compare(other) >= 0 && "BigUint::sub underflow");
+  BigUint out;
+  out.limbs_.reserve(limbs_.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(limbs_[i]) - borrow;
+    if (i < other.limbs_.size()) diff -= other.limbs_[i];
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_.push_back(static_cast<std::uint32_t>(diff));
+  }
+  out.normalize();
+  return out;
+}
+
+BigUint BigUint::mul(const BigUint& other) const {
+  if (is_zero() || other.is_zero()) return BigUint();
+  BigUint out;
+  out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t a = limbs_[i];
+    for (std::size_t j = 0; j < other.limbs_.size(); ++j) {
+      const std::uint64_t cur =
+          out.limbs_[i + j] + a * other.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + other.limbs_.size();
+    while (carry) {
+      const std::uint64_t cur = out.limbs_[k] + carry;
+      out.limbs_[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+BigUint BigUint::shift_left(std::size_t bits) const {
+  if (is_zero() || bits == 0) return *this;
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  BigUint out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t v = static_cast<std::uint64_t>(limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(v);
+    out.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+  }
+  out.normalize();
+  return out;
+}
+
+BigUint BigUint::shift_right(std::size_t bits) const {
+  const std::size_t limb_shift = bits / 32;
+  if (limb_shift >= limbs_.size()) return BigUint();
+  const std::size_t bit_shift = bits % 32;
+  BigUint out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    std::uint64_t v = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      v |= static_cast<std::uint64_t>(limbs_[i + limb_shift + 1])
+           << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(v);
+  }
+  out.normalize();
+  return out;
+}
+
+util::StatusOr<BigUint::DivMod> BigUint::divmod(const BigUint& divisor) const {
+  if (divisor.is_zero()) return util::InvalidArgument("division by zero");
+  if (compare(divisor) < 0) return DivMod{BigUint(), *this};
+
+  // Single-limb divisor: simple short division.
+  if (divisor.limbs_.size() == 1) {
+    const std::uint64_t d = divisor.limbs_[0];
+    BigUint q;
+    q.limbs_.assign(limbs_.size(), 0);
+    std::uint64_t rem = 0;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+      const std::uint64_t cur = rem << 32 | limbs_[i];
+      q.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    q.normalize();
+    return DivMod{std::move(q), BigUint(rem)};
+  }
+
+  // Knuth Algorithm D. Normalize so the divisor's top limb has its high bit
+  // set, making quotient-digit estimation accurate to within 2.
+  const std::size_t shift = 32 - (divisor.bit_length() % 32 == 0
+                                      ? 32
+                                      : divisor.bit_length() % 32);
+  const BigUint u = shift_left(shift);
+  const BigUint v = divisor.shift_left(shift);
+  const std::size_t n = v.limbs_.size();
+  const std::size_t m = u.limbs_.size() - n;
+
+  std::vector<std::uint32_t> un(u.limbs_);
+  un.push_back(0);  // extra high limb for the algorithm
+  const std::vector<std::uint32_t>& vn = v.limbs_;
+
+  BigUint q;
+  q.limbs_.assign(m + 1, 0);
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // Estimate q_hat from the top two limbs of the current remainder.
+    const std::uint64_t numerator =
+        (static_cast<std::uint64_t>(un[j + n]) << 32) | un[j + n - 1];
+    std::uint64_t q_hat = numerator / vn[n - 1];
+    std::uint64_t r_hat = numerator % vn[n - 1];
+
+    while (q_hat >= kBase ||
+           q_hat * vn[n - 2] > ((r_hat << 32) | un[j + n - 2])) {
+      --q_hat;
+      r_hat += vn[n - 1];
+      if (r_hat >= kBase) break;
+    }
+
+    // Multiply-and-subtract q_hat * v from u[j .. j+n].
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t product = q_hat * vn[i] + carry;
+      carry = product >> 32;
+      std::int64_t diff = static_cast<std::int64_t>(un[i + j]) -
+                          static_cast<std::int64_t>(product & 0xFFFFFFFF) -
+                          borrow;
+      if (diff < 0) {
+        diff += static_cast<std::int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      un[i + j] = static_cast<std::uint32_t>(diff);
+    }
+    std::int64_t diff = static_cast<std::int64_t>(un[j + n]) -
+                        static_cast<std::int64_t>(carry) - borrow;
+    if (diff < 0) {
+      // q_hat was one too large: add v back and decrement.
+      diff += static_cast<std::int64_t>(kBase);
+      --q_hat;
+      std::uint64_t add_carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t sum =
+            static_cast<std::uint64_t>(un[i + j]) + vn[i] + add_carry;
+        un[i + j] = static_cast<std::uint32_t>(sum);
+        add_carry = sum >> 32;
+      }
+      diff += static_cast<std::int64_t>(add_carry);
+    }
+    un[j + n] = static_cast<std::uint32_t>(diff);
+    q.limbs_[j] = static_cast<std::uint32_t>(q_hat);
+  }
+  q.normalize();
+
+  BigUint r;
+  r.limbs_.assign(un.begin(), un.begin() + static_cast<std::ptrdiff_t>(n));
+  r.normalize();
+  r = r.shift_right(shift);
+  return DivMod{std::move(q), std::move(r)};
+}
+
+util::StatusOr<BigUint> BigUint::mod(const BigUint& modulus) const {
+  auto dm = divmod(modulus);
+  if (!dm.ok()) return dm.status();
+  return std::move(dm->remainder);
+}
+
+util::StatusOr<BigUint> BigUint::mul_mod(const BigUint& other,
+                                         const BigUint& m) const {
+  return mul(other).mod(m);
+}
+
+util::StatusOr<BigUint> BigUint::pow_mod(const BigUint& exponent,
+                                         const BigUint& m) const {
+  if (m.is_zero()) return util::InvalidArgument("pow_mod with zero modulus");
+  if (m.bit_length() == 1) return BigUint();  // mod 1 == 0
+
+  auto base_or = mod(m);
+  if (!base_or.ok()) return base_or.status();
+  BigUint base = std::move(*base_or);
+  BigUint result(1);
+
+  // Left-to-right binary exponentiation.
+  for (std::size_t i = exponent.bit_length(); i-- > 0;) {
+    auto sq = result.mul_mod(result, m);
+    if (!sq.ok()) return sq.status();
+    result = std::move(*sq);
+    if (exponent.bit(i)) {
+      auto mu = result.mul_mod(base, m);
+      if (!mu.ok()) return mu.status();
+      result = std::move(*mu);
+    }
+  }
+  return result;
+}
+
+}  // namespace naplet::crypto

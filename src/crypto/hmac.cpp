@@ -1,0 +1,51 @@
+#include "crypto/hmac.hpp"
+
+#include <cstring>
+
+namespace naplet::crypto {
+
+namespace {
+constexpr std::size_t kBlockSize = 64;
+}
+
+Sha256Digest hmac_sha256(util::ByteSpan key, util::ByteSpan message) noexcept {
+  std::uint8_t key_block[kBlockSize] = {};
+  if (key.size() > kBlockSize) {
+    const Sha256Digest hashed = Sha256::hash(key);
+    std::memcpy(key_block, hashed.data(), hashed.size());
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+
+  std::uint8_t ipad[kBlockSize];
+  std::uint8_t opad[kBlockSize];
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(util::ByteSpan(ipad, kBlockSize));
+  inner.update(message);
+  const Sha256Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(util::ByteSpan(opad, kBlockSize));
+  outer.update(util::ByteSpan(inner_digest.data(), inner_digest.size()));
+  return outer.finish();
+}
+
+bool hmac_sha256_verify(util::ByteSpan key, util::ByteSpan message,
+                        util::ByteSpan expected_tag) noexcept {
+  const Sha256Digest tag = hmac_sha256(key, message);
+  return util::equal_constant_time(
+      util::ByteSpan(tag.data(), tag.size()), expected_tag);
+}
+
+Sha256Digest derive_key(util::ByteSpan secret, std::string_view label) noexcept {
+  return hmac_sha256(
+      secret, util::ByteSpan(reinterpret_cast<const std::uint8_t*>(label.data()),
+                             label.size()));
+}
+
+}  // namespace naplet::crypto

@@ -1,0 +1,24 @@
+// HMAC-SHA256 (RFC 2104) for control-message authentication.
+//
+// Every suspend/resume/close request on an established NapletSocket
+// connection must carry a tag keyed by the connection's Diffie–Hellman
+// session key (paper §3.3); peers reject untagged or mis-tagged requests.
+#pragma once
+
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace naplet::crypto {
+
+/// Compute HMAC-SHA256(key, message).
+Sha256Digest hmac_sha256(util::ByteSpan key, util::ByteSpan message) noexcept;
+
+/// Verify in constant time; false on any mismatch.
+bool hmac_sha256_verify(util::ByteSpan key, util::ByteSpan message,
+                        util::ByteSpan expected_tag) noexcept;
+
+/// HKDF-style key derivation used to turn the DH shared secret into a fixed
+/// 32-byte session key bound to a context label (e.g. "naplet-session").
+Sha256Digest derive_key(util::ByteSpan secret, std::string_view label) noexcept;
+
+}  // namespace naplet::crypto

@@ -1,0 +1,53 @@
+#include "crypto/random.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "util/rng.hpp"
+
+namespace naplet::crypto {
+
+namespace {
+
+// Reads from /dev/urandom. Returns false if the device cannot be used.
+bool urandom_fill(std::uint8_t* out, std::size_t n) {
+  static std::mutex mu;
+  std::lock_guard lock(mu);
+  static std::FILE* dev = std::fopen("/dev/urandom", "rb");
+  if (dev == nullptr) return false;
+  return std::fread(out, 1, n, dev) == n;
+}
+
+void fallback_fill(std::uint8_t* out, std::size_t n) {
+  static std::atomic<std::uint64_t> counter{0};
+  const auto now = std::chrono::steady_clock::now().time_since_epoch().count();
+  util::Rng rng(static_cast<std::uint64_t>(now) ^
+                (counter.fetch_add(1) * 0x9E3779B97F4A7C15ULL));
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(rng.next_u64());
+  }
+}
+
+}  // namespace
+
+void random_bytes(std::uint8_t* out, std::size_t n) {
+  if (!urandom_fill(out, n)) fallback_fill(out, n);
+}
+
+util::Bytes random_bytes(std::size_t n) {
+  util::Bytes out(n);
+  random_bytes(out.data(), n);
+  return out;
+}
+
+std::uint64_t random_u64() {
+  std::uint8_t buf[8];
+  random_bytes(buf, sizeof buf);
+  std::uint64_t v = 0;
+  for (std::uint8_t b : buf) v = v << 8 | b;
+  return v;
+}
+
+}  // namespace naplet::crypto

@@ -1,0 +1,21 @@
+// Cryptographic random bytes for DH private keys and connection nonces.
+// Reads /dev/urandom; falls back to a seeded SplitMix64 stream only if the
+// device is unavailable (never on a normal Linux host).
+#pragma once
+
+#include <cstddef>
+
+#include "util/bytes.hpp"
+
+namespace naplet::crypto {
+
+/// Fill `out` with `n` random bytes.
+void random_bytes(std::uint8_t* out, std::size_t n);
+
+/// Convenience: n fresh random bytes.
+util::Bytes random_bytes(std::size_t n);
+
+/// Uniform random 64-bit value.
+std::uint64_t random_u64();
+
+}  // namespace naplet::crypto

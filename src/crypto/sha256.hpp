@@ -1,0 +1,47 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for: agent-ID migration priorities (paper §3.1), HMAC control-message
+// authentication, and session-key derivation from the Diffie–Hellman shared
+// secret (paper §3.3).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace naplet::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+using Sha256Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(util::ByteSpan data) noexcept;
+  void update(std::string_view s) noexcept {
+    update(util::ByteSpan(reinterpret_cast<const std::uint8_t*>(s.data()),
+                          s.size()));
+  }
+
+  /// Finalize and return the digest. The hasher must be reset() before reuse.
+  [[nodiscard]] Sha256Digest finish() noexcept;
+
+  /// One-shot convenience.
+  static Sha256Digest hash(util::ByteSpan data) noexcept;
+  static Sha256Digest hash(std::string_view s) noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace naplet::crypto

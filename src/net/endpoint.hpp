@@ -1,0 +1,24 @@
+// Network endpoint naming shared by the real (POSIX) and simulated backends.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace naplet::net {
+
+/// (host, port) pair. For the TCP backend `host` is a dotted-quad IPv4
+/// address or name; for the simulated backend it is a node name.
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+
+  [[nodiscard]] std::string to_string() const {
+    return host + ":" + std::to_string(port);
+  }
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+  friend auto operator<=>(const Endpoint&, const Endpoint&) = default;
+};
+
+}  // namespace naplet::net

@@ -1,0 +1,52 @@
+#include "net/frame.hpp"
+
+namespace naplet::net {
+
+util::Status read_exact(Stream& stream, std::uint8_t* out, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    auto r = stream.read_some(out + got, n - got);
+    if (!r.ok()) return r.status();
+    if (*r == 0) {
+      return util::IoError("stream closed mid-read (" + std::to_string(got) +
+                           "/" + std::to_string(n) + " bytes)");
+    }
+    got += *r;
+  }
+  return util::OkStatus();
+}
+
+util::Status write_frame(Stream& stream, util::ByteSpan payload) {
+  if (payload.size() > kMaxFrameSize) {
+    return util::InvalidArgument("frame too large: " +
+                                 std::to_string(payload.size()));
+  }
+  util::BytesWriter header;
+  header.u32(static_cast<std::uint32_t>(payload.size()));
+  NAPLET_RETURN_IF_ERROR(stream.write_all(
+      util::ByteSpan(header.data().data(), header.data().size())));
+  return stream.write_all(payload);
+}
+
+util::StatusOr<util::Bytes> read_frame(Stream& stream) {
+  std::uint8_t len_bytes[4];
+  // First byte may hit a clean EOF (peer closed between frames).
+  auto first = stream.read_some(len_bytes, 1);
+  if (!first.ok()) return first.status();
+  if (*first == 0) return util::Unavailable("stream closed");
+  NAPLET_RETURN_IF_ERROR(read_exact(stream, len_bytes + 1, 3));
+
+  std::uint32_t len = 0;
+  for (std::uint8_t b : len_bytes) len = len << 8 | b;
+  if (len > kMaxFrameSize) {
+    return util::ProtocolError("frame length " + std::to_string(len) +
+                               " exceeds limit");
+  }
+  util::Bytes payload(len);
+  if (len > 0) {
+    NAPLET_RETURN_IF_ERROR(read_exact(stream, payload.data(), len));
+  }
+  return payload;
+}
+
+}  // namespace naplet::net

@@ -1,0 +1,26 @@
+// Length-prefixed message framing over a Stream.
+//
+// NapletSocket data messages and handoff/control exchanges over TCP use a
+// u32 big-endian length prefix. A maximum frame size guards against
+// corrupted prefixes taking down a server.
+#pragma once
+
+#include "net/transport.hpp"
+#include "util/bytes.hpp"
+#include "util/status.hpp"
+
+namespace naplet::net {
+
+inline constexpr std::size_t kMaxFrameSize = 64 * 1024 * 1024;
+
+/// Read exactly n bytes (blocking); kIoError/kUnavailable on EOF mid-frame.
+util::Status read_exact(Stream& stream, std::uint8_t* out, std::size_t n);
+
+/// Write one length-prefixed frame.
+util::Status write_frame(Stream& stream, util::ByteSpan payload);
+
+/// Read one length-prefixed frame. Returns kUnavailable on clean EOF at a
+/// frame boundary (peer closed), kIoError on mid-frame EOF.
+util::StatusOr<util::Bytes> read_frame(Stream& stream);
+
+}  // namespace naplet::net

@@ -1,0 +1,149 @@
+#include "net/rudp.hpp"
+
+#include "util/bytes.hpp"
+#include "util/log.hpp"
+
+namespace naplet::net {
+
+namespace {
+
+constexpr std::uint16_t kMagic = 0x4E53;  // "NS"
+constexpr std::uint8_t kTypeData = 0;
+constexpr std::uint8_t kTypeAck = 1;
+constexpr std::size_t kSeenWindowCap = 4096;
+
+util::Bytes encode_packet(std::uint8_t type, std::uint64_t seq,
+                          util::ByteSpan payload) {
+  util::BytesWriter w(payload.size() + 16);
+  w.u16(kMagic);
+  w.u8(type);
+  w.u64(seq);
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+}  // namespace
+
+ReliableChannel::ReliableChannel(DatagramPtr socket, RudpConfig config)
+    : socket_(std::move(socket)),
+      config_(config),
+      receiver_([this] { receive_loop(); }) {}
+
+ReliableChannel::~ReliableChannel() {
+  close();
+  if (receiver_.joinable()) receiver_.join();
+}
+
+void ReliableChannel::close() {
+  if (closed_.exchange(true)) return;
+  inbox_.close();
+  socket_->close();
+  acked_cv_.notify_all();
+}
+
+Endpoint ReliableChannel::local_endpoint() const {
+  return socket_->local_endpoint();
+}
+
+util::Status ReliableChannel::send(const Endpoint& dest,
+                                   util::ByteSpan payload) {
+  if (closed_.load()) return util::Cancelled("channel closed");
+  const std::uint64_t seq = next_seq_.fetch_add(1);
+  const util::Bytes packet = encode_packet(kTypeData, seq, payload);
+
+  {
+    std::lock_guard lock(mu_);
+    pending_acks_.insert(seq);
+  }
+
+  for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    if (attempt > 0) retransmissions_.fetch_add(1);
+    auto status = socket_->send_to(dest, packet);
+    if (!status.ok() && closed_.load()) return util::Cancelled("channel closed");
+    // A send error on UDP (e.g. transient ENOBUFS) is treated as a lost
+    // packet: retransmission handles it.
+
+    std::unique_lock lock(mu_);
+    const bool acked = acked_cv_.wait_for(
+        lock, config_.retransmit_interval,
+        [&] { return !pending_acks_.contains(seq) || closed_.load(); });
+    if (closed_.load()) {
+      pending_acks_.erase(seq);
+      return util::Cancelled("channel closed");
+    }
+    if (acked && !pending_acks_.contains(seq)) {
+      messages_sent_.fetch_add(1);
+      return util::OkStatus();
+    }
+  }
+
+  {
+    std::lock_guard lock(mu_);
+    pending_acks_.erase(seq);
+  }
+  return util::Timeout("no ACK from " + dest.to_string() + " after " +
+                       std::to_string(config_.max_attempts) + " attempts");
+}
+
+std::optional<ReliableChannel::Message> ReliableChannel::recv(
+    util::Duration timeout) {
+  return inbox_.pop_for(timeout);
+}
+
+void ReliableChannel::receive_loop() {
+  while (!closed_.load()) {
+    auto packet = socket_->recv_for(std::chrono::milliseconds(200));
+    if (!packet.ok()) {
+      if (packet.status().code() == util::StatusCode::kTimeout) continue;
+      break;  // socket closed or fatal error
+    }
+    handle_packet(packet->from, util::ByteSpan(packet->data.data(),
+                                               packet->data.size()));
+  }
+}
+
+void ReliableChannel::handle_packet(const Endpoint& from,
+                                    util::ByteSpan data) {
+  util::BytesReader r(data);
+  auto magic = r.u16();
+  if (!magic.ok() || *magic != kMagic) return;  // not ours; drop
+  auto type = r.u8();
+  auto seq = r.u64();
+  if (!type.ok() || !seq.ok()) return;
+
+  if (*type == kTypeAck) {
+    bool erased = false;
+    {
+      std::lock_guard lock(mu_);
+      erased = pending_acks_.erase(*seq) > 0;
+    }
+    if (erased) acked_cv_.notify_all();
+    return;
+  }
+  if (*type != kTypeData) return;
+
+  // Always ACK, even duplicates — the original ACK may have been lost.
+  const util::Bytes ack = encode_packet(kTypeAck, *seq, {});
+  (void)socket_->send_to(from, ack);
+
+  {
+    std::lock_guard lock(mu_);
+    SeenWindow& window = seen_[from];
+    if (window.seqs.contains(*seq)) {
+      duplicates_dropped_.fetch_add(1);
+      return;
+    }
+    window.seqs.insert(*seq);
+    window.order.push_back(*seq);
+    while (window.order.size() > kSeenWindowCap) {
+      window.seqs.erase(window.order.front());
+      window.order.pop_front();
+    }
+  }
+
+  auto payload = r.raw(r.remaining());
+  if (!payload.ok()) return;
+  inbox_.push(Message{from, std::move(*payload)});
+}
+
+}  // namespace naplet::net

@@ -1,0 +1,92 @@
+// Reliable delivery over UDP for the NapletSocket control channel
+// (paper §3.5): retransmission timers, ACKs, sequence numbers relating
+// replies to requests, and duplicate suppression at the receiver.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "net/transport.hpp"
+#include "util/sync.hpp"
+
+namespace naplet::net {
+
+struct RudpConfig {
+  util::Duration retransmit_interval{std::chrono::milliseconds(50)};
+  int max_attempts = 20;  // total sends before giving up
+};
+
+/// Blocking reliable-datagram channel. send() retransmits until the peer's
+/// ACK arrives or attempts are exhausted; a background thread receives,
+/// ACKs, de-duplicates, and queues inbound messages for recv().
+class ReliableChannel {
+ public:
+  explicit ReliableChannel(DatagramPtr socket, RudpConfig config = {});
+  ~ReliableChannel();
+
+  ReliableChannel(const ReliableChannel&) = delete;
+  ReliableChannel& operator=(const ReliableChannel&) = delete;
+
+  /// Send `payload` reliably; blocks until ACKed (Ok), attempts exhausted
+  /// (kTimeout), or the channel is closed (kCancelled).
+  util::Status send(const Endpoint& dest, util::ByteSpan payload);
+
+  struct Message {
+    Endpoint from;
+    util::Bytes payload;
+  };
+  /// Pop the next inbound message; nullopt on timeout or close.
+  std::optional<Message> recv(util::Duration timeout);
+
+  [[nodiscard]] Endpoint local_endpoint() const;
+
+  void close();
+
+  // Observability for tests/benches.
+  [[nodiscard]] std::uint64_t retransmissions() const {
+    return retransmissions_.load();
+  }
+  [[nodiscard]] std::uint64_t duplicates_dropped() const {
+    return duplicates_dropped_.load();
+  }
+  [[nodiscard]] std::uint64_t messages_sent() const {
+    return messages_sent_.load();
+  }
+
+ private:
+  void receive_loop();
+  void handle_packet(const Endpoint& from, util::ByteSpan data);
+
+  DatagramPtr socket_;
+  RudpConfig config_;
+
+  std::mutex mu_;
+  std::condition_variable acked_cv_;
+  std::set<std::uint64_t> pending_acks_;  // seqs awaiting ACK
+  std::atomic<std::uint64_t> next_seq_{1};
+
+  // Per-source duplicate suppression with bounded memory.
+  struct SeenWindow {
+    std::set<std::uint64_t> seqs;
+    std::deque<std::uint64_t> order;
+  };
+  std::map<Endpoint, SeenWindow> seen_;
+
+  util::BlockingQueue<Message> inbox_;
+
+  std::atomic<bool> closed_{false};
+  std::atomic<std::uint64_t> retransmissions_{0};
+  std::atomic<std::uint64_t> duplicates_dropped_{0};
+  std::atomic<std::uint64_t> messages_sent_{0};
+
+  std::thread receiver_;  // constructed last, joined in destructor
+};
+
+}  // namespace naplet::net

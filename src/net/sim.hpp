@@ -1,0 +1,96 @@
+// In-process simulated network implementing the transport abstraction.
+//
+// Purpose: deterministic tests of the NapletSocket protocol (no kernel
+// sockets, no ports), failure injection (datagram loss, reordering,
+// partitions, severed streams), and latency shaping so benches can
+// reproduce the paper's ~10 ms control-message-delay regime on one machine.
+//
+// Model:
+//  * nodes are named hosts; each node exposes the Network factory interface
+//  * streams are reliable ordered in-memory pipes with per-link latency
+//  * datagrams honor per-link latency, jitter and loss probability and may
+//    reorder under jitter (like real UDP)
+//  * partitions block new connects and drop datagrams; sever_streams()
+//    force-closes established streams between two nodes (link failure)
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "net/transport.hpp"
+#include "util/rng.hpp"
+
+namespace naplet::net {
+
+/// Directional link shaping parameters.
+struct LinkConfig {
+  util::Duration latency{0};
+  util::Duration jitter{0};      // uniform in [0, jitter)
+  double datagram_loss = 0.0;    // probability in [0, 1]
+  /// Stream bandwidth cap in bytes/second (0 = unlimited). Modeled as a
+  /// serialization delay: each written chunk's delivery time is pushed out
+  /// by size/bandwidth past the previous chunk's, so sustained throughput
+  /// converges to the cap.
+  std::uint64_t bytes_per_second = 0;
+};
+
+class SimNet;
+
+/// One simulated host. Obtain via SimNet::add_node().
+class SimNode final : public Network,
+                      public std::enable_shared_from_this<SimNode> {
+ public:
+  util::StatusOr<ListenerPtr> listen(std::uint16_t port) override;
+  util::StatusOr<StreamPtr> connect(const Endpoint& dest,
+                                    util::Duration timeout) override;
+  util::StatusOr<DatagramPtr> bind_datagram(std::uint16_t port) override;
+  [[nodiscard]] std::string local_host() const override { return name_; }
+
+ private:
+  friend class SimNet;
+  SimNode(std::string name, SimNet* net) : name_(std::move(name)), net_(net) {}
+
+  std::string name_;
+  SimNet* net_;
+};
+
+/// The shared fabric. Owns link configuration and node registry. Thread-safe.
+class SimNet {
+ public:
+  explicit SimNet(std::uint64_t seed = 42);
+  ~SimNet();
+
+  SimNet(const SimNet&) = delete;
+  SimNet& operator=(const SimNet&) = delete;
+
+  /// Create (or fetch) the node with this name.
+  std::shared_ptr<SimNode> add_node(const std::string& name);
+
+  /// Shaping for traffic from `from` to `to` (directional).
+  void set_link(const std::string& from, const std::string& to,
+                LinkConfig config);
+  /// Default shaping for links without an explicit entry (both directions).
+  void set_default_link(LinkConfig config);
+
+  /// Partition on/off between two nodes (both directions): new connects fail,
+  /// datagrams are silently dropped. Established streams are untouched.
+  void set_partition(const std::string& a, const std::string& b, bool on);
+
+  /// Force-close every established stream between two nodes (link failure).
+  void sever_streams(const std::string& a, const std::string& b);
+
+  /// Total datagrams dropped by loss/partition so far (observability).
+  [[nodiscard]] std::uint64_t datagrams_dropped() const;
+
+  /// Implementation detail, defined in sim.cpp (public so the backend's
+  /// internal socket classes can reach the shared fabric state).
+  struct Impl;
+
+ private:
+  friend class SimNode;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace naplet::net

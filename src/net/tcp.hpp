@@ -1,0 +1,59 @@
+// POSIX TCP/UDP backend for the transport abstraction (loopback or LAN).
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "net/transport.hpp"
+
+namespace naplet::net {
+
+/// RAII file-descriptor holder.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const noexcept { return fd_.load(); }
+  [[nodiscard]] bool valid() const noexcept { return get() >= 0; }
+  int release() noexcept { return fd_.exchange(-1); }
+  void reset() noexcept;
+
+ private:
+  std::atomic<int> fd_{-1};
+};
+
+/// Network backed by real POSIX sockets bound to `bind_host`
+/// (default 127.0.0.1 so tests never leave the machine).
+class TcpNetwork final : public Network,
+                         public std::enable_shared_from_this<TcpNetwork> {
+ public:
+  explicit TcpNetwork(std::string bind_host = "127.0.0.1")
+      : bind_host_(std::move(bind_host)) {}
+
+  util::StatusOr<ListenerPtr> listen(std::uint16_t port) override;
+  util::StatusOr<StreamPtr> connect(const Endpoint& dest,
+                                    util::Duration timeout) override;
+  util::StatusOr<DatagramPtr> bind_datagram(std::uint16_t port) override;
+  [[nodiscard]] std::string local_host() const override { return bind_host_; }
+
+ private:
+  std::string bind_host_;
+};
+
+/// Wrap an already-connected socket fd as a Stream (used by tests and the
+/// redirector handoff path).
+StreamPtr wrap_tcp_stream(int fd);
+
+}  // namespace naplet::net

@@ -1,0 +1,44 @@
+#include "sim/des.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace naplet::sim {
+
+void Simulator::schedule_at(double t_ms, Handler handler) {
+  assert(t_ms >= now_ms_ && "scheduling into the past");
+  queue_.push(Event{t_ms < now_ms_ ? now_ms_ : t_ms, next_seq_++,
+                    std::move(handler)});
+}
+
+void Simulator::schedule_in(double dt_ms, Handler handler) {
+  schedule_at(now_ms_ + (dt_ms < 0 ? 0 : dt_ms), std::move(handler));
+}
+
+void Simulator::run_until(double t_end_ms) {
+  while (!queue_.empty() && queue_.top().time <= t_end_ms) {
+    // priority_queue::top returns const&; the handler must be moved out
+    // before pop, so copy the event wrapper (handler is shared_ptr-like
+    // via std::function copy).
+    Event event = queue_.top();
+    queue_.pop();
+    now_ms_ = event.time;
+    ++events_processed_;
+    event.handler();
+  }
+  if (queue_.empty() || queue_.top().time > t_end_ms) {
+    if (t_end_ms > now_ms_) now_ms_ = t_end_ms;
+  }
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ms_ = event.time;
+    ++events_processed_;
+    event.handler();
+  }
+}
+
+}  // namespace naplet::sim

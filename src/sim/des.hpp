@@ -1,0 +1,54 @@
+// Minimal discrete-event simulation engine for the Section-5 performance
+// model: a time-ordered event queue with virtual (simulated) time in
+// milliseconds. Deterministic given deterministic handlers and RNG.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace naplet::sim {
+
+class Simulator {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Current virtual time (ms).
+  [[nodiscard]] double now() const noexcept { return now_ms_; }
+
+  /// Schedule a handler at absolute virtual time `t_ms` (>= now).
+  void schedule_at(double t_ms, Handler handler);
+  /// Schedule `dt_ms` from now.
+  void schedule_in(double dt_ms, Handler handler);
+
+  /// Run until the queue empties or virtual time would pass `t_end_ms`.
+  void run_until(double t_end_ms);
+  /// Run until the queue empties.
+  void run();
+
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return events_processed_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;  // FIFO tie-break for simultaneous events
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ms_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace naplet::sim

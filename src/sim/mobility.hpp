@@ -1,0 +1,48 @@
+// Monte-Carlo / discrete-event simulation of two connected mobile agents
+// (paper §5.2, Figure 12).
+//
+// Agents A (low priority) and B (high priority) alternate between serving
+// at a host for an exponentially distributed dwell time and migrating.
+// Every agent migration drags a connection migration with it; when the two
+// agents' suspend requests fall close together the concurrent-migration
+// protocol kicks in and the per-agent connection-migration cost follows
+// the Section-5 cost model (overlapped / non-overlapped / single).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/des.hpp"
+#include "sim/model.hpp"
+#include "util/rng.hpp"
+
+namespace naplet::sim {
+
+struct MobilityConfig {
+  CostParams costs{};
+  double mean_service_a_ms = 500;  // 1/mu_a
+  double mean_service_b_ms = 500;  // 1/mu_b
+  std::uint64_t rounds = 20000;    // migration events to simulate
+  std::uint64_t seed = 1;
+};
+
+struct AgentStats {
+  std::uint64_t migrations = 0;
+  double total_cost_ms = 0;
+  std::uint64_t overlapped = 0;
+  std::uint64_t non_overlapped = 0;
+  std::uint64_t single = 0;
+
+  [[nodiscard]] double mean_cost_ms() const {
+    return migrations == 0 ? 0.0 : total_cost_ms / static_cast<double>(migrations);
+  }
+};
+
+struct MobilityResult {
+  AgentStats low;   // agent A
+  AgentStats high;  // agent B
+};
+
+/// Run the two-agent timeline simulation.
+MobilityResult simulate_mobility(const MobilityConfig& config);
+
+}  // namespace naplet::sim

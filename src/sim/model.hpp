@@ -1,0 +1,82 @@
+// Section-5 analytical cost model of NapletSocket connection migration.
+//
+// Parameters (paper's measured values as defaults):
+//   Tcontrol   – one-way control-message latency          (10 ms)
+//   Tsuspend   – suspend operation cost                   (27.8 ms)
+//   Tresume    – resume operation cost                    (16.9 ms)
+//   Ta_migrate – agent migration cost                     (220 ms)
+//
+// Equations:
+//   (1) single migration:        Tc = Tsuspend + Tresume
+//   (3) overlapped, low side:    Tsuspend_low = Tcontrol + Tsuspend + tau
+//   (4) non-overlapped, 2nd mover: Tc = Tresume + Tcontrol + tau
+// where tau = |t_begin_a - t_begin_b| is the suspend-request interval.
+#pragma once
+
+namespace naplet::sim {
+
+struct CostParams {
+  double t_control_ms = 10.0;
+  double t_suspend_ms = 27.8;
+  double t_resume_ms = 16.9;
+  double t_agent_migrate_ms = 220.0;
+};
+
+/// How two migrations on the same connection interact (paper §3.1).
+enum class MigrationCase {
+  kSingle,         // the other endpoint was idle throughout
+  kOverlapped,     // both SUS requests crossed before either ACK
+  kNonOverlapped,  // second suspend issued while the first migration runs
+};
+
+class CostModel {
+ public:
+  explicit CostModel(CostParams params = {}) : p_(params) {}
+
+  [[nodiscard]] const CostParams& params() const noexcept { return p_; }
+
+  /// Classify by the suspend-request interval tau (>= 0).
+  /// tau < Tcontrol  -> overlapped: the second SUS is issued before the
+  ///                    first side's ACK could have been sent (§3.1)
+  /// tau < Tsuspend  -> non-overlapped: the second suspend is issued while
+  ///                    "response for the SUSPEND is still in progress"
+  /// otherwise       -> single: the first suspend completed beforehand
+  [[nodiscard]] MigrationCase classify(double tau_ms) const noexcept {
+    if (tau_ms < p_.t_control_ms) return MigrationCase::kOverlapped;
+    if (tau_ms < p_.t_suspend_ms) return MigrationCase::kNonOverlapped;
+    return MigrationCase::kSingle;
+  }
+
+  /// Eq. (1): connection-migration cost with a single mobile endpoint.
+  [[nodiscard]] double single_cost() const noexcept {
+    return p_.t_suspend_ms + p_.t_resume_ms;
+  }
+
+  /// Overlapped case, high-priority agent: same as single migration.
+  [[nodiscard]] double overlapped_high_cost() const noexcept {
+    return single_cost();
+  }
+
+  /// Overlapped case, low-priority agent: Eq. (3) suspend cost + resume.
+  [[nodiscard]] double overlapped_low_cost(double tau_ms) const noexcept {
+    return p_.t_control_ms + p_.t_suspend_ms + tau_ms + p_.t_resume_ms;
+  }
+
+  /// Non-overlapped case, first mover: normal cost.
+  [[nodiscard]] double non_overlapped_first_cost() const noexcept {
+    return single_cost();
+  }
+
+  /// Non-overlapped case, second mover: Eq. (4) — its suspend overlaps the
+  /// first agent's migration, so only resume + a control message + tau of
+  /// connection-migration time remain on its critical path.
+  [[nodiscard]] double non_overlapped_second_cost(double tau_ms)
+      const noexcept {
+    return p_.t_resume_ms + p_.t_control_ms + tau_ms;
+  }
+
+ private:
+  CostParams p_;
+};
+
+}  // namespace naplet::sim

@@ -1,0 +1,56 @@
+#include "sim/overhead.hpp"
+
+#include <functional>
+
+namespace naplet::sim {
+
+OverheadResult simulate_overhead(const OverheadConfig& config) {
+  Simulator des;
+  util::Rng rng(config.seed);
+  OverheadResult result;
+
+  const double lambda = config.message_rate;
+  const double mu =
+      config.relative_rate > 0 ? lambda / config.relative_rate : 0.0;
+
+  // The recurring handlers must outlive run_until: they re-schedule
+  // themselves by reference.
+  std::function<void()> next_data;
+  std::function<void()> next_migration;
+  std::function<void()> next_keepalive;
+
+  // Poisson data-message arrivals.
+  if (lambda > 0) {
+    next_data = [&] {
+      ++result.data_messages;
+      des.schedule_in(rng.exponential(1.0 / lambda), next_data);
+    };
+    des.schedule_in(rng.exponential(1.0 / lambda), next_data);
+  }
+
+  // Migration events, each spending the protocol's control messages.
+  if (mu > 0) {
+    next_migration = [&] {
+      ++result.migrations;
+      result.control_messages += config.ctrl_per_migration;
+      des.schedule_in(rng.exponential(1.0 / mu), next_migration);
+    };
+    des.schedule_in(rng.exponential(1.0 / mu), next_migration);
+  }
+
+  // Maintenance stream on the persistent control channel.
+  if (config.maintenance_rate > 0) {
+    next_keepalive = [&] {
+      ++result.control_messages;
+      des.schedule_in(rng.exponential(1.0 / config.maintenance_rate),
+                      next_keepalive);
+    };
+    des.schedule_in(rng.exponential(1.0 / config.maintenance_rate),
+                    next_keepalive);
+  }
+
+  des.run_until(config.sim_time);
+  return result;
+}
+
+}  // namespace naplet::sim

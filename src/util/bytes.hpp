@@ -1,0 +1,104 @@
+// Growable byte buffer plus endian-stable binary reader/writer.
+//
+// All multi-byte integers are encoded big-endian (network order) so that
+// wire formats built on BytesWriter are portable across hosts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace naplet::util {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+
+/// Hex-encode a byte span ("deadbeef" style, lowercase).
+std::string to_hex(ByteSpan data);
+
+/// Decode a hex string; returns error on odd length or non-hex characters.
+StatusOr<Bytes> from_hex(std::string_view hex);
+
+/// Constant-time byte-span equality (for MAC comparison).
+bool equal_constant_time(ByteSpan a, ByteSpan b) noexcept;
+
+/// Appends primitive values in network byte order to an owned buffer.
+class BytesWriter {
+ public:
+  BytesWriter() = default;
+  explicit BytesWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// Raw bytes, no length prefix.
+  void raw(ByteSpan data) { buf_.insert(buf_.end(), data.begin(), data.end()); }
+  void raw(const void* data, std::size_t n) {
+    raw(ByteSpan(static_cast<const std::uint8_t*>(data), n));
+  }
+
+  /// u32 length prefix followed by bytes.
+  void bytes(ByteSpan data);
+  /// u32 length prefix followed by UTF-8 payload.
+  void str(std::string_view s);
+
+  [[nodiscard]] const Bytes& data() const noexcept { return buf_; }
+  [[nodiscard]] Bytes take() && noexcept { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+  /// Overwrite a previously written u32 at `offset` (e.g. a patched length).
+  void patch_u32(std::size_t offset, std::uint32_t v);
+
+ private:
+  Bytes buf_;
+};
+
+/// Reads primitive values in network byte order from a borrowed span.
+/// All accessors return an error Status on underflow instead of UB.
+class BytesReader {
+ public:
+  explicit BytesReader(ByteSpan data) noexcept : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return remaining() == 0; }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+  StatusOr<std::uint8_t> u8();
+  StatusOr<std::uint16_t> u16();
+  StatusOr<std::uint32_t> u32();
+  StatusOr<std::uint64_t> u64();
+  StatusOr<std::int64_t> i64();
+  StatusOr<double> f64();
+  StatusOr<bool> boolean();
+
+  /// Read exactly n raw bytes.
+  StatusOr<Bytes> raw(std::size_t n);
+  /// Read a u32-length-prefixed byte string.
+  StatusOr<Bytes> bytes();
+  /// Read a u32-length-prefixed UTF-8 string.
+  StatusOr<std::string> str();
+
+  /// Skip n bytes forward.
+  Status skip(std::size_t n);
+
+ private:
+  Status need(std::size_t n) const;
+
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace naplet::util

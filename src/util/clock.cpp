@@ -1,0 +1,46 @@
+#include "util/clock.hpp"
+
+#include <thread>
+
+namespace naplet::util {
+
+std::int64_t RealClock::now_us() {
+  using namespace std::chrono;
+  return duration_cast<microseconds>(steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void RealClock::sleep_for(Duration d) { std::this_thread::sleep_for(d); }
+
+RealClock& RealClock::instance() {
+  static RealClock clock;
+  return clock;
+}
+
+std::int64_t VirtualClock::now_us() {
+  std::lock_guard lock(mu_);
+  return now_us_;
+}
+
+void VirtualClock::sleep_for(Duration d) {
+  std::unique_lock lock(mu_);
+  const std::int64_t deadline = now_us_ + d.count();
+  ++sleepers_;
+  cv_.wait(lock, [&] { return now_us_ >= deadline; });
+  --sleepers_;
+}
+
+void VirtualClock::advance(Duration d) {
+  {
+    std::lock_guard lock(mu_);
+    now_us_ += d.count();
+  }
+  cv_.notify_all();
+}
+
+int VirtualClock::sleeper_count() const {
+  std::lock_guard lock(mu_);
+  return sleepers_;
+}
+
+}  // namespace naplet::util

@@ -1,0 +1,77 @@
+// Clock abstraction: real (steady_clock-backed) and virtual (manually
+// advanced) clocks behind one interface so protocol code and the Section-5
+// simulator can share timing logic and tests can run deterministically.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace naplet::util {
+
+using Duration = std::chrono::microseconds;
+using TimePoint = std::chrono::steady_clock::time_point;
+
+inline Duration ms(std::int64_t n) { return std::chrono::milliseconds(n); }
+inline Duration us(std::int64_t n) { return std::chrono::microseconds(n); }
+
+/// Monotonic clock interface.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Microseconds since an arbitrary (per-clock) epoch.
+  virtual std::int64_t now_us() = 0;
+  /// Block the calling thread for (at least) `d`.
+  virtual void sleep_for(Duration d) = 0;
+};
+
+/// Wall-clock backed by std::chrono::steady_clock.
+class RealClock final : public Clock {
+ public:
+  std::int64_t now_us() override;
+  void sleep_for(Duration d) override;
+
+  /// Process-wide shared instance.
+  static RealClock& instance();
+};
+
+/// Manually advanced clock for deterministic tests. sleep_for() blocks the
+/// caller until another thread advances the clock past the wake time.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(std::int64_t start_us = 0) : now_us_(start_us) {}
+
+  std::int64_t now_us() override;
+  void sleep_for(Duration d) override;
+
+  /// Advance virtual time, waking any sleepers whose deadline has passed.
+  void advance(Duration d);
+  /// Number of threads currently blocked in sleep_for().
+  int sleeper_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::int64_t now_us_;
+  int sleepers_ = 0;
+};
+
+/// Scoped stopwatch for instrumenting code phases (Fig. 8 breakdowns).
+class Stopwatch {
+ public:
+  explicit Stopwatch(Clock& clock) : clock_(clock), start_us_(clock.now_us()) {}
+
+  /// Microseconds elapsed since construction or last reset.
+  [[nodiscard]] std::int64_t elapsed_us() const { return clock_.now_us() - start_us_; }
+  [[nodiscard]] double elapsed_ms() const {
+    return static_cast<double>(elapsed_us()) / 1000.0;
+  }
+  void reset() { start_us_ = clock_.now_us(); }
+
+ private:
+  Clock& clock_;
+  std::int64_t start_us_;
+};
+
+}  // namespace naplet::util

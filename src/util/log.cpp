@@ -1,0 +1,84 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+namespace naplet::util {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::once_flag g_env_once;
+std::mutex g_io_mutex;
+
+const char* level_tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+void init_from_env() {
+  if (const char* env = std::getenv("NAPLET_LOG")) {
+    g_level.store(static_cast<int>(parse_log_level(env)),
+                  std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  std::call_once(g_env_once, init_from_env);
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+LogLevel parse_log_level(std::string_view name) noexcept {
+  auto eq = [&](std::string_view want) {
+    if (name.size() != want.size()) return false;
+    for (std::size_t i = 0; i < name.size(); ++i) {
+      char c = name[i];
+      if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+      if (c != want[i]) return false;
+    }
+    return true;
+  };
+  if (eq("trace")) return LogLevel::kTrace;
+  if (eq("debug")) return LogLevel::kDebug;
+  if (eq("info")) return LogLevel::kInfo;
+  if (eq("warn") || eq("warning")) return LogLevel::kWarn;
+  if (eq("error")) return LogLevel::kError;
+  if (eq("off") || eq("none")) return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+namespace detail {
+
+void log_line(LogLevel level, std::string_view component, std::string_view msg) {
+  using namespace std::chrono;
+  static const auto t0 = steady_clock::now();
+  const auto us = duration_cast<microseconds>(steady_clock::now() - t0).count();
+  const auto tid = std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xFFFF;
+
+  std::lock_guard lock(g_io_mutex);
+  std::fprintf(stderr, "[%9.3fms %s t%04zx %.*s] %.*s\n",
+               static_cast<double>(us) / 1000.0, level_tag(level), tid,
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace detail
+
+}  // namespace naplet::util

@@ -1,0 +1,62 @@
+// Minimal thread-safe leveled logger.
+//
+// Controlled globally via set_level() or the NAPLET_LOG environment variable
+// (trace|debug|info|warn|error|off). Each line carries a monotonic timestamp
+// and the logging thread's id, which makes protocol traces readable when
+// several agent servers run in one process.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace naplet::util {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Global log threshold; messages below it are discarded cheaply.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Parse "trace"/"debug"/... (case-insensitive); returns kInfo on unknown.
+LogLevel parse_log_level(std::string_view name) noexcept;
+
+namespace detail {
+void log_line(LogLevel level, std::string_view component, std::string_view msg);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogMessage() { log_line(level_, component_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace naplet::util
+
+// Usage: NAPLET_LOG(kInfo, "controller") << "suspend conn=" << id;
+#define NAPLET_LOG(level, component)                                       \
+  if (::naplet::util::LogLevel::level < ::naplet::util::log_level()) {     \
+  } else                                                                   \
+    ::naplet::util::detail::LogMessage(::naplet::util::LogLevel::level,    \
+                                       (component))

@@ -1,0 +1,65 @@
+// Deterministic, seedable random number generation for simulation and
+// tests: SplitMix64 core plus the distributions the Section-5 model needs.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace naplet::util {
+
+/// SplitMix64 — tiny, fast, well-distributed; good enough for simulation
+/// workloads (NOT for cryptography; see crypto/ for key material).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) : state_(seed) {}
+
+  std::uint64_t next_u64() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound == 0 yields 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit =
+        std::numeric_limits<std::uint64_t>::max() -
+        std::numeric_limits<std::uint64_t>::max() % bound;
+    std::uint64_t v;
+    do {
+      v = next_u64();
+    } while (v >= limit);
+    return v % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Exponentially distributed value with the given mean (1/rate).
+  /// Mean <= 0 returns 0 (degenerate immediate event).
+  double exponential(double mean) noexcept {
+    if (mean <= 0) return 0.0;
+    double u;
+    do {
+      u = next_double();
+    } while (u <= 0.0);  // avoid log(0)
+    return -mean * std::log(u);
+  }
+
+  bool bernoulli(double p) noexcept { return next_double() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace naplet::util

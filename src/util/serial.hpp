@@ -1,0 +1,143 @@
+// Bidirectional binary archive for agent-state migration.
+//
+// The paper relies on Java object serialization to carry an agent's data and
+// in-flight message buffer across hosts. This is the C++ equivalent: user
+// types implement a single `persist(Archive&)` method that both saves and
+// restores, so the two directions can never drift apart.
+//
+//   struct Counter {
+//     std::uint64_t count = 0;
+//     std::string label;
+//     void persist(naplet::util::Archive& ar) {
+//       ar.field(count);
+//       ar.field(label);
+//     }
+//   };
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/status.hpp"
+
+namespace naplet::util {
+
+/// One object that either writes fields to a buffer or reads them back,
+/// chosen at construction. On read, any underflow or type mismatch latches
+/// an error status; callers check status() once at the end.
+class Archive {
+ public:
+  /// Writing archive.
+  Archive() : writer_(&owned_writer_) {}
+  /// Reading archive over an encoded buffer.
+  explicit Archive(ByteSpan data) : reader_(data) {}
+
+  [[nodiscard]] bool is_writing() const noexcept { return writer_ != nullptr; }
+  [[nodiscard]] bool is_reading() const noexcept { return writer_ == nullptr; }
+
+  void field(bool& v);
+  void field(std::uint8_t& v);
+  void field(std::uint16_t& v);
+  void field(std::uint32_t& v);
+  void field(std::uint64_t& v);
+  void field(std::int64_t& v);
+  void field(double& v);
+  void field(std::string& v);
+  void field(Bytes& v);
+
+  template <typename T>
+  void field(std::vector<T>& v) {
+    std::uint32_t n = static_cast<std::uint32_t>(v.size());
+    field_u32_raw(n);
+    if (is_reading()) {
+      if (!ok()) return;
+      if (n > kMaxContainer) {
+        fail("vector too large: " + std::to_string(n));
+        return;
+      }
+      v.resize(n);
+    }
+    for (auto& e : v) dispatch(e);
+  }
+
+  template <typename K, typename V>
+  void field(std::map<K, V>& m) {
+    std::uint32_t n = static_cast<std::uint32_t>(m.size());
+    field_u32_raw(n);
+    if (is_writing()) {
+      for (auto& [k, val] : m) {
+        K key = k;  // map keys are const; serialize a copy
+        dispatch(key);
+        dispatch(val);
+      }
+    } else {
+      if (!ok()) return;
+      if (n > kMaxContainer) {
+        fail("map too large: " + std::to_string(n));
+        return;
+      }
+      m.clear();
+      for (std::uint32_t i = 0; i < n && ok(); ++i) {
+        K key{};
+        V val{};
+        dispatch(key);
+        dispatch(val);
+        m.emplace(std::move(key), std::move(val));
+      }
+    }
+  }
+
+  /// Nested user type with a persist(Archive&) method.
+  template <typename T>
+    requires requires(T t, Archive& a) { t.persist(a); }
+  void field(T& v) {
+    v.persist(*this);
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return status_.ok(); }
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  /// Finished encoded bytes (writing archives only).
+  [[nodiscard]] Bytes take_bytes() &&;
+  [[nodiscard]] const Bytes& bytes() const;
+
+  /// Encode any persist()-able object to bytes.
+  template <typename T>
+  static Bytes encode(T& obj) {
+    Archive ar;
+    ar.field(obj);
+    return std::move(ar).take_bytes();
+  }
+
+  /// Decode bytes into a persist()-able object.
+  template <typename T>
+  static Status decode(ByteSpan data, T& obj) {
+    Archive ar(data);
+    ar.field(obj);
+    if (ar.ok() && ar.reader_->remaining() != 0) {
+      return ProtocolError("trailing bytes after decode");
+    }
+    return ar.status();
+  }
+
+ private:
+  static constexpr std::uint32_t kMaxContainer = 1u << 24;
+
+  template <typename T>
+  void dispatch(T& v) {
+    field(v);
+  }
+
+  void field_u32_raw(std::uint32_t& v);
+  void fail(std::string msg);
+
+  BytesWriter owned_writer_;
+  BytesWriter* writer_ = nullptr;
+  std::optional<BytesReader> reader_;
+  Status status_;
+};
+
+}  // namespace naplet::util

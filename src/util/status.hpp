@@ -1,0 +1,166 @@
+// Lightweight Status / StatusOr error propagation for the naplet libraries.
+//
+// The networking and protocol layers prefer explicit status values over
+// exceptions on hot paths; constructors that can fail are factored into
+// factory functions returning StatusOr<T>.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace naplet::util {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,
+  kUnauthenticated,
+  kFailedPrecondition,
+  kUnavailable,
+  kTimeout,
+  kAborted,
+  kCancelled,
+  kOutOfRange,
+  kResourceExhausted,
+  kInternal,
+  kIoError,
+  kProtocolError,
+};
+
+/// Human-readable name of a StatusCode (stable, for logs and tests).
+std::string_view to_string(StatusCode code) noexcept;
+
+/// Value-semantic success/error result. Cheap to copy on success (no
+/// allocation), carries a message only on error.
+class Status {
+ public:
+  Status() noexcept : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  [[nodiscard]] std::string to_string() const;
+
+  static Status Ok() noexcept { return Status(); }
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() noexcept { return Status::Ok(); }
+
+inline Status InvalidArgument(std::string msg) {
+  return {StatusCode::kInvalidArgument, std::move(msg)};
+}
+inline Status NotFound(std::string msg) {
+  return {StatusCode::kNotFound, std::move(msg)};
+}
+inline Status AlreadyExists(std::string msg) {
+  return {StatusCode::kAlreadyExists, std::move(msg)};
+}
+inline Status PermissionDenied(std::string msg) {
+  return {StatusCode::kPermissionDenied, std::move(msg)};
+}
+inline Status Unauthenticated(std::string msg) {
+  return {StatusCode::kUnauthenticated, std::move(msg)};
+}
+inline Status FailedPrecondition(std::string msg) {
+  return {StatusCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status Unavailable(std::string msg) {
+  return {StatusCode::kUnavailable, std::move(msg)};
+}
+inline Status Timeout(std::string msg) {
+  return {StatusCode::kTimeout, std::move(msg)};
+}
+inline Status Aborted(std::string msg) {
+  return {StatusCode::kAborted, std::move(msg)};
+}
+inline Status Cancelled(std::string msg) {
+  return {StatusCode::kCancelled, std::move(msg)};
+}
+inline Status OutOfRange(std::string msg) {
+  return {StatusCode::kOutOfRange, std::move(msg)};
+}
+inline Status ResourceExhausted(std::string msg) {
+  return {StatusCode::kResourceExhausted, std::move(msg)};
+}
+inline Status Internal(std::string msg) {
+  return {StatusCode::kInternal, std::move(msg)};
+}
+inline Status IoError(std::string msg) {
+  return {StatusCode::kIoError, std::move(msg)};
+}
+inline Status ProtocolError(std::string msg) {
+  return {StatusCode::kProtocolError, std::move(msg)};
+}
+
+/// Either a T or an error Status. Accessing value() on error asserts in
+/// debug builds; callers must check ok() first.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}      // NOLINT(google-explicit-constructor)
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  T* operator->() {
+    assert(ok());
+    return &*value_;
+  }
+  const T* operator->() const {
+    assert(ok());
+    return &*value_;
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagate an error Status from an expression that yields a Status.
+#define NAPLET_RETURN_IF_ERROR(expr)                      \
+  do {                                                    \
+    ::naplet::util::Status _naplet_status = (expr);       \
+    if (!_naplet_status.ok()) return _naplet_status;      \
+  } while (0)
+
+}  // namespace naplet::util

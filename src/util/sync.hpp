@@ -1,0 +1,183 @@
+// Small thread-synchronization helpers used across the agent runtime and the
+// NapletSocket controller: a closable blocking queue, a one-shot/resettable
+// event, and a waitable state cell for FSM condition waits.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace naplet::util {
+
+/// Unbounded MPMC blocking queue with close() semantics: after close(),
+/// pops drain the remaining items and then return nullopt.
+template <typename T>
+class BlockingQueue {
+ public:
+  /// Returns false if the queue is closed (item dropped).
+  bool push(T item) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed-and-empty.
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Like pop() but gives up after `timeout`.
+  template <typename Rep, typename Period>
+  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mu_);
+    if (!cv_.wait_for(lock, timeout,
+                      [&] { return !items_.empty() || closed_; })) {
+      return std::nullopt;
+    }
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::lock_guard lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+/// Manual-reset event: set() releases all current and future waiters until
+/// reset(). wait_for returns false on timeout.
+class Event {
+ public:
+  void set() {
+    {
+      std::lock_guard lock(mu_);
+      set_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  void reset() {
+    std::lock_guard lock(mu_);
+    set_ = false;
+  }
+
+  void wait() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return set_; });
+  }
+
+  template <typename Rep, typename Period>
+  bool wait_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mu_);
+    return cv_.wait_for(lock, timeout, [&] { return set_; });
+  }
+
+  [[nodiscard]] bool is_set() const {
+    std::lock_guard lock(mu_);
+    return set_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool set_ = false;
+};
+
+/// A value cell whose changes can be awaited — the natural shape for
+/// "wait until the connection reaches state X (or timeout)".
+template <typename T>
+class WaitableCell {
+ public:
+  explicit WaitableCell(T initial) : value_(std::move(initial)) {}
+
+  T get() const {
+    std::lock_guard lock(mu_);
+    return value_;
+  }
+
+  void set(T v) {
+    {
+      std::lock_guard lock(mu_);
+      value_ = std::move(v);
+    }
+    cv_.notify_all();
+  }
+
+  /// Apply a mutation under the lock, then notify waiters.
+  template <typename Fn>
+  void update(Fn&& fn) {
+    {
+      std::lock_guard lock(mu_);
+      fn(value_);
+    }
+    cv_.notify_all();
+  }
+
+  /// Wait until pred(value) holds; returns the satisfying value.
+  template <typename Pred>
+  T wait(Pred&& pred) const {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return pred(value_); });
+    return value_;
+  }
+
+  /// Wait with timeout; nullopt on timeout.
+  template <typename Pred, typename Rep, typename Period>
+  std::optional<T> wait_for(Pred&& pred,
+                            std::chrono::duration<Rep, Period> timeout) const {
+    std::unique_lock lock(mu_);
+    if (!cv_.wait_for(lock, timeout, [&] { return pred(value_); })) {
+      return std::nullopt;
+    }
+    return value_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  T value_;
+};
+
+}  // namespace naplet::util

@@ -1,0 +1,134 @@
+#include "agent/access_control.hpp"
+
+#include <gtest/gtest.h>
+
+namespace naplet::agent {
+namespace {
+
+util::Bytes key(std::uint8_t fill) { return util::Bytes(32, fill); }
+
+TEST(AccessControl, DefaultPolicyDeniesRawSocketsToAgents) {
+  AccessController ac("host-a", key(1));
+  const Subject agent{Subject::Kind::kAgent, "wanderer"};
+  EXPECT_EQ(ac.check(agent, Permission::kOpenSocket).code(),
+            util::StatusCode::kPermissionDenied);
+  EXPECT_EQ(ac.check(agent, Permission::kListenSocket).code(),
+            util::StatusCode::kPermissionDenied);
+  EXPECT_EQ(ac.denials(), 2u);
+}
+
+TEST(AccessControl, DefaultPolicyGrantsMediatedServices) {
+  AccessController ac("host-a", key(1));
+  const Subject agent{Subject::Kind::kAgent, "wanderer"};
+  EXPECT_TRUE(ac.check(agent, Permission::kUseNapletSocket).ok());
+  EXPECT_TRUE(ac.check(agent, Permission::kMigrate).ok());
+  EXPECT_TRUE(ac.check(agent, Permission::kSendMail).ok());
+}
+
+TEST(AccessControl, SystemSubjectGetsEverything) {
+  AccessController ac("host-a", key(1));
+  const Subject system{Subject::Kind::kSystem, "host-a"};
+  const Subject admin{Subject::Kind::kAdmin, "root"};
+  for (Permission p :
+       {Permission::kOpenSocket, Permission::kListenSocket,
+        Permission::kUseNapletSocket, Permission::kMigrate,
+        Permission::kSendMail}) {
+    EXPECT_TRUE(ac.check(system, p).ok());
+    EXPECT_TRUE(ac.check(admin, p).ok());
+  }
+}
+
+TEST(AccessControl, ExplicitDenyOverridesDefaultGrant) {
+  AccessController ac("host-a", key(1));
+  ac.deny("wanderer", Permission::kUseNapletSocket);
+  const Subject agent{Subject::Kind::kAgent, "wanderer"};
+  EXPECT_FALSE(ac.check(agent, Permission::kUseNapletSocket).ok());
+  // Other agents unaffected.
+  EXPECT_TRUE(ac.check(Subject{Subject::Kind::kAgent, "other"},
+                       Permission::kUseNapletSocket)
+                  .ok());
+}
+
+TEST(AccessControl, ExplicitGrantOverridesDefaultDeny) {
+  AccessController ac("host-a", key(1));
+  ac.grant("trusted", Permission::kOpenSocket);
+  EXPECT_TRUE(ac.check(Subject{Subject::Kind::kAgent, "trusted"},
+                       Permission::kOpenSocket)
+                  .ok());
+}
+
+TEST(AccessControl, GrantThenDenyLastWins) {
+  AccessController ac("host-a", key(1));
+  ac.grant("x", Permission::kOpenSocket);
+  ac.deny("x", Permission::kOpenSocket);
+  EXPECT_FALSE(
+      ac.check(Subject{Subject::Kind::kAgent, "x"}, Permission::kOpenSocket)
+          .ok());
+  ac.grant("x", Permission::kOpenSocket);
+  EXPECT_TRUE(
+      ac.check(Subject{Subject::Kind::kAgent, "x"}, Permission::kOpenSocket)
+          .ok());
+}
+
+TEST(AccessControl, ClearOverridesRestoresDefault) {
+  AccessController ac("host-a", key(1));
+  ac.deny("x", Permission::kSendMail);
+  ac.clear_overrides("x");
+  EXPECT_TRUE(
+      ac.check(Subject{Subject::Kind::kAgent, "x"}, Permission::kSendMail)
+          .ok());
+}
+
+TEST(AccessControl, TokenRoundTripSameRealm) {
+  AccessController issuer("host-a", key(7));
+  AccessController verifier("host-b", key(7));  // same realm key
+  const AuthToken token = issuer.issue_token(AgentId("traveler"));
+  auto subject = verifier.authenticate(token);
+  ASSERT_TRUE(subject.ok());
+  EXPECT_EQ(subject->kind, Subject::Kind::kAgent);
+  EXPECT_EQ(subject->name, "traveler");
+}
+
+TEST(AccessControl, TokenRejectedAcrossRealms) {
+  AccessController issuer("host-a", key(7));
+  AccessController foreign("host-x", key(8));  // different realm
+  const AuthToken token = issuer.issue_token(AgentId("traveler"));
+  EXPECT_EQ(foreign.authenticate(token).status().code(),
+            util::StatusCode::kUnauthenticated);
+}
+
+TEST(AccessControl, TamperedTokenRejected) {
+  AccessController ac("host-a", key(7));
+  AuthToken token = ac.issue_token(AgentId("traveler"));
+  token.agent_name = "impostor";  // claim someone else's identity
+  EXPECT_FALSE(ac.authenticate(token).ok());
+
+  AuthToken token2 = ac.issue_token(AgentId("traveler"));
+  token2.tag[0] ^= 1;
+  EXPECT_FALSE(ac.authenticate(token2).ok());
+}
+
+TEST(AccessControl, TokenSerializes) {
+  AccessController ac("host-a", key(7));
+  AuthToken token = ac.issue_token(AgentId("traveler"));
+  const util::Bytes encoded = util::Archive::encode(token);
+  AuthToken decoded;
+  ASSERT_TRUE(util::Archive::decode(
+                  util::ByteSpan(encoded.data(), encoded.size()), decoded)
+                  .ok());
+  EXPECT_TRUE(ac.authenticate(decoded).ok());
+}
+
+TEST(Subject, ToString) {
+  EXPECT_EQ((Subject{Subject::Kind::kAgent, "a"}).to_string(), "agent:a");
+  EXPECT_EQ((Subject{Subject::Kind::kSystem, "s"}).to_string(), "system:s");
+  EXPECT_EQ((Subject{Subject::Kind::kAdmin, "r"}).to_string(), "admin:r");
+}
+
+TEST(Permission, Names) {
+  EXPECT_EQ(to_string(Permission::kOpenSocket), "open-socket");
+  EXPECT_EQ(to_string(Permission::kUseNapletSocket), "use-naplet-socket");
+}
+
+}  // namespace
+}  // namespace naplet::agent

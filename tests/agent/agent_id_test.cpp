@@ -1,0 +1,78 @@
+#include "agent/agent_id.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/serial.hpp"
+
+namespace naplet::agent {
+namespace {
+
+TEST(AgentId, Basics) {
+  AgentId id("worker-1");
+  EXPECT_EQ(id.name(), "worker-1");
+  EXPECT_FALSE(id.empty());
+  EXPECT_TRUE(AgentId().empty());
+}
+
+TEST(AgentId, PriorityHashDeterministic) {
+  EXPECT_EQ(AgentId("x").priority_hash(), AgentId("x").priority_hash());
+  EXPECT_NE(AgentId("x").priority_hash(), AgentId("y").priority_hash());
+}
+
+TEST(AgentId, OutranksIsTotalOrder) {
+  // Antisymmetric and total on distinct ids.
+  const std::vector<AgentId> ids = {AgentId("a"), AgentId("b"), AgentId("c"),
+                                    AgentId("worker-1"), AgentId("worker-2")};
+  for (const auto& x : ids) {
+    EXPECT_FALSE(x.outranks(x));  // irreflexive
+    for (const auto& y : ids) {
+      if (x == y) continue;
+      EXPECT_NE(x.outranks(y), y.outranks(x)) << x.name() << " vs " << y.name();
+    }
+  }
+}
+
+TEST(AgentId, OutranksIsTransitiveOnSample) {
+  // The order is by (hash, name), which is a total order, hence transitive;
+  // verify on a sample by sorting and checking pairwise consistency.
+  std::vector<AgentId> ids;
+  for (int i = 0; i < 30; ++i) ids.emplace_back("agent-" + std::to_string(i));
+  std::sort(ids.begin(), ids.end(), [](const AgentId& a, const AgentId& b) {
+    return b.outranks(a);  // ascending rank
+  });
+  for (std::size_t i = 0; i + 1 < ids.size(); ++i) {
+    EXPECT_TRUE(ids[i + 1].outranks(ids[i]));
+  }
+  // No circular waits possible: the top element outranks everything.
+  for (std::size_t i = 0; i + 1 < ids.size(); ++i) {
+    EXPECT_TRUE(ids.back().outranks(ids[i]));
+  }
+}
+
+TEST(AgentId, HashesSpread) {
+  std::set<std::uint64_t> hashes;
+  for (int i = 0; i < 1000; ++i) {
+    hashes.insert(AgentId("agent-" + std::to_string(i)).priority_hash());
+  }
+  EXPECT_EQ(hashes.size(), 1000u);  // no collisions in a small sample
+}
+
+TEST(AgentId, Persist) {
+  AgentId original("roundtrip");
+  const util::Bytes encoded = util::Archive::encode(original);
+  AgentId decoded;
+  ASSERT_TRUE(util::Archive::decode(
+                  util::ByteSpan(encoded.data(), encoded.size()), decoded)
+                  .ok());
+  EXPECT_EQ(decoded, original);
+}
+
+TEST(AgentId, ComparisonOperators) {
+  EXPECT_LT(AgentId("a"), AgentId("b"));
+  EXPECT_EQ(AgentId("a"), AgentId("a"));
+}
+
+}  // namespace
+}  // namespace naplet::agent

@@ -1,0 +1,158 @@
+#include "agent/directory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/frame.hpp"
+#include "net/tcp.hpp"
+
+namespace naplet::agent {
+namespace {
+
+using namespace std::chrono_literals;
+
+NodeInfo node(const std::string& name) {
+  NodeInfo info;
+  info.server_name = name;
+  info.control = {"127.0.0.1", 1111};
+  info.redirector = {"127.0.0.1", 2222};
+  info.migration = {"127.0.0.1", 3333};
+  return info;
+}
+
+class DirectoryTest : public ::testing::Test {
+ protected:
+  DirectoryTest()
+      : network_(std::make_shared<net::TcpNetwork>()),
+        server_(network_, backing_) {
+    EXPECT_TRUE(server_.start().ok());
+    remote_ = std::make_unique<RemoteLocationService>(network_,
+                                                      server_.endpoint());
+  }
+
+  ~DirectoryTest() override { server_.stop(); }
+
+  std::shared_ptr<net::TcpNetwork> network_;
+  LocationService backing_;
+  DirectoryServer server_;
+  std::unique_ptr<RemoteLocationService> remote_;
+};
+
+TEST_F(DirectoryTest, RegisterAndTryLookup) {
+  remote_->register_agent(AgentId("a"), node("host-1"));
+  auto found = remote_->try_lookup(AgentId("a"));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->server_name, "host-1");
+  EXPECT_EQ(found->redirector.port, 2222);
+  // And it actually landed in the backing registry.
+  EXPECT_TRUE(backing_.known(AgentId("a")));
+}
+
+TEST_F(DirectoryTest, UnknownAgentPaths) {
+  EXPECT_FALSE(remote_->try_lookup(AgentId("ghost")).has_value());
+  EXPECT_FALSE(remote_->known(AgentId("ghost")));
+  auto looked = remote_->lookup(AgentId("ghost"), 50ms);
+  EXPECT_FALSE(looked.ok());
+  EXPECT_EQ(looked.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST_F(DirectoryTest, BlockingLookupReleasedByRemoteRegistration) {
+  remote_->register_agent(AgentId("mover"), node("host-1"));
+  remote_->begin_migration(AgentId("mover"));
+  EXPECT_FALSE(remote_->try_lookup(AgentId("mover")).has_value());
+
+  std::thread settler([&] {
+    std::this_thread::sleep_for(50ms);
+    remote_->register_agent(AgentId("mover"), node("host-2"));
+  });
+  auto found = remote_->lookup(AgentId("mover"), 5s);
+  settler.join();
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->server_name, "host-2");
+}
+
+TEST_F(DirectoryTest, DeregisterAgent) {
+  remote_->register_agent(AgentId("a"), node("host-1"));
+  remote_->deregister_agent(AgentId("a"));
+  EXPECT_FALSE(remote_->known(AgentId("a")));
+}
+
+TEST_F(DirectoryTest, SizeCountsSettledAgents) {
+  EXPECT_EQ(remote_->size(), 0u);
+  remote_->register_agent(AgentId("a"), node("h"));
+  remote_->register_agent(AgentId("b"), node("h"));
+  remote_->begin_migration(AgentId("b"));
+  EXPECT_EQ(remote_->size(), 1u);
+}
+
+TEST_F(DirectoryTest, ServerDirectoryOps) {
+  remote_->register_server(node("alpha"));
+  auto found = remote_->lookup_server("alpha");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->migration.port, 3333);
+  EXPECT_FALSE(remote_->lookup_server("missing").ok());
+  remote_->deregister_server("alpha");
+  EXPECT_FALSE(remote_->lookup_server("alpha").ok());
+}
+
+TEST_F(DirectoryTest, MixedLocalAndRemoteClients) {
+  // One client writes through the wire, another reads the backing registry
+  // directly (and vice versa) — same authority.
+  backing_.register_agent(AgentId("local"), node("host-l"));
+  EXPECT_TRUE(remote_->known(AgentId("local")));
+  remote_->register_agent(AgentId("wire"), node("host-w"));
+  EXPECT_TRUE(backing_.known(AgentId("wire")));
+}
+
+TEST_F(DirectoryTest, RequestCounter) {
+  (void)remote_->size();
+  (void)remote_->size();
+  EXPECT_GE(server_.requests_served(), 2u);
+}
+
+TEST_F(DirectoryTest, UnreachableDirectoryFailsSoft) {
+  RemoteLocationService orphan(network_, net::Endpoint{"127.0.0.1", 1});
+  EXPECT_FALSE(orphan.try_lookup(AgentId("x")).has_value());
+  EXPECT_FALSE(orphan.known(AgentId("x")));
+  EXPECT_EQ(orphan.size(), 0u);
+  auto looked = orphan.lookup(AgentId("x"), 50ms);
+  EXPECT_FALSE(looked.ok());
+  EXPECT_FALSE(orphan.last_error().ok());
+}
+
+TEST_F(DirectoryTest, GarbageRequestRejected) {
+  auto stream = network_->connect(server_.endpoint(), 1s);
+  ASSERT_TRUE(stream.ok());
+  const util::Bytes junk = {0xEE, 0xFF};
+  ASSERT_TRUE(net::write_frame(**stream,
+                               util::ByteSpan(junk.data(), junk.size()))
+                  .ok());
+  auto reply = net::read_frame(**stream);
+  ASSERT_TRUE(reply.ok());
+  util::BytesReader r(util::ByteSpan(reply->data(), reply->size()));
+  EXPECT_NE(static_cast<util::StatusCode>(*r.u8()), util::StatusCode::kOk);
+}
+
+TEST_F(DirectoryTest, ConcurrentClients) {
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 25;
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      RemoteLocationService client(network_, server_.endpoint());
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::string name =
+            "agent-" + std::to_string(t) + "-" + std::to_string(i);
+        client.register_agent(AgentId(name), node("h" + std::to_string(t)));
+        EXPECT_TRUE(client.known(AgentId(name)));
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(backing_.size(),
+            static_cast<std::size_t>(kThreads * kOpsPerThread));
+}
+
+}  // namespace
+}  // namespace naplet::agent

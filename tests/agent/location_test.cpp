@@ -1,0 +1,109 @@
+#include "agent/location.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace naplet::agent {
+namespace {
+
+using namespace std::chrono_literals;
+
+NodeInfo node(const std::string& name) {
+  NodeInfo info;
+  info.server_name = name;
+  info.control = {name, 1};
+  info.redirector = {name, 2};
+  info.migration = {name, 3};
+  return info;
+}
+
+TEST(LocationService, RegisterAndLookup) {
+  LocationService svc;
+  svc.register_agent(AgentId("a"), node("host-1"));
+  auto found = svc.try_lookup(AgentId("a"));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->server_name, "host-1");
+  EXPECT_TRUE(svc.known(AgentId("a")));
+  EXPECT_EQ(svc.size(), 1u);
+}
+
+TEST(LocationService, UnknownAgent) {
+  LocationService svc;
+  EXPECT_FALSE(svc.try_lookup(AgentId("ghost")).has_value());
+  EXPECT_FALSE(svc.known(AgentId("ghost")));
+  auto looked = svc.lookup(AgentId("ghost"), 20ms);
+  EXPECT_FALSE(looked.ok());
+  EXPECT_EQ(looked.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(LocationService, InTransitHidesAgent) {
+  LocationService svc;
+  svc.register_agent(AgentId("a"), node("host-1"));
+  svc.begin_migration(AgentId("a"));
+  EXPECT_FALSE(svc.try_lookup(AgentId("a")).has_value());
+  EXPECT_TRUE(svc.known(AgentId("a")));  // still known, just moving
+  EXPECT_EQ(svc.size(), 0u);             // not settled
+}
+
+TEST(LocationService, LookupBlocksUntilSettled) {
+  LocationService svc;
+  svc.register_agent(AgentId("a"), node("host-1"));
+  svc.begin_migration(AgentId("a"));
+  std::thread mover([&] {
+    std::this_thread::sleep_for(30ms);
+    svc.register_agent(AgentId("a"), node("host-2"));
+  });
+  auto found = svc.lookup(AgentId("a"), 2s);
+  mover.join();
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->server_name, "host-2");
+}
+
+TEST(LocationService, DeregisterRemoves) {
+  LocationService svc;
+  svc.register_agent(AgentId("a"), node("host-1"));
+  svc.deregister_agent(AgentId("a"));
+  EXPECT_FALSE(svc.known(AgentId("a")));
+}
+
+TEST(LocationService, ReRegisterMovesAgent) {
+  LocationService svc;
+  svc.register_agent(AgentId("a"), node("host-1"));
+  svc.register_agent(AgentId("a"), node("host-2"));
+  EXPECT_EQ(svc.try_lookup(AgentId("a"))->server_name, "host-2");
+  EXPECT_EQ(svc.size(), 1u);
+}
+
+TEST(LocationService, ServerDirectory) {
+  LocationService svc;
+  svc.register_server(node("host-1"));
+  svc.register_server(node("host-2"));
+  auto found = svc.lookup_server("host-1");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->control.host, "host-1");
+  EXPECT_FALSE(svc.lookup_server("nope").ok());
+  svc.deregister_server("host-1");
+  EXPECT_FALSE(svc.lookup_server("host-1").ok());
+}
+
+TEST(LocationService, BeginMigrationOnUnknownIsNoop) {
+  LocationService svc;
+  svc.begin_migration(AgentId("ghost"));  // must not crash or register
+  EXPECT_FALSE(svc.known(AgentId("ghost")));
+}
+
+TEST(NodeInfo, Persist) {
+  NodeInfo original = node("host-9");
+  util::Archive w;
+  original.persist(w);
+  util::Bytes encoded = std::move(w).take_bytes();
+  NodeInfo decoded;
+  util::Archive r((util::ByteSpan(encoded.data(), encoded.size())));
+  decoded.persist(r);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(decoded, original);
+}
+
+}  // namespace
+}  // namespace naplet::agent

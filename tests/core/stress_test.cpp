@@ -1,0 +1,171 @@
+// Mixed-workload stress: several agent pairs with live traffic, random
+// explicit suspend/resume cycles, migrations, and closes, all interleaved.
+// The invariants under test are global: every sent message is delivered
+// exactly once and in order on its own connection, and the realm shuts
+// down cleanly (no leaked sessions, no stuck threads).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/test_realm.hpp"
+#include "util/rng.hpp"
+
+namespace naplet::nsock {
+namespace {
+
+using namespace naplet::nsock::testing;
+
+struct PairState {
+  agent::AgentId sender;
+  agent::AgentId receiver;
+  SessionPtr tx;
+  std::uint64_t conn_id = 0;
+  int sender_node = 0;
+  int receiver_node = 0;
+  std::uint32_t sent = 0;
+  std::uint32_t received = 0;
+};
+
+TEST(Stress, ManyPairsMigrationsAndSuspends) {
+  constexpr int kPairs = 3;
+  constexpr int kRounds = 6;
+  constexpr int kMsgsPerRound = 8;
+
+  SimRealm realm(4, /*security=*/false);
+  util::Rng rng(2024);
+
+  std::vector<PairState> pairs(kPairs);
+  for (int p = 0; p < kPairs; ++p) {
+    pairs[p].sender = realm.pseudo_agent("tx-" + std::to_string(p), 0);
+    pairs[p].receiver = realm.pseudo_agent("rx-" + std::to_string(p), 1);
+    pairs[p].sender_node = 0;
+    pairs[p].receiver_node = 1;
+    ConnPair conn = make_connection(realm, pairs[p].sender, 0,
+                                    pairs[p].receiver, 1);
+    ASSERT_TRUE(conn.client && conn.server);
+    pairs[p].tx = conn.client;
+    pairs[p].conn_id = conn.client->conn_id();
+  }
+
+  for (int round = 0; round < kRounds; ++round) {
+    // Traffic burst on every pair.
+    for (auto& pair : pairs) {
+      SessionPtr tx =
+          realm.ctrl(pair.sender_node).session_by_id(pair.conn_id);
+      ASSERT_TRUE(tx) << "round " << round;
+      for (int m = 0; m < kMsgsPerRound; ++m) {
+        util::BytesWriter w;
+        w.u32(pair.sent++);
+        ASSERT_TRUE(
+            tx->send(util::ByteSpan(w.data().data(), w.data().size()), 10s)
+                .ok())
+            << "round " << round;
+      }
+    }
+
+    // Random disturbance per pair: migrate receiver, suspend/resume, or
+    // leave alone.
+    for (auto& pair : pairs) {
+      switch (rng.next_below(3)) {
+        case 0: {  // migrate the receiver to a random other node
+          int next = static_cast<int>(rng.next_below(4));
+          if (next == pair.receiver_node) next = (next + 1) % 4;
+          if (next == pair.sender_node) next = (next + 1) % 4;
+          ASSERT_TRUE(realm
+                          .migrate_pseudo_agent(pair.receiver,
+                                                pair.receiver_node, next)
+                          .ok())
+              << "round " << round;
+          pair.receiver_node = next;
+          break;
+        }
+        case 1: {  // explicit suspend + resume from the sender side
+          SessionPtr tx =
+              realm.ctrl(pair.sender_node).session_by_id(pair.conn_id);
+          ASSERT_TRUE(tx);
+          ASSERT_TRUE(realm.ctrl(pair.sender_node).suspend(tx).ok());
+          ASSERT_TRUE(realm.ctrl(pair.sender_node).resume(tx).ok());
+          break;
+        }
+        default:
+          break;  // leave alone
+      }
+    }
+
+    // Drain everything sent so far on each pair, verifying order.
+    for (auto& pair : pairs) {
+      SessionPtr rx =
+          realm.ctrl(pair.receiver_node).session_by_id(pair.conn_id);
+      ASSERT_TRUE(rx) << "round " << round;
+      while (pair.received < pair.sent) {
+        auto got = rx->recv(10s);
+        ASSERT_TRUE(got.ok()) << "round " << round << " msg "
+                              << pair.received << ": "
+                              << got.status().to_string();
+        util::BytesReader r(util::ByteSpan(got->body.data(),
+                                           got->body.size()));
+        ASSERT_EQ(*r.u32(), pair.received) << "round " << round;
+        ++pair.received;
+      }
+      EXPECT_FALSE(rx->recv(50ms).ok());  // nothing extra
+    }
+  }
+
+  // Clean close of every pair.
+  for (auto& pair : pairs) {
+    SessionPtr tx = realm.ctrl(pair.sender_node).session_by_id(pair.conn_id);
+    ASSERT_TRUE(tx);
+    EXPECT_TRUE(realm.ctrl(pair.sender_node).close(tx).ok());
+  }
+  for (int node = 0; node < 4; ++node) {
+    for (int i = 0; i < 100 && realm.ctrl(node).session_count() != 0; ++i) {
+      std::this_thread::sleep_for(5ms);
+    }
+    EXPECT_EQ(realm.ctrl(node).session_count(), 0u) << "node " << node;
+  }
+}
+
+TEST(Stress, RapidSuspendResumeCycles) {
+  SimRealm realm(2, /*security=*/false);
+  auto alice = realm.pseudo_agent("alice", 0);
+  auto bob = realm.pseudo_agent("bob", 1);
+  ConnPair conn = make_connection(realm, alice, 0, bob, 1);
+
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(conn.client->send(span("c" + std::to_string(i)), 5s).ok());
+    ASSERT_TRUE(realm.ctrl(0).suspend(conn.client).ok()) << i;
+    ASSERT_TRUE(realm.ctrl(0).resume(conn.client).ok()) << i;
+  }
+  for (int i = 0; i < 25; ++i) {
+    auto got = conn.server->recv(5s);
+    ASSERT_TRUE(got.ok()) << i;
+    EXPECT_EQ(text(got->body), "c" + std::to_string(i));
+  }
+}
+
+TEST(Stress, AlternatingSidesSuspend) {
+  SimRealm realm(2, /*security=*/true);
+  auto alice = realm.pseudo_agent("alice", 0);
+  auto bob = realm.pseudo_agent("bob", 1);
+  ConnPair conn = make_connection(realm, alice, 0, bob, 1);
+
+  for (int i = 0; i < 10; ++i) {
+    auto& ctrl = (i % 2 == 0) ? realm.ctrl(0) : realm.ctrl(1);
+    const SessionPtr& side = (i % 2 == 0) ? conn.client : conn.server;
+    const SessionPtr& other = (i % 2 == 0) ? conn.server : conn.client;
+    ASSERT_TRUE(ctrl.suspend(side).ok()) << i;
+    ASSERT_TRUE(other->wait_state(
+        [](ConnState s) { return s == ConnState::kSuspended; }, 5s))
+        << i;
+    ASSERT_TRUE(ctrl.resume(side).ok()) << i;
+    ASSERT_TRUE(other->wait_state(
+        [](ConnState s) { return s == ConnState::kEstablished; }, 5s))
+        << i;
+  }
+  ASSERT_TRUE(conn.client->send(span("still alive"), 2s).ok());
+  EXPECT_EQ(text(conn.server->recv(2s)->body), "still alive");
+}
+
+}  // namespace
+}  // namespace naplet::nsock

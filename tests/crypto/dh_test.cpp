@@ -1,0 +1,108 @@
+#include "crypto/dh.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+
+namespace naplet::crypto {
+namespace {
+
+TEST(DhParams, GroupsWellFormed) {
+  for (DhGroup group :
+       {DhGroup::kModp768, DhGroup::kModp1536, DhGroup::kModp2048}) {
+    const DhParams& p = DhParams::get(group);
+    EXPECT_FALSE(p.prime.is_zero());
+    EXPECT_TRUE(p.prime.is_odd());
+    EXPECT_EQ(p.generator.to_u64(), 2u);
+    EXPECT_EQ(p.prime.bit_length(), p.key_bytes * 8);
+  }
+}
+
+TEST(DhKeyPair, PublicValueFixedWidth) {
+  auto kp = DhKeyPair::generate(DhGroup::kModp768);
+  ASSERT_TRUE(kp.ok());
+  EXPECT_EQ(kp->public_value().size(), 96u);
+}
+
+TEST(DhKeyPair, SharedSecretAgrees) {
+  auto alice = DhKeyPair::generate(DhGroup::kModp768);
+  auto bob = DhKeyPair::generate(DhGroup::kModp768);
+  ASSERT_TRUE(alice.ok());
+  ASSERT_TRUE(bob.ok());
+
+  auto key_a = alice->session_key(util::ByteSpan(
+      bob->public_value().data(), bob->public_value().size()));
+  auto key_b = bob->session_key(util::ByteSpan(
+      alice->public_value().data(), alice->public_value().size()));
+  ASSERT_TRUE(key_a.ok());
+  ASSERT_TRUE(key_b.ok());
+  EXPECT_EQ(util::to_hex(util::ByteSpan(key_a->data(), key_a->size())),
+            util::to_hex(util::ByteSpan(key_b->data(), key_b->size())));
+}
+
+TEST(DhKeyPair, DistinctPairsDistinctKeys) {
+  auto alice = DhKeyPair::generate(DhGroup::kModp768);
+  auto bob = DhKeyPair::generate(DhGroup::kModp768);
+  auto eve = DhKeyPair::generate(DhGroup::kModp768);
+  ASSERT_TRUE(alice.ok() && bob.ok() && eve.ok());
+
+  auto key_ab = alice->session_key(util::ByteSpan(
+      bob->public_value().data(), bob->public_value().size()));
+  auto key_ae = alice->session_key(util::ByteSpan(
+      eve->public_value().data(), eve->public_value().size()));
+  ASSERT_TRUE(key_ab.ok() && key_ae.ok());
+  EXPECT_NE(util::to_hex(util::ByteSpan(key_ab->data(), key_ab->size())),
+            util::to_hex(util::ByteSpan(key_ae->data(), key_ae->size())));
+}
+
+TEST(DhKeyPair, FreshKeysEachGeneration) {
+  auto a = DhKeyPair::generate(DhGroup::kModp768);
+  auto b = DhKeyPair::generate(DhGroup::kModp768);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(util::to_hex(util::ByteSpan(a->public_value().data(),
+                                        a->public_value().size())),
+            util::to_hex(util::ByteSpan(b->public_value().data(),
+                                        b->public_value().size())));
+}
+
+TEST(DhKeyPair, RejectsDegeneratePublicValues) {
+  auto kp = DhKeyPair::generate(DhGroup::kModp768);
+  ASSERT_TRUE(kp.ok());
+  const DhParams& params = DhParams::get(DhGroup::kModp768);
+
+  // zero
+  util::Bytes zero(params.key_bytes, 0);
+  EXPECT_FALSE(kp->session_key(util::ByteSpan(zero.data(), zero.size())).ok());
+
+  // one
+  util::Bytes one(params.key_bytes, 0);
+  one.back() = 1;
+  EXPECT_FALSE(kp->session_key(util::ByteSpan(one.data(), one.size())).ok());
+
+  // p - 1 (order-2 subgroup)
+  const util::Bytes p_minus_1 =
+      params.prime.sub(crypto::BigUint(1)).to_bytes(params.key_bytes);
+  EXPECT_FALSE(
+      kp->session_key(util::ByteSpan(p_minus_1.data(), p_minus_1.size())).ok());
+
+  // >= p
+  const util::Bytes p_bytes = params.prime.to_bytes(params.key_bytes);
+  EXPECT_FALSE(
+      kp->session_key(util::ByteSpan(p_bytes.data(), p_bytes.size())).ok());
+}
+
+TEST(DhKeyPair, LargerGroupAlsoAgrees) {
+  auto alice = DhKeyPair::generate(DhGroup::kModp1536);
+  auto bob = DhKeyPair::generate(DhGroup::kModp1536);
+  ASSERT_TRUE(alice.ok() && bob.ok());
+  auto key_a = alice->session_key(util::ByteSpan(
+      bob->public_value().data(), bob->public_value().size()));
+  auto key_b = bob->session_key(util::ByteSpan(
+      alice->public_value().data(), alice->public_value().size()));
+  ASSERT_TRUE(key_a.ok() && key_b.ok());
+  EXPECT_EQ(util::to_hex(util::ByteSpan(key_a->data(), key_a->size())),
+            util::to_hex(util::ByteSpan(key_b->data(), key_b->size())));
+}
+
+}  // namespace
+}  // namespace naplet::crypto

@@ -1,0 +1,127 @@
+#include "crypto/hmac.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+
+namespace naplet::crypto {
+namespace {
+
+std::string tag_hex(util::ByteSpan key, util::ByteSpan msg) {
+  const Sha256Digest tag = hmac_sha256(key, msg);
+  return util::to_hex(util::ByteSpan(tag.data(), tag.size()));
+}
+
+util::Bytes unhex(const char* s) {
+  auto v = util::from_hex(s);
+  EXPECT_TRUE(v.ok());
+  return *v;
+}
+
+// RFC 4231 test cases.
+TEST(HmacSha256, Rfc4231Case1) {
+  const util::Bytes key(20, 0x0b);
+  const std::string msg = "Hi There";
+  EXPECT_EQ(tag_hex(util::ByteSpan(key.data(), key.size()),
+                    util::ByteSpan(
+                        reinterpret_cast<const std::uint8_t*>(msg.data()),
+                        msg.size())),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  const std::string key = "Jefe";
+  const std::string msg = "what do ya want for nothing?";
+  EXPECT_EQ(tag_hex(util::ByteSpan(
+                        reinterpret_cast<const std::uint8_t*>(key.data()),
+                        key.size()),
+                    util::ByteSpan(
+                        reinterpret_cast<const std::uint8_t*>(msg.data()),
+                        msg.size())),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3) {
+  const util::Bytes key(20, 0xaa);
+  const util::Bytes msg(50, 0xdd);
+  EXPECT_EQ(tag_hex(util::ByteSpan(key.data(), key.size()),
+                    util::ByteSpan(msg.data(), msg.size())),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, Rfc4231Case6LongKey) {
+  // Key longer than the block size must be hashed first.
+  const util::Bytes key(131, 0xaa);
+  const std::string msg = "Test Using Larger Than Block-Size Key - Hash Key First";
+  EXPECT_EQ(tag_hex(util::ByteSpan(key.data(), key.size()),
+                    util::ByteSpan(
+                        reinterpret_cast<const std::uint8_t*>(msg.data()),
+                        msg.size())),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, VerifyAcceptsCorrectTag) {
+  const util::Bytes key = unhex("00112233445566778899aabbccddeeff");
+  const util::Bytes msg = unhex("deadbeef");
+  const Sha256Digest tag = hmac_sha256(util::ByteSpan(key.data(), key.size()),
+                                       util::ByteSpan(msg.data(), msg.size()));
+  EXPECT_TRUE(hmac_sha256_verify(util::ByteSpan(key.data(), key.size()),
+                                 util::ByteSpan(msg.data(), msg.size()),
+                                 util::ByteSpan(tag.data(), tag.size())));
+}
+
+TEST(HmacSha256, VerifyRejectsTamperedMessage) {
+  const util::Bytes key = unhex("00112233445566778899aabbccddeeff");
+  util::Bytes msg = unhex("deadbeef");
+  const Sha256Digest tag = hmac_sha256(util::ByteSpan(key.data(), key.size()),
+                                       util::ByteSpan(msg.data(), msg.size()));
+  msg[0] ^= 1;
+  EXPECT_FALSE(hmac_sha256_verify(util::ByteSpan(key.data(), key.size()),
+                                  util::ByteSpan(msg.data(), msg.size()),
+                                  util::ByteSpan(tag.data(), tag.size())));
+}
+
+TEST(HmacSha256, VerifyRejectsTamperedTag) {
+  const util::Bytes key = unhex("aa");
+  const util::Bytes msg = unhex("bb");
+  Sha256Digest tag = hmac_sha256(util::ByteSpan(key.data(), key.size()),
+                                 util::ByteSpan(msg.data(), msg.size()));
+  tag[31] ^= 0x80;
+  EXPECT_FALSE(hmac_sha256_verify(util::ByteSpan(key.data(), key.size()),
+                                  util::ByteSpan(msg.data(), msg.size()),
+                                  util::ByteSpan(tag.data(), tag.size())));
+}
+
+TEST(HmacSha256, VerifyRejectsWrongKey) {
+  const util::Bytes key1 = unhex("01");
+  const util::Bytes key2 = unhex("02");
+  const util::Bytes msg = unhex("cc");
+  const Sha256Digest tag = hmac_sha256(util::ByteSpan(key1.data(), key1.size()),
+                                       util::ByteSpan(msg.data(), msg.size()));
+  EXPECT_FALSE(hmac_sha256_verify(util::ByteSpan(key2.data(), key2.size()),
+                                  util::ByteSpan(msg.data(), msg.size()),
+                                  util::ByteSpan(tag.data(), tag.size())));
+}
+
+TEST(HmacSha256, VerifyRejectsTruncatedTag) {
+  const util::Bytes key = unhex("aa");
+  const util::Bytes msg = unhex("bb");
+  const Sha256Digest tag = hmac_sha256(util::ByteSpan(key.data(), key.size()),
+                                       util::ByteSpan(msg.data(), msg.size()));
+  EXPECT_FALSE(hmac_sha256_verify(util::ByteSpan(key.data(), key.size()),
+                                  util::ByteSpan(msg.data(), msg.size()),
+                                  util::ByteSpan(tag.data(), 16)));
+}
+
+TEST(DeriveKey, LabelSeparation) {
+  const util::Bytes secret = unhex("00010203");
+  const Sha256Digest a =
+      derive_key(util::ByteSpan(secret.data(), secret.size()), "label-a");
+  const Sha256Digest b =
+      derive_key(util::ByteSpan(secret.data(), secret.size()), "label-b");
+  EXPECT_NE(util::to_hex(util::ByteSpan(a.data(), a.size())),
+            util::to_hex(util::ByteSpan(b.data(), b.size())));
+}
+
+}  // namespace
+}  // namespace naplet::crypto

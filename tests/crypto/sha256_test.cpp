@@ -1,0 +1,96 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace naplet::crypto {
+namespace {
+
+std::string hex_digest(const Sha256Digest& digest) {
+  return util::to_hex(util::ByteSpan(digest.data(), digest.size()));
+}
+
+// FIPS 180-4 / NIST CAVP known-answer vectors.
+struct Vector {
+  const char* message;
+  const char* digest;
+};
+
+class Sha256Kat : public ::testing::TestWithParam<Vector> {};
+
+TEST_P(Sha256Kat, Matches) {
+  const auto&[message, digest] = GetParam();
+  EXPECT_EQ(hex_digest(Sha256::hash(std::string_view(message))), digest);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Nist, Sha256Kat,
+    ::testing::Values(
+        Vector{"",
+               "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"},
+        Vector{"abc",
+               "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"},
+        Vector{"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+               "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"},
+        Vector{"The quick brown fox jumps over the lazy dog",
+               "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592"},
+        Vector{"The quick brown fox jumps over the lazy dog.",
+               "ef537f25c895bfa782526529a9b63d97aa631564d5d789c2b765448c8635fb6c"}));
+
+TEST(Sha256, MillionAs) {
+  // The classic long-message vector: 1,000,000 repetitions of 'a'.
+  Sha256 hasher;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hasher.update(chunk);
+  EXPECT_EQ(hex_digest(hasher.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string message =
+      "a moderately long message that will be split into pieces";
+  for (std::size_t split = 0; split <= message.size(); ++split) {
+    Sha256 hasher;
+    hasher.update(std::string_view(message).substr(0, split));
+    hasher.update(std::string_view(message).substr(split));
+    EXPECT_EQ(hex_digest(hasher.finish()),
+              hex_digest(Sha256::hash(message)))
+        << "split at " << split;
+  }
+}
+
+TEST(Sha256, BlockBoundaryLengths) {
+  // Padding edge cases: lengths around the 64-byte block and 56-byte
+  // length-field boundary must all round-trip through the same state logic.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const std::string message(len, 'x');
+    Sha256 incremental;
+    for (char c : message) {
+      incremental.update(std::string_view(&c, 1));
+    }
+    EXPECT_EQ(hex_digest(incremental.finish()),
+              hex_digest(Sha256::hash(message)))
+        << "length " << len;
+  }
+}
+
+TEST(Sha256, ResetReusesHasher) {
+  Sha256 hasher;
+  hasher.update(std::string_view("garbage"));
+  (void)hasher.finish();
+  hasher.reset();
+  hasher.update(std::string_view("abc"));
+  EXPECT_EQ(hex_digest(hasher.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, DistinctInputsDistinctDigests) {
+  EXPECT_NE(hex_digest(Sha256::hash(std::string_view("a"))),
+            hex_digest(Sha256::hash(std::string_view("b"))));
+}
+
+}  // namespace
+}  // namespace naplet::crypto

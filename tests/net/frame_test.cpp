@@ -1,0 +1,125 @@
+#include "net/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/sim.hpp"
+
+namespace naplet::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct FramePair {
+  SimNet net;
+  StreamPtr client;
+  StreamPtr server;
+
+  FramePair() {
+    auto a = net.add_node("a");
+    auto b = net.add_node("b");
+    auto listener = b->listen(9000);
+    EXPECT_TRUE(listener.ok());
+    auto c = a->connect(Endpoint{"b", 9000}, 1s);
+    EXPECT_TRUE(c.ok());
+    client = std::move(*c);
+    auto s = (*listener)->accept(1s);
+    EXPECT_TRUE(s.ok());
+    server = std::move(*s);
+  }
+};
+
+TEST(Frame, RoundTrip) {
+  FramePair pair;
+  const util::Bytes payload = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(write_frame(*pair.client,
+                          util::ByteSpan(payload.data(), payload.size()))
+                  .ok());
+  auto got = read_frame(*pair.server);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, payload);
+}
+
+TEST(Frame, EmptyPayload) {
+  FramePair pair;
+  ASSERT_TRUE(write_frame(*pair.client, {}).ok());
+  auto got = read_frame(*pair.server);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->empty());
+}
+
+TEST(Frame, ManyFramesPreserveOrderAndBoundaries) {
+  FramePair pair;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    util::BytesWriter w;
+    w.u32(i);
+    w.raw(std::string(i % 17, 'x').data(), i % 17);
+    ASSERT_TRUE(write_frame(*pair.client,
+                            util::ByteSpan(w.data().data(), w.data().size()))
+                    .ok());
+  }
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    auto got = read_frame(*pair.server);
+    ASSERT_TRUE(got.ok());
+    util::BytesReader r(util::ByteSpan(got->data(), got->size()));
+    EXPECT_EQ(*r.u32(), i);
+    EXPECT_EQ(r.remaining(), i % 17);
+  }
+}
+
+TEST(Frame, LargeFrame) {
+  FramePair pair;
+  util::Bytes big(1 << 20);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  std::thread writer([&] {
+    EXPECT_TRUE(
+        write_frame(*pair.client, util::ByteSpan(big.data(), big.size())).ok());
+  });
+  auto got = read_frame(*pair.server);
+  writer.join();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, big);
+}
+
+TEST(Frame, OversizeRejectedAtWriter) {
+  FramePair pair;
+  util::Bytes big(kMaxFrameSize + 1);
+  EXPECT_FALSE(
+      write_frame(*pair.client, util::ByteSpan(big.data(), big.size())).ok());
+}
+
+TEST(Frame, CleanEofAtBoundaryIsUnavailable) {
+  FramePair pair;
+  pair.client->close();
+  auto got = read_frame(*pair.server);
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), util::StatusCode::kUnavailable);
+}
+
+TEST(Frame, MidFrameEofIsIoError) {
+  FramePair pair;
+  // Write a length prefix promising 100 bytes, then only 3, then close.
+  const std::uint8_t header[4] = {0, 0, 0, 100};
+  ASSERT_TRUE(pair.client->write_all(util::ByteSpan(header, 4)).ok());
+  const std::uint8_t partial[3] = {1, 2, 3};
+  ASSERT_TRUE(pair.client->write_all(util::ByteSpan(partial, 3)).ok());
+  pair.client->close();
+  auto got = read_frame(*pair.server);
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), util::StatusCode::kIoError);
+}
+
+TEST(Frame, CorruptLengthPrefixRejected) {
+  FramePair pair;
+  const std::uint8_t header[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+  ASSERT_TRUE(pair.client->write_all(util::ByteSpan(header, 4)).ok());
+  auto got = read_frame(*pair.server);
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), util::StatusCode::kProtocolError);
+}
+
+}  // namespace
+}  // namespace naplet::net

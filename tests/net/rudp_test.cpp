@@ -1,0 +1,217 @@
+#include "net/rudp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/sim.hpp"
+#include "net/tcp.hpp"
+
+namespace naplet::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::unique_ptr<ReliableChannel> make_channel(Network& network,
+                                              std::uint16_t port,
+                                              RudpConfig config = {}) {
+  auto dgram = network.bind_datagram(port);
+  EXPECT_TRUE(dgram.ok());
+  return std::make_unique<ReliableChannel>(std::move(*dgram), config);
+}
+
+TEST(Rudp, DeliversOverLossyLink) {
+  // 30% datagram loss in both directions; retransmission must still get
+  // every message through, exactly once, in order of ACK completion.
+  SimNet net(/*seed=*/5);
+  auto a = net.add_node("a");
+  auto b = net.add_node("b");
+  net.set_link("a", "b", LinkConfig{.datagram_loss = 0.3});
+  net.set_link("b", "a", LinkConfig{.datagram_loss = 0.3});
+
+  RudpConfig config;
+  config.retransmit_interval = 20ms;
+  config.max_attempts = 50;
+  auto ca = make_channel(*a, 7, config);
+  auto cb = make_channel(*b, 7, config);
+
+  constexpr int kMessages = 50;
+  for (int i = 0; i < kMessages; ++i) {
+    util::BytesWriter w;
+    w.u32(static_cast<std::uint32_t>(i));
+    ASSERT_TRUE(ca->send(Endpoint{"b", 7},
+                         util::ByteSpan(w.data().data(), w.data().size()))
+                    .ok())
+        << "message " << i;
+  }
+
+  // Sequential blocking sends mean in-order delivery despite loss.
+  for (int i = 0; i < kMessages; ++i) {
+    auto msg = cb->recv(2s);
+    ASSERT_TRUE(msg.has_value()) << "message " << i;
+    util::BytesReader r(util::ByteSpan(msg->payload.data(),
+                                       msg->payload.size()));
+    EXPECT_EQ(*r.u32(), static_cast<std::uint32_t>(i));
+  }
+  EXPECT_FALSE(cb->recv(50ms).has_value());  // nothing extra (no duplicates)
+  EXPECT_GT(ca->retransmissions(), 0u);      // loss actually exercised
+}
+
+TEST(Rudp, DuplicateSuppressionCountsDrops) {
+  SimNet net(/*seed=*/11);
+  auto a = net.add_node("a");
+  auto b = net.add_node("b");
+  // Lossy ACK path: data arrives, ACKs get lost, sender retransmits, and
+  // the receiver must drop the duplicates.
+  net.set_link("b", "a", LinkConfig{.datagram_loss = 0.7});
+
+  RudpConfig config;
+  config.retransmit_interval = 15ms;
+  config.max_attempts = 100;
+  auto ca = make_channel(*a, 7, config);
+  auto cb = make_channel(*b, 7, config);
+
+  for (int i = 0; i < 10; ++i) {
+    util::BytesWriter w;
+    w.u32(static_cast<std::uint32_t>(i));
+    ASSERT_TRUE(ca->send(Endpoint{"b", 7},
+                         util::ByteSpan(w.data().data(), w.data().size()))
+                    .ok());
+  }
+  int received = 0;
+  while (cb->recv(100ms).has_value()) ++received;
+  EXPECT_EQ(received, 10);
+  EXPECT_GT(cb->duplicates_dropped(), 0u);
+}
+
+TEST(Rudp, SendFailsAfterMaxAttempts) {
+  SimNet net;
+  auto a = net.add_node("a");
+  net.add_node("b");
+  net.set_link("a", "b", LinkConfig{.datagram_loss = 1.0});
+
+  RudpConfig config;
+  config.retransmit_interval = 5ms;
+  config.max_attempts = 3;
+  auto ca = make_channel(*a, 7, config);
+  auto cb = make_channel(*net.add_node("b"), 7, config);
+
+  const util::Bytes msg = {1};
+  auto status = ca->send(Endpoint{"b", 7},
+                         util::ByteSpan(msg.data(), msg.size()));
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kTimeout);
+  (void)cb;
+}
+
+TEST(Rudp, BidirectionalConcurrentSends) {
+  SimNet net;
+  auto a = net.add_node("a");
+  auto b = net.add_node("b");
+  auto ca = make_channel(*a, 7);
+  auto cb = make_channel(*b, 7);
+
+  constexpr int kEach = 30;
+  std::thread sender_a([&] {
+    for (int i = 0; i < kEach; ++i) {
+      util::BytesWriter w;
+      w.str("from-a");
+      ASSERT_TRUE(ca->send(Endpoint{"b", 7},
+                           util::ByteSpan(w.data().data(), w.data().size()))
+                      .ok());
+    }
+  });
+  std::thread sender_b([&] {
+    for (int i = 0; i < kEach; ++i) {
+      util::BytesWriter w;
+      w.str("from-b");
+      ASSERT_TRUE(cb->send(Endpoint{"a", 7},
+                           util::ByteSpan(w.data().data(), w.data().size()))
+                      .ok());
+    }
+  });
+  int got_a = 0, got_b = 0;
+  for (int i = 0; i < kEach; ++i) {
+    if (ca->recv(2s)) ++got_a;
+    if (cb->recv(2s)) ++got_b;
+  }
+  sender_a.join();
+  sender_b.join();
+  EXPECT_EQ(got_a, kEach);
+  EXPECT_EQ(got_b, kEach);
+}
+
+TEST(Rudp, CloseUnblocksSender) {
+  SimNet net;
+  auto a = net.add_node("a");
+  net.add_node("b");  // no receiver channel: sends will stall
+  RudpConfig config;
+  config.retransmit_interval = 50ms;
+  config.max_attempts = 1000;
+  auto ca = make_channel(*a, 7, config);
+
+  std::thread closer([&] {
+    std::this_thread::sleep_for(50ms);
+    ca->close();
+  });
+  const util::Bytes msg = {1};
+  auto status = ca->send(Endpoint{"b", 7},
+                         util::ByteSpan(msg.data(), msg.size()));
+  EXPECT_FALSE(status.ok());
+  closer.join();
+}
+
+TEST(Rudp, GarbagePacketsIgnored) {
+  SimNet net;
+  auto a = net.add_node("a");
+  auto b = net.add_node("b");
+  auto cb = make_channel(*b, 7);
+
+  auto raw = a->bind_datagram(9);
+  ASSERT_TRUE(raw.ok());
+  const util::Bytes junk = {0xde, 0xad};
+  ASSERT_TRUE((*raw)->send_to(Endpoint{"b", 7},
+                              util::ByteSpan(junk.data(), junk.size()))
+                  .ok());
+  EXPECT_FALSE(cb->recv(50ms).has_value());
+
+  // Channel still functional afterwards.
+  auto ca = make_channel(*a, 7);
+  const util::Bytes msg = {1};
+  EXPECT_TRUE(ca->send(Endpoint{"b", 7},
+                       util::ByteSpan(msg.data(), msg.size()))
+                  .ok());
+  EXPECT_TRUE(cb->recv(1s).has_value());
+}
+
+TEST(Rudp, WorksOverRealUdp) {
+  auto network = std::make_shared<TcpNetwork>();
+  auto ca = make_channel(*network, 0);
+  auto cb = make_channel(*network, 0);
+  const util::Bytes msg = {'o', 'k'};
+  ASSERT_TRUE(ca->send(cb->local_endpoint(),
+                       util::ByteSpan(msg.data(), msg.size()))
+                  .ok());
+  auto got = cb->recv(1s);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload, msg);
+}
+
+TEST(Rudp, MessagesSentCounter) {
+  SimNet net;
+  auto a = net.add_node("a");
+  auto b = net.add_node("b");
+  auto ca = make_channel(*a, 7);
+  auto cb = make_channel(*b, 7);
+  const util::Bytes msg = {1};
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ca->send(Endpoint{"b", 7},
+                         util::ByteSpan(msg.data(), msg.size()))
+                    .ok());
+  }
+  EXPECT_EQ(ca->messages_sent(), 5u);
+  (void)cb;
+}
+
+}  // namespace
+}  // namespace naplet::net

@@ -1,0 +1,90 @@
+#include "sim/des.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace naplet::sim {
+namespace {
+
+TEST(Des, StartsAtZero) {
+  Simulator des;
+  EXPECT_EQ(des.now(), 0.0);
+  EXPECT_TRUE(des.empty());
+}
+
+TEST(Des, EventsRunInTimeOrder) {
+  Simulator des;
+  std::vector<int> order;
+  des.schedule_at(30, [&] { order.push_back(3); });
+  des.schedule_at(10, [&] { order.push_back(1); });
+  des.schedule_at(20, [&] { order.push_back(2); });
+  des.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(des.now(), 30.0);
+  EXPECT_EQ(des.events_processed(), 3u);
+}
+
+TEST(Des, SimultaneousEventsFifo) {
+  Simulator des;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    des.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  des.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Des, ScheduleInIsRelative) {
+  Simulator des;
+  double fired_at = -1;
+  des.schedule_at(10, [&] {
+    des.schedule_in(5, [&] { fired_at = des.now(); });
+  });
+  des.run();
+  EXPECT_EQ(fired_at, 15.0);
+}
+
+TEST(Des, RunUntilStopsAtBoundary) {
+  Simulator des;
+  int fired = 0;
+  des.schedule_at(10, [&] { ++fired; });
+  des.schedule_at(20, [&] { ++fired; });
+  des.schedule_at(30, [&] { ++fired; });
+  des.run_until(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(des.now(), 20.0);
+  des.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Des, RunUntilAdvancesTimeWithNoEvents) {
+  Simulator des;
+  des.run_until(100);
+  EXPECT_EQ(des.now(), 100.0);
+}
+
+TEST(Des, HandlersCanChainIndefinitely) {
+  Simulator des;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    des.schedule_in(1, tick);
+  };
+  des.schedule_in(1, tick);
+  des.run_until(50);
+  EXPECT_EQ(count, 50);
+}
+
+TEST(Des, NegativeDelayClampedToNow) {
+  Simulator des;
+  double fired_at = -1;
+  des.schedule_at(10, [&] {
+    des.schedule_in(-5, [&] { fired_at = des.now(); });
+  });
+  des.run();
+  EXPECT_EQ(fired_at, 10.0);
+}
+
+}  // namespace
+}  // namespace naplet::sim

@@ -1,0 +1,102 @@
+#include "sim/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+namespace naplet::sim {
+namespace {
+
+MobilityConfig config_with(double mean_a, double mean_b,
+                           std::uint64_t seed = 1) {
+  MobilityConfig config;
+  config.mean_service_a_ms = mean_a;
+  config.mean_service_b_ms = mean_b;
+  config.rounds = 20000;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Mobility, Deterministic) {
+  const MobilityResult r1 = simulate_mobility(config_with(200, 200, 7));
+  const MobilityResult r2 = simulate_mobility(config_with(200, 200, 7));
+  EXPECT_EQ(r1.low.migrations, r2.low.migrations);
+  EXPECT_DOUBLE_EQ(r1.low.total_cost_ms, r2.low.total_cost_ms);
+  EXPECT_DOUBLE_EQ(r1.high.total_cost_ms, r2.high.total_cost_ms);
+}
+
+TEST(Mobility, RoundsAreAccounted) {
+  const MobilityConfig config = config_with(300, 300);
+  const MobilityResult r = simulate_mobility(config);
+  EXPECT_GE(r.low.migrations + r.high.migrations, config.rounds);
+  EXPECT_EQ(r.low.migrations,
+            r.low.single + r.low.overlapped + r.low.non_overlapped);
+  EXPECT_EQ(r.high.migrations,
+            r.high.single + r.high.overlapped + r.high.non_overlapped);
+}
+
+TEST(Mobility, HighPriorityCostNearConstant) {
+  // Paper Fig. 12(a): the high-priority agent's cost stays ~Tsus+Tres
+  // across service times (its suspend is never delayed).
+  const CostModel model;
+  for (double mean : {100.0, 500.0, 1000.0, 2000.0}) {
+    const MobilityResult r = simulate_mobility(config_with(mean, mean));
+    EXPECT_NEAR(r.high.mean_cost_ms(), model.single_cost(), 3.0)
+        << "mean service " << mean;
+  }
+}
+
+TEST(Mobility, LowPriorityPaysMoreAtHighMigrationRates) {
+  // Paper Fig. 12(b): at small service times the low-priority agent is
+  // delayed by concurrent migrations; at large service times the cost
+  // converges to the single-migration value.
+  const CostModel model;
+  const MobilityResult fast = simulate_mobility(config_with(50, 50));
+  const MobilityResult slow = simulate_mobility(config_with(5000, 5000));
+  EXPECT_GT(fast.low.mean_cost_ms(), slow.low.mean_cost_ms());
+  EXPECT_NEAR(slow.low.mean_cost_ms(), model.single_cost(), 1.5);
+  EXPECT_GT(fast.low.overlapped + fast.low.non_overlapped,
+            slow.low.overlapped + slow.low.non_overlapped);
+}
+
+TEST(Mobility, ConcurrencyVanishesAtLongDwellTimes) {
+  const MobilityResult r = simulate_mobility(config_with(20000, 20000));
+  const double concurrent_fraction =
+      static_cast<double>(r.low.overlapped + r.low.non_overlapped) /
+      static_cast<double>(std::max<std::uint64_t>(1, r.low.migrations));
+  EXPECT_LT(concurrent_fraction, 0.02);
+}
+
+TEST(Mobility, FasterPeerIncreasesConcurrencyForLowAgent) {
+  // Paper: raising mu_b/mu_a means B migrates more often, so A's suspends
+  // meet ongoing B-migrations more often.
+  const MobilityResult balanced = simulate_mobility(config_with(600, 600));
+  const MobilityResult fast_b = simulate_mobility(config_with(600, 200));
+  const auto concurrent = [](const AgentStats& s) {
+    return static_cast<double>(s.overlapped + s.non_overlapped) /
+           static_cast<double>(std::max<std::uint64_t>(1, s.migrations));
+  };
+  EXPECT_GT(concurrent(fast_b.low), concurrent(balanced.low));
+}
+
+TEST(Mobility, AsymmetricRatesMigrationCounts) {
+  // With B three times faster, B completes roughly 3x the migrations.
+  const MobilityResult r = simulate_mobility(config_with(900, 300));
+  const double ratio = static_cast<double>(r.high.migrations) /
+                       static_cast<double>(r.low.migrations);
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 4.5);
+}
+
+TEST(Mobility, CostsBoundedByModelExtremes) {
+  const CostModel model;
+  const MobilityResult r = simulate_mobility(config_with(100, 100));
+  // Low agent's mean must lie between the single cost and the worst
+  // overlapped penalty.
+  EXPECT_GE(r.low.mean_cost_ms(),
+            model.non_overlapped_second_cost(model.params().t_control_ms) -
+                1.0);
+  EXPECT_LE(r.low.mean_cost_ms(),
+            model.overlapped_low_cost(model.params().t_control_ms) + 1.0);
+}
+
+}  // namespace
+}  // namespace naplet::sim

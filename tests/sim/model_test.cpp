@@ -1,0 +1,72 @@
+#include "sim/model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace naplet::sim {
+namespace {
+
+TEST(CostModel, DefaultsMatchPaperMeasurements) {
+  const CostModel model;
+  EXPECT_DOUBLE_EQ(model.params().t_control_ms, 10.0);
+  EXPECT_DOUBLE_EQ(model.params().t_suspend_ms, 27.8);
+  EXPECT_DOUBLE_EQ(model.params().t_resume_ms, 16.9);
+  EXPECT_DOUBLE_EQ(model.params().t_agent_migrate_ms, 220.0);
+}
+
+TEST(CostModel, SingleCostIsEquationOne) {
+  const CostModel model;
+  EXPECT_DOUBLE_EQ(model.single_cost(), 27.8 + 16.9);
+}
+
+TEST(CostModel, ClassificationWindows) {
+  const CostModel model;
+  EXPECT_EQ(model.classify(0.0), MigrationCase::kOverlapped);
+  EXPECT_EQ(model.classify(9.99), MigrationCase::kOverlapped);
+  EXPECT_EQ(model.classify(10.0), MigrationCase::kNonOverlapped);
+  EXPECT_EQ(model.classify(27.0), MigrationCase::kNonOverlapped);
+  EXPECT_EQ(model.classify(27.8), MigrationCase::kSingle);
+  EXPECT_EQ(model.classify(1000.0), MigrationCase::kSingle);
+}
+
+TEST(CostModel, OverlappedHighEqualsSingle) {
+  const CostModel model;
+  EXPECT_DOUBLE_EQ(model.overlapped_high_cost(), model.single_cost());
+}
+
+TEST(CostModel, OverlappedLowIsEquationThreePlusResume) {
+  const CostModel model;
+  // Eq. (3): Tsuspend_low = Tcontrol + Tsuspend + tau; plus resume.
+  EXPECT_DOUBLE_EQ(model.overlapped_low_cost(5.0), 10.0 + 27.8 + 5.0 + 16.9);
+  // Low side always pays at least a control-message of extra latency.
+  EXPECT_GT(model.overlapped_low_cost(0.0), model.single_cost());
+}
+
+TEST(CostModel, NonOverlappedSecondIsEquationFour) {
+  const CostModel model;
+  EXPECT_DOUBLE_EQ(model.non_overlapped_second_cost(12.0), 16.9 + 10.0 + 12.0);
+  EXPECT_DOUBLE_EQ(model.non_overlapped_first_cost(), model.single_cost());
+}
+
+TEST(CostModel, DipBelowSingleJustPastControlLatency) {
+  // Paper §5.2: "the lowest latency ... happens around the point where
+  // their starting time interval tau is larger than Tcontrol".
+  const CostModel model;
+  const double tau = model.params().t_control_ms + 1.0;  // 11 ms
+  EXPECT_EQ(model.classify(tau), MigrationCase::kNonOverlapped);
+  EXPECT_LT(model.non_overlapped_second_cost(tau), model.single_cost());
+}
+
+TEST(CostModel, CustomParameters) {
+  CostParams params;
+  params.t_control_ms = 1;
+  params.t_suspend_ms = 2;
+  params.t_resume_ms = 3;
+  const CostModel model(params);
+  EXPECT_DOUBLE_EQ(model.single_cost(), 5.0);
+  EXPECT_EQ(model.classify(0.5), MigrationCase::kOverlapped);
+  EXPECT_EQ(model.classify(1.5), MigrationCase::kNonOverlapped);
+  EXPECT_EQ(model.classify(2.5), MigrationCase::kSingle);
+}
+
+}  // namespace
+}  // namespace naplet::sim

@@ -1,0 +1,99 @@
+#include "sim/overhead.hpp"
+
+#include <gtest/gtest.h>
+
+namespace naplet::sim {
+namespace {
+
+OverheadConfig config_with(double lambda, double r, std::uint64_t seed = 3) {
+  OverheadConfig config;
+  config.message_rate = lambda;
+  config.relative_rate = r;
+  config.sim_time = 20000;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Overhead, Deterministic) {
+  const OverheadResult a = simulate_overhead(config_with(10, 5));
+  const OverheadResult b = simulate_overhead(config_with(10, 5));
+  EXPECT_EQ(a.data_messages, b.data_messages);
+  EXPECT_EQ(a.control_messages, b.control_messages);
+}
+
+TEST(Overhead, RatesApproximatelyHonored) {
+  const OverheadConfig config = config_with(10, 5);
+  const OverheadResult r = simulate_overhead(config);
+  const double expected_data = config.message_rate * config.sim_time;
+  const double expected_migrations =
+      config.message_rate / config.relative_rate * config.sim_time;
+  EXPECT_NEAR(static_cast<double>(r.data_messages), expected_data,
+              expected_data * 0.05);
+  EXPECT_NEAR(static_cast<double>(r.migrations), expected_migrations,
+              expected_migrations * 0.1);
+}
+
+TEST(Overhead, AboveEightyPercentAtUnitRatio) {
+  // Paper Fig. 13: at r = 1 the overhead stays above 80% no matter how
+  // large the message exchange rate becomes.
+  for (double lambda : {10.0, 50.0, 100.0}) {
+    const OverheadResult r = simulate_overhead(config_with(lambda, 1));
+    EXPECT_GT(r.overhead(), 0.80) << "lambda " << lambda;
+  }
+}
+
+TEST(Overhead, DecreasesWithRate) {
+  // For a fixed ratio, a higher exchange rate amortizes the maintenance
+  // stream and reduces the overhead fraction.
+  const OverheadResult slow = simulate_overhead(config_with(1, 10));
+  const OverheadResult fast = simulate_overhead(config_with(100, 10));
+  EXPECT_GT(slow.overhead(), fast.overhead());
+}
+
+TEST(Overhead, DecreasesWithRatio) {
+  // More data messages per migration -> proportionally less control.
+  const OverheadResult r1 = simulate_overhead(config_with(50, 1));
+  const OverheadResult r5 = simulate_overhead(config_with(50, 5));
+  const OverheadResult r20 = simulate_overhead(config_with(50, 20));
+  EXPECT_GT(r1.overhead(), r5.overhead());
+  EXPECT_GT(r5.overhead(), r20.overhead());
+}
+
+TEST(Overhead, AsymptoteMatchesClosedForm) {
+  // At high rates the maintenance stream vanishes and the overhead tends
+  // to C / (C + r).
+  OverheadConfig config = config_with(500, 5);
+  config.sim_time = 5000;
+  const OverheadResult r = simulate_overhead(config);
+  const double asymptote =
+      static_cast<double>(config.ctrl_per_migration) /
+      (static_cast<double>(config.ctrl_per_migration) + config.relative_rate);
+  EXPECT_NEAR(r.overhead(), asymptote, 0.02);
+}
+
+TEST(Overhead, ZeroRatesDegenerate) {
+  OverheadConfig config;
+  config.message_rate = 0;
+  config.relative_rate = 0;
+  config.maintenance_rate = 0;
+  config.sim_time = 100;
+  const OverheadResult r = simulate_overhead(config);
+  EXPECT_EQ(r.data_messages, 0u);
+  EXPECT_EQ(r.control_messages, 0u);
+  EXPECT_EQ(r.overhead(), 0.0);
+}
+
+TEST(Overhead, MaintenanceOnlyIsAllControl) {
+  OverheadConfig config;
+  config.message_rate = 0;
+  config.relative_rate = 1;  // mu = 0 anyway since lambda = 0
+  config.maintenance_rate = 2;
+  config.sim_time = 1000;
+  const OverheadResult r = simulate_overhead(config);
+  EXPECT_EQ(r.data_messages, 0u);
+  EXPECT_GT(r.control_messages, 0u);
+  EXPECT_EQ(r.overhead(), 1.0);
+}
+
+}  // namespace
+}  // namespace naplet::sim

@@ -1,0 +1,63 @@
+#include "util/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace naplet::util {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(RealClock, Monotonic) {
+  RealClock& clock = RealClock::instance();
+  const std::int64_t a = clock.now_us();
+  const std::int64_t b = clock.now_us();
+  EXPECT_LE(a, b);
+}
+
+TEST(RealClock, SleepAdvances) {
+  RealClock& clock = RealClock::instance();
+  const std::int64_t before = clock.now_us();
+  clock.sleep_for(5ms);
+  EXPECT_GE(clock.now_us() - before, 4000);
+}
+
+TEST(VirtualClock, StartsAtGivenTime) {
+  VirtualClock clock(1000);
+  EXPECT_EQ(clock.now_us(), 1000);
+}
+
+TEST(VirtualClock, AdvanceMovesTime) {
+  VirtualClock clock;
+  clock.advance(us(500));
+  EXPECT_EQ(clock.now_us(), 500);
+  clock.advance(ms(2));
+  EXPECT_EQ(clock.now_us(), 2500);
+}
+
+TEST(VirtualClock, SleeperWokenByAdvance) {
+  VirtualClock clock;
+  std::thread sleeper([&] { clock.sleep_for(ms(10)); });
+  // Wait for the sleeper to park.
+  while (clock.sleeper_count() == 0) std::this_thread::sleep_for(1ms);
+  clock.advance(ms(5));
+  std::this_thread::sleep_for(5ms);
+  EXPECT_EQ(clock.sleeper_count(), 1);  // not yet due
+  clock.advance(ms(5));
+  sleeper.join();
+  EXPECT_EQ(clock.sleeper_count(), 0);
+}
+
+TEST(Stopwatch, MeasuresVirtualTime) {
+  VirtualClock clock;
+  Stopwatch sw(clock);
+  clock.advance(ms(7));
+  EXPECT_EQ(sw.elapsed_us(), 7000);
+  EXPECT_DOUBLE_EQ(sw.elapsed_ms(), 7.0);
+  sw.reset();
+  EXPECT_EQ(sw.elapsed_us(), 0);
+}
+
+}  // namespace
+}  // namespace naplet::util

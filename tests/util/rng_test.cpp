@@ -1,0 +1,95 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace naplet::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.uniform(-5.0, 5.0);
+    EXPECT_GE(d, -5.0);
+    EXPECT_LT(d, 5.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(13);
+  constexpr int kSamples = 200000;
+  constexpr double kMean = 42.0;
+  double sum = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double d = rng.exponential(kMean);
+    EXPECT_GE(d, 0.0);
+    sum += d;
+  }
+  const double sample_mean = sum / kSamples;
+  EXPECT_NEAR(sample_mean, kMean, kMean * 0.02);
+}
+
+TEST(Rng, ExponentialDegenerateMean) {
+  Rng rng(15);
+  EXPECT_EQ(rng.exponential(0), 0.0);
+  EXPECT_EQ(rng.exponential(-3), 0.0);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(Rng, UniformityOfLowBits) {
+  // SplitMix64 output should have balanced low bits.
+  Rng rng(19);
+  int ones = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    ones += static_cast<int>(rng.next_u64() & 1);
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / kSamples, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace naplet::util

@@ -1,0 +1,71 @@
+#include "util/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace naplet::util {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = NotFound("agent x");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "agent x");
+  EXPECT_EQ(s.to_string(), "NOT_FOUND: agent x");
+}
+
+TEST(Status, EqualityIsByCode) {
+  EXPECT_EQ(Timeout("a"), Timeout("b"));
+  EXPECT_FALSE(Timeout("a") == NotFound("a"));
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kProtocolError); ++c) {
+    EXPECT_NE(to_string(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value_or(-1), 42);
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v(InvalidArgument("nope"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(v.value_or(-1), -1);
+}
+
+TEST(StatusOr, MoveOnlyTypes) {
+  StatusOr<std::unique_ptr<int>> v(std::make_unique<int>(7));
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> taken = std::move(v).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+TEST(StatusOr, ArrowOperator) {
+  StatusOr<std::string> v(std::string("hello"));
+  EXPECT_EQ(v->size(), 5u);
+}
+
+util::Status fails() { return Timeout("inner"); }
+util::Status propagates() {
+  NAPLET_RETURN_IF_ERROR(fails());
+  return OkStatus();
+}
+
+TEST(ReturnIfError, Propagates) {
+  EXPECT_EQ(propagates().code(), StatusCode::kTimeout);
+}
+
+}  // namespace
+}  // namespace naplet::util

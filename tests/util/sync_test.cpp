@@ -1,0 +1,158 @@
+#include "util/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace naplet::util {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(BlockingQueue, FifoOrder) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(*q.pop(), 1);
+  EXPECT_EQ(*q.pop(), 2);
+  EXPECT_EQ(*q.pop(), 3);
+}
+
+TEST(BlockingQueue, PopForTimesOut) {
+  BlockingQueue<int> q;
+  auto v = q.pop_for(10ms);
+  EXPECT_FALSE(v.has_value());
+}
+
+TEST(BlockingQueue, TryPopNonBlocking) {
+  BlockingQueue<int> q;
+  EXPECT_FALSE(q.try_pop().has_value());
+  q.push(5);
+  EXPECT_EQ(*q.try_pop(), 5);
+}
+
+TEST(BlockingQueue, CloseDrainsThenReturnsNullopt) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.close();
+  EXPECT_FALSE(q.push(2));  // rejected after close
+  EXPECT_EQ(*q.pop(), 1);   // drained
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BlockingQueue, CloseWakesBlockedPopper) {
+  BlockingQueue<int> q;
+  std::thread t([&] {
+    auto v = q.pop();
+    EXPECT_FALSE(v.has_value());
+  });
+  std::this_thread::sleep_for(20ms);
+  q.close();
+  t.join();
+}
+
+TEST(BlockingQueue, CrossThreadDelivery) {
+  BlockingQueue<int> q;
+  constexpr int kCount = 1000;
+  std::thread producer([&] {
+    for (int i = 0; i < kCount; ++i) q.push(i);
+  });
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(*q.pop(), i);
+  }
+  producer.join();
+}
+
+TEST(BlockingQueue, MultipleProducersAllItemsArrive) {
+  BlockingQueue<int> q;
+  constexpr int kPerProducer = 500;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&q] {
+      for (int i = 0; i < kPerProducer; ++i) q.push(i);
+    });
+  }
+  int received = 0;
+  while (received < 4 * kPerProducer) {
+    if (q.pop_for(1s)) ++received;
+  }
+  EXPECT_EQ(received, 4 * kPerProducer);
+  for (auto& t : producers) t.join();
+}
+
+TEST(Event, SetReleasesWaiter) {
+  Event e;
+  std::atomic<bool> woke{false};
+  std::thread t([&] {
+    e.wait();
+    woke = true;
+  });
+  std::this_thread::sleep_for(10ms);
+  EXPECT_FALSE(woke.load());
+  e.set();
+  t.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(Event, SetBeforeWaitIsSticky) {
+  Event e;
+  e.set();
+  EXPECT_TRUE(e.wait_for(0ms));
+  EXPECT_TRUE(e.is_set());
+}
+
+TEST(Event, ResetClears) {
+  Event e;
+  e.set();
+  e.reset();
+  EXPECT_FALSE(e.is_set());
+  EXPECT_FALSE(e.wait_for(5ms));
+}
+
+TEST(Event, WaitForTimesOut) {
+  Event e;
+  EXPECT_FALSE(e.wait_for(10ms));
+}
+
+TEST(WaitableCell, GetSet) {
+  WaitableCell<int> cell(1);
+  EXPECT_EQ(cell.get(), 1);
+  cell.set(2);
+  EXPECT_EQ(cell.get(), 2);
+}
+
+TEST(WaitableCell, WaitForPredicate) {
+  WaitableCell<int> cell(0);
+  std::thread t([&] {
+    std::this_thread::sleep_for(20ms);
+    cell.set(42);
+  });
+  auto v = cell.wait_for([](int x) { return x == 42; }, 2s);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+  t.join();
+}
+
+TEST(WaitableCell, WaitForTimesOut) {
+  WaitableCell<int> cell(0);
+  EXPECT_FALSE(cell.wait_for([](int x) { return x == 1; }, 10ms).has_value());
+}
+
+TEST(WaitableCell, UpdateAppliesMutationAndWakes) {
+  WaitableCell<std::vector<int>> cell({});
+  std::thread t([&] {
+    std::this_thread::sleep_for(10ms);
+    cell.update([](std::vector<int>& v) { v.push_back(9); });
+  });
+  auto v = cell.wait_for([](const std::vector<int>& v2) { return !v2.empty(); },
+                         2s);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->at(0), 9);
+  t.join();
+}
+
+}  // namespace
+}  // namespace naplet::util
