@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_failure_recovery.dir/ext_failure_recovery.cpp.o"
+  "CMakeFiles/ext_failure_recovery.dir/ext_failure_recovery.cpp.o.d"
+  "ext_failure_recovery"
+  "ext_failure_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_failure_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_message_trace.dir/fig07_message_trace.cpp.o"
+  "CMakeFiles/fig07_message_trace.dir/fig07_message_trace.cpp.o.d"
+  "fig07_message_trace"
+  "fig07_message_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_message_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

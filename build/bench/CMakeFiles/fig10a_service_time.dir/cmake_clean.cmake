@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10a_service_time.dir/fig10a_service_time.cpp.o"
+  "CMakeFiles/fig10a_service_time.dir/fig10a_service_time.cpp.o.d"
+  "fig10a_service_time"
+  "fig10a_service_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10a_service_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

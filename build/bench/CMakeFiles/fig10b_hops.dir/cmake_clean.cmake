@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10b_hops.dir/fig10b_hops.cpp.o"
+  "CMakeFiles/fig10b_hops.dir/fig10b_hops.cpp.o.d"
+  "fig10b_hops"
+  "fig10b_hops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10b_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

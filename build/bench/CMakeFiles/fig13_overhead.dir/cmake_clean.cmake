@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_overhead.dir/fig13_overhead.cpp.o"
+  "CMakeFiles/fig13_overhead.dir/fig13_overhead.cpp.o.d"
+  "fig13_overhead"
+  "fig13_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

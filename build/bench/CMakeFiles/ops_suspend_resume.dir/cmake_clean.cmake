@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_suspend_resume.dir/ops_suspend_resume.cpp.o"
+  "CMakeFiles/ops_suspend_resume.dir/ops_suspend_resume.cpp.o.d"
+  "ops_suspend_resume"
+  "ops_suspend_resume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_suspend_resume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_open_close.dir/table1_open_close.cpp.o"
+  "CMakeFiles/table1_open_close.dir/table1_open_close.cpp.o.d"
+  "table1_open_close"
+  "table1_open_close.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_open_close.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

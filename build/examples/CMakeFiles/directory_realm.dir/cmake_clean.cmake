@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/directory_realm.dir/directory_realm.cpp.o"
+  "CMakeFiles/directory_realm.dir/directory_realm.cpp.o.d"
+  "directory_realm"
+  "directory_realm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/directory_realm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_chat.dir/mobile_chat.cpp.o"
+  "CMakeFiles/mobile_chat.dir/mobile_chat.cpp.o.d"
+  "mobile_chat"
+  "mobile_chat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_chat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_sync.dir/parallel_sync.cpp.o"
+  "CMakeFiles/parallel_sync.dir/parallel_sync.cpp.o.d"
+  "parallel_sync"
+  "parallel_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_handoff.dir/secure_handoff.cpp.o"
+  "CMakeFiles/secure_handoff.dir/secure_handoff.cpp.o.d"
+  "secure_handoff"
+  "secure_handoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_handoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agent/access_control.cpp" "src/agent/CMakeFiles/naplet_agent.dir/access_control.cpp.o" "gcc" "src/agent/CMakeFiles/naplet_agent.dir/access_control.cpp.o.d"
+  "/root/repo/src/agent/agent.cpp" "src/agent/CMakeFiles/naplet_agent.dir/agent.cpp.o" "gcc" "src/agent/CMakeFiles/naplet_agent.dir/agent.cpp.o.d"
+  "/root/repo/src/agent/agent_id.cpp" "src/agent/CMakeFiles/naplet_agent.dir/agent_id.cpp.o" "gcc" "src/agent/CMakeFiles/naplet_agent.dir/agent_id.cpp.o.d"
+  "/root/repo/src/agent/agent_server.cpp" "src/agent/CMakeFiles/naplet_agent.dir/agent_server.cpp.o" "gcc" "src/agent/CMakeFiles/naplet_agent.dir/agent_server.cpp.o.d"
+  "/root/repo/src/agent/bus.cpp" "src/agent/CMakeFiles/naplet_agent.dir/bus.cpp.o" "gcc" "src/agent/CMakeFiles/naplet_agent.dir/bus.cpp.o.d"
+  "/root/repo/src/agent/directory.cpp" "src/agent/CMakeFiles/naplet_agent.dir/directory.cpp.o" "gcc" "src/agent/CMakeFiles/naplet_agent.dir/directory.cpp.o.d"
+  "/root/repo/src/agent/location.cpp" "src/agent/CMakeFiles/naplet_agent.dir/location.cpp.o" "gcc" "src/agent/CMakeFiles/naplet_agent.dir/location.cpp.o.d"
+  "/root/repo/src/agent/postoffice.cpp" "src/agent/CMakeFiles/naplet_agent.dir/postoffice.cpp.o" "gcc" "src/agent/CMakeFiles/naplet_agent.dir/postoffice.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/naplet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/naplet_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/naplet_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naplet_agent.dir/access_control.cpp.o"
+  "CMakeFiles/naplet_agent.dir/access_control.cpp.o.d"
+  "CMakeFiles/naplet_agent.dir/agent.cpp.o"
+  "CMakeFiles/naplet_agent.dir/agent.cpp.o.d"
+  "CMakeFiles/naplet_agent.dir/agent_id.cpp.o"
+  "CMakeFiles/naplet_agent.dir/agent_id.cpp.o.d"
+  "CMakeFiles/naplet_agent.dir/agent_server.cpp.o"
+  "CMakeFiles/naplet_agent.dir/agent_server.cpp.o.d"
+  "CMakeFiles/naplet_agent.dir/bus.cpp.o"
+  "CMakeFiles/naplet_agent.dir/bus.cpp.o.d"
+  "CMakeFiles/naplet_agent.dir/directory.cpp.o"
+  "CMakeFiles/naplet_agent.dir/directory.cpp.o.d"
+  "CMakeFiles/naplet_agent.dir/location.cpp.o"
+  "CMakeFiles/naplet_agent.dir/location.cpp.o.d"
+  "CMakeFiles/naplet_agent.dir/postoffice.cpp.o"
+  "CMakeFiles/naplet_agent.dir/postoffice.cpp.o.d"
+  "libnaplet_agent.a"
+  "libnaplet_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naplet_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

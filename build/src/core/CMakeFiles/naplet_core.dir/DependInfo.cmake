@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/naplet_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/naplet_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/controller_ops.cpp" "src/core/CMakeFiles/naplet_core.dir/controller_ops.cpp.o" "gcc" "src/core/CMakeFiles/naplet_core.dir/controller_ops.cpp.o.d"
+  "/root/repo/src/core/controller_recovery.cpp" "src/core/CMakeFiles/naplet_core.dir/controller_recovery.cpp.o" "gcc" "src/core/CMakeFiles/naplet_core.dir/controller_recovery.cpp.o.d"
+  "/root/repo/src/core/naplet_socket.cpp" "src/core/CMakeFiles/naplet_core.dir/naplet_socket.cpp.o" "gcc" "src/core/CMakeFiles/naplet_core.dir/naplet_socket.cpp.o.d"
+  "/root/repo/src/core/redirector.cpp" "src/core/CMakeFiles/naplet_core.dir/redirector.cpp.o" "gcc" "src/core/CMakeFiles/naplet_core.dir/redirector.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/naplet_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/naplet_core.dir/runtime.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/core/CMakeFiles/naplet_core.dir/session.cpp.o" "gcc" "src/core/CMakeFiles/naplet_core.dir/session.cpp.o.d"
+  "/root/repo/src/core/state.cpp" "src/core/CMakeFiles/naplet_core.dir/state.cpp.o" "gcc" "src/core/CMakeFiles/naplet_core.dir/state.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/core/CMakeFiles/naplet_core.dir/stats.cpp.o" "gcc" "src/core/CMakeFiles/naplet_core.dir/stats.cpp.o.d"
+  "/root/repo/src/core/streams.cpp" "src/core/CMakeFiles/naplet_core.dir/streams.cpp.o" "gcc" "src/core/CMakeFiles/naplet_core.dir/streams.cpp.o.d"
+  "/root/repo/src/core/wire.cpp" "src/core/CMakeFiles/naplet_core.dir/wire.cpp.o" "gcc" "src/core/CMakeFiles/naplet_core.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/agent/CMakeFiles/naplet_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/naplet_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/naplet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/naplet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

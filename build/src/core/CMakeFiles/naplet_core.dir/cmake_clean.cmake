@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naplet_core.dir/controller.cpp.o"
+  "CMakeFiles/naplet_core.dir/controller.cpp.o.d"
+  "CMakeFiles/naplet_core.dir/controller_ops.cpp.o"
+  "CMakeFiles/naplet_core.dir/controller_ops.cpp.o.d"
+  "CMakeFiles/naplet_core.dir/controller_recovery.cpp.o"
+  "CMakeFiles/naplet_core.dir/controller_recovery.cpp.o.d"
+  "CMakeFiles/naplet_core.dir/naplet_socket.cpp.o"
+  "CMakeFiles/naplet_core.dir/naplet_socket.cpp.o.d"
+  "CMakeFiles/naplet_core.dir/redirector.cpp.o"
+  "CMakeFiles/naplet_core.dir/redirector.cpp.o.d"
+  "CMakeFiles/naplet_core.dir/runtime.cpp.o"
+  "CMakeFiles/naplet_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/naplet_core.dir/session.cpp.o"
+  "CMakeFiles/naplet_core.dir/session.cpp.o.d"
+  "CMakeFiles/naplet_core.dir/state.cpp.o"
+  "CMakeFiles/naplet_core.dir/state.cpp.o.d"
+  "CMakeFiles/naplet_core.dir/stats.cpp.o"
+  "CMakeFiles/naplet_core.dir/stats.cpp.o.d"
+  "CMakeFiles/naplet_core.dir/streams.cpp.o"
+  "CMakeFiles/naplet_core.dir/streams.cpp.o.d"
+  "CMakeFiles/naplet_core.dir/wire.cpp.o"
+  "CMakeFiles/naplet_core.dir/wire.cpp.o.d"
+  "libnaplet_core.a"
+  "libnaplet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naplet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/bignum.cpp" "src/crypto/CMakeFiles/naplet_crypto.dir/bignum.cpp.o" "gcc" "src/crypto/CMakeFiles/naplet_crypto.dir/bignum.cpp.o.d"
+  "/root/repo/src/crypto/dh.cpp" "src/crypto/CMakeFiles/naplet_crypto.dir/dh.cpp.o" "gcc" "src/crypto/CMakeFiles/naplet_crypto.dir/dh.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/naplet_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/naplet_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/random.cpp" "src/crypto/CMakeFiles/naplet_crypto.dir/random.cpp.o" "gcc" "src/crypto/CMakeFiles/naplet_crypto.dir/random.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/naplet_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/naplet_crypto.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/naplet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naplet_crypto.dir/bignum.cpp.o"
+  "CMakeFiles/naplet_crypto.dir/bignum.cpp.o.d"
+  "CMakeFiles/naplet_crypto.dir/dh.cpp.o"
+  "CMakeFiles/naplet_crypto.dir/dh.cpp.o.d"
+  "CMakeFiles/naplet_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/naplet_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/naplet_crypto.dir/random.cpp.o"
+  "CMakeFiles/naplet_crypto.dir/random.cpp.o.d"
+  "CMakeFiles/naplet_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/naplet_crypto.dir/sha256.cpp.o.d"
+  "libnaplet_crypto.a"
+  "libnaplet_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naplet_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

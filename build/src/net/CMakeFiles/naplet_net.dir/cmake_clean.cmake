@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naplet_net.dir/frame.cpp.o"
+  "CMakeFiles/naplet_net.dir/frame.cpp.o.d"
+  "CMakeFiles/naplet_net.dir/rudp.cpp.o"
+  "CMakeFiles/naplet_net.dir/rudp.cpp.o.d"
+  "CMakeFiles/naplet_net.dir/sim.cpp.o"
+  "CMakeFiles/naplet_net.dir/sim.cpp.o.d"
+  "CMakeFiles/naplet_net.dir/tcp.cpp.o"
+  "CMakeFiles/naplet_net.dir/tcp.cpp.o.d"
+  "libnaplet_net.a"
+  "libnaplet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naplet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

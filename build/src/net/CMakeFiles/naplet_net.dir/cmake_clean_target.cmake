@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnaplet_net.a"
+)

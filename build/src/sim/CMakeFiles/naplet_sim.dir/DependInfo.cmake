@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/des.cpp" "src/sim/CMakeFiles/naplet_sim.dir/des.cpp.o" "gcc" "src/sim/CMakeFiles/naplet_sim.dir/des.cpp.o.d"
+  "/root/repo/src/sim/mobility.cpp" "src/sim/CMakeFiles/naplet_sim.dir/mobility.cpp.o" "gcc" "src/sim/CMakeFiles/naplet_sim.dir/mobility.cpp.o.d"
+  "/root/repo/src/sim/overhead.cpp" "src/sim/CMakeFiles/naplet_sim.dir/overhead.cpp.o" "gcc" "src/sim/CMakeFiles/naplet_sim.dir/overhead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/naplet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

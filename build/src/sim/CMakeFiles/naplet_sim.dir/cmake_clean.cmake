@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naplet_sim.dir/des.cpp.o"
+  "CMakeFiles/naplet_sim.dir/des.cpp.o.d"
+  "CMakeFiles/naplet_sim.dir/mobility.cpp.o"
+  "CMakeFiles/naplet_sim.dir/mobility.cpp.o.d"
+  "CMakeFiles/naplet_sim.dir/overhead.cpp.o"
+  "CMakeFiles/naplet_sim.dir/overhead.cpp.o.d"
+  "libnaplet_sim.a"
+  "libnaplet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naplet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

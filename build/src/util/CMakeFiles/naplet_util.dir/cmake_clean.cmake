@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naplet_util.dir/bytes.cpp.o"
+  "CMakeFiles/naplet_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/naplet_util.dir/clock.cpp.o"
+  "CMakeFiles/naplet_util.dir/clock.cpp.o.d"
+  "CMakeFiles/naplet_util.dir/log.cpp.o"
+  "CMakeFiles/naplet_util.dir/log.cpp.o.d"
+  "CMakeFiles/naplet_util.dir/serial.cpp.o"
+  "CMakeFiles/naplet_util.dir/serial.cpp.o.d"
+  "CMakeFiles/naplet_util.dir/status.cpp.o"
+  "CMakeFiles/naplet_util.dir/status.cpp.o.d"
+  "libnaplet_util.a"
+  "libnaplet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naplet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

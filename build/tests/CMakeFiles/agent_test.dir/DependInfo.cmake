@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/agent/access_control_test.cpp" "tests/CMakeFiles/agent_test.dir/agent/access_control_test.cpp.o" "gcc" "tests/CMakeFiles/agent_test.dir/agent/access_control_test.cpp.o.d"
+  "/root/repo/tests/agent/agent_id_test.cpp" "tests/CMakeFiles/agent_test.dir/agent/agent_id_test.cpp.o" "gcc" "tests/CMakeFiles/agent_test.dir/agent/agent_id_test.cpp.o.d"
+  "/root/repo/tests/agent/agent_server_test.cpp" "tests/CMakeFiles/agent_test.dir/agent/agent_server_test.cpp.o" "gcc" "tests/CMakeFiles/agent_test.dir/agent/agent_server_test.cpp.o.d"
+  "/root/repo/tests/agent/bus_test.cpp" "tests/CMakeFiles/agent_test.dir/agent/bus_test.cpp.o" "gcc" "tests/CMakeFiles/agent_test.dir/agent/bus_test.cpp.o.d"
+  "/root/repo/tests/agent/directory_test.cpp" "tests/CMakeFiles/agent_test.dir/agent/directory_test.cpp.o" "gcc" "tests/CMakeFiles/agent_test.dir/agent/directory_test.cpp.o.d"
+  "/root/repo/tests/agent/itinerary_test.cpp" "tests/CMakeFiles/agent_test.dir/agent/itinerary_test.cpp.o" "gcc" "tests/CMakeFiles/agent_test.dir/agent/itinerary_test.cpp.o.d"
+  "/root/repo/tests/agent/location_test.cpp" "tests/CMakeFiles/agent_test.dir/agent/location_test.cpp.o" "gcc" "tests/CMakeFiles/agent_test.dir/agent/location_test.cpp.o.d"
+  "/root/repo/tests/agent/postoffice_test.cpp" "tests/CMakeFiles/agent_test.dir/agent/postoffice_test.cpp.o" "gcc" "tests/CMakeFiles/agent_test.dir/agent/postoffice_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/naplet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/naplet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/naplet_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/naplet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/naplet_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/naplet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

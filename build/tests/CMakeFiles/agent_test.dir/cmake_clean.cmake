@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agent_test.dir/agent/access_control_test.cpp.o"
+  "CMakeFiles/agent_test.dir/agent/access_control_test.cpp.o.d"
+  "CMakeFiles/agent_test.dir/agent/agent_id_test.cpp.o"
+  "CMakeFiles/agent_test.dir/agent/agent_id_test.cpp.o.d"
+  "CMakeFiles/agent_test.dir/agent/agent_server_test.cpp.o"
+  "CMakeFiles/agent_test.dir/agent/agent_server_test.cpp.o.d"
+  "CMakeFiles/agent_test.dir/agent/bus_test.cpp.o"
+  "CMakeFiles/agent_test.dir/agent/bus_test.cpp.o.d"
+  "CMakeFiles/agent_test.dir/agent/directory_test.cpp.o"
+  "CMakeFiles/agent_test.dir/agent/directory_test.cpp.o.d"
+  "CMakeFiles/agent_test.dir/agent/itinerary_test.cpp.o"
+  "CMakeFiles/agent_test.dir/agent/itinerary_test.cpp.o.d"
+  "CMakeFiles/agent_test.dir/agent/location_test.cpp.o"
+  "CMakeFiles/agent_test.dir/agent/location_test.cpp.o.d"
+  "CMakeFiles/agent_test.dir/agent/postoffice_test.cpp.o"
+  "CMakeFiles/agent_test.dir/agent/postoffice_test.cpp.o.d"
+  "agent_test"
+  "agent_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/agent_api_test.cpp" "tests/CMakeFiles/core_test.dir/core/agent_api_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/agent_api_test.cpp.o.d"
+  "/root/repo/tests/core/concurrent_migration_test.cpp" "tests/CMakeFiles/core_test.dir/core/concurrent_migration_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/concurrent_migration_test.cpp.o.d"
+  "/root/repo/tests/core/failure_recovery_test.cpp" "tests/CMakeFiles/core_test.dir/core/failure_recovery_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/failure_recovery_test.cpp.o.d"
+  "/root/repo/tests/core/migration_test.cpp" "tests/CMakeFiles/core_test.dir/core/migration_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/migration_test.cpp.o.d"
+  "/root/repo/tests/core/pump_migration_test.cpp" "tests/CMakeFiles/core_test.dir/core/pump_migration_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/pump_migration_test.cpp.o.d"
+  "/root/repo/tests/core/reliability_test.cpp" "tests/CMakeFiles/core_test.dir/core/reliability_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/reliability_test.cpp.o.d"
+  "/root/repo/tests/core/security_test.cpp" "tests/CMakeFiles/core_test.dir/core/security_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/security_test.cpp.o.d"
+  "/root/repo/tests/core/session_test.cpp" "tests/CMakeFiles/core_test.dir/core/session_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/session_test.cpp.o.d"
+  "/root/repo/tests/core/socket_test.cpp" "tests/CMakeFiles/core_test.dir/core/socket_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/socket_test.cpp.o.d"
+  "/root/repo/tests/core/state_test.cpp" "tests/CMakeFiles/core_test.dir/core/state_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/state_test.cpp.o.d"
+  "/root/repo/tests/core/streams_test.cpp" "tests/CMakeFiles/core_test.dir/core/streams_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/streams_test.cpp.o.d"
+  "/root/repo/tests/core/stress_test.cpp" "tests/CMakeFiles/core_test.dir/core/stress_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/stress_test.cpp.o.d"
+  "/root/repo/tests/core/wire_test.cpp" "tests/CMakeFiles/core_test.dir/core/wire_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/wire_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/naplet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/naplet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/naplet_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/naplet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/naplet_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/naplet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/agent_api_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/agent_api_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/concurrent_migration_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/concurrent_migration_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/failure_recovery_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/failure_recovery_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/migration_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/migration_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/pump_migration_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/pump_migration_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/reliability_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/reliability_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/security_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/security_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/session_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/session_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/socket_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/socket_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/state_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/state_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/streams_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/streams_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/stress_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/stress_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/wire_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/wire_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

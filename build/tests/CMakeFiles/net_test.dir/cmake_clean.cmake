@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_test.dir/net/frame_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/frame_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/rudp_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/rudp_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/sim_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/sim_test.cpp.o.d"
+  "CMakeFiles/net_test.dir/net/tcp_test.cpp.o"
+  "CMakeFiles/net_test.dir/net/tcp_test.cpp.o.d"
+  "net_test"
+  "net_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

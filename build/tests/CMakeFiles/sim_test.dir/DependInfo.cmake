@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/des_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/des_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/des_test.cpp.o.d"
+  "/root/repo/tests/sim/mobility_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/mobility_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/mobility_test.cpp.o.d"
+  "/root/repo/tests/sim/model_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/model_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/model_test.cpp.o.d"
+  "/root/repo/tests/sim/overhead_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/overhead_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/overhead_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/naplet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/naplet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/naplet_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/naplet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/naplet_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/naplet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

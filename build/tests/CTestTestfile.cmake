@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(util_test "/root/repo/build/tests/util_test")
+set_tests_properties(util_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;naplet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(crypto_test "/root/repo/build/tests/crypto_test")
+set_tests_properties(crypto_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;20;naplet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(net_test "/root/repo/build/tests/net_test")
+set_tests_properties(net_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;27;naplet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(agent_test "/root/repo/build/tests/agent_test")
+set_tests_properties(agent_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;34;naplet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_test "/root/repo/build/tests/core_test")
+set_tests_properties(core_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;45;naplet_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sim_test "/root/repo/build/tests/sim_test")
+set_tests_properties(sim_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;61;naplet_test;/root/repo/tests/CMakeLists.txt;0;")
