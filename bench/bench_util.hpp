@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "core/runtime.hpp"
+#include "core/session.hpp"
+#include "net/sim.hpp"
 #include "net/tcp.hpp"
 
 namespace naplet::bench {
@@ -115,6 +117,64 @@ class BenchRealm {
   std::unique_ptr<nsock::Realm> realm_;
 };
 
+/// Two ESTABLISHED sessions wired directly over a stream pair — the
+/// data-path microbenchmark harness (no handshake, control channel, or
+/// migration machinery in the loop).
+struct WiredSessionPair {
+  nsock::SessionPtr a;  // client/sender side
+  nsock::SessionPtr b;  // server/receiver side
+};
+
+inline void drive_established(nsock::Session& s, bool client) {
+  using nsock::ConnEvent;
+  if (client) {
+    (void)s.advance(ConnEvent::kAppConnect);
+    (void)s.advance(ConnEvent::kRecvConnectAck);
+  } else {
+    (void)s.advance(ConnEvent::kAppListen);
+    (void)s.advance(ConnEvent::kRecvConnect);
+    (void)s.advance(ConnEvent::kRecvAttach);
+  }
+  if (s.state() != nsock::ConnState::kEstablished) std::abort();
+}
+
+inline WiredSessionPair wire_session_pair(net::StreamPtr client,
+                                          net::StreamPtr server) {
+  WiredSessionPair pair;
+  pair.a = std::make_shared<nsock::Session>(1, 2, true, agent::AgentId("alice"),
+                                            agent::AgentId("bob"));
+  pair.b = std::make_shared<nsock::Session>(1, 2, false, agent::AgentId("bob"),
+                                            agent::AgentId("alice"));
+  pair.a->attach_stream(std::shared_ptr<net::Stream>(std::move(client)));
+  pair.b->attach_stream(std::shared_ptr<net::Stream>(std::move(server)));
+  drive_established(*pair.a, true);
+  drive_established(*pair.b, false);
+  return pair;
+}
+
+/// Session pair over the Sim backend (in-process pipes, zero latency):
+/// isolates the CPU cost of the data path.
+inline WiredSessionPair sim_session_pair(net::SimNet& net) {
+  auto node_a = net.add_node("a");
+  auto node_b = net.add_node("b");
+  auto listener = node_b->listen(1);
+  if (!listener.ok()) std::abort();
+  auto client = node_a->connect(net::Endpoint{"b", 1}, 1s);
+  auto server = (*listener)->accept(1s);
+  if (!client.ok() || !server.ok()) std::abort();
+  return wire_session_pair(std::move(*client), std::move(*server));
+}
+
+/// Session pair over real TCP loopback: adds syscall cost.
+inline WiredSessionPair tcp_session_pair(net::TcpNetwork& network) {
+  auto listener = network.listen(0);
+  if (!listener.ok()) std::abort();
+  auto client = network.connect((*listener)->local_endpoint(), 2s);
+  auto server = (*listener)->accept(2s);
+  if (!client.ok() || !server.ok()) std::abort();
+  return wire_session_pair(std::move(*client), std::move(*server));
+}
+
 /// Fixed-width table printing.
 inline void print_header(const std::string& title,
                          const std::vector<std::string>& columns) {
@@ -140,6 +200,68 @@ inline std::string fmt(double v, int precision = 2) {
 inline bool fast_mode() {
   const char* env = std::getenv("NAPLET_BENCH_FAST");
   return env != nullptr && env[0] != '0';
+}
+
+/// True when `--json` was passed: benches additionally write their results
+/// to a BENCH_<name>.json file so the perf trajectory is trackable across
+/// PRs (EXPERIMENTS.md records the human-readable tables).
+inline bool json_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return true;
+  }
+  return false;
+}
+
+/// Minimal JSON object builder — enough structure for bench results
+/// (numbers, strings, and pre-rendered nested values), no dependency.
+class JsonObject {
+ public:
+  JsonObject& field(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return raw(key, buf);
+  }
+  JsonObject& field(const std::string& key, std::uint64_t v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonObject& field(const std::string& key, const std::string& v) {
+    return raw(key, "\"" + v + "\"");
+  }
+  /// Insert an already-rendered JSON value (nested object/array).
+  JsonObject& raw(const std::string& key, const std::string& value) {
+    if (!first_) body_ += ",";
+    first_ = false;
+    body_ += "\"" + key + "\":" + value;
+    return *this;
+  }
+
+  [[nodiscard]] std::string render() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+  bool first_ = true;
+};
+
+inline std::string json_array(const std::vector<std::string>& elements) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    if (i) out += ",";
+    out += elements[i];
+  }
+  return out + "]";
+}
+
+inline void write_json_file(const std::string& path,
+                            const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fputs(content.c_str(), f);
+  std::fputs("\n", f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace naplet::bench

@@ -163,6 +163,12 @@ ControllerStats SocketController::stats() const {
     out.sessions = sessions_.size();
     for (const auto& [key, session] : sessions_) {
       ++out.by_state[static_cast<std::size_t>(session->state())];
+      const DataPathStats dp = session->data_stats();
+      out.data_payload_bytes_copied += dp.payload_bytes_copied;
+      out.data_stream_write_ops += dp.stream_write_ops;
+      out.data_stream_read_ops += dp.stream_read_ops;
+      out.data_recv_wakeups += dp.recv_wakeups;
+      out.data_frames_coalesced += dp.frames_coalesced;
     }
     out.listening_agents = accept_queues_.size();
     out.migrating_agents = migrating_agents_.size();

@@ -451,7 +451,7 @@ util::Status SocketController::do_resume(const SessionPtr& session) {
         // Fault-tolerance extension: replay anything the peer missed
         // (uncoordinated loss) before unblocking writers.
         if (config_.failure_recovery.enabled) {
-          if (auto rp = session->replay_history(reply->recv_seq); !rp.ok()) {
+          if (auto rp = session->retransmit_after(reply->recv_seq); !rp.ok()) {
             NAPLET_LOG(kWarn, "recovery")
                 << "conn " << session->conn_id()
                 << ": replay failed: " << rp.to_string();
@@ -616,7 +616,7 @@ void SocketController::handle_resume_request(
   // advancing (writers stay blocked until the state change, so replayed
   // frames keep their position ahead of new traffic).
   if (config_.failure_recovery.enabled) {
-    if (auto rp = session->replay_history(msg.recv_seq); !rp.ok()) {
+    if (auto rp = session->retransmit_after(msg.recv_seq); !rp.ok()) {
       NAPLET_LOG(kWarn, "recovery")
           << "conn " << session->conn_id()
           << ": replay failed: " << rp.to_string();
@@ -847,6 +847,11 @@ util::Bytes SocketController::export_sessions(const agent::AgentId& id) {
   util::BytesWriter w;
   w.u32(static_cast<std::uint32_t>(sessions.size()));
   for (const SessionPtr& session : sessions) {
+    // Seal first: a recv() racing this export must not pop a frame that
+    // the snapshot below also captures (the clone would replay it — a
+    // duplicate delivery). After the seal every pop fails; pops that won
+    // the race are already absent from the buffer we serialize.
+    session->seal_buffer_for_export();
     const util::Bytes blob = session->export_state();
     w.bytes(util::ByteSpan(blob.data(), blob.size()));
     // The live state now travels in the blob; kill the original so stale

@@ -1,6 +1,7 @@
 #include "core/session.hpp"
 
 #include <algorithm>
+#include <thread>
 
 #include "core/wire.hpp"
 #include "net/frame.hpp"
@@ -63,6 +64,8 @@ void Session::attach_stream(std::shared_ptr<net::Stream> stream) {
     stream_ = std::move(stream);
   }
   broken_.store(false);
+  // Wake readers parked on a dead socket: the replacement is here.
+  rx_cv_.notify_all();
 }
 
 bool Session::has_stream() const {
@@ -73,10 +76,16 @@ bool Session::has_stream() const {
 void Session::close_stream() {
   std::shared_ptr<net::Stream> victim;
   {
+    // The io lock is held across socket writes (write_mu_ is not), so a
+    // coordinated teardown must wait for any in-flight gather-write: the
+    // suspension mark declared to the peer can cover exactly that frame,
+    // and the peer cannot finish draining a half-written frame.
+    std::lock_guard io(write_io_mu_);
     std::lock_guard lock(stream_mu_);
     victim = std::exchange(stream_, nullptr);
   }
   if (victim) victim->close();
+  rx_cv_.notify_all();
 }
 
 std::shared_ptr<net::Stream> Session::stream() const {
@@ -106,14 +115,19 @@ Session::Flags Session::flags() const {
 
 std::uint64_t Session::freeze_writes_and_mark() {
   // Callers set the FSM state to a non-transfer state *first*; taking the
-  // write lock afterwards waits out any in-flight send, so the returned
-  // mark covers every frame that was or will be written before suspension.
+  // write lock afterwards serializes against sequence assignment, so the
+  // returned mark covers every frame that was or will be written before
+  // suspension. A send whose seq is already assigned may still be mid-
+  // transfer on the socket (it holds write_io_mu_, not write_mu_) — that is
+  // fine: the stream is only closed after the peer drains to this mark,
+  // which requires the in-flight frame to have fully arrived.
   std::lock_guard lock(write_mu_);
   return tx_seq_;
 }
 
 util::Status Session::send(util::ByteSpan body, util::Duration timeout) {
   const std::int64_t deadline = now_us() + timeout.count();
+  std::uint64_t seq = 0;  // 0 = no sequence number assigned yet
   for (;;) {
     {
       std::unique_lock wl(write_mu_);
@@ -125,30 +139,74 @@ util::Status Session::send(util::ByteSpan body, util::Duration timeout) {
       if (can_transfer(st)) {
         auto s = stream();
         if (s != nullptr) {
-          DataFrame frame{tx_seq_ + 1, util::Bytes(body.begin(), body.end())};
-          const util::Bytes encoded = frame.encode();
-          auto status = net::write_frame(
-              *s, util::ByteSpan(encoded.data(), encoded.size()));
-          if (status.ok()) {
-            ++tx_seq_;
+          // Acquire the io lock while still holding write_mu_ (lock
+          // coupling): socket writes happen in seq order without keeping
+          // write_mu_ across the transfer.
+          std::unique_lock io(write_io_mu_);
+          if (seq == 0) {
+            seq = ++tx_seq_;
             if (history_enabled_) {
-              history_bytes_ += frame.body.size();
-              history_.emplace_back(frame.seq, std::move(frame.body));
+              // Retention for retransmission is the one payload copy on
+              // the send path, and only with the fault-tolerance
+              // extension enabled.
+              history_bytes_ += body.size();
+              counters_.payload_bytes_copied.fetch_add(
+                  body.size(), std::memory_order_relaxed);
+              history_.emplace_back(seq, util::Bytes(body.begin(), body.end()));
               while (history_bytes_ > history_limit_bytes_ &&
                      !history_.empty()) {
                 history_bytes_ -= history_.front().second.size();
                 history_.pop_front();
               }
             }
-            return util::OkStatus();
           }
+          wl.unlock();
+
+          // Zero-copy framing: the 8-byte seq header lives on the stack;
+          // write_frame_vectored prepends the u32 length the same way and
+          // gather-writes header + caller's payload in ONE transport op.
+          std::uint8_t seq_hdr[8];
+          for (int i = 0; i < 8; ++i) {
+            seq_hdr[i] = static_cast<std::uint8_t>(seq >> (56 - 8 * i));
+          }
+          const util::ByteSpan parts[2] = {util::ByteSpan(seq_hdr, 8), body};
+          auto status = net::write_frame_vectored(
+              *s, std::span<const util::ByteSpan>(parts, 2));
+          counters_.stream_write_ops.fetch_add(1, std::memory_order_relaxed);
+          io.unlock();
+          if (status.ok()) return util::OkStatus();
           // The socket may have been torn down by a racing suspension;
-          // re-check the state before reporting an error. An error while
-          // still ESTABLISHED is an uncoordinated link failure.
+          // re-check the state (under write_mu_, so the check is ordered
+          // against freeze_writes_and_mark) before reporting an error. An
+          // error while still ESTABLISHED is an uncoordinated link failure.
+          wl.lock();
           if (can_transfer(state_.get())) {
             broken_.store(true);
-            return status;
+            // A failed send must consume nothing: if no later sender
+            // claimed a sequence number, roll ours back (and drop the
+            // history entry) so a link-failure repair never replays a
+            // frame the caller was told failed. Otherwise our seq is
+            // pinned in the sequence — keep retrying the SAME frame.
+            if (tx_seq_ == seq) {
+              --tx_seq_;
+              if (history_enabled_ && !history_.empty() &&
+                  history_.back().first == seq) {
+                history_bytes_ -= history_.back().second.size();
+                history_.pop_back();
+              }
+              return status;
+            }
+            // Pinned seq on a broken link: pace the retry while the
+            // repair loop re-establishes the stream (the state stays
+            // transferable, so the wait at the bottom would not block).
+            wl.unlock();
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
           }
+          // Racing suspension killed the write (or rollback was not
+          // possible): the seq is already assigned (and covered by any
+          // declared mark), so retry the SAME frame once re-established —
+          // receiver duplicate suppression keeps delivery exactly-once
+          // even if the first attempt landed.
         }
       }
     }
@@ -162,16 +220,18 @@ util::Status Session::send(util::ByteSpan body, util::Duration timeout) {
 }
 
 void Session::parse_raw_locked() {
-  // Caller holds buf_mu_.
+  // Caller holds buf_mu_. Complete frames are consumed through an offset
+  // cursor and the raw buffer is compacted ONCE at the end — the previous
+  // per-frame erase made a burst of k coalesced frames cost O(k²) moves.
+  std::size_t off = 0;
   for (;;) {
-    if (rx_raw_.size() < 4) return;
+    if (rx_raw_.size() - off < 4) break;
     std::uint32_t len = 0;
-    for (int i = 0; i < 4; ++i) len = len << 8 | rx_raw_[static_cast<std::size_t>(i)];
-    if (rx_raw_.size() < 4 + static_cast<std::size_t>(len)) return;
+    for (std::size_t i = 0; i < 4; ++i) len = len << 8 | rx_raw_[off + i];
+    if (rx_raw_.size() - off < 4 + static_cast<std::size_t>(len)) break;
 
-    auto frame = DataFrame::decode(util::ByteSpan(rx_raw_.data() + 4, len));
-    rx_raw_.erase(rx_raw_.begin(),
-                  rx_raw_.begin() + 4 + static_cast<std::ptrdiff_t>(len));
+    auto frame = DataFrame::decode(util::ByteSpan(rx_raw_.data() + off + 4, len));
+    off += 4 + static_cast<std::size_t>(len);
     if (!frame.ok()) {
       NAPLET_LOG(kWarn, "session") << "conn " << conn_id_ << ": bad frame: "
                                    << frame.status().to_string();
@@ -185,6 +245,9 @@ void Session::parse_raw_locked() {
     rx_high_ = frame->seq;
     buffer_.push_back(BufferedFrame{frame->seq, std::move(frame->body)});
   }
+  if (off > 0) {
+    rx_raw_.erase(rx_raw_.begin(), rx_raw_.begin() + static_cast<std::ptrdiff_t>(off));
+  }
 }
 
 util::StatusOr<bool> Session::pump_socket(std::int64_t deadline_us) {
@@ -196,17 +259,30 @@ util::StatusOr<bool> Session::pump_socket(std::int64_t deadline_us) {
                              std::max<std::int64_t>(1, deadline_us - now_us()));
   std::uint8_t chunk[16384];
   auto n = s->read_some_for(chunk, sizeof chunk, util::us(budget_us));
+  counters_.stream_read_ops.fetch_add(1, std::memory_order_relaxed);
   if (!n.ok()) {
     if (n.status().code() == util::StatusCode::kTimeout) return false;
     return n.status();
   }
   if (*n == 0) return util::Unavailable("data socket closed by peer");
 
-  std::lock_guard lock(buf_mu_);
-  const std::size_t frames_before = buffer_.size();
-  rx_raw_.insert(rx_raw_.end(), chunk, chunk + *n);
-  parse_raw_locked();
-  return buffer_.size() > frames_before;
+  bool progressed;
+  {
+    std::lock_guard lock(buf_mu_);
+    const std::size_t frames_before = buffer_.size();
+    rx_raw_.insert(rx_raw_.end(), chunk, chunk + *n);
+    parse_raw_locked();
+    const std::size_t added = buffer_.size() - frames_before;
+    if (added > 1) {
+      counters_.frames_coalesced.fetch_add(added - 1,
+                                           std::memory_order_relaxed);
+    }
+    progressed = added > 0;
+  }
+  // Socket bytes landed (even a partial frame is progress for a peer
+  // blocked on backpressure): wake anyone waiting event-driven.
+  rx_cv_.notify_all();
+  return progressed;
 }
 
 util::StatusOr<RecvResult> Session::recv(util::Duration timeout) {
@@ -214,6 +290,10 @@ util::StatusOr<RecvResult> Session::recv(util::Duration timeout) {
   for (;;) {
     {
       std::lock_guard lock(buf_mu_);
+      if (sealed_) {
+        return util::Unavailable("connection " + std::to_string(conn_id_) +
+                                 " has migrated; reacquire the session");
+      }
       if (!buffer_.empty()) {
         BufferedFrame frame = std::move(buffer_.front());
         buffer_.pop_front();
@@ -240,17 +320,34 @@ util::StatusOr<RecvResult> Session::recv(util::Duration timeout) {
       continue;
     }
 
-    std::lock_guard rl(read_mu_);
-    auto pumped = pump_socket(deadline);
-    if (!pumped.ok()) {
+    bool socket_ok;
+    {
+      std::lock_guard rl(read_mu_);
+      auto pumped = pump_socket(deadline);
+      socket_ok = pumped.ok();
       // Socket gone: either a racing suspension (the state will change
       // shortly) or an uncoordinated link failure (flagged for the
       // fault-tolerance extension's repair loop; without it we keep
-      // polling until the deadline, as in the paper).
-      if (can_transfer(state_.get())) broken_.store(true);
-      util::RealClock::instance().sleep_for(std::chrono::milliseconds(1));
-      continue;
+      // waiting until the deadline, as in the paper).
+      if (!socket_ok && can_transfer(state_.get())) broken_.store(true);
     }
+    if (!socket_ok) {
+      // Event-driven wait (read_mu_ released so repairs can drain): wake
+      // on attach_stream / close_stream / frame arrival, with a bounded
+      // slice as the safety net for notify races.
+      wait_rx_event(deadline, kStateWaitSlice);
+    }
+  }
+}
+
+void Session::wait_rx_event(std::int64_t deadline_us,
+                            util::Duration max_slice) {
+  std::unique_lock lock(buf_mu_);
+  if (!buffer_.empty()) return;
+  const std::int64_t wait_us = std::min<std::int64_t>(
+      max_slice.count(), std::max<std::int64_t>(1, deadline_us - now_us()));
+  if (rx_cv_.wait_for(lock, util::us(wait_us)) == std::cv_status::no_timeout) {
+    counters_.recv_wakeups.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -314,24 +411,57 @@ Session::history_since(std::uint64_t after_seq) const {
   return out;
 }
 
-util::Status Session::replay_history(std::uint64_t after_seq) {
+util::Status Session::retransmit_after(std::uint64_t after_seq) {
   auto frames = history_since(after_seq);
   if (!frames.ok()) return frames.status();
   if (frames->empty()) return util::OkStatus();
   auto s = stream();
   if (s == nullptr) return util::Unavailable("no data socket for replay");
+  // Hold the io lock across the whole replay so a racing send retry
+  // cannot interleave frames mid-stream.
+  std::lock_guard io(write_io_mu_);
   for (auto& [seq, body] : *frames) {
-    const util::Bytes encoded = DataFrame{seq, std::move(body)}.encode();
-    NAPLET_RETURN_IF_ERROR(net::write_frame(
-        *s, util::ByteSpan(encoded.data(), encoded.size())));
+    // Same vectored framing as send(): stack seq header, body straight out
+    // of the history entry — no per-frame encode buffer.
+    std::uint8_t seq_hdr[8];
+    for (int i = 0; i < 8; ++i) {
+      seq_hdr[i] = static_cast<std::uint8_t>(seq >> (56 - 8 * i));
+    }
+    const util::ByteSpan parts[2] = {
+        util::ByteSpan(seq_hdr, 8), util::ByteSpan(body.data(), body.size())};
+    NAPLET_RETURN_IF_ERROR(net::write_frame_vectored(
+        *s, std::span<const util::ByteSpan>(parts, 2)));
+    counters_.stream_write_ops.fetch_add(1, std::memory_order_relaxed);
+    // history_since handed us copies of the retained bodies.
+    counters_.payload_bytes_copied.fetch_add(body.size(),
+                                             std::memory_order_relaxed);
   }
-  NAPLET_LOG(kInfo, "session") << "conn " << conn_id_ << ": replayed "
+  NAPLET_LOG(kInfo, "session") << "conn " << conn_id_ << ": retransmitted "
                                << frames->size() << " frames after seq "
                                << after_seq;
   return util::OkStatus();
 }
 
+DataPathStats Session::data_stats() const {
+  DataPathStats out;
+  out.payload_bytes_copied =
+      counters_.payload_bytes_copied.load(std::memory_order_relaxed);
+  out.stream_write_ops =
+      counters_.stream_write_ops.load(std::memory_order_relaxed);
+  out.stream_read_ops =
+      counters_.stream_read_ops.load(std::memory_order_relaxed);
+  out.recv_wakeups = counters_.recv_wakeups.load(std::memory_order_relaxed);
+  out.frames_coalesced =
+      counters_.frames_coalesced.load(std::memory_order_relaxed);
+  return out;
+}
+
 bool Session::is_broken() const { return broken_.load(); }
+
+void Session::seal_buffer_for_export() {
+  std::lock_guard lock(buf_mu_);
+  sealed_ = true;
+}
 
 void Session::mark_moved() {
   close_stream();
@@ -346,16 +476,21 @@ void Session::mark_moved() {
   park_event_.set();
   resume_event_.set();
   responses_.close();
+  rx_cv_.notify_all();
 }
 
 void Session::pump_available(util::Duration budget) {
+  const std::int64_t deadline = now_us() + budget.count();
   std::unique_lock rl(read_mu_, std::try_to_lock);
   if (!rl.owns_lock()) {
-    // Another reader (app recv or a drain) is already pumping; let it.
-    util::RealClock::instance().sleep_for(budget);
+    // Another reader (app recv or a drain) is already pumping. Wait
+    // event-driven on its progress instead of sleeping the whole budget:
+    // the caller (suspend/close initiator) returns to its control-response
+    // queue as soon as anything moves.
+    wait_rx_event(deadline, budget);
     return;
   }
-  (void)pump_socket(now_us() + budget.count());
+  (void)pump_socket(deadline);
 }
 
 util::Bytes Session::export_state() const {

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -37,6 +38,21 @@ struct RecvResult {
   util::Bytes body;
   std::uint64_t seq = 0;
   bool from_buffer = false;
+};
+
+/// Snapshot of one session's data-path counters. All values are monotone;
+/// the controller aggregates them across sessions into ControllerStats.
+struct DataPathStats {
+  /// Heap copies made of send()-path payload bytes. Zero in steady state:
+  /// the vectored path frames straight from the caller's span. Non-zero
+  /// only for the retransmission history (retention + replay copies).
+  std::uint64_t payload_bytes_copied = 0;
+  std::uint64_t stream_write_ops = 0;   // transport writes (syscalls on TCP)
+  std::uint64_t stream_read_ops = 0;    // transport reads (syscalls on TCP)
+  std::uint64_t recv_wakeups = 0;       // event-driven wakeups delivered to
+                                        // blocked readers (vs. poll sleeps)
+  std::uint64_t frames_coalesced = 0;   // frames parsed beyond the first
+                                        // out of a single transport read
 };
 
 class Session {
@@ -123,6 +139,9 @@ class Session {
   [[nodiscard]] std::uint64_t highest_rx_seq() const;
   [[nodiscard]] std::size_t buffered_frames() const;
 
+  /// Data-path observability counters (see DataPathStats).
+  [[nodiscard]] DataPathStats data_stats() const;
+
   // ---- concurrent-migration flags (paper §3.1, §3.2) ----
 
   struct Flags {
@@ -174,7 +193,8 @@ class Session {
 
   /// Re-send retained frames with seq > `after_seq` on the attached stream
   /// (original sequence numbers; receiver dedup keeps this exactly-once).
-  util::Status replay_history(std::uint64_t after_seq);
+  /// No-op (kOk) when `after_seq >= sent_seq()` — nothing to retransmit.
+  util::Status retransmit_after(std::uint64_t after_seq);
 
   /// True once the data socket failed outside the suspension protocol
   /// (read EOF / write error while ESTABLISHED). Cleared by attach_stream.
@@ -186,6 +206,14 @@ class Session {
   /// SUSPEND_WAIT-adjacent; the socket must already be closed).
   [[nodiscard]] util::Bytes export_state() const;
   static util::StatusOr<SessionPtr> import_state(util::ByteSpan data);
+
+  /// Stop serving the replay buffer to local readers, atomically with
+  /// respect to in-flight recv() pops. Call BEFORE export_state(): a frame
+  /// popped after the export snapshot but before mark_moved() would be
+  /// delivered here AND replayed by the imported clone — a duplicate.
+  /// Sealing under the buffer lock closes that window: every pop either
+  /// lands before the seal (and is absent from the snapshot) or fails.
+  void seal_buffer_for_export();
 
   /// Neutralize this object after its state has been exported: the session
   /// now lives in the imported clone, and any stale handle still pointing
@@ -204,6 +232,9 @@ class Session {
   util::StatusOr<bool> pump_socket(std::int64_t deadline_us);
   /// Parse any complete frames out of rx_raw_ into the buffer.
   void parse_raw_locked();
+  /// Block until an rx event (bytes/frames/stream change) or min(deadline,
+  /// now + max_slice). The slice bounds notify races; no busy polling.
+  void wait_rx_event(std::int64_t deadline_us, util::Duration max_slice);
 
   std::shared_ptr<net::Stream> stream() const;
 
@@ -224,8 +255,15 @@ class Session {
   mutable std::mutex stream_mu_;
   std::shared_ptr<net::Stream> stream_;
 
+  // Two-lock send path: write_mu_ serializes sequence assignment and the
+  // history ring (held only briefly), write_io_mu_ serializes the socket
+  // write itself. The io lock is acquired WHILE HOLDING write_mu_ (lock
+  // coupling), which pins socket-write order to seq order; write_mu_ is
+  // then dropped, so freeze_writes_and_mark / sent_seq / export never wait
+  // out the transfer of a large frame.
   mutable std::mutex write_mu_;
-  std::uint64_t tx_seq_ = 0;  // last sequence number sent
+  mutable std::mutex write_io_mu_;
+  std::uint64_t tx_seq_ = 0;  // last sequence number assigned to a send
 
   // Retransmission history (guarded by write_mu_).
   bool history_enabled_ = false;
@@ -237,12 +275,28 @@ class Session {
 
   mutable std::mutex read_mu_;   // serializes socket readers
   mutable std::mutex buf_mu_;    // guards buffer + rx bookkeeping
+  // Notified (while holding buf_mu_ is not required of notifiers; waiters
+  // always re-check under buf_mu_ with a bounded slice) whenever bytes or
+  // frames arrive, or the stream is attached/closed — the event-driven
+  // replacement for the old 1 ms sleep-polls in recv()/pump_available().
+  mutable std::condition_variable rx_cv_;
   std::deque<BufferedFrame> buffer_;
+  bool sealed_ = false;  // guarded by buf_mu_; set by seal_buffer_for_export
   util::Bytes rx_raw_;           // unparsed bytes (partial frame tail)
   std::uint64_t rx_high_ = 0;    // highest frame seq pulled off the wire
   std::uint64_t delivered_ = 0;  // highest seq handed to the application
   std::uint64_t replay_low_ = 0; // frames with seq <= this were buffered
                                  // across a suspension (Fig. 7 provenance)
+
+  // Lock-free data-path counters (see DataPathStats for field meanings).
+  struct Counters {
+    std::atomic<std::uint64_t> payload_bytes_copied{0};
+    std::atomic<std::uint64_t> stream_write_ops{0};
+    std::atomic<std::uint64_t> stream_read_ops{0};
+    std::atomic<std::uint64_t> recv_wakeups{0};
+    std::atomic<std::uint64_t> frames_coalesced{0};
+  };
+  mutable Counters counters_;
 
   mutable std::mutex flags_mu_;
   Flags flags_;

@@ -22,7 +22,12 @@ std::string ControllerStats::to_string() const {
       << " repairs=" << links_repaired << " dead_peers=" << peers_declared_dead
       << " ctrl{sent=" << ctrl_messages_sent
       << ",retx=" << ctrl_retransmissions
-      << ",dups=" << ctrl_duplicates_dropped << "}";
+      << ",dups=" << ctrl_duplicates_dropped << "}"
+      << " data{copied=" << data_payload_bytes_copied
+      << ",writes=" << data_stream_write_ops
+      << ",reads=" << data_stream_read_ops
+      << ",wakeups=" << data_recv_wakeups
+      << ",coalesced=" << data_frames_coalesced << "}";
   return out.str();
 }
 

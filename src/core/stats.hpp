@@ -26,6 +26,15 @@ struct ControllerStats {
   std::uint64_t ctrl_retransmissions = 0;
   std::uint64_t ctrl_duplicates_dropped = 0;
 
+  // Data-path counters, aggregated over the CURRENT session table (a
+  // session removed on close takes its counters with it). See
+  // nsock::DataPathStats for field meanings.
+  std::uint64_t data_payload_bytes_copied = 0;
+  std::uint64_t data_stream_write_ops = 0;
+  std::uint64_t data_stream_read_ops = 0;
+  std::uint64_t data_recv_wakeups = 0;
+  std::uint64_t data_frames_coalesced = 0;
+
   [[nodiscard]] std::string to_string() const;
 };
 

@@ -17,15 +17,34 @@ util::Status read_exact(Stream& stream, std::uint8_t* out, std::size_t n) {
 }
 
 util::Status write_frame(Stream& stream, util::ByteSpan payload) {
-  if (payload.size() > kMaxFrameSize) {
-    return util::InvalidArgument("frame too large: " +
-                                 std::to_string(payload.size()));
+  return write_frame_vectored(stream, std::span<const util::ByteSpan>(
+                                          &payload, 1));
+}
+
+util::Status write_frame_vectored(Stream& stream,
+                                  std::span<const util::ByteSpan> parts) {
+  if (parts.size() > kMaxVectoredParts) {
+    return util::InvalidArgument("too many frame parts: " +
+                                 std::to_string(parts.size()));
   }
-  util::BytesWriter header;
-  header.u32(static_cast<std::uint32_t>(payload.size()));
-  NAPLET_RETURN_IF_ERROR(stream.write_all(
-      util::ByteSpan(header.data().data(), header.data().size())));
-  return stream.write_all(payload);
+  std::size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  if (total > kMaxFrameSize) {
+    return util::InvalidArgument("frame too large: " + std::to_string(total));
+  }
+  std::uint8_t header[4];
+  header[0] = static_cast<std::uint8_t>(total >> 24);
+  header[1] = static_cast<std::uint8_t>(total >> 16);
+  header[2] = static_cast<std::uint8_t>(total >> 8);
+  header[3] = static_cast<std::uint8_t>(total);
+
+  util::ByteSpan bufs[kMaxVectoredParts + 1];
+  bufs[0] = util::ByteSpan(header, sizeof header);
+  std::size_t n = 1;
+  for (const auto& part : parts) {
+    if (!part.empty()) bufs[n++] = part;
+  }
+  return stream.write_all_vectored(std::span<const util::ByteSpan>(bufs, n));
 }
 
 util::StatusOr<util::Bytes> read_frame(Stream& stream) {

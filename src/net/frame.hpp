@@ -19,6 +19,15 @@ util::Status read_exact(Stream& stream, std::uint8_t* out, std::size_t n);
 /// Write one length-prefixed frame.
 util::Status write_frame(Stream& stream, util::ByteSpan payload);
 
+/// Write one length-prefixed frame whose payload is the concatenation of
+/// `parts`, as a single gather-write: the u32 prefix is encoded into a
+/// stack buffer and handed to Stream::write_all_vectored together with the
+/// caller's spans, so the payload is never copied and the frame goes out
+/// in one transport operation. At most kMaxVectoredParts payload spans.
+inline constexpr std::size_t kMaxVectoredParts = 7;
+util::Status write_frame_vectored(Stream& stream,
+                                  std::span<const util::ByteSpan> parts);
+
 /// Read one length-prefixed frame. Returns kUnavailable on clean EOF at a
 /// frame boundary (peer closed), kIoError on mid-frame EOF.
 util::StatusOr<util::Bytes> read_frame(Stream& stream);

@@ -24,6 +24,24 @@ class Pipe {
  public:
   void push(std::int64_t deliver_us, util::ByteSpan data,
             std::uint64_t bytes_per_second = 0) {
+    push_gather(deliver_us, std::span<const util::ByteSpan>(&data, 1),
+                bytes_per_second);
+  }
+
+  /// Gather enqueue: the concatenation of `parts` becomes ONE chunk (one
+  /// lock round-trip, one allocation, one wakeup) — the sim-backend analog
+  /// of writev. The single copy into the chunk is the transport itself.
+  void push_gather(std::int64_t deliver_us,
+                   std::span<const util::ByteSpan> parts,
+                   std::uint64_t bytes_per_second = 0) {
+    std::size_t total = 0;
+    for (const auto& part : parts) total += part.size();
+    util::Bytes chunk;
+    chunk.reserve(total);
+    for (const auto& part : parts) {
+      chunk.insert(chunk.end(), part.begin(), part.end());
+    }
+    bool was_empty;
     {
       std::lock_guard lock(mu_);
       if (closed_) return;
@@ -32,12 +50,18 @@ class Pipe {
         // Serialization delay: this chunk finishes arriving size/bandwidth
         // after the previous one, capping sustained throughput.
         deliver_us += static_cast<std::int64_t>(
-            data.size() * 1'000'000 / bytes_per_second);
+            total * 1'000'000 / bytes_per_second);
       }
       last_deliver_us_ = deliver_us;
-      chunks_.emplace_back(deliver_us, util::Bytes(data.begin(), data.end()));
+      was_empty = chunks_.empty();
+      chunks_.emplace_back(deliver_us, std::move(chunk));
     }
-    cv_.notify_all();
+    // Delivery times are monotone, so a push onto a non-empty queue never
+    // unblocks a reader earlier than it would wake anyway: an untimed
+    // waiter implies the queue was empty, and a timed waiter self-wakes at
+    // the front chunk's delivery time. Skipping the wakeup keeps a sender
+    // that is ahead of its reader off the futex entirely.
+    if (was_empty) cv_.notify_all();
   }
 
   // Read up to `max` bytes that have "arrived". Blocks until data is
@@ -165,6 +189,14 @@ class SimStream final : public Stream,
     return util::OkStatus();
   }
 
+  util::Status write_all_vectored(
+      std::span<const util::ByteSpan> parts) override {
+    if (write_pipe_->closed()) return util::Cancelled("sim stream closed");
+    write_pipe_->push_gather(now_us() + sampler_.sample_us(), parts,
+                             sampler_.config.bytes_per_second);
+    return util::OkStatus();
+  }
+
   util::StatusOr<util::Bytes> drain_pending() override {
     return read_pipe_->drain_now();
   }
@@ -203,6 +235,10 @@ class StreamFacade final : public Stream {
   }
   util::Status write_all(util::ByteSpan data) override {
     return impl_->write_all(data);
+  }
+  util::Status write_all_vectored(
+      std::span<const util::ByteSpan> parts) override {
+    return impl_->write_all_vectored(parts);
   }
   util::StatusOr<util::Bytes> drain_pending() override {
     return impl_->drain_pending();

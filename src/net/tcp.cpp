@@ -7,6 +7,7 @@
 #include <poll.h>
 #include <sys/ioctl.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -114,6 +115,50 @@ class TcpStream final : public Stream {
         return errno_status("send");
       }
       sent += static_cast<std::size_t>(n);
+    }
+    return util::OkStatus();
+  }
+
+  util::Status write_all_vectored(
+      std::span<const util::ByteSpan> parts) override {
+    // One writev(2) per frame in the common case; the resume loop below
+    // only runs when the kernel accepts a partial gather.
+    iovec iov[16];
+    std::size_t iov_count = 0;
+    std::size_t remaining = 0;
+    for (const auto& part : parts) {
+      if (part.empty()) continue;
+      if (iov_count == sizeof iov / sizeof iov[0]) {
+        return util::InvalidArgument("too many gather-write parts");
+      }
+      iov[iov_count].iov_base =
+          const_cast<void*>(static_cast<const void*>(part.data()));
+      iov[iov_count].iov_len = part.size();
+      ++iov_count;
+      remaining += part.size();
+    }
+    std::size_t first = 0;
+    while (remaining > 0) {
+      msghdr msg{};
+      msg.msg_iov = iov + first;
+      msg.msg_iovlen = iov_count - first;
+      const ssize_t n = ::sendmsg(fd_.get(), &msg, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (fd_.get() < 0) return util::Cancelled("stream closed");
+        return errno_status("sendmsg");
+      }
+      remaining -= static_cast<std::size_t>(n);
+      std::size_t advanced = static_cast<std::size_t>(n);
+      while (advanced > 0 && advanced >= iov[first].iov_len) {
+        advanced -= iov[first].iov_len;
+        ++first;
+      }
+      if (advanced > 0) {
+        iov[first].iov_base = static_cast<std::uint8_t*>(iov[first].iov_base) +
+                              advanced;
+        iov[first].iov_len -= advanced;
+      }
     }
     return util::OkStatus();
   }

@@ -34,6 +34,22 @@ class Stream {
   /// Write the entire span (blocking).
   virtual util::Status write_all(util::ByteSpan data) = 0;
 
+  /// Gather-write: transmit the concatenation of `parts` as one contiguous
+  /// byte sequence. Backends override this to avoid materializing the
+  /// concatenation — TcpStream issues a single writev(2), SimStream
+  /// enqueues one chunk — which is what lets the session layer frame a
+  /// message (header + caller's payload) with zero intermediate copies.
+  /// The default writes the parts back to back (correct, not zero-copy).
+  virtual util::Status write_all_vectored(
+      std::span<const util::ByteSpan> parts) {
+    for (const auto& part : parts) {
+      if (part.empty()) continue;
+      auto st = write_all(part);
+      if (!st.ok()) return st;
+    }
+    return util::OkStatus();
+  }
+
   /// Drain any bytes already received and buffered, without blocking.
   /// This is what suspend() uses to capture in-flight data (paper §3.1).
   virtual util::StatusOr<util::Bytes> drain_pending() = 0;

@@ -290,6 +290,122 @@ TEST(Session, LargeMessages) {
   EXPECT_EQ(got->body, big);
 }
 
+/// A session attached to one end of a stream while the peer end stays raw,
+/// so tests can parse exactly the bytes the session puts on the wire.
+struct RawWirePair {
+  net::SimNet net;
+  SessionPtr a;
+  net::StreamPtr raw;  // peer end, read manually
+
+  RawWirePair() {
+    auto node_a = net.add_node("a");
+    auto node_b = net.add_node("b");
+    auto listener = node_b->listen(1);
+    EXPECT_TRUE(listener.ok());
+    auto client = node_a->connect(net::Endpoint{"b", 1}, 1s);
+    EXPECT_TRUE(client.ok());
+    auto server = (*listener)->accept(1s);
+    EXPECT_TRUE(server.ok());
+    a = std::make_shared<Session>(7, 2, true, agent::AgentId("low"),
+                                  agent::AgentId("high"));
+    a->attach_stream(std::shared_ptr<net::Stream>(std::move(*client)));
+    raw = std::move(*server);
+    SessionPair::establish(*a, true);
+  }
+
+  /// Read one length-prefixed data frame off the raw end and decode it.
+  DataFrame next_frame() {
+    auto bytes = net::read_frame(*raw);
+    EXPECT_TRUE(bytes.ok()) << bytes.status().to_string();
+    auto frame =
+        DataFrame::decode(util::ByteSpan(bytes->data(), bytes->size()));
+    EXPECT_TRUE(frame.ok()) << frame.status().to_string();
+    return *frame;
+  }
+};
+
+TEST(Retransmit, ReplaysIdenticalVectoredFramesFromHistory) {
+  RawWirePair wire;
+  wire.a->enable_history(1 << 20);
+  ASSERT_TRUE(wire.a->send(span("alpha"), 1s).ok());
+  ASSERT_TRUE(wire.a->send(span("bravo"), 1s).ok());
+
+  // Original transmission: gather-written, but byte-identical on the wire
+  // to the seed's single-buffer framing.
+  for (std::uint64_t seq = 1; seq <= 2; ++seq) {
+    DataFrame f = wire.next_frame();
+    EXPECT_EQ(f.seq, seq);
+  }
+
+  // Replay everything after seq 0: the same two frames, same framing.
+  ASSERT_TRUE(wire.a->retransmit_after(0).ok());
+  DataFrame r1 = wire.next_frame();
+  DataFrame r2 = wire.next_frame();
+  EXPECT_EQ(r1.seq, 1u);
+  EXPECT_EQ(std::string(r1.body.begin(), r1.body.end()), "alpha");
+  EXPECT_EQ(r2.seq, 2u);
+  EXPECT_EQ(std::string(r2.body.begin(), r2.body.end()), "bravo");
+
+  // Partial replay honours the cursor: only seq 2 goes out again.
+  ASSERT_TRUE(wire.a->retransmit_after(1).ok());
+  DataFrame r3 = wire.next_frame();
+  EXPECT_EQ(r3.seq, 2u);
+  EXPECT_EQ(std::string(r3.body.begin(), r3.body.end()), "bravo");
+}
+
+TEST(Retransmit, EmptyWindowIsNoOp) {
+  SessionPair pair;
+  pair.a->enable_history(1 << 20);
+  // Nothing sent yet: replay-from-zero succeeds without touching the wire.
+  EXPECT_TRUE(pair.a->retransmit_after(0).ok());
+
+  ASSERT_TRUE(pair.a->send(span("x"), 1s).ok());
+  ASSERT_TRUE(pair.b->recv(1s).ok());
+
+  // after_seq at or past the send cursor: nothing to replay.
+  EXPECT_TRUE(pair.a->retransmit_after(pair.a->sent_seq()).ok());
+  EXPECT_TRUE(pair.a->retransmit_after(pair.a->sent_seq() + 5).ok());
+  // The peer saw exactly the one original frame.
+  EXPECT_FALSE(pair.b->recv(100ms).ok());
+}
+
+TEST(Retransmit, EvictedWindowReportsOutOfRange) {
+  SessionPair pair;
+  pair.a->enable_history(8);  // tiny: a second 6-byte frame evicts the first
+  ASSERT_TRUE(pair.a->send(span("first!"), 1s).ok());
+  ASSERT_TRUE(pair.a->send(span("second"), 1s).ok());
+  auto st = pair.a->retransmit_after(0);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), util::StatusCode::kOutOfRange);
+}
+
+TEST(Session, SteadyStateSendIsZeroCopy) {
+  // Acceptance: with history disabled (the steady-state data path), a send
+  // must not copy the payload — the caller's span is gather-written with a
+  // stack-encoded header, one transport op per message.
+  SessionPair pair;
+  ASSERT_FALSE(pair.a->history_enabled());
+  const util::Bytes payload(512, 0x5A);
+  constexpr std::uint64_t kCount = 64;
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(
+        pair.a->send(util::ByteSpan(payload.data(), payload.size()), 1s).ok());
+    ASSERT_TRUE(pair.b->recv(1s).ok());
+  }
+  const DataPathStats tx = pair.a->data_stats();
+  EXPECT_EQ(tx.payload_bytes_copied, 0u);
+  EXPECT_EQ(tx.stream_write_ops, kCount);
+
+  // With history on, the only copy per message is the retained body.
+  pair.a->enable_history(1 << 20);
+  ASSERT_TRUE(
+      pair.a->send(util::ByteSpan(payload.data(), payload.size()), 1s).ok());
+  ASSERT_TRUE(pair.b->recv(1s).ok());
+  const DataPathStats tx2 = pair.a->data_stats();
+  EXPECT_EQ(tx2.payload_bytes_copied, payload.size());
+  EXPECT_EQ(tx2.stream_write_ops, kCount + 1);
+}
+
 TEST(Session, PeerNodeUpdates) {
   Session s(1, 1, true, agent::AgentId("a"), agent::AgentId("b"));
   EXPECT_EQ(s.peer_node().server_name, "");

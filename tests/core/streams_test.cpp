@@ -134,6 +134,38 @@ TEST(Streams, TailPersistsAcrossReconstruction) {
   EXPECT_EQ(std::string(rest, rest + 6), "456789");
 }
 
+TEST(Streams, PersistCarriesOnlyUnreadTail) {
+  // A migrating agent must not ship bytes it already consumed: the persist
+  // blob holds the unread suffix of the tail, not the whole last message.
+  StreamPair pair;
+  std::string msg(1000, 'A');
+  msg += "tail";
+  ASSERT_TRUE(pair.tx->send(std::string_view(msg)).ok());
+
+  NapletInputStream in;
+  in.bind(pair.rx.get());
+  std::uint8_t consumed[1000];
+  ASSERT_TRUE(in.read_exact(consumed, sizeof consumed, 1s).ok());
+  EXPECT_EQ(in.buffered(), 4u);  // "tail"
+
+  util::Archive w;
+  in.persist(w);
+  util::Bytes blob = std::move(w).take_bytes();
+  // 4 unread bytes + fixed framing overhead — nowhere near the 1004-byte
+  // message that was mostly consumed.
+  EXPECT_LT(blob.size(), 64u);
+
+  NapletInputStream restored;
+  util::Archive r((util::ByteSpan(blob.data(), blob.size())));
+  restored.persist(r);
+  ASSERT_TRUE(r.ok());
+  restored.bind(pair.rx.get());
+  EXPECT_EQ(restored.buffered(), 4u);
+  std::uint8_t rest[4];
+  ASSERT_TRUE(restored.read_exact(rest, 4, 1s).ok());
+  EXPECT_EQ(std::string(rest, rest + 4), "tail");
+}
+
 TEST(Streams, OutputPersistCarriesUnflushed) {
   NapletOutputStream out(4096);
   ASSERT_TRUE(out.write("keep me").ok());

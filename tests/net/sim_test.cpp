@@ -32,6 +32,33 @@ TEST(SimNet, ConnectAcceptRoundTrip) {
   EXPECT_EQ(buf[2], 3);
 }
 
+TEST(SimNet, VectoredWriteArrivesContiguous) {
+  SimNet net;
+  auto a = net.add_node("a");
+  auto b = net.add_node("b");
+  auto listener = b->listen(100);
+  ASSERT_TRUE(listener.ok());
+  auto client = a->connect(Endpoint{"b", 100}, 1s);
+  ASSERT_TRUE(client.ok());
+  auto server = (*listener)->accept(1s);
+  ASSERT_TRUE(server.ok());
+
+  // Three discontiguous pieces, one gather-write: the receiver must see a
+  // single contiguous byte sequence (and on Sim, a single chunk).
+  const util::Bytes p1 = {1, 2}, p2 = {3}, p3 = {4, 5, 6};
+  const util::ByteSpan parts[3] = {util::ByteSpan(p1.data(), p1.size()),
+                                   util::ByteSpan(p2.data(), p2.size()),
+                                   util::ByteSpan(p3.data(), p3.size())};
+  ASSERT_TRUE((*client)
+                  ->write_all_vectored(std::span<const util::ByteSpan>(parts))
+                  .ok());
+  std::uint8_t buf[16];
+  auto n = (*server)->read_some(buf, sizeof buf);
+  ASSERT_TRUE(n.ok());
+  ASSERT_EQ(*n, 6u);
+  for (std::uint8_t i = 0; i < 6; ++i) EXPECT_EQ(buf[i], i + 1);
+}
+
 TEST(SimNet, ConnectionRefusedWithoutListener) {
   SimNet net;
   auto a = net.add_node("a");

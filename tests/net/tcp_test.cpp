@@ -42,6 +42,32 @@ TEST_F(TcpTest, ConnectAcceptRoundTrip) {
   EXPECT_EQ(buf[0], 'h');
 }
 
+TEST_F(TcpTest, VectoredWriteArrivesContiguous) {
+  auto listener = network_->listen(0);
+  ASSERT_TRUE(listener.ok());
+  auto client = network_->connect((*listener)->local_endpoint(), 1s);
+  ASSERT_TRUE(client.ok());
+  auto server = (*listener)->accept(1s);
+  ASSERT_TRUE(server.ok());
+
+  const util::Bytes p1 = {'a', 'b'}, p2 = {'c'}, p3 = {'d', 'e', 'f'};
+  const util::ByteSpan parts[3] = {util::ByteSpan(p1.data(), p1.size()),
+                                   util::ByteSpan(p2.data(), p2.size()),
+                                   util::ByteSpan(p3.data(), p3.size())};
+  ASSERT_TRUE((*client)
+                  ->write_all_vectored(std::span<const util::ByteSpan>(parts))
+                  .ok());
+  std::uint8_t buf[16];
+  std::size_t got = 0;
+  while (got < 6) {
+    auto n = (*server)->read_some(buf + got, sizeof buf - got);
+    ASSERT_TRUE(n.ok());
+    ASSERT_GT(*n, 0u);
+    got += *n;
+  }
+  EXPECT_EQ(std::string(buf, buf + 6), "abcdef");
+}
+
 TEST_F(TcpTest, ConnectRefusedFailsFast) {
   // Port 1 on loopback is almost certainly closed.
   auto client = network_->connect(Endpoint{"127.0.0.1", 1}, 500ms);
