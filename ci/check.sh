@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# The full local CI gate:
+#
+#   1. Debug build + full ctest       (lock-rank validator active)
+#   2. Sanitize build + full ctest    (ASan + UBSan)
+#   3. Tsan build + `ctest -L tsan`   (pinned light concurrency sweep)
+#   4. run-clang-tidy over src/       (bugprone / concurrency / performance)
+#   5. clang-format --dry-run         (check-only; no reformatting)
+#
+# Steps 4–5 (and the Clang thread-safety analysis, which rides along with
+# any Clang compile via -Wthread-safety) need LLVM tooling; when a tool is
+# missing the step is skipped with a notice instead of failing, so the
+# script is useful on GCC-only boxes too.
+#
+# Usage: ci/check.sh [--skip-tsan] [--skip-sanitize]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+SKIP_TSAN=0
+SKIP_SANITIZE=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-tsan) SKIP_TSAN=1 ;;
+    --skip-sanitize) SKIP_SANITIZE=1 ;;
+    *) echo "unknown option: $arg" >&2; exit 2 ;;
+  esac
+done
+
+note()  { printf '\n== %s ==\n' "$*"; }
+skip()  { printf 'NOTICE: %s — skipping\n' "$*"; }
+
+note "Debug build (lock-rank validator on)"
+cmake --preset debug >/dev/null
+cmake --build --preset debug -j "$JOBS"
+ctest --test-dir build-debug --output-on-failure -j "$JOBS"
+
+if [ "$SKIP_SANITIZE" -eq 0 ]; then
+  note "Sanitize build (ASan + UBSan)"
+  cmake --preset sanitize >/dev/null
+  cmake --build --preset sanitize -j "$JOBS"
+  ctest --test-dir build-sanitize --output-on-failure -j "$JOBS"
+else
+  skip "--skip-sanitize"
+fi
+
+if [ "$SKIP_TSAN" -eq 0 ]; then
+  note "Tsan build (ctest -L tsan)"
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j "$JOBS"
+  ctest --test-dir build-tsan -L tsan --output-on-failure -j "$JOBS"
+else
+  skip "--skip-tsan"
+fi
+
+note "clang-tidy (bugprone, concurrency, performance)"
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  # Reuse the Debug compile database; run-clang-tidy honours .clang-tidy.
+  run-clang-tidy -p build-debug -quiet "$(pwd)/src/.*" || exit 1
+elif command -v clang-tidy >/dev/null 2>&1; then
+  find src -name '*.cpp' -print0 |
+    xargs -0 -n 1 -P "$JOBS" clang-tidy -p build-debug --quiet || exit 1
+else
+  skip "clang-tidy not installed"
+fi
+
+note "clang-format (check only)"
+if command -v clang-format >/dev/null 2>&1; then
+  find src tests bench examples -name '*.hpp' -o -name '*.cpp' |
+    xargs clang-format --dry-run --Werror
+else
+  skip "clang-format not installed"
+fi
+
+note "all checks passed"

@@ -43,7 +43,7 @@ class AgentServer::ContextImpl final : public AgentContext {
   }
 
   [[nodiscard]] void* service(const std::string& name) override {
-    std::lock_guard lock(server_->mu_);
+    util::MutexLock lock(server_->mu_);
     auto it = server_->services_.find(name);
     return it == server_->services_.end() ? nullptr : it->second;
   }
@@ -114,7 +114,7 @@ void AgentServer::stop() {
   std::vector<std::thread> finished;
   std::vector<std::thread> handlers;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     residents = std::exchange(residents_, {});
     finished = std::exchange(finished_, {});
     handlers = std::exchange(migration_handlers_, {});
@@ -135,12 +135,15 @@ void AgentServer::set_migrator(ConnectionMigrator* migrator) {
 }
 
 void AgentServer::register_service(const std::string& name, void* service) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   services_[name] = service;
 }
 
 void AgentServer::set_redirector_endpoint(const net::Endpoint& endpoint) {
-  redirector_endpoint_ = endpoint;
+  {
+    util::MutexLock lock(mu_);
+    redirector_endpoint_ = endpoint;
+  }
   locations_.register_server(node_info());  // refresh directory entry
 }
 
@@ -148,7 +151,10 @@ NodeInfo AgentServer::node_info() const {
   NodeInfo info;
   info.server_name = config_.name;
   if (bus_) info.control = bus_->local_endpoint();
-  info.redirector = redirector_endpoint_;
+  {
+    util::MutexLock lock(mu_);
+    info.redirector = redirector_endpoint_;
+  }
   if (migration_listener_) {
     info.migration = migration_listener_->local_endpoint();
   }
@@ -156,7 +162,7 @@ NodeInfo AgentServer::node_info() const {
 }
 
 std::size_t AgentServer::resident_count() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return residents_.size();
 }
 
@@ -175,7 +181,7 @@ util::Status AgentServer::launch(std::unique_ptr<Agent> agent, AgentId id) {
                                     "migration could not reconstruct it");
   }
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     if (residents_.contains(id)) {
       return util::AlreadyExists("agent already resident: " + id.name());
     }
@@ -204,7 +210,7 @@ void AgentServer::admit(std::unique_ptr<Agent> agent, AgentId id,
 
   auto context = std::make_shared<ContextImpl>(this, id, hop);
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     Resident resident;
     resident.agent = std::move(agent);
     resident.context = context;
@@ -214,7 +220,7 @@ void AgentServer::admit(std::unique_ptr<Agent> agent, AgentId id,
 
   std::thread thread([this, id] { agent_thread_main(id); });
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = residents_.find(id);
     if (it != residents_.end()) {
       it->second.thread = std::move(thread);
@@ -233,7 +239,7 @@ void AgentServer::agent_thread_main(AgentId id) {
   Agent* agent = nullptr;
   std::shared_ptr<ContextImpl> context;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = residents_.find(id);
     if (it == residents_.end()) return;
     agent = it->second.agent.get();
@@ -277,7 +283,7 @@ void AgentServer::terminate_agent(const AgentId& id) {
   post_->close_mailbox(id);
   locations_.deregister_agent(id);
 
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = residents_.find(id);
   if (it != residents_.end()) {
     if (it->second.thread.joinable()) {
@@ -290,14 +296,14 @@ void AgentServer::terminate_agent(const AgentId& id) {
 void AgentServer::reap_finished_threads() {
   std::vector<std::thread> finished;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     finished = std::exchange(finished_, {});
   }
   for (auto& t : finished) {
     if (!t.joinable()) continue;
     if (t.get_id() == std::this_thread::get_id()) {
       // Can't join ourselves; put it back for stop() / a later reap.
-      std::lock_guard lock(mu_);
+      util::MutexLock lock(mu_);
       finished_.push_back(std::move(t));
     } else {
       t.join();
@@ -321,7 +327,7 @@ util::Status AgentServer::transfer_agent(const AgentId& id,
   Agent* agent = nullptr;
   std::shared_ptr<ContextImpl> context;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = residents_.find(id);
     if (it == residents_.end()) return util::NotFound("agent not resident");
     agent = it->second.agent.get();
@@ -406,7 +412,7 @@ util::Status AgentServer::transfer_agent(const AgentId& id,
   migrations_out_.fetch_add(1);
   post_->close_mailbox(id);
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = residents_.find(id);
     if (it != residents_.end()) {
       if (it->second.thread.joinable()) {

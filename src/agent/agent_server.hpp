@@ -22,6 +22,8 @@
 #include "agent/migrator.hpp"
 #include "agent/postoffice.hpp"
 #include "net/transport.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace naplet::agent {
 
@@ -110,16 +112,19 @@ class AgentServer {
   std::unique_ptr<ServerBus> bus_;
   std::unique_ptr<PostOffice> post_;
   net::ListenerPtr migration_listener_;
-  net::Endpoint redirector_endpoint_;
 
   NullMigrator null_migrator_;
   ConnectionMigrator* migrator_ = &null_migrator_;
-  std::map<std::string, void*> services_;
 
-  mutable std::mutex mu_;
-  std::map<AgentId, Resident> residents_;
-  std::vector<std::thread> finished_;  // agent threads awaiting join
-  std::vector<std::thread> migration_handlers_;
+  mutable util::Mutex mu_{util::LockRank::kAgentServer, "agent_server"};
+  // Written by set_redirector_endpoint (core wiring thread) and read by
+  // node_info from agent/admission threads; must stay under mu_.
+  net::Endpoint redirector_endpoint_ NAPLET_GUARDED_BY(mu_);
+  std::map<std::string, void*> services_ NAPLET_GUARDED_BY(mu_);
+  std::map<AgentId, Resident> residents_ NAPLET_GUARDED_BY(mu_);
+  std::vector<std::thread> finished_
+      NAPLET_GUARDED_BY(mu_);  // agent threads awaiting join
+  std::vector<std::thread> migration_handlers_ NAPLET_GUARDED_BY(mu_);
 
   std::thread migration_acceptor_;
   std::atomic<bool> started_{false};

@@ -19,7 +19,7 @@ void ServerBus::stop() {
 }
 
 void ServerBus::subscribe(BusKind kind, Handler handler) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   handlers_[kind] = std::move(handler);
 }
 
@@ -43,7 +43,7 @@ void ServerBus::dispatch_loop() {
     const auto kind = static_cast<BusKind>(msg->payload[0]);
     Handler handler;
     {
-      std::lock_guard lock(mu_);
+      util::MutexLock lock(mu_);
       auto it = handlers_.find(kind);
       if (it != handlers_.end()) handler = it->second;
     }

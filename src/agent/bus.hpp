@@ -14,10 +14,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "net/rudp.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace naplet::agent {
 
@@ -58,8 +59,8 @@ class ServerBus {
   void dispatch_loop();
 
   std::unique_ptr<net::ReliableChannel> channel_;
-  std::mutex mu_;
-  std::map<BusKind, Handler> handlers_;
+  util::Mutex mu_{util::LockRank::kBus, "bus"};
+  std::map<BusKind, Handler> handlers_ NAPLET_GUARDED_BY(mu_);
   std::atomic<bool> stopped_{false};
   std::thread dispatcher_;
 };

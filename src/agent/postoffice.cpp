@@ -26,7 +26,7 @@ void PostOffice::stop() {
   if (stopped_.exchange(true)) return;
   std::vector<std::shared_ptr<util::BlockingQueue<Mail>>> boxes;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     for (auto& [id, box] : mailboxes_) boxes.push_back(box);
   }
   for (auto& box : boxes) box->close();
@@ -34,7 +34,7 @@ void PostOffice::stop() {
 }
 
 void PostOffice::open_mailbox(const AgentId& id) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   if (!mailboxes_.contains(id)) {
     mailboxes_[id] = std::make_shared<util::BlockingQueue<Mail>>();
   }
@@ -43,7 +43,7 @@ void PostOffice::open_mailbox(const AgentId& id) {
 void PostOffice::close_mailbox(const AgentId& id) {
   std::shared_ptr<util::BlockingQueue<Mail>> box;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = mailboxes_.find(id);
     if (it == mailboxes_.end()) return;
     box = it->second;
@@ -55,7 +55,7 @@ void PostOffice::close_mailbox(const AgentId& id) {
 std::vector<Mail> PostOffice::drain_mailbox(const AgentId& id) {
   std::shared_ptr<util::BlockingQueue<Mail>> box;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = mailboxes_.find(id);
     if (it == mailboxes_.end()) return {};
     box = it->second;
@@ -71,7 +71,7 @@ void PostOffice::restore_mailbox(const AgentId& id, std::vector<Mail> mail) {
   open_mailbox(id);
   std::shared_ptr<util::BlockingQueue<Mail>> box;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     box = mailboxes_[id];
   }
   for (auto& m : mail) box->push(std::move(m));
@@ -107,7 +107,7 @@ util::StatusOr<PostOffice::Envelope> PostOffice::decode(
 bool PostOffice::try_route(Envelope& envelope) {
   // Local delivery?
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = mailboxes_.find(envelope.to);
     if (it != mailboxes_.end()) {
       it->second->push(envelope.mail);
@@ -150,7 +150,7 @@ util::Status PostOffice::send(const AgentId& from, const AgentId& to,
                          config_.delivery_ttl.count();
   if (try_route(envelope)) return util::OkStatus();
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     parked_.push_back(std::move(envelope));
   }
   retry_cv_.notify_all();
@@ -161,7 +161,7 @@ std::optional<Mail> PostOffice::read(const AgentId& owner,
                                      util::Duration timeout) {
   std::shared_ptr<util::BlockingQueue<Mail>> box;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = mailboxes_.find(owner);
     if (it == mailboxes_.end()) return std::nullopt;
     box = it->second;
@@ -180,15 +180,15 @@ void PostOffice::on_bus_mail(const net::Endpoint& /*from*/,
   envelope->deadline_us = util::RealClock::instance().now_us() +
                           config_.delivery_ttl.count();
   if (!try_route(*envelope)) {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     parked_.push_back(std::move(*envelope));
   }
 }
 
 void PostOffice::retry_loop() {
-  std::unique_lock lock(mu_);
+  util::UniqueMutexLock lock(mu_);
   while (!stopped_.load()) {
-    retry_cv_.wait_for(lock, config_.retry_interval);
+    retry_cv_.wait_for(mu_, config_.retry_interval);
     if (stopped_.load()) break;
 
     std::vector<Envelope> pending = std::move(parked_);

@@ -19,6 +19,7 @@
 #include "agent/bus.hpp"
 #include "agent/location.hpp"
 #include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace naplet::agent {
 
@@ -80,15 +81,16 @@ class PostOffice {
   std::string server_name_;
   PostOfficeConfig config_;
 
-  std::mutex mu_;
-  std::map<AgentId, std::shared_ptr<util::BlockingQueue<Mail>>> mailboxes_;
-  std::vector<Envelope> parked_;
+  util::Mutex mu_{util::LockRank::kPostOffice, "postoffice"};
+  std::map<AgentId, std::shared_ptr<util::BlockingQueue<Mail>>> mailboxes_
+      NAPLET_GUARDED_BY(mu_);
+  std::vector<Envelope> parked_ NAPLET_GUARDED_BY(mu_);
 
   std::atomic<bool> stopped_{false};
   std::atomic<std::uint64_t> forwarded_{0};
   std::atomic<std::uint64_t> dead_letters_{0};
 
-  std::condition_variable retry_cv_;
+  util::CondVar retry_cv_;
   std::thread retrier_;
 };
 

@@ -45,7 +45,7 @@ void SocketController::stop() {
   if (!started_.load() || stopped_.exchange(true)) return;
   std::map<std::pair<std::uint64_t, std::string>, SessionPtr> sessions;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     sessions = std::exchange(sessions_, {});
     for (auto& [id, queue] : accept_queues_) queue->close();
     accept_queues_.clear();
@@ -103,7 +103,7 @@ util::Status SocketController::reply_handoff(net::Stream& stream,
 }
 
 SessionPtr SocketController::find_session(std::uint64_t conn_id) const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = sessions_.lower_bound({conn_id, std::string()});
   if (it == sessions_.end() || it->first.first != conn_id) return nullptr;
   return it->second;
@@ -111,7 +111,7 @@ SessionPtr SocketController::find_session(std::uint64_t conn_id) const {
 
 SessionPtr SocketController::find_session_from(
     std::uint64_t conn_id, const std::string& sender) const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   SessionPtr sole;
   int matches = 0;
   for (auto it = sessions_.lower_bound({conn_id, std::string()});
@@ -127,19 +127,19 @@ SessionPtr SocketController::find_session_from(
 }
 
 void SocketController::insert_session(const SessionPtr& session) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   sessions_[{session->conn_id(), session->local_agent().name()}] = session;
 }
 
 void SocketController::remove_session(const SessionPtr& session) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   sessions_.erase({session->conn_id(), session->local_agent().name()});
 }
 
 std::vector<SessionPtr> SocketController::sessions_of(
     const agent::AgentId& id) const {
   std::vector<SessionPtr> out;
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   for (const auto& [key, session] : sessions_) {
     if (session->local_agent() == id) out.push_back(session);
   }
@@ -147,19 +147,19 @@ std::vector<SessionPtr> SocketController::sessions_of(
 }
 
 bool SocketController::agent_is_migrating(const agent::AgentId& id) const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return migrating_agents_.contains(id);
 }
 
 std::size_t SocketController::session_count() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return sessions_.size();
 }
 
 ControllerStats SocketController::stats() const {
   ControllerStats out;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     out.sessions = sessions_.size();
     for (const auto& [key, session] : sessions_) {
       ++out.by_state[static_cast<std::size_t>(session->state())];
@@ -273,11 +273,11 @@ util::StatusOr<SessionPtr> SocketController::connect(
   const std::uint64_t verifier = crypto::random_u64();
   auto pending = std::make_shared<PendingConnect>();
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     pending_connects_[verifier] = pending;
   }
   auto cleanup_pending = [&] {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     pending_connects_.erase(verifier);
   };
   bd.management_ms += sw.elapsed_ms();
@@ -423,7 +423,7 @@ void SocketController::handle_connect(const net::Endpoint& from,
   const agent::AgentId target(msg.server_agent);
   std::shared_ptr<util::BlockingQueue<SessionPtr>> queue;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = accept_queues_.find(target);
     if (it != accept_queues_.end()) queue = it->second;
   }
@@ -479,7 +479,7 @@ void SocketController::handle_connect(const net::Endpoint& from,
   // Allocate the connection and park it until the client's ATTACH arrives.
   std::uint64_t conn_id;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     do {
       conn_id = crypto::random_u64();
     } while (conn_id == 0 ||
@@ -513,7 +513,7 @@ void SocketController::handle_connect(const net::Endpoint& from,
 void SocketController::handle_connect_reply(CtrlMsg msg) {
   std::shared_ptr<PendingConnect> pending;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = pending_connects_.find(msg.verifier);
     if (it == pending_connects_.end()) return;  // late/duplicate reply
     pending = it->second;
@@ -577,7 +577,7 @@ void SocketController::handle_attach(std::shared_ptr<net::Stream> stream,
 
   std::shared_ptr<util::BlockingQueue<SessionPtr>> queue;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = accept_queues_.find(session->local_agent());
     if (it != accept_queues_.end()) queue = it->second;
   }
@@ -604,7 +604,7 @@ util::Status SocketController::listen(const agent::AgentId& self) {
       return allowed;
     }
   }
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   if (accept_queues_.contains(self)) {
     return util::AlreadyExists("agent already listening: " + self.name());
   }
@@ -615,7 +615,7 @@ util::Status SocketController::listen(const agent::AgentId& self) {
 util::Status SocketController::unlisten(const agent::AgentId& self) {
   std::shared_ptr<util::BlockingQueue<SessionPtr>> queue;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = accept_queues_.find(self);
     if (it == accept_queues_.end()) {
       return util::NotFound("agent not listening: " + self.name());
@@ -628,7 +628,7 @@ util::Status SocketController::unlisten(const agent::AgentId& self) {
 }
 
 bool SocketController::is_listening(const agent::AgentId& self) const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return accept_queues_.contains(self);
 }
 
@@ -636,7 +636,7 @@ util::StatusOr<SessionPtr> SocketController::accept(const agent::AgentId& self,
                                                     util::Duration timeout) {
   std::shared_ptr<util::BlockingQueue<SessionPtr>> queue;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = accept_queues_.find(self);
     if (it == accept_queues_.end()) {
       return util::FailedPrecondition("agent not listening: " + self.name());

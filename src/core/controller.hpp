@@ -228,15 +228,20 @@ class SocketController final : public agent::ConnectionMigrator {
   ControllerConfig config_;
   std::unique_ptr<Redirector> redirector_;
 
-  mutable std::mutex mu_;
+  // Outermost rank in the lock hierarchy (see DESIGN.md "Concurrency
+  // invariants"): held while calling into session state cells and accept
+  // queues, never the other way around.
+  mutable util::Mutex mu_{util::LockRank::kController, "controller"};
   // Keyed by (conn_id, local agent): the two endpoints of one connection
   // may both be hosted by this controller (same-node agent pairs).
-  std::map<std::pair<std::uint64_t, std::string>, SessionPtr> sessions_;
+  std::map<std::pair<std::uint64_t, std::string>, SessionPtr> sessions_
+      NAPLET_GUARDED_BY(mu_);
   std::map<agent::AgentId,
            std::shared_ptr<util::BlockingQueue<SessionPtr>>>
-      accept_queues_;
-  std::map<std::uint64_t, std::shared_ptr<PendingConnect>> pending_connects_;
-  std::set<agent::AgentId> migrating_agents_;
+      accept_queues_ NAPLET_GUARDED_BY(mu_);
+  std::map<std::uint64_t, std::shared_ptr<PendingConnect>> pending_connects_
+      NAPLET_GUARDED_BY(mu_);
+  std::set<agent::AgentId> migrating_agents_ NAPLET_GUARDED_BY(mu_);
 
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
@@ -245,7 +250,8 @@ class SocketController final : public agent::ConnectionMigrator {
 
   // Fault-tolerance extension state.
   std::thread repair_thread_;
-  std::map<std::uint64_t, int> heartbeat_misses_;  // conn_id -> misses
+  std::map<std::uint64_t, int> heartbeat_misses_
+      NAPLET_GUARDED_BY(mu_);  // conn_id -> misses
   std::atomic<std::uint64_t> links_repaired_{0};
   std::atomic<std::uint64_t> peers_declared_dead_{0};
 };

@@ -724,13 +724,13 @@ void SocketController::handle_cls(CtrlMsg msg) {
 
 util::Status SocketController::prepare_migration(const agent::AgentId& id) {
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     migrating_agents_.insert(id);
   }
   for (const SessionPtr& session : sessions_of(id)) {
     auto status = suspend_for_migration(session, id);
     if (!status.ok()) {
-      std::lock_guard lock(mu_);
+      util::MutexLock lock(mu_);
       migrating_agents_.erase(id);
       return status;
     }
@@ -832,7 +832,7 @@ util::Status SocketController::suspend_for_migration(
 util::Bytes SocketController::export_sessions(const agent::AgentId& id) {
   std::vector<SessionPtr> sessions;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     for (auto it = sessions_.begin(); it != sessions_.end();) {
       if (it->second->local_agent() == id) {
         sessions.push_back(it->second);
@@ -887,7 +887,7 @@ util::Status SocketController::import_sessions(const agent::AgentId& id,
 
 util::Status SocketController::complete_migration(const agent::AgentId& id) {
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     migrating_agents_.erase(id);
   }
   util::Status first_error = util::OkStatus();

@@ -30,7 +30,7 @@ void SocketController::repair_loop() {
 
     std::vector<SessionPtr> sessions;
     {
-      std::lock_guard lock(mu_);
+      util::MutexLock lock(mu_);
       for (const auto& [key, session] : sessions_) sessions.push_back(session);
     }
 
@@ -74,7 +74,7 @@ void SocketController::probe_peers() {
   const FailureRecoveryConfig& fr = config_.failure_recovery;
   std::vector<SessionPtr> sessions;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     for (const auto& [key, session] : sessions_) sessions.push_back(session);
   }
 
@@ -92,7 +92,7 @@ void SocketController::probe_peers() {
     const auto status =
         send_session_ctrl(session->peer_node().control, probe, *session);
 
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     if (status.ok()) {
       heartbeat_misses_.erase(session->conn_id());
       continue;

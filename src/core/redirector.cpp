@@ -57,7 +57,7 @@ void Redirector::accept_loop() {
       handler_(std::move(stream), std::move(*msg));
     });
     {
-      std::lock_guard lock(handlers_mu_);
+      util::MutexLock lock(handlers_mu_);
       handlers_.push_back(std::move(worker));
     }
     reap_handlers(/*all=*/false);
@@ -67,7 +67,7 @@ void Redirector::accept_loop() {
 void Redirector::reap_handlers(bool all) {
   std::vector<std::thread> done;
   {
-    std::lock_guard lock(handlers_mu_);
+    util::MutexLock lock(handlers_mu_);
     if (all) {
       done = std::exchange(handlers_, {});
     } else if (handlers_.size() > 32) {

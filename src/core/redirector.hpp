@@ -16,6 +16,8 @@
 
 #include "core/wire.hpp"
 #include "net/transport.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace naplet::nsock {
 
@@ -53,8 +55,8 @@ class Redirector {
 
   net::ListenerPtr listener_;
   std::thread acceptor_;
-  std::mutex handlers_mu_;
-  std::vector<std::thread> handlers_;
+  util::Mutex handlers_mu_{util::LockRank::kRedirector, "redirector"};
+  std::vector<std::thread> handlers_ NAPLET_GUARDED_BY(handlers_mu_);
   std::atomic<bool> stopped_{false};
   std::atomic<std::uint64_t> bad_handoffs_{0};
 };

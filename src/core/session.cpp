@@ -28,12 +28,12 @@ Session::Session(std::uint64_t conn_id, std::uint64_t verifier, bool is_client,
       peer_agent_(std::move(peer_agent)) {}
 
 agent::NodeInfo Session::peer_node() const {
-  std::lock_guard lock(node_mu_);
+  util::MutexLock lock(node_mu_);
   return peer_node_;
 }
 
 void Session::set_peer_node(const agent::NodeInfo& node) {
-  std::lock_guard lock(node_mu_);
+  util::MutexLock lock(node_mu_);
   peer_node_ = node;
 }
 
@@ -60,16 +60,22 @@ util::Status Session::advance(ConnEvent event) {
 
 void Session::attach_stream(std::shared_ptr<net::Stream> stream) {
   {
-    std::lock_guard lock(stream_mu_);
+    util::MutexLock lock(stream_mu_);
     stream_ = std::move(stream);
   }
   broken_.store(false);
-  // Wake readers parked on a dead socket: the replacement is here.
+  // Wake readers parked on a dead socket: the replacement is here. The
+  // epoch bump (under buf_mu_) makes the event durable — a reader that
+  // snapshotted the epoch before this attach will not sleep through it.
+  {
+    util::MutexLock lock(buf_mu_);
+    bump_rx_epoch_locked();
+  }
   rx_cv_.notify_all();
 }
 
 bool Session::has_stream() const {
-  std::lock_guard lock(stream_mu_);
+  util::MutexLock lock(stream_mu_);
   return stream_ != nullptr;
 }
 
@@ -80,36 +86,42 @@ void Session::close_stream() {
     // coordinated teardown must wait for any in-flight gather-write: the
     // suspension mark declared to the peer can cover exactly that frame,
     // and the peer cannot finish draining a half-written frame.
-    std::lock_guard io(write_io_mu_);
-    std::lock_guard lock(stream_mu_);
+    util::MutexLock io(write_io_mu_);
+    util::MutexLock lock(stream_mu_);
     victim = std::exchange(stream_, nullptr);
   }
   if (victim) victim->close();
+  // Durable rx event (see attach_stream): without the epoch bump a reader
+  // that decided to wait just before this close slept out its full slice.
+  {
+    util::MutexLock lock(buf_mu_);
+    bump_rx_epoch_locked();
+  }
   rx_cv_.notify_all();
 }
 
 std::shared_ptr<net::Stream> Session::stream() const {
-  std::lock_guard lock(stream_mu_);
+  util::MutexLock lock(stream_mu_);
   return stream_;
 }
 
 std::uint64_t Session::sent_seq() const {
-  std::lock_guard lock(write_mu_);
+  util::MutexLock lock(write_mu_);
   return tx_seq_;
 }
 
 std::uint64_t Session::highest_rx_seq() const {
-  std::lock_guard lock(buf_mu_);
+  util::MutexLock lock(buf_mu_);
   return rx_high_;
 }
 
 std::size_t Session::buffered_frames() const {
-  std::lock_guard lock(buf_mu_);
+  util::MutexLock lock(buf_mu_);
   return buffer_.size();
 }
 
 Session::Flags Session::flags() const {
-  std::lock_guard lock(flags_mu_);
+  util::MutexLock lock(flags_mu_);
   return flags_;
 }
 
@@ -121,16 +133,21 @@ std::uint64_t Session::freeze_writes_and_mark() {
   // transfer on the socket (it holds write_io_mu_, not write_mu_) — that is
   // fine: the stream is only closed after the peer drains to this mark,
   // which requires the in-flight frame to have fully arrived.
-  std::lock_guard lock(write_mu_);
+  util::MutexLock lock(write_mu_);
   return tx_seq_;
 }
 
-util::Status Session::send(util::ByteSpan body, util::Duration timeout) {
+// Lock coupling (write_mu_ -> write_io_mu_, with write_mu_ released
+// mid-flight and conditionally re-taken on the error path) is beyond the
+// static analysis; the runtime lock-rank validator covers this function in
+// debug builds instead.
+util::Status Session::send(util::ByteSpan body, util::Duration timeout)
+    NAPLET_NO_THREAD_SAFETY_ANALYSIS {
   const std::int64_t deadline = now_us() + timeout.count();
   std::uint64_t seq = 0;  // 0 = no sequence number assigned yet
   for (;;) {
     {
-      std::unique_lock wl(write_mu_);
+      util::UniqueMutexLock wl(write_mu_);
       const ConnState st = state_.get();
       if (is_dead(st)) {
         return util::Aborted("connection " + std::to_string(conn_id_) +
@@ -142,7 +159,7 @@ util::Status Session::send(util::ByteSpan body, util::Duration timeout) {
           // Acquire the io lock while still holding write_mu_ (lock
           // coupling): socket writes happen in seq order without keeping
           // write_mu_ across the transfer.
-          std::unique_lock io(write_io_mu_);
+          util::UniqueMutexLock io(write_io_mu_);
           if (seq == 0) {
             seq = ++tx_seq_;
             if (history_enabled_) {
@@ -268,7 +285,7 @@ util::StatusOr<bool> Session::pump_socket(std::int64_t deadline_us) {
 
   bool progressed;
   {
-    std::lock_guard lock(buf_mu_);
+    util::MutexLock lock(buf_mu_);
     const std::size_t frames_before = buffer_.size();
     rx_raw_.insert(rx_raw_.end(), chunk, chunk + *n);
     parse_raw_locked();
@@ -278,6 +295,7 @@ util::StatusOr<bool> Session::pump_socket(std::int64_t deadline_us) {
                                            std::memory_order_relaxed);
     }
     progressed = added > 0;
+    bump_rx_epoch_locked();
   }
   // Socket bytes landed (even a partial frame is progress for a peer
   // blocked on backpressure): wake anyone waiting event-driven.
@@ -288,8 +306,10 @@ util::StatusOr<bool> Session::pump_socket(std::int64_t deadline_us) {
 util::StatusOr<RecvResult> Session::recv(util::Duration timeout) {
   const std::int64_t deadline = now_us() + timeout.count();
   for (;;) {
+    std::uint64_t observed_epoch;
     {
-      std::lock_guard lock(buf_mu_);
+      util::MutexLock lock(buf_mu_);
+      observed_epoch = rx_epoch_;
       if (sealed_) {
         return util::Unavailable("connection " + std::to_string(conn_id_) +
                                  " has migrated; reacquire the session");
@@ -308,8 +328,19 @@ util::StatusOr<RecvResult> Session::recv(util::Duration timeout) {
 
     const ConnState st = state_.get();
     if (is_dead(st)) {
-      return util::Aborted("connection " + std::to_string(conn_id_) +
-                           " is closed");
+      // A graceful close drains the closer's in-flight frames into the
+      // buffer before tearing the stream down (handle_cls), but the state
+      // goes dead the moment CLS is processed — before that drain runs.
+      // While the stream is still attached the teardown is in progress:
+      // wait for the drain (epoch bump) or the detach (close_stream also
+      // bumps) instead of aborting, or the peer's final frames are lost
+      // to the control/data channel race.
+      if (stream() == nullptr || now_us() >= deadline) {
+        return util::Aborted("connection " + std::to_string(conn_id_) +
+                             " is closed");
+      }
+      wait_rx_event(observed_epoch, deadline, kStateWaitSlice);
+      continue;
     }
     if (now_us() >= deadline) return util::Timeout("recv timed out");
 
@@ -322,7 +353,7 @@ util::StatusOr<RecvResult> Session::recv(util::Duration timeout) {
 
     bool socket_ok;
     {
-      std::lock_guard rl(read_mu_);
+      util::MutexLock rl(read_mu_);
       auto pumped = pump_socket(deadline);
       socket_ok = pumped.ok();
       // Socket gone: either a racing suspension (the state will change
@@ -333,20 +364,30 @@ util::StatusOr<RecvResult> Session::recv(util::Duration timeout) {
     }
     if (!socket_ok) {
       // Event-driven wait (read_mu_ released so repairs can drain): wake
-      // on attach_stream / close_stream / frame arrival, with a bounded
-      // slice as the safety net for notify races.
-      wait_rx_event(deadline, kStateWaitSlice);
+      // on attach_stream / close_stream / frame arrival. The epoch
+      // snapshot from the top of the iteration makes any event since then
+      // (e.g. a repair re-attaching the stream) return immediately
+      // instead of sleeping out the slice.
+      wait_rx_event(observed_epoch, deadline, kStateWaitSlice);
     }
   }
 }
 
-void Session::wait_rx_event(std::int64_t deadline_us,
+void Session::wait_rx_event(std::uint64_t observed_epoch,
+                            std::int64_t deadline_us,
                             util::Duration max_slice) {
-  std::unique_lock lock(buf_mu_);
+  util::MutexLock lock(buf_mu_);
   if (!buffer_.empty()) return;
+  if (rx_epoch_ != observed_epoch) {
+    // An rx event landed between the caller's snapshot and this wait —
+    // the wakeup is delivered, not lost (and not slept through).
+    counters_.recv_wakeups.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   const std::int64_t wait_us = std::min<std::int64_t>(
       max_slice.count(), std::max<std::int64_t>(1, deadline_us - now_us()));
-  if (rx_cv_.wait_for(lock, util::us(wait_us)) == std::cv_status::no_timeout) {
+  if (rx_cv_.wait_for(buf_mu_, util::us(wait_us)) ==
+      std::cv_status::no_timeout) {
     counters_.recv_wakeups.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -354,10 +395,10 @@ void Session::wait_rx_event(std::int64_t deadline_us,
 util::Status Session::drain_to_mark(std::uint64_t peer_mark,
                                     util::Duration timeout) {
   const std::int64_t deadline = now_us() + timeout.count();
-  std::lock_guard rl(read_mu_);
+  util::MutexLock rl(read_mu_);
   for (;;) {
     {
-      std::lock_guard lock(buf_mu_);
+      util::MutexLock lock(buf_mu_);
       if (rx_high_ >= peer_mark) {
         // Everything in transmission is now buffered; mark the replay
         // boundary so Fig.7-style traces can distinguish buffered frames.
@@ -374,7 +415,7 @@ util::Status Session::drain_to_mark(std::uint64_t peer_mark,
     if (!pumped.ok()) {
       // Socket closed under us while data is still missing — that would be
       // a reliability bug; report it loudly (tests assert on this).
-      std::lock_guard lock(buf_mu_);
+      util::MutexLock lock(buf_mu_);
       if (rx_high_ >= peer_mark) continue;
       return util::ProtocolError("data socket lost before drain completed: " +
                                  pumped.status().to_string());
@@ -383,19 +424,19 @@ util::Status Session::drain_to_mark(std::uint64_t peer_mark,
 }
 
 void Session::enable_history(std::size_t max_bytes) {
-  std::lock_guard lock(write_mu_);
+  util::MutexLock lock(write_mu_);
   history_enabled_ = true;
   history_limit_bytes_ = max_bytes;
 }
 
 bool Session::history_enabled() const {
-  std::lock_guard lock(write_mu_);
+  util::MutexLock lock(write_mu_);
   return history_enabled_;
 }
 
 util::StatusOr<std::vector<std::pair<std::uint64_t, util::Bytes>>>
 Session::history_since(std::uint64_t after_seq) const {
-  std::lock_guard lock(write_mu_);
+  util::MutexLock lock(write_mu_);
   if (after_seq >= tx_seq_) return std::vector<std::pair<std::uint64_t, util::Bytes>>{};
   // The oldest retained frame must cover after_seq + 1.
   if (history_.empty() || history_.front().first > after_seq + 1) {
@@ -419,7 +460,7 @@ util::Status Session::retransmit_after(std::uint64_t after_seq) {
   if (s == nullptr) return util::Unavailable("no data socket for replay");
   // Hold the io lock across the whole replay so a racing send retry
   // cannot interleave frames mid-stream.
-  std::lock_guard io(write_io_mu_);
+  util::MutexLock io(write_io_mu_);
   for (auto& [seq, body] : *frames) {
     // Same vectored framing as send(): stack seq header, body straight out
     // of the history entry — no per-frame encode buffer.
@@ -459,16 +500,18 @@ DataPathStats Session::data_stats() const {
 bool Session::is_broken() const { return broken_.load(); }
 
 void Session::seal_buffer_for_export() {
-  std::lock_guard lock(buf_mu_);
+  util::MutexLock lock(buf_mu_);
   sealed_ = true;
+  bump_rx_epoch_locked();
 }
 
 void Session::mark_moved() {
   close_stream();
   {
-    std::lock_guard lock(buf_mu_);
+    util::MutexLock lock(buf_mu_);
     buffer_.clear();
     rx_raw_.clear();
+    bump_rx_epoch_locked();
   }
   // Internal teardown, not a protocol transition: stale holders see the
   // connection as closed and their blocked operations abort.
@@ -481,13 +524,18 @@ void Session::mark_moved() {
 
 void Session::pump_available(util::Duration budget) {
   const std::int64_t deadline = now_us() + budget.count();
-  std::unique_lock rl(read_mu_, std::try_to_lock);
+  std::uint64_t observed_epoch;
+  {
+    util::MutexLock lock(buf_mu_);
+    observed_epoch = rx_epoch_;
+  }
+  util::UniqueMutexLock rl(read_mu_, std::try_to_lock);
   if (!rl.owns_lock()) {
     // Another reader (app recv or a drain) is already pumping. Wait
     // event-driven on its progress instead of sleeping the whole budget:
     // the caller (suspend/close initiator) returns to its control-response
     // queue as soon as anything moves.
-    wait_rx_event(deadline, budget);
+    wait_rx_event(observed_epoch, deadline, budget);
     return;
   }
   (void)pump_socket(deadline);
@@ -503,7 +551,7 @@ util::Bytes Session::export_state() const {
   w.bytes(util::ByteSpan(session_key_.data(), session_key_.size()));
 
   {
-    std::lock_guard lock(node_mu_);
+    util::MutexLock lock(node_mu_);
     util::BytesWriter nw;
     nw.str(peer_node_.server_name);
     nw.str(peer_node_.control.host);
@@ -516,11 +564,11 @@ util::Bytes Session::export_state() const {
   }
 
   {
-    std::lock_guard lock(write_mu_);
+    util::MutexLock lock(write_mu_);
     w.u64(tx_seq_);
   }
   {
-    std::lock_guard lock(buf_mu_);
+    util::MutexLock lock(buf_mu_);
     w.u64(rx_high_);
     w.u64(delivered_);
     w.u64(replay_low_);
@@ -532,7 +580,7 @@ util::Bytes Session::export_state() const {
     w.bytes(util::ByteSpan(rx_raw_.data(), rx_raw_.size()));
   }
   {
-    std::lock_guard lock(flags_mu_);
+    util::MutexLock lock(flags_mu_);
     w.boolean(flags_.remote_suspended);
     w.boolean(flags_.local_suspend_parked);
     w.boolean(flags_.peer_parked);
@@ -542,7 +590,10 @@ util::Bytes Session::export_state() const {
   return std::move(w).take();
 }
 
-util::StatusOr<SessionPtr> Session::import_state(util::ByteSpan data) {
+// Populates a freshly constructed, not-yet-shared Session, so the guarded
+// members are written without their locks; no other thread can see it.
+util::StatusOr<SessionPtr> Session::import_state(util::ByteSpan data)
+    NAPLET_NO_THREAD_SAFETY_ANALYSIS {
   util::BytesReader r(data);
   auto conn_id = r.u64();
   auto verifier = r.u64();

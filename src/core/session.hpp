@@ -14,10 +14,8 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -26,6 +24,7 @@
 #include "core/state.hpp"
 #include "net/transport.hpp"
 #include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace naplet::nsock {
 
@@ -157,7 +156,7 @@ class Session {
   [[nodiscard]] Flags flags() const;
   template <typename Fn>
   void update_flags(Fn&& fn) {
-    std::lock_guard lock(flags_mu_);
+    util::MutexLock lock(flags_mu_);
     fn(flags_);
   }
 
@@ -231,10 +230,17 @@ class Session {
   /// `deadline_us`. Returns true if a frame was appended.
   util::StatusOr<bool> pump_socket(std::int64_t deadline_us);
   /// Parse any complete frames out of rx_raw_ into the buffer.
-  void parse_raw_locked();
-  /// Block until an rx event (bytes/frames/stream change) or min(deadline,
-  /// now + max_slice). The slice bounds notify races; no busy polling.
-  void wait_rx_event(std::int64_t deadline_us, util::Duration max_slice);
+  void parse_raw_locked() NAPLET_REQUIRES(buf_mu_);
+  /// Block until an rx event (bytes/frames/stream change) newer than
+  /// `observed_epoch`, or min(deadline, now + max_slice). Snapshot the
+  /// epoch (under buf_mu_) BEFORE probing the state that made you wait:
+  /// any event between the snapshot and the wait returns immediately, so
+  /// no notification can be lost. The slice is only a safety net.
+  void wait_rx_event(std::uint64_t observed_epoch, std::int64_t deadline_us,
+                     util::Duration max_slice);
+  /// Record an rx event (and wake waiters): bytes/frames arrived or the
+  /// stream was attached/closed.
+  void bump_rx_epoch_locked() NAPLET_REQUIRES(buf_mu_) { ++rx_epoch_; }
 
   std::shared_ptr<net::Stream> stream() const;
 
@@ -246,14 +252,15 @@ class Session {
   agent::AgentId peer_agent_;
   util::Bytes session_key_;
 
-  mutable std::mutex node_mu_;
-  agent::NodeInfo peer_node_;
+  mutable util::Mutex node_mu_{util::LockRank::kSessionNode, "session.node"};
+  agent::NodeInfo peer_node_ NAPLET_GUARDED_BY(node_mu_);
 
   util::WaitableCell<ConnState> state_{ConnState::kClosed};
 
   // data path
-  mutable std::mutex stream_mu_;
-  std::shared_ptr<net::Stream> stream_;
+  mutable util::Mutex stream_mu_{util::LockRank::kSessionStream,
+                                 "session.stream"};
+  std::shared_ptr<net::Stream> stream_ NAPLET_GUARDED_BY(stream_mu_);
 
   // Two-lock send path: write_mu_ serializes sequence assignment and the
   // history ring (held only briefly), write_io_mu_ serializes the socket
@@ -261,32 +268,45 @@ class Session {
   // coupling), which pins socket-write order to seq order; write_mu_ is
   // then dropped, so freeze_writes_and_mark / sent_seq / export never wait
   // out the transfer of a large frame.
-  mutable std::mutex write_mu_;
-  mutable std::mutex write_io_mu_;
-  std::uint64_t tx_seq_ = 0;  // last sequence number assigned to a send
+  mutable util::Mutex write_mu_{util::LockRank::kSessionWrite,
+                                "session.write"};
+  mutable util::Mutex write_io_mu_{util::LockRank::kSessionWriteIo,
+                                   "session.write_io"};
+  std::uint64_t tx_seq_ NAPLET_GUARDED_BY(write_mu_) = 0;  // last assigned seq
 
   // Retransmission history (guarded by write_mu_).
-  bool history_enabled_ = false;
-  std::size_t history_limit_bytes_ = 0;
-  std::size_t history_bytes_ = 0;
-  std::deque<std::pair<std::uint64_t, util::Bytes>> history_;
+  bool history_enabled_ NAPLET_GUARDED_BY(write_mu_) = false;
+  std::size_t history_limit_bytes_ NAPLET_GUARDED_BY(write_mu_) = 0;
+  std::size_t history_bytes_ NAPLET_GUARDED_BY(write_mu_) = 0;
+  std::deque<std::pair<std::uint64_t, util::Bytes>> history_
+      NAPLET_GUARDED_BY(write_mu_);
 
   std::atomic<bool> broken_{false};
 
-  mutable std::mutex read_mu_;   // serializes socket readers
-  mutable std::mutex buf_mu_;    // guards buffer + rx bookkeeping
-  // Notified (while holding buf_mu_ is not required of notifiers; waiters
-  // always re-check under buf_mu_ with a bounded slice) whenever bytes or
-  // frames arrive, or the stream is attached/closed — the event-driven
-  // replacement for the old 1 ms sleep-polls in recv()/pump_available().
-  mutable std::condition_variable rx_cv_;
-  std::deque<BufferedFrame> buffer_;
-  bool sealed_ = false;  // guarded by buf_mu_; set by seal_buffer_for_export
-  util::Bytes rx_raw_;           // unparsed bytes (partial frame tail)
-  std::uint64_t rx_high_ = 0;    // highest frame seq pulled off the wire
-  std::uint64_t delivered_ = 0;  // highest seq handed to the application
-  std::uint64_t replay_low_ = 0; // frames with seq <= this were buffered
-                                 // across a suspension (Fig. 7 provenance)
+  // serializes socket readers
+  mutable util::Mutex read_mu_{util::LockRank::kSessionRead, "session.read"};
+  // guards buffer + rx bookkeeping
+  mutable util::Mutex buf_mu_{util::LockRank::kSessionBuffer,
+                              "session.buffer"};
+  // Event-driven receive (replaces the old 1 ms sleep-polls): every rx
+  // event — bytes/frames arriving, stream attach/close, migration seal —
+  // increments rx_epoch_ under buf_mu_ and notifies rx_cv_. Waiters
+  // snapshot the epoch before deciding to wait (see wait_rx_event), which
+  // closes the lost-wakeup window a bare notify_all left open for
+  // attach/close events that change no buffer state.
+  mutable util::CondVar rx_cv_;
+  std::uint64_t rx_epoch_ NAPLET_GUARDED_BY(buf_mu_) = 0;
+  std::deque<BufferedFrame> buffer_ NAPLET_GUARDED_BY(buf_mu_);
+  bool sealed_ NAPLET_GUARDED_BY(buf_mu_) = false;  // seal_buffer_for_export
+  // unparsed bytes (partial frame tail)
+  util::Bytes rx_raw_ NAPLET_GUARDED_BY(buf_mu_);
+  // highest frame seq pulled off the wire
+  std::uint64_t rx_high_ NAPLET_GUARDED_BY(buf_mu_) = 0;
+  // highest seq handed to the application
+  std::uint64_t delivered_ NAPLET_GUARDED_BY(buf_mu_) = 0;
+  // frames with seq <= this were buffered across a suspension (Fig. 7
+  // provenance)
+  std::uint64_t replay_low_ NAPLET_GUARDED_BY(buf_mu_) = 0;
 
   // Lock-free data-path counters (see DataPathStats for field meanings).
   struct Counters {
@@ -298,8 +318,9 @@ class Session {
   };
   mutable Counters counters_;
 
-  mutable std::mutex flags_mu_;
-  Flags flags_;
+  mutable util::Mutex flags_mu_{util::LockRank::kSessionFlags,
+                                "session.flags"};
+  Flags flags_ NAPLET_GUARDED_BY(flags_mu_);
   util::Event park_event_;
   util::Event resume_event_;
   util::BlockingQueue<CtrlResponse> responses_;

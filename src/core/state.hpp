@@ -62,7 +62,7 @@ enum class ConnEvent : std::uint8_t {
   kTimeout,
 };
 
-inline constexpr int kConnEventCount = 21;
+inline constexpr int kConnEventCount = 22;
 
 [[nodiscard]] std::string_view to_string(ConnState state) noexcept;
 [[nodiscard]] std::string_view to_string(ConnEvent event) noexcept;

@@ -52,7 +52,7 @@ util::Status ReliableChannel::send(const Endpoint& dest,
   const util::Bytes packet = encode_packet(kTypeData, seq, payload);
 
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     pending_acks_.insert(seq);
   }
 
@@ -63,22 +63,30 @@ util::Status ReliableChannel::send(const Endpoint& dest,
     // A send error on UDP (e.g. transient ENOBUFS) is treated as a lost
     // packet: retransmission handles it.
 
-    std::unique_lock lock(mu_);
-    const bool acked = acked_cv_.wait_for(
-        lock, config_.retransmit_interval,
-        [&] { return !pending_acks_.contains(seq) || closed_.load(); });
+    const auto deadline =
+        std::chrono::steady_clock::now() + config_.retransmit_interval;
+    util::MutexLock lock(mu_);
+    while (pending_acks_.contains(seq) && !closed_.load()) {
+      if (acked_cv_.wait_until(mu_, deadline) == std::cv_status::timeout) {
+        break;
+      }
+    }
+    // Success is checked before closure: if the ACK already arrived, the
+    // message was delivered and the send must report OK even when the
+    // channel is concurrently closing (a handler's blocking reply racing
+    // bus teardown used to flake here).
+    if (!pending_acks_.contains(seq)) {
+      messages_sent_.fetch_add(1);
+      return util::OkStatus();
+    }
     if (closed_.load()) {
       pending_acks_.erase(seq);
       return util::Cancelled("channel closed");
     }
-    if (acked && !pending_acks_.contains(seq)) {
-      messages_sent_.fetch_add(1);
-      return util::OkStatus();
-    }
   }
 
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     pending_acks_.erase(seq);
   }
   return util::Timeout("no ACK from " + dest.to_string() + " after " +
@@ -114,7 +122,7 @@ void ReliableChannel::handle_packet(const Endpoint& from,
   if (*type == kTypeAck) {
     bool erased = false;
     {
-      std::lock_guard lock(mu_);
+      util::MutexLock lock(mu_);
       erased = pending_acks_.erase(*seq) > 0;
     }
     if (erased) acked_cv_.notify_all();
@@ -127,7 +135,7 @@ void ReliableChannel::handle_packet(const Endpoint& from,
   (void)socket_->send_to(from, ack);
 
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     SeenWindow& window = seen_[from];
     if (window.seqs.contains(*seq)) {
       duplicates_dropped_.fetch_add(1);

@@ -4,17 +4,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <thread>
 
 #include "net/transport.hpp"
 #include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace naplet::net {
 
@@ -67,9 +66,10 @@ class ReliableChannel {
   DatagramPtr socket_;
   RudpConfig config_;
 
-  std::mutex mu_;
-  std::condition_variable acked_cv_;
-  std::set<std::uint64_t> pending_acks_;  // seqs awaiting ACK
+  util::Mutex mu_{util::LockRank::kRudpChannel, "rudp"};
+  util::CondVar acked_cv_;
+  std::set<std::uint64_t> pending_acks_
+      NAPLET_GUARDED_BY(mu_);  // seqs awaiting ACK
   std::atomic<std::uint64_t> next_seq_{1};
 
   // Per-source duplicate suppression with bounded memory.
@@ -77,7 +77,7 @@ class ReliableChannel {
     std::set<std::uint64_t> seqs;
     std::deque<std::uint64_t> order;
   };
-  std::map<Endpoint, SeenWindow> seen_;
+  std::map<Endpoint, SeenWindow> seen_ NAPLET_GUARDED_BY(mu_);
 
   util::BlockingQueue<Message> inbox_;
 

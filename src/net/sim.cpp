@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <limits>
 #include <set>
@@ -10,6 +9,7 @@
 
 #include "util/log.hpp"
 #include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace naplet::net {
 
@@ -43,7 +43,7 @@ class Pipe {
     }
     bool was_empty;
     {
-      std::lock_guard lock(mu_);
+      util::MutexLock lock(mu_);
       if (closed_) return;
       deliver_us = std::max(deliver_us, last_deliver_us_);
       if (bytes_per_second > 0) {
@@ -68,7 +68,7 @@ class Pipe {
   // deliverable, the pipe closes (returns 0), or the deadline passes.
   util::StatusOr<std::size_t> read(std::uint8_t* out, std::size_t max,
                                    std::optional<std::int64_t> deadline_us) {
-    std::unique_lock lock(mu_);
+    util::MutexLock lock(mu_);
     for (;;) {
       const std::int64_t now = now_us();
       if (!chunks_.empty() && chunks_.front().first <= now) break;
@@ -80,10 +80,10 @@ class Pipe {
       if (deadline_us && now >= *deadline_us) return util::Timeout("sim read");
 
       if (wake == std::numeric_limits<std::int64_t>::max()) {
-        cv_.wait(lock);
+        cv_.wait(mu_);
       } else {
-        cv_.wait_for(lock, std::chrono::microseconds(
-                               std::max<std::int64_t>(1, wake - now)));
+        cv_.wait_for(mu_, std::chrono::microseconds(
+                              std::max<std::int64_t>(1, wake - now)));
       }
     }
 
@@ -105,7 +105,7 @@ class Pipe {
 
   /// All bytes already delivered (arrival time <= now), without blocking.
   util::Bytes drain_now() {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     util::Bytes out;
     const std::int64_t now = now_us();
     while (!chunks_.empty() && chunks_.front().first <= now) {
@@ -120,35 +120,36 @@ class Pipe {
 
   void close() {
     {
-      std::lock_guard lock(mu_);
+      util::MutexLock lock(mu_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
   [[nodiscard]] bool closed() const {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     return closed_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::pair<std::int64_t, util::Bytes>> chunks_;
-  std::size_t offset_ = 0;
-  std::int64_t last_deliver_us_ = 0;
-  bool closed_ = false;
+  mutable util::Mutex mu_{util::LockRank::kSimPipe, "sim.pipe"};
+  util::CondVar cv_;
+  std::deque<std::pair<std::int64_t, util::Bytes>> chunks_
+      NAPLET_GUARDED_BY(mu_);
+  std::size_t offset_ NAPLET_GUARDED_BY(mu_) = 0;
+  std::int64_t last_deliver_us_ NAPLET_GUARDED_BY(mu_) = 0;
+  bool closed_ NAPLET_GUARDED_BY(mu_) = false;
 };
 
 struct LatencySampler {
   LinkConfig config;
   util::Rng* rng;
-  std::mutex* rng_mu;
+  util::Mutex* rng_mu;
 
   std::int64_t sample_us() {
     std::int64_t d = config.latency.count();
     if (config.jitter.count() > 0) {
-      std::lock_guard lock(*rng_mu);
+      util::MutexLock lock(*rng_mu);
       d += static_cast<std::int64_t>(
           rng->next_below(static_cast<std::uint64_t>(config.jitter.count())));
     }
@@ -266,35 +267,40 @@ class SimDatagram;
 }  // namespace
 
 struct SimNet::Impl {
-  std::mutex mu;
-  util::Rng rng;
-  std::mutex rng_mu;
-  LinkConfig default_link;
-  std::map<std::pair<std::string, std::string>, LinkConfig> links;
-  std::set<std::pair<std::string, std::string>> partitions;  // normalized pairs
-  std::map<std::string, std::shared_ptr<SimNode>> nodes;
+  // The fabric lock; rng_mu nests strictly inside it (SimDatagram::send_to).
+  util::Mutex mu{util::LockRank::kSimFabric, "sim.fabric"};
+  util::Mutex rng_mu{util::LockRank::kSimPipe, "sim.rng"};
+  util::Rng rng NAPLET_GUARDED_BY(rng_mu);
+  LinkConfig default_link NAPLET_GUARDED_BY(mu);
+  std::map<std::pair<std::string, std::string>, LinkConfig> links
+      NAPLET_GUARDED_BY(mu);
+  std::set<std::pair<std::string, std::string>> partitions
+      NAPLET_GUARDED_BY(mu);  // normalized pairs
+  std::map<std::string, std::shared_ptr<SimNode>> nodes NAPLET_GUARDED_BY(mu);
 
   // Listener registry: (node, port) -> accept queue.
   struct ListenerEntry {
     util::BlockingQueue<PendingConn>* queue = nullptr;
   };
-  std::map<std::pair<std::string, std::uint16_t>, ListenerEntry> listeners;
+  std::map<std::pair<std::string, std::uint16_t>, ListenerEntry> listeners
+      NAPLET_GUARDED_BY(mu);
 
   // Datagram registry: (node, port) -> inbox.
   struct DgramEntry {
-    std::mutex* mu = nullptr;
-    std::condition_variable* cv = nullptr;
+    util::Mutex* mu = nullptr;
+    util::CondVar* cv = nullptr;
     std::multimap<std::int64_t, Datagram::Packet>* inbox = nullptr;
     bool* closed = nullptr;
   };
-  std::map<std::pair<std::string, std::uint16_t>, DgramEntry> dgrams;
+  std::map<std::pair<std::string, std::uint16_t>, DgramEntry> dgrams
+      NAPLET_GUARDED_BY(mu);
 
   // Established streams per normalized node pair (for sever_streams).
   std::map<std::pair<std::string, std::string>, std::vector<SimStreamWeak>>
-      streams;
+      streams NAPLET_GUARDED_BY(mu);
 
-  std::uint16_t next_port = 40000;
-  std::uint64_t dropped = 0;
+  std::uint16_t next_port NAPLET_GUARDED_BY(mu) = 40000;
+  std::uint64_t dropped NAPLET_GUARDED_BY(mu) = 0;
 
   explicit Impl(std::uint64_t seed) : rng(seed) {}
 
@@ -303,21 +309,18 @@ struct SimNet::Impl {
     return a <= b ? std::make_pair(a, b) : std::make_pair(b, a);
   }
 
-  LinkConfig link_for(const std::string& from, const std::string& to) {
-    // caller holds mu
+  LinkConfig link_for(const std::string& from, const std::string& to)
+      NAPLET_REQUIRES(mu) {
     auto it = links.find({from, to});
     return it != links.end() ? it->second : default_link;
   }
 
-  bool partitioned(const std::string& a, const std::string& b) {
-    // caller holds mu
+  bool partitioned(const std::string& a, const std::string& b)
+      NAPLET_REQUIRES(mu) {
     return partitions.contains(norm(a, b));
   }
 
-  std::uint16_t alloc_port() {
-    // caller holds mu
-    return next_port++;
-  }
+  std::uint16_t alloc_port() NAPLET_REQUIRES(mu) { return next_port++; }
 };
 
 namespace {
@@ -350,7 +353,7 @@ class SimListener final : public Listener {
     bool expected = false;
     if (!closed_.compare_exchange_strong(expected, true)) return;
     queue_.close();
-    std::lock_guard lock(impl_->mu);
+    util::MutexLock lock(impl_->mu);
     impl_->listeners.erase({node_, port_});
   }
 
@@ -375,7 +378,7 @@ class SimDatagram final : public Datagram {
     SimNet::Impl::DgramEntry entry;
     std::int64_t deliver;
     {
-      std::lock_guard lock(impl_->mu);
+      util::MutexLock lock(impl_->mu);
       if (impl_->partitioned(node_, dest.host)) {
         ++impl_->dropped;
         return util::OkStatus();  // silent drop, like real UDP
@@ -386,7 +389,7 @@ class SimDatagram final : public Datagram {
 
       LinkConfig link = impl_->link_for(node_, dest.host);
       {
-        std::lock_guard rng_lock(impl_->rng_mu);
+        util::MutexLock rng_lock(impl_->rng_mu);
         if (link.datagram_loss > 0.0 &&
             impl_->rng.bernoulli(link.datagram_loss)) {
           ++impl_->dropped;
@@ -400,7 +403,7 @@ class SimDatagram final : public Datagram {
       }
     }
     {
-      std::lock_guard lock(*entry.mu);
+      util::MutexLock lock(*entry.mu);
       if (*entry.closed) return util::OkStatus();
       entry.inbox->emplace(
           deliver, Packet{Endpoint{node_, port_},
@@ -411,7 +414,7 @@ class SimDatagram final : public Datagram {
   }
 
   util::StatusOr<Packet> recv_for(util::Duration timeout) override {
-    std::unique_lock lock(mu_);
+    util::MutexLock lock(mu_);
     const std::int64_t deadline = now_us() + timeout.count();
     for (;;) {
       const std::int64_t now = now_us();
@@ -424,8 +427,8 @@ class SimDatagram final : public Datagram {
       if (now >= deadline) return util::Timeout("sim recv");
       std::int64_t wake = deadline;
       if (!inbox_.empty()) wake = std::min(wake, inbox_.begin()->first);
-      cv_.wait_for(lock, std::chrono::microseconds(
-                             std::max<std::int64_t>(1, wake - now)));
+      cv_.wait_for(mu_, std::chrono::microseconds(
+                            std::max<std::int64_t>(1, wake - now)));
     }
   }
 
@@ -435,17 +438,17 @@ class SimDatagram final : public Datagram {
 
   void close() override {
     {
-      std::lock_guard lock(mu_);
+      util::MutexLock lock(mu_);
       if (closed_) return;
       closed_ = true;
     }
     cv_.notify_all();
-    std::lock_guard lock(impl_->mu);
+    util::MutexLock lock(impl_->mu);
     impl_->dgrams.erase({node_, port_});
   }
 
   void register_self() {
-    std::lock_guard lock(impl_->mu);
+    util::MutexLock lock(impl_->mu);
     impl_->dgrams[{node_, port_}] =
         SimNet::Impl::DgramEntry{&mu_, &cv_, &inbox_, &closed_};
   }
@@ -454,10 +457,10 @@ class SimDatagram final : public Datagram {
   SimNet::Impl* impl_;
   std::string node_;
   std::uint16_t port_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::multimap<std::int64_t, Packet> inbox_;
-  bool closed_ = false;
+  util::Mutex mu_{util::LockRank::kSimPipe, "sim.dgram"};
+  util::CondVar cv_;
+  std::multimap<std::int64_t, Packet> inbox_ NAPLET_GUARDED_BY(mu_);
+  bool closed_ NAPLET_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace
@@ -466,7 +469,7 @@ SimNet::SimNet(std::uint64_t seed) : impl_(std::make_unique<Impl>(seed)) {}
 SimNet::~SimNet() = default;
 
 std::shared_ptr<SimNode> SimNet::add_node(const std::string& name) {
-  std::lock_guard lock(impl_->mu);
+  util::MutexLock lock(impl_->mu);
   auto it = impl_->nodes.find(name);
   if (it != impl_->nodes.end()) return it->second;
   auto node = std::shared_ptr<SimNode>(new SimNode(name, this));
@@ -476,18 +479,18 @@ std::shared_ptr<SimNode> SimNet::add_node(const std::string& name) {
 
 void SimNet::set_link(const std::string& from, const std::string& to,
                       LinkConfig config) {
-  std::lock_guard lock(impl_->mu);
+  util::MutexLock lock(impl_->mu);
   impl_->links[{from, to}] = config;
 }
 
 void SimNet::set_default_link(LinkConfig config) {
-  std::lock_guard lock(impl_->mu);
+  util::MutexLock lock(impl_->mu);
   impl_->default_link = config;
 }
 
 void SimNet::set_partition(const std::string& a, const std::string& b,
                            bool on) {
-  std::lock_guard lock(impl_->mu);
+  util::MutexLock lock(impl_->mu);
   if (on) {
     impl_->partitions.insert(Impl::norm(a, b));
   } else {
@@ -498,7 +501,7 @@ void SimNet::set_partition(const std::string& a, const std::string& b,
 void SimNet::sever_streams(const std::string& a, const std::string& b) {
   std::vector<SimStreamWeak> victims;
   {
-    std::lock_guard lock(impl_->mu);
+    util::MutexLock lock(impl_->mu);
     auto it = impl_->streams.find(Impl::norm(a, b));
     if (it == impl_->streams.end()) return;
     victims = std::move(it->second);
@@ -510,13 +513,13 @@ void SimNet::sever_streams(const std::string& a, const std::string& b) {
 }
 
 std::uint64_t SimNet::datagrams_dropped() const {
-  std::lock_guard lock(impl_->mu);
+  util::MutexLock lock(impl_->mu);
   return impl_->dropped;
 }
 
 util::StatusOr<ListenerPtr> SimNode::listen(std::uint16_t port) {
   auto* impl = net_->impl_.get();
-  std::lock_guard lock(impl->mu);
+  util::MutexLock lock(impl->mu);
   if (port == 0) port = impl->alloc_port();
   if (impl->listeners.contains({name_, port})) {
     return util::AlreadyExists("sim port in use: " + name_ + ":" +
@@ -535,7 +538,7 @@ util::StatusOr<StreamPtr> SimNode::connect(const Endpoint& dest,
   util::BlockingQueue<PendingConn>* accept_queue = nullptr;
   std::uint16_t client_port;
   {
-    std::lock_guard lock(impl->mu);
+    util::MutexLock lock(impl->mu);
     if (impl->partitioned(name_, dest.host)) {
       return util::Unavailable("sim partition: " + name_ + " <-> " + dest.host);
     }
@@ -562,7 +565,7 @@ util::StatusOr<StreamPtr> SimNode::connect(const Endpoint& dest,
                                                  to_src);
 
   {
-    std::lock_guard lock(impl->mu);
+    util::MutexLock lock(impl->mu);
     auto& vec = impl->streams[SimNet::Impl::norm(name_, dest.host)];
     vec.emplace_back(client_side);
     vec.emplace_back(server_side);
@@ -579,7 +582,7 @@ util::StatusOr<StreamPtr> SimNode::connect(const Endpoint& dest,
 util::StatusOr<DatagramPtr> SimNode::bind_datagram(std::uint16_t port) {
   auto* impl = net_->impl_.get();
   {
-    std::lock_guard lock(impl->mu);
+    util::MutexLock lock(impl->mu);
     if (port == 0) port = impl->alloc_port();
     if (impl->dgrams.contains({name_, port})) {
       return util::AlreadyExists("sim udp port in use: " + name_ + ":" +

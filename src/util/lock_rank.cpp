@@ -1,0 +1,119 @@
+#include "util/lock_rank.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define NAPLET_HAVE_BACKTRACE 1
+#endif
+#endif
+#ifndef NAPLET_HAVE_BACKTRACE
+#define NAPLET_HAVE_BACKTRACE 0
+#endif
+
+namespace naplet::util::lock_rank {
+
+namespace {
+
+constexpr int kMaxFrames = 24;
+
+struct Held {
+  const void* mu = nullptr;
+  LockRank rank = LockRank::kUnranked;
+  const char* name = "";
+  void* frames[kMaxFrames];
+  int frame_count = 0;
+};
+
+// Per-thread stack of ranked locks currently held, in acquisition order.
+thread_local std::vector<Held> t_held;
+
+void capture(Held& h) {
+#if NAPLET_HAVE_BACKTRACE
+  h.frame_count = backtrace(h.frames, kMaxFrames);
+#else
+  h.frame_count = 0;
+#endif
+}
+
+void print_stack(const char* label, void* const* frames, int count) {
+  std::fprintf(stderr, "  %s:\n", label);
+#if NAPLET_HAVE_BACKTRACE
+  if (count > 0) {
+    char** symbols = backtrace_symbols(frames, count);
+    for (int i = 0; i < count; ++i) {
+      std::fprintf(stderr, "    #%d %s\n", i,
+                   symbols != nullptr ? symbols[i] : "<unknown>");
+    }
+    std::free(symbols);
+    return;
+  }
+#else
+  (void)frames;
+  (void)count;
+#endif
+  std::fprintf(stderr, "    <no backtrace available>\n");
+}
+
+[[noreturn]] void die(const Held& conflicting, LockRank rank,
+                      const char* name, const char* why) {
+  void* now_frames[kMaxFrames];
+  int now_count = 0;
+#if NAPLET_HAVE_BACKTRACE
+  now_count = backtrace(now_frames, kMaxFrames);
+#endif
+  std::fprintf(stderr,
+               "naplet: lock rank inversion (%s): acquiring \"%s\" (rank %d) "
+               "while holding \"%s\" (rank %d)\n",
+               why, name, static_cast<int>(rank), conflicting.name,
+               static_cast<int>(conflicting.rank));
+  print_stack("stack of the acquisition being attempted", now_frames,
+              now_count);
+  print_stack("stack where the held lock was acquired", conflicting.frames,
+              conflicting.frame_count);
+  std::fflush(stderr);
+  std::abort();
+}
+
+void record(const void* mu, LockRank rank, const char* name) {
+  Held h;
+  h.mu = mu;
+  h.rank = rank;
+  h.name = name;
+  capture(h);
+  t_held.push_back(h);
+}
+
+}  // namespace
+
+void note_acquire(const void* mu, LockRank rank, const char* name) {
+  for (const Held& h : t_held) {
+    if (h.mu == mu) die(h, rank, name, "recursive acquisition");
+    // The hierarchy is strict: a thread may only acquire a rank greater
+    // than every ranked lock it already holds.
+    if (h.rank >= rank) die(h, rank, name, "rank order violated");
+  }
+  record(mu, rank, name);
+}
+
+void note_acquire_unchecked(const void* mu, LockRank rank, const char* name) {
+  record(mu, rank, name);
+}
+
+void note_release(const void* mu) {
+  // Search from the back: unlock order usually mirrors lock order, but
+  // lock coupling (send: write_mu_ released before write_io_mu_) may not.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->mu == mu) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+std::size_t held_count() { return t_held.size(); }
+
+}  // namespace naplet::util::lock_rank

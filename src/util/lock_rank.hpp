@@ -1,0 +1,86 @@
+// Runtime lock-order (deadlock) validator: every util::Mutex may register
+// with a rank from the single global hierarchy below, and a thread must
+// acquire ranked locks in strictly increasing rank order. A violation
+// aborts the process, printing the acquisition stack of the offending lock
+// AND the stack at which the conflicting lock was taken — the runtime
+// counterpart of the Clang thread-safety annotations (see
+// thread_annotations.hpp) and of the paper's priority-based deadlock
+// avoidance for overlapped concurrent migration.
+//
+// Checks are compiled in when NDEBUG is not defined (Debug / Sanitize /
+// Tsan build types); the RelWithDebInfo tier-1 build pays nothing.
+#pragma once
+
+#include <cstddef>
+
+#if !defined(NDEBUG)
+#define NAPLET_LOCK_RANK_CHECKS 1
+#else
+#define NAPLET_LOCK_RANK_CHECKS 0
+#endif
+
+namespace naplet::util {
+
+/// The global lock hierarchy, outermost (acquired first) to innermost.
+/// Gaps are deliberate so future locks can slot in without renumbering.
+/// Keep this table in sync with DESIGN.md "Concurrency invariants".
+enum class LockRank : int {
+  kUnranked = 0,  ///< opted out of ordering checks (leaf/local locks)
+
+  // Control plane (outermost): the controller owns sessions, the agent
+  // server owns residents, and both call down into session/queue locks.
+  kController = 10,   ///< SocketController::mu_
+  kAgentServer = 12,  ///< AgentServer::mu_
+  kPostOffice = 14,   ///< PostOffice::mu_ (pushes into mailbox queues)
+  kRedirector = 16,   ///< Redirector::handlers_mu_
+  kBus = 18,          ///< ServerBus::mu_
+
+  // Session data path, in send/recv acquisition order (see DESIGN.md):
+  // send couples write -> write_io; close_stream nests write_io -> stream;
+  // readers nest read -> stream -> buffer.
+  kSessionWrite = 20,    ///< Session::write_mu_
+  kSessionWriteIo = 22,  ///< Session::write_io_mu_
+  kSessionRead = 24,     ///< Session::read_mu_
+  kSessionStream = 26,   ///< Session::stream_mu_
+  kSessionBuffer = 28,   ///< Session::buf_mu_
+  kSessionFlags = 30,    ///< Session::flags_mu_
+  kSessionNode = 32,     ///< Session::node_mu_
+
+  // Shared leaf-ish primitives: held only across their own tiny critical
+  // sections, but the controller/session layers do call into them.
+  kStateCell = 40,    ///< WaitableCell (FSM state; logs under its lock)
+  kRudpChannel = 44,  ///< net::ReliableChannel::mu_
+  kQueue = 60,        ///< util::BlockingQueue
+  kEvent = 64,        ///< util::Event
+  kSimFabric = 68,    ///< net::SimNet::Impl::mu
+  kSimPipe = 70,      ///< sim Pipe / datagram inbox locks
+
+  kLogger = 100,  ///< the log sink lock: innermost, everyone may log
+};
+
+constexpr bool lock_rank_checks_enabled() {
+  return NAPLET_LOCK_RANK_CHECKS != 0;
+}
+
+namespace lock_rank {
+
+/// Validate that acquiring (`mu`, `rank`) respects the hierarchy given the
+/// calling thread's currently held ranked locks, then record the
+/// acquisition (with a captured stack trace). Aborts on violation. Call
+/// BEFORE blocking on the underlying mutex so a would-be deadlock is
+/// reported instead of hung.
+void note_acquire(const void* mu, LockRank rank, const char* name);
+
+/// Record the acquisition without order validation (for try_lock, which
+/// cannot deadlock). Only call after the try succeeded.
+void note_acquire_unchecked(const void* mu, LockRank rank, const char* name);
+
+/// Remove `mu` from the calling thread's held set. Unlock order need not
+/// mirror acquisition order (lock coupling releases the outer lock first).
+void note_release(const void* mu);
+
+/// Number of ranked locks the calling thread currently holds (tests).
+std::size_t held_count();
+
+}  // namespace lock_rank
+}  // namespace naplet::util

@@ -7,13 +7,16 @@
 #include <mutex>
 #include <thread>
 
+#include "util/sync.hpp"
+
 namespace naplet::util {
 
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 std::once_flag g_env_once;
-std::mutex g_io_mutex;
+// Innermost rank: any subsystem may log while holding its own locks.
+Mutex g_io_mutex{LockRank::kLogger, "log.io"};
 
 const char* level_tag(LogLevel level) noexcept {
   switch (level) {
@@ -72,7 +75,7 @@ void log_line(LogLevel level, std::string_view component, std::string_view msg) 
   const auto us = duration_cast<microseconds>(steady_clock::now() - t0).count();
   const auto tid = std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xFFFF;
 
-  std::lock_guard lock(g_io_mutex);
+  MutexLock lock(g_io_mutex);
   std::fprintf(stderr, "[%9.3fms %s t%04zx %.*s] %.*s\n",
                static_cast<double>(us) / 1000.0, level_tag(level), tid,
                static_cast<int>(component.size()), component.data(),

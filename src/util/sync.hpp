@@ -1,6 +1,14 @@
-// Small thread-synchronization helpers used across the agent runtime and the
-// NapletSocket controller: a closable blocking queue, a one-shot/resettable
-// event, and a waitable state cell for FSM condition waits.
+// Thread-synchronization layer used across the agent runtime and the
+// NapletSocket controller. Two halves:
+//
+//  * Annotated primitives (Mutex / MutexLock / UniqueMutexLock / CondVar):
+//    std::mutex + std::condition_variable wrapped with Clang
+//    thread-safety capability annotations (thread_annotations.hpp) and,
+//    in debug builds, runtime lock-rank validation (lock_rank.hpp). Every
+//    mutex in the concurrent subsystems is one of these.
+//  * Higher-level helpers built on them: a closable blocking queue, a
+//    one-shot/resettable event, and a waitable state cell for FSM
+//    condition waits.
 #pragma once
 
 #include <chrono>
@@ -10,7 +18,158 @@
 #include <optional>
 #include <utility>
 
+#include "util/lock_rank.hpp"
+#include "util/thread_annotations.hpp"
+
 namespace naplet::util {
+
+/// Annotated mutex. Construct with a LockRank to opt into the global lock
+/// hierarchy (debug builds abort on out-of-order acquisition, printing
+/// both acquisition stacks); default-constructed mutexes are unranked and
+/// only get the static Clang analysis.
+class NAPLET_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  explicit Mutex(LockRank rank, const char* name = "")
+#if NAPLET_LOCK_RANK_CHECKS
+      : rank_(rank), name_(name)
+#endif
+  {
+#if !NAPLET_LOCK_RANK_CHECKS
+    (void)rank;
+    (void)name;
+#endif
+  }
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() NAPLET_ACQUIRE() {
+#if NAPLET_LOCK_RANK_CHECKS
+    // Validate BEFORE blocking so a would-be deadlock aborts with both
+    // stacks instead of hanging.
+    if (rank_ != LockRank::kUnranked) {
+      lock_rank::note_acquire(this, rank_, name_);
+    }
+#endif
+    mu_.lock();
+  }
+
+  void unlock() NAPLET_RELEASE() {
+    mu_.unlock();
+#if NAPLET_LOCK_RANK_CHECKS
+    if (rank_ != LockRank::kUnranked) lock_rank::note_release(this);
+#endif
+  }
+
+  bool try_lock() NAPLET_TRY_ACQUIRE(true) {
+    const bool got = mu_.try_lock();
+#if NAPLET_LOCK_RANK_CHECKS
+    // try_lock cannot deadlock, so record without order validation.
+    if (got && rank_ != LockRank::kUnranked) {
+      lock_rank::note_acquire_unchecked(this, rank_, name_);
+    }
+#endif
+    return got;
+  }
+
+  /// The underlying std::mutex, for CondVar's adopt-and-wait dance only.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+#if NAPLET_LOCK_RANK_CHECKS
+  LockRank rank_ = LockRank::kUnranked;
+  const char* name_ = "";
+#endif
+};
+
+/// std::lock_guard equivalent for Mutex.
+class NAPLET_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) NAPLET_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() NAPLET_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// std::unique_lock equivalent: supports early unlock/relock (the send
+/// path's lock coupling) and try_to_lock construction.
+class NAPLET_SCOPED_CAPABILITY UniqueMutexLock {
+ public:
+  explicit UniqueMutexLock(Mutex& mu) NAPLET_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+    owned_ = true;
+  }
+  UniqueMutexLock(Mutex& mu, std::try_to_lock_t) NAPLET_TRY_ACQUIRE(true, mu)
+      : mu_(mu), owned_(mu.try_lock()) {}
+  ~UniqueMutexLock() NAPLET_RELEASE() {
+    if (owned_) mu_.unlock();
+  }
+
+  UniqueMutexLock(const UniqueMutexLock&) = delete;
+  UniqueMutexLock& operator=(const UniqueMutexLock&) = delete;
+
+  void lock() NAPLET_ACQUIRE() {
+    mu_.lock();
+    owned_ = true;
+  }
+  void unlock() NAPLET_RELEASE() {
+    mu_.unlock();
+    owned_ = false;
+  }
+  [[nodiscard]] bool owns_lock() const noexcept { return owned_; }
+
+ private:
+  Mutex& mu_;
+  bool owned_ = false;
+};
+
+/// Condition variable for Mutex. Waits name the Mutex itself (absl style),
+/// which must be held by the caller; the guard object stays intact across
+/// the wait. The debug-build rank record also stays in place: a thread
+/// blocked in wait holds the lock again by the time it runs.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(Mutex& mu) NAPLET_REQUIRES(mu) {
+    std::unique_lock<std::mutex> ul(mu.native(), std::adopt_lock);
+    cv_.wait(ul);
+    ul.release();  // ownership stays with the caller's guard
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(Mutex& mu, std::chrono::duration<Rep, Period> d)
+      NAPLET_REQUIRES(mu) {
+    std::unique_lock<std::mutex> ul(mu.native(), std::adopt_lock);
+    const std::cv_status st = cv_.wait_for(ul, d);
+    ul.release();
+    return st;
+  }
+
+  template <typename Clock, typename Dur>
+  std::cv_status wait_until(Mutex& mu,
+                            std::chrono::time_point<Clock, Dur> deadline)
+      NAPLET_REQUIRES(mu) {
+    std::unique_lock<std::mutex> ul(mu.native(), std::adopt_lock);
+    const std::cv_status st = cv_.wait_until(ul, deadline);
+    ul.release();
+    return st;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
 
 /// Unbounded MPMC blocking queue with close() semantics: after close(),
 /// pops drain the remaining items and then return nullopt.
@@ -20,7 +179,7 @@ class BlockingQueue {
   /// Returns false if the queue is closed (item dropped).
   bool push(T item) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (closed_) return false;
       items_.push_back(std::move(item));
     }
@@ -30,8 +189,8 @@ class BlockingQueue {
 
   /// Blocks until an item is available or the queue is closed-and-empty.
   std::optional<T> pop() {
-    std::unique_lock lock(mu_);
-    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    MutexLock lock(mu_);
+    while (items_.empty() && !closed_) cv_.wait(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -41,10 +200,10 @@ class BlockingQueue {
   /// Like pop() but gives up after `timeout`.
   template <typename Rep, typename Period>
   std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
-    std::unique_lock lock(mu_);
-    if (!cv_.wait_for(lock, timeout,
-                      [&] { return !items_.empty() || closed_; })) {
-      return std::nullopt;
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexLock lock(mu_);
+    while (items_.empty() && !closed_) {
+      if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) break;
     }
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
@@ -54,7 +213,7 @@ class BlockingQueue {
 
   /// Non-blocking pop.
   std::optional<T> try_pop() {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -63,27 +222,27 @@ class BlockingQueue {
 
   void close() {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
   [[nodiscard]] bool closed() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return closed_;
   }
 
   [[nodiscard]] std::size_t size() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_{LockRank::kQueue, "BlockingQueue"};
+  CondVar cv_;
+  std::deque<T> items_ NAPLET_GUARDED_BY(mu_);
+  bool closed_ NAPLET_GUARDED_BY(mu_) = false;
 };
 
 /// Manual-reset event: set() releases all current and future waiters until
@@ -92,37 +251,41 @@ class Event {
  public:
   void set() {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       set_ = true;
     }
     cv_.notify_all();
   }
 
   void reset() {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     set_ = false;
   }
 
   void wait() {
-    std::unique_lock lock(mu_);
-    cv_.wait(lock, [&] { return set_; });
+    MutexLock lock(mu_);
+    while (!set_) cv_.wait(mu_);
   }
 
   template <typename Rep, typename Period>
   bool wait_for(std::chrono::duration<Rep, Period> timeout) {
-    std::unique_lock lock(mu_);
-    return cv_.wait_for(lock, timeout, [&] { return set_; });
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexLock lock(mu_);
+    while (!set_) {
+      if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) break;
+    }
+    return set_;
   }
 
   [[nodiscard]] bool is_set() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return set_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool set_ = false;
+  mutable Mutex mu_{LockRank::kEvent, "Event"};
+  CondVar cv_;
+  bool set_ NAPLET_GUARDED_BY(mu_) = false;
 };
 
 /// A value cell whose changes can be awaited — the natural shape for
@@ -130,16 +293,17 @@ class Event {
 template <typename T>
 class WaitableCell {
  public:
-  explicit WaitableCell(T initial) : value_(std::move(initial)) {}
+  explicit WaitableCell(T initial, LockRank rank = LockRank::kStateCell)
+      : mu_(rank, "WaitableCell"), value_(std::move(initial)) {}
 
   T get() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return value_;
   }
 
   void set(T v) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       value_ = std::move(v);
     }
     cv_.notify_all();
@@ -149,7 +313,7 @@ class WaitableCell {
   template <typename Fn>
   void update(Fn&& fn) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       fn(value_);
     }
     cv_.notify_all();
@@ -158,8 +322,8 @@ class WaitableCell {
   /// Wait until pred(value) holds; returns the satisfying value.
   template <typename Pred>
   T wait(Pred&& pred) const {
-    std::unique_lock lock(mu_);
-    cv_.wait(lock, [&] { return pred(value_); });
+    MutexLock lock(mu_);
+    while (!pred(value_)) cv_.wait(mu_);
     return value_;
   }
 
@@ -167,17 +331,19 @@ class WaitableCell {
   template <typename Pred, typename Rep, typename Period>
   std::optional<T> wait_for(Pred&& pred,
                             std::chrono::duration<Rep, Period> timeout) const {
-    std::unique_lock lock(mu_);
-    if (!cv_.wait_for(lock, timeout, [&] { return pred(value_); })) {
-      return std::nullopt;
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexLock lock(mu_);
+    while (!pred(value_)) {
+      if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) break;
     }
+    if (!pred(value_)) return std::nullopt;
     return value_;
   }
 
  private:
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
-  T value_;
+  mutable Mutex mu_;
+  mutable CondVar cv_;
+  T value_ NAPLET_GUARDED_BY(mu_);
 };
 
 }  // namespace naplet::util

@@ -1,0 +1,67 @@
+// Clang thread-safety-analysis attribute macros, modeled on
+// absl/base/thread_annotations.h. Under Clang with -Wthread-safety these
+// turn lock discipline into compile errors; on other compilers (GCC) they
+// expand to nothing. See DESIGN.md "Concurrency invariants" for the lock
+// hierarchy these annotations encode.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define NAPLET_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define NAPLET_THREAD_ANNOTATION(x)
+#endif
+
+// A type that acts as a lock/capability (e.g. util::Mutex).
+#define NAPLET_CAPABILITY(x) NAPLET_THREAD_ANNOTATION(capability(x))
+
+// A scoped wrapper that acquires a capability on construction and releases
+// it on destruction (e.g. util::MutexLock).
+#define NAPLET_SCOPED_CAPABILITY NAPLET_THREAD_ANNOTATION(scoped_lockable)
+
+// Data members that may only be touched while holding the given capability.
+#define NAPLET_GUARDED_BY(x) NAPLET_THREAD_ANNOTATION(guarded_by(x))
+#define NAPLET_PT_GUARDED_BY(x) NAPLET_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Static acquisition-order edges between capabilities.
+#define NAPLET_ACQUIRED_BEFORE(...) \
+  NAPLET_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define NAPLET_ACQUIRED_AFTER(...) \
+  NAPLET_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// Function-level contracts: the caller must hold / must not hold the
+// capability across the call.
+#define NAPLET_REQUIRES(...) \
+  NAPLET_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define NAPLET_REQUIRES_SHARED(...) \
+  NAPLET_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define NAPLET_EXCLUDES(...) \
+  NAPLET_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// The function acquires / releases the capability (and does not already
+// hold / keeps holding it on entry, respectively).
+#define NAPLET_ACQUIRE(...) \
+  NAPLET_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define NAPLET_ACQUIRE_SHARED(...) \
+  NAPLET_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define NAPLET_RELEASE(...) \
+  NAPLET_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define NAPLET_RELEASE_SHARED(...) \
+  NAPLET_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+// try_lock-style functions: first argument is the success return value.
+#define NAPLET_TRY_ACQUIRE(...) \
+  NAPLET_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// The function returns a reference to the given capability.
+#define NAPLET_RETURN_CAPABILITY(x) NAPLET_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch for patterns the static analysis cannot model (lock
+// coupling, conditional ownership transfer). Use sparingly and leave a
+// comment saying which runtime check covers the function instead.
+#define NAPLET_NO_THREAD_SAFETY_ANALYSIS \
+  NAPLET_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// Runtime assertion that the capability is held (for helpers called with
+// the lock already taken).
+#define NAPLET_ASSERT_CAPABILITY(x) \
+  NAPLET_THREAD_ANNOTATION(assert_capability(x))

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
 
 #include "net/sim.hpp"
 
@@ -196,6 +197,37 @@ TEST_F(AgentServerTest, NodeInfoRegistered) {
   EXPECT_EQ(info->server_name, "alpha");
   EXPECT_GT(info->control.port, 0);
   EXPECT_GT(info->migration.port, 0);
+}
+
+TEST_F(AgentServerTest, RedirectorEndpointUpdateIsRaceFree) {
+  // Regression: redirector_endpoint_ used to be written by
+  // set_redirector_endpoint without synchronization while node_info() read
+  // it from agent threads. Both now go through the server mutex; readers
+  // must only ever observe one of the published values. Run under TSan to
+  // catch any regression in the guarding itself.
+  const net::Endpoint even{"alpha", 7001};
+  const net::Endpoint odd{"alpha", 7002};
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 400; ++i) {
+      server_a_->set_redirector_endpoint(i % 2 == 0 ? even : odd);
+    }
+    done.store(true);
+  });
+  // Keep sampling past `done` so a fast writer can't starve the reader of
+  // observations; once the writer has run, the port is always published.
+  int observed = 0;
+  while (!done.load() || observed < 100) {
+    const NodeInfo info = server_a_->node_info();
+    if (info.redirector.port != 0) {
+      ++observed;
+      EXPECT_TRUE(info.redirector.port == even.port ||
+                  info.redirector.port == odd.port)
+          << "torn read: " << info.redirector.to_string();
+    }
+  }
+  writer.join();
+  EXPECT_GT(observed, 0);
 }
 
 TEST_F(AgentServerTest, MigrationAuthRejectedAcrossRealms) {

@@ -1,0 +1,115 @@
+// Regression tests for the receive-side lost-wakeup window: a reader
+// blocked in Session::recv with no usable data socket must be woken
+// immediately by attach_stream / close_stream, not sleep out its full
+// 100 ms poll slice. The fix is the rx-epoch protocol: every rx event
+// bumps rx_epoch_ under buf_mu_ before notifying rx_cv_, and waiters
+// snapshot the epoch before probing the state that made them wait.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "core/session.hpp"
+#include "net/sim.hpp"
+
+namespace naplet::nsock {
+namespace {
+
+using namespace std::chrono_literals;
+
+util::ByteSpan span(const std::string& s) {
+  return util::ByteSpan(reinterpret_cast<const std::uint8_t*>(s.data()),
+                        s.size());
+}
+
+/// Like session_test's SessionPair, but the reader side's stream is left
+/// detached so recv() parks in the event-driven wait.
+struct DetachedPair {
+  net::SimNet net;
+  SessionPtr reader;   // no stream attached yet
+  SessionPtr writer;   // stream attached
+  std::shared_ptr<net::Stream> reader_stream;  // attach later
+
+  DetachedPair() {
+    auto node_a = net.add_node("a");
+    auto node_b = net.add_node("b");
+    auto listener = node_b->listen(1);
+    EXPECT_TRUE(listener.ok());
+    auto client = node_a->connect(net::Endpoint{"b", 1}, 1s);
+    EXPECT_TRUE(client.ok());
+    auto server = (*listener)->accept(1s);
+    EXPECT_TRUE(server.ok());
+
+    reader = std::make_shared<Session>(1, 2, true, agent::AgentId("low"),
+                                       agent::AgentId("high"));
+    writer = std::make_shared<Session>(1, 2, false, agent::AgentId("high"),
+                                       agent::AgentId("low"));
+    reader_stream = std::shared_ptr<net::Stream>(std::move(*client));
+    writer->attach_stream(std::shared_ptr<net::Stream>(std::move(*server)));
+
+    EXPECT_TRUE(reader->advance(ConnEvent::kAppConnect).ok());
+    EXPECT_TRUE(reader->advance(ConnEvent::kRecvConnectAck).ok());
+    EXPECT_TRUE(writer->advance(ConnEvent::kAppListen).ok());
+    EXPECT_TRUE(writer->advance(ConnEvent::kRecvConnect).ok());
+    EXPECT_TRUE(writer->advance(ConnEvent::kRecvAttach).ok());
+  }
+};
+
+TEST(RxWakeup, AttachStreamWakesBlockedReader) {
+  DetachedPair pair;
+  // Data is already in flight before the reader's stream exists.
+  ASSERT_TRUE(pair.writer->send(span("hello"), 1s).ok());
+
+  std::atomic<std::int64_t> recv_done_us{0};
+  std::atomic<bool> got_frame{false};
+  std::thread t([&] {
+    auto r = pair.reader->recv(3s);
+    recv_done_us.store(util::RealClock::instance().now_us());
+    if (r.ok()) got_frame.store(r->body.size() == 5);
+  });
+
+  // Let the reader settle into wait_rx_event (no stream: pump fails fast,
+  // so it is either waiting or between snapshot and wait — both windows
+  // the epoch protocol must cover).
+  std::this_thread::sleep_for(320ms);
+  const std::int64_t attach_us = util::RealClock::instance().now_us();
+  pair.reader->attach_stream(pair.reader_stream);
+  t.join();
+
+  EXPECT_TRUE(got_frame.load());
+  // Without the attach-side wakeup the reader sleeps out the remainder of
+  // its 100 ms slice; with it, it wakes within a few ms.
+  EXPECT_LT(recv_done_us.load() - attach_us, 80'000)
+      << "reader slept through the attach_stream event";
+  EXPECT_GE(pair.reader->data_stats().recv_wakeups, 1u)
+      << "the attach wakeup was not delivered through rx_cv_";
+}
+
+TEST(RxWakeup, CloseStreamWakesBlockedReaderIntoAbort) {
+  DetachedPair pair;
+
+  std::atomic<std::int64_t> recv_done_us{0};
+  std::atomic<bool> aborted{false};
+  std::thread t([&] {
+    auto r = pair.reader->recv(3s);
+    recv_done_us.store(util::RealClock::instance().now_us());
+    if (!r.ok()) aborted.store(r.status().code() == util::StatusCode::kAborted);
+  });
+
+  std::this_thread::sleep_for(320ms);
+  // Abort-style teardown: state first, then the stream event that carries
+  // the wakeup (the controller's abort_session does the same dance).
+  ASSERT_TRUE(pair.reader->advance(ConnEvent::kAppClose).ok());
+  ASSERT_TRUE(pair.reader->advance(ConnEvent::kTimeout).ok());
+  const std::int64_t close_us = util::RealClock::instance().now_us();
+  pair.reader->close_stream();
+  t.join();
+
+  EXPECT_TRUE(aborted.load());
+  EXPECT_LT(recv_done_us.load() - close_us, 80'000)
+      << "reader slept through the close_stream event";
+}
+
+}  // namespace
+}  // namespace naplet::nsock

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <thread>
 
 #include "core/test_realm.hpp"
@@ -15,6 +16,11 @@ namespace naplet::nsock {
 namespace {
 
 using namespace naplet::nsock::testing;
+
+// ThreadSanitizer runs these interleavings ~10x slower; the tsan-labeled
+// ctest entries set NAPLET_TSAN_LIGHT=1 to pin a lighter workload that
+// still exercises every concurrent path.
+bool tsan_light() { return std::getenv("NAPLET_TSAN_LIGHT") != nullptr; }
 
 struct PairState {
   agent::AgentId sender;
@@ -28,9 +34,9 @@ struct PairState {
 };
 
 TEST(Stress, ManyPairsMigrationsAndSuspends) {
-  constexpr int kPairs = 3;
-  constexpr int kRounds = 6;
-  constexpr int kMsgsPerRound = 8;
+  const int kPairs = tsan_light() ? 2 : 3;
+  const int kRounds = tsan_light() ? 3 : 6;
+  const int kMsgsPerRound = tsan_light() ? 4 : 8;
 
   SimRealm realm(4, /*security=*/false);
   util::Rng rng(2024);
@@ -132,12 +138,13 @@ TEST(Stress, RapidSuspendResumeCycles) {
   auto bob = realm.pseudo_agent("bob", 1);
   ConnPair conn = make_connection(realm, alice, 0, bob, 1);
 
-  for (int i = 0; i < 25; ++i) {
+  const int kCycles = tsan_light() ? 8 : 25;
+  for (int i = 0; i < kCycles; ++i) {
     ASSERT_TRUE(conn.client->send(span("c" + std::to_string(i)), 5s).ok());
     ASSERT_TRUE(realm.ctrl(0).suspend(conn.client).ok()) << i;
     ASSERT_TRUE(realm.ctrl(0).resume(conn.client).ok()) << i;
   }
-  for (int i = 0; i < 25; ++i) {
+  for (int i = 0; i < kCycles; ++i) {
     auto got = conn.server->recv(5s);
     ASSERT_TRUE(got.ok()) << i;
     EXPECT_EQ(text(got->body), "c" + std::to_string(i));
@@ -150,7 +157,8 @@ TEST(Stress, AlternatingSidesSuspend) {
   auto bob = realm.pseudo_agent("bob", 1);
   ConnPair conn = make_connection(realm, alice, 0, bob, 1);
 
-  for (int i = 0; i < 10; ++i) {
+  const int kSwaps = tsan_light() ? 4 : 10;
+  for (int i = 0; i < kSwaps; ++i) {
     auto& ctrl = (i % 2 == 0) ? realm.ctrl(0) : realm.ctrl(1);
     const SessionPtr& side = (i % 2 == 0) ? conn.client : conn.server;
     const SessionPtr& other = (i % 2 == 0) ? conn.server : conn.client;

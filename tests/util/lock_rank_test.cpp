@@ -1,0 +1,108 @@
+// Tests for the debug-build lock-rank validator (util/lock_rank.hpp) and
+// its integration with util::Mutex. The death tests document the exact
+// failure mode: a deliberate rank inversion aborts the process with both
+// acquisition stacks instead of deadlocking at some later, racier moment.
+#include "util/lock_rank.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/sync.hpp"
+
+namespace naplet::util {
+namespace {
+
+TEST(LockRank, InOrderAcquisitionIsClean) {
+  if (!lock_rank_checks_enabled()) GTEST_SKIP() << "validator off (NDEBUG)";
+  Mutex outer(LockRank::kController, "test.outer");
+  Mutex inner(LockRank::kSessionWrite, "test.inner");
+  const std::size_t base = lock_rank::held_count();
+  {
+    MutexLock a(outer);
+    EXPECT_EQ(lock_rank::held_count(), base + 1);
+    {
+      MutexLock b(inner);
+      EXPECT_EQ(lock_rank::held_count(), base + 2);
+    }
+    EXPECT_EQ(lock_rank::held_count(), base + 1);
+  }
+  EXPECT_EQ(lock_rank::held_count(), base);
+}
+
+TEST(LockRank, LockCouplingReleasesOuterFirst) {
+  // The session send path releases write_mu_ before write_io_mu_ is
+  // released; the validator must handle out-of-LIFO-order releases.
+  if (!lock_rank_checks_enabled()) GTEST_SKIP() << "validator off (NDEBUG)";
+  Mutex outer(LockRank::kSessionWrite, "test.write");
+  Mutex inner(LockRank::kSessionWriteIo, "test.write_io");
+  const std::size_t base = lock_rank::held_count();
+  UniqueMutexLock a(outer);
+  UniqueMutexLock b(inner);
+  EXPECT_EQ(lock_rank::held_count(), base + 2);
+  a.unlock();  // outer released while inner stays held
+  EXPECT_EQ(lock_rank::held_count(), base + 1);
+  b.unlock();
+  EXPECT_EQ(lock_rank::held_count(), base);
+}
+
+TEST(LockRank, TryLockIsRecordedButUnchecked) {
+  if (!lock_rank_checks_enabled()) GTEST_SKIP() << "validator off (NDEBUG)";
+  Mutex inner(LockRank::kSessionStream, "test.stream");
+  Mutex outer(LockRank::kController, "test.controller");
+  const std::size_t base = lock_rank::held_count();
+  MutexLock hold(inner);
+  // try_lock against rank order must not abort: it cannot deadlock.
+  ASSERT_TRUE(outer.try_lock());
+  EXPECT_EQ(lock_rank::held_count(), base + 2);
+  outer.unlock();
+  EXPECT_EQ(lock_rank::held_count(), base + 1);
+}
+
+TEST(LockRank, UnrankedMutexesAreInvisible) {
+  if (!lock_rank_checks_enabled()) GTEST_SKIP() << "validator off (NDEBUG)";
+  Mutex plain;  // no rank: static analysis only
+  const std::size_t base = lock_rank::held_count();
+  MutexLock lock(plain);
+  EXPECT_EQ(lock_rank::held_count(), base);
+}
+
+using LockRankDeathTest = ::testing::Test;
+
+TEST(LockRankDeathTest, InversionAbortsWithBothStacks) {
+  if (!lock_rank_checks_enabled()) GTEST_SKIP() << "validator off (NDEBUG)";
+  EXPECT_DEATH(
+      {
+        Mutex inner(LockRank::kSessionWrite, "session.write");
+        Mutex outer(LockRank::kController, "controller");
+        MutexLock a(inner);
+        MutexLock b(outer);  // controller(10) after session.write(20): abort
+      },
+      "lock rank inversion");
+}
+
+TEST(LockRankDeathTest, SameRankAbortsToo) {
+  // Two locks of equal rank can deadlock against each other; the hierarchy
+  // requires strictly increasing ranks.
+  if (!lock_rank_checks_enabled()) GTEST_SKIP() << "validator off (NDEBUG)";
+  EXPECT_DEATH(
+      {
+        Mutex a(LockRank::kSessionBuffer, "buf.a");
+        Mutex b(LockRank::kSessionBuffer, "buf.b");
+        MutexLock la(a);
+        MutexLock lb(b);
+      },
+      "lock rank inversion");
+}
+
+TEST(LockRankDeathTest, RecursiveAcquisitionAborts) {
+  if (!lock_rank_checks_enabled()) GTEST_SKIP() << "validator off (NDEBUG)";
+  EXPECT_DEATH(
+      {
+        Mutex mu(LockRank::kController, "controller");
+        mu.lock();
+        mu.lock();  // self-deadlock on a non-recursive mutex
+      },
+      "lock rank inversion");
+}
+
+}  // namespace
+}  // namespace naplet::util
