@@ -78,7 +78,7 @@ RunResult run(bool recovery, int failures, int messages_per_phase,
 }  // namespace
 }  // namespace naplet::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace naplet::bench;
 
   std::printf("Fault-tolerance extension ablation: delivery under injected "
@@ -126,5 +126,25 @@ int main() {
   std::printf("  repairs occurred                : %s (%llu)\n",
               on.repairs >= 1 ? "PASS" : "FAIL",
               static_cast<unsigned long long>(on.repairs));
+
+  if (json_flag(argc, argv)) {
+    write_json_file(
+        "BENCH_ext_failure_recovery.json",
+        JsonObject()
+            .field("bench", std::string("ext_failure_recovery"))
+            .field("failures", static_cast<std::uint64_t>(failures))
+            .field("attempted", static_cast<std::uint64_t>(total))
+            .field("delivered_recovery_off",
+                   static_cast<std::uint64_t>(off.delivered))
+            .field("delivered_recovery_on",
+                   static_cast<std::uint64_t>(on.delivered))
+            .field("repairs_off", off.repairs)
+            .field("repairs_on", on.repairs)
+            .field("elapsed_ms_off", off.elapsed_ms)
+            .field("elapsed_ms_on", on.elapsed_ms)
+            .field("steady_state_ms_off", off_ms)
+            .field("steady_state_ms_on", on_ms)
+            .render());
+  }
   return 0;
 }

@@ -2,8 +2,10 @@
 # The full local CI gate:
 #
 #   1. Debug build + full ctest       (lock-rank validator active)
+#      + fixed-seed chaos_runner smoke (25 replayable fault schedules)
 #   2. Sanitize build + full ctest    (ASan + UBSan)
 #   3. Tsan build + `ctest -L tsan`   (pinned light concurrency sweep)
+#      + `ctest -L faults`            (fault-injection suite under TSan)
 #   4. run-clang-tidy over src/       (bugprone / concurrency / performance)
 #   5. clang-format --dry-run         (check-only; no reformatting)
 #
@@ -36,6 +38,9 @@ cmake --preset debug >/dev/null
 cmake --build --preset debug -j "$JOBS"
 ctest --test-dir build-debug --output-on-failure -j "$JOBS"
 
+note "chaos smoke (fixed-seed, replayable)"
+NAPLET_FAULTS_LIGHT=1 ./build-debug/tools/chaos_runner --seed 42 --runs 25 --light
+
 if [ "$SKIP_SANITIZE" -eq 0 ]; then
   note "Sanitize build (ASan + UBSan)"
   cmake --preset sanitize >/dev/null
@@ -50,6 +55,7 @@ if [ "$SKIP_TSAN" -eq 0 ]; then
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j "$JOBS"
   ctest --test-dir build-tsan -L tsan --output-on-failure -j "$JOBS"
+  ctest --test-dir build-tsan -L faults --output-on-failure -j "$JOBS"
 else
   skip "--skip-tsan"
 fi

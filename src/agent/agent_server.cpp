@@ -211,6 +211,14 @@ void AgentServer::admit(std::unique_ptr<Agent> agent, AgentId id,
   auto context = std::make_shared<ContextImpl>(this, id, hop);
   {
     util::MutexLock lock(mu_);
+    auto it = residents_.find(id);
+    if (it != residents_.end() && it->second.thread.joinable()) {
+      // A fast bounce (this node -> peer -> back) can re-admit the agent
+      // before its departed hop's thread finished transfer_agent cleanup.
+      // Move-assigning over a joinable std::thread would terminate; park
+      // the old handle for reaping instead.
+      finished_.push_back(std::move(it->second.thread));
+    }
     Resident resident;
     resident.agent = std::move(agent);
     resident.context = context;
@@ -222,10 +230,11 @@ void AgentServer::admit(std::unique_ptr<Agent> agent, AgentId id,
   {
     util::MutexLock lock(mu_);
     auto it = residents_.find(id);
-    if (it != residents_.end()) {
+    if (it != residents_.end() && it->second.context == context) {
       it->second.thread = std::move(thread);
     } else {
-      // stop() raced us; let the thread run to completion and join it later.
+      // stop() raced us, or the agent already hopped away (and possibly
+      // back, replacing the entry) on this very thread; join it later.
       finished_.push_back(std::move(thread));
     }
   }
@@ -408,19 +417,26 @@ util::Status AgentServer::transfer_agent(const AgentId& id,
   }
   if (!sent.ok()) return rollback(sent);
 
-  // 4. The agent now lives at the destination; clean up locally.
+  // 4. The agent now lives at the destination; clean up locally — unless
+  //    it already bounced back here and admit() replaced our entry, in
+  //    which case the new hop owns the mailbox and the resident slot.
   migrations_out_.fetch_add(1);
-  post_->close_mailbox(id);
+  bool stale = false;
   {
     util::MutexLock lock(mu_);
     auto it = residents_.find(id);
     if (it != residents_.end()) {
-      if (it->second.thread.joinable()) {
-        finished_.push_back(std::move(it->second.thread));
+      if (it->second.context == context) {
+        if (it->second.thread.joinable()) {
+          finished_.push_back(std::move(it->second.thread));
+        }
+        residents_.erase(it);
+      } else {
+        stale = true;
       }
-      residents_.erase(it);
     }
   }
+  if (!stale) post_->close_mailbox(id);
   NAPLET_LOG(kInfo, "server") << id.name() << ": " << config_.name << " -> "
                               << dest_name;
   return util::OkStatus();

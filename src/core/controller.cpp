@@ -3,10 +3,43 @@
 #include <algorithm>
 
 #include "crypto/random.hpp"
+#include "fault/fault.hpp"
 #include "net/frame.hpp"
 #include "util/log.hpp"
 
 namespace naplet::nsock {
+
+namespace {
+
+// Stable lowercase tokens for fault-injection site names (the wire-level
+// to_string() renderings are display strings, not identifiers).
+std::string_view ctrl_site_token(CtrlType type) {
+  switch (type) {
+    case CtrlType::kConnect: return "connect";
+    case CtrlType::kConnectAck: return "connect_ack";
+    case CtrlType::kConnectReject: return "connect_reject";
+    case CtrlType::kSus: return "suspend";
+    case CtrlType::kSusAck: return "suspend_ack";
+    case CtrlType::kAckWait: return "ack_wait";
+    case CtrlType::kSusRes: return "sus_res";
+    case CtrlType::kSusResAck: return "sus_res_ack";
+    case CtrlType::kCls: return "close";
+    case CtrlType::kClsAck: return "close_ack";
+    case CtrlType::kReject: return "reject";
+    case CtrlType::kHeartbeat: return "heartbeat";
+  }
+  return "unknown";
+}
+
+std::string ctrl_site(CtrlType type, std::string_view stage) {
+  std::string site = "ctrl.";
+  site += ctrl_site_token(type);
+  site += '.';
+  site += stage;
+  return site;
+}
+
+}  // namespace
 
 // ===========================================================================
 // Lifecycle
@@ -70,11 +103,38 @@ agent::NodeInfo SocketController::self_node() const {
 util::Status SocketController::send_ctrl(const net::Endpoint& dest,
                                          CtrlMsg& msg,
                                          util::ByteSpan session_key) {
+  bool duplicate = false;
+  if (fault::armed()) {
+    const fault::Decision d = fault::hit(ctrl_site(msg.type, "pre_send"));
+    switch (d.action) {
+      case fault::Action::kDrop:
+      case fault::Action::kKill:
+        // The message vanishes before the reliability layer ever sees it —
+        // a software failure no retransmission can paper over.
+        return util::OkStatus();
+      case fault::Action::kError:
+        return util::Unavailable("fault: ctrl " +
+                                 std::string(ctrl_site_token(msg.type)) +
+                                 " send errored");
+      case fault::Action::kDuplicate:
+        duplicate = true;
+        break;
+      default:
+        break;
+    }
+  }
   msg.node = self_node();
   const util::Bytes payload = msg.mac_payload();
   msg.mac = compute_mac(session_key,
                         util::ByteSpan(payload.data(), payload.size()));
   const util::Bytes encoded = msg.encode();
+  if (duplicate) {
+    // Two independent rudp sends: the receiver sees two distinct reliable
+    // messages with identical protocol content (stressing its duplicate
+    // handling, which the per-seq rudp dedup cannot cover).
+    (void)server_.bus().send(dest, agent::BusKind::kControl,
+                             util::ByteSpan(encoded.data(), encoded.size()));
+  }
   return server_.bus().send(dest, agent::BusKind::kControl,
                             util::ByteSpan(encoded.data(), encoded.size()));
 }
@@ -181,6 +241,11 @@ ControllerStats SocketController::stats() const {
   out.ctrl_messages_sent = channel.messages_sent();
   out.ctrl_retransmissions = channel.retransmissions();
   out.ctrl_duplicates_dropped = channel.duplicates_dropped();
+  const net::NetworkCounters net = server_.network().counters();
+  out.net_datagrams_dropped = net.datagrams_dropped;
+  out.net_partition_events = net.partition_events;
+  out.net_partitions_active = net.partitions_active;
+  out.net_streams_severed = net.streams_severed;
   return out;
 }
 
@@ -195,6 +260,16 @@ void SocketController::on_ctrl(const net::Endpoint& from,
         << "bad ctrl message from " << from.to_string() << ": "
         << msg.status().to_string();
     return;
+  }
+  if (fault::armed()) {
+    const fault::Decision d = fault::hit(ctrl_site(msg->type, "on_recv"));
+    if (d.action == fault::Action::kDrop || d.action == fault::Action::kKill ||
+        d.action == fault::Action::kError) {
+      // Receiver-side processing failure: the reliability layer already
+      // ACKed the datagram, so the sender will NOT retransmit — this is
+      // loss above rudp, the kind only protocol-level timeouts recover.
+      return;
+    }
   }
   switch (msg->type) {
     case CtrlType::kConnect:

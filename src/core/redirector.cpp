@@ -1,5 +1,6 @@
 #include "core/redirector.hpp"
 
+#include "fault/fault.hpp"
 #include "net/frame.hpp"
 #include "util/log.hpp"
 
@@ -53,6 +54,18 @@ void Redirector::accept_loop() {
             << "bad handoff frame: " << msg.status().to_string();
         stream->close();
         return;
+      }
+      if (fault::armed()) {
+        const fault::Decision d = fault::hit("redirector.handoff.accept");
+        if (d.action == fault::Action::kKill ||
+            d.action == fault::Action::kDrop ||
+            d.action == fault::Action::kError) {
+          // The worker dies mid-handoff: the request was read off the wire
+          // but no reply will ever come. The peer's resume retry loop must
+          // absorb this.
+          stream->close();
+          return;
+        }
       }
       handler_(std::move(stream), std::move(*msg));
     });

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "core/wire.hpp"
+#include "fault/fault.hpp"
 #include "net/frame.hpp"
 #include "util/log.hpp"
 #include "util/serial.hpp"
@@ -53,6 +54,12 @@ util::Status Session::advance(ConnEvent event) {
                               << (is_client_ ? "client" : "server") << "] "
                               << to_string(s) << " --" << to_string(event)
                               << "--> " << to_string(*next);
+    // Audit hook for the fault oracles: every performed transition is
+    // re-validated against the golden table after a chaos run.
+    fault::observe_transition(conn_id_, is_client_,
+                              static_cast<std::uint8_t>(s),
+                              static_cast<std::uint8_t>(event),
+                              static_cast<std::uint8_t>(*next));
     s = *next;
   });
   return result;
@@ -678,6 +685,14 @@ util::StatusOr<SessionPtr> Session::import_state(util::ByteSpan data)
   if (!session->buffer_.empty()) {
     session->replay_low_ =
         std::max(session->replay_low_, session->buffer_.back().seq);
+    if (fault::armed() && fault::hit("session.resume.replay").action ==
+                              fault::Action::kDuplicate) {
+      // Deliberate exactly-once regression (chaos-oracle bait): replay the
+      // last buffered frame twice. Buffered frames bypass the rx_high_
+      // dedup — they were already accepted once — so this duplicate WILL
+      // reach the application, and the delivery ledger must catch it.
+      session->buffer_.push_back(session->buffer_.back());
+    }
   }
   return session;
 }

@@ -23,6 +23,10 @@ std::string ControllerStats::to_string() const {
       << " ctrl{sent=" << ctrl_messages_sent
       << ",retx=" << ctrl_retransmissions
       << ",dups=" << ctrl_duplicates_dropped << "}"
+      << " net{dropped=" << net_datagrams_dropped
+      << ",partitions=" << net_partition_events
+      << "(active " << net_partitions_active << ")"
+      << ",severed=" << net_streams_severed << "}"
       << " data{copied=" << data_payload_bytes_copied
       << ",writes=" << data_stream_write_ops
       << ",reads=" << data_stream_read_ops

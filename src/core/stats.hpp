@@ -26,6 +26,13 @@ struct ControllerStats {
   std::uint64_t ctrl_retransmissions = 0;
   std::uint64_t ctrl_duplicates_dropped = 0;
 
+  // Network-fabric fault counters (net::NetworkCounters). Zero on backends
+  // without fault modeling (TcpNetwork).
+  std::uint64_t net_datagrams_dropped = 0;
+  std::uint64_t net_partition_events = 0;
+  std::uint64_t net_partitions_active = 0;
+  std::uint64_t net_streams_severed = 0;
+
   // Data-path counters, aggregated over the CURRENT session table (a
   // session removed on close takes its counters with it). See
   // nsock::DataPathStats for field meanings.

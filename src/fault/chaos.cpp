@@ -1,0 +1,368 @@
+#include "fault/chaos.hpp"
+
+#include <sstream>
+#include <thread>
+
+#include "core/runtime.hpp"
+#include "fault/oracle.hpp"
+#include "net/sim.hpp"
+#include "util/rng.hpp"
+
+namespace naplet::fault {
+
+namespace {
+
+using namespace std::chrono_literals;
+
+util::ByteSpan span_of(const std::string& s) {
+  return util::ByteSpan(reinterpret_cast<const std::uint8_t*>(s.data()),
+                        s.size());
+}
+
+std::string node_name(int i) { return "chaos" + std::to_string(i); }
+
+util::Status migrate_agent(nsock::Realm& realm, const agent::AgentId& id,
+                           int from, int to) {
+  auto& src = realm.node(node_name(from));
+  auto& dst = realm.node(node_name(to));
+  realm.locations().begin_migration(id);
+  if (auto st = src.controller().prepare_migration(id); !st.ok()) return st;
+  const util::Bytes sessions = src.controller().export_sessions(id);
+  if (auto st = dst.controller().import_sessions(
+          id, util::ByteSpan(sessions.data(), sessions.size()));
+      !st.ok()) {
+    return st;
+  }
+  realm.locations().register_agent(id, dst.server().node_info());
+  return dst.controller().complete_migration(id);
+}
+
+// The survivable fault envelope the generator draws from. Drops live below
+// the reliability layer (rudp retransmits around them), delays stay well
+// under the control-response timeout, duplicated control messages exercise
+// the protocol's documented re-ack paths, and killed handoff workers are
+// absorbed by do_resume's retry loop — so a generated schedule can make a
+// run slow and ugly but never impossible.
+enum class Template : std::uint64_t {
+  kRudpSendDrop = 0,
+  kRudpRetransmitDrop,
+  kRudpRetransmitDelay,
+  kCtrlPreSendDup,
+  kCtrlPreSendDelay,
+  kCtrlOnRecvDelay,
+  kRedirectorKill,
+  kCount,
+};
+
+constexpr const char* kDupableCtrl[] = {"suspend", "suspend_ack", "sus_res"};
+
+Rule make_rule(util::Rng& rng) {
+  Rule rule;
+  switch (static_cast<Template>(
+      rng.next_below(static_cast<std::uint64_t>(Template::kCount)))) {
+    case Template::kRudpSendDrop:
+      rule.site = "rudp.send";
+      rule.hit = 1 + rng.next_below(8);
+      rule.count = 1 + rng.next_below(2);
+      rule.action = Action::kDrop;
+      break;
+    case Template::kRudpRetransmitDrop:
+      rule.site = "rudp.retransmit";
+      rule.hit = 1 + rng.next_below(4);
+      rule.count = 1 + rng.next_below(2);
+      rule.action = Action::kDrop;
+      break;
+    case Template::kRudpRetransmitDelay:
+      rule.site = "rudp.retransmit";
+      rule.hit = 1 + rng.next_below(4);
+      rule.action = Action::kDelay;
+      rule.delay_ms = 5 + static_cast<std::uint32_t>(rng.next_below(25));
+      break;
+    case Template::kCtrlPreSendDup:
+      rule.site = std::string("ctrl.") + kDupableCtrl[rng.next_below(3)] +
+                  ".pre_send";
+      rule.hit = 1 + rng.next_below(2);
+      rule.action = Action::kDuplicate;
+      break;
+    case Template::kCtrlPreSendDelay:
+      rule.site = std::string("ctrl.") + kDupableCtrl[rng.next_below(3)] +
+                  ".pre_send";
+      rule.hit = 1 + rng.next_below(2);
+      rule.action = Action::kDelay;
+      rule.delay_ms = 5 + static_cast<std::uint32_t>(rng.next_below(40));
+      break;
+    case Template::kCtrlOnRecvDelay:
+      rule.site = std::string("ctrl.") + kDupableCtrl[rng.next_below(3)] +
+                  ".on_recv";
+      rule.hit = 1 + rng.next_below(2);
+      rule.action = Action::kDelay;
+      rule.delay_ms = 5 + static_cast<std::uint32_t>(rng.next_below(40));
+      break;
+    case Template::kRedirectorKill:
+      rule.site = "redirector.handoff.accept";
+      rule.hit = 1 + rng.next_below(2);
+      rule.action = Action::kKill;
+      break;
+    case Template::kCount:
+      break;  // unreachable
+  }
+  return rule;
+}
+
+}  // namespace
+
+std::string_view to_string(Scenario scenario) noexcept {
+  switch (scenario) {
+    case Scenario::kSingleMigration: return "single";
+    case Scenario::kDoubleSequential: return "double";
+    case Scenario::kDoubleOverlapped: return "overlap";
+  }
+  return "?";
+}
+
+std::string ChaosResult::line(const ChaosCase& chaos_case) const {
+  std::ostringstream out;
+  out << "seed=" << chaos_case.seed << " scenario="
+      << to_string(chaos_case.scenario) << " plan=\""
+      << chaos_case.plan.to_string() << "\" verdict="
+      << (pass ? "PASS" : "FAIL");
+  if (!pass) out << " failure=\"" << failure << "\"";
+  return out.str();
+}
+
+ChaosCase generate_case(std::uint64_t seed, bool light) {
+  util::Rng rng(seed);
+  ChaosCase chaos_case;
+  chaos_case.seed = seed;
+  chaos_case.scenario =
+      static_cast<Scenario>(rng.next_below(kScenarioCount));
+  chaos_case.forward_msgs = light ? 6 : 12;
+  chaos_case.reverse_msgs = light ? 4 : 8;
+  chaos_case.plan.seed = seed;
+  const std::uint64_t rules = 1 + rng.next_below(light ? 2 : 4);
+  for (std::uint64_t i = 0; i < rules; ++i) {
+    chaos_case.plan.rules.push_back(make_rule(rng));
+  }
+  return chaos_case;
+}
+
+ChaosResult run_case(const ChaosCase& chaos_case) {
+  ChaosResult result;
+  const auto fail = [&](const std::string& why) {
+    result.pass = false;
+    result.failure = why;
+    return result;
+  };
+
+  Injector& injector = Injector::instance();
+  injector.disarm();
+
+  net::SimNet net(chaos_case.seed);
+  net.set_default_link(net::LinkConfig{.latency = 1ms});
+
+  nsock::Realm realm;
+  for (int i = 0; i < 3; ++i) {
+    nsock::NodeConfig config;
+    config.controller.security = false;
+    config.server.rudp_config.retransmit_interval = 15ms;
+    config.server.rudp_config.max_attempts = 40;
+    // Decorrelated but reproducible retransmit jitter per node.
+    config.server.rudp_config.jitter_seed = chaos_case.seed * 3 + i + 1;
+    realm.add_node(node_name(i), net.add_node(node_name(i)), config);
+  }
+  if (auto st = realm.start(); !st.ok()) {
+    return fail("realm start: " + st.to_string());
+  }
+
+  const agent::AgentId cli("chaos-cli");
+  const agent::AgentId srv("chaos-srv");
+  realm.locations().register_agent(
+      cli, realm.node(node_name(0)).server().node_info());
+  realm.locations().register_agent(
+      srv, realm.node(node_name(1)).server().node_info());
+
+  auto& ctrl0 = realm.node(node_name(0)).controller();
+  auto& ctrl1 = realm.node(node_name(1)).controller();
+  if (auto st = ctrl1.listen(srv); !st.ok()) {
+    return fail("listen: " + st.to_string());
+  }
+  auto client = ctrl0.connect(cli, srv);
+  if (!client.ok()) return fail("connect: " + client.status().to_string());
+  auto server = ctrl1.accept(srv, 5s);
+  if (!server.ok()) return fail("accept: " + server.status().to_string());
+  const std::uint64_t conn = (*client)->conn_id();
+
+  DeliveryLedger ledger;
+  constexpr std::uint64_t kFwd = 0, kRev = 1;
+
+  // Phase A — traffic. Forward messages are delivered live; reverse
+  // messages are left undrained so they ride the suspension buffer across
+  // the migration (the resume replay path the oracles watch).
+  for (int i = 0; i < chaos_case.forward_msgs; ++i) {
+    const std::string body =
+        "f" + std::to_string(i) + "." + std::to_string(chaos_case.seed);
+    if (auto st = (*client)->send(span_of(body), 2s); !st.ok()) {
+      return fail("pre-fault send: " + st.to_string());
+    }
+    ledger.record_sent(kFwd, span_of(body));
+  }
+  for (int i = 0; i < chaos_case.forward_msgs; ++i) {
+    auto got = (*server)->recv(2s);
+    if (!got.ok()) return fail("pre-fault recv: " + got.status().to_string());
+    ledger.record_delivered(kFwd, got->seq,
+                            util::ByteSpan(got->body.data(),
+                                           got->body.size()));
+  }
+  for (int i = 0; i < chaos_case.reverse_msgs; ++i) {
+    const std::string body =
+        "r" + std::to_string(i) + "." + std::to_string(chaos_case.seed);
+    if (auto st = (*server)->send(span_of(body), 2s); !st.ok()) {
+      return fail("reverse send: " + st.to_string());
+    }
+    ledger.record_sent(kRev, span_of(body));
+  }
+  // Let the reverse frames reach the client's stream so the suspend drain
+  // pulls them into the migrating session's buffer.
+  std::this_thread::sleep_for(30ms);
+
+  // Phase B — the migrations, under the armed plan.
+  injector.arm(chaos_case.plan);
+  util::Status cli_migrate = util::OkStatus();
+  util::Status srv_migrate = util::OkStatus();
+  int cli_node = 0, srv_node = 1;
+  switch (chaos_case.scenario) {
+    case Scenario::kSingleMigration:
+      cli_migrate = migrate_agent(realm, cli, 0, 2);
+      cli_node = 2;
+      break;
+    case Scenario::kDoubleSequential:
+      cli_migrate = migrate_agent(realm, cli, 0, 2);
+      cli_node = 2;
+      srv_migrate = migrate_agent(realm, srv, 1, 0);
+      srv_node = 0;
+      break;
+    case Scenario::kDoubleOverlapped: {
+      std::thread mover(
+          [&] { cli_migrate = migrate_agent(realm, cli, 0, 2); });
+      srv_migrate = migrate_agent(realm, srv, 1, 0);
+      mover.join();
+      cli_node = 2;
+      srv_node = 0;
+      break;
+    }
+  }
+  injector.disarm();
+  if (!cli_migrate.ok()) {
+    return fail("client migration: " + cli_migrate.to_string());
+  }
+  if (!srv_migrate.ok()) {
+    return fail("server migration: " + srv_migrate.to_string());
+  }
+
+  // Phase C — judgement. Faults have ceased; the liveness watchdog bounds
+  // re-establishment, then the ledger must balance exactly once.
+  nsock::SessionPtr client2 =
+      realm.node(node_name(cli_node)).controller().session_by_id(conn);
+  nsock::SessionPtr server2 =
+      realm.node(node_name(srv_node)).controller().session_by_id(conn);
+  if (!client2 || !server2) return fail("session lost across migration");
+  if (auto st = await_established(*client2, 8s); !st.ok()) {
+    return fail(st.to_string());
+  }
+  if (auto st = await_established(*server2, 8s); !st.ok()) {
+    return fail(st.to_string());
+  }
+
+  while (true) {
+    auto got = client2->recv(500ms);
+    if (!got.ok()) break;
+    ledger.record_delivered(kRev, got->seq,
+                            util::ByteSpan(got->body.data(),
+                                           got->body.size()));
+  }
+
+  // Post-fault sanity traffic proves the resumed connection still carries
+  // data both ways.
+  for (int i = 0; i < 2; ++i) {
+    const std::string body = "post" + std::to_string(i);
+    if (auto st = client2->send(span_of(body), 2s); !st.ok()) {
+      return fail("post-fault send: " + st.to_string());
+    }
+    ledger.record_sent(kFwd, span_of(body));
+    auto got = server2->recv(2s);
+    if (!got.ok()) return fail("post-fault recv: " + got.status().to_string());
+    ledger.record_delivered(kFwd, got->seq,
+                            util::ByteSpan(got->body.data(),
+                                           got->body.size()));
+  }
+
+  if (auto st = ledger.check(/*require_complete=*/true); !st.ok()) {
+    return fail(st.to_string());
+  }
+  const auto trace = injector.transitions();
+  if (auto st = check_fsm_trace(trace); !st.ok()) {
+    return fail(st.to_string());
+  }
+
+  const auto counters = net.counters();
+  result.net_datagrams_dropped = counters.datagrams_dropped;
+  const auto cli_stats =
+      realm.node(node_name(cli_node)).controller().stats();
+  const auto srv_stats =
+      realm.node(node_name(srv_node)).controller().stats();
+  result.ctrl_retransmissions =
+      cli_stats.ctrl_retransmissions + srv_stats.ctrl_retransmissions;
+  result.stats = "client: " + cli_stats.to_string() +
+                 "\nserver: " + srv_stats.to_string();
+  result.pass = true;
+  return result;
+}
+
+Plan minimize_plan(const ChaosCase& failing, int* reruns) {
+  Plan current = failing.plan;
+  bool shrunk = true;
+  while (shrunk && current.rules.size() > 1) {
+    shrunk = false;
+    for (std::size_t i = 0; i < current.rules.size(); ++i) {
+      Plan candidate = current;
+      candidate.rules.erase(candidate.rules.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+      ChaosCase retry = failing;
+      retry.plan = candidate;
+      if (reruns) ++*reruns;
+      if (!run_case(retry).pass) {
+        current = std::move(candidate);
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+std::vector<std::string> known_sites() {
+  std::vector<std::string> sites = {
+      "rudp.send",
+      "rudp.retransmit",
+      "redirector.handoff.accept",
+      "session.resume.replay",
+  };
+  for (const char* type :
+       {"connect", "connect_ack", "connect_reject", "suspend", "suspend_ack",
+        "ack_wait", "sus_res", "sus_res_ack", "close", "close_ack", "reject",
+        "heartbeat"}) {
+    sites.push_back(std::string("ctrl.") + type + ".pre_send");
+    sites.push_back(std::string("ctrl.") + type + ".on_recv");
+  }
+  return sites;
+}
+
+Rule planted_duplicate_replay_rule() {
+  Rule rule;
+  rule.site = "session.resume.replay";
+  rule.hit = 1;
+  rule.action = Action::kDuplicate;
+  return rule;
+}
+
+}  // namespace naplet::fault

@@ -1,0 +1,255 @@
+#include "fault/fault.hpp"
+
+#include <charconv>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+namespace naplet::fault {
+
+namespace {
+
+std::int64_t wall_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+util::StatusOr<std::uint64_t> parse_u64(std::string_view text) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return util::InvalidArgument("bad number in fault rule: '" +
+                                 std::string(text) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string_view to_string(Action action) noexcept {
+  switch (action) {
+    case Action::kNone: return "none";
+    case Action::kDrop: return "drop";
+    case Action::kDelay: return "delay";
+    case Action::kDuplicate: return "dup";
+    case Action::kError: return "error";
+    case Action::kKill: return "kill";
+  }
+  return "?";
+}
+
+std::string Rule::to_string() const {
+  std::ostringstream out;
+  out << site << '@';
+  if (at_ms >= 0) {
+    out << 't' << static_cast<std::uint64_t>(at_ms);
+  } else {
+    out << '#' << hit;
+  }
+  if (count != 1) out << 'x' << count;
+  out << ':' << fault::to_string(action);
+  if (action == Action::kDelay) out << ':' << delay_ms;
+  return out.str();
+}
+
+util::StatusOr<Rule> Rule::parse(std::string_view text) {
+  Rule rule;
+  const auto at = text.find('@');
+  if (at == std::string_view::npos || at == 0) {
+    return util::InvalidArgument("fault rule needs '<site>@': '" +
+                                 std::string(text) + "'");
+  }
+  rule.site = std::string(text.substr(0, at));
+  std::string_view rest = text.substr(at + 1);
+
+  const auto colon = rest.find(':');
+  if (colon == std::string_view::npos) {
+    return util::InvalidArgument("fault rule needs ':<action>': '" +
+                                 std::string(text) + "'");
+  }
+  std::string_view trigger = rest.substr(0, colon);
+  std::string_view action_part = rest.substr(colon + 1);
+
+  if (trigger.empty() || (trigger[0] != '#' && trigger[0] != 't')) {
+    return util::InvalidArgument("fault trigger must be '#<hit>' or 't<ms>': '" +
+                                 std::string(text) + "'");
+  }
+  const bool timed = trigger[0] == 't';
+  trigger.remove_prefix(1);
+  std::string_view count_part;
+  if (const auto x = trigger.find('x'); x != std::string_view::npos) {
+    count_part = trigger.substr(x + 1);
+    trigger = trigger.substr(0, x);
+  }
+  auto key = parse_u64(trigger);
+  if (!key.ok()) return key.status();
+  if (timed) {
+    rule.at_ms = static_cast<double>(*key);
+  } else {
+    if (*key == 0) return util::InvalidArgument("hit index is 1-based");
+    rule.hit = *key;
+  }
+  if (!count_part.empty()) {
+    auto count = parse_u64(count_part);
+    if (!count.ok()) return count.status();
+    if (*count == 0) return util::InvalidArgument("rule count must be >= 1");
+    rule.count = *count;
+  }
+
+  std::string_view action_name = action_part;
+  std::string_view delay_part;
+  if (const auto c2 = action_part.find(':'); c2 != std::string_view::npos) {
+    action_name = action_part.substr(0, c2);
+    delay_part = action_part.substr(c2 + 1);
+  }
+  if (action_name == "drop") {
+    rule.action = Action::kDrop;
+  } else if (action_name == "delay") {
+    rule.action = Action::kDelay;
+  } else if (action_name == "dup") {
+    rule.action = Action::kDuplicate;
+  } else if (action_name == "error") {
+    rule.action = Action::kError;
+  } else if (action_name == "kill") {
+    rule.action = Action::kKill;
+  } else {
+    return util::InvalidArgument("unknown fault action: '" +
+                                 std::string(action_name) + "'");
+  }
+  if (rule.action == Action::kDelay) {
+    if (delay_part.empty()) {
+      return util::InvalidArgument("delay rule needs ':<delay_ms>'");
+    }
+    auto delay = parse_u64(delay_part);
+    if (!delay.ok()) return delay.status();
+    rule.delay_ms = static_cast<std::uint32_t>(*delay);
+  } else if (!delay_part.empty()) {
+    return util::InvalidArgument("only delay rules take a third field");
+  }
+  return rule;
+}
+
+std::string Plan::to_string() const {
+  std::string out;
+  for (const Rule& rule : rules) {
+    if (!out.empty()) out += ';';
+    out += rule.to_string();
+  }
+  return out;
+}
+
+util::StatusOr<Plan> Plan::parse(std::string_view text) {
+  Plan plan;
+  while (!text.empty()) {
+    const auto semi = text.find(';');
+    std::string_view part =
+        semi == std::string_view::npos ? text : text.substr(0, semi);
+    text = semi == std::string_view::npos ? std::string_view{}
+                                          : text.substr(semi + 1);
+    if (part.empty()) continue;
+    auto rule = Rule::parse(part);
+    if (!rule.ok()) return rule.status();
+    plan.rules.push_back(std::move(*rule));
+  }
+  return plan;
+}
+
+Injector& Injector::instance() {
+  static Injector injector;
+  return injector;
+}
+
+void Injector::arm(Plan plan) {
+  {
+    util::MutexLock lock(mu_);
+    plan_ = std::move(plan);
+    rule_fired_.assign(plan_.rules.size(), 0);
+    sites_.clear();
+    trace_.clear();
+    arm_t0_us_ = wall_now_us();
+  }
+  g_armed.store(true, std::memory_order_release);
+}
+
+void Injector::disarm() {
+  g_armed.store(false, std::memory_order_release);
+}
+
+Decision Injector::hit(std::string_view site) {
+  Decision decision;
+  {
+    util::MutexLock lock(mu_);
+    const double now = clock_ ? clock_()
+                              : static_cast<double>(wall_now_us() - arm_t0_us_) /
+                                    1000.0;
+    auto it = sites_.find(site);
+    if (it == sites_.end()) {
+      it = sites_.emplace(std::string(site), SiteStats{}).first;
+    }
+    SiteStats& stats = it->second;
+    const std::uint64_t hit_no = ++stats.hits;
+    stats.times_ms.push_back(now);
+
+    for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
+      const Rule& rule = plan_.rules[i];
+      if (rule.site != site) continue;
+      bool fire = false;
+      if (rule.at_ms >= 0) {
+        fire = now >= rule.at_ms && rule_fired_[i] < rule.count;
+      } else {
+        fire = hit_no >= rule.hit && hit_no < rule.hit + rule.count;
+      }
+      if (!fire) continue;
+      ++rule_fired_[i];
+      decision.action = rule.action;
+      decision.delay_ms = rule.delay_ms;
+      break;  // first matching rule wins
+    }
+  }
+  if (decision.action == Action::kDelay && decision.delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(decision.delay_ms));
+  }
+  return decision;
+}
+
+void Injector::observe_transition(const TransitionRecord& record) {
+  util::MutexLock lock(mu_);
+  trace_.push_back(record);
+}
+
+std::uint64_t Injector::hit_count(std::string_view site) const {
+  util::MutexLock lock(mu_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+std::vector<double> Injector::hit_times_ms(std::string_view site) const {
+  util::MutexLock lock(mu_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? std::vector<double>{} : it->second.times_ms;
+}
+
+std::vector<TransitionRecord> Injector::transitions() const {
+  util::MutexLock lock(mu_);
+  return trace_;
+}
+
+Plan Injector::plan() const {
+  util::MutexLock lock(mu_);
+  return plan_;
+}
+
+void Injector::set_time_source(std::function<double()> now_ms) {
+  util::MutexLock lock(mu_);
+  clock_ = std::move(now_ms);
+}
+
+double Injector::now_ms() const {
+  util::MutexLock lock(mu_);
+  if (clock_) return clock_();
+  return static_cast<double>(wall_now_us() - arm_t0_us_) / 1000.0;
+}
+
+}  // namespace naplet::fault

@@ -1,5 +1,8 @@
 #include "net/rudp.hpp"
 
+#include <chrono>
+
+#include "fault/fault.hpp"
 #include "util/bytes.hpp"
 #include "util/log.hpp"
 
@@ -27,6 +30,13 @@ util::Bytes encode_packet(std::uint8_t type, std::uint64_t seq,
 ReliableChannel::ReliableChannel(DatagramPtr socket, RudpConfig config)
     : socket_(std::move(socket)),
       config_(config),
+      jitter_rng_(config.jitter_seed != 0
+                      ? config.jitter_seed
+                      : static_cast<std::uint64_t>(
+                            std::chrono::steady_clock::now()
+                                .time_since_epoch()
+                                .count()) ^
+                            reinterpret_cast<std::uintptr_t>(this)),
       receiver_([this] { receive_loop(); }) {}
 
 ReliableChannel::~ReliableChannel() {
@@ -58,13 +68,30 @@ util::Status ReliableChannel::send(const Endpoint& dest,
 
   for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
     if (attempt > 0) retransmissions_.fetch_add(1);
-    auto status = socket_->send_to(dest, packet);
-    if (!status.ok() && closed_.load()) return util::Cancelled("channel closed");
-    // A send error on UDP (e.g. transient ENOBUFS) is treated as a lost
-    // packet: retransmission handles it.
+    bool suppressed = false;
+    if (fault::armed()) {
+      const fault::Decision d =
+          fault::hit(attempt == 0 ? "rudp.send" : "rudp.retransmit");
+      if (d.action == fault::Action::kDrop ||
+          d.action == fault::Action::kKill) {
+        suppressed = true;  // this attempt's datagram is lost on the floor
+      } else if (d.action == fault::Action::kError) {
+        util::MutexLock lock(mu_);
+        pending_acks_.erase(seq);
+        return util::Unavailable("fault: rudp send errored");
+      }
+    }
+    if (!suppressed) {
+      auto status = socket_->send_to(dest, packet);
+      if (!status.ok() && closed_.load()) {
+        return util::Cancelled("channel closed");
+      }
+      // A send error on UDP (e.g. transient ENOBUFS) is treated as a lost
+      // packet: retransmission handles it.
+    }
 
     const auto deadline =
-        std::chrono::steady_clock::now() + config_.retransmit_interval;
+        std::chrono::steady_clock::now() + backoff_interval(attempt);
     util::MutexLock lock(mu_);
     while (pending_acks_.contains(seq) && !closed_.load()) {
       if (acked_cv_.wait_until(mu_, deadline) == std::cv_status::timeout) {
@@ -91,6 +118,34 @@ util::Status ReliableChannel::send(const Endpoint& dest,
   }
   return util::Timeout("no ACK from " + dest.to_string() + " after " +
                        std::to_string(config_.max_attempts) + " attempts");
+}
+
+util::Duration ReliableChannel::backoff_base(const RudpConfig& config,
+                                             int attempt) {
+  const double base = static_cast<double>(config.retransmit_interval.count());
+  const double cap =
+      config.max_retransmit_interval.count() > 0
+          ? static_cast<double>(config.max_retransmit_interval.count())
+          : 4.0 * base;
+  double interval = base;
+  for (int i = 0; i < attempt && interval < cap; ++i) {
+    interval *= config.backoff_multiplier;
+  }
+  return util::Duration(
+      static_cast<std::int64_t>(std::min(interval, cap)));
+}
+
+util::Duration ReliableChannel::backoff_interval(int attempt) {
+  const util::Duration base = backoff_base(config_, attempt);
+  const double jitter = config_.retransmit_jitter;
+  if (jitter <= 0.0) return base;
+  double factor;
+  {
+    util::MutexLock lock(mu_);
+    factor = jitter_rng_.uniform(1.0 - jitter, 1.0 + jitter);
+  }
+  return util::Duration(static_cast<std::int64_t>(
+      static_cast<double>(base.count()) * factor));
 }
 
 std::optional<ReliableChannel::Message> ReliableChannel::recv(

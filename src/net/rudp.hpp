@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "net/transport.hpp"
+#include "util/rng.hpp"
 #include "util/sync.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -20,6 +21,20 @@ namespace naplet::net {
 struct RudpConfig {
   util::Duration retransmit_interval{std::chrono::milliseconds(50)};
   int max_attempts = 20;  // total sends before giving up
+
+  // Capped exponential backoff with seeded jitter: attempt k waits
+  // min(retransmit_interval * backoff_multiplier^k, cap) scaled by a
+  // uniform factor in [1 - retransmit_jitter, 1 + retransmit_jitter).
+  // The jitter decorrelates concurrent sessions retrying through the same
+  // partition — without it every channel that lost the same datagram
+  // retries on the same schedule and the retry storm re-collides forever.
+  double backoff_multiplier = 1.5;
+  /// Backoff cap; zero means 4 * retransmit_interval.
+  util::Duration max_retransmit_interval{0};
+  double retransmit_jitter = 0.1;
+  /// Seed for the jitter RNG; 0 derives a per-channel seed from the clock
+  /// and channel address (tests pass an explicit seed for determinism).
+  std::uint64_t jitter_seed = 0;
 };
 
 /// Blocking reliable-datagram channel. send() retransmits until the peer's
@@ -59,7 +74,14 @@ class ReliableChannel {
     return messages_sent_.load();
   }
 
+  /// The jitterless backoff schedule (pure; exposed for tests): the wait
+  /// after attempt `attempt` (0-based), exponential and capped.
+  [[nodiscard]] static util::Duration backoff_base(const RudpConfig& config,
+                                                   int attempt);
+
  private:
+  /// backoff_base with this channel's seeded jitter applied.
+  util::Duration backoff_interval(int attempt);
   void receive_loop();
   void handle_packet(const Endpoint& from, util::ByteSpan data);
 
@@ -78,6 +100,7 @@ class ReliableChannel {
     std::deque<std::uint64_t> order;
   };
   std::map<Endpoint, SeenWindow> seen_ NAPLET_GUARDED_BY(mu_);
+  util::Rng jitter_rng_ NAPLET_GUARDED_BY(mu_);
 
   util::BlockingQueue<Message> inbox_;
 

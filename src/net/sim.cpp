@@ -301,6 +301,8 @@ struct SimNet::Impl {
 
   std::uint16_t next_port NAPLET_GUARDED_BY(mu) = 40000;
   std::uint64_t dropped NAPLET_GUARDED_BY(mu) = 0;
+  std::uint64_t partition_events NAPLET_GUARDED_BY(mu) = 0;
+  std::uint64_t severed NAPLET_GUARDED_BY(mu) = 0;
 
   explicit Impl(std::uint64_t seed) : rng(seed) {}
 
@@ -492,7 +494,9 @@ void SimNet::set_partition(const std::string& a, const std::string& b,
                            bool on) {
   util::MutexLock lock(impl_->mu);
   if (on) {
-    impl_->partitions.insert(Impl::norm(a, b));
+    if (impl_->partitions.insert(Impl::norm(a, b)).second) {
+      ++impl_->partition_events;
+    }
   } else {
     impl_->partitions.erase(Impl::norm(a, b));
   }
@@ -507,8 +511,16 @@ void SimNet::sever_streams(const std::string& a, const std::string& b) {
     victims = std::move(it->second);
     impl_->streams.erase(it);
   }
+  std::uint64_t closed = 0;
   for (auto& weak : victims) {
-    if (auto stream = weak.lock()) stream->close();
+    if (auto stream = weak.lock()) {
+      stream->close();
+      ++closed;
+    }
+  }
+  if (closed > 0) {
+    util::MutexLock lock(impl_->mu);
+    impl_->severed += closed;
   }
 }
 
@@ -516,6 +528,18 @@ std::uint64_t SimNet::datagrams_dropped() const {
   util::MutexLock lock(impl_->mu);
   return impl_->dropped;
 }
+
+NetworkCounters SimNet::counters() const {
+  util::MutexLock lock(impl_->mu);
+  NetworkCounters out;
+  out.datagrams_dropped = impl_->dropped;
+  out.partition_events = impl_->partition_events;
+  out.partitions_active = impl_->partitions.size();
+  out.streams_severed = impl_->severed;
+  return out;
+}
+
+NetworkCounters SimNode::counters() const { return net_->counters(); }
 
 util::StatusOr<ListenerPtr> SimNode::listen(std::uint16_t port) {
   auto* impl = net_->impl_.get();

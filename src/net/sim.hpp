@@ -47,6 +47,7 @@ class SimNode final : public Network,
                                     util::Duration timeout) override;
   util::StatusOr<DatagramPtr> bind_datagram(std::uint16_t port) override;
   [[nodiscard]] std::string local_host() const override { return name_; }
+  [[nodiscard]] NetworkCounters counters() const override;
 
  private:
   friend class SimNet;
@@ -83,6 +84,9 @@ class SimNet {
 
   /// Total datagrams dropped by loss/partition so far (observability).
   [[nodiscard]] std::uint64_t datagrams_dropped() const;
+
+  /// All fabric fault counters in one snapshot.
+  [[nodiscard]] NetworkCounters counters() const;
 
   /// Implementation detail, defined in sim.cpp (public so the backend's
   /// internal socket classes can reach the shared fabric state).

@@ -101,6 +101,16 @@ class Datagram {
 
 using DatagramPtr = std::unique_ptr<Datagram>;
 
+/// Fabric-level fault counters, surfaced so operator stats can attribute
+/// recoveries to concrete network events. Backends without fault modeling
+/// (TcpNetwork) report zeros.
+struct NetworkCounters {
+  std::uint64_t datagrams_dropped = 0;  ///< lost to loss probability/partition
+  std::uint64_t partition_events = 0;   ///< set_partition(.., true) calls
+  std::uint64_t partitions_active = 0;  ///< node pairs currently partitioned
+  std::uint64_t streams_severed = 0;    ///< streams force-closed by the fabric
+};
+
 /// Factory for streams/listeners/datagram sockets on one host ("node").
 class Network {
  public:
@@ -118,6 +128,9 @@ class Network {
 
   /// Address other nodes should use to reach this network's sockets.
   [[nodiscard]] virtual std::string local_host() const = 0;
+
+  /// Fault counters for the fabric this node is attached to.
+  [[nodiscard]] virtual NetworkCounters counters() const { return {}; }
 };
 
 using NetworkPtr = std::shared_ptr<Network>;

@@ -3,7 +3,17 @@
 #include <cassert>
 #include <utility>
 
+#include "fault/fault.hpp"
+
 namespace naplet::sim {
+
+void Simulator::bind_fault_clock() const {
+  fault::Injector::instance().set_time_source([this] { return now(); });
+}
+
+void Simulator::unbind_fault_clock() {
+  fault::Injector::instance().set_time_source(nullptr);
+}
 
 void Simulator::schedule_at(double t_ms, Handler handler) {
   assert(t_ms >= now_ms_ && "scheduling into the past");

@@ -27,6 +27,14 @@ class Simulator {
   /// Run until the queue empties.
   void run();
 
+  /// Make this simulator's virtual clock the fault-injection clock, so
+  /// 't'-triggered fault rules fire on DES time instead of wall time.
+  /// Unbind (with nullptr restore semantics) before destroying the
+  /// simulator; see unbind_fault_clock().
+  void bind_fault_clock() const;
+  /// Restore the injector's default wall clock.
+  static void unbind_fault_clock();
+
   [[nodiscard]] std::uint64_t events_processed() const noexcept {
     return events_processed_;
   }

@@ -55,6 +55,11 @@ enum class LockRank : int {
   kSimFabric = 68,    ///< net::SimNet::Impl::mu
   kSimPipe = 70,      ///< sim Pipe / datagram inbox locks
 
+  // The fault injector is consulted from control-plane code that may hold
+  // any of the locks above (e.g. the FSM audit hook fires under the state
+  // cell), so its registry lock sits just above the leaves.
+  kFaultInjector = 90,  ///< fault::Injector::mu_
+
   kLogger = 100,  ///< the log sink lock: innermost, everyone may log
 };
 

@@ -152,6 +152,14 @@ TEST_F(AgentServerTest, MigrationMovesStateAndIncrementsHops) {
   ASSERT_TRUE(wait_agent_gone(locations_, AgentId("walker"), 10s));
   EXPECT_GE(probe().max_hop.load(), 3);
   EXPECT_GE(max_hop_before, 0);
+  // The destination can finish running the agent before the final hop's
+  // source thread records its outbound migration; let the counters settle.
+  for (int i = 0; i < 2000 && server_a_->migrations_out() +
+                                      server_b_->migrations_out() <
+                                  3u;
+       ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
   EXPECT_EQ(server_a_->migrations_out() + server_b_->migrations_out(), 3u);
   EXPECT_EQ(server_a_->migrations_in() + server_b_->migrations_in(), 3u);
 }

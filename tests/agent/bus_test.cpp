@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
 
 #include "net/sim.hpp"
 #include "util/sync.hpp"
@@ -86,6 +87,12 @@ TEST(ServerBus, HandlerReplacement) {
   ASSERT_TRUE(bus_a->send(bus_b->local_endpoint(), BusKind::kProbe,
                           util::ByteSpan(payload.data(), payload.size()))
                   .ok());
+  // The rudp ACK (which unblocks send) races the dispatch to the handler;
+  // wait for the first message to actually land before replacing it.
+  for (int i = 0; i < 2000 && first.load() == 0; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_EQ(first.load(), 1);
   // Replace the handler; subsequent messages go to the new one only.
   bus_b->subscribe(BusKind::kProbe,
                    [&](const net::Endpoint&, util::ByteSpan) { ++second; });
@@ -128,6 +135,7 @@ TEST(ServerBus, BidirectionalReplyFromHandler) {
   auto bus_b = make_bus(*net.add_node("b"));
 
   util::BlockingQueue<std::string> replies;
+  std::atomic<bool> reply_sent{false};
   bus_a->subscribe(BusKind::kControl,
                    [&](const net::Endpoint&, util::ByteSpan payload) {
                      replies.push(std::string(payload.begin(),
@@ -143,6 +151,7 @@ TEST(ServerBus, BidirectionalReplyFromHandler) {
                                                 pong.data()),
                                             pong.size()))
                                      .ok());
+                     reply_sent.store(true);
                    });
   const util::Bytes ping = {'p'};
   ASSERT_TRUE(bus_a->send(bus_b->local_endpoint(), BusKind::kControl,
@@ -151,6 +160,12 @@ TEST(ServerBus, BidirectionalReplyFromHandler) {
   auto reply = replies.pop_for(2s);
   ASSERT_TRUE(reply.has_value());
   EXPECT_EQ(*reply, "pong");
+  // The pong payload reaches us before bus_b's blocking send has seen its
+  // own transport ACK; don't tear the buses down under the handler.
+  for (int i = 0; i < 2000 && !reply_sent.load(); ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_TRUE(reply_sent.load());
 }
 
 TEST(ServerBus, StopIsIdempotentAndSendFailsAfter) {
