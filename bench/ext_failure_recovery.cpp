@@ -5,6 +5,7 @@
 //
 // Runs over the in-process simulated network so link failures can be
 // injected deterministically.
+#include <filesystem>
 #include <thread>
 
 #include "bench/bench_util.hpp"
@@ -75,6 +76,105 @@ RunResult run(bool recovery, int failures, int messages_per_phase,
   return result;
 }
 
+struct RestartResult {
+  bool ok = false;
+  double restart_recovery_ms = 0;
+  std::uint64_t resume_retries = 0;
+};
+
+nsock::NodeConfig restart_node_config(const std::string& durable_dir) {
+  nsock::NodeConfig config;
+  config.controller.security = false;
+  config.server.rudp_config.retransmit_interval =
+      std::chrono::milliseconds(15);
+  config.server.rudp_config.max_attempts = 40;
+  config.controller.ctrl_response_timeout = 1s;
+  config.controller.failure_recovery.enabled = true;
+  config.controller.failure_recovery.probe_interval = 500ms;
+  config.controller.failure_recovery.probe_timeout = 200ms;
+  config.controller.failure_recovery.miss_threshold = 1000;
+  config.controller.resume_max_attempts = 25;
+  config.controller.resume_retry_backoff = 50ms;
+  config.controller.resume_retry_cap = 400ms;
+  config.controller.resume_timeout = 8s;
+  config.controller.redirector_leases.enabled = true;
+  config.controller.redirector_leases.ttl = 3s;
+  if (!durable_dir.empty()) {
+    config.controller.durability.enabled = true;
+    config.controller.durability.dir = durable_dir;
+  }
+  return config;
+}
+
+// Crash-restart recovery: the server-side controller is killed after the
+// migrating client has been exported/imported (the session is journaled at
+// its commit points), then stood up again from the journal. Measures the
+// wall time from restart to the migration resuming exactly-once.
+RestartResult run_restart() {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "naplet-bench-restart").string();
+  fs::remove_all(dir);
+
+  net::SimNet net(/*seed=*/1);
+  net.set_default_link(net::LinkConfig{.latency = 1ms});
+  nsock::Realm realm;
+  for (int i = 0; i < 3; ++i) {
+    const std::string name = "node" + std::to_string(i);
+    realm.add_node(name, net.add_node(name),
+                   restart_node_config(i == 1 ? dir : ""));
+  }
+  if (!realm.start().ok()) std::abort();
+
+  RestartResult result;
+  agent::AgentId cli("cli"), srv("srv");
+  realm.locations().register_agent(cli,
+                                   realm.node("node0").server().node_info());
+  realm.locations().register_agent(srv,
+                                   realm.node("node1").server().node_info());
+  if (!realm.node("node1").controller().listen(srv).ok()) std::abort();
+  auto client = realm.node("node0").controller().connect(cli, srv);
+  auto server = realm.node("node1").controller().accept(srv, 5s);
+  if (!client.ok() || !server.ok()) std::abort();
+  (void)(*client)->send(span("pre-crash"), 1s);
+  (void)(*server)->recv(1s);
+
+  // Stage the client's migration to node2, then crash the server host.
+  realm.locations().begin_migration(cli);
+  if (!realm.node("node0").controller().prepare_migration(cli).ok()) {
+    realm.stop();
+    fs::remove_all(dir);
+    return result;
+  }
+  const util::Bytes blob = realm.node("node0").controller().export_sessions(cli);
+  if (!realm.node("node2")
+           .controller()
+           .import_sessions(cli, util::ByteSpan(blob.data(), blob.size()))
+           .ok()) {
+    std::abort();
+  }
+  realm.locations().register_agent(cli,
+                                   realm.node("node2").server().node_info());
+  realm.remove_node("node1");
+
+  util::Stopwatch sw(util::RealClock::instance());
+  auto& reborn = realm.add_node("node1", net.add_node("node1"),
+                                restart_node_config(dir));
+  if (!reborn.start().ok() || !reborn.controller().recover().ok()) {
+    realm.stop();
+    fs::remove_all(dir);
+    return result;
+  }
+  realm.locations().register_agent(srv, reborn.server().node_info());
+  result.ok = realm.node("node2").controller().complete_migration(cli).ok();
+  result.restart_recovery_ms = sw.elapsed_ms();
+  result.resume_retries = realm.node("node2").controller().resume_retries();
+
+  realm.stop();
+  fs::remove_all(dir);
+  return result;
+}
+
 }  // namespace
 }  // namespace naplet::bench
 
@@ -118,6 +218,14 @@ int main(int argc, char** argv) {
               "(overhead %.1f%%)\n",
               off_ms, on_ms, 100.0 * (on_ms - off_ms) / off_ms);
 
+  // Crash-restart recovery: journal replay + resume across a controller
+  // restart (the PR-4 durability layer).
+  const RestartResult restart = run_restart();
+  std::printf("\ncrash-restart recovery: %s, %.1f ms restart->resumed, "
+              "%llu resume retries\n",
+              restart.ok ? "resumed" : "FAILED", restart.restart_recovery_ms,
+              static_cast<unsigned long long>(restart.resume_retries));
+
   std::printf("\nshape checks:\n");
   std::printf("  recovery ON delivers everything : %s (%d/%d)\n",
               on.delivered == total ? "PASS" : "FAIL", on.delivered, total);
@@ -126,6 +234,8 @@ int main(int argc, char** argv) {
   std::printf("  repairs occurred                : %s (%llu)\n",
               on.repairs >= 1 ? "PASS" : "FAIL",
               static_cast<unsigned long long>(on.repairs));
+  std::printf("  restart recovery resumes        : %s\n",
+              restart.ok ? "PASS" : "FAIL");
 
   if (json_flag(argc, argv)) {
     write_json_file(
@@ -144,6 +254,8 @@ int main(int argc, char** argv) {
             .field("elapsed_ms_on", on.elapsed_ms)
             .field("steady_state_ms_off", off_ms)
             .field("steady_state_ms_on", on_ms)
+            .field("restart_recovery_ms", restart.restart_recovery_ms)
+            .field("resume_retries", restart.resume_retries)
             .render());
   }
   return 0;

@@ -3,9 +3,11 @@
 #
 #   1. Debug build + full ctest       (lock-rank validator active)
 #      + fixed-seed chaos_runner smoke (25 replayable fault schedules)
+#      + pinned-seed crash-restart smoke (recovery on and off)
 #   2. Sanitize build + full ctest    (ASan + UBSan)
 #   3. Tsan build + `ctest -L tsan`   (pinned light concurrency sweep)
 #      + `ctest -L faults`            (fault-injection suite under TSan)
+#      + `ctest -L recovery`          (crash-restart recovery under TSan)
 #   4. run-clang-tidy over src/       (bugprone / concurrency / performance)
 #   5. clang-format --dry-run         (check-only; no reformatting)
 #
@@ -41,6 +43,14 @@ ctest --test-dir build-debug --output-on-failure -j "$JOBS"
 note "chaos smoke (fixed-seed, replayable)"
 NAPLET_FAULTS_LIGHT=1 ./build-debug/tools/chaos_runner --seed 42 --runs 25 --light
 
+note "crash-restart smoke (pinned seed, recovery on/off)"
+for scenario in 3 4 5; do
+  NAPLET_FAULTS_LIGHT=1 ./build-debug/tools/chaos_runner \
+    --seed 5 --scenario "$scenario" --light
+  NAPLET_FAULTS_LIGHT=1 ./build-debug/tools/chaos_runner \
+    --seed 5 --scenario "$scenario" --light --no-recovery
+done
+
 if [ "$SKIP_SANITIZE" -eq 0 ]; then
   note "Sanitize build (ASan + UBSan)"
   cmake --preset sanitize >/dev/null
@@ -56,6 +66,7 @@ if [ "$SKIP_TSAN" -eq 0 ]; then
   cmake --build --preset tsan -j "$JOBS"
   ctest --test-dir build-tsan -L tsan --output-on-failure -j "$JOBS"
   ctest --test-dir build-tsan -L faults --output-on-failure -j "$JOBS"
+  ctest --test-dir build-tsan -L recovery --output-on-failure -j "$JOBS"
 else
   skip "--skip-tsan"
 fi

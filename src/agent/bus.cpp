@@ -24,12 +24,14 @@ void ServerBus::subscribe(BusKind kind, Handler handler) {
 }
 
 util::Status ServerBus::send(const net::Endpoint& dest, BusKind kind,
-                             util::ByteSpan payload) {
+                             util::ByteSpan payload,
+                             util::Duration max_wait) {
   util::BytesWriter w(payload.size() + 1);
   w.u8(static_cast<std::uint8_t>(kind));
   w.raw(payload);
   return channel_->send(dest,
-                        util::ByteSpan(w.data().data(), w.data().size()));
+                        util::ByteSpan(w.data().data(), w.data().size()),
+                        max_wait);
 }
 
 void ServerBus::dispatch_loop() {

@@ -43,9 +43,10 @@ class ServerBus {
   /// Register the handler for one kind (replaces any previous handler).
   void subscribe(BusKind kind, Handler handler);
 
-  /// Reliable send; blocks until the peer's channel ACKs.
+  /// Reliable send; blocks until the peer's channel ACKs. A non-zero
+  /// `max_wait` caps the total blocking time (see ReliableChannel::send).
   util::Status send(const net::Endpoint& dest, BusKind kind,
-                    util::ByteSpan payload);
+                    util::ByteSpan payload, util::Duration max_wait = {});
 
   [[nodiscard]] net::Endpoint local_endpoint() const {
     return channel_->local_endpoint();

@@ -53,11 +53,28 @@ SocketController::~SocketController() { stop(); }
 util::Status SocketController::start() {
   if (started_.exchange(true)) return util::OkStatus();
 
+  // Durability first: the incarnation epoch must be known before the first
+  // outbound message is stamped.
+  if (config_.durability.enabled) {
+    recovery::DurableStoreOptions opts;
+    opts.dir = config_.durability.dir;
+    opts.compact_every = config_.durability.compact_every;
+    auto store = std::make_unique<recovery::DurableStore>(opts);
+    if (auto st = store->open(); !st.ok()) return st;
+    store_ = std::move(store);
+    epoch_.store(store_->epoch());
+    if (store_->degraded()) {
+      NAPLET_LOG(kWarn, "recovery")
+          << "durable store degraded: " << store_->degraded_note();
+    }
+  }
+
   redirector_ = std::make_unique<Redirector>(
       server_.network(), config_.redirector_port,
       [this](std::shared_ptr<net::Stream> stream, HandoffMsg msg) {
         on_handoff(std::move(stream), std::move(msg));
-      });
+      },
+      config_.redirector_leases);
   NAPLET_RETURN_IF_ERROR(redirector_->start());
 
   server_.bus().subscribe(
@@ -68,7 +85,9 @@ util::Status SocketController::start() {
   server_.set_redirector_endpoint(redirector_->endpoint());
   server_.set_migrator(this);
   server_.register_service(kServiceName, this);
-  if (config_.failure_recovery.enabled) {
+  // The repair loop doubles as the lease refresher, so it also runs when
+  // only leasing is on.
+  if (config_.failure_recovery.enabled || config_.redirector_leases.enabled) {
     repair_thread_ = std::thread([this] { repair_loop(); });
   }
   return util::OkStatus();
@@ -102,7 +121,8 @@ agent::NodeInfo SocketController::self_node() const {
 
 util::Status SocketController::send_ctrl(const net::Endpoint& dest,
                                          CtrlMsg& msg,
-                                         util::ByteSpan session_key) {
+                                         util::ByteSpan session_key,
+                                         util::Duration max_wait) {
   bool duplicate = false;
   if (fault::armed()) {
     const fault::Decision d = fault::hit(ctrl_site(msg.type, "pre_send"));
@@ -124,6 +144,7 @@ util::Status SocketController::send_ctrl(const net::Endpoint& dest,
     }
   }
   msg.node = self_node();
+  msg.epoch = epoch_.load();
   const util::Bytes payload = msg.mac_payload();
   msg.mac = compute_mac(session_key,
                         util::ByteSpan(payload.data(), payload.size()));
@@ -133,27 +154,32 @@ util::Status SocketController::send_ctrl(const net::Endpoint& dest,
     // messages with identical protocol content (stressing its duplicate
     // handling, which the per-seq rudp dedup cannot cover).
     (void)server_.bus().send(dest, agent::BusKind::kControl,
-                             util::ByteSpan(encoded.data(), encoded.size()));
+                             util::ByteSpan(encoded.data(), encoded.size()),
+                             max_wait);
   }
   return server_.bus().send(dest, agent::BusKind::kControl,
-                            util::ByteSpan(encoded.data(), encoded.size()));
+                            util::ByteSpan(encoded.data(), encoded.size()),
+                            max_wait);
 }
 
 util::Status SocketController::send_session_ctrl(const net::Endpoint& dest,
                                                  CtrlMsg& msg,
-                                                 const Session& session) {
+                                                 const Session& session,
+                                                 util::Duration max_wait) {
   // Sender identity rides in client_agent for post-setup messages so the
   // receiver can address the right endpoint's session (it is MAC-covered).
   msg.client_agent = session.local_agent().name();
   return send_ctrl(dest, msg,
                    util::ByteSpan(session.session_key().data(),
-                                  session.session_key().size()));
+                                  session.session_key().size()),
+                   max_wait);
 }
 
 util::Status SocketController::reply_handoff(net::Stream& stream,
                                              HandoffMsg msg,
                                              util::ByteSpan session_key) {
   msg.node = self_node();
+  msg.epoch = epoch_.load();
   const util::Bytes payload = msg.mac_payload();
   msg.mac = compute_mac(session_key,
                         util::ByteSpan(payload.data(), payload.size()));
@@ -187,13 +213,59 @@ SessionPtr SocketController::find_session_from(
 }
 
 void SocketController::insert_session(const SessionPtr& session) {
-  util::MutexLock lock(mu_);
-  sessions_[{session->conn_id(), session->local_agent().name()}] = session;
+  {
+    util::MutexLock lock(mu_);
+    sessions_[{session->conn_id(), session->local_agent().name()}] = session;
+  }
+  if (redirector_) redirector_->register_lease(session->conn_id());
 }
 
 void SocketController::remove_session(const SessionPtr& session) {
-  util::MutexLock lock(mu_);
-  sessions_.erase({session->conn_id(), session->local_agent().name()});
+  bool gone;
+  {
+    util::MutexLock lock(mu_);
+    sessions_.erase({session->conn_id(), session->local_agent().name()});
+    // Same-node pairs share a conn_id: only drop the lease once the LAST
+    // endpoint is gone.
+    auto it = sessions_.lower_bound({session->conn_id(), std::string()});
+    gone = it == sessions_.end() || it->first.first != session->conn_id();
+  }
+  if (gone && redirector_) redirector_->release_lease(session->conn_id());
+}
+
+void SocketController::journal_commit(recovery::CommitPoint point,
+                                      const SessionPtr& session) {
+  if (!store_) return;
+  // Serialize outside any lock: export_state takes the session's own locks
+  // and the store serializes its file writes itself.
+  const util::Bytes blob = session->export_state();
+  if (auto st = store_->record(point, session->conn_id(),
+                               util::ByteSpan(blob.data(), blob.size()));
+      !st.ok()) {
+    NAPLET_LOG(kError, "recovery")
+        << "journal append failed at " << to_string(point) << " for conn "
+        << session->conn_id() << ": " << st.to_string();
+  }
+}
+
+void SocketController::journal_remove(recovery::CommitPoint point,
+                                      std::uint64_t conn_id) {
+  if (!store_) return;
+  if (auto st = store_->record(point, conn_id, {}); !st.ok()) {
+    NAPLET_LOG(kError, "recovery")
+        << "journal removal failed at " << to_string(point) << " for conn "
+        << conn_id << ": " << st.to_string();
+  }
+}
+
+bool SocketController::admit_epoch(Session& session, const CtrlMsg& msg) {
+  if (session.admit_peer_epoch(msg.epoch)) return true;
+  epoch_fenced_.fetch_add(1);
+  NAPLET_LOG(kWarn, "recovery")
+      << "conn " << msg.conn_id << ": dropping stale "
+      << to_string(msg.type) << " from epoch " << msg.epoch << " (seen "
+      << session.peer_epoch() << ")";
+  return false;
 }
 
 std::vector<SessionPtr> SocketController::sessions_of(
@@ -237,6 +309,15 @@ ControllerStats SocketController::stats() const {
   out.access_denials = access_denials_.load();
   out.links_repaired = links_repaired_.load();
   out.peers_declared_dead = peers_declared_dead_.load();
+  out.epoch = epoch_.load();
+  out.sessions_recovered = sessions_recovered_.load();
+  out.resume_retries = resume_retries_.load();
+  out.epoch_fenced = epoch_fenced_.load();
+  if (redirector_) {
+    out.leases = redirector_->lease_count();
+    out.leases_expired = redirector_->leases_expired();
+    out.handoffs_fenced = redirector_->handoffs_fenced();
+  }
   auto& channel = server_.bus().channel();
   out.ctrl_messages_sent = channel.messages_sent();
   out.ctrl_retransmissions = channel.retransmissions();
@@ -475,6 +556,7 @@ util::StatusOr<SessionPtr> SocketController::connect(
   session->attach_stream(std::move(data_socket));
   NAPLET_RETURN_IF_ERROR(session->advance(ConnEvent::kRecvConnectAck));
   insert_session(session);
+  journal_commit(recovery::CommitPoint::kConnectEstablished, session);
   bd.management_ms += sw.elapsed_ms();
   return session;
 }
@@ -657,6 +739,7 @@ void SocketController::handle_attach(std::shared_ptr<net::Stream> stream,
     if (it != accept_queues_.end()) queue = it->second;
   }
   if (queue != nullptr) {
+    journal_commit(recovery::CommitPoint::kConnectEstablished, session);
     queue->push(session);
   } else {
     // The listener vanished between CONNECT and ATTACH; tear down.

@@ -25,6 +25,7 @@
 #include "core/stats.hpp"
 #include "core/wire.hpp"
 #include "crypto/dh.hpp"
+#include "recovery/journal.hpp"
 
 namespace naplet::nsock {
 
@@ -41,6 +42,21 @@ struct FailureRecoveryConfig {
   /// Per-session bound on the sent-frame retransmission history that makes
   /// uncoordinated stream loss recoverable without data loss.
   std::size_t history_bytes = 1 << 20;
+  /// Liveness probes get their own short reliability deadline instead of
+  /// inheriting ctrl_response_timeout: one dead peer must not stall the
+  /// whole probe round for seconds.
+  util::Duration probe_timeout{std::chrono::milliseconds(300)};
+};
+
+/// Crash-recovery extension: fsync'd write-ahead journal of session state
+/// at protocol commit points, replayed by SocketController::recover() after
+/// a controller restart. Off by default.
+struct DurabilityConfig {
+  bool enabled = false;
+  /// Directory holding journal.nplj + snapshot.npls for this controller.
+  std::string dir;
+  /// Journal appends between snapshot compactions.
+  std::uint64_t compact_every = 64;
 };
 
 struct ControllerConfig {
@@ -50,6 +66,22 @@ struct ControllerConfig {
   crypto::DhGroup dh_group = crypto::DhGroup::kModp768;
   std::uint16_t redirector_port = 0;
   FailureRecoveryConfig failure_recovery{};
+  /// Crash-recovery extension: durable journal + restart recovery.
+  DurabilityConfig durability{};
+  /// Crash-recovery extension: redirector entries become leases with this
+  /// policy (refreshed by the repair loop, evicted on expiry).
+  LeaseConfig redirector_leases{};
+  /// Resume attempts before giving up. 1 = the paper's single-shot resume;
+  /// higher values retry with capped exponential backoff, absorbing a peer
+  /// controller that is restarting from its journal.
+  int resume_max_attempts = 1;
+  util::Duration resume_retry_backoff{std::chrono::milliseconds(100)};
+  double resume_retry_multiplier = 2.0;
+  util::Duration resume_retry_cap{std::chrono::seconds(2)};
+  /// When a suspend handshake dies mid-flight (no SUS response) but the
+  /// data stream is still healthy, roll back to ESTABLISHED instead of the
+  /// fail-safe local suspension.
+  bool suspend_rollback = false;
 
   util::Duration ctrl_response_timeout{std::chrono::seconds(5)};
   util::Duration connect_timeout{std::chrono::seconds(5)};
@@ -118,6 +150,18 @@ class SocketController final : public agent::ConnectionMigrator {
   /// Close from ESTABLISHED or SUSPENDED.
   util::Status close(const SessionPtr& session);
 
+  /// Crash-recovery extension: replay the durable journal after a restart.
+  /// Every recorded session is reconstructed in SUSPENDED with its sealed
+  /// input buffer and re-registered (sessions table + redirector lease) so
+  /// peer RESUME retries find it. Requires durability.enabled; call after
+  /// start().
+  util::Status recover();
+
+  /// Abort a session locally without a close handshake: all blocked
+  /// send()/recv()/resume() waiters wake with kAborted. Public so tests and
+  /// tools can exercise the peer-declared-dead path directly.
+  void abort(const SessionPtr& session) { abort_session(session); }
+
   // ---- ConnectionMigrator ----
 
   util::Status prepare_migration(const agent::AgentId& id) override;
@@ -152,6 +196,22 @@ class SocketController final : public agent::ConnectionMigrator {
     return peers_declared_dead_.load();
   }
 
+  /// Crash-recovery extension counters.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_.load(); }
+  [[nodiscard]] std::uint64_t sessions_recovered() const {
+    return sessions_recovered_.load();
+  }
+  [[nodiscard]] std::uint64_t resume_retries() const {
+    return resume_retries_.load();
+  }
+  [[nodiscard]] std::uint64_t epoch_fenced() const {
+    return epoch_fenced_.load();
+  }
+  [[nodiscard]] const recovery::DurableStore* durable_store() const {
+    return store_.get();
+  }
+  [[nodiscard]] Redirector* redirector() { return redirector_.get(); }
+
   /// Service name under which the controller registers with the server.
   static constexpr const char* kServiceName = "napletsocket";
 
@@ -182,12 +242,16 @@ class SocketController final : public agent::ConnectionMigrator {
   void handle_resume_request(std::shared_ptr<net::Stream> stream,
                              HandoffMsg msg);
 
-  // Internals.
+  // Internals. `max_wait` (0 = unbounded) caps the reliability layer's
+  // retransmission loop — used by liveness probes so a dead peer costs at
+  // most probe_timeout per round.
   util::Status send_ctrl(const net::Endpoint& dest, CtrlMsg& msg,
-                         util::ByteSpan session_key);
+                         util::ByteSpan session_key,
+                         util::Duration max_wait = {});
   /// Stamp the sender agent + MAC from `session` and send to `dest`.
   util::Status send_session_ctrl(const net::Endpoint& dest, CtrlMsg& msg,
-                                 const Session& session);
+                                 const Session& session,
+                                 util::Duration max_wait = {});
   util::Status reply_handoff(net::Stream& stream, HandoffMsg msg,
                              util::ByteSpan session_key);
   /// First session with this conn id (tests/tools; unique in practice
@@ -211,8 +275,21 @@ class SocketController final : public agent::ConnectionMigrator {
   /// Complete a passive suspension (drain + close) after agreeing to SUS.
   void finish_passive_suspend(const SessionPtr& session,
                               std::uint64_t peer_mark);
-  /// Reconnect a suspended session through the peer's redirector.
+  /// Reconnect a suspended session through the peer's redirector, retrying
+  /// up to resume_max_attempts with capped exponential backoff.
   util::Status do_resume(const SessionPtr& session);
+  /// One resume attempt (the paper's single-shot flow).
+  util::Status do_resume_once(const SessionPtr& session);
+
+  // Crash-recovery extension internals.
+  /// Journal the session's current state at a protocol commit point.
+  void journal_commit(recovery::CommitPoint point, const SessionPtr& session);
+  /// Journal that the connection left this controller (close / export).
+  void journal_remove(recovery::CommitPoint point, std::uint64_t conn_id);
+  /// Epoch fence: admit `msg` only if its incarnation epoch is not older
+  /// than the highest this session has seen from the peer. Returns false
+  /// (and counts) for stale pre-crash messages, which the caller drops.
+  bool admit_epoch(Session& session, const CtrlMsg& msg);
 
   [[nodiscard]] agent::NodeInfo self_node() const;
 
@@ -254,6 +331,17 @@ class SocketController final : public agent::ConnectionMigrator {
       NAPLET_GUARDED_BY(mu_);  // conn_id -> misses
   std::atomic<std::uint64_t> links_repaired_{0};
   std::atomic<std::uint64_t> peers_declared_dead_{0};
+
+  // Crash-recovery extension state. The store serializes its own writes;
+  // journal_commit never runs under mu_.
+  std::unique_ptr<recovery::DurableStore> store_;
+  /// This controller's incarnation epoch, stamped into every outbound
+  /// control/handoff message. 1 without durability; from the store (strictly
+  /// above every pre-crash epoch) with it.
+  std::atomic<std::uint64_t> epoch_{1};
+  std::atomic<std::uint64_t> sessions_recovered_{0};
+  std::atomic<std::uint64_t> resume_retries_{0};
+  std::atomic<std::uint64_t> epoch_fenced_{0};
 };
 
 }  // namespace naplet::nsock

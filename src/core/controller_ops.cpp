@@ -82,8 +82,17 @@ util::Status SocketController::active_suspend(const SessionPtr& session) {
   sus.type = CtrlType::kSus;
   sus.conn_id = session->conn_id();
   sus.sent_seq = mark;
-  NAPLET_RETURN_IF_ERROR(
-      send_session_ctrl(session->peer_node().control, sus, *session));
+  // Best-effort: if the peer controller restarted since we last heard from
+  // it, its control endpoint is stale and this send times out — the resend
+  // loop below refreshes the location and tries again, so a send failure
+  // here must not abort the suspension outright.
+  if (auto st = send_session_ctrl(session->peer_node().control, sus, *session);
+      !st.ok()) {
+    NAPLET_LOG(kDebug, "controller")
+        << "conn " << session->conn_id()
+        << ": initial SUS send failed (" << st.to_string()
+        << "); retrying via location refresh";
+  }
 
   // Wait for the peer's reply while KEEPING OUR RECEIVE SIDE DRAINING:
   // the peer can only reply after freezing its writers, and one of those
@@ -93,9 +102,16 @@ util::Status SocketController::active_suspend(const SessionPtr& session) {
   // imported at its destination): refresh the peer's location and resend.
   std::optional<Session::CtrlResponse> resp;
   {
-    const std::int64_t deadline =
-        util::RealClock::instance().now_us() +
-        config_.ctrl_response_timeout.count();
+    const std::int64_t now0 = util::RealClock::instance().now_us();
+    const std::int64_t deadline = now0 + config_.ctrl_response_timeout.count();
+    // Unprompted resend cadence: the peer controller may have crashed and
+    // restarted at a new control endpoint, in which case no REJECT ever
+    // arrives — periodically refresh its location and send the SUS again
+    // (the peer's duplicate-SUS path re-acks harmlessly if both land).
+    const std::int64_t resend_every = std::max<std::int64_t>(
+        std::chrono::microseconds(std::chrono::milliseconds(250)).count(),
+        config_.ctrl_response_timeout.count() / 4);
+    std::int64_t next_resend = now0 + resend_every;
     while (util::RealClock::instance().now_us() < deadline) {
       resp = wait_response(
           *session,
@@ -113,10 +129,31 @@ util::Status SocketController::active_suspend(const SessionPtr& session) {
         continue;
       }
       if (resp) break;
+      if (util::RealClock::instance().now_us() >= next_resend) {
+        next_resend = util::RealClock::instance().now_us() + resend_every;
+        if (auto fresh =
+                server_.locations().try_lookup(session->peer_agent())) {
+          session->set_peer_node(*fresh);
+        }
+        // Bounded so a still-dead endpoint cannot eat the whole deadline.
+        (void)send_session_ctrl(session->peer_node().control, sus, *session,
+                                util::us(resend_every));
+      }
       session->pump_available(std::chrono::milliseconds(20));
     }
   }
   if (!resp) {
+    if (config_.suspend_rollback && session->has_stream() &&
+        !session->is_broken()) {
+      // The handshake died (peer controller crashed or SUS lost above the
+      // reliability layer) but the data stream is healthy: roll back to
+      // ESTABLISHED so the application keeps running; the caller retries
+      // the migration once the peer recovers.
+      (void)session->advance(ConnEvent::kSuspendAbort);
+      return util::Timeout("no SUS response for conn " +
+                           std::to_string(session->conn_id()) +
+                           "; rolled back to ESTABLISHED");
+    }
     // Peer unreachable: fail-safe local suspension (the FSM's timeout arc).
     (void)session->advance(ConnEvent::kTimeout);
     session->close_stream();
@@ -131,6 +168,9 @@ util::Status SocketController::active_suspend(const SessionPtr& session) {
 
   if (resp->type == static_cast<std::uint8_t>(CtrlType::kSusAck)) {
     NAPLET_RETURN_IF_ERROR(session->advance(ConnEvent::kRecvSusAck));
+    if (drained.ok()) {
+      journal_commit(recovery::CommitPoint::kSuspendCommitted, session);
+    }
     return drained;
   }
 
@@ -150,6 +190,7 @@ util::Status SocketController::active_suspend(const SessionPtr& session) {
     return util::Timeout("parked suspend not released for conn " +
                          std::to_string(session->conn_id()));
   }
+  journal_commit(recovery::CommitPoint::kSuspendCommitted, session);
   return util::OkStatus();
 }
 
@@ -174,6 +215,7 @@ void SocketController::handle_sus(CtrlMsg msg) {
     (void)send_ctrl(msg.node.control, reply, {});
     return;
   }
+  if (!admit_epoch(*session, msg)) return;
   session->set_peer_node(msg.node);
   const util::ByteSpan key(session->session_key().data(),
                            session->session_key().size());
@@ -286,6 +328,9 @@ void SocketController::finish_passive_suspend(const SessionPtr& session,
   }
   session->close_stream();
   (void)session->advance(ConnEvent::kExecSuspended);  // -> SUSPENDED
+  if (drained.ok()) {
+    journal_commit(recovery::CommitPoint::kDrainComplete, session);
+  }
 }
 
 void SocketController::handle_sus_response(CtrlMsg msg) {
@@ -295,6 +340,7 @@ void SocketController::handle_sus_response(CtrlMsg msg) {
     mac_rejections_.fetch_add(1);
     return;
   }
+  if (!admit_epoch(*session, msg)) return;
   session->set_peer_node(msg.node);
   session->responses().push(Session::CtrlResponse{
       static_cast<std::uint8_t>(msg.type), msg.sent_seq});
@@ -307,6 +353,7 @@ void SocketController::handle_sus_res(CtrlMsg msg) {
     mac_rejections_.fetch_add(1);
     return;
   }
+  if (!admit_epoch(*session, msg)) return;
   // The peer has landed; record its new endpoints and release our parked
   // suspend (paper Fig. 4(a): SUS_RES -> SUS_RES_ACK).
   session->set_peer_node(msg.node);
@@ -329,6 +376,7 @@ void SocketController::handle_simple_ack(CtrlMsg msg) {
     mac_rejections_.fetch_add(1);
     return;
   }
+  if (!admit_epoch(*session, msg)) return;
   session->responses().push(Session::CtrlResponse{
       static_cast<std::uint8_t>(msg.type), msg.sent_seq});
 }
@@ -342,6 +390,32 @@ util::Status SocketController::resume(const SessionPtr& session) {
 }
 
 util::Status SocketController::do_resume(const SessionPtr& session) {
+  // Crash-recovery extension: a resume that times out because the peer
+  // controller is mid-restart (replaying its journal) is retried with
+  // capped exponential backoff. resume_max_attempts == 1 is the paper's
+  // single-shot behavior.
+  util::Duration backoff = config_.resume_retry_backoff;
+  for (int attempt = 1;; ++attempt) {
+    util::Status status = do_resume_once(session);
+    if (status.ok() || attempt >= config_.resume_max_attempts) return status;
+    if (status.code() != util::StatusCode::kTimeout ||
+        session->state() != ConnState::kSuspended) {
+      return status;  // only a timed-out, still-resumable session retries
+    }
+    resume_retries_.fetch_add(1);
+    NAPLET_LOG(kInfo, "recovery")
+        << "conn " << session->conn_id() << ": resume attempt " << attempt
+        << " timed out; retrying in " << backoff.count() / 1000 << "ms";
+    util::RealClock::instance().sleep_for(backoff);
+    backoff = std::min(
+        config_.resume_retry_cap,
+        util::Duration(static_cast<std::int64_t>(
+            static_cast<double>(backoff.count()) *
+            config_.resume_retry_multiplier)));
+  }
+}
+
+util::Status SocketController::do_resume_once(const SessionPtr& session) {
   const ConnState st = session->state();
   if (st == ConnState::kEstablished) return util::OkStatus();
   if (st == ConnState::kResumeWait) {
@@ -466,6 +540,7 @@ util::Status SocketController::do_resume(const SessionPtr& session) {
         session->update_flags([](Session::Flags& f) {
           f.remote_suspended = false;
         });
+        journal_commit(recovery::CommitPoint::kResumeCommitted, session);
         return util::OkStatus();
       }
       case HandoffType::kResumeWait: {
@@ -543,6 +618,10 @@ void SocketController::handle_resume_request(
     fail("MAC verification failed");
     return;
   }
+  // A RESUME rides a freshly established stream, so it cannot itself be a
+  // pre-crash leftover; record the (possibly bumped) sender epoch so stale
+  // control datagrams from its previous incarnation are fenced from now on.
+  (void)session->admit_peer_epoch(msg.epoch);
   session->set_peer_node(msg.node);
   const util::ByteSpan key(session->session_key().data(),
                            session->session_key().size());
@@ -631,6 +710,7 @@ void SocketController::handle_resume_request(
   session->update_flags([](Session::Flags& f) {
     f.remote_suspended = false;
   });
+  journal_commit(recovery::CommitPoint::kResumeCommitted, session);
   session->resume_event().set();
 }
 
@@ -677,6 +757,7 @@ util::Status SocketController::close(const SessionPtr& session) {
   session->close_stream();
   (void)session->advance(resp ? ConnEvent::kRecvClsAck : ConnEvent::kTimeout);
   remove_session(session);
+  journal_remove(recovery::CommitPoint::kClosed, session->conn_id());
   session->park_event().set();
   session->resume_event().set();
   return util::OkStatus();
@@ -699,6 +780,7 @@ void SocketController::handle_cls(CtrlMsg msg) {
     (void)send_session_ctrl(msg.node.control, ack, *session);
     return;
   }
+  if (!admit_epoch(*session, msg)) return;
 
   const ConnState st = session->state();
   if (st == ConnState::kEstablished || st == ConnState::kSuspended) {
@@ -715,6 +797,7 @@ void SocketController::handle_cls(CtrlMsg msg) {
     (void)session->advance(ConnEvent::kExecClosed);  // -> CLOSED
   }
   remove_session(session);
+  journal_remove(recovery::CommitPoint::kClosed, session->conn_id());
   session->park_event().set();
   session->resume_event().set();
 }
@@ -857,6 +940,11 @@ util::Bytes SocketController::export_sessions(const agent::AgentId& id) {
     // The live state now travels in the blob; kill the original so stale
     // handles cannot double-deliver its buffered frames.
     session->mark_moved();
+    // Departed: this controller is no longer responsible for the
+    // connection. (If the migration later fails the destination's own
+    // journal has it from kImported on.)
+    journal_remove(recovery::CommitPoint::kDeparted, session->conn_id());
+    if (redirector_) redirector_->release_lease(session->conn_id());
   }
   return std::move(w).take();
 }
@@ -881,6 +969,7 @@ util::Status SocketController::import_sessions(const agent::AgentId& id,
       (*session)->enable_history(config_.failure_recovery.history_bytes);
     }
     insert_session(*session);
+    journal_commit(recovery::CommitPoint::kImported, *session);
   }
   return util::OkStatus();
 }

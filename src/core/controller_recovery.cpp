@@ -34,6 +34,15 @@ void SocketController::repair_loop() {
       for (const auto& [key, session] : sessions_) sessions.push_back(session);
     }
 
+    // Lease upkeep runs even when failure recovery proper is off (the
+    // thread is also spawned for lease-only configurations).
+    if (config_.redirector_leases.enabled && redirector_) {
+      for (const SessionPtr& session : sessions) {
+        redirector_->refresh_lease(session->conn_id());
+      }
+    }
+    if (!fr.enabled) continue;
+
     for (const SessionPtr& session : sessions) {
       if (stopped_.load()) break;
       if (session->state() == ConnState::kEstablished &&
@@ -85,12 +94,14 @@ void SocketController::probe_peers() {
     if (agent_is_migrating(session->local_agent())) continue;
 
     // The reliability layer's ACK doubles as the liveness signal: a send
-    // that exhausts its retransmissions is a missed heartbeat.
+    // that exhausts its retransmissions is a missed heartbeat. Probes get
+    // their own short deadline — one dead peer must not stall the whole
+    // round for the full ctrl_response_timeout.
     CtrlMsg probe;
     probe.type = CtrlType::kHeartbeat;
     probe.conn_id = session->conn_id();
-    const auto status =
-        send_session_ctrl(session->peer_node().control, probe, *session);
+    const auto status = send_session_ctrl(session->peer_node().control, probe,
+                                          *session, fr.probe_timeout);
 
     util::MutexLock lock(mu_);
     if (status.ok()) {
@@ -118,17 +129,54 @@ void SocketController::abort_session(const SessionPtr& session) {
   // Deregister first so that by the time waiters observe CLOSED the
   // controller's books are already consistent.
   remove_session(session);
-  session->close_stream();
-  const ConnState st = session->state();
-  if (st == ConnState::kEstablished || st == ConnState::kSuspended) {
-    (void)session->advance(ConnEvent::kAppClose);  // -> CLOSE_SENT
-  }
-  if (session->state() == ConnState::kCloseSent) {
-    (void)session->advance(ConnEvent::kTimeout);  // -> CLOSED (no handshake)
-  }
+  journal_remove(recovery::CommitPoint::kClosed, session->conn_id());
+  // abort_local forces CLOSED from ANY state (the old advance(kAppClose)
+  // path only worked from ESTABLISHED/SUSPENDED, leaving resume waiters in
+  // RES_SENT/RESUME_WAIT to hang until io_timeout) and wakes every parked
+  // sender, receiver, and resume waiter with kAborted.
+  session->abort_local();
   session->park_event().set();
   session->resume_event().set();
-  session->responses().close();
+}
+
+util::Status SocketController::recover() {
+  if (!store_) {
+    return util::FailedPrecondition(
+        "recover() requires durability.enabled and a started controller");
+  }
+  if (store_->degraded()) {
+    NAPLET_LOG(kWarn, "recovery")
+        << "recovering from degraded store: " << store_->degraded_note();
+  }
+  std::size_t restored = 0;
+  std::size_t failed = 0;
+  const std::map<std::uint64_t, util::Bytes> recovered = store_->recovered();
+  for (const auto& [conn_id, blob] : recovered) {
+    auto session =
+        Session::import_state(util::ByteSpan(blob.data(), blob.size()));
+    if (!session.ok()) {
+      ++failed;
+      NAPLET_LOG(kError, "recovery")
+          << "conn " << conn_id
+          << ": journal blob unusable: " << session.status().to_string();
+      continue;
+    }
+    if (config_.failure_recovery.enabled) {
+      (*session)->enable_history(config_.failure_recovery.history_bytes);
+    }
+    // The session lands SUSPENDED with its sealed input buffer; the peer's
+    // resume retry finds it through the (re-registered) redirector lease.
+    insert_session(*session);
+    sessions_recovered_.fetch_add(1);
+    ++restored;
+  }
+  NAPLET_LOG(kInfo, "recovery")
+      << "recovered " << restored << " session(s) at epoch " << epoch_.load()
+      << (failed != 0 ? " (" + std::to_string(failed) + " unusable)" : "");
+  if (failed != 0 && restored == 0) {
+    return util::ProtocolError("no journaled session could be restored");
+  }
+  return util::OkStatus();
 }
 
 }  // namespace naplet::nsock

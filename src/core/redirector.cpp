@@ -6,9 +6,16 @@
 
 namespace naplet::nsock {
 
+namespace {
+std::int64_t lease_now_us() { return util::RealClock::instance().now_us(); }
+}  // namespace
+
 Redirector::Redirector(net::Network& network, std::uint16_t port,
-                       HandoffHandler handler)
-    : network_(network), port_(port), handler_(std::move(handler)) {}
+                       HandoffHandler handler, LeaseConfig leases)
+    : network_(network),
+      port_(port),
+      handler_(std::move(handler)),
+      lease_config_(leases) {}
 
 Redirector::~Redirector() { stop(); }
 
@@ -34,6 +41,7 @@ net::Endpoint Redirector::endpoint() const {
 void Redirector::accept_loop() {
   while (!stopped_.load()) {
     auto accepted = listener_->accept(std::chrono::milliseconds(200));
+    evict_expired_leases();  // piggyback the sweep on the accept tick
     if (!accepted.ok()) {
       if (accepted.status().code() == util::StatusCode::kTimeout) continue;
       break;  // listener closed
@@ -67,6 +75,21 @@ void Redirector::accept_loop() {
           return;
         }
       }
+      // Lease gate: a RESUME naming a connection whose lease expired (or
+      // was never registered here) must not reach the handler — the owning
+      // controller is gone. The mover's retry loop refreshes the peer's
+      // location and tries the live node instead.
+      if (lease_config_.enabled && msg->type == HandoffType::kResume &&
+          !lease_live(msg->conn_id)) {
+        handoffs_fenced_.fetch_add(1);
+        HandoffMsg err;
+        err.type = HandoffType::kError;
+        err.conn_id = msg->conn_id;
+        err.reason = "no live lease for conn " + std::to_string(msg->conn_id);
+        (void)net::write_frame(*stream, err.encode());
+        stream->close();
+        return;
+      }
       handler_(std::move(stream), std::move(*msg));
     });
     {
@@ -75,6 +98,58 @@ void Redirector::accept_loop() {
     }
     reap_handlers(/*all=*/false);
   }
+}
+
+void Redirector::register_lease(std::uint64_t conn_id) {
+  if (!lease_config_.enabled) return;
+  util::MutexLock lock(leases_mu_);
+  leases_[conn_id] = lease_now_us() + lease_config_.ttl.count();
+}
+
+void Redirector::refresh_lease(std::uint64_t conn_id) {
+  if (!lease_config_.enabled) return;
+  util::MutexLock lock(leases_mu_);
+  auto it = leases_.find(conn_id);
+  if (it != leases_.end()) {
+    it->second = lease_now_us() + lease_config_.ttl.count();
+  }
+}
+
+void Redirector::release_lease(std::uint64_t conn_id) {
+  if (!lease_config_.enabled) return;
+  util::MutexLock lock(leases_mu_);
+  leases_.erase(conn_id);
+}
+
+bool Redirector::lease_live(std::uint64_t conn_id) const {
+  if (!lease_config_.enabled) return true;
+  util::MutexLock lock(leases_mu_);
+  auto it = leases_.find(conn_id);
+  return it != leases_.end() && it->second > lease_now_us();
+}
+
+std::size_t Redirector::evict_expired_leases() {
+  if (!lease_config_.enabled) return 0;
+  std::size_t evicted = 0;
+  const std::int64_t now = lease_now_us();
+  util::MutexLock lock(leases_mu_);
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    if (it->second <= now) {
+      NAPLET_LOG(kInfo, "redirector")
+          << "lease expired for conn " << it->first;
+      it = leases_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  leases_expired_.fetch_add(evicted);
+  return evicted;
+}
+
+std::size_t Redirector::lease_count() const {
+  util::MutexLock lock(leases_mu_);
+  return leases_.size();
 }
 
 void Redirector::reap_handlers(bool all) {

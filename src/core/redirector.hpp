@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <functional>
+#include <map>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -21,6 +22,17 @@
 
 namespace naplet::nsock {
 
+/// Crash-recovery extension: redirector entries become leases. The owning
+/// controller registers a lease per connection and refreshes it from its
+/// repair loop; entries whose lease expires (host crashed and never came
+/// back) are evicted by the accept-loop sweep, and a RESUME naming an
+/// expired/unknown lease is answered with kError instead of being routed
+/// into a dead controller.
+struct LeaseConfig {
+  bool enabled = false;
+  util::Duration ttl{std::chrono::seconds(3)};
+};
+
 class Redirector {
  public:
   /// Handler owns the stream; it validates, replies on the stream, and
@@ -29,7 +41,7 @@ class Redirector {
       std::function<void(std::shared_ptr<net::Stream>, HandoffMsg)>;
 
   Redirector(net::Network& network, std::uint16_t port,
-             HandoffHandler handler);
+             HandoffHandler handler, LeaseConfig leases = {});
   ~Redirector();
 
   Redirector(const Redirector&) = delete;
@@ -45,6 +57,29 @@ class Redirector {
     return bad_handoffs_.load();
   }
 
+  // ---- lease table ----
+
+  /// Register (or re-arm) the lease for `conn_id`. No-op when disabled.
+  void register_lease(std::uint64_t conn_id);
+  /// Extend the lease for `conn_id`; no-op if absent or disabled.
+  void refresh_lease(std::uint64_t conn_id);
+  /// Drop the lease (connection closed or exported away).
+  void release_lease(std::uint64_t conn_id);
+  /// True when the lease exists and has not expired (always true when
+  /// leasing is disabled — the gate is opt-in).
+  [[nodiscard]] bool lease_live(std::uint64_t conn_id) const;
+  /// Drop every expired entry; returns how many were evicted. Called from
+  /// the accept-loop tick, public for tests.
+  std::size_t evict_expired_leases();
+
+  [[nodiscard]] std::size_t lease_count() const;
+  [[nodiscard]] std::uint64_t leases_expired() const {
+    return leases_expired_.load();
+  }
+  [[nodiscard]] std::uint64_t handoffs_fenced() const {
+    return handoffs_fenced_.load();
+  }
+
  private:
   void accept_loop();
   void reap_handlers(bool all);
@@ -52,6 +87,7 @@ class Redirector {
   net::Network& network_;
   std::uint16_t port_;
   HandoffHandler handler_;
+  LeaseConfig lease_config_;
 
   net::ListenerPtr listener_;
   std::thread acceptor_;
@@ -59,6 +95,14 @@ class Redirector {
   std::vector<std::thread> handlers_ NAPLET_GUARDED_BY(handlers_mu_);
   std::atomic<bool> stopped_{false};
   std::atomic<std::uint64_t> bad_handoffs_{0};
+
+  // Leaf lock (unranked): held only for map operations, never across
+  // handler_ or any stream I/O.
+  mutable util::Mutex leases_mu_;
+  std::map<std::uint64_t, std::int64_t> leases_  // conn_id -> expiry (us)
+      NAPLET_GUARDED_BY(leases_mu_);
+  std::atomic<std::uint64_t> leases_expired_{0};
+  std::atomic<std::uint64_t> handoffs_fenced_{0};
 };
 
 }  // namespace naplet::nsock

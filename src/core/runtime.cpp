@@ -54,6 +54,16 @@ NapletRuntime& Realm::add_node(const std::string& name,
   return *nodes_.back();
 }
 
+void Realm::remove_node(const std::string& name) {
+  for (auto it = nodes_.begin(); it != nodes_.end(); ++it) {
+    if ((*it)->name() == name) {
+      (*it)->stop();
+      nodes_.erase(it);
+      return;
+    }
+  }
+}
+
 util::Status Realm::start() {
   for (auto& node : nodes_) {
     NAPLET_RETURN_IF_ERROR(node->start());

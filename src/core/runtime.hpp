@@ -59,6 +59,10 @@ class Realm {
   /// Add a node bound to a specific Network (e.g. a SimNet node).
   NapletRuntime& add_node(const std::string& name, net::NetworkPtr network,
                           NodeConfig config = {});
+  /// Stop and destroy a node — the crash-restart model for recovery tests:
+  /// remove_node then add_node with the same name (and a durable journal
+  /// dir) is a controller restart. No-op for unknown names.
+  void remove_node(const std::string& name);
 
   util::Status start();
   void stop();

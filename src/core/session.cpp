@@ -506,6 +506,34 @@ DataPathStats Session::data_stats() const {
 
 bool Session::is_broken() const { return broken_.load(); }
 
+bool Session::admit_peer_epoch(std::uint64_t epoch) {
+  if (epoch == 0) return true;  // unfenced sender
+  std::uint64_t seen = peer_epoch_.load(std::memory_order_relaxed);
+  while (epoch > seen) {
+    if (peer_epoch_.compare_exchange_weak(seen, epoch,
+                                          std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return epoch >= seen;
+}
+
+void Session::abort_local() {
+  close_stream();
+  // NOT buffer_.clear() (contrast mark_moved): the session is dead but
+  // frames already pulled off the wire were genuinely delivered to us;
+  // recv() serves the buffer before checking liveness.
+  {
+    util::MutexLock lock(buf_mu_);
+    bump_rx_epoch_locked();
+  }
+  state_.set(ConnState::kClosed);
+  park_event_.set();
+  resume_event_.set();
+  responses_.close();
+  rx_cv_.notify_all();
+}
+
 void Session::seal_buffer_for_export() {
   util::MutexLock lock(buf_mu_);
   sealed_ = true;
@@ -594,6 +622,21 @@ util::Bytes Session::export_state() const {
     w.boolean(flags_.peer_waiting_resume);
     w.u64(flags_.peer_declared_seq);
   }
+  {
+    // Retransmission history rides along: after a crash-restart the
+    // recovered side must still be able to replay frames the peer never
+    // received (the in-flight reverse traffic at crash time), or the
+    // exactly-once ledger loses them.
+    util::MutexLock lock(write_mu_);
+    w.boolean(history_enabled_);
+    w.u64(history_limit_bytes_);
+    w.u32(static_cast<std::uint32_t>(history_.size()));
+    for (const auto& [seq, body] : history_) {
+      w.u64(seq);
+      w.bytes(util::ByteSpan(body.data(), body.size()));
+    }
+  }
+  w.u64(peer_epoch_.load(std::memory_order_relaxed));
   return std::move(w).take();
 }
 
@@ -677,6 +720,28 @@ util::StatusOr<SessionPtr> Session::import_state(util::ByteSpan data)
   session->flags_.peer_parked = *peer_parked;
   session->flags_.peer_waiting_resume = *peer_waiting;
   session->flags_.peer_declared_seq = *peer_declared;
+
+  auto history_enabled = r.boolean();
+  auto history_limit = r.u64();
+  auto history_count = r.u32();
+  if (!history_enabled.ok() || !history_limit.ok() || !history_count.ok()) {
+    return util::ProtocolError("bad session history header");
+  }
+  session->history_enabled_ = *history_enabled;
+  session->history_limit_bytes_ =
+      static_cast<std::size_t>(*history_limit);
+  for (std::uint32_t i = 0; i < *history_count; ++i) {
+    auto seq = r.u64();
+    auto body = r.bytes();
+    if (!seq.ok() || !body.ok()) {
+      return util::ProtocolError("bad history frame");
+    }
+    session->history_bytes_ += body->size();
+    session->history_.emplace_back(*seq, std::move(*body));
+  }
+  auto peer_epoch = r.u64();
+  if (!peer_epoch.ok()) return util::ProtocolError("bad peer epoch");
+  session->peer_epoch_.store(*peer_epoch, std::memory_order_relaxed);
 
   if (r.remaining() != 0) return util::ProtocolError("trailing session bytes");
 

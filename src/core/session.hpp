@@ -199,6 +199,28 @@ class Session {
   /// (read EOF / write error while ESTABLISHED). Cleared by attach_stream.
   [[nodiscard]] bool is_broken() const;
 
+  // ---- crash-recovery extension: incarnation-epoch fencing ----
+  //
+  // Each controller stamps its incarnation epoch into every control and
+  // handoff message. A message from an epoch older than the highest seen
+  // for this session is pre-crash traffic and must be dropped, or a
+  // delayed pre-crash SUS/RESUME could drive the post-recovery FSM.
+
+  /// Record `epoch` as seen from the peer; false when it is older than the
+  /// high-water mark (the message must be fenced). Epoch 0 (legacy /
+  /// fencing disabled) always admits.
+  bool admit_peer_epoch(std::uint64_t epoch);
+  [[nodiscard]] std::uint64_t peer_epoch() const noexcept {
+    return peer_epoch_.load(std::memory_order_relaxed);
+  }
+
+  /// Force-kill the session locally when the peer is declared dead: tear
+  /// down the stream and drive the state to CLOSED regardless of where the
+  /// FSM was, so every blocked send()/recv()/resume waiter wakes with
+  /// kAborted instead of hanging out its full timeout. Unlike mark_moved()
+  /// the buffer survives — already-received frames stay readable.
+  void abort_local();
+
   // ---- migration serialization ----
 
   /// Serialize the suspended session (state must be SUSPENDED or
@@ -282,6 +304,9 @@ class Session {
       NAPLET_GUARDED_BY(write_mu_);
 
   std::atomic<bool> broken_{false};
+
+  // Highest controller-incarnation epoch seen from the peer (fencing).
+  std::atomic<std::uint64_t> peer_epoch_{0};
 
   // serializes socket readers
   mutable util::Mutex read_mu_{util::LockRank::kSessionRead, "session.read"};

@@ -46,6 +46,7 @@ std::string_view to_string(ConnEvent event) noexcept {
     case ConnEvent::kExecResumed: return "exec:resumed";
     case ConnEvent::kExecClosed: return "exec:closed";
     case ConnEvent::kTimeout: return "timeout";
+    case ConnEvent::kSuspendAbort: return "abort:suspend";
   }
   return "?";
 }
@@ -102,6 +103,9 @@ std::optional<ConnState> transition(ConnState state, ConnEvent event) noexcept {
         // The state holds; the action (ACK vs ACK_WAIT) depends on priority.
         case E::kRecvSus: return S::kSusSent;
         case E::kTimeout: return S::kSuspended;  // fail-safe local suspend
+        // Handshake died but the data stream is healthy: degrade back to
+        // normal transfer rather than suspending against a silent peer.
+        case E::kSuspendAbort: return S::kEstablished;
         default: return std::nullopt;
       }
 

@@ -60,9 +60,13 @@ enum class ConnEvent : std::uint8_t {
   kExecResumed,      // new data socket installed
   kExecClosed,
   kTimeout,
+  // Crash-recovery extension: a suspend handshake died mid-flight (no
+  // SUS response, peer unreachable) and the data stream is still intact —
+  // roll back to ESTABLISHED instead of wedging in a local-only suspend.
+  kSuspendAbort,
 };
 
-inline constexpr int kConnEventCount = 22;
+inline constexpr int kConnEventCount = 23;
 
 [[nodiscard]] std::string_view to_string(ConnState state) noexcept;
 [[nodiscard]] std::string_view to_string(ConnEvent event) noexcept;

@@ -20,6 +20,10 @@ std::string ControllerStats::to_string() const {
       << " migrating=" << migrating_agents
       << " mac_rej=" << mac_rejections << " denials=" << access_denials
       << " repairs=" << links_repaired << " dead_peers=" << peers_declared_dead
+      << " epoch=" << epoch << " recovered=" << sessions_recovered
+      << " resume_retries=" << resume_retries << " fenced=" << epoch_fenced
+      << " leases{live=" << leases << ",expired=" << leases_expired
+      << ",fenced=" << handoffs_fenced << "}"
       << " ctrl{sent=" << ctrl_messages_sent
       << ",retx=" << ctrl_retransmissions
       << ",dups=" << ctrl_duplicates_dropped << "}"

@@ -21,6 +21,15 @@ struct ControllerStats {
   std::uint64_t links_repaired = 0;
   std::uint64_t peers_declared_dead = 0;
 
+  // Crash-recovery extension counters.
+  std::uint64_t epoch = 0;
+  std::uint64_t sessions_recovered = 0;
+  std::uint64_t resume_retries = 0;
+  std::uint64_t epoch_fenced = 0;
+  std::uint64_t leases = 0;
+  std::uint64_t leases_expired = 0;
+  std::uint64_t handoffs_fenced = 0;
+
   // Reliability-layer (control channel) counters.
   std::uint64_t ctrl_messages_sent = 0;
   std::uint64_t ctrl_retransmissions = 0;

@@ -76,6 +76,7 @@ util::Bytes CtrlMsg::mac_payload() const {
   util::BytesWriter w;
   w.u8(static_cast<std::uint8_t>(type));
   w.u64(conn_id);
+  w.u64(epoch);
   w.u64(verifier);
   w.u64(sent_seq);
   w.str(client_agent);
@@ -110,6 +111,9 @@ util::StatusOr<CtrlMsg> CtrlMsg::decode(util::ByteSpan data) {
   auto conn_id = r.u64();
   if (!conn_id.ok()) return conn_id.status();
   msg.conn_id = *conn_id;
+  auto epoch = r.u64();
+  if (!epoch.ok()) return epoch.status();
+  msg.epoch = *epoch;
   auto verifier = r.u64();
   if (!verifier.ok()) return verifier.status();
   msg.verifier = *verifier;
@@ -148,6 +152,7 @@ util::Bytes HandoffMsg::mac_payload() const {
   util::BytesWriter w;
   w.u8(static_cast<std::uint8_t>(type));
   w.u64(conn_id);
+  w.u64(epoch);
   w.u64(verifier);
   w.u64(sent_seq);
   w.u64(recv_seq);
@@ -181,6 +186,9 @@ util::StatusOr<HandoffMsg> HandoffMsg::decode(util::ByteSpan data) {
   auto conn_id = r.u64();
   if (!conn_id.ok()) return conn_id.status();
   msg.conn_id = *conn_id;
+  auto epoch = r.u64();
+  if (!epoch.ok()) return epoch.status();
+  msg.epoch = *epoch;
   auto verifier = r.u64();
   if (!verifier.ok()) return verifier.status();
   msg.verifier = *verifier;

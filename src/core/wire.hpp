@@ -48,6 +48,8 @@ std::string_view to_string(CtrlType type) noexcept;
 struct CtrlMsg {
   CtrlType type = CtrlType::kReject;
   std::uint64_t conn_id = 0;
+  std::uint64_t epoch = 0;         // sender controller's incarnation epoch
+                                   // (crash-recovery fencing; 0 = unfenced)
   std::uint64_t verifier = 0;      // client-chosen correlation id (CONNECT*)
   std::uint64_t sent_seq = 0;      // sender's data-frame high-water mark
   std::string client_agent;        // CONNECT
@@ -80,6 +82,7 @@ std::string_view to_string(HandoffType type) noexcept;
 struct HandoffMsg {
   HandoffType type = HandoffType::kError;
   std::uint64_t conn_id = 0;
+  std::uint64_t epoch = 0;      // sender controller's incarnation epoch
   std::uint64_t verifier = 0;
   std::uint64_t sent_seq = 0;   // RESUME/RESUME_OK: sender's high-water mark
   std::uint64_t recv_seq = 0;   // RESUME/RESUME_OK: sender's highest frame

@@ -1,5 +1,6 @@
 #include "fault/chaos.hpp"
 
+#include <filesystem>
 #include <sstream>
 #include <thread>
 
@@ -116,6 +117,9 @@ std::string_view to_string(Scenario scenario) noexcept {
     case Scenario::kSingleMigration: return "single";
     case Scenario::kDoubleSequential: return "double";
     case Scenario::kDoubleOverlapped: return "overlap";
+    case Scenario::kCrashSuspend: return "crash-suspend";
+    case Scenario::kCrashResume: return "crash-resume";
+    case Scenario::kCrashDouble: return "crash-double";
   }
   return "?";
 }
@@ -135,7 +139,7 @@ ChaosCase generate_case(std::uint64_t seed, bool light) {
   ChaosCase chaos_case;
   chaos_case.seed = seed;
   chaos_case.scenario =
-      static_cast<Scenario>(rng.next_below(kScenarioCount));
+      static_cast<Scenario>(rng.next_below(kGeneratedScenarioCount));
   chaos_case.forward_msgs = light ? 6 : 12;
   chaos_case.reverse_msgs = light ? 4 : 8;
   chaos_case.plan.seed = seed;
@@ -146,7 +150,349 @@ ChaosCase generate_case(std::uint64_t seed, bool light) {
   return chaos_case;
 }
 
+ChaosCase make_crash_case(std::uint64_t seed, Scenario scenario, bool light,
+                          bool recovery) {
+  ChaosCase chaos_case;
+  chaos_case.seed = seed;
+  chaos_case.scenario = scenario;
+  chaos_case.recovery = recovery;
+  chaos_case.forward_msgs = light ? 6 : 12;
+  chaos_case.reverse_msgs = light ? 4 : 8;
+  chaos_case.plan.seed = seed;
+  Rule rule;
+  if (scenario == Scenario::kCrashSuspend) {
+    // Every SUS_ACK of the doomed incarnation dies (the resend cadence
+    // would otherwise get a re-ack through), so the active side's suspend
+    // handshake reliably times out before the harness pulls the plug.
+    rule.site = "ctrl.suspend_ack.pre_send";
+  } else {
+    // Every handoff worker of the doomed incarnation dies: the mover's
+    // RESUME is in flight, unanswered, when the controller is killed.
+    rule.site = "redirector.handoff.accept";
+  }
+  rule.hit = 1;
+  rule.count = 1000;  // all hits until disarm (which follows the kill)
+  rule.action = Action::kKill;
+  chaos_case.plan.rules.push_back(rule);
+  return chaos_case;
+}
+
+namespace {
+
+/// Node config for crash cases. A non-empty `durable_dir` gives the node a
+/// journal (only the to-be-crashed server host needs one); recovery-off
+/// cases get the paper's single-shot protocol with tight timeouts so the
+/// expected failure is bounded, never a hang.
+nsock::NodeConfig crash_node_config(const ChaosCase& chaos_case, int i,
+                                    const std::string& durable_dir) {
+  nsock::NodeConfig config;
+  config.controller.security = false;
+  config.server.rudp_config.retransmit_interval = 15ms;
+  config.server.rudp_config.max_attempts = 40;
+  config.server.rudp_config.jitter_seed = chaos_case.seed * 3 + i + 1;
+  config.controller.ctrl_response_timeout = 1s;
+  config.controller.drain_timeout = 1s;
+  if (chaos_case.recovery) {
+    config.controller.failure_recovery.enabled = true;
+    config.controller.failure_recovery.probe_interval = 500ms;
+    config.controller.failure_recovery.probe_timeout = 200ms;
+    // The planned kill must not race the death detector: recovery here is
+    // journal replay serving the peer's retries, not probe-driven abort.
+    config.controller.failure_recovery.miss_threshold = 1000;
+    config.controller.suspend_rollback = true;
+    config.controller.resume_max_attempts = 25;
+    config.controller.resume_retry_backoff = 50ms;
+    config.controller.resume_retry_cap = 400ms;
+    config.controller.resume_timeout = 8s;
+    config.controller.redirector_leases.enabled = true;
+    config.controller.redirector_leases.ttl = 3s;
+    if (!durable_dir.empty()) {
+      config.controller.durability.enabled = true;
+      config.controller.durability.dir = durable_dir;
+      config.controller.durability.compact_every = 8;
+    }
+  } else {
+    config.controller.resume_max_attempts = 1;
+    config.controller.resume_timeout = 3s;
+  }
+  return config;
+}
+
+/// The crash-restart choreography behind Scenario::kCrash*. The server
+/// host (chaos1) is killed — Realm::remove_node, which sends no protocol
+/// messages — and stood up again under the same name; with recovery on,
+/// the new controller replays its durable journal and serves the peer's
+/// retries, and the DeliveryLedger must still balance exactly once. With
+/// recovery off, the same staging must fail CLEANLY: a bounded error and
+/// an abortable session, never a hang.
+ChaosResult run_crash_case(const ChaosCase& chaos_case) {
+  ChaosResult result;
+  const auto fail = [&](const std::string& why) {
+    result.pass = false;
+    result.failure = why;
+    return result;
+  };
+
+  Injector& injector = Injector::instance();
+  injector.disarm();
+
+  const std::string durable_dir =
+      (std::filesystem::temp_directory_path() /
+       ("naplet-chaos-" + std::to_string(chaos_case.seed) + "-" +
+        std::string(to_string(chaos_case.scenario))))
+          .string();
+  std::error_code ec;
+  std::filesystem::remove_all(durable_dir, ec);
+
+  net::SimNet net(chaos_case.seed);
+  net.set_default_link(net::LinkConfig{.latency = 1ms});
+
+  nsock::Realm realm;
+  for (int i = 0; i < 3; ++i) {
+    realm.add_node(node_name(i), net.add_node(node_name(i)),
+                   crash_node_config(chaos_case, i,
+                                     i == 1 ? durable_dir : std::string()));
+  }
+  if (auto st = realm.start(); !st.ok()) {
+    return fail("realm start: " + st.to_string());
+  }
+
+  const agent::AgentId cli("chaos-cli");
+  const agent::AgentId srv("chaos-srv");
+  realm.locations().register_agent(
+      cli, realm.node(node_name(0)).server().node_info());
+  realm.locations().register_agent(
+      srv, realm.node(node_name(1)).server().node_info());
+
+  auto& ctrl0 = realm.node(node_name(0)).controller();
+  auto& ctrl1 = realm.node(node_name(1)).controller();
+  if (auto st = ctrl1.listen(srv); !st.ok()) {
+    return fail("listen: " + st.to_string());
+  }
+  auto client = ctrl0.connect(cli, srv);
+  if (!client.ok()) return fail("connect: " + client.status().to_string());
+  auto server = ctrl1.accept(srv, 5s);
+  if (!server.ok()) return fail("accept: " + server.status().to_string());
+  const std::uint64_t conn = (*client)->conn_id();
+
+  DeliveryLedger ledger;
+  constexpr std::uint64_t kFwd = 0, kRev = 1;
+
+  // Phase A — same traffic shape as run_case: forward delivered live,
+  // reverse left riding toward the suspension buffer.
+  for (int i = 0; i < chaos_case.forward_msgs; ++i) {
+    const std::string body =
+        "f" + std::to_string(i) + "." + std::to_string(chaos_case.seed);
+    if (auto st = (*client)->send(span_of(body), 2s); !st.ok()) {
+      return fail("pre-fault send: " + st.to_string());
+    }
+    ledger.record_sent(kFwd, span_of(body));
+  }
+  for (int i = 0; i < chaos_case.forward_msgs; ++i) {
+    auto got = (*server)->recv(2s);
+    if (!got.ok()) return fail("pre-fault recv: " + got.status().to_string());
+    ledger.record_delivered(kFwd, got->seq,
+                            util::ByteSpan(got->body.data(),
+                                           got->body.size()));
+  }
+  for (int i = 0; i < chaos_case.reverse_msgs; ++i) {
+    const std::string body =
+        "r" + std::to_string(i) + "." + std::to_string(chaos_case.seed);
+    if (auto st = (*server)->send(span_of(body), 2s); !st.ok()) {
+      return fail("reverse send: " + st.to_string());
+    }
+    ledger.record_sent(kRev, span_of(body));
+  }
+  std::this_thread::sleep_for(30ms);
+
+  // The crash: remove the server-host node (no protocol goodbye), then
+  // stand it up again under the same name. Faults are disarmed at the
+  // moment of death — they belong to the doomed incarnation.
+  const auto crash = [&] {
+    realm.remove_node(node_name(1));
+    injector.disarm();
+  };
+  const auto restart = [&]() -> util::Status {
+    auto& node = realm.add_node(node_name(1), net.add_node(node_name(1)),
+                                crash_node_config(chaos_case, 1, durable_dir));
+    NAPLET_RETURN_IF_ERROR(node.start());
+    if (chaos_case.recovery) {
+      NAPLET_RETURN_IF_ERROR(node.controller().recover());
+    }
+    realm.locations().register_agent(srv, node.server().node_info());
+    return util::OkStatus();
+  };
+
+  // Phase B — scenario choreography.
+  int cli_node = 0, srv_node = 1;
+  util::Status staged = util::OkStatus();  // the step expected to fail
+                                           // when recovery is off
+  switch (chaos_case.scenario) {
+    case Scenario::kCrashSuspend: {
+      // The suspend handshake dies (every SUS_ACK killed), then the
+      // server-side controller does. The first migration attempt must
+      // fail; after the restart the retry must find the journaled
+      // passively-suspended session and complete.
+      injector.arm(chaos_case.plan);
+      util::Status first = migrate_agent(realm, cli, 0, 2);
+      if (first.ok()) {
+        injector.disarm();
+        return fail("crash-suspend: first migration succeeded despite the "
+                    "killed SUS_ACKs");
+      }
+      // The failed attempt left the location pending (begin_migration):
+      // cancel by re-registering at the source.
+      realm.locations().register_agent(
+          cli, realm.node(node_name(0)).server().node_info());
+      crash();
+      if (auto st = restart(); !st.ok()) {
+        return fail("restart: " + st.to_string());
+      }
+      staged = migrate_agent(realm, cli, 0, 2);
+      cli_node = 2;
+      break;
+    }
+
+    case Scenario::kCrashResume:
+    case Scenario::kCrashDouble: {
+      // Stage the client's migration cleanly up to the resume, then let
+      // the mover's RESUME hit a redirector whose handoff workers die —
+      // and kill the controller while the RESUME hangs unanswered.
+      realm.locations().begin_migration(cli);
+      if (auto st = ctrl0.prepare_migration(cli); !st.ok()) {
+        return fail("prepare: " + st.to_string());
+      }
+      const util::Bytes blob = ctrl0.export_sessions(cli);
+      auto& node2 = realm.node(node_name(2));
+      if (auto st = node2.controller().import_sessions(
+              cli, util::ByteSpan(blob.data(), blob.size()));
+          !st.ok()) {
+        return fail("import: " + st.to_string());
+      }
+      realm.locations().register_agent(cli, node2.server().node_info());
+      injector.arm(chaos_case.plan);
+      std::thread mover(
+          [&] { staged = node2.controller().complete_migration(cli); });
+      std::this_thread::sleep_for(150ms);
+      crash();
+      util::Status restarted = restart();
+      mover.join();
+      if (!restarted.ok()) {
+        return fail("restart: " + restarted.to_string());
+      }
+      cli_node = 2;
+      if (chaos_case.scenario == Scenario::kCrashDouble &&
+          chaos_case.recovery && staged.ok()) {
+        // A second, fault-free migration on top of the recovered state:
+        // the server hops off the restarted host.
+        if (auto st = migrate_agent(realm, srv, 1, 0); !st.ok()) {
+          return fail("post-recovery server migration: " + st.to_string());
+        }
+        srv_node = 0;
+      }
+      break;
+    }
+
+    default:
+      return fail("not a crash scenario");
+  }
+  injector.disarm();
+
+  if (!chaos_case.recovery) {
+    // The control run: the staged step must fail with a bounded error,
+    // and the surviving half-open session must be abortable — a blocked
+    // application must see ABORTED, not a hang.
+    if (staged.ok()) {
+      return fail("staging succeeded with recovery disabled");
+    }
+    nsock::SessionPtr leftover =
+        realm.node(node_name(2)).controller().session_by_id(conn);
+    if (leftover != nullptr) {
+      realm.node(node_name(2)).controller().abort(leftover);
+      if (leftover->state() != nsock::ConnState::kClosed) {
+        return fail("abort left the session in " +
+                    std::string(nsock::to_string(leftover->state())));
+      }
+    }
+    if (auto st = check_fsm_trace(injector.transitions()); !st.ok()) {
+      return fail(st.to_string());
+    }
+    result.pass = true;
+    result.failure.clear();
+    result.stats = "staged failure (expected): " + staged.to_string();
+    return result;
+  }
+
+  if (!staged.ok()) {
+    return fail("post-restart migration: " + staged.to_string());
+  }
+
+  // Phase C — judgement, identical to run_case: liveness bounds the
+  // re-establishment, then the ledger must balance exactly once ACROSS
+  // THE RESTART.
+  nsock::SessionPtr client2 =
+      realm.node(node_name(cli_node)).controller().session_by_id(conn);
+  nsock::SessionPtr server2 =
+      realm.node(node_name(srv_node)).controller().session_by_id(conn);
+  if (!client2 || !server2) return fail("session lost across restart");
+  if (auto st = await_established(*client2, 8s); !st.ok()) {
+    return fail(st.to_string());
+  }
+  if (auto st = await_established(*server2, 8s); !st.ok()) {
+    return fail(st.to_string());
+  }
+
+  while (true) {
+    auto got = client2->recv(500ms);
+    if (!got.ok()) break;
+    ledger.record_delivered(kRev, got->seq,
+                            util::ByteSpan(got->body.data(),
+                                           got->body.size()));
+  }
+
+  for (int i = 0; i < 2; ++i) {
+    const std::string body = "post" + std::to_string(i);
+    if (auto st = client2->send(span_of(body), 2s); !st.ok()) {
+      return fail("post-restart send: " + st.to_string());
+    }
+    ledger.record_sent(kFwd, span_of(body));
+    auto got = server2->recv(2s);
+    if (!got.ok()) {
+      return fail("post-restart recv: " + got.status().to_string());
+    }
+    ledger.record_delivered(kFwd, got->seq,
+                            util::ByteSpan(got->body.data(),
+                                           got->body.size()));
+  }
+
+  if (auto st = ledger.check(/*require_complete=*/true); !st.ok()) {
+    return fail(st.to_string());
+  }
+  if (auto st = check_fsm_trace(injector.transitions()); !st.ok()) {
+    return fail(st.to_string());
+  }
+
+  const auto counters = net.counters();
+  result.net_datagrams_dropped = counters.datagrams_dropped;
+  const auto cli_stats =
+      realm.node(node_name(cli_node)).controller().stats();
+  const auto srv_stats =
+      realm.node(node_name(srv_node)).controller().stats();
+  result.ctrl_retransmissions =
+      cli_stats.ctrl_retransmissions + srv_stats.ctrl_retransmissions;
+  result.stats = "client: " + cli_stats.to_string() +
+                 "\nserver: " + srv_stats.to_string();
+  result.pass = true;
+  return result;
+}
+
+}  // namespace
+
 ChaosResult run_case(const ChaosCase& chaos_case) {
+  if (is_crash_scenario(chaos_case.scenario)) {
+    return run_crash_case(chaos_case);
+  }
+
   ChaosResult result;
   const auto fail = [&](const std::string& why) {
     result.pass = false;

@@ -23,9 +23,24 @@ enum class Scenario : std::uint8_t {
   kSingleMigration = 0,   ///< client endpoint migrates once
   kDoubleSequential = 1,  ///< client migrates, then the server migrates
   kDoubleOverlapped = 2,  ///< both endpoints migrate concurrently (glare)
+
+  // Crash-restart scenarios: the server-side controller is killed and
+  // restarted from its durable journal mid-protocol. Selected explicitly
+  // (chaos_runner --scenario, tests/recovery) — generate_case never draws
+  // them, so existing seed -> case mappings are unchanged.
+  kCrashSuspend = 3,  ///< controller dies mid-suspend (SUS_ACK killed)
+  kCrashResume = 4,   ///< controller dies while the mover's RESUME retries
+  kCrashDouble = 5,   ///< crash-resume, then a second migration on top
 };
 
-inline constexpr int kScenarioCount = 3;
+inline constexpr int kScenarioCount = 6;
+/// Scenarios generate_case(seed) draws from (the crash scenarios are
+/// opt-in and carry their own staged fault plans).
+inline constexpr int kGeneratedScenarioCount = 3;
+
+[[nodiscard]] constexpr bool is_crash_scenario(Scenario s) noexcept {
+  return static_cast<int>(s) >= kGeneratedScenarioCount;
+}
 
 [[nodiscard]] std::string_view to_string(Scenario scenario) noexcept;
 
@@ -36,6 +51,13 @@ struct ChaosCase {
   int forward_msgs = 12;  ///< client -> server, delivered live pre-fault
   int reverse_msgs = 8;   ///< server -> client, left in flight across the
                           ///< migration so the resume replay path is hot
+
+  /// Crash scenarios only: true runs with the full recovery stack (durable
+  /// journal, resume retries, suspend rollback, leases) and the migration
+  /// must complete exactly-once across the restart; false disables all of
+  /// it and the same staging must fail CLEANLY — a bounded error, not a
+  /// hang or an oracle violation.
+  bool recovery = true;
 };
 
 struct ChaosResult {
@@ -57,6 +79,12 @@ struct ChaosResult {
 /// delays, duplicated control messages, killed handoff workers) so a FAIL
 /// from a generated case is always a protocol bug, never an impossible ask.
 [[nodiscard]] ChaosCase generate_case(std::uint64_t seed, bool light);
+
+/// Build a crash-restart case: the scenario-specific staged fault plan
+/// (killed SUS_ACK / killed handoff worker) plus the kill-and-restart
+/// choreography run_case performs for crash scenarios.
+[[nodiscard]] ChaosCase make_crash_case(std::uint64_t seed, Scenario scenario,
+                                        bool light, bool recovery);
 
 /// Execute one case end to end: establish, pump traffic, arm the plan, run
 /// the migrations, disarm, then judge with the delivery ledger, the FSM

@@ -56,10 +56,14 @@ Endpoint ReliableChannel::local_endpoint() const {
 }
 
 util::Status ReliableChannel::send(const Endpoint& dest,
-                                   util::ByteSpan payload) {
+                                   util::ByteSpan payload,
+                                   util::Duration max_wait) {
   if (closed_.load()) return util::Cancelled("channel closed");
   const std::uint64_t seq = next_seq_.fetch_add(1);
   const util::Bytes packet = encode_packet(kTypeData, seq, payload);
+
+  const bool bounded = max_wait.count() > 0;
+  const auto hard_deadline = std::chrono::steady_clock::now() + max_wait;
 
   {
     util::MutexLock lock(mu_);
@@ -67,6 +71,10 @@ util::Status ReliableChannel::send(const Endpoint& dest,
   }
 
   for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    if (bounded && attempt > 0 &&
+        std::chrono::steady_clock::now() >= hard_deadline) {
+      break;  // caller's budget exhausted; report timeout below
+    }
     if (attempt > 0) retransmissions_.fetch_add(1);
     bool suppressed = false;
     if (fault::armed()) {
@@ -90,8 +98,9 @@ util::Status ReliableChannel::send(const Endpoint& dest,
       // packet: retransmission handles it.
     }
 
-    const auto deadline =
+    auto deadline =
         std::chrono::steady_clock::now() + backoff_interval(attempt);
+    if (bounded && hard_deadline < deadline) deadline = hard_deadline;
     util::MutexLock lock(mu_);
     while (pending_acks_.contains(seq) && !closed_.load()) {
       if (acked_cv_.wait_until(mu_, deadline) == std::cv_status::timeout) {

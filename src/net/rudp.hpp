@@ -49,8 +49,12 @@ class ReliableChannel {
   ReliableChannel& operator=(const ReliableChannel&) = delete;
 
   /// Send `payload` reliably; blocks until ACKed (Ok), attempts exhausted
-  /// (kTimeout), or the channel is closed (kCancelled).
-  util::Status send(const Endpoint& dest, util::ByteSpan payload);
+  /// (kTimeout), or the channel is closed (kCancelled). A non-zero
+  /// `max_wait` additionally caps the total blocking time — attempts still
+  /// in the schedule when it expires are abandoned (kTimeout). Liveness
+  /// probes use this so one dead peer cannot stall a probe round.
+  util::Status send(const Endpoint& dest, util::ByteSpan payload,
+                    util::Duration max_wait = {});
 
   struct Message {
     Endpoint from;

@@ -1,0 +1,167 @@
+// Crash durability for the migration control plane: an fsync'd
+// append-only write-ahead journal of session state at protocol commit
+// points, plus the DurableStore that coordinates journal + snapshot into
+// a recoverable session map with monotonic incarnation epochs.
+//
+// Layout on disk (all integers big-endian, via BytesWriter):
+//
+//   journal header:  u32 magic 'NPLJ' | u32 version | u64 epoch |
+//                    u32 crc32(first 16 bytes)
+//   journal record:  u32 body_len | body | u32 crc32(body)
+//     body:          u8 commit point | u64 conn_id | raw session blob
+//
+// Replay stops at the first truncated or CRC-corrupt record and reports
+// `truncated` instead of failing — a torn tail is the expected shape of a
+// crash mid-append, and everything before it is still authoritative.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/status.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace naplet::recovery {
+
+/// CRC-32 (IEEE 802.3, reflected) over a byte span. Local table-based
+/// implementation so the journal has no external dependencies.
+[[nodiscard]] std::uint32_t crc32(util::ByteSpan data) noexcept;
+
+/// The protocol points at which session state is durably recorded
+/// (ISSUE: connect established, suspend committed, drain complete,
+/// resume committed, close; plus migration import/export).
+enum class CommitPoint : std::uint8_t {
+  kConnectEstablished = 1,
+  kSuspendCommitted = 2,
+  kDrainComplete = 3,
+  kResumeCommitted = 4,
+  kImported = 5,
+  kDeparted = 6,  // session exported away from this controller
+  kClosed = 7,
+};
+
+[[nodiscard]] std::string_view to_string(CommitPoint point) noexcept;
+
+/// Whether this commit point removes the connection from the live set
+/// (the session no longer belongs to this controller after it).
+[[nodiscard]] constexpr bool is_removal(CommitPoint point) noexcept {
+  return point == CommitPoint::kDeparted || point == CommitPoint::kClosed;
+}
+
+struct JournalRecord {
+  CommitPoint point = CommitPoint::kConnectEstablished;
+  std::uint64_t conn_id = 0;
+  util::Bytes payload;  // opaque session blob (Session::export_state)
+};
+
+/// Result of replaying a journal file from disk.
+struct ReplayResult {
+  std::uint64_t epoch = 0;
+  std::vector<JournalRecord> records;
+  /// True when the file ended in a torn or corrupt record; `records`
+  /// holds everything up to (not including) the bad record.
+  bool truncated = false;
+  std::string note;  // human-readable description of the damage, if any
+};
+
+/// Append-only fsync'd journal file. Not internally synchronized; the
+/// DurableStore serializes access.
+class Journal {
+ public:
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Create (truncating any existing file) a journal stamped with `epoch`.
+  static util::StatusOr<std::unique_ptr<Journal>> open(
+      const std::string& path, std::uint64_t epoch);
+
+  /// Append one record and fsync before returning.
+  util::Status append(const JournalRecord& record);
+
+  /// Read a journal file back. kNotFound when absent, kProtocolError when
+  /// the header itself is damaged; a damaged record merely truncates.
+  static util::StatusOr<ReplayResult> replay(const std::string& path);
+
+  [[nodiscard]] std::uint64_t appended() const noexcept { return appended_; }
+
+ private:
+  Journal(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  int fd_ = -1;
+  std::string path_;
+  std::uint64_t appended_ = 0;
+};
+
+struct DurableStoreOptions {
+  std::string dir;
+  /// Rewrite the snapshot and reset the journal every N appends.
+  std::uint64_t compact_every = 64;
+};
+
+/// Coordinates snapshot + journal under one directory. open() merges the
+/// last snapshot with the journal tail into the recovered session map and
+/// bumps the incarnation epoch past everything seen on disk, so each
+/// process lifetime is distinguishable on the wire.
+class DurableStore {
+ public:
+  explicit DurableStore(DurableStoreOptions options);
+
+  /// Load (or initialize) the store; must be called before record().
+  util::Status open();
+
+  /// Durably record `blob` (or a removal) for `conn_id` at `point`.
+  util::Status record(CommitPoint point, std::uint64_t conn_id,
+                      util::ByteSpan blob);
+
+  /// Fold the live map into a fresh snapshot and reset the journal.
+  util::Status compact();
+
+  /// This process's incarnation epoch: max(epoch on disk) + 1.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+  /// Sessions recovered from disk by open(): conn_id -> session blob.
+  [[nodiscard]] std::map<std::uint64_t, util::Bytes> recovered() const;
+
+  /// True when open() found corruption and fell back to the last valid
+  /// prefix (snapshot + intact journal head).
+  [[nodiscard]] bool degraded() const noexcept { return degraded_; }
+  [[nodiscard]] const std::string& degraded_note() const noexcept {
+    return degraded_note_;
+  }
+
+  [[nodiscard]] std::uint64_t records_written() const noexcept {
+    return records_written_;
+  }
+  [[nodiscard]] std::uint64_t compactions() const noexcept {
+    return compactions_;
+  }
+
+  [[nodiscard]] std::string journal_path() const;
+  [[nodiscard]] std::string snapshot_path() const;
+
+ private:
+  util::Status compact_locked() NAPLET_REQUIRES(mu_);
+
+  DurableStoreOptions options_;
+
+  // Leaf lock: record() is called after session blobs are produced, never
+  // while holding controller or session locks.
+  mutable util::Mutex mu_{util::LockRank::kUnranked, "durable_store"};
+  std::unique_ptr<Journal> journal_ NAPLET_GUARDED_BY(mu_);
+  std::map<std::uint64_t, util::Bytes> live_ NAPLET_GUARDED_BY(mu_);
+  std::uint64_t appends_since_compact_ NAPLET_GUARDED_BY(mu_) = 0;
+  std::uint64_t records_written_ = 0;
+  std::uint64_t compactions_ = 0;
+
+  std::uint64_t epoch_ = 0;
+  bool degraded_ = false;
+  std::string degraded_note_;
+};
+
+}  // namespace naplet::recovery

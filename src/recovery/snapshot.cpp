@@ -1,0 +1,119 @@
+#include "recovery/snapshot.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "recovery/journal.hpp"
+
+namespace naplet::recovery {
+namespace {
+
+constexpr std::uint32_t kSnapshotMagic = 0x4E504C53;  // 'NPLS'
+constexpr std::uint32_t kSnapshotVersion = 1;
+
+}  // namespace
+
+util::Status Snapshot::write(const std::string& path,
+                             const SnapshotData& data) {
+  util::BytesWriter w;
+  w.u32(kSnapshotMagic);
+  w.u32(kSnapshotVersion);
+  w.u64(data.epoch);
+  w.u32(static_cast<std::uint32_t>(data.sessions.size()));
+  for (const auto& [conn_id, blob] : data.sessions) {
+    w.u64(conn_id);
+    w.bytes(blob);
+  }
+  w.u32(crc32(w.data()));
+
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return util::IoError("open " + tmp + ": " + std::strerror(errno));
+  }
+  const util::Bytes& buf = w.data();
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t n = ::write(fd, buf.data() + off, buf.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return util::IoError(std::string("snapshot write: ") +
+                           std::strerror(saved));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return util::IoError(std::string("fsync snapshot: ") +
+                         std::strerror(saved));
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    return util::IoError("rename snapshot: " +
+                         std::string(std::strerror(saved)));
+  }
+  return util::OkStatus();
+}
+
+util::StatusOr<SnapshotData> Snapshot::read(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::NotFound("no snapshot at " + path);
+  util::Bytes raw((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  if (raw.size() < 4 + 4 + 8 + 4 + 4) {
+    return util::ProtocolError("snapshot truncated");
+  }
+
+  // Trailing CRC covers everything before it.
+  const util::ByteSpan covered(raw.data(), raw.size() - 4);
+  util::BytesReader tail(util::ByteSpan(raw.data() + raw.size() - 4, 4));
+  const auto stored_crc = tail.u32();
+  if (!stored_crc.ok() || *stored_crc != crc32(covered)) {
+    return util::ProtocolError("snapshot CRC mismatch");
+  }
+
+  util::BytesReader r(covered);
+  const auto magic = r.u32();
+  const auto version = r.u32();
+  const auto epoch = r.u64();
+  const auto count = r.u32();
+  if (!magic.ok() || *magic != kSnapshotMagic) {
+    return util::ProtocolError("bad snapshot magic");
+  }
+  if (!version.ok() || *version != kSnapshotVersion) {
+    return util::ProtocolError("unsupported snapshot version");
+  }
+  if (!epoch.ok() || !count.ok()) {
+    return util::ProtocolError("snapshot header truncated");
+  }
+
+  SnapshotData data;
+  data.epoch = *epoch;
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    const auto conn_id = r.u64();
+    auto blob = r.bytes();
+    if (!conn_id.ok() || !blob.ok()) {
+      return util::ProtocolError("snapshot entry truncated");
+    }
+    data.sessions[*conn_id] = std::move(*blob);
+  }
+  if (r.remaining() != 0) {
+    return util::ProtocolError("trailing snapshot bytes");
+  }
+  return data;
+}
+
+}  // namespace naplet::recovery

@@ -1,0 +1,33 @@
+// Point-in-time checkpoint of the durable session map, written atomically
+// (tmp file + fsync + rename) so a crash mid-compaction leaves the old
+// snapshot intact.
+//
+//   u32 magic 'NPLS' | u32 version | u64 epoch | u32 count |
+//   count x (u64 conn_id | bytes session blob) | u32 crc32(everything above)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/bytes.hpp"
+#include "util/status.hpp"
+
+namespace naplet::recovery {
+
+struct SnapshotData {
+  std::uint64_t epoch = 0;
+  std::map<std::uint64_t, util::Bytes> sessions;
+};
+
+class Snapshot {
+ public:
+  /// Atomically replace the snapshot at `path`.
+  static util::Status write(const std::string& path, const SnapshotData& data);
+
+  /// kNotFound when absent, kProtocolError on any corruption (bad magic,
+  /// truncation, CRC mismatch) — the caller decides how to degrade.
+  static util::StatusOr<SnapshotData> read(const std::string& path);
+};
+
+}  // namespace naplet::recovery

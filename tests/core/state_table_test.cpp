@@ -2,7 +2,7 @@
 // Figure 3). Three layers:
 //
 //  * a golden table of every legal arc, checked cell-by-cell against
-//    transition() over the full 14x22 grid — any added, removed, or
+//    transition() over the full 14x23 grid — any added, removed, or
 //    redirected arc fails here by name;
 //  * a reachability sweep proving every state is reachable from kClosed
 //    through legal arcs alone;
@@ -38,7 +38,7 @@ std::vector<E> all_events() {
 }
 
 /// Every legal arc, transcribed from the protocol description — not from
-/// the implementation. 39 arcs; all other (state, event) pairs are illegal.
+/// the implementation. 40 arcs; all other (state, event) pairs are illegal.
 const std::map<std::pair<S, E>, S>& golden_table() {
   static const std::map<std::pair<S, E>, S> table = {
       // CLOSED
@@ -65,6 +65,7 @@ const std::map<std::pair<S, E>, S>& golden_table() {
       {{S::kSusSent, E::kRecvAckWait}, S::kSuspendWait},
       {{S::kSusSent, E::kRecvSus}, S::kSusSent},  // overlapped migration
       {{S::kSusSent, E::kTimeout}, S::kSuspended},
+      {{S::kSusSent, E::kSuspendAbort}, S::kEstablished},  // rollback
       // SUS_ACKED
       {{S::kSusAcked, E::kExecSuspended}, S::kSuspended},
       // SUSPEND_WAIT
@@ -100,7 +101,7 @@ const std::map<std::pair<S, E>, S>& golden_table() {
 
 TEST(StateTable, EveryCellMatchesGoldenTable) {
   const auto& golden = golden_table();
-  ASSERT_EQ(golden.size(), 39u);
+  ASSERT_EQ(golden.size(), 40u);
   int legal = 0;
   for (S s : all_states()) {
     for (E e : all_events()) {
@@ -121,7 +122,7 @@ TEST(StateTable, EveryCellMatchesGoldenTable) {
       }
     }
   }
-  EXPECT_EQ(legal, 39);
+  EXPECT_EQ(legal, 40);
 }
 
 /// Shortest legal event path from kClosed to each state.

@@ -20,6 +20,7 @@ TEST(CtrlMsg, RoundTripAllFields) {
   CtrlMsg msg;
   msg.type = CtrlType::kConnect;
   msg.conn_id = 0xABCDEF;
+  msg.epoch = 11;
   msg.verifier = 42;
   msg.sent_seq = 777;
   msg.client_agent = "client-a";
@@ -35,6 +36,7 @@ TEST(CtrlMsg, RoundTripAllFields) {
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded->type, msg.type);
   EXPECT_EQ(decoded->conn_id, msg.conn_id);
+  EXPECT_EQ(decoded->epoch, msg.epoch);
   EXPECT_EQ(decoded->verifier, msg.verifier);
   EXPECT_EQ(decoded->sent_seq, msg.sent_seq);
   EXPECT_EQ(decoded->client_agent, msg.client_agent);
@@ -107,6 +109,7 @@ TEST(HandoffMsg, RoundTrip) {
   HandoffMsg msg;
   msg.type = HandoffType::kResume;
   msg.conn_id = 123;
+  msg.epoch = 6;
   msg.verifier = 456;
   msg.sent_seq = 789;
   msg.recv_seq = 777;
@@ -120,6 +123,7 @@ TEST(HandoffMsg, RoundTrip) {
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded->type, msg.type);
   EXPECT_EQ(decoded->conn_id, msg.conn_id);
+  EXPECT_EQ(decoded->epoch, msg.epoch);
   EXPECT_EQ(decoded->verifier, msg.verifier);
   EXPECT_EQ(decoded->sent_seq, msg.sent_seq);
   EXPECT_EQ(decoded->recv_seq, msg.recv_seq);
@@ -171,6 +175,7 @@ TEST_P(DecoderFuzz, BitFlipsNeverRoundTripSilently) {
     // i.e. the decode is honest, not silently corrupting other fields.
     const bool differs = decoded->type != msg.type ||
                          decoded->conn_id != msg.conn_id ||
+                         decoded->epoch != msg.epoch ||
                          decoded->sent_seq != msg.sent_seq ||
                          decoded->client_agent != msg.client_agent ||
                          decoded->mac != msg.mac ||

@@ -13,6 +13,13 @@
 //                                            scripted plan, explicit
 //                                            scenario (plan replaces the
 //                                            generated one)
+//   chaos_runner --scenario 3 --seed 5       crash-restart scenario (3 =
+//                                            crash-suspend, 4 = crash-
+//                                            resume, 5 = crash-double)
+//                                            with the recovery stack on
+//   chaos_runner --scenario 4 --no-recovery  the control: same crash, all
+//                                            recovery off — must fail
+//                                            cleanly, not hang
 //   chaos_runner --list-sites                print every injection site
 //
 // Every failure line carries the seed that reproduces it. Exit code is the
@@ -31,8 +38,8 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--runs N] [--light] [--plan RULES]\n"
-               "          [--scenario 0|1|2] [--plant-dup] [--minimize]\n"
-               "          [--list-sites] [--verbose]\n",
+               "          [--scenario 0..5] [--no-recovery] [--plant-dup]\n"
+               "          [--minimize] [--list-sites] [--verbose]\n",
                argv0);
 }
 
@@ -45,6 +52,7 @@ int main(int argc, char** argv) {
   bool plant_dup = false;
   bool minimize = false;
   bool verbose = false;
+  bool recovery = true;
   int scenario = -1;
   std::string plan_text;
 
@@ -67,6 +75,8 @@ int main(int argc, char** argv) {
       plan_text = next();
     } else if (arg == "--scenario") {
       scenario = std::atoi(next());
+    } else if (arg == "--no-recovery") {
+      recovery = false;
     } else if (arg == "--plant-dup") {
       plant_dup = true;
     } else if (arg == "--minimize") {
@@ -91,8 +101,18 @@ int main(int argc, char** argv) {
   int failures = 0;
   for (int run = 0; run < runs; ++run) {
     const std::uint64_t case_seed = seed + static_cast<std::uint64_t>(run);
+    if (scenario >= naplet::fault::kScenarioCount) {
+      std::fprintf(stderr, "bad --scenario: %d\n", scenario);
+      return 2;
+    }
+    const bool crash =
+        scenario >= 0 && naplet::fault::is_crash_scenario(
+                             static_cast<naplet::fault::Scenario>(scenario));
     naplet::fault::ChaosCase chaos_case =
-        naplet::fault::generate_case(case_seed, light);
+        crash ? naplet::fault::make_crash_case(
+                    case_seed, static_cast<naplet::fault::Scenario>(scenario),
+                    light, recovery)
+              : naplet::fault::generate_case(case_seed, light);
     if (!plan_text.empty()) {
       auto parsed = naplet::fault::Plan::parse(plan_text);
       if (!parsed.ok()) {
@@ -103,11 +123,7 @@ int main(int argc, char** argv) {
       chaos_case.plan = std::move(*parsed);
       chaos_case.plan.seed = case_seed;
     }
-    if (scenario >= 0) {
-      if (scenario >= naplet::fault::kScenarioCount) {
-        std::fprintf(stderr, "bad --scenario: %d\n", scenario);
-        return 2;
-      }
+    if (scenario >= 0 && !crash) {
       chaos_case.scenario =
           static_cast<naplet::fault::Scenario>(scenario);
     }
