@@ -10,6 +10,7 @@
 
 #include "bench/bench_util.hpp"
 #include "net/sim.hpp"
+#include "obs/metrics.hpp"
 
 namespace naplet::bench {
 namespace {
@@ -80,6 +81,10 @@ struct RestartResult {
   bool ok = false;
   double restart_recovery_ms = 0;
   std::uint64_t resume_retries = 0;
+  // Per-phase latency histograms for the crash-restart migration: suspend
+  // and drain run on the origin (node0), handoff and resume on the mover's
+  // new host (node2). Merged into one snapshot per phase name.
+  obs::Snapshot phases;
 };
 
 nsock::NodeConfig restart_node_config(const std::string& durable_dir) {
@@ -170,6 +175,16 @@ RestartResult run_restart() {
   result.restart_recovery_ms = sw.elapsed_ms();
   result.resume_retries = realm.node("node2").controller().resume_retries();
 
+  // Suspend/drain were recorded on node0, handoff/resume on node2; every
+  // controller registers the same instruments, so merging the same-named
+  // histograms yields one per-phase view of the whole migration.
+  result.phases = realm.node("node0").controller().metrics().snapshot();
+  const obs::Snapshot mover =
+      realm.node("node2").controller().metrics().snapshot();
+  for (auto& hist : result.phases.histograms) {
+    if (const auto* other = mover.histogram(hist.name)) hist.merge(*other);
+  }
+
   realm.stop();
   fs::remove_all(dir);
   return result;
@@ -238,25 +253,42 @@ int main(int argc, char** argv) {
               restart.ok ? "PASS" : "FAIL");
 
   if (json_flag(argc, argv)) {
-    write_json_file(
-        "BENCH_ext_failure_recovery.json",
-        JsonObject()
-            .field("bench", std::string("ext_failure_recovery"))
-            .field("failures", static_cast<std::uint64_t>(failures))
-            .field("attempted", static_cast<std::uint64_t>(total))
-            .field("delivered_recovery_off",
-                   static_cast<std::uint64_t>(off.delivered))
-            .field("delivered_recovery_on",
-                   static_cast<std::uint64_t>(on.delivered))
-            .field("repairs_off", off.repairs)
-            .field("repairs_on", on.repairs)
-            .field("elapsed_ms_off", off.elapsed_ms)
-            .field("elapsed_ms_on", on.elapsed_ms)
-            .field("steady_state_ms_off", off_ms)
-            .field("steady_state_ms_on", on_ms)
-            .field("restart_recovery_ms", restart.restart_recovery_ms)
-            .field("resume_retries", restart.resume_retries)
-            .render());
+    JsonObject obj;
+    obj.field("bench", std::string("ext_failure_recovery"))
+        .field("failures", static_cast<std::uint64_t>(failures))
+        .field("attempted", static_cast<std::uint64_t>(total))
+        .field("delivered_recovery_off",
+               static_cast<std::uint64_t>(off.delivered))
+        .field("delivered_recovery_on",
+               static_cast<std::uint64_t>(on.delivered))
+        .field("repairs_off", off.repairs)
+        .field("repairs_on", on.repairs)
+        .field("elapsed_ms_off", off.elapsed_ms)
+        .field("elapsed_ms_on", on.elapsed_ms)
+        .field("steady_state_ms_off", off_ms)
+        .field("steady_state_ms_on", on_ms)
+        .field("restart_recovery_ms", restart.restart_recovery_ms)
+        .field("resume_retries", restart.resume_retries);
+    // Per-phase percentiles of the crash-restart migration, from the merged
+    // origin+mover controller histograms.
+    const std::pair<const char*, const char*> kPhases[] = {
+        {"suspend", "nsock_suspend_latency_us"},
+        {"drain", "nsock_drain_time_us"},
+        {"handoff", "nsock_handoff_time_us"},
+        {"resume", "nsock_resume_latency_us"},
+    };
+    for (const auto& [label, name] : kPhases) {
+      const auto* h = restart.phases.histogram(name);
+      if (h == nullptr) continue;
+      obj.raw(label, JsonObject()
+                         .field("count", h->count)
+                         .field("mean_us", h->mean())
+                         .field("p50_us", h->percentile(50))
+                         .field("p95_us", h->percentile(95))
+                         .field("p99_us", h->percentile(99))
+                         .render());
+    }
+    write_json_file("BENCH_ext_failure_recovery.json", obj.render());
   }
   return 0;
 }

@@ -4,7 +4,13 @@
 //
 // Paper: suspend 27.8 ms, resume 16.9 ms (handshaking ≈50% and ≈70% of
 // those); close+reopen ≈147 ms vs suspend+resume < 1/3 of that.
+//
+// With --json, also emits per-phase p50/p95/p99 pulled from the
+// controller's metric histograms (suspend latency, drain, handoff, resume,
+// and the connect breakdown) — the EXPERIMENTS.md migration-latency-
+// breakdown recipe reads these.
 #include "bench/bench_util.hpp"
+#include "obs/metrics.hpp"
 
 namespace naplet::bench {
 namespace {
@@ -13,6 +19,7 @@ struct Costs {
   double suspend_ms;
   double resume_ms;
   double close_reopen_ms;
+  obs::Snapshot metrics;  // mover-side registry after the sweep
 };
 
 Costs measure(int iterations) {
@@ -56,13 +63,41 @@ Costs measure(int iterations) {
     (void)realm.ctrl(0).close(*reconn);
   }
 
-  return {mean(suspend_ms), mean(resume_ms), mean(close_reopen_ms)};
+  return {mean(suspend_ms), mean(resume_ms), mean(close_reopen_ms),
+          realm.ctrl(0).metrics().snapshot()};
+}
+
+/// The per-phase histograms worth breaking out (all in microseconds).
+const std::vector<std::pair<std::string, std::string>>& phase_histograms() {
+  static const std::vector<std::pair<std::string, std::string>> kPhases = {
+      {"suspend", "nsock_suspend_latency_us"},
+      {"drain", "nsock_drain_time_us"},
+      {"handoff", "nsock_handoff_time_us"},
+      {"resume", "nsock_resume_latency_us"},
+      {"connect_total", "nsock_connect_total_us"},
+      {"connect_management", "nsock_connect_management_us"},
+      {"connect_security", "nsock_connect_security_us"},
+      {"connect_key_exchange", "nsock_connect_key_exchange_us"},
+      {"connect_handshake", "nsock_connect_handshake_us"},
+      {"connect_open_socket", "nsock_connect_open_socket_us"},
+  };
+  return kPhases;
+}
+
+std::string phase_json(const obs::HistogramSnapshot& h) {
+  return JsonObject()
+      .field("count", h.count)
+      .field("mean_us", h.mean())
+      .field("p50_us", h.percentile(50))
+      .field("p95_us", h.percentile(95))
+      .field("p99_us", h.percentile(99))
+      .render();
 }
 
 }  // namespace
 }  // namespace naplet::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace naplet::bench;
   const int iterations = fast_mode() ? 10 : 100;
 
@@ -81,11 +116,39 @@ int main() {
   print_row({"suspend+resume", fmt(migrate_cost, 3)});
   print_row({"close+reopen", fmt(costs.close_reopen_ms, 3)});
 
+  // Phase breakdown from the controller's own histograms: where each
+  // operation's time actually goes (paper §4.2 attributes ~50%/~70% of
+  // suspend/resume to handshaking; the connect_* rows replot Fig. 9).
+  print_header("Migration phase breakdown (controller histograms, µs)",
+               {"phase", "count", "p50", "p95", "p99"});
+  for (const auto& [label, name] : phase_histograms()) {
+    const auto* h = costs.metrics.histogram(name);
+    if (h == nullptr || h->count == 0) continue;
+    print_row({label, std::to_string(h->count), fmt(h->percentile(50), 0),
+               fmt(h->percentile(95), 0), fmt(h->percentile(99), 0)});
+  }
+
   std::printf("\nshape checks:\n");
   std::printf("  suspend+resume < close+reopen : %s (%.3f < %.3f)\n",
               migrate_cost < costs.close_reopen_ms ? "PASS" : "FAIL",
               migrate_cost, costs.close_reopen_ms);
   std::printf("  ratio suspend+resume / close+reopen = %.2f  (paper: < 0.33)\n",
               migrate_cost / costs.close_reopen_ms);
+
+  if (json_flag(argc, argv)) {
+    JsonObject obj;
+    obj.field("bench", std::string("ops_suspend_resume"))
+        .field("iterations", static_cast<std::uint64_t>(iterations))
+        .field("suspend_ms", costs.suspend_ms)
+        .field("resume_ms", costs.resume_ms)
+        .field("suspend_resume_ms", migrate_cost)
+        .field("close_reopen_ms", costs.close_reopen_ms);
+    for (const auto& [label, name] : phase_histograms()) {
+      const auto* h = costs.metrics.histogram(name);
+      if (h == nullptr) continue;
+      obj.raw(label, phase_json(*h));
+    }
+    write_json_file("BENCH_ops_suspend_resume.json", obj.render());
+  }
   return 0;
 }

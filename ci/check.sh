@@ -8,6 +8,7 @@
 #   3. Tsan build + `ctest -L tsan`   (pinned light concurrency sweep)
 #      + `ctest -L faults`            (fault-injection suite under TSan)
 #      + `ctest -L recovery`          (crash-restart recovery under TSan)
+#      + `ctest -L obs`              (observability suite under TSan)
 #   4. run-clang-tidy over src/       (bugprone / concurrency / performance)
 #   5. clang-format --dry-run         (check-only; no reformatting)
 #
@@ -67,6 +68,7 @@ if [ "$SKIP_TSAN" -eq 0 ]; then
   ctest --test-dir build-tsan -L tsan --output-on-failure -j "$JOBS"
   ctest --test-dir build-tsan -L faults --output-on-failure -j "$JOBS"
   ctest --test-dir build-tsan -L recovery --output-on-failure -j "$JOBS"
+  ctest --test-dir build-tsan -L obs --output-on-failure -j "$JOBS"
 else
   skip "--skip-tsan"
 fi

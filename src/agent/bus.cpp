@@ -16,6 +16,14 @@ ServerBus::~ServerBus() {
 void ServerBus::stop() {
   if (stopped_.exchange(true)) return;
   channel_->close();
+  // Handlers point into the controller and agent server, and callers tear
+  // those down right after stop() returns — so an in-flight dispatch (e.g.
+  // a passive drain blocked inside handle_sus) must finish first. Skip the
+  // join when a handler itself initiated the stop.
+  if (dispatcher_.joinable() &&
+      dispatcher_.get_id() != std::this_thread::get_id()) {
+    dispatcher_.join();
+  }
 }
 
 void ServerBus::subscribe(BusKind kind, Handler handler) {

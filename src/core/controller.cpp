@@ -46,7 +46,32 @@ std::string ctrl_site(CtrlType type, std::string_view stage) {
 
 SocketController::SocketController(agent::AgentServer& server,
                                    ControllerConfig config)
-    : server_(server), config_(config) {}
+    : server_(server),
+      config_(config),
+      mac_rejections_(registry_.counter("mac_rejections")),
+      access_denials_(registry_.counter("access_denials")),
+      links_repaired_(registry_.counter("links_repaired")),
+      peers_declared_dead_(registry_.counter("peers_declared_dead")),
+      sessions_recovered_(registry_.counter("sessions_recovered")),
+      resume_retries_(registry_.counter("resume_retries")),
+      epoch_fenced_(registry_.counter("epoch_fenced")),
+      hist_suspend_us_(registry_.histogram("nsock_suspend_latency_us")),
+      hist_drain_us_(registry_.histogram("nsock_drain_time_us")),
+      hist_handoff_us_(registry_.histogram("nsock_handoff_time_us")),
+      hist_resume_us_(registry_.histogram("nsock_resume_latency_us")),
+      hist_replay_bytes_(
+          registry_.histogram("nsock_replayed_buffer_bytes", "bytes")),
+      hist_connect_total_us_(registry_.histogram("nsock_connect_total_us")),
+      hist_connect_management_us_(
+          registry_.histogram("nsock_connect_management_us")),
+      hist_connect_security_us_(
+          registry_.histogram("nsock_connect_security_us")),
+      hist_connect_key_exchange_us_(
+          registry_.histogram("nsock_connect_key_exchange_us")),
+      hist_connect_handshake_us_(
+          registry_.histogram("nsock_connect_handshake_us")),
+      hist_connect_open_us_(
+          registry_.histogram("nsock_connect_open_socket_us")) {}
 
 SocketController::~SocketController() { stop(); }
 
@@ -75,6 +100,7 @@ util::Status SocketController::start() {
         on_handoff(std::move(stream), std::move(msg));
       },
       config_.redirector_leases);
+  redirector_->set_host_label(server_.node_info().server_name);
   NAPLET_RETURN_IF_ERROR(redirector_->start());
 
   server_.bus().subscribe(
@@ -82,6 +108,9 @@ util::Status SocketController::start() {
       [this](const net::Endpoint& from, util::ByteSpan payload) {
         on_ctrl(from, payload);
       });
+  server_.bus().channel().bind_metrics(
+      &registry_.histogram("rudp_rtt_us"),
+      &registry_.histogram("rudp_retransmits_per_send", "count"));
   server_.set_redirector_endpoint(redirector_->endpoint());
   server_.set_migrator(this);
   server_.register_service(kServiceName, this);
@@ -169,6 +198,11 @@ util::Status SocketController::send_session_ctrl(const net::Endpoint& dest,
   // Sender identity rides in client_agent for post-setup messages so the
   // receiver can address the right endpoint's session (it is MAC-covered).
   msg.client_agent = session.local_agent().name();
+  // Default trace attribution: this session's own migration. Handlers that
+  // reply to the PEER's migration set msg.trace_id explicitly beforehand.
+  if (msg.trace_id == 0) msg.trace_id = session.trace_id();
+  session.recorder().record(obs::FlightRecorder::Kind::kCtrlSend,
+                            static_cast<std::uint8_t>(msg.type), 0, 0);
   return send_ctrl(dest, msg,
                    util::ByteSpan(session.session_key().data(),
                                   session.session_key().size()),
@@ -235,6 +269,17 @@ void SocketController::remove_session(const SessionPtr& session) {
 
 void SocketController::journal_commit(recovery::CommitPoint point,
                                       const SessionPtr& session) {
+  // The span marks the commit POINT being reached; it is emitted even when
+  // durability is off so traces have the same shape either way. Drain
+  // commits belong to the peer's migration trace; the rest to our own.
+  const std::uint64_t trace =
+      point == recovery::CommitPoint::kDrainComplete
+          ? (session->peer_trace_id() != 0 ? session->peer_trace_id()
+                                           : session->trace_id())
+          : (session->trace_id() != 0 ? session->trace_id()
+                                      : session->peer_trace_id());
+  span(trace, obs::SpanKind::kJournalCommit, *session,
+       std::string(to_string(point)));
   if (!store_) return;
   // Serialize outside any lock: export_state takes the session's own locks
   // and the store serializes its file writes itself.
@@ -258,9 +303,35 @@ void SocketController::journal_remove(recovery::CommitPoint point,
   }
 }
 
+void SocketController::span(std::uint64_t trace_id, obs::SpanKind kind,
+                            const Session& session, std::string detail,
+                            std::uint64_t value) const {
+  if (trace_id == 0) return;
+  obs::SpanEvent ev;
+  ev.trace_id = trace_id;
+  ev.kind = kind;
+  ev.conn_id = session.conn_id();
+  ev.host = server_.node_info().server_name;
+  ev.detail = std::move(detail);
+  ev.value = value;
+  obs::TraceSink::instance().record(std::move(ev));
+}
+
+std::string SocketController::recorder_dumps() const {
+  std::vector<SessionPtr> sessions;
+  {
+    util::MutexLock lock(mu_);
+    sessions.reserve(sessions_.size());
+    for (const auto& [key, session] : sessions_) sessions.push_back(session);
+  }
+  std::string out;
+  for (const auto& session : sessions) out += session->recorder().dump();
+  return out;
+}
+
 bool SocketController::admit_epoch(Session& session, const CtrlMsg& msg) {
   if (session.admit_peer_epoch(msg.epoch)) return true;
-  epoch_fenced_.fetch_add(1);
+  epoch_fenced_.add(1);
   NAPLET_LOG(kWarn, "recovery")
       << "conn " << msg.conn_id << ": dropping stale "
       << to_string(msg.type) << " from epoch " << msg.epoch << " (seen "
@@ -305,19 +376,29 @@ ControllerStats SocketController::stats() const {
     out.listening_agents = accept_queues_.size();
     out.migrating_agents = migrating_agents_.size();
   }
-  out.mac_rejections = mac_rejections_.load();
-  out.access_denials = access_denials_.load();
-  out.links_repaired = links_repaired_.load();
-  out.peers_declared_dead = peers_declared_dead_.load();
+  out.mac_rejections = mac_rejections_.value();
+  out.access_denials = access_denials_.value();
+  out.links_repaired = links_repaired_.value();
+  out.peers_declared_dead = peers_declared_dead_.value();
   out.epoch = epoch_.load();
-  out.sessions_recovered = sessions_recovered_.load();
-  out.resume_retries = resume_retries_.load();
-  out.epoch_fenced = epoch_fenced_.load();
+  out.sessions_recovered = sessions_recovered_.value();
+  out.resume_retries = resume_retries_.value();
+  out.epoch_fenced = epoch_fenced_.value();
   if (redirector_) {
     out.leases = redirector_->lease_count();
     out.leases_expired = redirector_->leases_expired();
     out.handoffs_fenced = redirector_->handoffs_fenced();
   }
+  // Mirror externally-owned instantaneous values into gauges so the
+  // snapshot (and the Prometheus/JSON exports built from it) is complete.
+  registry_.gauge("sessions").set(static_cast<std::int64_t>(out.sessions));
+  registry_.gauge("listening_agents")
+      .set(static_cast<std::int64_t>(out.listening_agents));
+  registry_.gauge("migrating_agents")
+      .set(static_cast<std::int64_t>(out.migrating_agents));
+  registry_.gauge("redirector_leases")
+      .set(static_cast<std::int64_t>(out.leases));
+  out.metrics = registry_.snapshot();
   auto& channel = server_.bus().channel();
   out.ctrl_messages_sent = channel.messages_sent();
   out.ctrl_retransmissions = channel.retransmissions();
@@ -350,6 +431,13 @@ void SocketController::on_ctrl(const net::Endpoint& from,
       // ACKed the datagram, so the sender will NOT retransmit — this is
       // loss above rudp, the kind only protocol-level timeouts recover.
       return;
+    }
+  }
+  if (msg->conn_id != 0) {
+    if (SessionPtr session =
+            find_session_from(msg->conn_id, msg->client_agent)) {
+      session->recorder().record(obs::FlightRecorder::Kind::kCtrlRecv,
+                                 static_cast<std::uint8_t>(msg->type), 0, 0);
     }
   }
   switch (msg->type) {
@@ -400,6 +488,10 @@ void SocketController::on_ctrl(const net::Endpoint& from,
 
 void SocketController::on_handoff(std::shared_ptr<net::Stream> stream,
                                   HandoffMsg msg) {
+  if (SessionPtr session = find_session_from(msg.conn_id, msg.agent)) {
+    session->recorder().record(obs::FlightRecorder::Kind::kCtrlRecv,
+                               static_cast<std::uint8_t>(msg.type), 1, 0);
+  }
   switch (msg.type) {
     case HandoffType::kAttach:
       handle_attach(std::move(stream), std::move(msg));
@@ -447,7 +539,7 @@ util::StatusOr<SessionPtr> SocketController::connect(
         agent::Subject{agent::Subject::Kind::kAgent, self.name()},
         agent::Permission::kUseNapletSocket);
     if (!allowed.ok()) {
-      access_denials_.fetch_add(1);
+      access_denials_.add(1);
       cleanup_pending();
       return allowed;
     }
@@ -558,6 +650,13 @@ util::StatusOr<SessionPtr> SocketController::connect(
   insert_session(session);
   journal_commit(recovery::CommitPoint::kConnectEstablished, session);
   bd.management_ms += sw.elapsed_ms();
+
+  hist_connect_management_us_.record(obs::ms_to_us(bd.management_ms));
+  hist_connect_security_us_.record(obs::ms_to_us(bd.security_check_ms));
+  hist_connect_key_exchange_us_.record(obs::ms_to_us(bd.key_exchange_ms));
+  hist_connect_handshake_us_.record(obs::ms_to_us(bd.handshake_ms));
+  hist_connect_open_us_.record(obs::ms_to_us(bd.open_socket_ms));
+  hist_connect_total_us_.record(obs::ms_to_us(bd.total_ms()));
   return session;
 }
 
@@ -570,7 +669,7 @@ void SocketController::handle_connect(const net::Endpoint& from,
       msg.node.control.port != 0 ? msg.node.control : from;
 
   auto reject = [&](util::Status why) {
-    access_denials_.fetch_add(1);
+    access_denials_.add(1);
     reply.type = CtrlType::kConnectReject;
     reply.reason = why.to_string();
     (void)send_ctrl(reply_to, reply, {});
@@ -710,7 +809,7 @@ void SocketController::handle_attach(std::shared_ptr<net::Stream> stream,
                                  session->session_key().size()),
                   util::ByteSpan(payload.data(), payload.size()),
                   util::ByteSpan(msg.mac.data(), msg.mac.size()))) {
-    mac_rejections_.fetch_add(1);
+    mac_rejections_.add(1);
     fail("MAC verification failed");
     return;
   }
@@ -758,7 +857,7 @@ util::Status SocketController::listen(const agent::AgentId& self) {
         agent::Subject{agent::Subject::Kind::kAgent, self.name()},
         agent::Permission::kUseNapletSocket);
     if (!allowed.ok()) {
-      access_denials_.fetch_add(1);
+      access_denials_.add(1);
       return allowed;
     }
   }

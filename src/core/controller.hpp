@@ -25,6 +25,8 @@
 #include "core/stats.hpp"
 #include "core/wire.hpp"
 #include "crypto/dh.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "recovery/journal.hpp"
 
 namespace naplet::nsock {
@@ -180,32 +182,41 @@ class SocketController final : public agent::ConnectionMigrator {
 
   [[nodiscard]] std::size_t session_count() const;
   [[nodiscard]] std::uint64_t mac_rejections() const {
-    return mac_rejections_.load();
+    return mac_rejections_.value();
   }
   [[nodiscard]] std::uint64_t access_denials() const {
-    return access_denials_.load();
+    return access_denials_.value();
   }
   /// Consistent snapshot of the connection table and every counter.
   [[nodiscard]] ControllerStats stats() const;
 
+  /// This controller's metric registry: counters/gauges/histograms for
+  /// every protocol phase. Per-controller (not process-global) so multi-
+  /// node testbeds in one process stay independent.
+  [[nodiscard]] obs::Registry& metrics() noexcept { return registry_; }
+
+  /// Concatenated flight-recorder dumps of every live session (failure
+  /// diagnostics: the chaos harness attaches this to failing cases).
+  [[nodiscard]] std::string recorder_dumps() const;
+
   /// Fault-tolerance extension counters.
   [[nodiscard]] std::uint64_t links_repaired() const {
-    return links_repaired_.load();
+    return links_repaired_.value();
   }
   [[nodiscard]] std::uint64_t peers_declared_dead() const {
-    return peers_declared_dead_.load();
+    return peers_declared_dead_.value();
   }
 
   /// Crash-recovery extension counters.
   [[nodiscard]] std::uint64_t epoch() const { return epoch_.load(); }
   [[nodiscard]] std::uint64_t sessions_recovered() const {
-    return sessions_recovered_.load();
+    return sessions_recovered_.value();
   }
   [[nodiscard]] std::uint64_t resume_retries() const {
-    return resume_retries_.load();
+    return resume_retries_.value();
   }
   [[nodiscard]] std::uint64_t epoch_fenced() const {
-    return epoch_fenced_.load();
+    return epoch_fenced_.value();
   }
   [[nodiscard]] const recovery::DurableStore* durable_store() const {
     return store_.get();
@@ -293,6 +304,11 @@ class SocketController final : public agent::ConnectionMigrator {
 
   [[nodiscard]] agent::NodeInfo self_node() const;
 
+  /// Record a migration span event into the process trace sink, attributed
+  /// to `trace_id` (dropped when 0) with this controller's node as host.
+  void span(std::uint64_t trace_id, obs::SpanKind kind, const Session& session,
+            std::string detail = {}, std::uint64_t value = 0) const;
+
   // Fault-tolerance extension internals.
   void repair_loop();
   void repair_session(const SessionPtr& session);
@@ -304,6 +320,13 @@ class SocketController final : public agent::ConnectionMigrator {
   agent::AgentServer& server_;
   ControllerConfig config_;
   std::unique_ptr<Redirector> redirector_;
+
+  // Observability. The registry owns every instrument; the references
+  // below are cached registrations, so hot-path recording is lock-free.
+  // Declared before the references (member initialization order).
+  // mutable: stats() const mirrors externally-owned values (session table,
+  // redirector leases) into gauges right before taking a snapshot.
+  mutable obs::Registry registry_;
 
   // Outermost rank in the lock hierarchy (see DESIGN.md "Concurrency
   // invariants"): held while calling into session state cells and accept
@@ -322,15 +345,15 @@ class SocketController final : public agent::ConnectionMigrator {
 
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
-  std::atomic<std::uint64_t> mac_rejections_{0};
-  std::atomic<std::uint64_t> access_denials_{0};
+  obs::Counter& mac_rejections_;
+  obs::Counter& access_denials_;
 
   // Fault-tolerance extension state.
   std::thread repair_thread_;
   std::map<std::uint64_t, int> heartbeat_misses_
       NAPLET_GUARDED_BY(mu_);  // conn_id -> misses
-  std::atomic<std::uint64_t> links_repaired_{0};
-  std::atomic<std::uint64_t> peers_declared_dead_{0};
+  obs::Counter& links_repaired_;
+  obs::Counter& peers_declared_dead_;
 
   // Crash-recovery extension state. The store serializes its own writes;
   // journal_commit never runs under mu_.
@@ -339,9 +362,22 @@ class SocketController final : public agent::ConnectionMigrator {
   /// control/handoff message. 1 without durability; from the store (strictly
   /// above every pre-crash epoch) with it.
   std::atomic<std::uint64_t> epoch_{1};
-  std::atomic<std::uint64_t> sessions_recovered_{0};
-  std::atomic<std::uint64_t> resume_retries_{0};
-  std::atomic<std::uint64_t> epoch_fenced_{0};
+  obs::Counter& sessions_recovered_;
+  obs::Counter& resume_retries_;
+  obs::Counter& epoch_fenced_;
+
+  // Latency / size distributions (paper §4.2 phases + the extensions).
+  obs::Histogram& hist_suspend_us_;
+  obs::Histogram& hist_drain_us_;
+  obs::Histogram& hist_handoff_us_;
+  obs::Histogram& hist_resume_us_;
+  obs::Histogram& hist_replay_bytes_;
+  obs::Histogram& hist_connect_total_us_;
+  obs::Histogram& hist_connect_management_us_;
+  obs::Histogram& hist_connect_security_us_;
+  obs::Histogram& hist_connect_key_exchange_us_;
+  obs::Histogram& hist_connect_handshake_us_;
+  obs::Histogram& hist_connect_open_us_;
 };
 
 }  // namespace naplet::nsock

@@ -69,6 +69,10 @@ util::Status SocketController::suspend(const SessionPtr& session) {
 
 util::Status SocketController::active_suspend(const SessionPtr& session) {
   NAPLET_RETURN_IF_ERROR(session->advance(ConnEvent::kAppSuspend));
+  // Mint this migration's trace id (| 1 so it can never be the "untraced"
+  // zero); every span and protocol message of this round carries it.
+  session->set_trace_id(crypto::random_u64() | 1);
+  util::Stopwatch suspend_sw(util::RealClock::instance());
   // This is OUR suspension round: bookkeeping from any previous round is
   // obsolete. (Clearing here also closes a scheduling window where the
   // resume handler's own clear lands after this suspend has begun.)
@@ -93,6 +97,8 @@ util::Status SocketController::active_suspend(const SessionPtr& session) {
         << ": initial SUS send failed (" << st.to_string()
         << "); retrying via location refresh";
   }
+  span(session->trace_id(), obs::SpanKind::kSuspendSent, *session, "SUS",
+       mark);
 
   // Wait for the peer's reply while KEEPING OUR RECEIVE SIDE DRAINING:
   // the peer can only reply after freezing its writers, and one of those
@@ -163,13 +169,22 @@ util::Status SocketController::active_suspend(const SessionPtr& session) {
 
   // Both replies carry the peer's declared high-water mark: pull every
   // in-flight frame into the input buffer before closing the socket.
+  util::Stopwatch drain_sw(util::RealClock::instance());
   auto drained = session->drain_to_mark(resp->sent_seq, config_.drain_timeout);
   session->close_stream();
+  hist_drain_us_.record(obs::ms_to_us(drain_sw.elapsed_ms()));
+  if (drained.ok()) {
+    const std::uint64_t buffered = session->buffered_bytes();
+    hist_replay_bytes_.record(buffered);
+    span(session->trace_id(), obs::SpanKind::kDrainComplete, *session,
+         "active", buffered);
+  }
 
   if (resp->type == static_cast<std::uint8_t>(CtrlType::kSusAck)) {
     NAPLET_RETURN_IF_ERROR(session->advance(ConnEvent::kRecvSusAck));
     if (drained.ok()) {
       journal_commit(recovery::CommitPoint::kSuspendCommitted, session);
+      hist_suspend_us_.record(obs::ms_to_us(suspend_sw.elapsed_ms()));
     }
     return drained;
   }
@@ -191,6 +206,7 @@ util::Status SocketController::active_suspend(const SessionPtr& session) {
                          std::to_string(session->conn_id()));
   }
   journal_commit(recovery::CommitPoint::kSuspendCommitted, session);
+  hist_suspend_us_.record(obs::ms_to_us(suspend_sw.elapsed_ms()));
   return util::OkStatus();
 }
 
@@ -201,6 +217,8 @@ void SocketController::handle_sus(CtrlMsg msg) {
   SessionPtr session = find_session_from(msg.conn_id, msg.client_agent);
   CtrlMsg reply;
   reply.conn_id = msg.conn_id;
+  // Replies belong to the PEER's migration trace, not our own.
+  reply.trace_id = msg.trace_id;
 
   if (session == nullptr) {
     reply.type = CtrlType::kReject;
@@ -209,13 +227,14 @@ void SocketController::handle_sus(CtrlMsg msg) {
     return;
   }
   if (!verify_session_mac(*session, msg)) {
-    mac_rejections_.fetch_add(1);
+    mac_rejections_.add(1);
     reply.type = CtrlType::kReject;
     reply.reason = "MAC verification failed";
     (void)send_ctrl(msg.node.control, reply, {});
     return;
   }
   if (!admit_epoch(*session, msg)) return;
+  if (msg.trace_id != 0) session->set_peer_trace_id(msg.trace_id);
   session->set_peer_node(msg.node);
   const util::ByteSpan key(session->session_key().data(),
                            session->session_key().size());
@@ -320,6 +339,7 @@ void SocketController::handle_sus(CtrlMsg msg) {
 
 void SocketController::finish_passive_suspend(const SessionPtr& session,
                                               std::uint64_t peer_mark) {
+  util::Stopwatch drain_sw(util::RealClock::instance());
   auto drained = session->drain_to_mark(peer_mark, config_.drain_timeout);
   if (!drained.ok()) {
     NAPLET_LOG(kError, "controller")
@@ -327,8 +347,13 @@ void SocketController::finish_passive_suspend(const SessionPtr& session,
         << ": passive drain failed: " << drained.to_string();
   }
   session->close_stream();
+  hist_drain_us_.record(obs::ms_to_us(drain_sw.elapsed_ms()));
   (void)session->advance(ConnEvent::kExecSuspended);  // -> SUSPENDED
   if (drained.ok()) {
+    const std::uint64_t buffered = session->buffered_bytes();
+    hist_replay_bytes_.record(buffered);
+    span(session->peer_trace_id(), obs::SpanKind::kDrainComplete, *session,
+         "passive", buffered);
     journal_commit(recovery::CommitPoint::kDrainComplete, session);
   }
 }
@@ -337,7 +362,7 @@ void SocketController::handle_sus_response(CtrlMsg msg) {
   SessionPtr session = find_session_from(msg.conn_id, msg.client_agent);
   if (session == nullptr) return;
   if (!verify_session_mac(*session, msg)) {
-    mac_rejections_.fetch_add(1);
+    mac_rejections_.add(1);
     return;
   }
   if (!admit_epoch(*session, msg)) return;
@@ -350,7 +375,7 @@ void SocketController::handle_sus_res(CtrlMsg msg) {
   SessionPtr session = find_session_from(msg.conn_id, msg.client_agent);
   if (session == nullptr) return;
   if (!verify_session_mac(*session, msg)) {
-    mac_rejections_.fetch_add(1);
+    mac_rejections_.add(1);
     return;
   }
   if (!admit_epoch(*session, msg)) return;
@@ -373,7 +398,7 @@ void SocketController::handle_simple_ack(CtrlMsg msg) {
   SessionPtr session = find_session_from(msg.conn_id, msg.client_agent);
   if (session == nullptr) return;
   if (!verify_session_mac(*session, msg)) {
-    mac_rejections_.fetch_add(1);
+    mac_rejections_.add(1);
     return;
   }
   if (!admit_epoch(*session, msg)) return;
@@ -395,14 +420,19 @@ util::Status SocketController::do_resume(const SessionPtr& session) {
   // capped exponential backoff. resume_max_attempts == 1 is the paper's
   // single-shot behavior.
   util::Duration backoff = config_.resume_retry_backoff;
+  util::Stopwatch resume_sw(util::RealClock::instance());
   for (int attempt = 1;; ++attempt) {
     util::Status status = do_resume_once(session);
-    if (status.ok() || attempt >= config_.resume_max_attempts) return status;
+    if (status.ok()) {
+      hist_resume_us_.record(obs::ms_to_us(resume_sw.elapsed_ms()));
+      return status;
+    }
+    if (attempt >= config_.resume_max_attempts) return status;
     if (status.code() != util::StatusCode::kTimeout ||
         session->state() != ConnState::kSuspended) {
       return status;  // only a timed-out, still-resumable session retries
     }
-    resume_retries_.fetch_add(1);
+    resume_retries_.add(1);
     NAPLET_LOG(kInfo, "recovery")
         << "conn " << session->conn_id() << ": resume attempt " << attempt
         << " timed out; retrying in " << backoff.count() / 1000 << "ms";
@@ -463,6 +493,7 @@ util::Status SocketController::do_resume_once(const SessionPtr& session) {
     if (!is_live(current)) return util::Aborted("connection closed");
 
     const agent::NodeInfo peer_node = session->peer_node();
+    util::Stopwatch handoff_sw(util::RealClock::instance());
     auto stream = server_.network().connect(peer_node.redirector,
                                             std::chrono::seconds(1));
     if (!stream.ok()) {
@@ -478,11 +509,14 @@ util::Status SocketController::do_resume_once(const SessionPtr& session) {
     HandoffMsg req;
     req.type = HandoffType::kResume;
     req.conn_id = session->conn_id();
+    req.trace_id = session->trace_id();
     req.verifier = session->verifier();
     req.sent_seq = session->sent_seq();
     req.recv_seq = session->highest_rx_seq();
     req.agent = session->local_agent().name();
     req.node = self_node();
+    session->recorder().record(obs::FlightRecorder::Kind::kCtrlSend,
+                               static_cast<std::uint8_t>(req.type), 1, 0);
     if (auto st2 = reply_handoff(*data_socket, req,
                                  util::ByteSpan(session->session_key().data(),
                                                 session->session_key().size()));
@@ -503,6 +537,7 @@ util::Status SocketController::do_resume_once(const SessionPtr& session) {
       data_socket->close();
       return reply.status();
     }
+    hist_handoff_us_.record(obs::ms_to_us(handoff_sw.elapsed_ms()));
 
     switch (reply->type) {
       case HandoffType::kResumeOk: {
@@ -531,6 +566,8 @@ util::Status SocketController::do_resume_once(const SessionPtr& session) {
                 << ": replay failed: " << rp.to_string();
           }
         }
+        span(session->trace_id(), obs::SpanKind::kReplayDone, *session,
+             "mover");
         if (auto adv = session->advance(ConnEvent::kRecvResumeOk);
             !adv.ok()) {
           // Glare tail: the peer's own attempt already established us; its
@@ -541,6 +578,8 @@ util::Status SocketController::do_resume_once(const SessionPtr& session) {
           f.remote_suspended = false;
         });
         journal_commit(recovery::CommitPoint::kResumeCommitted, session);
+        span(session->trace_id(), obs::SpanKind::kResumeCommitted, *session,
+             "mover");
         return util::OkStatus();
       }
       case HandoffType::kResumeWait: {
@@ -614,7 +653,7 @@ void SocketController::handle_resume_request(
                                  session->session_key().size()),
                   util::ByteSpan(payload.data(), payload.size()),
                   util::ByteSpan(msg.mac.data(), msg.mac.size()))) {
-    mac_rejections_.fetch_add(1);
+    mac_rejections_.add(1);
     fail("MAC verification failed");
     return;
   }
@@ -622,6 +661,7 @@ void SocketController::handle_resume_request(
   // pre-crash leftover; record the (possibly bumped) sender epoch so stale
   // control datagrams from its previous incarnation are fenced from now on.
   (void)session->admit_peer_epoch(msg.epoch);
+  if (msg.trace_id != 0) session->set_peer_trace_id(msg.trace_id);
   session->set_peer_node(msg.node);
   const util::ByteSpan key(session->session_key().data(),
                            session->session_key().size());
@@ -682,8 +722,11 @@ void SocketController::handle_resume_request(
   HandoffMsg ok;
   ok.type = HandoffType::kResumeOk;
   ok.conn_id = msg.conn_id;
+  ok.trace_id = msg.trace_id;  // the mover's migration trace
   ok.sent_seq = session->sent_seq();
   ok.recv_seq = session->highest_rx_seq();
+  session->recorder().record(obs::FlightRecorder::Kind::kCtrlSend,
+                             static_cast<std::uint8_t>(ok.type), 1, 0);
   // Reply BEFORE advancing: advancing wakes writers blocked on the state
   // cell, and their data frames must not interleave ahead of the
   // RESUME_OK handshake frame on this same stream.
@@ -701,6 +744,7 @@ void SocketController::handle_resume_request(
           << ": replay failed: " << rp.to_string();
     }
   }
+  span(msg.trace_id, obs::SpanKind::kReplayDone, *session, "receiver");
   if (session->state() == ConnState::kResAcked) {
     (void)session->advance(ConnEvent::kExecResumed);  // -> ESTABLISHED
   }
@@ -711,6 +755,7 @@ void SocketController::handle_resume_request(
     f.remote_suspended = false;
   });
   journal_commit(recovery::CommitPoint::kResumeCommitted, session);
+  span(msg.trace_id, obs::SpanKind::kResumeCommitted, *session, "receiver");
   session->resume_event().set();
 }
 
@@ -774,7 +819,7 @@ void SocketController::handle_cls(CtrlMsg msg) {
     return;
   }
   if (!verify_session_mac(*session, msg)) {
-    mac_rejections_.fetch_add(1);
+    mac_rejections_.add(1);
     ack.type = CtrlType::kReject;
     ack.reason = "MAC verification failed";
     (void)send_session_ctrl(msg.node.control, ack, *session);

@@ -69,7 +69,7 @@ void SocketController::repair_session(const SessionPtr& session) {
 
   auto status = do_resume(session);
   if (status.ok()) {
-    links_repaired_.fetch_add(1);
+    links_repaired_.add(1);
     NAPLET_LOG(kInfo, "recovery")
         << "conn " << session->conn_id() << ": link repaired";
   } else {
@@ -120,7 +120,7 @@ void SocketController::probe_peers() {
   }
 
   for (const SessionPtr& session : dead) {
-    peers_declared_dead_.fetch_add(1);
+    peers_declared_dead_.add(1);
     abort_session(session);
   }
 }
@@ -137,6 +137,13 @@ void SocketController::abort_session(const SessionPtr& session) {
   session->abort_local();
   session->park_event().set();
   session->resume_event().set();
+  // Ship the session's recent history with the abort. This runs with NO
+  // controller or session locks held (dump() iterates lock-free slots), so
+  // a slow stderr cannot delay the waiters woken above.
+  NAPLET_LOG(kError, "recovery")
+      << "conn " << session->conn_id()
+      << ": aborted; flight recorder follows\n"
+      << session->recorder().dump();
 }
 
 util::Status SocketController::recover() {
@@ -167,7 +174,7 @@ util::Status SocketController::recover() {
     // The session lands SUSPENDED with its sealed input buffer; the peer's
     // resume retry finds it through the (re-registered) redirector lease.
     insert_session(*session);
-    sessions_recovered_.fetch_add(1);
+    sessions_recovered_.add(1);
     ++restored;
   }
   NAPLET_LOG(kInfo, "recovery")

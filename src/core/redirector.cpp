@@ -2,6 +2,7 @@
 
 #include "fault/fault.hpp"
 #include "net/frame.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace naplet::nsock {
@@ -89,6 +90,17 @@ void Redirector::accept_loop() {
         (void)net::write_frame(*stream, err.encode());
         stream->close();
         return;
+      }
+      // Past every gate: this handoff WILL reach the controller. (The sink
+      // drops untraced messages — ATTACH carries no trace id.)
+      {
+        obs::SpanEvent ev;
+        ev.trace_id = msg->trace_id;
+        ev.kind = obs::SpanKind::kHandoffAccept;
+        ev.conn_id = msg->conn_id;
+        ev.host = host_label_;
+        ev.detail = std::string(to_string(msg->type));
+        obs::TraceSink::instance().record(std::move(ev));
       }
       handler_(std::move(stream), std::move(*msg));
     });

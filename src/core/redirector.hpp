@@ -50,6 +50,10 @@ class Redirector {
   util::Status start();
   void stop();
 
+  /// Host name used to attribute handoff-accept trace spans. Set once,
+  /// before start().
+  void set_host_label(std::string host) { host_label_ = std::move(host); }
+
   [[nodiscard]] net::Endpoint endpoint() const;
 
   /// Handoffs whose first frame was malformed (observability).
@@ -88,6 +92,7 @@ class Redirector {
   std::uint16_t port_;
   HandoffHandler handler_;
   LeaseConfig lease_config_;
+  std::string host_label_;  // written before start(), read by workers
 
   net::ListenerPtr listener_;
   std::thread acceptor_;

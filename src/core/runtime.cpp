@@ -83,4 +83,11 @@ NapletRuntime& Realm::node(const std::string& name) {
   throw std::out_of_range("no such node: " + name);
 }
 
+std::vector<std::string> Realm::node_names() const {
+  std::vector<std::string> names;
+  names.reserve(nodes_.size());
+  for (const auto& node : nodes_) names.push_back(node->name());
+  return names;
+}
+
 }  // namespace naplet::nsock

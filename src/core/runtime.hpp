@@ -68,6 +68,9 @@ class Realm {
   void stop();
 
   [[nodiscard]] NapletRuntime& node(const std::string& name);
+  /// Names of all live nodes, in creation order (e.g. for collecting
+  /// per-node diagnostics such as flight-recorder dumps).
+  [[nodiscard]] std::vector<std::string> node_names() const;
   [[nodiscard]] agent::LocationService& locations() { return locations_; }
   [[nodiscard]] const util::Bytes& realm_key() const { return realm_key_; }
 

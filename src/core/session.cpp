@@ -18,6 +18,28 @@ constexpr util::Duration kStateWaitSlice = std::chrono::milliseconds(100);
 std::int64_t now_us() { return util::RealClock::instance().now_us(); }
 
 bool is_dead(ConnState s) { return !is_live(s); }
+
+// Teach the obs flight recorder (which cannot depend on the protocol
+// enums) to decode FSM and message codes in its dumps. Also hook the
+// recorder dump into lock-rank violation aborts. Once per process.
+void install_obs_decoders() {
+  static const bool installed = [] {
+    obs::set_namers(
+        [](std::uint8_t s) { return to_string(static_cast<ConnState>(s)); },
+        [](std::uint8_t e) { return to_string(static_cast<ConnEvent>(e)); },
+        [](std::uint8_t t) { return to_string(static_cast<CtrlType>(t)); },
+        [](std::uint8_t t) { return to_string(static_cast<HandoffType>(t)); });
+    obs::install_lock_rank_hook();
+    return true;
+  }();
+  (void)installed;
+}
+
+std::string recorder_label(std::uint64_t conn_id, bool is_client,
+                           const agent::AgentId& local_agent) {
+  return "conn " + std::to_string(conn_id) +
+         (is_client ? " client " : " server ") + local_agent.name();
+}
 }  // namespace
 
 Session::Session(std::uint64_t conn_id, std::uint64_t verifier, bool is_client,
@@ -26,7 +48,10 @@ Session::Session(std::uint64_t conn_id, std::uint64_t verifier, bool is_client,
       verifier_(verifier),
       is_client_(is_client),
       local_agent_(std::move(local_agent)),
-      peer_agent_(std::move(peer_agent)) {}
+      peer_agent_(std::move(peer_agent)),
+      recorder_(recorder_label(conn_id, is_client, local_agent_)) {
+  install_obs_decoders();
+}
 
 agent::NodeInfo Session::peer_node() const {
   util::MutexLock lock(node_mu_);
@@ -60,6 +85,11 @@ util::Status Session::advance(ConnEvent event) {
                               static_cast<std::uint8_t>(s),
                               static_cast<std::uint8_t>(event),
                               static_cast<std::uint8_t>(*next));
+    // Flight-recorder hook: runs under the state-cell lock, so it must be
+    // (and is) lock-free.
+    recorder_.record_fsm(static_cast<std::uint8_t>(s),
+                         static_cast<std::uint8_t>(event),
+                         static_cast<std::uint8_t>(*next));
     s = *next;
   });
   return result;
@@ -125,6 +155,13 @@ std::uint64_t Session::highest_rx_seq() const {
 std::size_t Session::buffered_frames() const {
   util::MutexLock lock(buf_mu_);
   return buffer_.size();
+}
+
+std::uint64_t Session::buffered_bytes() const {
+  util::MutexLock lock(buf_mu_);
+  std::uint64_t total = 0;
+  for (const BufferedFrame& f : buffer_) total += f.body.size();
+  return total;
 }
 
 Session::Flags Session::flags() const {
@@ -637,6 +674,7 @@ util::Bytes Session::export_state() const {
     }
   }
   w.u64(peer_epoch_.load(std::memory_order_relaxed));
+  w.u64(trace_id_.load(std::memory_order_relaxed));
   return std::move(w).take();
 }
 
@@ -742,6 +780,10 @@ util::StatusOr<SessionPtr> Session::import_state(util::ByteSpan data)
   auto peer_epoch = r.u64();
   if (!peer_epoch.ok()) return util::ProtocolError("bad peer epoch");
   session->peer_epoch_.store(*peer_epoch, std::memory_order_relaxed);
+
+  auto trace_id = r.u64();
+  if (!trace_id.ok()) return util::ProtocolError("bad trace id");
+  session->trace_id_.store(*trace_id, std::memory_order_relaxed);
 
   if (r.remaining() != 0) return util::ProtocolError("trailing session bytes");
 

@@ -23,6 +23,7 @@
 #include "agent/location.hpp"
 #include "core/state.hpp"
 #include "net/transport.hpp"
+#include "obs/recorder.hpp"
 #include "util/sync.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -137,9 +138,40 @@ class Session {
   [[nodiscard]] std::uint64_t sent_seq() const;
   [[nodiscard]] std::uint64_t highest_rx_seq() const;
   [[nodiscard]] std::size_t buffered_frames() const;
+  /// Total body bytes currently parked in the replay buffer.
+  [[nodiscard]] std::uint64_t buffered_bytes() const;
 
   /// Data-path observability counters (see DataPathStats).
   [[nodiscard]] DataPathStats data_stats() const;
+
+  // ---- observability (obs subsystem) ----
+  //
+  // trace_id: the migration trace this session's *own* suspend minted
+  // (stamped into outgoing SUS/RESUME). peer_trace_id: the trace of the
+  // peer's in-flight migration (adopted from an incoming SUS), kept
+  // separate so an overlapped double migration attributes each side's
+  // spans to the right trace.
+
+  [[nodiscard]] std::uint64_t trace_id() const noexcept {
+    return trace_id_.load(std::memory_order_relaxed);
+  }
+  void set_trace_id(std::uint64_t id) noexcept {
+    trace_id_.store(id, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t peer_trace_id() const noexcept {
+    return peer_trace_id_.load(std::memory_order_relaxed);
+  }
+  void set_peer_trace_id(std::uint64_t id) noexcept {
+    peer_trace_id_.store(id, std::memory_order_relaxed);
+  }
+
+  /// Bounded ring of recent FSM transitions and ctrl send/recv events;
+  /// dumped on abort, chaos-oracle failure, and lock-rank violations.
+  /// Returned mutable even from const contexts: recording is pure
+  /// instrumentation, not logical session state (recorder_ is mutable).
+  [[nodiscard]] obs::FlightRecorder& recorder() const noexcept {
+    return recorder_;
+  }
 
   // ---- concurrent-migration flags (paper §3.1, §3.2) ----
 
@@ -307,6 +339,11 @@ class Session {
 
   // Highest controller-incarnation epoch seen from the peer (fencing).
   std::atomic<std::uint64_t> peer_epoch_{0};
+
+  // Migration trace attribution (see the observability accessors above).
+  std::atomic<std::uint64_t> trace_id_{0};
+  std::atomic<std::uint64_t> peer_trace_id_{0};
+  mutable obs::FlightRecorder recorder_;
 
   // serializes socket readers
   mutable util::Mutex read_mu_{util::LockRank::kSessionRead, "session.read"};

@@ -36,6 +36,28 @@ std::string ControllerStats::to_string() const {
       << ",reads=" << data_stream_read_ops
       << ",wakeups=" << data_recv_wakeups
       << ",coalesced=" << data_frames_coalesced << "}";
+
+  // Generic snapshot rendering: every registered metric appears by name,
+  // so a metric added anywhere in the controller cannot be silently
+  // missing here (metrics_render_test pins this invariant).
+  if (!metrics.counters.empty() || !metrics.gauges.empty() ||
+      !metrics.histograms.empty()) {
+    out << "\nmetrics:";
+    for (const auto& c : metrics.counters) {
+      out << " " << c.name << "=" << c.value;
+    }
+    for (const auto& g : metrics.gauges) {
+      out << " " << g.name << "=" << g.value;
+    }
+    for (const auto& h : metrics.histograms) {
+      out << " " << h.name << "{n=" << h.count;
+      if (h.count != 0) {
+        out << ",p50=" << h.percentile(50) << ",p95=" << h.percentile(95)
+            << ",p99=" << h.percentile(99);
+      }
+      out << "," << h.unit << "}";
+    }
+  }
   return out.str();
 }
 

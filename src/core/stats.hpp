@@ -7,6 +7,7 @@
 #include <string>
 
 #include "core/state.hpp"
+#include "obs/metrics.hpp"
 
 namespace naplet::nsock {
 
@@ -50,6 +51,11 @@ struct ControllerStats {
   std::uint64_t data_stream_read_ops = 0;
   std::uint64_t data_recv_wakeups = 0;
   std::uint64_t data_frames_coalesced = 0;
+
+  // Full registry snapshot: every counter, gauge, and histogram the
+  // controller registered. to_string() renders it generically, so a newly
+  // registered metric shows up with no rendering change.
+  obs::Snapshot metrics;
 
   [[nodiscard]] std::string to_string() const;
 };

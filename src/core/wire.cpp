@@ -77,6 +77,7 @@ util::Bytes CtrlMsg::mac_payload() const {
   w.u8(static_cast<std::uint8_t>(type));
   w.u64(conn_id);
   w.u64(epoch);
+  w.u64(trace_id);
   w.u64(verifier);
   w.u64(sent_seq);
   w.str(client_agent);
@@ -114,6 +115,9 @@ util::StatusOr<CtrlMsg> CtrlMsg::decode(util::ByteSpan data) {
   auto epoch = r.u64();
   if (!epoch.ok()) return epoch.status();
   msg.epoch = *epoch;
+  auto trace_id = r.u64();
+  if (!trace_id.ok()) return trace_id.status();
+  msg.trace_id = *trace_id;
   auto verifier = r.u64();
   if (!verifier.ok()) return verifier.status();
   msg.verifier = *verifier;
@@ -153,6 +157,7 @@ util::Bytes HandoffMsg::mac_payload() const {
   w.u8(static_cast<std::uint8_t>(type));
   w.u64(conn_id);
   w.u64(epoch);
+  w.u64(trace_id);
   w.u64(verifier);
   w.u64(sent_seq);
   w.u64(recv_seq);
@@ -189,6 +194,9 @@ util::StatusOr<HandoffMsg> HandoffMsg::decode(util::ByteSpan data) {
   auto epoch = r.u64();
   if (!epoch.ok()) return epoch.status();
   msg.epoch = *epoch;
+  auto trace_id = r.u64();
+  if (!trace_id.ok()) return trace_id.status();
+  msg.trace_id = *trace_id;
   auto verifier = r.u64();
   if (!verifier.ok()) return verifier.status();
   msg.verifier = *verifier;

@@ -50,6 +50,8 @@ struct CtrlMsg {
   std::uint64_t conn_id = 0;
   std::uint64_t epoch = 0;         // sender controller's incarnation epoch
                                    // (crash-recovery fencing; 0 = unfenced)
+  std::uint64_t trace_id = 0;      // migration trace id (obs; 0 = untraced),
+                                   // MAC-covered like the epoch
   std::uint64_t verifier = 0;      // client-chosen correlation id (CONNECT*)
   std::uint64_t sent_seq = 0;      // sender's data-frame high-water mark
   std::string client_agent;        // CONNECT
@@ -83,6 +85,7 @@ struct HandoffMsg {
   HandoffType type = HandoffType::kError;
   std::uint64_t conn_id = 0;
   std::uint64_t epoch = 0;      // sender controller's incarnation epoch
+  std::uint64_t trace_id = 0;   // migration trace id (obs; MAC-covered)
   std::uint64_t verifier = 0;
   std::uint64_t sent_seq = 0;   // RESUME/RESUME_OK: sender's high-water mark
   std::uint64_t recv_seq = 0;   // RESUME/RESUME_OK: sender's highest frame

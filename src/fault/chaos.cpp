@@ -7,6 +7,7 @@
 #include "core/runtime.hpp"
 #include "fault/oracle.hpp"
 #include "net/sim.hpp"
+#include "obs/recorder.hpp"
 #include "util/rng.hpp"
 
 namespace naplet::fault {
@@ -230,6 +231,9 @@ ChaosResult run_crash_case(const ChaosCase& chaos_case) {
   const auto fail = [&](const std::string& why) {
     result.pass = false;
     result.failure = why;
+    // Snapshot every live session's ring before teardown destroys them:
+    // the dump is the execution history that led to the oracle tripping.
+    result.recorder_dump = obs::dump_all();
     return result;
   };
 
@@ -497,6 +501,7 @@ ChaosResult run_case(const ChaosCase& chaos_case) {
   const auto fail = [&](const std::string& why) {
     result.pass = false;
     result.failure = why;
+    result.recorder_dump = obs::dump_all();
     return result;
   };
 

@@ -70,6 +70,11 @@ struct ChaosResult {
   std::uint64_t ctrl_retransmissions = 0;
   std::string stats;  ///< ControllerStats::to_string() of both endpoints
 
+  /// On failure: flight-recorder dump of every live session at the moment
+  /// the oracle tripped (obs::dump_all()), printed by chaos_runner next to
+  /// the minimized plan. Empty on pass.
+  std::string recorder_dump;
+
   /// Deterministic one-line report: seed, scenario, plan, verdict.
   [[nodiscard]] std::string line(const ChaosCase& chaos_case) const;
 };

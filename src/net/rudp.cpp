@@ -61,6 +61,7 @@ util::Status ReliableChannel::send(const Endpoint& dest,
   if (closed_.load()) return util::Cancelled("channel closed");
   const std::uint64_t seq = next_seq_.fetch_add(1);
   const util::Bytes packet = encode_packet(kTypeData, seq, payload);
+  const auto t_start = std::chrono::steady_clock::now();
 
   const bool bounded = max_wait.count() > 0;
   const auto hard_deadline = std::chrono::steady_clock::now() + max_wait;
@@ -113,6 +114,17 @@ util::Status ReliableChannel::send(const Endpoint& dest,
     // bus teardown used to flake here).
     if (!pending_acks_.contains(seq)) {
       messages_sent_.fetch_add(1);
+      // Histogram::record is lock-free, so recording under mu_ is safe.
+      if (obs::Histogram* h = rtt_us_.load(std::memory_order_acquire)) {
+        h->record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t_start)
+                .count()));
+      }
+      if (obs::Histogram* h =
+              retransmits_per_send_.load(std::memory_order_acquire)) {
+        h->record(static_cast<std::uint64_t>(attempt));
+      }
       return util::OkStatus();
     }
     if (closed_.load()) {

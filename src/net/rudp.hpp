@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/sync.hpp"
 #include "util/thread_annotations.hpp"
@@ -78,6 +79,15 @@ class ReliableChannel {
     return messages_sent_.load();
   }
 
+  /// Bind per-send latency/retransmit histograms (owned by the caller,
+  /// which must outlive the channel — in practice the controller's metrics
+  /// registry). Either may be null; recording is skipped while unbound, so
+  /// the unbound hot path costs one relaxed load per pointer.
+  void bind_metrics(obs::Histogram* rtt_us, obs::Histogram* retransmits) {
+    rtt_us_.store(rtt_us, std::memory_order_release);
+    retransmits_per_send_.store(retransmits, std::memory_order_release);
+  }
+
   /// The jitterless backoff schedule (pure; exposed for tests): the wait
   /// after attempt `attempt` (0-based), exponential and capped.
   [[nodiscard]] static util::Duration backoff_base(const RudpConfig& config,
@@ -112,6 +122,9 @@ class ReliableChannel {
   std::atomic<std::uint64_t> retransmissions_{0};
   std::atomic<std::uint64_t> duplicates_dropped_{0};
   std::atomic<std::uint64_t> messages_sent_{0};
+
+  std::atomic<obs::Histogram*> rtt_us_{nullptr};
+  std::atomic<obs::Histogram*> retransmits_per_send_{nullptr};
 
   std::thread receiver_;  // constructed last, joined in destructor
 };

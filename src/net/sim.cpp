@@ -285,15 +285,18 @@ struct SimNet::Impl {
   std::map<std::pair<std::string, std::uint16_t>, ListenerEntry> listeners
       NAPLET_GUARDED_BY(mu);
 
-  // Datagram registry: (node, port) -> inbox.
-  struct DgramEntry {
-    util::Mutex* mu = nullptr;
-    util::CondVar* cv = nullptr;
-    std::multimap<std::int64_t, Datagram::Packet>* inbox = nullptr;
-    bool* closed = nullptr;
+  // Datagram registry: (node, port) -> shared inbox state. Shared-owned so
+  // a sender that resolved an entry can finish its enqueue and wakeup even
+  // if the receiving datagram is concurrently closed and destroyed (the
+  // crash-restart teardown in Realm::remove_node does exactly this).
+  struct DgramState {
+    util::Mutex mu{util::LockRank::kSimPipe, "sim.dgram"};
+    util::CondVar cv;
+    std::multimap<std::int64_t, Datagram::Packet> inbox NAPLET_GUARDED_BY(mu);
+    bool closed NAPLET_GUARDED_BY(mu) = false;
   };
-  std::map<std::pair<std::string, std::uint16_t>, DgramEntry> dgrams
-      NAPLET_GUARDED_BY(mu);
+  std::map<std::pair<std::string, std::uint16_t>, std::shared_ptr<DgramState>>
+      dgrams NAPLET_GUARDED_BY(mu);
 
   // Established streams per normalized node pair (for sever_streams).
   std::map<std::pair<std::string, std::string>, std::vector<SimStreamWeak>>
@@ -377,7 +380,7 @@ class SimDatagram final : public Datagram {
   ~SimDatagram() override { close(); }
 
   util::Status send_to(const Endpoint& dest, util::ByteSpan data) override {
-    SimNet::Impl::DgramEntry entry;
+    std::shared_ptr<SimNet::Impl::DgramState> peer;
     std::int64_t deliver;
     {
       util::MutexLock lock(impl_->mu);
@@ -387,7 +390,7 @@ class SimDatagram final : public Datagram {
       }
       auto it = impl_->dgrams.find({dest.host, dest.port});
       if (it == impl_->dgrams.end()) return util::OkStatus();  // no receiver
-      entry = it->second;
+      peer = it->second;
 
       LinkConfig link = impl_->link_for(node_, dest.host);
       {
@@ -405,32 +408,35 @@ class SimDatagram final : public Datagram {
       }
     }
     {
-      util::MutexLock lock(*entry.mu);
-      if (*entry.closed) return util::OkStatus();
-      entry.inbox->emplace(
+      util::MutexLock lock(peer->mu);
+      if (peer->closed) return util::OkStatus();
+      peer->inbox.emplace(
           deliver, Packet{Endpoint{node_, port_},
                           util::Bytes(data.begin(), data.end())});
     }
-    entry.cv->notify_all();
+    peer->cv.notify_all();  // `peer` keeps the state alive past any close()
     return util::OkStatus();
   }
 
   util::StatusOr<Packet> recv_for(util::Duration timeout) override {
-    util::MutexLock lock(mu_);
+    util::MutexLock lock(state_->mu);
     const std::int64_t deadline = now_us() + timeout.count();
     for (;;) {
       const std::int64_t now = now_us();
-      if (closed_) return util::Cancelled("sim datagram closed");
-      if (!inbox_.empty() && inbox_.begin()->first <= now) {
-        Packet pkt = std::move(inbox_.begin()->second);
-        inbox_.erase(inbox_.begin());
+      if (state_->closed) return util::Cancelled("sim datagram closed");
+      if (!state_->inbox.empty() && state_->inbox.begin()->first <= now) {
+        Packet pkt = std::move(state_->inbox.begin()->second);
+        state_->inbox.erase(state_->inbox.begin());
         return pkt;
       }
       if (now >= deadline) return util::Timeout("sim recv");
       std::int64_t wake = deadline;
-      if (!inbox_.empty()) wake = std::min(wake, inbox_.begin()->first);
-      cv_.wait_for(mu_, std::chrono::microseconds(
-                            std::max<std::int64_t>(1, wake - now)));
+      if (!state_->inbox.empty()) {
+        wake = std::min(wake, state_->inbox.begin()->first);
+      }
+      state_->cv.wait_for(state_->mu,
+                          std::chrono::microseconds(
+                              std::max<std::int64_t>(1, wake - now)));
     }
   }
 
@@ -440,29 +446,31 @@ class SimDatagram final : public Datagram {
 
   void close() override {
     {
-      util::MutexLock lock(mu_);
-      if (closed_) return;
-      closed_ = true;
+      util::MutexLock lock(state_->mu);
+      if (state_->closed) return;
+      state_->closed = true;
     }
-    cv_.notify_all();
+    state_->cv.notify_all();
     util::MutexLock lock(impl_->mu);
-    impl_->dgrams.erase({node_, port_});
+    // Erase only our own registration: a restarted node may have re-bound
+    // the port with a fresh datagram by the time the old one is destroyed.
+    auto it = impl_->dgrams.find({node_, port_});
+    if (it != impl_->dgrams.end() && it->second == state_) {
+      impl_->dgrams.erase(it);
+    }
   }
 
   void register_self() {
     util::MutexLock lock(impl_->mu);
-    impl_->dgrams[{node_, port_}] =
-        SimNet::Impl::DgramEntry{&mu_, &cv_, &inbox_, &closed_};
+    impl_->dgrams[{node_, port_}] = state_;
   }
 
  private:
   SimNet::Impl* impl_;
   std::string node_;
   std::uint16_t port_;
-  util::Mutex mu_{util::LockRank::kSimPipe, "sim.dgram"};
-  util::CondVar cv_;
-  std::multimap<std::int64_t, Packet> inbox_ NAPLET_GUARDED_BY(mu_);
-  bool closed_ NAPLET_GUARDED_BY(mu_) = false;
+  std::shared_ptr<SimNet::Impl::DgramState> state_ =
+      std::make_shared<SimNet::Impl::DgramState>();
 };
 
 }  // namespace

@@ -1,0 +1,206 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace naplet::obs {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+double HistogramSnapshot::bucket_lower(int k) noexcept {
+  if (k <= 0) return 0.0;
+  return std::ldexp(1.0, k - 1);  // 2^(k-1)
+}
+
+double HistogramSnapshot::bucket_upper(int k) noexcept {
+  if (k <= 0) return 0.0;
+  // The overflow bucket has no finite upper edge; report its lower edge so
+  // percentiles degrade to a stated lower bound instead of inventing mass.
+  if (k >= kHistogramBuckets - 1) return bucket_lower(k);
+  return std::ldexp(1.0, k);  // 2^k
+}
+
+double HistogramSnapshot::percentile(double p) const noexcept {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Target cumulative rank in [1, count].
+  const double rank =
+      std::max(1.0, p / 100.0 * static_cast<double>(count));
+  std::uint64_t cum = 0;
+  for (int k = 0; k < kHistogramBuckets; ++k) {
+    const std::uint64_t n = buckets[static_cast<std::size_t>(k)];
+    if (n == 0) continue;
+    if (static_cast<double>(cum + n) >= rank) {
+      const double frac =
+          (rank - static_cast<double>(cum)) / static_cast<double>(n);
+      const double lo = bucket_lower(k);
+      return lo + frac * (bucket_upper(k) - lo);
+    }
+    cum += n;
+  }
+  return bucket_upper(kHistogramBuckets - 1);
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) noexcept {
+  count += other.count;
+  sum += other.sum;
+  for (std::size_t k = 0; k < buckets.size(); ++k) {
+    buckets[k] += other.buckets[k];
+  }
+}
+
+const CounterSnapshot* Snapshot::counter(std::string_view name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const GaugeSnapshot* Snapshot::gauge(std::string_view name) const {
+  for (const auto& g : gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* Snapshot::histogram(std::string_view name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  util::MutexLock lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  util::MutexLock lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view unit) {
+  util::MutexLock lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.try_emplace(std::string(name)).first;
+    it->second.unit = std::string(unit);
+  }
+  return it->second.hist;
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot out;
+  util::MutexLock lock(mu_);
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    out.counters.push_back({name, c.value()});
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    out.gauges.push_back({name, g.value()});
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, entry] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.unit = entry.unit;
+    h.count = entry.hist.count();
+    h.sum = entry.hist.sum();
+    for (int k = 0; k < kHistogramBuckets; ++k) {
+      h.buckets[static_cast<std::size_t>(k)] = entry.hist.bucket(k);
+    }
+    out.histograms.push_back(std::move(h));
+  }
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+std::string to_prometheus(const Snapshot& snapshot) {
+  std::string out;
+  for (const auto& c : snapshot.counters) {
+    out += "# TYPE " + c.name + " counter\n";
+    out += c.name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    out += "# TYPE " + g.name + " gauge\n";
+    out += g.name + " " + std::to_string(g.value) + "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    out += "# TYPE " + h.name + " histogram\n";
+    std::uint64_t cum = 0;
+    for (int k = 0; k < kHistogramBuckets; ++k) {
+      const std::uint64_t n = h.buckets[static_cast<std::size_t>(k)];
+      cum += n;
+      if (n == 0 && k != kHistogramBuckets - 1) continue;  // keep it compact
+      const std::string le = k == kHistogramBuckets - 1
+                                 ? "+Inf"
+                                 : fmt_double(HistogramSnapshot::bucket_upper(k));
+      out += h.name + "_bucket{le=\"" + le + "\"} " + std::to_string(cum) +
+             "\n";
+    }
+    out += h.name + "_sum " + std::to_string(h.sum) + "\n";
+    out += h.name + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+std::string to_json(const Snapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& c : snapshot.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + c.name + "\":" + std::to_string(c.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& g : snapshot.gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + g.name + "\":" + std::to_string(g.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& h : snapshot.histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + h.name + "\":{\"unit\":\"" + h.unit +
+           "\",\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + std::to_string(h.sum) +
+           ",\"p50\":" + fmt_double(h.percentile(50)) +
+           ",\"p95\":" + fmt_double(h.percentile(95)) +
+           ",\"p99\":" + fmt_double(h.percentile(99)) + ",\"buckets\":[";
+    for (int k = 0; k < kHistogramBuckets; ++k) {
+      if (k) out += ",";
+      out += std::to_string(h.buckets[static_cast<std::size_t>(k)]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace naplet::obs

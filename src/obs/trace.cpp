@@ -1,0 +1,115 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <map>
+
+#include "util/clock.hpp"
+
+namespace naplet::obs {
+
+std::string_view to_string(SpanKind kind) noexcept {
+  switch (kind) {
+    case SpanKind::kSuspendSent: return "suspend-sent";
+    case SpanKind::kDrainComplete: return "drain-complete";
+    case SpanKind::kJournalCommit: return "journal-commit";
+    case SpanKind::kHandoffAccept: return "handoff-accept";
+    case SpanKind::kResumeCommitted: return "resume-committed";
+    case SpanKind::kReplayDone: return "replay-done";
+    case SpanKind::kNote: return "note";
+  }
+  return "?";
+}
+
+bool Trace::has(SpanKind kind) const noexcept {
+  for (const auto& s : spans) {
+    if (s.kind == kind) return true;
+  }
+  return false;
+}
+
+std::string Trace::to_json() const {
+  char buf[64];
+  std::string out = "{\"trace_id\":\"";
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(id));
+  out += buf;
+  out += "\",\"spans\":[";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanEvent& s = spans[i];
+    if (i) out += ",";
+    std::snprintf(buf, sizeof buf, "%.6g", s.t_ms);
+    out += "{\"kind\":\"" + std::string(to_string(s.kind)) +
+           "\",\"host\":\"" + s.host +
+           "\",\"conn\":" + std::to_string(s.conn_id) +
+           ",\"t_ms\":" + buf + ",\"value\":" + std::to_string(s.value);
+    if (!s.detail.empty()) out += ",\"detail\":\"" + s.detail + "\"";
+    out += "}";
+  }
+  return out + "]}";
+}
+
+TraceSink::TraceSink() : t0_us_(util::RealClock::instance().now_us()) {}
+
+TraceSink& TraceSink::instance() {
+  static TraceSink sink;
+  return sink;
+}
+
+void TraceSink::record(SpanEvent event) {
+  if (event.trace_id == 0) return;
+  util::MutexLock lock(mu_);
+  event.t_ms = clock_ ? clock_()
+                      : static_cast<double>(
+                            util::RealClock::instance().now_us() - t0_us_) /
+                            1000.0;
+  if (events_.size() >= kCapacity) {
+    events_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  events_.push_back(std::move(event));
+}
+
+std::vector<SpanEvent> TraceSink::events() const {
+  util::MutexLock lock(mu_);
+  return {events_.begin(), events_.end()};
+}
+
+std::vector<Trace> TraceSink::traces() const {
+  std::vector<Trace> out;
+  std::map<std::uint64_t, std::size_t> index;
+  for (auto& event : events()) {
+    auto [it, fresh] = index.try_emplace(event.trace_id, out.size());
+    if (fresh) out.push_back(Trace{event.trace_id, {}});
+    out[it->second].spans.push_back(std::move(event));
+  }
+  return out;
+}
+
+std::vector<Trace> TraceSink::completed() const {
+  std::vector<Trace> out;
+  for (auto& trace : traces()) {
+    if (trace.complete()) out.push_back(std::move(trace));
+  }
+  return out;
+}
+
+void TraceSink::clear() {
+  util::MutexLock lock(mu_);
+  events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+void TraceSink::set_time_source(std::function<double()> now_ms) {
+  util::MutexLock lock(mu_);
+  clock_ = std::move(now_ms);
+}
+
+double TraceSink::now_ms() const {
+  util::MutexLock lock(mu_);
+  return clock_ ? clock_()
+                : static_cast<double>(util::RealClock::instance().now_us() -
+                                      t0_us_) /
+                      1000.0;
+}
+
+}  // namespace naplet::obs

@@ -1,0 +1,108 @@
+// Observability pillar 2: cross-host migration traces.
+//
+// A migration is one causal story told by two controllers and a redirector.
+// The initiating suspend mints a 64-bit trace id; the id rides — MAC
+// covered, exactly like the incarnation epoch — inside CtrlMsg/HandoffMsg,
+// so every participant attributes its span events (suspend-sent,
+// drain-complete, journal-commit, handoff-accept, resume-committed,
+// replay-done) to the same trace without any out-of-band coordination.
+//
+// The sink is process-global on purpose: in-process testbeds (SimNet
+// realms, the chaos harness) run every host in one process, so spans from
+// both ends of a migration land in one sink and stitch by id. Timestamps
+// come from a pluggable time source — wall milliseconds by default, the
+// DES virtual clock when a simulator binds itself (mirroring the fault
+// clock), which is what makes simulated traces deterministic and
+// assertable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace naplet::obs {
+
+enum class SpanKind : std::uint8_t {
+  kSuspendSent = 0,    ///< initiator sent SUS (trace id just minted)
+  kDrainComplete,      ///< in-flight frames drained to the declared mark
+  kJournalCommit,      ///< a durable commit point was recorded
+  kHandoffAccept,      ///< redirector accepted the handoff request
+  kResumeCommitted,    ///< RESUME handshake committed on this host
+  kReplayDone,         ///< buffered/history frames replayed exactly-once
+  kNote,               ///< free-form auxiliary event
+};
+
+[[nodiscard]] std::string_view to_string(SpanKind kind) noexcept;
+
+struct SpanEvent {
+  std::uint64_t trace_id = 0;
+  SpanKind kind = SpanKind::kNote;
+  std::uint64_t conn_id = 0;
+  std::string host;    ///< node/controller that produced the event
+  std::string detail;  ///< e.g. the journal commit point name
+  double t_ms = 0;     ///< sink clock at record time
+  std::uint64_t value = 0;  ///< kind-specific payload (bytes drained, ...)
+};
+
+/// All spans sharing one trace id, in sink arrival order.
+struct Trace {
+  std::uint64_t id = 0;
+  std::vector<SpanEvent> spans;
+
+  [[nodiscard]] bool has(SpanKind kind) const noexcept;
+  /// A trace is complete once some host committed the resume.
+  [[nodiscard]] bool complete() const noexcept {
+    return has(SpanKind::kResumeCommitted);
+  }
+  [[nodiscard]] std::string to_json() const;
+};
+
+class TraceSink {
+ public:
+  static TraceSink& instance();
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Record one span. Events with trace_id 0 are dropped (no trace is in
+  /// flight). Stamps t_ms from the sink clock. Bounded: the oldest events
+  /// are evicted past kCapacity and counted in dropped().
+  void record(SpanEvent event);
+
+  [[nodiscard]] std::vector<SpanEvent> events() const;
+  /// Events grouped by id; traces ordered by first appearance.
+  [[nodiscard]] std::vector<Trace> traces() const;
+  /// Only the traces whose resume has committed (exportable).
+  [[nodiscard]] std::vector<Trace> completed() const;
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  void clear();
+
+  /// Replace the span clock (nullptr restores wall ms since construction).
+  /// The DES engine binds its virtual now() here — see
+  /// sim::Simulator::bind_trace_clock().
+  void set_time_source(std::function<double()> now_ms);
+  [[nodiscard]] double now_ms() const;
+
+ private:
+  TraceSink();
+
+  static constexpr std::size_t kCapacity = 8192;
+
+  mutable util::Mutex mu_{util::LockRank::kObsTrace, "obs.trace"};
+  std::deque<SpanEvent> events_ NAPLET_GUARDED_BY(mu_);
+  std::function<double()> clock_ NAPLET_GUARDED_BY(mu_);
+  std::int64_t t0_us_ = 0;
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace naplet::obs

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "fault/fault.hpp"
+#include "obs/trace.hpp"
 
 namespace naplet::sim {
 
@@ -13,6 +14,14 @@ void Simulator::bind_fault_clock() const {
 
 void Simulator::unbind_fault_clock() {
   fault::Injector::instance().set_time_source(nullptr);
+}
+
+void Simulator::bind_trace_clock() const {
+  obs::TraceSink::instance().set_time_source([this] { return now(); });
+}
+
+void Simulator::unbind_trace_clock() {
+  obs::TraceSink::instance().set_time_source(nullptr);
 }
 
 void Simulator::schedule_at(double t_ms, Handler handler) {

@@ -35,6 +35,13 @@ class Simulator {
   /// Restore the injector's default wall clock.
   static void unbind_fault_clock();
 
+  /// Make this simulator's virtual clock the migration-trace timestamp
+  /// source, so span t_ms values are deterministic DES times instead of
+  /// wall time. Unbind before destroying the simulator.
+  void bind_trace_clock() const;
+  /// Restore the trace sink's default wall clock.
+  static void unbind_trace_clock();
+
   [[nodiscard]] std::uint64_t events_processed() const noexcept {
     return events_processed_;
   }

@@ -1,5 +1,6 @@
 #include "util/lock_rank.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -58,8 +59,17 @@ void print_stack(const char* label, void* const* frames, int count) {
   std::fprintf(stderr, "    <no backtrace available>\n");
 }
 
+std::atomic<void (*)()> g_violation_hook{nullptr};
+
 [[noreturn]] void die(const Held& conflicting, LockRank rank,
                       const char* name, const char* why) {
+  // Fire the diagnostics hook (flight-recorder dump) exactly once, even if
+  // the hook itself trips another violation on this dying thread.
+  static std::atomic<bool> hook_fired{false};
+  if (void (*hook)() = g_violation_hook.load(std::memory_order_acquire);
+      hook != nullptr && !hook_fired.exchange(true)) {
+    hook();
+  }
   void* now_frames[kMaxFrames];
   int now_count = 0;
 #if NAPLET_HAVE_BACKTRACE
@@ -115,5 +125,9 @@ void note_release(const void* mu) {
 }
 
 std::size_t held_count() { return t_held.size(); }
+
+void set_violation_hook(void (*hook)()) {
+  g_violation_hook.store(hook, std::memory_order_release);
+}
 
 }  // namespace naplet::util::lock_rank

@@ -60,6 +60,13 @@ enum class LockRank : int {
   // cell), so its registry lock sits just above the leaves.
   kFaultInjector = 90,  ///< fault::Injector::mu_
 
+  // Observability: metric registration and span recording happen from
+  // protocol code that may hold any lock above (journal-commit spans fire
+  // under the controller lock), so these sit with the fault injector.
+  // Hot-path metric *recording* is lock-free and never takes either.
+  kObsRegistry = 92,  ///< obs::Registry::mu_ (registration/snapshot only)
+  kObsTrace = 94,     ///< obs::TraceSink::mu_
+
   kLogger = 100,  ///< the log sink lock: innermost, everyone may log
 };
 
@@ -86,6 +93,14 @@ void note_release(const void* mu);
 
 /// Number of ranked locks the calling thread currently holds (tests).
 std::size_t held_count();
+
+/// Install a hook invoked (once, re-entrancy guarded) when a rank
+/// violation is detected, just before the diagnostics are printed and the
+/// process aborts. The observability layer registers its flight-recorder
+/// dump here so every lock-order abort ships with recent execution
+/// history. util cannot depend on obs, hence the inversion. nullptr
+/// uninstalls. The hook must not assume any lock is acquirable.
+void set_violation_hook(void (*hook)());
 
 }  // namespace lock_rank
 }  // namespace naplet::util

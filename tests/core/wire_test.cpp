@@ -22,6 +22,7 @@ TEST(CtrlMsg, RoundTripAllFields) {
   msg.conn_id = 0xABCDEF;
   msg.epoch = 11;
   msg.verifier = 42;
+  msg.trace_id = 0x1122334455667788ULL;
   msg.sent_seq = 777;
   msg.client_agent = "client-a";
   msg.server_agent = "server-b";
@@ -38,6 +39,7 @@ TEST(CtrlMsg, RoundTripAllFields) {
   EXPECT_EQ(decoded->conn_id, msg.conn_id);
   EXPECT_EQ(decoded->epoch, msg.epoch);
   EXPECT_EQ(decoded->verifier, msg.verifier);
+  EXPECT_EQ(decoded->trace_id, msg.trace_id);
   EXPECT_EQ(decoded->sent_seq, msg.sent_seq);
   EXPECT_EQ(decoded->client_agent, msg.client_agent);
   EXPECT_EQ(decoded->server_agent, msg.server_agent);
@@ -111,6 +113,7 @@ TEST(HandoffMsg, RoundTrip) {
   msg.conn_id = 123;
   msg.epoch = 6;
   msg.verifier = 456;
+  msg.trace_id = 0x99AABBCCDDEEFF00ULL;
   msg.sent_seq = 789;
   msg.recv_seq = 777;
   msg.agent = "mover-agent";
@@ -125,6 +128,7 @@ TEST(HandoffMsg, RoundTrip) {
   EXPECT_EQ(decoded->conn_id, msg.conn_id);
   EXPECT_EQ(decoded->epoch, msg.epoch);
   EXPECT_EQ(decoded->verifier, msg.verifier);
+  EXPECT_EQ(decoded->trace_id, msg.trace_id);
   EXPECT_EQ(decoded->sent_seq, msg.sent_seq);
   EXPECT_EQ(decoded->recv_seq, msg.recv_seq);
   EXPECT_EQ(decoded->agent, msg.agent);
@@ -176,6 +180,7 @@ TEST_P(DecoderFuzz, BitFlipsNeverRoundTripSilently) {
     const bool differs = decoded->type != msg.type ||
                          decoded->conn_id != msg.conn_id ||
                          decoded->epoch != msg.epoch ||
+                         decoded->trace_id != msg.trace_id ||
                          decoded->sent_seq != msg.sent_seq ||
                          decoded->client_agent != msg.client_agent ||
                          decoded->mac != msg.mac ||

@@ -1,0 +1,62 @@
+// Pins the invariant stats.cpp relies on: ControllerStats::to_string()
+// renders the registry snapshot generically, so EVERY metric registered by
+// the controller appears in the rendered stats by name — a new instrument
+// can never be silently missing from the diagnostic output.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/test_realm.hpp"
+
+namespace naplet::nsock {
+namespace {
+
+using namespace naplet::nsock::testing;
+
+TEST(MetricsRender, EveryRegisteredMetricAppearsInStats) {
+  SimRealm realm(2, /*security=*/true);
+  auto alice = realm.pseudo_agent("alice", 0);
+  auto bob = realm.pseudo_agent("bob", 1);
+  ConnPair conn = make_connection(realm, alice, 0, bob, 1);
+  ASSERT_TRUE(conn.client && conn.server);
+  // One suspend/resume round so the migration histograms are non-empty.
+  ASSERT_TRUE(realm.ctrl(0).suspend(conn.client).ok());
+  ASSERT_TRUE(realm.ctrl(0).resume(conn.client).ok());
+
+  const ControllerStats stats = realm.ctrl(0).stats();
+  const std::string rendered = stats.to_string();
+
+  EXPECT_FALSE(stats.metrics.counters.empty());
+  EXPECT_FALSE(stats.metrics.gauges.empty());
+  EXPECT_FALSE(stats.metrics.histograms.empty());
+  for (const auto& c : stats.metrics.counters) {
+    EXPECT_NE(rendered.find(c.name), std::string::npos)
+        << "counter " << c.name << " missing from:\n" << rendered;
+  }
+  for (const auto& g : stats.metrics.gauges) {
+    EXPECT_NE(rendered.find(g.name), std::string::npos)
+        << "gauge " << g.name << " missing from:\n" << rendered;
+  }
+  for (const auto& h : stats.metrics.histograms) {
+    EXPECT_NE(rendered.find(h.name), std::string::npos)
+        << "histogram " << h.name << " missing from:\n" << rendered;
+  }
+
+  // Spot-check the instruments the migration should have populated.
+  const auto* suspend = stats.metrics.histogram("nsock_suspend_latency_us");
+  ASSERT_NE(suspend, nullptr);
+  EXPECT_GE(suspend->count, 1u);
+  const auto* resume = stats.metrics.histogram("nsock_resume_latency_us");
+  ASSERT_NE(resume, nullptr);
+  EXPECT_GE(resume->count, 1u);
+  const auto* connect = stats.metrics.histogram("nsock_connect_total_us");
+  ASSERT_NE(connect, nullptr);
+  EXPECT_GE(connect->count, 1u);
+  const auto* rtt = stats.metrics.histogram("rudp_rtt_us");
+  ASSERT_NE(rtt, nullptr);
+  EXPECT_GE(rtt->count, 1u);
+  EXPECT_GE(stats.metrics.gauge("sessions")->value, 1);
+}
+
+}  // namespace
+}  // namespace naplet::nsock

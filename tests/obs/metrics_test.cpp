@@ -1,0 +1,172 @@
+// Metrics registry unit tests: log2 histogram bucket boundaries,
+// percentile interpolation, the overflow bucket, snapshot merging, and the
+// Prometheus/JSON exporters round-tripping every registered metric.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace naplet::obs {
+namespace {
+
+TEST(Histogram, BucketBoundaries) {
+  // Bucket 0 is exactly the value 0; bucket k holds [2^(k-1), 2^k).
+  EXPECT_EQ(Histogram::bucket_of(0), 0);
+  EXPECT_EQ(Histogram::bucket_of(1), 1);
+  EXPECT_EQ(Histogram::bucket_of(2), 2);
+  EXPECT_EQ(Histogram::bucket_of(3), 2);
+  EXPECT_EQ(Histogram::bucket_of(4), 3);
+  EXPECT_EQ(Histogram::bucket_of(7), 3);
+  EXPECT_EQ(Histogram::bucket_of(8), 4);
+  EXPECT_EQ(Histogram::bucket_of(1023), 10);
+  EXPECT_EQ(Histogram::bucket_of(1024), 11);
+
+  for (int k = 1; k < kHistogramBuckets - 1; ++k) {
+    const auto lo = static_cast<std::uint64_t>(HistogramSnapshot::bucket_lower(k));
+    const auto hi = static_cast<std::uint64_t>(HistogramSnapshot::bucket_upper(k));
+    EXPECT_EQ(Histogram::bucket_of(lo), k) << "lower edge of bucket " << k;
+    EXPECT_EQ(Histogram::bucket_of(hi - 1), k) << "last value of bucket " << k;
+    EXPECT_EQ(Histogram::bucket_of(hi), k + 1) << "upper edge of bucket " << k;
+  }
+}
+
+TEST(Histogram, OverflowBucketClamps) {
+  // Everything at or above 2^(kHistogramBuckets-2) lands in the last bucket.
+  const auto edge = std::uint64_t{1} << (kHistogramBuckets - 2);
+  EXPECT_EQ(Histogram::bucket_of(edge - 1), kHistogramBuckets - 2);
+  EXPECT_EQ(Histogram::bucket_of(edge), kHistogramBuckets - 1);
+  EXPECT_EQ(Histogram::bucket_of(~std::uint64_t{0}), kHistogramBuckets - 1);
+
+  Registry reg;
+  Histogram& h = reg.histogram("overflow");
+  h.record(~std::uint64_t{0});
+  const Snapshot snapshot = reg.snapshot();
+  const auto* snap = snapshot.histogram("overflow");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->buckets[kHistogramBuckets - 1], 1u);
+  // The overflow bucket reports its lower edge rather than inventing mass.
+  EXPECT_DOUBLE_EQ(snap->percentile(99),
+                   HistogramSnapshot::bucket_lower(kHistogramBuckets - 1));
+}
+
+TEST(Histogram, CountSumAndMean) {
+  Registry reg;
+  Histogram& h = reg.histogram("cs");
+  for (std::uint64_t v : {0u, 1u, 5u, 10u}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 16u);
+  const Snapshot snapshot = reg.snapshot();
+  const auto* snap = snapshot.histogram("cs");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_DOUBLE_EQ(snap->mean(), 4.0);
+}
+
+TEST(Histogram, PercentileInterpolation) {
+  // 100 samples of the value 6 all land in bucket 3 = [4, 8). The median
+  // rank falls halfway through the bucket, so p50 interpolates to the
+  // middle of the bucket's value range, and p100 reaches its upper edge.
+  HistogramSnapshot snap;
+  snap.count = 100;
+  snap.buckets[3] = 100;
+  EXPECT_DOUBLE_EQ(snap.percentile(50), 6.0);
+  EXPECT_DOUBLE_EQ(snap.percentile(100), 8.0);
+  // Rank 1 of 100 is 1% of the way into the bucket.
+  EXPECT_DOUBLE_EQ(snap.percentile(0), 4.0 + 0.01 * 4.0);
+
+  // Two buckets: 50 samples in [4,8), 50 in [8,16). p25 is inside the
+  // first bucket, p75 inside the second.
+  HistogramSnapshot two;
+  two.count = 100;
+  two.buckets[3] = 50;
+  two.buckets[4] = 50;
+  EXPECT_DOUBLE_EQ(two.percentile(25), 4.0 + (25.0 / 50.0) * 4.0);
+  EXPECT_DOUBLE_EQ(two.percentile(75), 8.0 + (25.0 / 50.0) * 8.0);
+
+  // Empty histogram yields 0, not NaN.
+  EXPECT_DOUBLE_EQ(HistogramSnapshot{}.percentile(50), 0.0);
+}
+
+TEST(Histogram, MergeAccumulatesElementWise) {
+  Registry reg;
+  Histogram& a = reg.histogram("a");
+  Histogram& b = reg.histogram("b");
+  for (int i = 0; i < 10; ++i) a.record(5);    // bucket 3
+  for (int i = 0; i < 30; ++i) b.record(100);  // bucket 7
+  Snapshot snap = reg.snapshot();
+  HistogramSnapshot merged = *snap.histogram("a");
+  merged.merge(*snap.histogram("b"));
+  EXPECT_EQ(merged.count, 40u);
+  EXPECT_EQ(merged.sum, 10u * 5 + 30u * 100);
+  EXPECT_EQ(merged.buckets[3], 10u);
+  EXPECT_EQ(merged.buckets[7], 30u);
+  // p75 of the merged distribution is inside the [64,128) bucket.
+  EXPECT_GE(merged.percentile(75), 64.0);
+  EXPECT_LE(merged.percentile(75), 128.0);
+}
+
+TEST(Registry, GetOrCreateReturnsStableInstruments) {
+  Registry reg;
+  Counter& c1 = reg.counter("hits");
+  Counter& c2 = reg.counter("hits");
+  EXPECT_EQ(&c1, &c2);
+  c1.add(3);
+  EXPECT_EQ(c2.value(), 3u);
+
+  Gauge& g = reg.gauge("depth");
+  g.set(-7);
+  EXPECT_EQ(reg.gauge("depth").value(), -7);
+
+  Histogram& h = reg.histogram("lat", "bytes");
+  h.record(1);
+  Snapshot snap = reg.snapshot();
+  ASSERT_NE(snap.histogram("lat"), nullptr);
+  EXPECT_EQ(snap.histogram("lat")->unit, "bytes");
+  EXPECT_EQ(snap.counter("hits")->value, 3u);
+  EXPECT_EQ(snap.gauge("depth")->value, -7);
+  EXPECT_EQ(snap.counter("nope"), nullptr);
+}
+
+/// Both exporters must render every registered metric: a metric that can
+/// be recorded but silently missing from an export is the failure mode
+/// this subsystem exists to prevent.
+TEST(Exporters, EveryRegisteredMetricAppears) {
+  Registry reg;
+  reg.counter("c_one").add(1);
+  reg.counter("c_two");  // registered but never incremented: still exported
+  reg.gauge("g_depth").set(42);
+  reg.histogram("h_lat").record(100);
+  reg.histogram("h_bytes", "bytes");  // empty histogram: still exported
+
+  const Snapshot snap = reg.snapshot();
+  const std::string prom = to_prometheus(snap);
+  const std::string json = to_json(snap);
+  for (const char* name :
+       {"c_one", "c_two", "g_depth", "h_lat", "h_bytes"}) {
+    EXPECT_NE(prom.find(name), std::string::npos) << name << " in:\n" << prom;
+    EXPECT_NE(json.find(std::string("\"") + name + "\""), std::string::npos)
+        << name << " in:\n" << json;
+  }
+
+  // Values round-trip, not just names.
+  EXPECT_NE(prom.find("c_one 1\n"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("g_depth 42\n"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("h_lat_count 1\n"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("h_lat_sum 100\n"), std::string::npos) << prom;
+  EXPECT_NE(json.find("\"c_one\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"g_depth\":42"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":1,\"sum\":100"), std::string::npos) << json;
+}
+
+TEST(Exporters, PrometheusCumulativeBucketsEndAtInf) {
+  Registry reg;
+  Histogram& h = reg.histogram("b");
+  h.record(3);
+  h.record(300);
+  const std::string prom = to_prometheus(reg.snapshot());
+  // The +Inf bucket's cumulative count equals the total count.
+  EXPECT_NE(prom.find("b_bucket{le=\"+Inf\"} 2"), std::string::npos) << prom;
+}
+
+}  // namespace
+}  // namespace naplet::obs

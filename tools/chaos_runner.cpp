@@ -143,6 +143,9 @@ int main(int argc, char** argv) {
     }
     if (!result.pass) {
       ++failures;
+      if (!result.recorder_dump.empty()) {
+        std::printf("  flight_recorder:\n%s", result.recorder_dump.c_str());
+      }
       if (minimize) {
         int reruns = 0;
         const naplet::fault::Plan minimal =
