@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "bench/bench_util.hpp"
+#include "net/rudp.hpp"
 #include "net/sim.hpp"
 #include "obs/metrics.hpp"
 
@@ -190,6 +191,92 @@ RestartResult run_restart() {
   return result;
 }
 
+// --- lossy-link suspend/resume sweep ---------------------------------------
+// Quantifies what the pipelined sliding-window rudp (SACK, RTT-adaptive
+// timers, XOR-FEC) buys for the paper's core operation — suspending and
+// resuming a live session — when the control channel crosses a lossy 1 ms
+// link. "baseline" pins the transport to the seed's stop-and-wait shape:
+// one packet in flight, fixed retransmit timer, no SACK-driven fast
+// retransmit, no loss repair.
+
+struct SweepModeResult {
+  double suspend_p50 = 0, suspend_p95 = 0, suspend_p99 = 0;
+  double resume_p50 = 0, resume_p95 = 0, resume_p99 = 0;
+  std::uint64_t retransmits = 0;  // both directions
+  std::uint64_t fec_repairs = 0;  // both directions
+};
+
+nsock::NodeConfig sweep_node_config(bool pipelined) {
+  nsock::NodeConfig config;
+  config.controller.security = false;
+  auto& rudp = config.server.rudp_config;
+  rudp.retransmit_interval = std::chrono::milliseconds(15);
+  rudp.max_attempts = 40;
+  if (pipelined) {
+    rudp.repair = net::LossRepair::kXorFec;
+  } else {
+    rudp.window_packets = 1;
+    rudp.adaptive_rto = false;
+    rudp.fast_retx_dupacks = 0;  // 0 disables fast retransmit
+    rudp.repair = net::LossRepair::kNone;
+  }
+  return config;
+}
+
+SweepModeResult run_loss_point(double loss, bool pipelined, int rounds) {
+  net::SimNet net(/*seed=*/7);
+  net.set_default_link(net::LinkConfig{.latency = 1ms, .datagram_loss = loss});
+  nsock::Realm realm;
+  for (const char* name : {"a", "b"}) {
+    realm.add_node(name, net.add_node(name), sweep_node_config(pipelined));
+  }
+  if (!realm.start().ok()) std::abort();
+
+  agent::AgentId cli("cli"), srv("srv");
+  realm.locations().register_agent(cli,
+                                   realm.node("a").server().node_info());
+  realm.locations().register_agent(srv,
+                                   realm.node("b").server().node_info());
+  if (!realm.node("b").controller().listen(srv).ok()) std::abort();
+  auto client = realm.node("a").controller().connect(cli, srv);
+  if (!client.ok()) std::abort();
+  auto server = realm.node("b").controller().accept(srv, 5s);
+  if (!server.ok()) std::abort();
+
+  auto& ctrl = realm.node("a").controller();
+  for (int i = 0; i < rounds; ++i) {
+    if (!ctrl.suspend(*client).ok()) std::abort();
+    if (!ctrl.resume(*client).ok()) std::abort();
+  }
+
+  SweepModeResult result;
+  const obs::Snapshot origin = ctrl.metrics().snapshot();
+  if (const auto* h = origin.histogram("nsock_suspend_latency_us")) {
+    result.suspend_p50 = h->percentile(50);
+    result.suspend_p95 = h->percentile(95);
+    result.suspend_p99 = h->percentile(99);
+  }
+  if (const auto* h = origin.histogram("nsock_resume_latency_us")) {
+    result.resume_p50 = h->percentile(50);
+    result.resume_p95 = h->percentile(95);
+    result.resume_p99 = h->percentile(99);
+  }
+  // Loss hits both directions; retransmits accrue on each node's sender and
+  // FEC repairs on each node's receiver, so sum the two controllers.
+  const obs::Snapshot remote =
+      realm.node("b").controller().metrics().snapshot();
+  for (const obs::Snapshot* snap : {&origin, &remote}) {
+    if (const auto* h = snap->histogram("rudp_retransmits_per_send")) {
+      result.retransmits += h->sum;
+    }
+    if (const auto* c = snap->counter("rudp_fec_repairs")) {
+      result.fec_repairs += c->value;
+    }
+  }
+  realm.stop();
+  return result;
+}
+
 }  // namespace
 }  // namespace naplet::bench
 
@@ -241,6 +328,49 @@ int main(int argc, char** argv) {
               restart.ok ? "resumed" : "FAILED", restart.restart_recovery_ms,
               static_cast<unsigned long long>(restart.resume_retries));
 
+  // Suspend/resume latency vs datagram loss, stop-and-wait transport vs the
+  // pipelined sliding-window rudp (adaptive RTO + SACK fast retransmit +
+  // XOR-FEC).
+  const std::vector<double> losses =
+      fast_mode() ? std::vector<double>{0.0, 0.10}
+                  : std::vector<double>{0.0, 0.05, 0.10, 0.20};
+  const int sweep_rounds = fast_mode() ? 12 : 60;
+  print_header("suspend/resume over lossy link (" +
+                   std::to_string(sweep_rounds) + " rounds per point, us)",
+               {"loss", "mode", "susp p50", "susp p95", "resume p50",
+                "resume p95", "retx", "fec fix"});
+  struct SweepRow {
+    double loss;
+    SweepModeResult baseline, pipelined;
+  };
+  std::vector<SweepRow> sweep;
+  for (double loss : losses) {
+    SweepRow row;
+    row.loss = loss;
+    row.baseline = run_loss_point(loss, /*pipelined=*/false, sweep_rounds);
+    row.pipelined = run_loss_point(loss, /*pipelined=*/true, sweep_rounds);
+    for (const auto& [label, r] :
+         {std::pair<const char*, const SweepModeResult*>{"stop-and-wait",
+                                                         &row.baseline},
+          {"pipelined", &row.pipelined}}) {
+      print_row({fmt(100.0 * loss, 0) + "%", label, fmt(r->suspend_p50, 0),
+                 fmt(r->suspend_p95, 0), fmt(r->resume_p50, 0),
+                 fmt(r->resume_p95, 0), std::to_string(r->retransmits),
+                 std::to_string(r->fec_repairs)});
+    }
+    sweep.push_back(row);
+  }
+  // The acceptance bar for the transport rebuild: at 10% loss the pipelined
+  // stack halves the suspend->resume p95 relative to stop-and-wait.
+  bool sweep_ok = false;
+  double base_p95 = 0, pipe_p95 = 0;
+  for (const auto& row : sweep) {
+    if (std::abs(row.loss - 0.10) > 1e-9) continue;
+    base_p95 = row.baseline.suspend_p95 + row.baseline.resume_p95;
+    pipe_p95 = row.pipelined.suspend_p95 + row.pipelined.resume_p95;
+    sweep_ok = pipe_p95 > 0 && base_p95 >= 2.0 * pipe_p95;
+  }
+
   std::printf("\nshape checks:\n");
   std::printf("  recovery ON delivers everything : %s (%d/%d)\n",
               on.delivered == total ? "PASS" : "FAIL", on.delivered, total);
@@ -251,6 +381,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(on.repairs));
   std::printf("  restart recovery resumes        : %s\n",
               restart.ok ? "PASS" : "FAIL");
+  std::printf("  pipelined >=2x at 10%% loss      : %s "
+              "(suspend+resume p95: %.0f us vs %.0f us)\n",
+              sweep_ok ? "PASS" : "FAIL", base_p95, pipe_p95);
 
   if (json_flag(argc, argv)) {
     JsonObject obj;
@@ -288,6 +421,31 @@ int main(int argc, char** argv) {
                          .field("p99_us", h->percentile(99))
                          .render());
     }
+    // Per-loss-rate suspend/resume percentiles for both transport modes
+    // (new keys; everything above is unchanged for existing consumers).
+    const auto mode_json = [](const SweepModeResult& r) {
+      return JsonObject()
+          .field("suspend_p50_us", r.suspend_p50)
+          .field("suspend_p95_us", r.suspend_p95)
+          .field("suspend_p99_us", r.suspend_p99)
+          .field("resume_p50_us", r.resume_p50)
+          .field("resume_p95_us", r.resume_p95)
+          .field("resume_p99_us", r.resume_p99)
+          .field("retransmits", r.retransmits)
+          .field("fec_repairs", r.fec_repairs)
+          .render();
+    };
+    std::vector<std::string> sweep_points;
+    for (const auto& row : sweep) {
+      sweep_points.push_back(
+          JsonObject()
+              .field("loss_pct", 100.0 * row.loss)
+              .field("rounds", static_cast<std::uint64_t>(sweep_rounds))
+              .raw("stop_and_wait", mode_json(row.baseline))
+              .raw("pipelined", mode_json(row.pipelined))
+              .render());
+    }
+    obj.raw("loss_sweep", json_array(sweep_points));
     write_json_file("BENCH_ext_failure_recovery.json", obj.render());
   }
   return 0;

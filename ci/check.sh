@@ -2,13 +2,17 @@
 # The full local CI gate:
 #
 #   1. Debug build + full ctest       (lock-rank validator active)
+#      + explicit `ctest -L net`       (rudp sliding-window/SACK/FEC suite)
 #      + fixed-seed chaos_runner smoke (25 replayable fault schedules)
 #      + pinned-seed crash-restart smoke (recovery on and off)
+#      + loss-sweep bench smoke        (fast-mode JSON, parsed + shape-checked)
 #   2. Sanitize build + full ctest    (ASan + UBSan)
+#      + explicit `ctest -L net`
 #   3. Tsan build + `ctest -L tsan`   (pinned light concurrency sweep)
 #      + `ctest -L faults`            (fault-injection suite under TSan)
 #      + `ctest -L recovery`          (crash-restart recovery under TSan)
 #      + `ctest -L obs`              (observability suite under TSan)
+#      + `ctest -L net`              (the rudp transport under TSan)
 #   4. run-clang-tidy over src/       (bugprone / concurrency / performance)
 #   5. clang-format --dry-run         (check-only; no reformatting)
 #
@@ -41,6 +45,9 @@ cmake --preset debug >/dev/null
 cmake --build --preset debug -j "$JOBS"
 ctest --test-dir build-debug --output-on-failure -j "$JOBS"
 
+note "rudp transport suite (ctest -L net, Debug)"
+ctest --test-dir build-debug -L net --output-on-failure -j "$JOBS"
+
 note "chaos smoke (fixed-seed, replayable)"
 NAPLET_FAULTS_LIGHT=1 ./build-debug/tools/chaos_runner --seed 42 --runs 25 --light
 
@@ -52,11 +59,42 @@ for scenario in 3 4 5; do
     --seed 5 --scenario "$scenario" --light --no-recovery
 done
 
+note "loss-sweep bench smoke (fast mode, JSON parsed)"
+if command -v python3 >/dev/null 2>&1; then
+  (cd build-debug/bench && NAPLET_BENCH_FAST=1 ./ext_failure_recovery --json \
+    >/dev/null)
+  python3 - build-debug/bench/BENCH_ext_failure_recovery.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+sweep = data["loss_sweep"]
+assert sweep, "loss_sweep is empty"
+for point in sweep:
+    for mode in ("stop_and_wait", "pipelined"):
+        for key in ("suspend_p95_us", "resume_p95_us"):
+            assert point[mode][key] > 0, f"{mode}.{key} missing at {point['loss_pct']}%"
+lossy = [p for p in sweep if p["loss_pct"] >= 10]
+assert lossy, "no >=10% loss point in sweep"
+for p in lossy:
+    base = p["stop_and_wait"]["suspend_p95_us"] + p["stop_and_wait"]["resume_p95_us"]
+    pipe = p["pipelined"]["suspend_p95_us"] + p["pipelined"]["resume_p95_us"]
+    assert pipe <= base, (
+        f"pipelined p95 worse than stop-and-wait at {p['loss_pct']}% "
+        f"({pipe:.0f} vs {base:.0f} us)")
+print("loss-sweep JSON ok:", ", ".join(
+    f"{p['loss_pct']:.0f}%" for p in sweep))
+EOF
+else
+  skip "python3 not installed (loss-sweep JSON parse)"
+fi
+
 if [ "$SKIP_SANITIZE" -eq 0 ]; then
   note "Sanitize build (ASan + UBSan)"
   cmake --preset sanitize >/dev/null
   cmake --build --preset sanitize -j "$JOBS"
   ctest --test-dir build-sanitize --output-on-failure -j "$JOBS"
+  note "rudp transport suite (ctest -L net, ASan+UBSan)"
+  ctest --test-dir build-sanitize -L net --output-on-failure -j "$JOBS"
 else
   skip "--skip-sanitize"
 fi
@@ -69,6 +107,11 @@ if [ "$SKIP_TSAN" -eq 0 ]; then
   ctest --test-dir build-tsan -L faults --output-on-failure -j "$JOBS"
   ctest --test-dir build-tsan -L recovery --output-on-failure -j "$JOBS"
   ctest --test-dir build-tsan -L obs --output-on-failure -j "$JOBS"
+  # The `net` test has no per-test TSAN env property (it also runs in
+  # non-TSan builds), so supply the suppressions here.
+  NAPLET_TSAN_LIGHT=1 \
+  TSAN_OPTIONS="suppressions=$(pwd)/ci/tsan.supp halt_on_error=1 second_deadlock_stack=1" \
+    ctest --test-dir build-tsan -L net --output-on-failure -j "$JOBS"
 else
   skip "--skip-tsan"
 fi

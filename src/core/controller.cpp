@@ -108,9 +108,15 @@ util::Status SocketController::start() {
       [this](const net::Endpoint& from, util::ByteSpan payload) {
         on_ctrl(from, payload);
       });
-  server_.bus().channel().bind_metrics(
-      &registry_.histogram("rudp_rtt_us"),
-      &registry_.histogram("rudp_retransmits_per_send", "count"));
+  server_.bus().channel().bind_instruments(net::RudpInstruments{
+      .rtt_us = &registry_.histogram("rudp_rtt_us"),
+      .retransmits_per_send =
+          &registry_.histogram("rudp_retransmits_per_send", "count"),
+      .window_inflight = &registry_.gauge("rudp_window_inflight"),
+      .sack_blocks = &registry_.counter("rudp_sack_blocks"),
+      .fast_retransmits = &registry_.counter("rudp_fast_retransmits"),
+      .fec_repairs = &registry_.counter("rudp_fec_repairs"),
+  });
   server_.set_redirector_endpoint(redirector_->endpoint());
   server_.set_migrator(this);
   server_.register_service(kServiceName, this);

@@ -475,6 +475,16 @@ util::Status SocketController::do_resume_once(const SessionPtr& session) {
   NAPLET_RETURN_IF_ERROR(session->advance(ConnEvent::kAppResume));
   const std::int64_t deadline = now_us() + config_.resume_timeout.count();
 
+  // Escalating retry pacing: the common first failure is the peer still
+  // settling (its passive suspend draining, or a location entry one step
+  // stale), which resolves within a few ms. Start small and escalate to
+  // the old fixed 20ms only if the peer stays unreachable.
+  util::Duration retry_pause = std::chrono::milliseconds(2);
+  const auto pause_and_escalate = [&retry_pause] {
+    util::RealClock::instance().sleep_for(retry_pause);
+    retry_pause = std::min(kRetrySleep, retry_pause * 2);
+  };
+
   while (now_us() < deadline) {
     // A glare resume from the peer may have established us already.
     const ConnState current = session->state();
@@ -501,7 +511,7 @@ util::Status SocketController::do_resume_once(const SessionPtr& session) {
       // location service and retry.
       auto fresh = server_.locations().try_lookup(session->peer_agent());
       if (fresh) session->set_peer_node(*fresh);
-      util::RealClock::instance().sleep_for(kRetrySleep);
+      pause_and_escalate();
       continue;
     }
     std::shared_ptr<net::Stream> data_socket(std::move(*stream));
@@ -522,13 +532,13 @@ util::Status SocketController::do_resume_once(const SessionPtr& session) {
                                                 session->session_key().size()));
         !st2.ok()) {
       data_socket->close();
-      util::RealClock::instance().sleep_for(kRetrySleep);
+      pause_and_escalate();
       continue;
     }
     auto reply_frame = net::read_frame(*data_socket);
     if (!reply_frame.ok()) {
       data_socket->close();
-      util::RealClock::instance().sleep_for(kRetrySleep);
+      pause_and_escalate();
       continue;
     }
     auto reply = HandoffMsg::decode(
@@ -617,7 +627,7 @@ util::Status SocketController::do_resume_once(const SessionPtr& session) {
         data_socket->close();
         auto fresh = server_.locations().try_lookup(session->peer_agent());
         if (fresh) session->set_peer_node(*fresh);
-        util::RealClock::instance().sleep_for(kRetrySleep);
+        pause_and_escalate();
         continue;
       }
     }
@@ -686,7 +696,20 @@ void SocketController::handle_resume_request(
     return;
   }
 
-  const ConnState st = session->state();
+  ConnState st = session->state();
+  if (st == ConnState::kSusAcked) {
+    // The passive suspension that produced our SUS_ACK is still draining
+    // (finish_passive_suspend runs after the ACK is on the wire), and the
+    // mover's RESUME routinely beats it here. Settling the drain before
+    // the state check below turns a fail-reply-and-client-retry round
+    // trip into a sub-millisecond wait -- the dominant term in zero-loss
+    // resume latency.
+    if (auto settled = session->wait_state(
+            [](ConnState s) { return s != ConnState::kSusAcked; },
+            std::chrono::milliseconds(250))) {
+      st = *settled;
+    }
+  }
   if (st == ConnState::kEstablished) {
     // Either the peer lost our previous RESUME_OK and is retrying, or it
     // detected a link failure we have not noticed yet (our end may look

@@ -49,6 +49,10 @@ enum class Template : std::uint64_t {
   kRudpSendDrop = 0,
   kRudpRetransmitDrop,
   kRudpRetransmitDelay,
+  kRudpSendFlip,
+  kRudpSackDrop,
+  kRudpFastRetxDrop,
+  kRudpFecDrop,
   kCtrlPreSendDup,
   kCtrlPreSendDelay,
   kCtrlOnRecvDelay,
@@ -79,6 +83,34 @@ Rule make_rule(util::Rng& rng) {
       rule.hit = 1 + rng.next_below(4);
       rule.action = Action::kDelay;
       rule.delay_ms = 5 + static_cast<std::uint32_t>(rng.next_below(25));
+      break;
+    case Template::kRudpSendFlip:
+      // A flipped bit anywhere in the frame fails the peer's CRC check:
+      // corruption degrades to loss, which retransmit/FEC must absorb.
+      rule.site = rng.bernoulli(0.5) ? "rudp.send" : "rudp.retransmit";
+      rule.hit = 1 + rng.next_below(6);
+      rule.count = 1 + rng.next_below(2);
+      rule.action = Action::kCorrupt;
+      break;
+    case Template::kRudpSackDrop:
+      // Starve the fast-retransmit gap detector: the RTO timer must still
+      // recover delivery on its own.
+      rule.site = "rudp.sack";
+      rule.hit = 1 + rng.next_below(4);
+      rule.count = 1 + rng.next_below(3);
+      rule.action = Action::kDrop;
+      break;
+    case Template::kRudpFastRetxDrop:
+      rule.site = "rudp.fast_retx";
+      rule.hit = 1 + rng.next_below(2);
+      rule.action = Action::kDrop;
+      break;
+    case Template::kRudpFecDrop:
+      // Lost parity only removes a repair opportunity, never data.
+      rule.site = "rudp.fec";
+      rule.hit = 1 + rng.next_below(4);
+      rule.count = 1 + rng.next_below(3);
+      rule.action = Action::kDrop;
       break;
     case Template::kCtrlPreSendDup:
       rule.site = std::string("ctrl.") + kDupableCtrl[rng.next_below(3)] +
@@ -191,6 +223,9 @@ nsock::NodeConfig crash_node_config(const ChaosCase& chaos_case, int i,
   config.server.rudp_config.retransmit_interval = 15ms;
   config.server.rudp_config.max_attempts = 40;
   config.server.rudp_config.jitter_seed = chaos_case.seed * 3 + i + 1;
+  // XOR-FEC on the control channel keeps the rudp.sack / rudp.fast_retx /
+  // rudp.fec fault sites live under the oracles.
+  config.server.rudp_config.repair = net::LossRepair::kXorFec;
   config.controller.ctrl_response_timeout = 1s;
   config.controller.drain_timeout = 1s;
   if (chaos_case.recovery) {
@@ -519,6 +554,9 @@ ChaosResult run_case(const ChaosCase& chaos_case) {
     config.server.rudp_config.max_attempts = 40;
     // Decorrelated but reproducible retransmit jitter per node.
     config.server.rudp_config.jitter_seed = chaos_case.seed * 3 + i + 1;
+    // XOR-FEC on the control channel keeps the rudp.sack / rudp.fast_retx
+    // / rudp.fec fault sites live under the oracles.
+    config.server.rudp_config.repair = net::LossRepair::kXorFec;
     realm.add_node(node_name(i), net.add_node(node_name(i)), config);
   }
   if (auto st = realm.start(); !st.ok()) {
@@ -695,6 +733,9 @@ std::vector<std::string> known_sites() {
   std::vector<std::string> sites = {
       "rudp.send",
       "rudp.retransmit",
+      "rudp.sack",
+      "rudp.fast_retx",
+      "rudp.fec",
       "redirector.handoff.accept",
       "session.resume.replay",
   };

@@ -36,6 +36,7 @@ std::string_view to_string(Action action) noexcept {
     case Action::kDuplicate: return "dup";
     case Action::kError: return "error";
     case Action::kKill: return "kill";
+    case Action::kCorrupt: return "flip";
   }
   return "?";
 }
@@ -114,6 +115,8 @@ util::StatusOr<Rule> Rule::parse(std::string_view text) {
     rule.action = Action::kError;
   } else if (action_name == "kill") {
     rule.action = Action::kKill;
+  } else if (action_name == "flip") {
+    rule.action = Action::kCorrupt;
   } else {
     return util::InvalidArgument("unknown fault action: '" +
                                  std::string(action_name) + "'");

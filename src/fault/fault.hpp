@@ -16,7 +16,7 @@
 //   trigger := '#'<hit>['x'<count>]     fire on hits [hit, hit+count)
 //            | 't'<ms>['x'<count>]      fire on the first <count> hits at or
 //                                       after fault-clock time <ms>
-//   action  := drop | delay | dup | error | kill
+//   action  := drop | delay | dup | error | kill | flip
 //
 //   e.g.  ctrl.suspend_ack.pre_send@#1:drop
 //         rudp.retransmit@#2x3:delay:40
@@ -56,6 +56,7 @@ enum class Action : std::uint8_t {
   kDuplicate,  ///< perform the operation twice (site-defined meaning)
   kError,      ///< the operation fails with a Status error
   kKill,       ///< hard-kill the component at the site (site-defined)
+  kCorrupt,    ///< flip a bit in the site's payload ("flip"; wire sites)
 };
 
 [[nodiscard]] std::string_view to_string(Action action) noexcept;

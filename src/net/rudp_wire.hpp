@@ -1,0 +1,98 @@
+// Versioned wire format for the rudp control channel (paper §3.5, rebuilt
+// for the pipelined sliding-window transport).
+//
+// Packet layout (all integers big-endian, via BytesWriter):
+//
+//   u16 magic 'NS' | u8 version(2) | u8 type | u64 seq | u64 flow_id |
+//   u64 flow_start | u8 flags | u8 fec_k | u64 fec_base | u8 sack_count |
+//   sack_count x (u64 first, u64 last) | u32 payload_len | payload |
+//   u32 crc32(everything above)
+//
+// Field meaning by type:
+//   DATA    seq = packet sequence; flow_id identifies this sender
+//           incarnation (a restarted channel reusing the endpoint resets
+//           the receiver state instead of colliding with the old flow's
+//           dedup window); flow_start = first seq of the flow (lets the
+//           receiver initialise its cumulative ack without a handshake);
+//           fec_base marks the XOR-FEC group this packet belongs to
+//           (kFlagFecMember set).
+//   ACK     seq = cumulative ack (every seq serially <= it is delivered);
+//           sacks = up to kMaxSackRanges of out-of-order received ranges.
+//   PARITY  seq = fec_base of the group; fec_k = group size; payload =
+//           XOR over the members' (u32 len | payload) blocks, zero-padded
+//           to the longest member.
+//
+// Sequence numbers are compared with serial arithmetic (RFC 1982 style) so
+// flows survive wraparound at 2^64; the codec rejects any packet whose CRC
+// does not match — a flipped bit anywhere downgrades the packet to a loss,
+// which the retransmit/FEC machinery already repairs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace naplet::net::wire {
+
+inline constexpr std::uint16_t kMagic = 0x4E53;  // "NS"
+inline constexpr std::uint8_t kVersion = 2;
+inline constexpr std::size_t kMaxSackRanges = 4;
+inline constexpr std::uint8_t kFlagFecMember = 0x01;
+
+enum class PacketType : std::uint8_t {
+  kData = 0,
+  kAck = 1,
+  kParity = 2,
+};
+
+/// Serial (wraparound-safe) sequence comparison: a < b iff the signed
+/// distance from b to a is negative. Valid while live seqs span < 2^63.
+[[nodiscard]] constexpr bool seq_lt(std::uint64_t a, std::uint64_t b) noexcept {
+  return static_cast<std::int64_t>(a - b) < 0;
+}
+[[nodiscard]] constexpr bool seq_le(std::uint64_t a, std::uint64_t b) noexcept {
+  return static_cast<std::int64_t>(a - b) <= 0;
+}
+
+/// Inclusive range of received-out-of-order seqs in an ACK.
+struct SackRange {
+  std::uint64_t first = 0;
+  std::uint64_t last = 0;
+
+  friend bool operator==(const SackRange&, const SackRange&) = default;
+};
+
+struct Packet {
+  PacketType type = PacketType::kData;
+  std::uint64_t seq = 0;
+  std::uint64_t flow_id = 0;
+  std::uint64_t flow_start = 0;
+  std::uint8_t flags = 0;
+  std::uint8_t fec_k = 0;
+  std::uint64_t fec_base = 0;
+  std::vector<SackRange> sacks;
+  util::Bytes payload;
+
+  [[nodiscard]] bool fec_member() const noexcept {
+    return (flags & kFlagFecMember) != 0;
+  }
+};
+
+/// Encode with trailing CRC. sacks beyond kMaxSackRanges are dropped.
+[[nodiscard]] util::Bytes encode(const Packet& packet);
+
+/// Decode and verify; nullopt for foreign, truncated, or corrupt packets
+/// (the caller treats all three as "not ours / lost").
+[[nodiscard]] std::optional<Packet> decode(util::ByteSpan data);
+
+/// Coalesce out-of-order seqs (any order, duplicates allowed) into at most
+/// `max_ranges` inclusive ranges, sorted serially relative to `base` (the
+/// receiver's cumulative ack + 1). Ranges nearest the cumulative ack are
+/// kept — they are the ones the sender's gap detector acts on.
+[[nodiscard]] std::vector<SackRange> build_sacks(
+    std::vector<std::uint64_t> seqs, std::uint64_t base,
+    std::size_t max_ranges = kMaxSackRanges);
+
+}  // namespace naplet::net::wire

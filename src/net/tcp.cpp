@@ -13,6 +13,7 @@
 #include <cerrno>
 #include <cstring>
 #include <mutex>
+#include <shared_mutex>
 
 namespace naplet::net {
 
@@ -246,8 +247,13 @@ class UdpSocket final : public Datagram {
   util::Status send_to(const Endpoint& dest, util::ByteSpan data) override {
     auto addr = make_addr(dest.host, dest.port);
     if (!addr.ok()) return addr.status();
+    // Shared lock: close() must not release the fd number (which the kernel
+    // may reuse) while a sendto/recvfrom on it is in flight.
+    std::shared_lock lock(io_mu_);
+    const int fd = fd_.get();
+    if (fd < 0) return util::Cancelled("datagram socket closed");
     const ssize_t n =
-        ::sendto(fd_.get(), data.data(), data.size(), MSG_NOSIGNAL,
+        ::sendto(fd, data.data(), data.size(), MSG_NOSIGNAL,
                  reinterpret_cast<const sockaddr*>(&*addr), sizeof *addr);
     if (n < 0) return errno_status("sendto");
     return util::OkStatus();
@@ -269,6 +275,11 @@ class UdpSocket final : public Datagram {
     std::uint8_t buf[65536];
     sockaddr_in from{};
     socklen_t from_len = sizeof from;
+    // The poll above ran unlocked on a snapshot of the fd; re-check under the
+    // shared lock so a concurrent close() can't hand the fd number to a new
+    // socket between the readability check and the recvfrom.
+    std::shared_lock lock(io_mu_);
+    if (fd_.get() < 0) return util::Cancelled("datagram socket closed");
     const ssize_t n = ::recvfrom(fd_.get(), buf, sizeof buf, 0,
                                  reinterpret_cast<sockaddr*>(&from), &from_len);
     if (n < 0) {
@@ -280,9 +291,17 @@ class UdpSocket final : public Datagram {
 
   [[nodiscard]] Endpoint local_endpoint() const override { return local_; }
 
-  void close() override { fd_.reset(); }
+  void close() override {
+    // Exclusive lock: waits out any in-flight sendto/recvfrom (both are
+    // short, post-poll syscalls) before ::close can recycle the fd.
+    std::unique_lock lock(io_mu_);
+    fd_.reset();
+  }
 
  private:
+  // Leaf lock around raw fd syscalls; nothing else is acquired under it, so
+  // it stays outside the ranked-lock table.
+  std::shared_mutex io_mu_;
   Fd fd_;
   Endpoint local_;
 };

@@ -4,7 +4,6 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
-#include <array>
 #include <cerrno>
 #include <cstring>
 #include <fstream>
@@ -17,18 +16,6 @@ namespace {
 constexpr std::uint32_t kJournalMagic = 0x4E504C4A;  // 'NPLJ'
 constexpr std::uint32_t kJournalVersion = 1;
 constexpr std::size_t kHeaderSize = 4 + 4 + 8 + 4;
-
-std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int bit = 0; bit < 8; ++bit) {
-      c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1U) : c >> 1U;
-    }
-    table[i] = c;
-  }
-  return table;
-}
 
 util::Status write_fully(int fd, util::ByteSpan data) {
   std::size_t off = 0;
@@ -53,15 +40,6 @@ util::StatusOr<util::Bytes> read_file(const std::string& path) {
 }
 
 }  // namespace
-
-std::uint32_t crc32(util::ByteSpan data) noexcept {
-  static const std::array<std::uint32_t, 256> table = make_crc_table();
-  std::uint32_t c = 0xFFFFFFFFU;
-  for (const std::uint8_t byte : data) {
-    c = table[(c ^ byte) & 0xFFU] ^ (c >> 8U);
-  }
-  return c ^ 0xFFFFFFFFU;
-}
 
 std::string_view to_string(CommitPoint point) noexcept {
   switch (point) {

@@ -28,9 +28,11 @@
 
 namespace naplet::recovery {
 
-/// CRC-32 (IEEE 802.3, reflected) over a byte span. Local table-based
-/// implementation so the journal has no external dependencies.
-[[nodiscard]] std::uint32_t crc32(util::ByteSpan data) noexcept;
+/// CRC-32 (IEEE 802.3, reflected) over a byte span; the shared util
+/// implementation, aliased here because the journal wire format predates it.
+[[nodiscard]] inline std::uint32_t crc32(util::ByteSpan data) noexcept {
+  return util::crc32(data);
+}
 
 /// The protocol points at which session state is durably recorded
 /// (ISSUE: connect established, suspend committed, drain complete,

@@ -1,11 +1,24 @@
 #include "util/bytes.hpp"
 
+#include <array>
 #include <bit>
 
 namespace naplet::util {
 
 namespace {
 constexpr char kHexDigits[] = "0123456789abcdef";
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1U) : c >> 1U;
+    }
+    table[i] = c;
+  }
+  return table;
+}
 
 int hex_nibble(char c) noexcept {
   if (c >= '0' && c <= '9') return c - '0';
@@ -14,6 +27,15 @@ int hex_nibble(char c) noexcept {
   return -1;
 }
 }  // namespace
+
+std::uint32_t crc32(ByteSpan data) noexcept {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFU;
+  for (const std::uint8_t byte : data) {
+    c = table[(c ^ byte) & 0xFFU] ^ (c >> 8U);
+  }
+  return c ^ 0xFFFFFFFFU;
+}
 
 std::string to_hex(ByteSpan data) {
   std::string out;

@@ -28,6 +28,11 @@ StatusOr<Bytes> from_hex(std::string_view hex);
 /// Constant-time byte-span equality (for MAC comparison).
 bool equal_constant_time(ByteSpan a, ByteSpan b) noexcept;
 
+/// CRC-32 (IEEE 802.3, reflected) over a byte span. Shared by every wire
+/// format that needs corruption detection (recovery journal/snapshot
+/// records, rudp packet headers).
+[[nodiscard]] std::uint32_t crc32(ByteSpan data) noexcept;
+
 /// Appends primitive values in network byte order to an owned buffer.
 class BytesWriter {
  public:

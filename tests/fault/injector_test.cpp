@@ -22,6 +22,10 @@ TEST(FaultGrammarTest, RuleRoundTrips) {
            "redirector.handoff.accept@#1:kill",
            "session.resume.replay@#1:dup",
            "rudp.send@#7:error",
+           "rudp.send@#3x2:flip",
+           "rudp.sack@#1:drop",
+           "rudp.fast_retx@#1:drop",
+           "rudp.fec@#2:flip",
            "ctrl.suspend.on_recv@t250:drop",
            "rudp.retransmit@t100x4:delay:5",
        }) {

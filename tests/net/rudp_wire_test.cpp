@@ -1,0 +1,157 @@
+// Wire-codec coverage for the sliding-window rudp packet format: encode /
+// decode round trips for every packet type, CRC rejection of single-bit
+// corruption anywhere in the frame, SACK-range coalescing, and serial
+// sequence arithmetic across the 2^64 wraparound.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "net/rudp_wire.hpp"
+
+namespace naplet::net::wire {
+namespace {
+
+util::Bytes payload_of(std::initializer_list<std::uint8_t> bytes) {
+  return util::Bytes(bytes);
+}
+
+TEST(RudpWireTest, DataRoundTrip) {
+  Packet in;
+  in.type = PacketType::kData;
+  in.seq = 0x0123456789ABCDEFULL;
+  in.flow_id = 42;
+  in.flow_start = 0x0123456789ABCDE0ULL;
+  in.flags = kFlagFecMember;
+  in.fec_base = 0x0123456789ABCDECULL;
+  in.payload = payload_of({0xDE, 0xAD, 0xBE, 0xEF});
+
+  const util::Bytes frame = encode(in);
+  auto out = decode(util::ByteSpan(frame.data(), frame.size()));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->type, PacketType::kData);
+  EXPECT_EQ(out->seq, in.seq);
+  EXPECT_EQ(out->flow_id, in.flow_id);
+  EXPECT_EQ(out->flow_start, in.flow_start);
+  EXPECT_TRUE(out->fec_member());
+  EXPECT_EQ(out->fec_base, in.fec_base);
+  EXPECT_EQ(out->payload, in.payload);
+  EXPECT_TRUE(out->sacks.empty());
+}
+
+TEST(RudpWireTest, AckWithSacksRoundTrip) {
+  Packet in;
+  in.type = PacketType::kAck;
+  in.seq = 99;  // cumulative ack
+  in.flow_id = 7;
+  in.sacks = {SackRange{101, 103}, SackRange{107, 107}};
+
+  const util::Bytes frame = encode(in);
+  auto out = decode(util::ByteSpan(frame.data(), frame.size()));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->type, PacketType::kAck);
+  EXPECT_EQ(out->seq, 99u);
+  ASSERT_EQ(out->sacks.size(), 2u);
+  EXPECT_EQ(out->sacks[0], (SackRange{101, 103}));
+  EXPECT_EQ(out->sacks[1], (SackRange{107, 107}));
+  EXPECT_TRUE(out->payload.empty());
+}
+
+TEST(RudpWireTest, ParityRoundTrip) {
+  Packet in;
+  in.type = PacketType::kParity;
+  in.seq = 12;
+  in.fec_base = 12;
+  in.fec_k = 4;
+  in.payload = payload_of({0x00, 0x00, 0x00, 0x01, 0x5A});
+
+  const util::Bytes frame = encode(in);
+  auto out = decode(util::ByteSpan(frame.data(), frame.size()));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->type, PacketType::kParity);
+  EXPECT_EQ(out->fec_k, 4u);
+  EXPECT_EQ(out->fec_base, 12u);
+  EXPECT_EQ(out->payload, in.payload);
+}
+
+TEST(RudpWireTest, EveryBitFlipIsRejected) {
+  Packet in;
+  in.type = PacketType::kData;
+  in.seq = 5;
+  in.flow_id = 1;
+  in.flow_start = 1;
+  in.payload = payload_of({0x11, 0x22, 0x33});
+  const util::Bytes frame = encode(in);
+
+  for (std::size_t byte = 0; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      util::Bytes corrupt = frame;
+      corrupt[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_FALSE(
+          decode(util::ByteSpan(corrupt.data(), corrupt.size())).has_value())
+          << "flip survived at byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(RudpWireTest, GarbageAndTruncationRejected) {
+  EXPECT_FALSE(decode(util::ByteSpan()).has_value());
+  const util::Bytes junk = payload_of({1, 2, 3, 4, 5, 6, 7});
+  EXPECT_FALSE(decode(util::ByteSpan(junk.data(), junk.size())).has_value());
+
+  Packet in;
+  in.type = PacketType::kData;
+  in.seq = 1;
+  const util::Bytes frame = encode(in);
+  // Any truncation breaks the CRC trailer.
+  for (std::size_t n = 0; n < frame.size(); ++n) {
+    EXPECT_FALSE(decode(util::ByteSpan(frame.data(), n)).has_value());
+  }
+}
+
+TEST(RudpWireTest, SackCoalescingMergesAdjacentAndDuplicates) {
+  // 5,6,7 coalesce; 9 stands alone; duplicates collapse.
+  auto ranges = build_sacks({7, 5, 9, 6, 5, 7}, 5);
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_EQ(ranges[0], (SackRange{5, 7}));
+  EXPECT_EQ(ranges[1], (SackRange{9, 9}));
+}
+
+TEST(RudpWireTest, SackCapKeepsRangesNearestBase) {
+  // Six isolated seqs -> capped at kMaxSackRanges, nearest base first.
+  auto ranges = build_sacks({2, 4, 6, 8, 10, 12}, 1);
+  ASSERT_EQ(ranges.size(), kMaxSackRanges);
+  EXPECT_EQ(ranges[0], (SackRange{2, 2}));
+  EXPECT_EQ(ranges[3], (SackRange{8, 8}));
+}
+
+TEST(RudpWireTest, SerialComparisonSurvivesWraparound) {
+  const std::uint64_t near_max = ~0ULL - 1;  // 2^64 - 2
+  EXPECT_TRUE(seq_lt(near_max, near_max + 1));
+  EXPECT_TRUE(seq_lt(near_max + 1, near_max + 2));  // wraps through 0
+  EXPECT_TRUE(seq_lt(near_max, 3));                 // across the wrap
+  EXPECT_FALSE(seq_lt(3, near_max));
+  EXPECT_TRUE(seq_le(near_max + 2, near_max + 2));
+}
+
+TEST(RudpWireTest, SackCoalescingAcrossWraparound) {
+  const std::uint64_t near_max = ~0ULL - 1;  // 2^64 - 2
+  // Seqs straddling the wrap: 2^64-2, 2^64-1, 0, 1 form ONE range.
+  auto ranges = build_sacks({0, near_max, 1, near_max + 1}, near_max);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].first, near_max);
+  EXPECT_EQ(ranges[0].last, 1u);
+}
+
+TEST(RudpWireTest, DecodeRejectsTrailingBytes) {
+  Packet in;
+  in.type = PacketType::kAck;
+  in.seq = 1;
+  util::Bytes frame = encode(in);
+  // Append bytes AND fix up a valid CRC over the longer frame by
+  // re-encoding is impossible here, so just verify padding breaks it.
+  frame.push_back(0x00);
+  EXPECT_FALSE(decode(util::ByteSpan(frame.data(), frame.size())).has_value());
+}
+
+}  // namespace
+}  // namespace naplet::net::wire
