@@ -13,13 +13,19 @@
 #      + `ctest -L recovery`          (crash-restart recovery under TSan)
 #      + `ctest -L obs`              (observability suite under TSan)
 #      + `ctest -L net`              (the rudp transport under TSan)
-#   4. run-clang-tidy over src/       (bugprone / concurrency / performance)
-#   5. clang-format --dry-run         (check-only; no reformatting)
+#   4. naplet-analyze gate            (lock-order graph, annotation
+#      coverage, invariant registries; registry_check is dependency-free
+#      and always runs, the optional libTooling cross-check only when the
+#      Clang dev libraries were found at configure time)
+#   5. run-clang-tidy over src/, tools/, bench/
+#                                     (bugprone / concurrency / performance)
+#   6. clang-format --dry-run         (check-only; no reformatting)
 #
-# Steps 4–5 (and the Clang thread-safety analysis, which rides along with
+# Steps 5–6 (and the Clang thread-safety analysis, which rides along with
 # any Clang compile via -Wthread-safety) need LLVM tooling; when a tool is
 # missing the step is skipped with a notice instead of failing, so the
-# script is useful on GCC-only boxes too.
+# script is useful on GCC-only boxes too. Step 4 never skips: the analyzer
+# is first-party code built by step 1.
 #
 # Usage: ci/check.sh [--skip-tsan] [--skip-sanitize]
 set -euo pipefail
@@ -116,12 +122,30 @@ else
   skip "--skip-tsan"
 fi
 
-note "clang-tidy (bugprone, concurrency, performance)"
+note "static analysis gate (naplet-analyze: lock order, annotations, registries)"
+# The dependency-free pass first: this one can never be skipped.
+./build-debug/tools/analyze/registry_check --root . --compact
+# The full three-pass gate over the Debug compile database. Exits 1 on any
+# finding not listed in the baseline, which fails the script via set -e.
+./build-debug/tools/analyze/naplet-analyze \
+  --root . --compdb build-debug/compile_commands.json \
+  --baseline tools/analyze/baseline.txt --compact
+# The optional libTooling cross-check rides along when the Clang dev
+# libraries were found at configure time (-DNAPLET_ANALYZE_WITH_CLANG=ON).
+if [ -x build-debug/tools/analyze/naplet-analyze-clang ]; then
+  ./build-debug/tools/analyze/naplet-analyze-clang \
+    -p build-debug src/*/*.cpp >/dev/null || exit 1
+else
+  skip "naplet-analyze-clang not built (Clang dev libraries absent)"
+fi
+
+note "clang-tidy (bugprone, concurrency, performance; src+tools+bench)"
 if command -v run-clang-tidy >/dev/null 2>&1; then
   # Reuse the Debug compile database; run-clang-tidy honours .clang-tidy.
-  run-clang-tidy -p build-debug -quiet "$(pwd)/src/.*" || exit 1
+  run-clang-tidy -p build-debug -quiet \
+    "$(pwd)/src/.*" "$(pwd)/tools/.*" "$(pwd)/bench/.*" || exit 1
 elif command -v clang-tidy >/dev/null 2>&1; then
-  find src -name '*.cpp' -print0 |
+  find src tools bench -name '*.cpp' -print0 |
     xargs -0 -n 1 -P "$JOBS" clang-tidy -p build-debug --quiet || exit 1
 else
   skip "clang-tidy not installed"
@@ -129,7 +153,10 @@ fi
 
 note "clang-format (check only)"
 if command -v clang-format >/dev/null 2>&1; then
-  find src tests bench examples -name '*.hpp' -o -name '*.cpp' |
+  # Analyzer fixtures carry planted defects with deliberate layout; keep
+  # them out of the format gate.
+  find src tests bench examples tools -name '*.hpp' -o -name '*.cpp' |
+    grep -v '^tests/analyze/fixtures/' |
     xargs clang-format --dry-run --Werror
 else
   skip "clang-format not installed"

@@ -104,17 +104,29 @@ class AgentServer {
              std::vector<Mail> mailbox, util::ByteSpan sessions);
   void reap_finished_threads();
 
-  net::NetworkPtr network_;
+  net::NetworkPtr network_ NAPLET_NOT_GUARDED("set at construction; the "
+                                              "Network is internally "
+                                              "synchronized");
   LocationService& locations_;
-  AgentServerConfig config_;
-  AccessController access_;
+  AgentServerConfig config_ NAPLET_NOT_GUARDED("set at construction, "
+                                               "immutable");
+  AccessController access_ NAPLET_NOT_GUARDED("internally synchronized "
+                                              "(own mutex)");
 
-  std::unique_ptr<ServerBus> bus_;
-  std::unique_ptr<PostOffice> post_;
-  net::ListenerPtr migration_listener_;
+  std::unique_ptr<ServerBus> bus_ NAPLET_NOT_GUARDED(
+      "created at construction before any worker thread; the bus is "
+      "internally synchronized");
+  std::unique_ptr<PostOffice> post_ NAPLET_NOT_GUARDED(
+      "created at construction before any worker thread; internally "
+      "synchronized");
+  net::ListenerPtr migration_listener_ NAPLET_NOT_GUARDED(
+      "created in start() before the acceptor thread");
 
-  NullMigrator null_migrator_;
-  ConnectionMigrator* migrator_ = &null_migrator_;
+  NullMigrator null_migrator_ NAPLET_NOT_GUARDED(
+      "stateless null object, no mutable state to guard");
+  ConnectionMigrator* migrator_ NAPLET_NOT_GUARDED(
+      "wired via set_migrator() during single-threaded bring-up, "
+      "immutable once agents run") = &null_migrator_;
 
   mutable util::Mutex mu_{util::LockRank::kAgentServer, "agent_server"};
   // Written by set_redirector_endpoint (core wiring thread) and read by

@@ -59,7 +59,9 @@ class ServerBus {
  private:
   void dispatch_loop();
 
-  std::unique_ptr<net::ReliableChannel> channel_;
+  std::unique_ptr<net::ReliableChannel> channel_ NAPLET_NOT_GUARDED(
+      "created at construction before the dispatcher thread; the channel "
+      "is internally synchronized");
   util::Mutex mu_{util::LockRank::kBus, "bus"};
   std::map<BusKind, Handler> handlers_ NAPLET_GUARDED_BY(mu_);
   std::atomic<bool> stopped_{false};

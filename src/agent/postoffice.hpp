@@ -78,8 +78,10 @@ class PostOffice {
 
   ServerBus& bus_;
   LocationService& locations_;
-  std::string server_name_;
-  PostOfficeConfig config_;
+  std::string server_name_ NAPLET_NOT_GUARDED("set at construction, "
+                                              "immutable");
+  PostOfficeConfig config_ NAPLET_NOT_GUARDED("set at construction, "
+                                              "immutable");
 
   util::Mutex mu_{util::LockRank::kPostOffice, "postoffice"};
   std::map<AgentId, std::shared_ptr<util::BlockingQueue<Mail>>> mailboxes_

@@ -318,8 +318,11 @@ class SocketController final : public agent::ConnectionMigrator {
   void abort_session(const SessionPtr& session);
 
   agent::AgentServer& server_;
-  ControllerConfig config_;
-  std::unique_ptr<Redirector> redirector_;
+  ControllerConfig config_ NAPLET_NOT_GUARDED("set at construction, "
+                                              "immutable");
+  std::unique_ptr<Redirector> redirector_ NAPLET_NOT_GUARDED(
+      "created in start() before worker threads; the Redirector is "
+      "internally synchronized");
 
   // Observability. The registry owns every instrument; the references
   // below are cached registrations, so hot-path recording is lock-free.
@@ -357,7 +360,9 @@ class SocketController final : public agent::ConnectionMigrator {
 
   // Crash-recovery extension state. The store serializes its own writes;
   // journal_commit never runs under mu_.
-  std::unique_ptr<recovery::DurableStore> store_;
+  std::unique_ptr<recovery::DurableStore> store_ NAPLET_NOT_GUARDED(
+      "created in start() before worker threads; the store is internally "
+      "synchronized");
   /// This controller's incarnation epoch, stamped into every outbound
   /// control/handoff message. 1 without durability; from the store (strictly
   /// above every pre-crash epoch) with it.

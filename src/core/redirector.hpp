@@ -89,21 +89,27 @@ class Redirector {
   void reap_handlers(bool all);
 
   net::Network& network_;
-  std::uint16_t port_;
-  HandoffHandler handler_;
-  LeaseConfig lease_config_;
-  std::string host_label_;  // written before start(), read by workers
+  std::uint16_t port_ NAPLET_NOT_GUARDED("set at construction, immutable");
+  HandoffHandler handler_ NAPLET_NOT_GUARDED(
+      "set at construction, immutable while the acceptor runs");
+  LeaseConfig lease_config_ NAPLET_NOT_GUARDED(
+      "set at construction, immutable");
+  std::string host_label_ NAPLET_NOT_GUARDED(
+      "written before start(), read-only by workers");
 
-  net::ListenerPtr listener_;
+  net::ListenerPtr listener_ NAPLET_NOT_GUARDED(
+      "created in start() before the acceptor thread; Listener is "
+      "internally synchronized");
   std::thread acceptor_;
   util::Mutex handlers_mu_{util::LockRank::kRedirector, "redirector"};
   std::vector<std::thread> handlers_ NAPLET_GUARDED_BY(handlers_mu_);
   std::atomic<bool> stopped_{false};
   std::atomic<std::uint64_t> bad_handoffs_{0};
 
-  // Leaf lock (unranked): held only for map operations, never across
-  // handler_ or any stream I/O.
-  mutable util::Mutex leases_mu_;
+  // Leaf lock: held only for map operations, never across handler_ or
+  // any stream I/O.
+  mutable util::Mutex leases_mu_{util::LockRank::kRedirectorLeases,
+                                 "redirector.leases"};
   std::map<std::uint64_t, std::int64_t> leases_  // conn_id -> expiry (us)
       NAPLET_GUARDED_BY(leases_mu_);
   std::atomic<std::uint64_t> leases_expired_{0};

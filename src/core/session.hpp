@@ -298,13 +298,16 @@ class Session {
 
   std::shared_ptr<net::Stream> stream() const;
 
-  // identity
-  std::uint64_t conn_id_;
-  std::uint64_t verifier_;
-  bool is_client_;
-  agent::AgentId local_agent_;
-  agent::AgentId peer_agent_;
-  util::Bytes session_key_;
+  // identity (fixed at construction / import, before the session is
+  // published to other threads)
+  const std::uint64_t conn_id_;
+  const std::uint64_t verifier_;
+  const bool is_client_;
+  const agent::AgentId local_agent_;
+  const agent::AgentId peer_agent_;
+  util::Bytes session_key_ NAPLET_NOT_GUARDED(
+      "written during handshake/import before the session is published; "
+      "read-only afterwards");
 
   mutable util::Mutex node_mu_{util::LockRank::kSessionNode, "session.node"};
   agent::NodeInfo peer_node_ NAPLET_GUARDED_BY(node_mu_);

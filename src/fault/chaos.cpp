@@ -6,6 +6,7 @@
 
 #include "core/runtime.hpp"
 #include "fault/oracle.hpp"
+#include "fault/sites.hpp"
 #include "net/sim.hpp"
 #include "obs/recorder.hpp"
 #include "util/rng.hpp"
@@ -730,23 +731,7 @@ Plan minimize_plan(const ChaosCase& failing, int* reruns) {
 }
 
 std::vector<std::string> known_sites() {
-  std::vector<std::string> sites = {
-      "rudp.send",
-      "rudp.retransmit",
-      "rudp.sack",
-      "rudp.fast_retx",
-      "rudp.fec",
-      "redirector.handoff.accept",
-      "session.resume.replay",
-  };
-  for (const char* type :
-       {"connect", "connect_ack", "connect_reject", "suspend", "suspend_ack",
-        "ack_wait", "sus_res", "sus_res_ack", "close", "close_ack", "reject",
-        "heartbeat"}) {
-    sites.push_back(std::string("ctrl.") + type + ".pre_send");
-    sites.push_back(std::string("ctrl.") + type + ".on_recv");
-  }
-  return sites;
+  return {std::begin(kFaultSites), std::end(kFaultSites)};
 }
 
 Rule planted_duplicate_replay_rule() {

@@ -282,9 +282,12 @@ class ReliableChannel {
 
   void update_window_gauge();
 
-  DatagramPtr socket_;
-  RudpConfig config_;
-  std::uint64_t flow_id_;  // distinguishes channel incarnations per endpoint
+  DatagramPtr socket_ NAPLET_NOT_GUARDED("set at construction; the "
+                                         "datagram socket is internally "
+                                         "synchronized");
+  RudpConfig config_ NAPLET_NOT_GUARDED("set at construction, immutable");
+  // Distinguishes channel incarnations per endpoint.
+  const std::uint64_t flow_id_;
 
   util::Mutex mu_{util::LockRank::kRudpChannel, "rudp"};
   util::CondVar acked_cv_;   // a send completed (ACK / failure / close)

@@ -27,8 +27,8 @@ std::string name_or_num(const std::atomic<Namer>& namer, std::uint8_t code) {
 // the lock-rank violation handler, where the dying thread may hold locks
 // of any rank — a ranked mutex here would recurse into the validator.
 struct RecorderDirectory {
-  util::Mutex mu;  // unranked
-  std::vector<FlightRecorder*> live;
+  util::Mutex mu{util::LockRank::kUnranked, "recorder.directory"};
+  std::vector<FlightRecorder*> live NAPLET_GUARDED_BY(mu);
 
   static RecorderDirectory& instance() {
     static RecorderDirectory dir;

@@ -101,7 +101,7 @@ class TraceSink {
   mutable util::Mutex mu_{util::LockRank::kObsTrace, "obs.trace"};
   std::deque<SpanEvent> events_ NAPLET_GUARDED_BY(mu_);
   std::function<double()> clock_ NAPLET_GUARDED_BY(mu_);
-  std::int64_t t0_us_ = 0;
+  const std::int64_t t0_us_;  // process-start epoch, fixed in the ctor
   std::atomic<std::uint64_t> dropped_{0};
 };
 

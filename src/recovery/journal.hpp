@@ -150,7 +150,8 @@ class DurableStore {
  private:
   util::Status compact_locked() NAPLET_REQUIRES(mu_);
 
-  DurableStoreOptions options_;
+  DurableStoreOptions options_ NAPLET_NOT_GUARDED("set at construction, "
+                                                  "immutable");
 
   // Leaf lock: record() is called after session blobs are produced, never
   // while holding controller or session locks.
@@ -158,12 +159,17 @@ class DurableStore {
   std::unique_ptr<Journal> journal_ NAPLET_GUARDED_BY(mu_);
   std::map<std::uint64_t, util::Bytes> live_ NAPLET_GUARDED_BY(mu_);
   std::uint64_t appends_since_compact_ NAPLET_GUARDED_BY(mu_) = 0;
-  std::uint64_t records_written_ = 0;
-  std::uint64_t compactions_ = 0;
+  // Monitoring counters: written under mu_, read lock-free by accessors.
+  std::atomic<std::uint64_t> records_written_{0};
+  std::atomic<std::uint64_t> compactions_{0};
 
-  std::uint64_t epoch_ = 0;
-  bool degraded_ = false;
-  std::string degraded_note_;
+  // Written only by open(), before the store is shared with any thread.
+  std::uint64_t epoch_ NAPLET_NOT_GUARDED("stamped once by open() before "
+                                          "the store is shared") = 0;
+  bool degraded_ NAPLET_NOT_GUARDED("written only by open() before the "
+                                    "store is shared") = false;
+  std::string degraded_note_ NAPLET_NOT_GUARDED(
+      "written only by open() before the store is shared");
 };
 
 }  // namespace naplet::recovery

@@ -1,0 +1,173 @@
+// End-to-end tests for the naplet-analyze static-analysis gate.
+//
+// The analyzer binaries are driven exactly the way ci/check.sh drives
+// them — as subprocesses over fixture trees — so these tests pin down the
+// full contract: finding set, compact format, exit codes, baseline
+// filtering, and suppression comments.
+//
+//  * fixtures/planted/  carries thirteen deliberate defects, including a
+//    lock-rank inversion reachable only through a two-hop call chain that
+//    no test executes — the case runtime rank checking can never see.
+//  * fixtures/clean/    exercises every idiom with zero defects (plus one
+//    deliberately suppressed finding).
+//  * the real tree must stay at zero findings with an empty baseline.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+#ifndef NAPLET_ANALYZE_BIN
+#error "NAPLET_ANALYZE_BIN must be defined by the build"
+#endif
+#ifndef NAPLET_REGISTRY_CHECK_BIN
+#error "NAPLET_REGISTRY_CHECK_BIN must be defined by the build"
+#endif
+#ifndef NAPLET_ANALYZE_TEST_DIR
+#error "NAPLET_ANALYZE_TEST_DIR must be defined by the build"
+#endif
+#ifndef NAPLET_REPO_ROOT
+#error "NAPLET_REPO_ROOT must be defined by the build"
+#endif
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult run(const std::string& cmd) {
+  RunResult result;
+  std::FILE* pipe = ::popen((cmd + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buf{};
+  std::size_t n = 0;
+  while ((n = std::fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    result.output.append(buf.data(), n);
+  }
+  const int status = ::pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string fixture(const std::string& name) {
+  return std::string(NAPLET_ANALYZE_TEST_DIR) + "/fixtures/" + name;
+}
+
+std::string golden(const std::string& name) {
+  return std::string(NAPLET_ANALYZE_TEST_DIR) + "/golden/" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(AnalyzeGate, PlantedFixtureMatchesGoldenFindings) {
+  const RunResult r = run(std::string(NAPLET_ANALYZE_BIN) + " --root " +
+                          fixture("planted") + " --compact");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(lines_of(r.output), lines_of(slurp(golden("planted.compact"))));
+}
+
+TEST(AnalyzeGate, PlantedFixtureCoversEveryDefectClass) {
+  // The gate's reason to exist: each planted defect class is detected.
+  const RunResult r = run(std::string(NAPLET_ANALYZE_BIN) + " --root " +
+                          fixture("planted") + " --compact");
+  EXPECT_EQ(r.exit_code, 1);
+  for (const char* kind :
+       {"lock-rank-inversion", "mutex-unranked", "unguarded-member",
+        "guarded-by-unknown", "fault-site-duplicate", "fault-site-stale",
+        "fault-site-unknown", "metric-unregistered", "enum-count-mismatch",
+        "fsm-incomplete", "rank-table-mismatch", "rank-table-missing",
+        "rank-table-stale"}) {
+    EXPECT_NE(r.output.find(kind), std::string::npos)
+        << "missing finding kind: " << kind << "\n"
+        << r.output;
+  }
+}
+
+TEST(AnalyzeGate, InversionReportsTheUntestedCallChain) {
+  // The planted inversion spans three functions; no single frame holds
+  // both locks. The finding must spell out the inter-procedural chain.
+  const RunResult r = run(std::string(NAPLET_ANALYZE_BIN) + " --root " +
+                          fixture("planted") + " --compact");
+  EXPECT_NE(r.output.find("rebalance -> audit_pools -> touch_outer"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(AnalyzeGate, CleanFixtureHasNoFindings) {
+  const RunResult r = run(std::string(NAPLET_ANALYZE_BIN) + " --root " +
+                          fixture("clean") + " --compact");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_TRUE(r.output.empty()) << r.output;
+}
+
+TEST(AnalyzeGate, SuppressionCommentFiltersButIsCounted) {
+  // fixtures/clean plants one mutex-unranked defect behind an
+  // `analyze-ignore(mutex-unranked)` comment: the run passes, and the
+  // JSON accounting still shows the suppression.
+  const std::string json_path =
+      ::testing::TempDir() + "/clean_suppressed.json";
+  const RunResult r = run(std::string(NAPLET_ANALYZE_BIN) + " --root " +
+                          fixture("clean") + " --quiet --json " + json_path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  const std::string json = slurp(json_path);
+  EXPECT_NE(json.find("\"suppressed\": 1"), std::string::npos) << json;
+}
+
+TEST(AnalyzeGate, BaselineSilencesKnownFindings) {
+  const RunResult r = run(std::string(NAPLET_ANALYZE_BIN) + " --root " +
+                          fixture("planted") + " --baseline " +
+                          golden("planted.baseline") + " --compact");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_TRUE(r.output.empty()) << r.output;
+}
+
+TEST(AnalyzeGate, RegistryCheckFlagsOnlyRegistryFindings) {
+  // The dependency-free binary runs pass 3 alone: registry defects fire,
+  // lock/annotation defects don't.
+  const RunResult r = run(std::string(NAPLET_REGISTRY_CHECK_BIN) +
+                          " --root " + fixture("planted") + " --compact");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("fault-site-duplicate"), std::string::npos);
+  EXPECT_NE(r.output.find("enum-count-mismatch"), std::string::npos);
+  EXPECT_EQ(r.output.find("lock-rank-inversion"), std::string::npos)
+      << r.output;
+  EXPECT_EQ(r.output.find("unguarded-member"), std::string::npos) << r.output;
+}
+
+TEST(AnalyzeGate, RealTreeIsCleanWithEmptyBaseline) {
+  // The actual gate CI runs: the repository itself must stay at zero
+  // findings without leaning on the baseline file.
+  const RunResult r = run(std::string(NAPLET_ANALYZE_BIN) + " --root " +
+                          std::string(NAPLET_REPO_ROOT) + " --compact");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_TRUE(r.output.empty()) << r.output;
+}
+
+TEST(AnalyzeGate, MissingRootIsAUsageError) {
+  const RunResult r = run(std::string(NAPLET_ANALYZE_BIN) +
+                          " --root /nonexistent/fixture/tree --compact");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+}  // namespace

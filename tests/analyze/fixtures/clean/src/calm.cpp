@@ -1,0 +1,31 @@
+// Clean fixture bodies. Scanned by the analyzer, never compiled.
+#include "calm.hpp"
+
+#include "fault/chaos.hpp"
+
+namespace calm {
+
+Pool::Pool() : fills_(obs::Registry::global().counter("calm.pool.fills")) {}
+
+void Pool::fill() {
+  const fault::Decision d = fault::hit("calm.pool.fill");
+  if (d.drop()) return;
+  util::MutexLock lock(mu_);
+  ++level_;
+  fills_.add(1);
+}
+
+int Pool::level() const {
+  util::MutexLock lock(mu_);
+  return level_;
+}
+
+const char* transition(CalmEvent ev) {
+  switch (ev) {
+    case CalmEvent::kRise: return "rise";
+    case CalmEvent::kFall: return "fall";
+  }
+  return "?";
+}
+
+}  // namespace calm

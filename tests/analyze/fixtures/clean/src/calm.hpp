@@ -1,0 +1,46 @@
+// Clean fixture for the naplet-analyze gate tests: exercises every idiom
+// the analyzer understands (ranked mutexes, guarded members, fault sites,
+// cached instruments, counted enums) with zero defects. The gate test
+// asserts the analyzer reports nothing here.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace calm {
+
+enum class LockRank : std::uint32_t {
+  kUnranked = 0,
+  kPool = 10,
+};
+
+class Pool {
+ public:
+  Pool();
+  void fill();
+  [[nodiscard]] int level() const;
+
+ private:
+  mutable util::Mutex mu_{LockRank::kPool, "calm.pool"};
+  int level_ NAPLET_GUARDED_BY(mu_) = 0;
+  int capacity_ NAPLET_NOT_GUARDED("set at construction, immutable") = 64;
+  obs::Counter& fills_;
+  // Suppressed on purpose: the gate test asserts this surfaces in the
+  // JSON `suppressed` count without failing the run.
+  util::Mutex scratch_mu_;  // analyze-ignore(mutex-unranked)
+};
+
+inline constexpr std::string_view kFaultSites[] = {
+    "calm.pool.fill",
+};
+
+enum class CalmEvent : std::uint8_t { kRise, kFall };
+inline constexpr int kCalmEventCount = 2;
+
+const char* transition(CalmEvent ev);
+
+}  // namespace calm

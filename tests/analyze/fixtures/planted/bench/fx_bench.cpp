@@ -1,0 +1,13 @@
+// Planted-defect fixture bench reader. Scanned by the analyzer, never
+// compiled.
+#include "obs/metrics.hpp"
+
+namespace fx {
+
+// PLANTED(metric-unregistered): nothing in src/ registers this name.
+double read_mystery() {
+  auto& c = obs::Registry::global().counter("fx.mystery.total");
+  return static_cast<double>(c.value());
+}
+
+}  // namespace fx

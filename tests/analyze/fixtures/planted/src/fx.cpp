@@ -1,0 +1,45 @@
+// Planted-defect fixture bodies. Scanned by the analyzer, never compiled.
+#include "fx.hpp"
+
+#include "fault/chaos.hpp"
+
+namespace fx {
+
+void Widget::poke() {
+  util::MutexLock lock(mu_);
+  const fault::Decision d = fault::hit("fx.widget.poke");
+  if (d.drop()) return;
+  ++counter_;
+}
+
+int Widget::peek() const {
+  util::MutexLock lock(mu_);
+  return counter_;
+}
+
+// PLANTED(fault-site-unknown): woven but absent from kFaultSites.
+void probe() { (void)fault::hit("fx.rogue.site"); }
+
+// PLANTED(lock-order-inversion): rebalance holds the leaf-ranked mutex
+// (rank 20) and, two calls deep — a chain no test executes — acquires the
+// outer mutex (rank 10). No single function shows both locks.
+void rebalance() {
+  util::MutexLock lock(g_leaf_mu);
+  audit_pools();
+}
+
+void audit_pools() { touch_outer(); }
+
+void touch_outer() { util::MutexLock lock(g_outer_mu); }
+
+// PLANTED(fsm-incomplete): FxEvent is a counted enum and kPause is never
+// handled.
+const char* transition(FxEvent ev) {
+  switch (ev) {
+    case FxEvent::kGo: return "go";
+    case FxEvent::kStop: return "stop";
+    default: return "?";
+  }
+}
+
+}  // namespace fx

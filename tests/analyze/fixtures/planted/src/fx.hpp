@@ -1,0 +1,67 @@
+// Planted-defect fixture for the naplet-analyze gate tests. Every defect
+// below is deliberate; the gate test asserts the exact finding set. This
+// file is scanned by the analyzer, never compiled.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace fx {
+
+// Fixture-local rank order (the analyzer reads whatever LockRank enum the
+// scanned tree defines).
+enum class LockRank : std::uint32_t {
+  kUnranked = 0,
+  kFxOuter = 10,
+  kFxLeaf = 20,
+};
+
+// PLANTED(rank-table-mismatch / rank-table-stale / rank-table-missing):
+// DESIGN.md documents kFxLeaf = 24 and a retired kFxGone, and omits
+// kUnranked.
+
+inline util::Mutex g_leaf_mu{LockRank::kFxLeaf, "fx.leaf"};
+inline util::Mutex g_outer_mu{LockRank::kFxOuter, "fx.outer"};
+
+class Widget {
+ public:
+  void poke();
+  [[nodiscard]] int peek() const;
+
+ private:
+  mutable util::Mutex mu_{LockRank::kFxOuter, "fx.widget"};
+  // PLANTED(mutex-unranked): bare mutex, no rank anywhere.
+  util::Mutex scratch_mu_;
+  int counter_ NAPLET_GUARDED_BY(mu_) = 0;
+  // PLANTED(unguarded-member): mutable state in a mutex-owning class with
+  // no annotation.
+  int hits_ = 0;
+  // PLANTED(guarded-by-unknown): ghost_mu_ is not a member of Widget.
+  int tagged_ NAPLET_GUARDED_BY(ghost_mu_) = 0;
+};
+
+// PLANTED(fault-site-duplicate, fault-site-stale): fx.widget.poke listed
+// twice; fx.retired.site is never woven.
+inline constexpr std::string_view kFaultSites[] = {
+    "fx.widget.poke",
+    "fx.widget.poke",
+    "fx.retired.site",
+};
+
+enum class FxEvent : std::uint8_t { kGo, kStop, kPause };
+inline constexpr int kFxEventCount = 3;
+
+// PLANTED(enum-count-mismatch): three enumerators, count says two.
+enum class FxPhase : std::uint8_t { kOne, kTwo, kThree };
+inline constexpr int kFxPhaseCount = 2;
+
+const char* transition(FxEvent ev);
+
+void rebalance();
+void audit_pools();
+void touch_outer();
+
+}  // namespace fx

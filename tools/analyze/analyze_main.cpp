@@ -1,0 +1,80 @@
+// naplet-analyze: whole-program lock-order, annotation-coverage, and
+// invariant-registry static analysis over the naplet sources.
+//
+//   naplet-analyze --root . --compdb build-debug/compile_commands.json
+//                  --baseline tools/analyze/baseline.txt
+//
+// Exit codes: 0 clean, 1 findings, 2 usage/environment error.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "model.hpp"
+
+namespace {
+
+void usage(std::ostream& out) {
+  out << "usage: naplet-analyze [options]\n"
+         "  --root DIR       repo root to analyze (default: cwd)\n"
+         "  --compdb FILE    compile_commands.json to seed the file list\n"
+         "  --baseline FILE  fingerprints to tolerate (one per line)\n"
+         "  --json FILE      also write findings as JSON\n"
+         "  --compact        print kind|file:line|symbol|message lines\n"
+         "  --registry-only  run only the invariant-registry pass\n"
+         "  --quiet          suppress the human report\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  naplet::analyze::DriverOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--root") {
+      const char* v = next();
+      if (v == nullptr) {
+        usage(std::cerr);
+        return 2;
+      }
+      opts.root = v;
+    } else if (arg == "--compdb") {
+      const char* v = next();
+      if (v == nullptr) {
+        usage(std::cerr);
+        return 2;
+      }
+      opts.compdb = v;
+    } else if (arg == "--baseline") {
+      const char* v = next();
+      if (v == nullptr) {
+        usage(std::cerr);
+        return 2;
+      }
+      opts.baseline = v;
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (v == nullptr) {
+        usage(std::cerr);
+        return 2;
+      }
+      opts.json_out = v;
+    } else if (arg == "--compact") {
+      opts.compact = true;
+    } else if (arg == "--registry-only") {
+      opts.registry_only = true;
+    } else if (arg == "--quiet") {
+      opts.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "naplet-analyze: unknown option '" << arg << "'\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+  return naplet::analyze::run_driver(opts);
+}

@@ -1,0 +1,121 @@
+// Pass 2: annotation-coverage audit.
+//
+//  * mutex-unranked      — a util::Mutex declared with no rank argument
+//                          at all (explicit LockRank::kUnranked is the
+//                          documented opt-out and is accepted).
+//  * guarded-by-unknown  — NAPLET_GUARDED_BY names a mutex that is not a
+//                          member of the class (or a known global).
+//  * unguarded-member    — a mutable member of a mutex-owning class with
+//                          no GUARDED_BY and no internal synchronization
+//                          of its own.
+#include <algorithm>
+
+#include "resolve.hpp"
+
+namespace naplet::analyze {
+
+namespace {
+
+bool internally_synchronized(const std::string& type_text) {
+  static const char* kSelfSynced[] = {
+      "Mutex",        "CondVar",      "Event",    "BlockingQueue",
+      "WaitableCell", "Counter",      "Gauge",    "Histogram",
+      "Registry",     "TraceSink",    "FlightRecorder",
+      "atomic",       "thread",       "jthread",  "once_flag",
+      "condition_variable",
+  };
+  return std::any_of(std::begin(kSelfSynced), std::end(kSelfSynced),
+                     [&](const char* name) {
+                       return type_text.find(name) != std::string::npos;
+                     });
+}
+
+bool has_rank_anywhere(const ClassDecl& cls, const MemberDecl& m) {
+  if (m.mutex_has_ctor_args) return true;
+  return cls.ctor_mutex_init.find(m.name) != cls.ctor_mutex_init.end();
+}
+
+}  // namespace
+
+void annotation_pass(const SourceModel& model, std::vector<Finding>& out) {
+  for (const auto& [name, cls] : model.classes) {
+    if (cls.file.rfind("bench/", 0) == 0) continue;
+    bool owns_mutex = false;
+    for (const MemberDecl& m : cls.members) {
+      // A Mutex& / Mutex* member is a borrowed capability (guard classes,
+      // samplers), not an owned one: only owned mutexes make the class's
+      // state "guarded".
+      if (m.is_mutex && !m.is_reference && !m.is_pointer) owns_mutex = true;
+    }
+    for (const MemberDecl& m : cls.members) {
+      if (m.is_mutex && !m.is_reference && !m.is_pointer &&
+          !has_rank_anywhere(cls, m)) {
+        Finding f;
+        f.kind = "mutex-unranked";
+        f.file = m.file;
+        f.line = m.line;
+        f.symbol = name + "::" + m.name;
+        f.message =
+            "mutex declared without a LockRank; rank it or opt out "
+            "explicitly with LockRank::kUnranked";
+        out.push_back(std::move(f));
+      }
+      if (!m.guarded_by.empty()) {
+        std::string target;
+        for (char ch : m.guarded_by) {
+          if (ch != ' ') target.push_back(ch);
+        }
+        if (target.rfind("this->", 0) == 0) target = target.substr(6);
+        bool found = false;
+        for (const MemberDecl& other : cls.members) {
+          if (other.name == target && other.is_mutex) found = true;
+        }
+        auto git = model.globals.find(target);
+        if (git != model.globals.end() && git->second.is_mutex) found = true;
+        if (!found) {
+          Finding f;
+          f.kind = "guarded-by-unknown";
+          f.file = m.file;
+          f.line = m.line;
+          f.symbol = name + "::" + m.name;
+          f.message = "GUARDED_BY(" + target +
+                      ") does not name a util::Mutex member of " + name;
+          out.push_back(std::move(f));
+        }
+      }
+    }
+    if (!owns_mutex) continue;
+    for (const MemberDecl& m : cls.members) {
+      if (m.is_mutex || m.is_static || m.is_const || m.is_reference) continue;
+      if (!m.guarded_by.empty() || m.not_guarded) continue;
+      if (internally_synchronized(m.type_text)) continue;
+      Finding f;
+      f.kind = "unguarded-member";
+      f.file = m.file;
+      f.line = m.line;
+      f.symbol = name + "::" + m.name;
+      f.message =
+          "mutable member of a mutex-owning class lacks NAPLET_GUARDED_BY "
+          "(annotate it, make it atomic/const, or add an analyze-ignore "
+          "comment stating the synchronization story)";
+      out.push_back(std::move(f));
+    }
+  }
+  // Globals: a namespace-scope util::Mutex must also be ranked (or carry
+  // the explicit opt-out).
+  for (const auto& [name, g] : model.globals) {
+    if (g.file.rfind("bench/", 0) == 0) continue;
+    if (!g.is_mutex || g.mutex_has_ctor_args) continue;
+    Finding f;
+    f.kind = "mutex-unranked";
+    f.file = g.file;
+    f.line = g.line;
+    f.symbol = name;
+    f.message =
+        "global mutex declared without a LockRank; rank it or opt out "
+        "explicitly with LockRank::kUnranked";
+    out.push_back(std::move(f));
+  }
+}
+
+}  // namespace naplet::analyze

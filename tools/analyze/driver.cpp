@@ -1,0 +1,160 @@
+// Driver: file discovery (compile_commands.json + header walk), model
+// construction, pass orchestration, output, exit code.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+
+#include "model.hpp"
+
+namespace naplet::analyze {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool has_source_ext(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h";
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Root-relative '/'-separated path ("" when `p` is outside `root`).
+std::string relativize(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(p, root, ec);
+  if (ec) return "";
+  std::string s = rel.generic_string();
+  if (s.empty() || s == "." || s.rfind("..", 0) == 0) return "";
+  return s;
+}
+
+/// Extract the "file" entries of a compile_commands.json. A real JSON
+/// parser is overkill for the fixed cmake output shape: scan for
+/// `"file"` keys and take the following string value.
+std::vector<std::string> compdb_files(const std::string& text) {
+  std::vector<std::string> files;
+  std::size_t pos = 0;
+  while ((pos = text.find("\"file\"", pos)) != std::string::npos) {
+    pos += 6;
+    const std::size_t colon = text.find(':', pos);
+    if (colon == std::string::npos) break;
+    const std::size_t open = text.find('"', colon);
+    if (open == std::string::npos) break;
+    std::string value;
+    std::size_t i = open + 1;
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\' && i + 1 < text.size()) ++i;
+      value.push_back(text[i]);
+      ++i;
+    }
+    files.push_back(value);
+    pos = i;
+  }
+  return files;
+}
+
+/// True for paths the analyzer models: src/ and bench/ translation
+/// units. tests/ deliberately plants violations in death tests and
+/// tools/ is the analyzer itself, so both stay out of the model.
+bool analyzed_path(const std::string& rel) {
+  return rel.rfind("src/", 0) == 0 || rel.rfind("bench/", 0) == 0;
+}
+
+}  // namespace
+
+int run_driver(const DriverOptions& opts) {
+  const fs::path root = opts.root.empty() ? fs::current_path()
+                                          : fs::path(opts.root);
+  std::error_code ec;
+  if (!fs::is_directory(root, ec) || ec) {
+    std::cerr << "naplet-analyze: root '" << root.string()
+              << "' is not a directory\n";
+    return 2;
+  }
+
+  // ------------------------------------------------------ file discovery
+  std::set<std::string> rel_paths;
+  if (!opts.compdb.empty()) {
+    if (!fs::exists(opts.compdb, ec) || ec) {
+      std::cerr << "naplet-analyze: compile database '" << opts.compdb
+                << "' not found\n";
+      return 2;
+    }
+    for (const std::string& f : compdb_files(slurp(opts.compdb))) {
+      const std::string rel = relativize(fs::path(f), root);
+      if (!rel.empty() && analyzed_path(rel)) rel_paths.insert(rel);
+    }
+  }
+  // Headers are not compile-db entries (and with no compile db, bodies
+  // are not either): walk src/ and bench/ for anything not yet listed.
+  bool walked_any = false;
+  for (const char* dir : {"src", "bench"}) {
+    const fs::path sub = root / dir;
+    if (!fs::is_directory(sub, ec) || ec) continue;
+    walked_any = true;
+    for (auto it = fs::recursive_directory_iterator(sub, ec);
+         !ec && it != fs::recursive_directory_iterator(); ++it) {
+      if (!it->is_regular_file(ec) || ec) continue;
+      if (!has_source_ext(it->path())) continue;
+      const std::string rel = relativize(it->path(), root);
+      if (!rel.empty()) rel_paths.insert(rel);
+    }
+  }
+  if (!walked_any && rel_paths.empty()) {
+    std::cerr << "naplet-analyze: no src/ or bench/ under '" << root.string()
+              << "' and no compile database entries\n";
+    return 2;
+  }
+
+  // ------------------------------------------------------ model building
+  SourceModel model;
+  for (const std::string& rel : rel_paths) {
+    const fs::path p = root / rel;
+    if (!fs::exists(p, ec) || ec) continue;
+    LexedFile lf = lex(p.string(), rel, slurp(p));
+    scan_file(lf, model);
+    model.files.push_back(std::move(lf));
+  }
+
+  std::string design_md;
+  const fs::path design_path = root / "DESIGN.md";
+  if (fs::exists(design_path, ec) && !ec) design_md = slurp(design_path);
+
+  // ---------------------------------------------------------------- passes
+  std::vector<Finding> raw;
+  if (!opts.registry_only) {
+    lock_order_pass(model, raw);
+    annotation_pass(model, raw);
+  }
+  registry_pass(model, design_md, raw);
+
+  const AnalysisResult result =
+      postprocess(std::move(raw), model.files, load_baseline(opts.baseline));
+
+  // ---------------------------------------------------------------- output
+  if (!opts.json_out.empty()) {
+    std::ofstream out(opts.json_out);
+    if (!out) {
+      std::cerr << "naplet-analyze: cannot write '" << opts.json_out << "'\n";
+      return 2;
+    }
+    emit_json(result, out);
+  }
+  if (opts.compact) {
+    emit_compact(result, std::cout);
+  } else if (!opts.quiet) {
+    emit_report(result, std::cout);
+  }
+  return result.findings.empty() ? 0 : 1;
+}
+
+}  // namespace naplet::analyze

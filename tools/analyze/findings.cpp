@@ -1,0 +1,182 @@
+// Findings post-processing: suppression comments, baseline filtering,
+// and the three output formats (human report, compact lines, JSON).
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "model.hpp"
+
+namespace naplet::analyze {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  return out;
+}
+
+/// True when the finding's line (or the line above it) carries an
+/// `analyze-ignore(<kind>)` or `analyze-ignore(all)` comment.
+bool is_suppressed(const Finding& f, const std::vector<LexedFile>& files) {
+  if (f.line <= 0) return false;
+  const LexedFile* lf = nullptr;
+  for (const LexedFile& cand : files) {
+    if (cand.rel_path == f.file) {
+      lf = &cand;
+      break;
+    }
+  }
+  if (lf == nullptr) return false;
+  const std::string tag_kind = "analyze-ignore(" + f.kind + ")";
+  const std::string tag_all = "analyze-ignore(all)";
+  for (int line = f.line - 1; line <= f.line; ++line) {
+    const std::size_t idx = static_cast<std::size_t>(line) - 1;
+    if (line < 1 || idx >= lf->raw_lines.size()) continue;
+    const std::string& text = lf->raw_lines[idx];
+    if (text.find(tag_kind) != std::string::npos ||
+        text.find(tag_all) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::set<std::string> load_baseline(const std::string& path) {
+  std::set<std::string> fingerprints;
+  if (path.empty()) return fingerprints;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    std::size_t start = line.find_first_not_of(' ');
+    if (start == std::string::npos) continue;
+    line = line.substr(start);
+    if (line.empty() || line[0] == '#') continue;
+    fingerprints.insert(line);
+  }
+  return fingerprints;
+}
+
+AnalysisResult postprocess(std::vector<Finding> findings,
+                           const std::vector<LexedFile>& files,
+                           const std::set<std::string>& baseline) {
+  AnalysisResult result;
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.fingerprint() != b.fingerprint()) {
+                return a.fingerprint() < b.fingerprint();
+              }
+              return a.line < b.line;
+            });
+  std::set<std::string> seen;
+  for (Finding& f : findings) {
+    if (!seen.insert(f.fingerprint()).second) continue;
+    if (is_suppressed(f, files)) {
+      ++result.suppressed;
+      continue;
+    }
+    if (baseline.count(f.fingerprint()) != 0U) {
+      ++result.baselined;
+      continue;
+    }
+    result.findings.push_back(std::move(f));
+  }
+  return result;
+}
+
+void emit_compact(const AnalysisResult& result, std::ostream& out) {
+  for (const Finding& f : result.findings) {
+    out << f.kind << "|" << f.file << ":" << f.line << "|" << f.symbol << "|"
+        << f.message << "\n";
+  }
+}
+
+void emit_json(const AnalysisResult& result, std::ostream& out) {
+  out << "{\n  \"findings\": [";
+  bool first = true;
+  for (const Finding& f : result.findings) {
+    out << (first ? "" : ",") << "\n    {"
+        << "\"kind\": \"" << json_escape(f.kind) << "\", "
+        << "\"file\": \"" << json_escape(f.file) << "\", "
+        << "\"line\": " << f.line << ", "
+        << "\"symbol\": \"" << json_escape(f.symbol) << "\", "
+        << "\"fingerprint\": \"" << json_escape(f.fingerprint()) << "\", "
+        << "\"message\": \"" << json_escape(f.message) << "\"";
+    if (!f.chain.empty()) {
+      out << ", \"chain\": [";
+      for (std::size_t i = 0; i < f.chain.size(); ++i) {
+        out << (i == 0 ? "" : ", ") << "\"" << json_escape(f.chain[i]) << "\"";
+      }
+      out << "]";
+    }
+    out << "}";
+    first = false;
+  }
+  out << "\n  ],\n  \"suppressed\": " << result.suppressed
+      << ",\n  \"baselined\": " << result.baselined << "\n}\n";
+}
+
+void emit_report(const AnalysisResult& result, std::ostream& out) {
+  if (result.findings.empty()) {
+    out << "naplet-analyze: clean (" << result.suppressed << " suppressed, "
+        << result.baselined << " baselined)\n";
+    return;
+  }
+  std::map<std::string, std::vector<const Finding*>> by_kind;
+  for (const Finding& f : result.findings) {
+    by_kind[f.kind].push_back(&f);
+  }
+  out << "naplet-analyze: " << result.findings.size() << " finding(s)\n";
+  for (const auto& [kind, group] : by_kind) {
+    out << "\n[" << kind << "] (" << group.size() << ")\n";
+    for (const Finding* f : group) {
+      out << "  " << f->file << ":" << f->line << "  " << f->symbol << "\n"
+          << "    " << f->message << "\n";
+      if (!f->chain.empty()) {
+        out << "    chain:";
+        for (const std::string& fn : f->chain) out << " -> " << fn;
+        out << "\n";
+      }
+      out << "    fingerprint: " << f->fingerprint() << "\n";
+    }
+  }
+  if (result.suppressed > 0 || result.baselined > 0) {
+    out << "\n(" << result.suppressed << " suppressed by analyze-ignore, "
+        << result.baselined << " baselined)\n";
+  }
+}
+
+}  // namespace naplet::analyze

@@ -1,0 +1,96 @@
+// Optional clang AST cross-check (built only with
+// -DNAPLET_ANALYZE_WITH_CLANG=ON and clang dev libraries present).
+//
+// The syntactic engine in scanner.cpp is the gate that always runs; this
+// frontend re-derives the guard-acquisition facts from the real AST and
+// prints them in the same `class::member@file:line` shape so CI can diff
+// the two models. A disagreement means the syntactic scanner mis-read an
+// idiom and must be fixed — the AST is authoritative, the scanner is
+// portable.
+#include <memory>
+#include <string>
+
+#include "clang/AST/ASTConsumer.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/Frontend/CompilerInstance.h"
+#include "clang/Frontend/FrontendAction.h"
+#include "clang/Tooling/CommonOptionsParser.h"
+#include "clang/Tooling/Tooling.h"
+#include "llvm/Support/CommandLine.h"
+#include "llvm/Support/raw_ostream.h"
+
+namespace {
+
+llvm::cl::OptionCategory kCategory("naplet-analyze-clang options");
+
+class GuardVisitor : public clang::RecursiveASTVisitor<GuardVisitor> {
+ public:
+  explicit GuardVisitor(clang::ASTContext& ctx) : ctx_(ctx) {}
+
+  bool VisitVarDecl(clang::VarDecl* decl) {
+    const clang::QualType type = decl->getType();
+    const std::string type_name = type.getAsString();
+    if (type_name.find("MutexLock") == std::string::npos) return true;
+    const clang::SourceManager& sm = ctx_.getSourceManager();
+    const clang::SourceLocation loc = decl->getLocation();
+    if (!loc.isValid() || sm.isInSystemHeader(loc)) return true;
+    llvm::outs() << "guard " << decl->getNameAsString() << " "
+                 << type_name << " @ "
+                 << sm.getFilename(loc).str() << ":"
+                 << sm.getSpellingLineNumber(loc) << "\n";
+    return true;
+  }
+
+  bool VisitFieldDecl(clang::FieldDecl* decl) {
+    const std::string type_name = decl->getType().getAsString();
+    if (type_name.find("util::Mutex") == std::string::npos &&
+        type_name.find("class naplet::util::Mutex") == std::string::npos) {
+      return true;
+    }
+    const clang::SourceManager& sm = ctx_.getSourceManager();
+    const clang::SourceLocation loc = decl->getLocation();
+    if (!loc.isValid() || sm.isInSystemHeader(loc)) return true;
+    const clang::RecordDecl* parent = decl->getParent();
+    llvm::outs() << "mutex " << (parent != nullptr
+                                     ? parent->getNameAsString()
+                                     : std::string("?"))
+                 << "::" << decl->getNameAsString() << " @ "
+                 << sm.getFilename(loc).str() << ":"
+                 << sm.getSpellingLineNumber(loc) << "\n";
+    return true;
+  }
+
+ private:
+  clang::ASTContext& ctx_;
+};
+
+class GuardConsumer : public clang::ASTConsumer {
+ public:
+  void HandleTranslationUnit(clang::ASTContext& ctx) override {
+    GuardVisitor visitor(ctx);
+    visitor.TraverseDecl(ctx.getTranslationUnitDecl());
+  }
+};
+
+class GuardAction : public clang::ASTFrontendAction {
+ public:
+  std::unique_ptr<clang::ASTConsumer> CreateASTConsumer(
+      clang::CompilerInstance& /*ci*/, llvm::StringRef /*file*/) override {
+    return std::make_unique<GuardConsumer>();
+  }
+};
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  auto options =
+      clang::tooling::CommonOptionsParser::create(argc, argv, kCategory);
+  if (!options) {
+    llvm::errs() << llvm::toString(options.takeError());
+    return 2;
+  }
+  clang::tooling::ClangTool tool(options->getCompilations(),
+                                 options->getSourcePathList());
+  return tool.run(
+      clang::tooling::newFrontendActionFactory<GuardAction>().get());
+}

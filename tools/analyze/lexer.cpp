@@ -1,0 +1,165 @@
+// Minimal C++ lexer for naplet-analyze. Good enough for the repo's
+// clang-formatted sources: it understands line/block comments, string,
+// char and raw-string literals, digraph-free punctuation, and drops
+// preprocessor directive lines (so macro *definitions* never leak tokens
+// into the model; macro *uses* like NAPLET_GUARDED_BY(mu_) appear as
+// ordinary identifier + parens, which is exactly what the scanner wants).
+#include <cctype>
+
+#include "model.hpp"
+
+namespace naplet::analyze {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+LexedFile lex(std::string path, std::string rel_path,
+              const std::string& text) {
+  LexedFile out;
+  out.path = std::move(path);
+  out.rel_path = std::move(rel_path);
+
+  // Raw lines (suppression comments are matched against these).
+  std::string line;
+  for (char c : text) {
+    if (c == '\n') {
+      out.raw_lines.push_back(line);
+      line.clear();
+    } else {
+      line.push_back(c);
+    }
+  }
+  if (!line.empty()) out.raw_lines.push_back(line);
+
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  int ln = 1;
+  bool at_line_start = true;
+
+  auto peek = [&](std::size_t k) -> char {
+    return i + k < n ? text[i + k] : '\0';
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++ln;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip to end of line, honouring continuations.
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (text[i] == '\\' && peek(1) == '\n') {
+          i += 2;
+          ++ln;
+          continue;
+        }
+        if (text[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    // Comments.
+    if (c == '/' && peek(1) == '/') {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      i += 2;
+      while (i < n && !(text[i] == '*' && peek(1) == '/')) {
+        if (text[i] == '\n') ++ln;
+        ++i;
+      }
+      i += 2;
+      continue;
+    }
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && peek(1) == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && text[j] != '(') delim.push_back(text[j++]);
+      const std::string close = ")" + delim + "\"";
+      std::size_t body = j + 1;
+      std::size_t end = text.find(close, body);
+      if (end == std::string::npos) end = n;
+      Token t{TokKind::kString, text.substr(body, end - body), ln};
+      for (std::size_t k = i; k < end && k < n; ++k) {
+        if (text[k] == '\n') ++ln;
+      }
+      out.tokens.push_back(std::move(t));
+      i = end + close.size();
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::string value;
+      ++i;
+      while (i < n && text[i] != quote) {
+        if (text[i] == '\\' && i + 1 < n) {
+          value.push_back(text[i + 1]);
+          i += 2;
+          continue;
+        }
+        if (text[i] == '\n') ++ln;  // unterminated; keep going
+        value.push_back(text[i++]);
+      }
+      ++i;  // closing quote
+      out.tokens.push_back(
+          Token{quote == '"' ? TokKind::kString : TokKind::kChar,
+                std::move(value), ln});
+      continue;
+    }
+    // Identifier / keyword.
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(text[j])) ++j;
+      out.tokens.push_back(Token{TokKind::kIdent, text.substr(i, j - i), ln});
+      i = j;
+      continue;
+    }
+    // Number (loose: consume alnum, dots, exponent signs).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (ident_char(text[j]) || text[j] == '.' ||
+                       ((text[j] == '+' || text[j] == '-') && j > i &&
+                        (text[j - 1] == 'e' || text[j - 1] == 'E')))) {
+        ++j;
+      }
+      out.tokens.push_back(Token{TokKind::kNumber, text.substr(i, j - i), ln});
+      i = j;
+      continue;
+    }
+    // Punctuation; fuse `::` and `->` which the scanner treats as units.
+    if (c == ':' && peek(1) == ':') {
+      out.tokens.push_back(Token{TokKind::kPunct, "::", ln});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && peek(1) == '>') {
+      out.tokens.push_back(Token{TokKind::kPunct, "->", ln});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back(Token{TokKind::kPunct, std::string(1, c), ln});
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace naplet::analyze

@@ -1,0 +1,241 @@
+// Pass 1: whole-program lock-order analysis.
+//
+// Builds the inter-procedural "held-while-calling" graph: every guard
+// scope contributes (held mutex -> acquisition reachable through any
+// call made inside the scope). Rank inversions (acquiring a rank <= a
+// held rank, the static mirror of lock_rank.cpp's runtime rule) are
+// reported with the full call chain; cycles among mutexes that escape
+// the rank hierarchy (unranked/unknown) are reported separately.
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "resolve.hpp"
+
+namespace naplet::analyze {
+
+namespace {
+
+struct Acq {
+  MutexRef mu;
+  long rank = -1;  // -1 unknown, 0 kUnranked
+  std::vector<std::string> path;  // functions from the callee down
+  std::string file;
+  int line = 0;
+};
+
+class LockAnalysis {
+ public:
+  explicit LockAnalysis(const SourceModel& model) : r_(model) {}
+
+  void run(std::vector<Finding>& out) {
+    for (const FuncDecl* fn : r_.functions()) {
+      // bench/ code is single-threaded driver code; only pass 3 audits it.
+      if (fn->file.rfind("bench/", 0) == 0) continue;
+      check_function(*fn, out);
+    }
+    report_cycles(out);
+    std::copy(findings_.begin(), findings_.end(), std::back_inserter(out));
+  }
+
+ private:
+  using Closure = std::map<std::string, Acq>;  // mutex key -> acquisition
+
+  const Closure& closure_of(const FuncDecl* fn) {
+    auto it = memo_.find(fn);
+    if (it != memo_.end()) return it->second;
+    // Insert an (initially empty) entry first: cycles in the call graph
+    // see the partial closure instead of recursing forever.
+    Closure& result = memo_[fn];
+    for (const LockSite& site : fn->locks) {
+      MutexRef mu = r_.resolve_mutex(*fn, site.mutex_expr);
+      if (!mu.resolved) continue;
+      Acq acq;
+      acq.mu = mu;
+      acq.rank = r_.rank_value(mu.rank_token);
+      acq.path = {fn->qname()};
+      acq.file = fn->file;
+      acq.line = site.line;
+      result.emplace(mu.key(), std::move(acq));
+    }
+    for (const CallSite& cs : fn->calls) {
+      const FuncDecl* callee = r_.resolve_call(*fn, cs);
+      if (callee == nullptr || callee == fn) continue;
+      const Closure child = closure_of(callee);  // copy: memo_ may rehash
+      for (const auto& [key, acq] : child) {
+        if (result.find(key) != result.end()) continue;
+        Acq via = acq;
+        via.path.insert(via.path.begin(), fn->qname());
+        result.emplace(key, std::move(via));
+      }
+    }
+    return memo_[fn];
+  }
+
+  void check_function(const FuncDecl& fn, std::vector<Finding>& out) {
+    (void)out;
+    // Intra-procedural: a guard taken while other guards are held.
+    for (const LockSite& site : fn.locks) {
+      if (site.held.empty()) continue;
+      MutexRef mu = r_.resolve_mutex(fn, site.mutex_expr);
+      if (!mu.resolved) continue;
+      const long rank = r_.rank_value(mu.rank_token);
+      for (const HeldLock& held : site.held) {
+        MutexRef held_mu = r_.resolve_mutex(fn, held.mutex_expr);
+        if (!held_mu.resolved) continue;
+        const long held_rank = r_.rank_value(held_mu.rank_token);
+        note_edge(held_mu, mu);
+        if (rank <= 0 || held_rank <= 0) continue;  // unknown/unranked
+        if (rank <= held_rank) {
+          add_inversion(fn, {fn.qname()}, held_mu, held_rank, held.line, mu,
+                        rank, fn.file, site.line);
+        }
+      }
+    }
+    // Inter-procedural: calls made while holding guards.
+    for (const CallSite& cs : fn.calls) {
+      if (cs.held.empty()) continue;
+      const FuncDecl* callee = r_.resolve_call(fn, cs);
+      if (callee == nullptr || callee == &fn) continue;
+      const Closure& reach = closure_of(callee);
+      for (const HeldLock& held : cs.held) {
+        MutexRef held_mu = r_.resolve_mutex(fn, held.mutex_expr);
+        if (!held_mu.resolved) continue;
+        const long held_rank = r_.rank_value(held_mu.rank_token);
+        for (const auto& [key, acq] : reach) {
+          note_edge(held_mu, acq.mu);
+          if (acq.rank <= 0 || held_rank <= 0) continue;
+          if (acq.rank <= held_rank) {
+            std::vector<std::string> chain = {fn.qname()};
+            chain.insert(chain.end(), acq.path.begin(), acq.path.end());
+            add_inversion(fn, chain, held_mu, held_rank, held.line, acq.mu,
+                          acq.rank, acq.file, acq.line);
+          }
+        }
+      }
+    }
+  }
+
+  void add_inversion(const FuncDecl& fn, std::vector<std::string> chain,
+                     const MutexRef& held, long held_rank, int held_line,
+                     const MutexRef& acquired, long acq_rank,
+                     const std::string& acq_file, int acq_line) {
+    std::ostringstream msg;
+    if (held.key() == acquired.key()) {
+      msg << "recursive acquisition of '" << held.display() << "' (rank "
+          << held.rank_token << "=" << held_rank << ")";
+    } else {
+      msg << "acquires '" << acquired.display() << "' (rank "
+          << acquired.rank_token << "=" << acq_rank << ", " << acq_file << ":"
+          << acq_line << ") while holding '" << held.display() << "' (rank "
+          << held.rank_token << "=" << held_rank << ", acquired at line "
+          << held_line << ")";
+    }
+    msg << " via " << join_chain(chain);
+    Finding f;
+    f.kind = "lock-rank-inversion";
+    f.file = fn.file;
+    f.line = held_line;
+    f.symbol = fn.qname() + "/" + held.display() + ">" + acquired.display();
+    f.message = msg.str();
+    f.chain = std::move(chain);
+    findings_.insert(std::move(f));
+  }
+
+  static std::string join_chain(const std::vector<std::string>& chain) {
+    std::string out;
+    for (const std::string& fn : chain) {
+      if (!out.empty()) out += " -> ";
+      out += fn;
+    }
+    return out;
+  }
+
+  void note_edge(const MutexRef& from, const MutexRef& to) {
+    if (from.key() == to.key()) return;
+    edges_[from.key()].insert(to.key());
+    ranked_[from.key()] = r_.rank_value(from.rank_token) > 0;
+    ranked_[to.key()] = r_.rank_value(to.rank_token) > 0;
+    display_[from.key()] = from.display();
+    display_[to.key()] = to.display();
+  }
+
+  /// Cycles in the acquired-while-held graph that the rank hierarchy
+  /// cannot rule out (at least one unranked/unknown participant; fully
+  /// ranked cycles always contain an inversion, reported above).
+  void report_cycles(std::vector<Finding>& out) {
+    std::set<std::string> done;
+    for (const auto& [start, _] : edges_) {
+      if (done.count(start) != 0U) continue;
+      std::vector<std::string> path;
+      std::set<std::string> on_path;
+      dfs_cycle(start, start, path, on_path, done, out);
+    }
+  }
+
+  void dfs_cycle(const std::string& node, const std::string& start,
+                 std::vector<std::string>& path, std::set<std::string>& on_path,
+                 std::set<std::string>& done, std::vector<Finding>& out) {
+    path.push_back(node);
+    on_path.insert(node);
+    auto it = edges_.find(node);
+    if (it != edges_.end()) {
+      for (const std::string& next : it->second) {
+        if (next == start && path.size() > 1) {
+          bool has_unranked = false;
+          for (const std::string& key : path) {
+            if (!ranked_[key]) has_unranked = true;
+          }
+          if (has_unranked && start == *std::min_element(path.begin(),
+                                                         path.end())) {
+            Finding f;
+            f.kind = "lock-cycle";
+            f.symbol = join_cycle(path);
+            f.message = "possible deadlock: lock cycle " + f.symbol +
+                        " involves an unranked mutex the rank validator "
+                        "cannot order";
+            out.push_back(std::move(f));
+          }
+          continue;
+        }
+        if (on_path.count(next) == 0U && done.count(next) == 0U) {
+          dfs_cycle(next, start, path, on_path, done, out);
+        }
+      }
+    }
+    path.pop_back();
+    on_path.erase(node);
+    if (path.empty()) done.insert(node);
+  }
+
+  std::string join_cycle(const std::vector<std::string>& keys) {
+    std::string sym;
+    for (const std::string& key : keys) {
+      if (!sym.empty()) sym += " -> ";
+      sym += display_[key];
+    }
+    return sym;
+  }
+
+  Resolver r_;
+  std::map<const FuncDecl*, Closure> memo_;
+  std::map<std::string, std::set<std::string>> edges_;
+  std::map<std::string, bool> ranked_;
+  std::map<std::string, std::string> display_;
+
+  struct FindingLess {
+    bool operator()(const Finding& a, const Finding& b) const {
+      return a.fingerprint() < b.fingerprint();
+    }
+  };
+  std::set<Finding, FindingLess> findings_;  // dedup by fingerprint
+};
+
+}  // namespace
+
+void lock_order_pass(const SourceModel& model, std::vector<Finding>& out) {
+  LockAnalysis analysis(model);
+  analysis.run(out);
+}
+
+}  // namespace naplet::analyze

@@ -1,0 +1,45 @@
+// registry_check: the invariant-registry subset of naplet-analyze as a
+// standalone, dependency-free gate (fault sites, metrics, rank table,
+// enum counts, FSM completeness). Always built; always run by CI.
+//
+//   registry_check --root . [--baseline FILE] [--json FILE] [--compact]
+#include <iostream>
+#include <string>
+
+#include "model.hpp"
+
+int main(int argc, char** argv) {
+  naplet::analyze::DriverOptions opts;
+  opts.registry_only = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--root") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opts.root = v;
+    } else if (arg == "--baseline") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opts.baseline = v;
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opts.json_out = v;
+    } else if (arg == "--compact") {
+      opts.compact = true;
+    } else if (arg == "--quiet") {
+      opts.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: registry_check [--root DIR] [--baseline FILE] "
+                   "[--json FILE] [--compact] [--quiet]\n";
+      return 0;
+    } else {
+      std::cerr << "registry_check: unknown option '" << arg << "'\n";
+      return 2;
+    }
+  }
+  return naplet::analyze::run_driver(opts);
+}

@@ -1,0 +1,253 @@
+#include "resolve.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace naplet::analyze {
+
+namespace {
+
+/// Split "a->b" / "a.b" / "a" into components.
+std::vector<std::string> split_access_path(const std::string& expr) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (std::size_t i = 0; i < expr.size(); ++i) {
+    if (expr[i] == '.' || (expr[i] == '-' && i + 1 < expr.size() &&
+                           expr[i + 1] == '>')) {
+      if (!cur.empty()) parts.push_back(cur);
+      cur.clear();
+      if (expr[i] == '-') ++i;
+      continue;
+    }
+    cur.push_back(expr[i]);
+  }
+  if (!cur.empty()) parts.push_back(cur);
+  return parts;
+}
+
+/// Last `kSomething` token in a text like "LockRank::kStateCell" or
+/// "LockRank :: kStateCell" ("" if none).
+std::string rank_token_of(const std::string& text) {
+  std::string best;
+  std::string cur;
+  for (char ch : text) {
+    if ((std::isalnum(static_cast<unsigned char>(ch)) != 0) || ch == '_') {
+      cur.push_back(ch);
+    } else {
+      if (cur.size() > 1 && cur[0] == 'k') best = cur;
+      cur.clear();
+    }
+  }
+  if (cur.size() > 1 && cur[0] == 'k') best = cur;
+  return best;
+}
+
+}  // namespace
+
+RankTable rank_table(const SourceModel& model) {
+  RankTable table;
+  auto it = model.enums.find("LockRank");
+  if (it == model.enums.end()) return table;
+  table.loaded = true;
+  table.value_of = it->second.values;
+  return table;
+}
+
+Resolver::Resolver(const SourceModel& model) : model_(&model) {
+  ranks_ = rank_table(model);
+  for (const FuncDecl& fn : model.functions) {
+    funcs_.push_back(&fn);
+    by_qname_.emplace(fn.qname(), &fn);
+    by_name_[fn.name].push_back(&fn);
+  }
+}
+
+long Resolver::rank_value(const std::string& rank_token) const {
+  if (rank_token.empty() || !ranks_.loaded) return -1;
+  auto it = ranks_.value_of.find(rank_token);
+  return it == ranks_.value_of.end() ? -1 : it->second;
+}
+
+const MemberDecl* Resolver::find_member(const std::string& cls,
+                                        const std::string& name) const {
+  auto it = model_->classes.find(cls);
+  if (it == model_->classes.end()) return nullptr;
+  for (const MemberDecl& m : it->second.members) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+std::string Resolver::member_type(const std::string& cls,
+                                  const std::string& member) const {
+  const MemberDecl* m = find_member(cls, member);
+  if (m == nullptr) return "";
+  // Last class-ish identifier of the type: handles `obs::Registry&`,
+  // `std::unique_ptr<Session>`, `const Snapshot`.
+  std::string best;
+  std::string cur;
+  for (char ch : m->type_text + " ") {
+    if ((std::isalnum(static_cast<unsigned char>(ch)) != 0) || ch == '_') {
+      cur.push_back(ch);
+    } else {
+      if (!cur.empty() && cur != "const" && cur != "mutable" &&
+          cur != "std" && cur != "static" && cur != "unique_ptr" &&
+          cur != "shared_ptr" && cur != "vector" && cur != "optional" &&
+          model_->classes.find(cur) != model_->classes.end()) {
+        best = cur;
+      }
+      cur.clear();
+    }
+  }
+  return best;
+}
+
+std::string Resolver::rank_of_member(const std::string& cls,
+                                     const MemberDecl& member) const {
+  if (!member.rank_token.empty()) return member.rank_token;
+  auto cit = model_->classes.find(cls);
+  if (cit == model_->classes.end()) return "";
+  auto init = cit->second.ctor_mutex_init.find(member.name);
+  if (init == cit->second.ctor_mutex_init.end()) return "";
+  std::string tok = rank_token_of(init->second);
+  if (!tok.empty() && ranks_.loaded &&
+      ranks_.value_of.find(tok) != ranks_.value_of.end()) {
+    return tok;
+  }
+  // The init arg is a constructor parameter: use its default, if any.
+  auto def = cit->second.ctor_param_defaults.find(init->second);
+  if (def != cit->second.ctor_param_defaults.end()) {
+    return rank_token_of(def->second);
+  }
+  return "";
+}
+
+MutexRef Resolver::resolve_mutex(const FuncDecl& fn,
+                                 const std::string& expr) const {
+  MutexRef ref;
+  std::vector<std::string> parts = split_access_path(expr);
+  if (!parts.empty() && parts.front() == "this") {
+    parts.erase(parts.begin());
+  }
+  if (parts.empty()) return ref;
+
+  if (parts.size() == 1) {
+    // A member of the enclosing class, or a global.
+    if (!fn.cls.empty()) {
+      const MemberDecl* m = find_member(fn.cls, parts[0]);
+      if (m != nullptr && m->is_mutex) {
+        ref.cls = fn.cls;
+        ref.name = m->name;
+        ref.rank_token = rank_of_member(fn.cls, *m);
+        ref.resolved = true;
+        return ref;
+      }
+    }
+    auto git = model_->globals.find(parts[0]);
+    if (git != model_->globals.end() && git->second.is_mutex) {
+      ref.name = parts[0];
+      ref.rank_token = git->second.rank_token;
+      ref.resolved = true;
+      return ref;
+    }
+    return ref;
+  }
+  if (parts.size() == 2) {
+    // `obj.mu_`: resolve obj's type among locals/params, then members.
+    std::string type;
+    auto sit = fn.symbols.find(parts[0]);
+    if (sit != fn.symbols.end()) {
+      type = sit->second;
+    } else if (!fn.cls.empty()) {
+      type = member_type(fn.cls, parts[0]);
+    }
+    if (type.empty()) return ref;
+    const MemberDecl* m = find_member(type, parts[1]);
+    if (m != nullptr && m->is_mutex) {
+      ref.cls = type;
+      ref.name = m->name;
+      ref.rank_token = rank_of_member(type, *m);
+      ref.resolved = true;
+    }
+  }
+  return ref;
+}
+
+std::string Resolver::receiver_type(const FuncDecl& fn,
+                                    const CallSite& cs) const {
+  if (cs.receiver.empty()) return "";
+  // `X::instance()` / `X::global()` singletons.
+  const std::size_t paren = cs.receiver.find("::");
+  if (cs.receiver.size() > 2 &&
+      cs.receiver.compare(cs.receiver.size() - 2, 2, "()") == 0 &&
+      paren != std::string::npos) {
+    return cs.receiver.substr(0, paren);
+  }
+  if (cs.qualified) {
+    // `Class::method(...)` — the qualifier is the type when it names a
+    // scanned class.
+    if (model_->classes.find(cs.receiver) != model_->classes.end()) {
+      return cs.receiver;
+    }
+    return "";
+  }
+  auto sit = fn.symbols.find(cs.receiver);
+  if (sit != fn.symbols.end() &&
+      model_->classes.find(sit->second) != model_->classes.end()) {
+    return sit->second;
+  }
+  if (!fn.cls.empty()) {
+    const std::string t = member_type(fn.cls, cs.receiver);
+    if (!t.empty()) return t;
+  }
+  return "";
+}
+
+const FuncDecl* Resolver::resolve_call(const FuncDecl& fn,
+                                       const CallSite& cs) const {
+  if (cs.receiver.empty()) {
+    // Bare call: same-class method first, then unique free function,
+    // then a globally unique name.
+    if (!fn.cls.empty()) {
+      auto it = by_qname_.find(fn.cls + "::" + cs.callee);
+      if (it != by_qname_.end()) return it->second;
+    }
+    auto nit = by_name_.find(cs.callee);
+    if (nit == by_name_.end()) return nullptr;
+    const FuncDecl* free_fn = nullptr;
+    int free_count = 0;
+    for (const FuncDecl* cand : nit->second) {
+      if (cand->cls.empty()) {
+        free_fn = cand;
+        ++free_count;
+      }
+    }
+    if (free_count == 1) return free_fn;
+    if (nit->second.size() == 1) return nit->second.front();
+    return nullptr;
+  }
+  const std::string type = receiver_type(fn, cs);
+  if (!type.empty()) {
+    auto it = by_qname_.find(type + "::" + cs.callee);
+    if (it != by_qname_.end()) return it->second;
+    return nullptr;
+  }
+  if (cs.qualified) {
+    // Namespace-qualified free call (`fault::hit`, `lock_rank::...`):
+    // accept a unique free function with that name.
+    auto nit = by_name_.find(cs.callee);
+    if (nit == by_name_.end()) return nullptr;
+    const FuncDecl* free_fn = nullptr;
+    int free_count = 0;
+    for (const FuncDecl* cand : nit->second) {
+      if (cand->cls.empty()) {
+        free_fn = cand;
+        ++free_count;
+      }
+    }
+    return free_count == 1 ? free_fn : nullptr;
+  }
+  return nullptr;  // object receiver of unknown type: drop the edge
+}
+
+}  // namespace naplet::analyze

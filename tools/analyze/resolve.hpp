@@ -1,0 +1,62 @@
+// Name-resolution helpers shared by the analysis passes. Resolution is
+// deliberately conservative: an edge (call target, mutex identity,
+// receiver type) is only produced when the repo's idiom makes it
+// unambiguous — unresolved constructs are dropped rather than guessed,
+// so pass 1 reports no chain it cannot actually witness in the sources.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model.hpp"
+
+namespace naplet::analyze {
+
+class Resolver {
+ public:
+  explicit Resolver(const SourceModel& model);
+
+  [[nodiscard]] const SourceModel& model() const { return *model_; }
+
+  /// Resolve a mutex expression (e.g. "mu_", "this->mu_", "node.mu") in
+  /// the context of `fn`. resolved=false when the expression cannot be
+  /// tied to a declared util::Mutex.
+  [[nodiscard]] MutexRef resolve_mutex(const FuncDecl& fn,
+                                       const std::string& expr) const;
+
+  /// Rank value for a rank token; -1 when unknown. kUnranked yields 0.
+  [[nodiscard]] long rank_value(const std::string& rank_token) const;
+
+  /// The class type of a call receiver ("" when undeterminable).
+  [[nodiscard]] std::string receiver_type(const FuncDecl& fn,
+                                          const CallSite& cs) const;
+
+  /// The function a call resolves to (nullptr = unresolved/external).
+  [[nodiscard]] const FuncDecl* resolve_call(const FuncDecl& fn,
+                                             const CallSite& cs) const;
+
+  [[nodiscard]] const std::vector<const FuncDecl*>& functions() const {
+    return funcs_;
+  }
+  [[nodiscard]] const FuncDecl* by_qname(const std::string& qname) const {
+    auto it = by_qname_.find(qname);
+    return it == by_qname_.end() ? nullptr : it->second;
+  }
+
+ private:
+  [[nodiscard]] const MemberDecl* find_member(const std::string& cls,
+                                              const std::string& name) const;
+  [[nodiscard]] std::string member_type(const std::string& cls,
+                                        const std::string& member) const;
+  [[nodiscard]] std::string rank_of_member(const std::string& cls,
+                                           const MemberDecl& member) const;
+
+  const SourceModel* model_;
+  RankTable ranks_;
+  std::vector<const FuncDecl*> funcs_;
+  std::map<std::string, const FuncDecl*> by_qname_;
+  std::map<std::string, std::vector<const FuncDecl*>> by_name_;
+};
+
+}  // namespace naplet::analyze

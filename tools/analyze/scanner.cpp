@@ -1,0 +1,994 @@
+// Syntactic scanner: walks one lexed file and populates the SourceModel
+// with classes, mutex declarations, guard scopes, call sites (with the
+// set of locks held at the call), annotations, enums and registries.
+//
+// This is not a C++ parser. It recognises the repo's clang-formatted
+// idiom: namespace/class/enum blocks, member declarations, function
+// definitions (in-class and out-of-class), constructor init lists, and
+// statement-level guard/call patterns. Unknown constructs are skipped by
+// brace/paren matching, never fatal.
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "model.hpp"
+
+namespace naplet::analyze {
+
+namespace {
+
+const std::set<std::string>& call_keyword_stoplist() {
+  static const std::set<std::string> kStop = {
+      "if",           "for",
+      "while",        "switch",
+      "return",       "sizeof",
+      "alignof",      "catch",
+      "static_cast",  "dynamic_cast",
+      "const_cast",   "reinterpret_cast",
+      "static_assert", "decltype",
+      "noexcept",     "assert",
+      "defined",      "throw",
+      "new",          "delete",
+  };
+  return kStop;
+}
+
+bool is_count_constant_name(const std::string& name) {
+  return name.size() > 6 && name[0] == 'k' &&
+         name.compare(name.size() - 5, 5, "Count") == 0;
+}
+
+struct Cursor {
+  const std::vector<Token>& toks;
+  std::size_t i = 0;
+
+  [[nodiscard]] bool done() const { return i >= toks.size(); }
+  [[nodiscard]] const Token& cur() const { return toks[i]; }
+  [[nodiscard]] const Token* peek(std::size_t k = 0) const {
+    return i + k < toks.size() ? &toks[i + k] : nullptr;
+  }
+  [[nodiscard]] bool is_punct(const char* p, std::size_t k = 0) const {
+    const Token* t = peek(k);
+    return t != nullptr && t->kind == TokKind::kPunct && t->text == p;
+  }
+  [[nodiscard]] bool is_ident(const char* s, std::size_t k = 0) const {
+    const Token* t = peek(k);
+    return t != nullptr && t->kind == TokKind::kIdent && t->text == s;
+  }
+  void advance() { ++i; }
+
+  /// Skip a balanced region. `i` must sit on the opening token.
+  void skip_balanced(const char* open, const char* close) {
+    int depth = 0;
+    while (!done()) {
+      if (is_punct(open)) {
+        ++depth;
+      } else if (is_punct(close)) {
+        if (--depth == 0) {
+          advance();
+          return;
+        }
+      }
+      advance();
+    }
+  }
+
+  /// Skip `template <...>` (angle brackets, tolerant of nesting).
+  void skip_template_intro() {
+    advance();  // 'template'
+    if (!is_punct("<")) return;
+    int depth = 0;
+    while (!done()) {
+      if (is_punct("<")) ++depth;
+      if (is_punct(">")) {
+        if (--depth == 0) {
+          advance();
+          return;
+        }
+      }
+      advance();
+    }
+  }
+};
+
+class FileScanner {
+ public:
+  FileScanner(const LexedFile& file, SourceModel& model)
+      : file_(file), model_(model), c_{file.tokens} {}
+
+  void run() { scan_block(/*cls=*/""); }
+
+ private:
+  const LexedFile& file_;
+  SourceModel& model_;
+  Cursor c_;
+
+  // -------------------------------------------------------------- blocks
+
+  /// Scan declarations until the matching `}` of the enclosing block (or
+  /// EOF at top level). `cls` is the enclosing class ("" = namespace).
+  void scan_block(const std::string& cls) {
+    while (!c_.done()) {
+      if (c_.is_punct("}")) {
+        c_.advance();
+        return;
+      }
+      if (c_.is_punct(";") || c_.is_punct(":")) {  // stray / access label tail
+        c_.advance();
+        continue;
+      }
+      if (c_.is_ident("template")) {
+        c_.skip_template_intro();
+        continue;
+      }
+      if (c_.is_ident("namespace") && cls.empty()) {
+        scan_namespace();
+        continue;
+      }
+      if (c_.is_ident("using") || c_.is_ident("typedef") ||
+          c_.is_ident("friend")) {
+        skip_to_semicolon();
+        continue;
+      }
+      if (c_.is_ident("public") || c_.is_ident("private") ||
+          c_.is_ident("protected")) {
+        c_.advance();
+        if (c_.is_punct(":")) c_.advance();
+        continue;
+      }
+      if (c_.is_ident("enum")) {
+        scan_enum();
+        continue;
+      }
+      if (c_.is_ident("class") || c_.is_ident("struct")) {
+        if (scan_class(cls)) continue;
+        // Not a definition (elaborated type in a declaration): fall
+        // through to declaration scanning from the current position.
+      }
+      scan_declaration(cls);
+    }
+  }
+
+  void scan_namespace() {
+    c_.advance();  // 'namespace'
+    while (!c_.done() && !c_.is_punct("{") && !c_.is_punct(";")) c_.advance();
+    if (c_.is_punct(";")) {
+      c_.advance();
+      return;
+    }
+    if (c_.is_punct("{")) {
+      c_.advance();
+      scan_block("");
+    }
+  }
+
+  /// Returns true if a class *definition* was consumed.
+  bool scan_class(const std::string& outer) {
+    const std::size_t start = c_.i;
+    c_.advance();  // class/struct
+    // The class name is the last identifier before `{` / `:` / `;`:
+    // attribute and annotation macros (argumentless NAPLET_SCOPED_CAPABILITY
+    // as much as NAPLET_CAPABILITY("mutex")) precede it.
+    std::string name;
+    int line = 0;
+    while (!c_.done() && !c_.is_punct("{") && !c_.is_punct(":") &&
+           !c_.is_punct(";") && !c_.is_punct("(")) {
+      if (c_.is_punct("[")) {  // attributes
+        c_.skip_balanced("[", "]");
+        continue;
+      }
+      if (c_.cur().kind == TokKind::kIdent && c_.is_punct("(", 1)) {
+        c_.advance();
+        c_.skip_balanced("(", ")");
+        continue;
+      }
+      if (c_.cur().kind == TokKind::kIdent && c_.cur().text != "final") {
+        name = c_.cur().text;
+        line = c_.cur().line;
+      }
+      c_.advance();
+    }
+    if (name.empty()) {
+      c_.i = start;
+      return false;
+    }
+    // Base clause.
+    while (!c_.done() && !c_.is_punct("{") && !c_.is_punct(";") &&
+           !c_.is_punct("(")) {
+      c_.advance();
+    }
+    if (!c_.is_punct("{")) {
+      c_.i = start;
+      return false;  // forward declaration or `struct X x;` style
+    }
+    c_.advance();  // '{'
+    const std::string qname = outer.empty() ? name : outer + "::" + name;
+    ClassDecl& decl = model_.classes[qname];
+    if (decl.name.empty()) {
+      decl.name = qname;
+      decl.file = file_.rel_path;
+      decl.line = line;
+    }
+    scan_block(qname);
+    // Trailing `;` (and any variable of the anonymous-ish form) skipped.
+    if (c_.is_punct(";")) c_.advance();
+    return true;
+  }
+
+  void scan_enum() {
+    c_.advance();  // 'enum'
+    if (c_.is_ident("class") || c_.is_ident("struct")) c_.advance();
+    if (c_.done() || c_.cur().kind != TokKind::kIdent) {
+      skip_to_semicolon();
+      return;
+    }
+    EnumDecl decl;
+    decl.name = c_.cur().text;
+    decl.file = file_.rel_path;
+    decl.line = c_.cur().line;
+    c_.advance();
+    while (!c_.done() && !c_.is_punct("{") && !c_.is_punct(";")) c_.advance();
+    if (!c_.is_punct("{")) {
+      if (c_.is_punct(";")) c_.advance();
+      return;  // opaque enum declaration
+    }
+    c_.advance();  // '{'
+    long next_value = 0;
+    while (!c_.done() && !c_.is_punct("}")) {
+      if (c_.cur().kind == TokKind::kIdent) {
+        const std::string enumerator = c_.cur().text;
+        c_.advance();
+        long value = next_value;
+        if (c_.is_punct("=")) {
+          c_.advance();
+          bool negative = false;
+          if (c_.is_punct("-")) {
+            negative = true;
+            c_.advance();
+          }
+          if (!c_.done() && c_.cur().kind == TokKind::kNumber) {
+            value = std::strtol(c_.cur().text.c_str(), nullptr, 0);
+            if (negative) value = -value;
+          }
+          while (!c_.done() && !c_.is_punct(",") && !c_.is_punct("}")) {
+            c_.advance();
+          }
+        }
+        decl.enumerators.push_back(enumerator);
+        decl.values[enumerator] = value;
+        next_value = value + 1;
+        if (c_.is_punct(",")) c_.advance();
+        continue;
+      }
+      c_.advance();
+    }
+    if (c_.is_punct("}")) c_.advance();
+    if (c_.is_punct(";")) c_.advance();
+    model_.enums[decl.name] = std::move(decl);
+  }
+
+  void skip_to_semicolon() {
+    while (!c_.done() && !c_.is_punct(";")) {
+      if (c_.is_punct("{")) {
+        c_.skip_balanced("{", "}");
+        continue;
+      }
+      c_.advance();
+    }
+    if (c_.is_punct(";")) c_.advance();
+  }
+
+  // ------------------------------------------------------- declarations
+
+  /// Scan one member/global/function declaration starting at the cursor.
+  void scan_declaration(const std::string& cls) {
+    std::vector<Token> head;
+    std::string guarded_by;
+    bool not_guarded = false;
+    const int decl_line = c_.done() ? 0 : c_.cur().line;
+    int angle = 0;
+
+    while (!c_.done()) {
+      if (c_.is_punct("}")) return;  // enclosing block ends; let caller see it
+      if (angle == 0 &&
+          (c_.is_punct(";") || c_.is_punct("{") || c_.is_punct("=") ||
+           c_.is_punct("("))) {
+        break;
+      }
+      if (c_.is_punct("<")) ++angle;
+      if (c_.is_punct(">") && angle > 0) --angle;
+      if (c_.is_punct("[")) {  // attributes like [[nodiscard]]
+        c_.skip_balanced("[", "]");
+        continue;
+      }
+      // Annotation macros used with arguments in a declaration head
+      // (NAPLET_GUARDED_BY(mu_), NAPLET_ACQUIRE(mu), ...): capture
+      // GUARDED_BY, drop the rest.
+      if (c_.cur().kind == TokKind::kIdent && c_.is_punct("(", 1) &&
+          c_.cur().text.rfind("NAPLET_", 0) == 0) {
+        const bool is_guard = c_.cur().text == "NAPLET_GUARDED_BY" ||
+                              c_.cur().text == "NAPLET_PT_GUARDED_BY";
+        if (c_.cur().text == "NAPLET_NOT_GUARDED") not_guarded = true;
+        c_.advance();
+        if (is_guard) {
+          guarded_by = capture_paren_arg();
+        } else {
+          c_.skip_balanced("(", ")");
+        }
+        continue;
+      }
+      head.push_back(c_.cur());
+      c_.advance();
+    }
+    if (c_.done()) return;
+
+    if (c_.is_punct("(")) {
+      scan_function(cls, head, decl_line);
+      return;
+    }
+    // Variable (member or global).
+    MemberDecl member = parse_var_head(head, decl_line);
+    member.guarded_by = guarded_by;
+    member.not_guarded = not_guarded;
+    std::vector<Token> init;
+    if (c_.is_punct("{")) {
+      init = capture_balanced_tokens("{", "}");
+      // Annotations can also follow a brace initializer.
+      if (c_.cur().kind == TokKind::kIdent &&
+          (c_.cur().text == "NAPLET_GUARDED_BY" ||
+           c_.cur().text == "NAPLET_PT_GUARDED_BY") &&
+          c_.is_punct("(", 1)) {
+        c_.advance();
+        member.guarded_by = capture_paren_arg();
+      } else if (c_.cur().kind == TokKind::kIdent &&
+                 c_.cur().text == "NAPLET_NOT_GUARDED" && c_.is_punct("(", 1)) {
+        member.not_guarded = true;
+        c_.advance();
+        c_.skip_balanced("(", ")");
+      }
+      if (c_.is_punct(";")) c_.advance();
+    } else if (c_.is_punct("=")) {
+      c_.advance();
+      while (!c_.done() && !c_.is_punct(";")) {
+        if (c_.is_punct("{")) {
+          for (const Token& t : capture_balanced_tokens("{", "}")) {
+            init.push_back(t);
+          }
+          continue;
+        }
+        init.push_back(c_.cur());
+        c_.advance();
+      }
+      if (c_.is_punct(";")) c_.advance();
+    } else {  // ';'
+      c_.advance();
+    }
+    if (member.name.empty()) return;
+    finish_var(cls, member, init);
+  }
+
+  /// Capture the single argument of `( ... )`; cursor on `(`.
+  std::string capture_paren_arg() {
+    std::string arg;
+    int depth = 0;
+    while (!c_.done()) {
+      if (c_.is_punct("(")) {
+        ++depth;
+        c_.advance();
+        continue;
+      }
+      if (c_.is_punct(")")) {
+        if (--depth == 0) {
+          c_.advance();
+          return arg;
+        }
+        c_.advance();
+        continue;
+      }
+      if (!arg.empty() && c_.cur().kind == TokKind::kIdent) arg += " ";
+      arg += c_.cur().text;
+      c_.advance();
+    }
+    return arg;
+  }
+
+  std::vector<Token> capture_balanced_tokens(const char* open,
+                                             const char* close) {
+    std::vector<Token> out;
+    int depth = 0;
+    while (!c_.done()) {
+      if (c_.is_punct(open)) {
+        ++depth;
+        if (depth > 1) out.push_back(c_.cur());
+        c_.advance();
+        continue;
+      }
+      if (c_.is_punct(close)) {
+        if (--depth == 0) {
+          c_.advance();
+          return out;
+        }
+        out.push_back(c_.cur());
+        c_.advance();
+        continue;
+      }
+      out.push_back(c_.cur());
+      c_.advance();
+    }
+    return out;
+  }
+
+  static MemberDecl parse_var_head(const std::vector<Token>& head, int line) {
+    MemberDecl m;
+    m.line = line;
+    // Name = last identifier in the head.
+    int name_idx = -1;
+    for (int k = static_cast<int>(head.size()) - 1; k >= 0; --k) {
+      if (head[static_cast<std::size_t>(k)].kind == TokKind::kIdent) {
+        name_idx = k;
+        break;
+      }
+    }
+    if (name_idx < 0) return m;
+    m.name = head[static_cast<std::size_t>(name_idx)].text;
+    // `Mutex& operator=(const Mutex&) = delete;` breaks at the first `=`
+    // and would otherwise read as a member named `operator`.
+    if (m.name == "operator") {
+      m.name.clear();
+      return m;
+    }
+    std::string last_type_ident;
+    for (int k = 0; k < name_idx; ++k) {
+      const Token& t = head[static_cast<std::size_t>(k)];
+      if (!m.type_text.empty()) m.type_text += " ";
+      m.type_text += t.text;
+      if (t.kind == TokKind::kIdent) {
+        if (t.text == "static") m.is_static = true;
+        if (t.text == "const" || t.text == "constexpr") m.is_const = true;
+        last_type_ident = t.text;
+      }
+      if (t.kind == TokKind::kPunct && t.text == "&") m.is_reference = true;
+      if (t.kind == TokKind::kPunct && t.text == "*") m.is_pointer = true;
+    }
+    m.is_mutex = last_type_ident == "Mutex";
+    return m;
+  }
+
+  void finish_var(const std::string& cls, MemberDecl member,
+                  const std::vector<Token>& init) {
+    // `struct Impl;` / `class ContextImpl;` forward declarations reach
+    // here with the keyword as the whole "type": not members.
+    if (member.type_text.empty() || member.type_text == "struct" ||
+        member.type_text == "class" || member.type_text == "union" ||
+        member.type_text == "enum") {
+      return;
+    }
+    member.file = file_.rel_path;
+    member.mutex_has_ctor_args = member.is_mutex && !init.empty();
+    // Rank token: `LockRank::kX` or a bare `kX` leading the initializer.
+    for (std::size_t k = 0; k + 2 < init.size() + 2 && k < init.size(); ++k) {
+      if (init[k].kind == TokKind::kIdent && init[k].text == "LockRank" &&
+          k + 2 < init.size() && init[k + 1].text == "::") {
+        member.rank_token = init[k + 2].text;
+        break;
+      }
+    }
+    if (member.rank_token.empty() && !init.empty() &&
+        init[0].kind == TokKind::kIdent && init[0].text.size() > 1 &&
+        init[0].text[0] == 'k') {
+      member.rank_token = init[0].text;
+    }
+    if (cls.empty()) {
+      GlobalVar g;
+      g.name = member.name;
+      g.type_text = member.type_text;
+      g.file = file_.rel_path;
+      g.line = member.line;
+      g.is_mutex = member.is_mutex;
+      g.mutex_has_ctor_args = member.mutex_has_ctor_args;
+      g.rank_token = member.rank_token;
+      for (const Token& t : init) {
+        if (t.kind == TokKind::kString) g.str_inits.push_back(t.text);
+      }
+      // `inline constexpr int kConnEventCount = 23;`
+      if (member.is_const && is_count_constant_name(member.name) &&
+          !init.empty() && init[0].kind == TokKind::kNumber) {
+        model_.count_constants[member.name] =
+            std::strtol(init[0].text.c_str(), nullptr, 0);
+      }
+      model_.globals[g.name] = std::move(g);
+    } else {
+      model_.classes[cls].members.push_back(std::move(member));
+    }
+  }
+
+  // ---------------------------------------------------------- functions
+
+  void scan_function(const std::string& cls, const std::vector<Token>& head,
+                     int line) {
+    // The head's trailing `[~]?A::B::name` chain gives the (qualified)
+    // function name; anything qualifying it overrides `cls`.
+    FuncDecl fn;
+    fn.file = file_.rel_path;
+    fn.line = line;
+    fn.cls = cls;
+
+    bool is_operator = false;
+    for (const Token& t : head) {
+      if (t.kind == TokKind::kIdent && t.text == "operator") {
+        is_operator = true;
+      }
+    }
+    int k = static_cast<int>(head.size()) - 1;
+    // Skip a destructor tilde handled below; find trailing ident.
+    while (k >= 0 && head[static_cast<std::size_t>(k)].kind != TokKind::kIdent) {
+      --k;
+    }
+    if (k < 0 || is_operator) {
+      skip_function_tail(nullptr, "");
+      return;
+    }
+    fn.name = head[static_cast<std::size_t>(k)].text;
+    // Qualifiers: walk back over `X ::` pairs.
+    std::vector<std::string> quals;
+    int q = k - 1;
+    while (q >= 1 && head[static_cast<std::size_t>(q)].text == "::" &&
+           head[static_cast<std::size_t>(q - 1)].kind == TokKind::kIdent) {
+      quals.insert(quals.begin(), head[static_cast<std::size_t>(q - 1)].text);
+      q -= 2;
+    }
+    if (q >= 0 && head[static_cast<std::size_t>(q)].text == "~") {
+      fn.name = "~" + fn.name;
+    }
+    if (!quals.empty()) {
+      std::string qcls;
+      for (const std::string& part : quals) {
+        if (!qcls.empty()) qcls += "::";
+        qcls += part;
+      }
+      fn.cls = cls.empty() ? qcls : cls + "::" + qcls;
+    }
+
+    skip_function_tail(&fn, fn.cls);
+  }
+
+  /// Cursor sits on the parameter-list `(`. Parses params, trailing
+  /// qualifiers, optional ctor init list, and the body (if any). When
+  /// `fn` is null the function is skipped without recording.
+  void skip_function_tail(FuncDecl* fn, const std::string& cls) {
+    // --- parameters
+    std::vector<Token> params = capture_balanced_tokens("(", ")");
+    if (fn != nullptr) parse_params(*fn, params);
+
+    // --- trailing qualifiers (const/noexcept/override/annotations/...)
+    while (!c_.done() && !c_.is_punct("{") && !c_.is_punct(";") &&
+           !c_.is_punct(":") && !c_.is_punct("}")) {
+      if (c_.is_punct("(")) {
+        c_.skip_balanced("(", ")");
+        continue;
+      }
+      if (c_.is_punct("->")) {  // trailing return type
+        c_.advance();
+        continue;
+      }
+      c_.advance();
+    }
+    if (c_.is_punct(";")) {
+      c_.advance();
+      if (fn != nullptr && !cls.empty()) {
+        model_.classes[cls].method_names.insert(fn->name);
+      }
+      return;  // declaration only
+    }
+    // --- constructor init list
+    if (c_.is_punct(":")) {
+      c_.advance();
+      while (!c_.done() && !c_.is_punct("{")) {
+        if (c_.done() || c_.cur().kind != TokKind::kIdent) {
+          c_.advance();
+          continue;
+        }
+        const std::string member = c_.cur().text;
+        c_.advance();
+        if (c_.is_punct("(") || c_.is_punct("{")) {
+          const bool paren = c_.is_punct("(");
+          std::vector<Token> args = paren
+                                        ? capture_balanced_tokens("(", ")")
+                                        : capture_balanced_tokens("{", "}");
+          if (fn != nullptr) record_ctor_init(*fn, cls, member, args);
+        }
+        if (c_.is_punct(",")) c_.advance();
+      }
+    }
+    if (!c_.is_punct("{")) return;  // defensive
+    if (fn == nullptr) {
+      c_.skip_balanced("{", "}");
+      return;
+    }
+    scan_body(*fn);
+    if (!cls.empty()) model_.classes[cls].method_names.insert(fn->name);
+    model_.functions.push_back(std::move(*fn));
+  }
+
+  void parse_params(FuncDecl& fn, const std::vector<Token>& params) {
+    // Split on top-level commas; for each: name = last ident (or the
+    // ident before `=`), type = last class-ish ident before the name.
+    std::vector<std::vector<Token>> parts(1);
+    int depth = 0;
+    for (const Token& t : params) {
+      if (t.kind == TokKind::kPunct &&
+          (t.text == "(" || t.text == "<" || t.text == "[" || t.text == "{")) {
+        ++depth;
+      }
+      if (t.kind == TokKind::kPunct &&
+          (t.text == ")" || t.text == ">" || t.text == "]" || t.text == "}")) {
+        --depth;
+      }
+      if (depth == 0 && t.kind == TokKind::kPunct && t.text == ",") {
+        parts.emplace_back();
+        continue;
+      }
+      parts.back().push_back(t);
+    }
+    for (const auto& part : parts) {
+      if (part.empty()) continue;
+      int eq = -1;
+      for (std::size_t k = 0; k < part.size(); ++k) {
+        if (part[k].kind == TokKind::kPunct && part[k].text == "=") {
+          eq = static_cast<int>(k);
+          break;
+        }
+      }
+      const int end = eq >= 0 ? eq : static_cast<int>(part.size());
+      int name_idx = -1;
+      for (int k = end - 1; k >= 0; --k) {
+        if (part[static_cast<std::size_t>(k)].kind == TokKind::kIdent) {
+          name_idx = k;
+          break;
+        }
+      }
+      if (name_idx <= 0) continue;  // unnamed or type-only param
+      const std::string name = part[static_cast<std::size_t>(name_idx)].text;
+      std::string type_name;
+      for (int k = 0; k < name_idx; ++k) {
+        const Token& t = part[static_cast<std::size_t>(k)];
+        if (t.kind == TokKind::kIdent && t.text != "const" &&
+            t.text != "struct" && t.text != "class" && t.text != "typename" &&
+            t.text != "std" && t.text != "unsigned" && t.text != "signed") {
+          type_name = t.text;
+        }
+      }
+      if (!type_name.empty()) fn.symbols[name] = type_name;
+      if (eq >= 0) {
+        std::string def;
+        for (std::size_t k = static_cast<std::size_t>(eq) + 1; k < part.size();
+             ++k) {
+          if (!def.empty()) def += " ";
+          def += part[k].text;
+        }
+        fn.symbols["__default__" + name] = def;
+      }
+    }
+  }
+
+  void record_ctor_init(FuncDecl& fn, const std::string& cls,
+                        const std::string& member,
+                        const std::vector<Token>& args) {
+    if (args.empty()) return;
+    ClassDecl& decl = model_.classes[cls.empty() ? fn.cls : cls];
+    if (decl.ctor_mutex_init.find(member) == decl.ctor_mutex_init.end()) {
+      std::string first_arg;
+      int depth = 0;
+      for (const Token& t : args) {
+        if (t.kind == TokKind::kPunct &&
+            (t.text == "(" || t.text == "{" || t.text == "<")) {
+          ++depth;
+        }
+        if (t.kind == TokKind::kPunct &&
+            (t.text == ")" || t.text == "}" || t.text == ">")) {
+          --depth;
+        }
+        if (depth == 0 && t.kind == TokKind::kPunct && t.text == ",") break;
+        first_arg += t.text;
+      }
+      decl.ctor_mutex_init[member] = first_arg;
+      // Map ctor parameter defaults: if the first arg names a parameter
+      // with a recorded default, remember it for rank resolution.
+      auto it = fn.symbols.find("__default__" + first_arg);
+      if (it != fn.symbols.end()) {
+        decl.ctor_param_defaults[first_arg] = it->second;
+      }
+    }
+    // The init list can register metrics: scan it for call patterns.
+    scan_expression_calls(args, fn, member);
+  }
+
+  /// Extract call sites (with string args) from an isolated expression
+  /// token run (constructor init-list entries). Held-locks do not apply.
+  void scan_expression_calls(const std::vector<Token>& toks, FuncDecl& fn,
+                             const std::string& init_target) {
+    for (std::size_t k = 0; k + 1 < toks.size(); ++k) {
+      if (toks[k].kind != TokKind::kIdent) continue;
+      if (toks[k + 1].kind != TokKind::kPunct || toks[k + 1].text != "(") {
+        continue;
+      }
+      if (call_keyword_stoplist().count(toks[k].text) != 0U) continue;
+      CallSite cs;
+      cs.callee = toks[k].text;
+      cs.line = toks[k].line;
+      cs.init_target = init_target;
+      if (k >= 2 && toks[k - 1].kind == TokKind::kPunct) {
+        const std::string& p = toks[k - 1].text;
+        if ((p == "." || p == "->" || p == "::") &&
+            toks[k - 2].kind == TokKind::kIdent) {
+          cs.receiver = toks[k - 2].text;
+          cs.qualified = p == "::";
+          cs.arrow = p == "->";
+        }
+      }
+      int depth = 0;
+      for (std::size_t j = k + 1; j < toks.size(); ++j) {
+        if (toks[j].kind == TokKind::kPunct &&
+            (toks[j].text == "(" || toks[j].text == "{")) {
+          ++depth;
+        } else if (toks[j].kind == TokKind::kPunct &&
+                   (toks[j].text == ")" || toks[j].text == "}")) {
+          if (--depth == 0) break;
+        } else if (depth == 1 && toks[j].kind == TokKind::kString) {
+          cs.str_args.push_back(toks[j].text);
+        }
+      }
+      fn.calls.push_back(std::move(cs));
+    }
+  }
+
+  // --------------------------------------------------------- body scan
+
+  struct ActiveGuard {
+    std::string mutex_expr;
+    std::string var;
+    int depth;
+    int line;
+    bool unique_lock;
+    bool released = false;
+  };
+
+  void scan_body(FuncDecl& fn) {
+    // Cursor sits on the body '{'.
+    int depth = 0;
+    std::vector<ActiveGuard> guards;
+    bool in_case = false;  // between `case`/`default` and its `:`
+    bool case_armed = false;  // a case label just closed; watch for return
+
+    auto held_now = [&]() {
+      std::vector<HeldLock> held;
+      for (const ActiveGuard& g : guards) {
+        if (!g.released) held.push_back(HeldLock{g.mutex_expr, g.line});
+      }
+      return held;
+    };
+
+    while (!c_.done()) {
+      if (c_.is_punct("{")) {
+        ++depth;
+        c_.advance();
+        continue;
+      }
+      if (c_.is_punct("}")) {
+        --depth;
+        c_.advance();
+        while (!guards.empty() && guards.back().depth > depth) {
+          guards.pop_back();
+        }
+        if (depth <= 0) return;
+        continue;
+      }
+      const Token& t = c_.cur();
+      if (t.kind == TokKind::kIdent) {
+        fn.ident_refs.insert(t.text);
+
+        // `case X...: return "lit";` harvesting (site-token functions).
+        if (t.text == "case") {
+          in_case = true;
+          case_armed = false;
+          c_.advance();
+          continue;
+        }
+        if (in_case && c_.is_punct(":", 1)) {
+          in_case = false;
+          case_armed = true;
+          c_.advance();
+          c_.advance();
+          continue;
+        }
+        if (case_armed && t.text == "return" &&
+            c_.peek(1) != nullptr && c_.peek(1)->kind == TokKind::kString) {
+          fn.case_return_literals.push_back(c_.peek(1)->text);
+          case_armed = false;
+          c_.advance();
+          continue;
+        }
+        if (t.text != "return" && t.text != "case") case_armed = false;
+
+        // `using S = ConnState;`
+        if (t.text == "using" && c_.peek(1) != nullptr &&
+            c_.peek(1)->kind == TokKind::kIdent && c_.is_punct("=", 2) &&
+            c_.peek(3) != nullptr && c_.peek(3)->kind == TokKind::kIdent) {
+          fn.type_aliases[c_.peek(1)->text] = c_.peek(3)->text;
+          c_.advance();
+          continue;
+        }
+
+        // Enum references `X::kFoo` (not followed by a call paren).
+        if (c_.is_punct("::", 1) && c_.peek(2) != nullptr &&
+            c_.peek(2)->kind == TokKind::kIdent &&
+            c_.peek(2)->text.size() > 1 && c_.peek(2)->text[0] == 'k' &&
+            std::isupper(static_cast<unsigned char>(c_.peek(2)->text[1])) &&
+            !c_.is_punct("(", 3)) {
+          fn.enum_refs[t.text].insert(c_.peek(2)->text);
+          // fall through: still useful as tokens (e.g. rank args)
+        }
+
+        // Guard declaration: [util ::] MutexLock|UniqueMutexLock var(expr)
+        if (t.text == "MutexLock" || t.text == "UniqueMutexLock") {
+          if (scan_guard_decl(fn, guards, depth, held_now())) continue;
+        }
+
+        // Call site: ident '('
+        if (c_.is_punct("(", 1) &&
+            call_keyword_stoplist().count(t.text) == 0U) {
+          scan_call(fn, guards, held_now());
+          continue;
+        }
+
+        // Local declaration `Type name ...` (Type may be qualified).
+        if (c_.peek(1) != nullptr && c_.peek(1)->kind == TokKind::kIdent &&
+            t.text != "return" && t.text != "const" && t.text != "auto" &&
+            t.text != "else" && t.text != "co_return" && t.text != "delete" &&
+            (c_.is_punct("=", 2) || c_.is_punct(";", 2) ||
+             c_.is_punct("{", 2))) {
+          fn.symbols.emplace(c_.peek(1)->text, t.text);
+          c_.advance();
+          continue;
+        }
+        // Qualified local: `ns::Type name`/`Type& name` handled loosely via
+        // the pattern `ident (::|&|*) ... ident (=|;|{)` — keep simple:
+        // `X :: Y name` with terminator.
+        if (c_.is_punct("::", 1) && c_.peek(2) != nullptr &&
+            c_.peek(2)->kind == TokKind::kIdent && c_.peek(3) != nullptr &&
+            c_.peek(3)->kind == TokKind::kIdent &&
+            (c_.is_punct("=", 4) || c_.is_punct(";", 4) ||
+             c_.is_punct("{", 4))) {
+          fn.symbols.emplace(c_.peek(3)->text, c_.peek(2)->text);
+          c_.advance();
+          continue;
+        }
+      }
+      c_.advance();
+    }
+  }
+
+  /// Cursor on `MutexLock`/`UniqueMutexLock`. Returns true if a guard
+  /// declaration was consumed.
+  bool scan_guard_decl(FuncDecl& fn, std::vector<ActiveGuard>& guards,
+                       int depth, std::vector<HeldLock> held) {
+    const bool unique = c_.cur().text == "UniqueMutexLock";
+    const int line = c_.cur().line;
+    if (c_.peek(1) == nullptr || c_.peek(1)->kind != TokKind::kIdent) {
+      c_.advance();
+      return false;
+    }
+    const std::string var = c_.peek(1)->text;
+    if (!c_.is_punct("(", 2) && !c_.is_punct("{", 2)) {
+      c_.advance();
+      return false;
+    }
+    c_.advance();  // type
+    c_.advance();  // var
+    const bool paren = c_.is_punct("(");
+    std::vector<Token> args = paren ? capture_balanced_tokens("(", ")")
+                                    : capture_balanced_tokens("{", "}");
+    std::string expr;
+    int adepth = 0;
+    for (const Token& a : args) {
+      if (a.kind == TokKind::kPunct && (a.text == "(" || a.text == "{")) {
+        ++adepth;
+      }
+      if (a.kind == TokKind::kPunct && (a.text == ")" || a.text == "}")) {
+        --adepth;
+      }
+      if (adepth == 0 && a.kind == TokKind::kPunct && a.text == ",") break;
+      expr += a.text;
+      fn.ident_refs.insert(a.text);
+    }
+    LockSite site;
+    site.mutex_expr = expr;
+    site.guard_var = var;
+    site.unique_lock = unique;
+    site.line = line;
+    site.held = std::move(held);
+    fn.locks.push_back(site);
+    guards.push_back(ActiveGuard{expr, var, depth, line, unique});
+    if (c_.is_punct(";")) c_.advance();
+    return true;
+  }
+
+  /// Cursor on the callee identifier of `callee(`. Records the call and
+  /// advances past the callee (args are scanned by the main loop).
+  void scan_call(FuncDecl& fn, std::vector<ActiveGuard>& guards,
+                 std::vector<HeldLock> held) {
+    CallSite cs;
+    cs.callee = c_.cur().text;
+    cs.line = c_.cur().line;
+    cs.held = std::move(held);
+
+    // Receiver: look back from the callee.
+    const std::size_t k = c_.i;
+    const auto& toks = file_.tokens;
+    if (k >= 2 && toks[k - 1].kind == TokKind::kPunct) {
+      const std::string& p = toks[k - 1].text;
+      if (p == "." || p == "->" || p == "::") {
+        cs.arrow = p == "->";
+        cs.qualified = p == "::";
+        if (toks[k - 2].kind == TokKind::kIdent) {
+          cs.receiver = toks[k - 2].text;
+        } else if (toks[k - 2].kind == TokKind::kPunct &&
+                   toks[k - 2].text == ")" && k >= 6 &&
+                   toks[k - 3].kind == TokKind::kPunct &&
+                   toks[k - 3].text == "(" &&
+                   toks[k - 4].kind == TokKind::kIdent &&
+                   toks[k - 5].kind == TokKind::kPunct &&
+                   toks[k - 5].text == "::" &&
+                   toks[k - 6].kind == TokKind::kIdent &&
+                   (toks[k - 4].text == "instance" ||
+                    toks[k - 4].text == "global")) {
+          cs.receiver = toks[k - 6].text + "::" + toks[k - 4].text + "()";
+        }
+      }
+    }
+
+    // Guard interactions: `guard.unlock()` / `guard.lock()`.
+    if (!cs.receiver.empty() && !cs.qualified) {
+      for (ActiveGuard& g : guards) {
+        if (g.var == cs.receiver && g.unique_lock) {
+          if (cs.callee == "unlock") g.released = true;
+          if (cs.callee == "lock") g.released = false;
+        }
+      }
+    }
+
+    // String-literal args at this call's top level (lookahead, no consume).
+    int depth = 0;
+    int args_before = 0;
+    bool seen_str = false;
+    for (std::size_t j = c_.i + 1; j < toks.size(); ++j) {
+      if (toks[j].kind == TokKind::kPunct &&
+          (toks[j].text == "(" || toks[j].text == "{")) {
+        ++depth;
+      } else if (toks[j].kind == TokKind::kPunct &&
+                 (toks[j].text == ")" || toks[j].text == "}")) {
+        if (--depth == 0) break;
+      } else if (depth == 1) {
+        if (toks[j].kind == TokKind::kString) {
+          cs.str_args.push_back(toks[j].text);
+          seen_str = true;
+        } else if (!seen_str && toks[j].kind == TokKind::kPunct &&
+                   toks[j].text == ",") {
+          ++args_before;
+        }
+      }
+    }
+    cs.arg_count_before_first_str = args_before;
+    fn.calls.push_back(std::move(cs));
+    c_.advance();  // past callee; '(' handled by main loop as depth bump
+  }
+};
+
+}  // namespace
+
+void scan_file(const LexedFile& file, SourceModel& model) {
+  FileScanner scanner(file, model);
+  scanner.run();
+}
+
+}  // namespace naplet::analyze
