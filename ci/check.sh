@@ -3,9 +3,15 @@
 #
 #   1. Debug build + full ctest       (lock-rank validator active)
 #      + explicit `ctest -L net`       (rudp sliding-window/SACK/FEC suite)
+#      + explicit `ctest -L swarm`     (batch scheduler, drain sweeps,
+#                                       caching location tier)
 #      + fixed-seed chaos_runner smoke (25 replayable fault schedules)
 #      + pinned-seed crash-restart smoke (recovery on and off)
+#      + pinned-seed swarm smoke       (drain under partition, cascading
+#                                       rebalance)
 #      + loss-sweep bench smoke        (fast-mode JSON, parsed + shape-checked)
+#      + fleet-rebalance bench smoke   (fast-mode JSON: batching and caching
+#                                       ratios shape-checked)
 #   2. Sanitize build + full ctest    (ASan + UBSan)
 #      + explicit `ctest -L net`
 #   3. Tsan build + `ctest -L tsan`   (pinned light concurrency sweep)
@@ -13,6 +19,7 @@
 #      + `ctest -L recovery`          (crash-restart recovery under TSan)
 #      + `ctest -L obs`              (observability suite under TSan)
 #      + `ctest -L net`              (the rudp transport under TSan)
+#      + `ctest -L swarm`            (swarm pipeline + smoke under TSan)
 #   4. naplet-analyze gate            (lock-order graph, annotation
 #      coverage, invariant registries; registry_check is dependency-free
 #      and always runs, the optional libTooling cross-check only when the
@@ -54,6 +61,9 @@ ctest --test-dir build-debug --output-on-failure -j "$JOBS"
 note "rudp transport suite (ctest -L net, Debug)"
 ctest --test-dir build-debug -L net --output-on-failure -j "$JOBS"
 
+note "swarm migration suite (ctest -L swarm, Debug)"
+ctest --test-dir build-debug -L swarm --output-on-failure -j "$JOBS"
+
 note "chaos smoke (fixed-seed, replayable)"
 NAPLET_FAULTS_LIGHT=1 ./build-debug/tools/chaos_runner --seed 42 --runs 25 --light
 
@@ -63,6 +73,12 @@ for scenario in 3 4 5; do
     --seed 5 --scenario "$scenario" --light
   NAPLET_FAULTS_LIGHT=1 ./build-debug/tools/chaos_runner \
     --seed 5 --scenario "$scenario" --light --no-recovery
+done
+
+note "swarm smoke (pinned seed: drain under partition, cascading rebalance)"
+for scenario in 6 7; do
+  NAPLET_FAULTS_LIGHT=1 ./build-debug/tools/chaos_runner \
+    --seed 5 --scenario "$scenario" --light
 done
 
 note "loss-sweep bench smoke (fast mode, JSON parsed)"
@@ -94,6 +110,27 @@ else
   skip "python3 not installed (loss-sweep JSON parse)"
 fi
 
+note "fleet-rebalance bench smoke (fast mode, batching/caching ratios)"
+# The binary shape-checks itself (all agents land, >=5x fewer redirector
+# exchanges, >=10x fewer directory lookups, swarm makespan wins) and exits
+# nonzero on any miss; the JSON parse confirms the report is well-formed.
+(cd build-debug/bench && NAPLET_BENCH_FAST=1 ./fleet_rebalance --json)
+if command -v python3 >/dev/null 2>&1; then
+  python3 - build-debug/bench/BENCH_fleet_rebalance.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+for mode in ("solo", "swarm"):
+    assert data[mode]["drain"]["makespan_ms"] > 0, f"{mode} drain missing"
+    assert data[mode]["rebalance"]["migrated"] > 0, f"{mode} rebalance missing"
+ratio = data["solo"]["rebalance"]["handoff_exchanges"] / \
+    max(1, data["swarm"]["rebalance"]["handoff_exchanges"])
+print(f"fleet-rebalance JSON ok: exchange ratio {ratio:.1f}x")
+EOF
+else
+  skip "python3 not installed (fleet-rebalance JSON parse)"
+fi
+
 if [ "$SKIP_SANITIZE" -eq 0 ]; then
   note "Sanitize build (ASan + UBSan)"
   cmake --preset sanitize >/dev/null
@@ -113,6 +150,7 @@ if [ "$SKIP_TSAN" -eq 0 ]; then
   ctest --test-dir build-tsan -L faults --output-on-failure -j "$JOBS"
   ctest --test-dir build-tsan -L recovery --output-on-failure -j "$JOBS"
   ctest --test-dir build-tsan -L obs --output-on-failure -j "$JOBS"
+  ctest --test-dir build-tsan -L swarm --output-on-failure -j "$JOBS"
   # The `net` test has no per-test TSAN env property (it also runs in
   # non-TSan builds), so supply the suppressions here.
   NAPLET_TSAN_LIGHT=1 \

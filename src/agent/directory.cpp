@@ -1,6 +1,9 @@
 #include "agent/directory.hpp"
 
+#include <algorithm>
+
 #include "net/frame.hpp"
+#include "util/clock.hpp"
 #include "util/log.hpp"
 
 namespace naplet::agent {
@@ -18,7 +21,22 @@ enum class Op : std::uint8_t {
   kRegisterServer = 8,
   kDeregisterServer = 9,
   kLookupServer = 10,
+  kEndMigration = 11,
 };
+
+/// Read-only ops hold no write intent; everything else mutates the map.
+bool is_lookup_op(Op op) {
+  switch (op) {
+    case Op::kTryLookup:
+    case Op::kLookup:
+    case Op::kKnown:
+    case Op::kSize:
+    case Op::kLookupServer:
+      return true;
+    default:
+      return false;
+  }
+}
 
 constexpr util::Duration kConnectTimeout = std::chrono::seconds(3);
 constexpr util::Duration kBaseReplyWait = std::chrono::seconds(5);
@@ -47,8 +65,17 @@ util::StatusOr<NodeInfo> read_node(util::BytesReader& r) {
 // DirectoryServer
 
 DirectoryServer::DirectoryServer(net::NetworkPtr network,
-                                 LocationService& backing, std::uint16_t port)
-    : network_(std::move(network)), backing_(backing), port_(port) {}
+                                 LocationService& backing, std::uint16_t port,
+                                 obs::Registry* registry)
+    : network_(std::move(network)),
+      backing_(backing),
+      port_(port),
+      registry_(registry != nullptr ? *registry : obs::Registry::global()),
+      requests_total_(registry_.counter("directory_requests")),
+      lookups_total_(registry_.counter("directory_lookups")),
+      mutations_total_(registry_.counter("directory_mutations")),
+      inflight_(registry_.gauge("directory_inflight")),
+      op_latency_(registry_.histogram("directory_op_us")) {}
 
 DirectoryServer::~DirectoryServer() { stop(); }
 
@@ -100,12 +127,23 @@ void DirectoryServer::accept_loop() {
 }
 
 void DirectoryServer::serve(std::shared_ptr<net::Stream> stream) {
+  inflight_.add(1);
+  util::Stopwatch watch(util::RealClock::instance());
+  serve_request(stream);
+  op_latency_.record(static_cast<std::uint64_t>(
+      std::max<std::int64_t>(0, watch.elapsed_us())));
+  inflight_.add(-1);
+}
+
+void DirectoryServer::serve_request(
+    const std::shared_ptr<net::Stream>& stream) {
   auto request = net::read_frame(*stream);
   if (!request.ok()) {
     stream->close();
     return;
   }
   requests_served_.fetch_add(1);
+  requests_total_.add(1);
 
   util::BytesReader r(util::ByteSpan(request->data(), request->size()));
   util::BytesWriter reply;
@@ -123,6 +161,12 @@ void DirectoryServer::serve(std::shared_ptr<net::Stream> stream) {
   reply.u8(static_cast<std::uint8_t>(util::StatusCode::kOk));
   reply.str("");
 
+  if (is_lookup_op(static_cast<Op>(*op_byte))) {
+    lookups_total_.add(1);
+  } else {
+    mutations_total_.add(1);
+  }
+
   switch (static_cast<Op>(*op_byte)) {
     case Op::kRegisterAgent: {
       auto name = r.str();
@@ -136,6 +180,12 @@ void DirectoryServer::serve(std::shared_ptr<net::Stream> stream) {
       auto name = r.str();
       if (!name.ok()) return fail(name.status());
       backing_.begin_migration(AgentId(*name));
+      break;
+    }
+    case Op::kEndMigration: {
+      auto name = r.str();
+      if (!name.ok()) return fail(name.status());
+      backing_.end_migration(AgentId(*name));
       break;
     }
     case Op::kDeregisterAgent: {
@@ -265,6 +315,13 @@ void RemoteLocationService::register_agent(const AgentId& id,
 void RemoteLocationService::begin_migration(const AgentId& id) {
   util::BytesWriter w;
   w.u8(static_cast<std::uint8_t>(Op::kBeginMigration));
+  w.str(id.name());
+  (void)round_trip(util::ByteSpan(w.data().data(), w.data().size()));
+}
+
+void RemoteLocationService::end_migration(const AgentId& id) {
+  util::BytesWriter w;
+  w.u8(static_cast<std::uint8_t>(Op::kEndMigration));
   w.str(id.name());
   (void)round_trip(util::ByteSpan(w.data().data(), w.data().size()));
 }

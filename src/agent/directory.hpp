@@ -20,14 +20,22 @@
 
 #include "agent/location.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 
 namespace naplet::agent {
 
 /// Serves a LocationService over a TCP listener.
+///
+/// Observability: every request is counted (`directory_requests`, split
+/// into `directory_lookups` / `directory_mutations`), timed end to end
+/// (`directory_op_us`), and tracked while being served
+/// (`directory_inflight` gauge) — the numbers a caching tier's load
+/// reduction is judged against.
 class DirectoryServer {
  public:
   DirectoryServer(net::NetworkPtr network, LocationService& backing,
-                  std::uint16_t port = 0);
+                  std::uint16_t port = 0,
+                  obs::Registry* registry = nullptr);
   ~DirectoryServer();
 
   DirectoryServer(const DirectoryServer&) = delete;
@@ -44,10 +52,17 @@ class DirectoryServer {
  private:
   void accept_loop();
   void serve(std::shared_ptr<net::Stream> stream);
+  void serve_request(const std::shared_ptr<net::Stream>& stream);
 
   net::NetworkPtr network_;
   LocationService& backing_;
   std::uint16_t port_;
+  obs::Registry& registry_;
+  obs::Counter& requests_total_;
+  obs::Counter& lookups_total_;
+  obs::Counter& mutations_total_;
+  obs::Gauge& inflight_;
+  obs::Histogram& op_latency_;
   net::ListenerPtr listener_;
   std::thread acceptor_;
   std::mutex workers_mu_;
@@ -65,6 +80,7 @@ class RemoteLocationService final : public LocationService {
 
   void register_agent(const AgentId& id, const NodeInfo& node) override;
   void begin_migration(const AgentId& id) override;
+  void end_migration(const AgentId& id) override;
   void deregister_agent(const AgentId& id) override;
   [[nodiscard]] std::optional<NodeInfo> try_lookup(
       const AgentId& id) const override;

@@ -16,6 +16,16 @@ void LocationService::begin_migration(const AgentId& id) {
   if (it != entries_.end()) it->second.in_transit = true;
 }
 
+void LocationService::end_migration(const AgentId& id) {
+  {
+    std::lock_guard lock(mu_);
+    auto it = entries_.find(id);
+    if (it == entries_.end() || !it->second.in_transit) return;
+    it->second.in_transit = false;
+  }
+  cv_.notify_all();
+}
+
 void LocationService::deregister_agent(const AgentId& id) {
   {
     std::lock_guard lock(mu_);

@@ -55,6 +55,12 @@ class LocationService {
   /// try_lookup) until the agent re-registers at its destination.
   virtual void begin_migration(const AgentId& id);
 
+  /// Roll back begin_migration: the migration failed (or was abandoned)
+  /// and the agent stays where it was. Clears the in-transit flag and
+  /// wakes blocked lookups. Without this, a failed migration leaves the
+  /// entry in transit forever and every lookup blocks until timeout.
+  virtual void end_migration(const AgentId& id);
+
   /// Remove an agent entirely (termination).
   virtual void deregister_agent(const AgentId& id);
 

@@ -40,6 +40,14 @@ class Redirector {
   using HandoffHandler =
       std::function<void(std::shared_ptr<net::Stream>, HandoffMsg)>;
 
+  /// Batch exchange handler: called once per batch frame AFTER the lease
+  /// gate pre-filled `reply` (fenced entries are already marked not-ok).
+  /// It may refine any disposition; the redirector then writes the single
+  /// reply frame and closes the stream. When unset, the pre-filled
+  /// dispositions are answered as-is — a coalesced lease/route check.
+  using BatchHandler =
+      std::function<void(const BatchHandoffMsg&, BatchHandoffReply&)>;
+
   Redirector(net::Network& network, std::uint16_t port,
              HandoffHandler handler, LeaseConfig leases = {});
   ~Redirector();
@@ -54,11 +62,21 @@ class Redirector {
   /// before start().
   void set_host_label(std::string host) { host_label_ = std::move(host); }
 
+  /// Install the batch exchange handler. Set once, before start().
+  void set_batch_handler(BatchHandler handler) {
+    batch_handler_ = std::move(handler);
+  }
+
   [[nodiscard]] net::Endpoint endpoint() const;
 
   /// Handoffs whose first frame was malformed (observability).
   [[nodiscard]] std::uint64_t bad_handoffs() const {
     return bad_handoffs_.load();
+  }
+
+  /// Batch exchanges served (each one coalesces N per-agent round trips).
+  [[nodiscard]] std::uint64_t batch_exchanges() const {
+    return batch_exchanges_.load();
   }
 
   // ---- lease table ----
@@ -88,10 +106,15 @@ class Redirector {
   void accept_loop();
   void reap_handlers(bool all);
 
+  void serve_batch(const std::shared_ptr<net::Stream>& stream,
+                   const BatchHandoffMsg& batch);
+
   net::Network& network_;
   std::uint16_t port_ NAPLET_NOT_GUARDED("set at construction, immutable");
   HandoffHandler handler_ NAPLET_NOT_GUARDED(
       "set at construction, immutable while the acceptor runs");
+  BatchHandler batch_handler_ NAPLET_NOT_GUARDED(
+      "written before start(), read-only by workers");
   LeaseConfig lease_config_ NAPLET_NOT_GUARDED(
       "set at construction, immutable");
   std::string host_label_ NAPLET_NOT_GUARDED(
@@ -105,6 +128,7 @@ class Redirector {
   std::vector<std::thread> handlers_ NAPLET_GUARDED_BY(handlers_mu_);
   std::atomic<bool> stopped_{false};
   std::atomic<std::uint64_t> bad_handoffs_{0};
+  std::atomic<std::uint64_t> batch_exchanges_{0};
 
   // Leaf lock: held only for map operations, never across handler_ or
   // any stream I/O.

@@ -226,6 +226,80 @@ util::StatusOr<HandoffMsg> HandoffMsg::decode(util::ByteSpan data) {
   return msg;
 }
 
+util::Bytes BatchHandoffMsg::encode() const {
+  util::BytesWriter w;
+  w.u8(kBatchHandoffMagic);
+  w.u64(trace_id);
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const HandoffMsg& entry : entries) {
+    const util::Bytes encoded = entry.encode();
+    w.bytes(util::ByteSpan(encoded.data(), encoded.size()));
+  }
+  return std::move(w).take();
+}
+
+util::StatusOr<BatchHandoffMsg> BatchHandoffMsg::decode(util::ByteSpan data) {
+  util::BytesReader r(data);
+  auto magic = r.u8();
+  if (!magic.ok()) return magic.status();
+  if (*magic != kBatchHandoffMagic) {
+    return util::ProtocolError("bad batch handoff magic " +
+                               std::to_string(*magic));
+  }
+  BatchHandoffMsg msg;
+  auto trace_id = r.u64();
+  if (!trace_id.ok()) return trace_id.status();
+  msg.trace_id = *trace_id;
+  auto count = r.u32();
+  if (!count.ok()) return count.status();
+  msg.entries.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto encoded = r.bytes();
+    if (!encoded.ok()) return encoded.status();
+    auto entry = HandoffMsg::decode(
+        util::ByteSpan(encoded->data(), encoded->size()));
+    if (!entry.ok()) return entry.status();
+    msg.entries.push_back(std::move(*entry));
+  }
+  if (r.remaining() != 0) {
+    return util::ProtocolError("trailing batch handoff bytes");
+  }
+  return msg;
+}
+
+util::Bytes BatchHandoffReply::encode() const {
+  util::BytesWriter w;
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const Disposition& d : entries) {
+    w.boolean(d.ok);
+    w.str(d.reason);
+  }
+  return std::move(w).take();
+}
+
+util::StatusOr<BatchHandoffReply> BatchHandoffReply::decode(
+    util::ByteSpan data) {
+  util::BytesReader r(data);
+  auto count = r.u32();
+  if (!count.ok()) return count.status();
+  BatchHandoffReply reply;
+  reply.entries.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    Disposition d;
+    auto ok = r.boolean();
+    if (!ok.ok()) return ok.status();
+    d.ok = *ok;
+    auto reason = r.str();
+    if (!reason.ok()) return reason.status();
+    d.reason = std::move(*reason);
+    reply.entries.push_back(std::move(d));
+  }
+  if (r.remaining() != 0) {
+    return util::ProtocolError("trailing batch reply bytes");
+  }
+  return reply;
+}
+
 util::Bytes compute_mac(util::ByteSpan session_key, util::ByteSpan payload) {
   if (session_key.empty()) return {};
   const crypto::Sha256Digest tag = crypto::hmac_sha256(session_key, payload);

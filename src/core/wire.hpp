@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "agent/agent_id.hpp"
 #include "agent/location.hpp"
@@ -103,6 +104,38 @@ struct HandoffMsg {
   static util::StatusOr<HandoffMsg> decode(util::ByteSpan data);
 
   [[nodiscard]] util::Bytes mac_payload() const;
+};
+
+// ---- batch handoff (swarm migration) --------------------------------------
+//
+// A fleet rebalance resumes many connections at the destination at once;
+// one redirector round trip per connection is the dominant cost at scale.
+// The batch exchange coalesces them: one frame carrying N handoff entries,
+// answered by one frame of per-entry dispositions (lease/route verdicts).
+// Each entry keeps its own MAC — session keys differ per connection.
+
+/// First byte of a batch frame. Deliberately outside the HandoffType range
+/// so HandoffMsg::decode rejects it and the redirector can route on it.
+inline constexpr std::uint8_t kBatchHandoffMagic = 0xB7;
+
+struct BatchHandoffMsg {
+  std::uint64_t trace_id = 0;  ///< the batch's migration trace id
+  std::vector<HandoffMsg> entries;
+
+  [[nodiscard]] util::Bytes encode() const;
+  static util::StatusOr<BatchHandoffMsg> decode(util::ByteSpan data);
+};
+
+/// The single reply frame: one disposition per entry, in order.
+struct BatchHandoffReply {
+  struct Disposition {
+    bool ok = false;
+    std::string reason;  ///< empty when ok
+  };
+  std::vector<Disposition> entries;
+
+  [[nodiscard]] util::Bytes encode() const;
+  static util::StatusOr<BatchHandoffReply> decode(util::ByteSpan data);
 };
 
 /// Compute the HMAC tag for a message's payload under `session_key`

@@ -9,6 +9,8 @@
 #include "fault/sites.hpp"
 #include "net/sim.hpp"
 #include "obs/recorder.hpp"
+#include "swarm/drain.hpp"
+#include "swarm/scheduler.hpp"
 #include "util/rng.hpp"
 
 namespace naplet::fault {
@@ -29,11 +31,18 @@ util::Status migrate_agent(nsock::Realm& realm, const agent::AgentId& id,
   auto& src = realm.node(node_name(from));
   auto& dst = realm.node(node_name(to));
   realm.locations().begin_migration(id);
-  if (auto st = src.controller().prepare_migration(id); !st.ok()) return st;
+  // Failures before the destination registration roll the location back
+  // (end_migration) so the agent stays findable at the source instead of
+  // stranding every lookup on a permanent in-transit entry.
+  if (auto st = src.controller().prepare_migration(id); !st.ok()) {
+    realm.locations().end_migration(id);
+    return st;
+  }
   const util::Bytes sessions = src.controller().export_sessions(id);
   if (auto st = dst.controller().import_sessions(
           id, util::ByteSpan(sessions.data(), sessions.size()));
       !st.ok()) {
+    realm.locations().end_migration(id);
     return st;
   }
   realm.locations().register_agent(id, dst.server().node_info());
@@ -154,6 +163,8 @@ std::string_view to_string(Scenario scenario) noexcept {
     case Scenario::kCrashSuspend: return "crash-suspend";
     case Scenario::kCrashResume: return "crash-resume";
     case Scenario::kCrashDouble: return "crash-double";
+    case Scenario::kDrainPartition: return "drain-partition";
+    case Scenario::kCascadeRebalance: return "cascade-rebalance";
   }
   return "?";
 }
@@ -207,6 +218,33 @@ ChaosCase make_crash_case(std::uint64_t seed, Scenario scenario, bool light,
   rule.hit = 1;
   rule.count = 1000;  // all hits until disarm (which follows the kill)
   rule.action = Action::kKill;
+  chaos_case.plan.rules.push_back(rule);
+  return chaos_case;
+}
+
+ChaosCase make_swarm_case(std::uint64_t seed, Scenario scenario, bool light) {
+  ChaosCase chaos_case;
+  chaos_case.seed = seed;
+  chaos_case.scenario = scenario;
+  chaos_case.forward_msgs = light ? 6 : 12;
+  chaos_case.reverse_msgs = light ? 4 : 8;
+  chaos_case.plan.seed = seed;
+  Rule rule;
+  if (scenario == Scenario::kDrainPartition) {
+    // One suspend in the second wave fails; the drain coordinator's
+    // capped-backoff retry must land it without stalling the sweep.
+    rule.site = "swarm.drain.suspend";
+    rule.hit = 2;
+    rule.action = Action::kError;
+  } else {
+    // The destination refuses the first batch admission outright: the
+    // scheduler must split the batch and reroute the rear half to the
+    // fallback host (the cascading rebalance).
+    rule.site = "swarm.batch.admit";
+    rule.hit = 1;
+    rule.action = Action::kError;
+  }
+  rule.count = 1;
   chaos_case.plan.rules.push_back(rule);
   return chaos_case;
 }
@@ -526,9 +564,296 @@ ChaosResult run_crash_case(const ChaosCase& chaos_case) {
   return result;
 }
 
+/// Stage executor over a live realm: serialize exports the batch's agents
+/// from the source host, transfer is a no-op (the sim network "ships" the
+/// blobs instantly), reactivate imports at the batch's CURRENT destination
+/// and completes the migration — so a batch rerouted by an admission
+/// refusal cleanly re-imports at the fallback host.
+class RealmStageExecutor final : public swarm::StageExecutor {
+ public:
+  RealmStageExecutor(nsock::Realm& realm, int source, bool prepare)
+      : realm_(realm), source_(source), prepare_(prepare) {}
+
+  void serialize(const swarm::MigrationBatch& batch, Done done) override {
+    auto& src = realm_.node(node_name(source_));
+    for (const agent::AgentId& id : batch.agents) {
+      realm_.locations().begin_migration(id);
+      if (prepare_) {
+        if (auto st = src.controller().prepare_migration(id); !st.ok()) {
+          realm_.locations().end_migration(id);
+          done(st);
+          return;
+        }
+      }
+      blobs_[id.name()] = src.controller().export_sessions(id);
+    }
+    done(util::OkStatus());
+  }
+
+  void transfer(const swarm::MigrationBatch& batch, Done done) override {
+    (void)batch;
+    done(util::OkStatus());
+  }
+
+  void reactivate(const swarm::MigrationBatch& batch, Done done) override {
+    auto& dst = realm_.node(batch.destination);
+    for (const agent::AgentId& id : batch.agents) {
+      auto it = blobs_.find(id.name());
+      if (it == blobs_.end()) {
+        done(util::Internal("no exported state for " + id.name()));
+        return;
+      }
+      if (auto st = dst.controller().import_sessions(
+              id, util::ByteSpan(it->second.data(), it->second.size()));
+          !st.ok()) {
+        realm_.locations().end_migration(id);
+        done(st);
+        return;
+      }
+      blobs_.erase(it);
+      realm_.locations().register_agent(id, dst.server().node_info());
+      if (auto st = dst.controller().complete_migration(id); !st.ok()) {
+        done(st);
+        return;
+      }
+    }
+    done(util::OkStatus());
+  }
+
+ private:
+  nsock::Realm& realm_;
+  int source_;
+  bool prepare_;
+  // The scheduler drives this executor from one pump at a time; no lock.
+  std::map<std::string, util::Bytes> blobs_;
+};
+
+/// The swarm choreography behind Scenario::kDrainPartition and
+/// Scenario::kCascadeRebalance: one live connection (client chaos0,
+/// server chaos1) plus a handful of passenger agents, all moved off
+/// chaos1 through the drain coordinator + batch scheduler instead of
+/// one-by-one migrate calls. The usual oracles judge the outcome.
+ChaosResult run_swarm_case(const ChaosCase& chaos_case) {
+  ChaosResult result;
+  const auto fail = [&](const std::string& why) {
+    result.pass = false;
+    result.failure = why;
+    result.recorder_dump = obs::dump_all();
+    return result;
+  };
+
+  Injector& injector = Injector::instance();
+  injector.disarm();
+
+  net::SimNet net(chaos_case.seed);
+  net.set_default_link(net::LinkConfig{.latency = 1ms});
+
+  nsock::Realm realm;
+  for (int i = 0; i < 3; ++i) {
+    nsock::NodeConfig config;
+    config.controller.security = false;
+    config.server.rudp_config.retransmit_interval = 15ms;
+    config.server.rudp_config.max_attempts = 40;
+    config.server.rudp_config.jitter_seed = chaos_case.seed * 3 + i + 1;
+    config.server.rudp_config.repair = net::LossRepair::kXorFec;
+    // The partition scenario keeps RESUME retrying until the heal; give
+    // the resume loop the recovery-grade patience.
+    config.controller.resume_max_attempts = 25;
+    config.controller.resume_retry_backoff = 50ms;
+    config.controller.resume_retry_cap = 400ms;
+    config.controller.resume_timeout = 8s;
+    realm.add_node(node_name(i), net.add_node(node_name(i)), config);
+  }
+  if (auto st = realm.start(); !st.ok()) {
+    return fail("realm start: " + st.to_string());
+  }
+
+  const agent::AgentId cli("chaos-cli");
+  const agent::AgentId srv("chaos-srv");
+  realm.locations().register_agent(
+      cli, realm.node(node_name(0)).server().node_info());
+  realm.locations().register_agent(
+      srv, realm.node(node_name(1)).server().node_info());
+  std::vector<agent::AgentId> fleet{srv};
+  for (int i = 0; i < 4; ++i) {
+    const agent::AgentId pax("chaos-pax" + std::to_string(i));
+    realm.locations().register_agent(
+        pax, realm.node(node_name(1)).server().node_info());
+    fleet.push_back(pax);
+  }
+
+  auto& ctrl0 = realm.node(node_name(0)).controller();
+  auto& ctrl1 = realm.node(node_name(1)).controller();
+  if (auto st = ctrl1.listen(srv); !st.ok()) {
+    return fail("listen: " + st.to_string());
+  }
+  auto client = ctrl0.connect(cli, srv);
+  if (!client.ok()) return fail("connect: " + client.status().to_string());
+  auto server = ctrl1.accept(srv, 5s);
+  if (!server.ok()) return fail("accept: " + server.status().to_string());
+  const std::uint64_t conn = (*client)->conn_id();
+
+  DeliveryLedger ledger;
+  constexpr std::uint64_t kFwd = 0, kRev = 1;
+  for (int i = 0; i < chaos_case.forward_msgs; ++i) {
+    const std::string body =
+        "f" + std::to_string(i) + "." + std::to_string(chaos_case.seed);
+    if (auto st = (*client)->send(span_of(body), 2s); !st.ok()) {
+      return fail("pre-fault send: " + st.to_string());
+    }
+    ledger.record_sent(kFwd, span_of(body));
+  }
+  for (int i = 0; i < chaos_case.forward_msgs; ++i) {
+    auto got = (*server)->recv(2s);
+    if (!got.ok()) return fail("pre-fault recv: " + got.status().to_string());
+    ledger.record_delivered(kFwd, got->seq,
+                            util::ByteSpan(got->body.data(),
+                                           got->body.size()));
+  }
+  for (int i = 0; i < chaos_case.reverse_msgs; ++i) {
+    const std::string body =
+        "r" + std::to_string(i) + "." + std::to_string(chaos_case.seed);
+    if (auto st = (*server)->send(span_of(body), 2s); !st.ok()) {
+      return fail("reverse send: " + st.to_string());
+    }
+    ledger.record_sent(kRev, span_of(body));
+  }
+  std::this_thread::sleep_for(30ms);
+
+  injector.arm(chaos_case.plan);
+
+  const bool partitioned =
+      chaos_case.scenario == Scenario::kDrainPartition;
+  std::thread healer;
+  if (partitioned) {
+    // The destination cannot reach the peer's host while the batch lands;
+    // the resume retry loop must absorb the outage until the heal.
+    net.set_partition(node_name(2), node_name(0), true);
+    healer = std::thread([&net] {
+      std::this_thread::sleep_for(300ms);
+      net.set_partition(node_name(2), node_name(0), false);
+    });
+  }
+
+  // Phase drain — mass-suspend the source host in latency-tuned waves.
+  // Wave suspends run inline; the injected suspend failure (scenario 6's
+  // plan) must be retried, not dropped.
+  swarm::DrainConfig drain_config;
+  drain_config.max_wave = 2;  // multiple waves even for this small fleet
+  swarm::DrainCoordinator drain(
+      drain_config,
+      [&ctrl1](const agent::AgentId& id,
+               std::function<void(util::Status)> done) {
+        done(ctrl1.prepare_migration(id));
+      });
+  drain.drain(fleet);
+  if (!drain.wait(10s)) {
+    if (healer.joinable()) healer.join();
+    return fail("drain did not complete");
+  }
+  const swarm::DrainReport drain_report = drain.report();
+  if (drain_report.stragglers != 0) {
+    if (healer.joinable()) healer.join();
+    return fail("drain left " + std::to_string(drain_report.stragglers) +
+                " stragglers");
+  }
+
+  // Phase rebalance — batch the drained fleet to chaos2; chaos0 is the
+  // fallback for refused admissions (the cascade).
+  swarm::SchedulerConfig sched_config;
+  sched_config.max_batch = 5;
+  sched_config.fallback_destination = node_name(0);
+  RealmStageExecutor executor(realm, /*source=*/1, /*prepare=*/false);
+  swarm::MigrationScheduler scheduler(sched_config, executor);
+  std::vector<swarm::AgentPlan> plans;
+  plans.reserve(fleet.size());
+  for (const agent::AgentId& id : fleet) {
+    plans.push_back(swarm::AgentPlan{id, node_name(2)});
+  }
+  scheduler.run(plans);
+  const bool finished = scheduler.wait(15s);
+  if (healer.joinable()) healer.join();
+  injector.disarm();
+  if (!finished) return fail("scheduler did not complete");
+  const swarm::SchedulerReport sched_report = scheduler.report();
+  if (sched_report.failed != 0) {
+    return fail("scheduler failed " + std::to_string(sched_report.failed) +
+                " agents");
+  }
+  if (sched_report.migrated != fleet.size()) {
+    return fail("scheduler migrated " +
+                std::to_string(sched_report.migrated) + " of " +
+                std::to_string(fleet.size()));
+  }
+  if (chaos_case.scenario == Scenario::kCascadeRebalance &&
+      sched_report.rerouted == 0) {
+    return fail("cascade-rebalance: admission refusal did not reroute "
+                "any agents");
+  }
+
+  // Phase judgement — find where the server agent actually landed, then
+  // the usual oracles: liveness, ledger balance, FSM legality.
+  const auto srv_loc = realm.locations().try_lookup(srv);
+  if (!srv_loc.has_value()) return fail("server agent lost");
+  nsock::SessionPtr client2 = ctrl0.session_by_id(conn);
+  nsock::SessionPtr server2 =
+      realm.node(srv_loc->server_name).controller().session_by_id(conn);
+  if (!client2 || !server2) return fail("session lost across rebalance");
+  if (auto st = await_established(*client2, 8s); !st.ok()) {
+    return fail(st.to_string());
+  }
+  if (auto st = await_established(*server2, 8s); !st.ok()) {
+    return fail(st.to_string());
+  }
+
+  while (true) {
+    auto got = client2->recv(500ms);
+    if (!got.ok()) break;
+    ledger.record_delivered(kRev, got->seq,
+                            util::ByteSpan(got->body.data(),
+                                           got->body.size()));
+  }
+
+  for (int i = 0; i < 2; ++i) {
+    const std::string body = "post" + std::to_string(i);
+    if (auto st = client2->send(span_of(body), 2s); !st.ok()) {
+      return fail("post-rebalance send: " + st.to_string());
+    }
+    ledger.record_sent(kFwd, span_of(body));
+    auto got = server2->recv(2s);
+    if (!got.ok()) {
+      return fail("post-rebalance recv: " + got.status().to_string());
+    }
+    ledger.record_delivered(kFwd, got->seq,
+                            util::ByteSpan(got->body.data(),
+                                           got->body.size()));
+  }
+
+  if (auto st = ledger.check(/*require_complete=*/true); !st.ok()) {
+    return fail(st.to_string());
+  }
+  if (auto st = check_fsm_trace(injector.transitions()); !st.ok()) {
+    return fail(st.to_string());
+  }
+
+  const auto counters = net.counters();
+  result.net_datagrams_dropped = counters.datagrams_dropped;
+  result.stats =
+      "drain: waves=" + std::to_string(drain_report.waves) +
+      " retries=" + std::to_string(drain_report.retries) +
+      " | scheduler: batches=" + std::to_string(sched_report.batches) +
+      " exchanges=" + std::to_string(sched_report.handoff_exchanges) +
+      " rerouted=" + std::to_string(sched_report.rerouted);
+  result.pass = true;
+  return result;
+}
+
 }  // namespace
 
 ChaosResult run_case(const ChaosCase& chaos_case) {
+  if (is_swarm_scenario(chaos_case.scenario)) {
+    return run_swarm_case(chaos_case);
+  }
   if (is_crash_scenario(chaos_case.scenario)) {
     return run_crash_case(chaos_case);
   }

@@ -31,15 +31,30 @@ enum class Scenario : std::uint8_t {
   kCrashSuspend = 3,  ///< controller dies mid-suspend (SUS_ACK killed)
   kCrashResume = 4,   ///< controller dies while the mover's RESUME retries
   kCrashDouble = 5,   ///< crash-resume, then a second migration on top
+
+  // Swarm scenarios: a whole host's agents move through the swarm
+  // subsystem (drain coordinator + batch scheduler) instead of one-by-one
+  // migrate calls. Opt-in like the crash scenarios.
+  kDrainPartition = 6,    ///< drain a host while the destination cannot
+                          ///< reach the peer (partition heals mid-run)
+  kCascadeRebalance = 7,  ///< destination refuses its first batch
+                          ///< admission; half reroutes to the fallback
 };
 
-inline constexpr int kScenarioCount = 6;
+inline constexpr int kScenarioCount = 8;
 /// Scenarios generate_case(seed) draws from (the crash scenarios are
 /// opt-in and carry their own staged fault plans).
 inline constexpr int kGeneratedScenarioCount = 3;
+/// First swarm scenario (the tail of the enum).
+inline constexpr int kSwarmScenarioStart = 6;
 
 [[nodiscard]] constexpr bool is_crash_scenario(Scenario s) noexcept {
-  return static_cast<int>(s) >= kGeneratedScenarioCount;
+  return static_cast<int>(s) >= kGeneratedScenarioCount &&
+         static_cast<int>(s) < kSwarmScenarioStart;
+}
+
+[[nodiscard]] constexpr bool is_swarm_scenario(Scenario s) noexcept {
+  return static_cast<int>(s) >= kSwarmScenarioStart;
 }
 
 [[nodiscard]] std::string_view to_string(Scenario scenario) noexcept;
@@ -90,6 +105,13 @@ struct ChaosResult {
 /// choreography run_case performs for crash scenarios.
 [[nodiscard]] ChaosCase make_crash_case(std::uint64_t seed, Scenario scenario,
                                         bool light, bool recovery);
+
+/// Build a swarm case: the host-drain / cascading-rebalance choreography
+/// (run by run_case for swarm scenarios) plus the scenario's fault plan —
+/// a failing first suspend for kDrainPartition, a refused first batch
+/// admission for kCascadeRebalance.
+[[nodiscard]] ChaosCase make_swarm_case(std::uint64_t seed, Scenario scenario,
+                                        bool light);
 
 /// Execute one case end to end: establish, pump traffic, arm the plan, run
 /// the migrations, disarm, then judge with the delivery ledger, the FSM

@@ -27,7 +27,13 @@ inline constexpr std::string_view kFaultSites[] = {
     "rudp.fec",
     // Migration control plane.
     "redirector.handoff.accept",
+    "redirector.handoff.batch",
     "session.resume.replay",
+    // Swarm orchestration (src/swarm + the redirector batch exchange).
+    "swarm.batch.dispatch",
+    "swarm.batch.admit",
+    "swarm.drain.suspend",
+    "swarm.cache.lookup",
     // Control messages: ctrl.<type>.<stage>, woven generically through
     // ctrl_site() in controller.cpp for every CtrlType.
     "ctrl.connect.pre_send",

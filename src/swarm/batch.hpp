@@ -1,0 +1,50 @@
+// Shared types for the swarm migration subsystem (ROADMAP item 2).
+//
+// The paper migrates one agent at a time; a fleet rebalance moves
+// thousands. Following Gavalas' itinerary-aware batching, agents bound for
+// the same destination travel together: one batch is serialized,
+// transferred, and reactivated as a unit, and its redirector handoffs are
+// coalesced into one exchange (core/wire.hpp BatchHandoffMsg).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "agent/agent_id.hpp"
+#include "agent/itinerary.hpp"
+
+namespace naplet::swarm {
+
+/// One agent's next movement: where it is headed on its next hop.
+struct AgentPlan {
+  agent::AgentId id;
+  std::string destination;
+};
+
+/// A group of agents bound for one destination, pipelined through the
+/// serialize -> transfer -> reactivate stages as a unit.
+struct MigrationBatch {
+  std::uint64_t batch_id = 0;
+  std::string destination;
+  std::vector<agent::AgentId> agents;
+  int attempt = 0;  ///< dispatch/admission retries consumed so far
+};
+
+/// Derive movement plans from a fleet's itineraries: each agent
+/// contributes its next stop (Itinerary::peek()); exhausted itineraries
+/// contribute nothing. The scheduler groups the result by destination.
+[[nodiscard]] inline std::vector<AgentPlan> plans_of(
+    const std::vector<std::pair<agent::AgentId, agent::Itinerary>>& fleet) {
+  std::vector<AgentPlan> plans;
+  plans.reserve(fleet.size());
+  for (const auto& [id, itinerary] : fleet) {
+    std::string next = itinerary.peek();
+    if (next.empty()) continue;
+    plans.push_back(AgentPlan{id, std::move(next)});
+  }
+  return plans;
+}
+
+}  // namespace naplet::swarm

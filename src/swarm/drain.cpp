@@ -1,0 +1,230 @@
+#include "swarm/drain.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "fault/fault.hpp"
+#include "util/log.hpp"
+
+namespace naplet::swarm {
+
+namespace {
+
+double real_now_ms() {
+  return static_cast<double>(util::RealClock::instance().now_us()) / 1000.0;
+}
+
+}  // namespace
+
+DrainCoordinator::DrainCoordinator(DrainConfig config, SuspendFn suspend,
+                                   obs::Registry* registry)
+    : config_(std::move(config)),
+      suspend_(std::move(suspend)),
+      registry_(registry != nullptr ? *registry : obs::Registry::global()),
+      suspended_total_(registry_.counter("swarm_drain_suspended")),
+      stragglers_total_(registry_.counter("swarm_drain_stragglers")),
+      retries_total_(registry_.counter("swarm_drain_retries")),
+      suspend_us_(registry_.histogram("swarm_drain_suspend_us")),
+      wave_width_(registry_.histogram("swarm_drain_wave_width", "agents")) {}
+
+double DrainCoordinator::now_ms() const {
+  return config_.now_ms ? config_.now_ms() : real_now_ms();
+}
+
+std::size_t DrainCoordinator::wave_size_locked() const {
+  // Wave width targets `target_wave_ms` of suspend work at the live p95
+  // latency. No samples yet (or a p95 of ~0): open at full width — the
+  // first wave's completions immediately shrink the next one if the host
+  // turns out to be slow.
+  obs::HistogramSnapshot snap;
+  snap.count = suspend_us_.count();
+  snap.sum = suspend_us_.sum();
+  for (int k = 0; k < obs::kHistogramBuckets; ++k) {
+    snap.buckets[static_cast<std::size_t>(k)] = suspend_us_.bucket(k);
+  }
+  const double p95_ms = snap.percentile(95.0) / 1000.0;
+  if (snap.count == 0 || p95_ms <= 0.0) return config_.max_wave;
+  const double width = config_.target_wave_ms / p95_ms;
+  const auto clamped = static_cast<std::size_t>(std::max(1.0, width));
+  return std::clamp(clamped, std::max<std::size_t>(1, config_.min_wave),
+                    std::max<std::size_t>(1, config_.max_wave));
+}
+
+std::size_t DrainCoordinator::current_wave_size() const {
+  util::MutexLock lock(mu_);
+  return wave_size_locked();
+}
+
+void DrainCoordinator::drain(const std::vector<agent::AgentId>& agents,
+                             std::function<void()> all_done) {
+  {
+    util::MutexLock lock(mu_);
+    if (started_) {
+      NAPLET_LOG(kWarn, "swarm") << "DrainCoordinator::drain called twice";
+      return;
+    }
+    started_ = true;
+    all_done_ = std::move(all_done);
+    start_ms_ = now_ms();
+    first_pass_end_ms_ = start_ms_;
+    report_.agents = agents.size();
+    outstanding_ = agents.size();
+    for (const agent::AgentId& id : agents) {
+      queue_.push_back(Pending{id, 0});
+    }
+  }
+  pump();
+}
+
+void DrainCoordinator::pump() {
+  {
+    util::MutexLock lock(mu_);
+    if (pumping_) {
+      repump_ = true;
+      return;
+    }
+    pumping_ = true;
+  }
+  bool again = true;
+  while (again) {
+    std::vector<Pending> wave;
+    {
+      util::MutexLock lock(mu_);
+      repump_ = false;
+      // True waves: a new wave launches only once the previous one has
+      // fully landed, so its width reflects the latest latency picture.
+      if (in_flight_ == 0 && !queue_.empty()) {
+        const std::size_t width = std::min(wave_size_locked(), queue_.size());
+        for (std::size_t i = 0; i < width; ++i) {
+          wave.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+          issue_ms_[wave.back().id.name()] = now_ms();
+        }
+        in_flight_ = width;
+        ++report_.waves;
+        wave_width_.record(width);
+      }
+    }
+    for (Pending& p : wave) issue(std::move(p));
+    {
+      util::MutexLock lock(mu_);
+      again = repump_;
+      if (!again) pumping_ = false;
+    }
+  }
+  maybe_finish();
+}
+
+void DrainCoordinator::issue(Pending pending) {
+  const agent::AgentId id = pending.id;
+  const int attempt = pending.attempt;
+  if (fault::armed()) {
+    const fault::Decision d = fault::hit("swarm.drain.suspend");
+    if (d.action == fault::Action::kError ||
+        d.action == fault::Action::kDrop ||
+        d.action == fault::Action::kKill) {
+      on_suspend_done(id, attempt,
+                      util::Unavailable("injected suspend failure"));
+      return;
+    }
+  }
+  suspend_(id, [this, id, attempt](util::Status status) {
+    on_suspend_done(id, attempt, std::move(status));
+  });
+}
+
+void DrainCoordinator::on_suspend_done(const agent::AgentId& id, int attempt,
+                                       util::Status status) {
+  double backoff = -1.0;
+  Pending retry{id, attempt + 1};
+  {
+    util::MutexLock lock(mu_);
+    auto it = issue_ms_.find(id.name());
+    if (it != issue_ms_.end()) {
+      suspend_us_.record(obs::ms_to_us(now_ms() - it->second));
+      issue_ms_.erase(it);
+    }
+    if (in_flight_ > 0) --in_flight_;
+    if (attempt == 0) first_pass_end_ms_ = std::max(first_pass_end_ms_,
+                                                    now_ms());
+    if (status.ok()) {
+      ++report_.suspended;
+      suspended_total_.add(1);
+      if (outstanding_ > 0) --outstanding_;
+    } else if (attempt >= config_.max_retries) {
+      NAPLET_LOG(kWarn, "swarm")
+          << "agent " << id.name() << " still up after " << (attempt + 1)
+          << " suspend attempts: " << status.to_string();
+      ++report_.stragglers;
+      stragglers_total_.add(1);
+      report_.unresolved.push_back(id);
+      if (outstanding_ > 0) --outstanding_;
+    } else {
+      ++report_.retries;
+      retries_total_.add(1);
+      backoff = std::min(config_.backoff_cap_ms,
+                         config_.backoff_base_ms * std::pow(2.0, attempt));
+      if (config_.defer) {
+        // The deferred_ count keeps the drain from declaring completion
+        // while retries are parked; the hook itself runs with no lock held.
+        ++deferred_;
+      } else {
+        backoff = -1.0;
+        queue_.push_back(retry);
+      }
+    }
+  }
+  if (backoff >= 0.0) {
+    // Re-queue after the backoff.
+    config_.defer(backoff, [this, retry]() mutable {
+      {
+        util::MutexLock lock(mu_);
+        if (deferred_ > 0) --deferred_;
+        queue_.push_back(std::move(retry));
+      }
+      pump();
+    });
+  }
+  pump();
+}
+
+void DrainCoordinator::maybe_finish() {
+  std::function<void()> callback;
+  {
+    util::MutexLock lock(mu_);
+    if (!started_ || finished_ || pumping_ || outstanding_ != 0 ||
+        in_flight_ != 0 || deferred_ != 0 || !queue_.empty()) {
+      return;
+    }
+    finished_ = true;
+    const double end = now_ms();
+    report_.makespan_ms = end - start_ms_;
+    report_.suspend_phase_ms = std::max(0.0, first_pass_end_ms_ - start_ms_);
+    report_.straggler_phase_ms =
+        std::max(0.0, report_.makespan_ms - report_.suspend_phase_ms);
+    callback = std::move(all_done_);
+  }
+  cv_.notify_all();
+  if (callback) callback();
+}
+
+bool DrainCoordinator::wait(util::Duration timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  util::MutexLock lock(mu_);
+  while (!finished_) {
+    if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout &&
+        !finished_) {
+      return false;
+    }
+  }
+  return true;
+}
+
+DrainReport DrainCoordinator::report() const {
+  util::MutexLock lock(mu_);
+  return report_;
+}
+
+}  // namespace naplet::swarm

@@ -1,0 +1,129 @@
+// DrainCoordinator: mass-suspend a host's resident agents in waves before
+// the host leaves the fleet (planned shutdown, rebalance, maintenance).
+//
+// The paper suspends one connection at a time; draining a host must
+// suspend hundreds without stampeding the controller. The coordinator
+// issues suspends in WAVES whose size self-tunes from the live p95
+// suspend latency: each wave targets `target_wave_ms` of work, so a slow
+// host (contended controller, lossy network) automatically gets smaller
+// waves and a fast one drains at full width. Agents whose suspend fails
+// are retried with capped exponential backoff; whatever still resists
+// after `max_retries` is reported as a straggler, never blocking the
+// sweep.
+//
+// Time and deferral are injected (DrainConfig::now_ms / defer) so the
+// same coordinator runs against a DES simulator, a thread pool, or
+// inline in tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "agent/agent_id.hpp"
+#include "obs/metrics.hpp"
+#include "util/clock.hpp"
+#include "util/status.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace naplet::swarm {
+
+/// Suspend one agent; `done` fires exactly once, synchronously or later,
+/// from any thread.
+using SuspendFn =
+    std::function<void(const agent::AgentId&,
+                       std::function<void(util::Status)> done)>;
+
+struct DrainConfig {
+  double target_wave_ms = 50.0;  ///< wave size aims at this much work
+  std::size_t min_wave = 1;
+  std::size_t max_wave = 64;
+  int max_retries = 3;           ///< per agent, after the first attempt
+  double backoff_base_ms = 10.0;
+  double backoff_cap_ms = 200.0;
+  /// Time source (defaults to the real clock) and deferred execution.
+  /// `defer` schedules `fn` after `delay_ms`; when unset, retries run
+  /// immediately (no backoff delay) — fine for tests, wrong for hosts.
+  std::function<double()> now_ms;
+  std::function<void(double delay_ms, std::function<void()> fn)> defer;
+};
+
+struct DrainReport {
+  std::size_t agents = 0;
+  std::size_t suspended = 0;
+  std::size_t stragglers = 0;  ///< gave up after max_retries
+  std::size_t waves = 0;
+  std::size_t retries = 0;     ///< total retry attempts issued
+  double suspend_phase_ms = 0.0;   ///< first wave start -> last first-try done
+  double straggler_phase_ms = 0.0; ///< retry tail beyond the suspend phase
+  double makespan_ms = 0.0;
+  /// Agents that never suspended (for the operator to kill or migrate).
+  std::vector<agent::AgentId> unresolved;
+};
+
+class DrainCoordinator {
+ public:
+  DrainCoordinator(DrainConfig config, SuspendFn suspend,
+                   obs::Registry* registry = nullptr);
+
+  /// Drain `agents`. One drain per coordinator instance. `all_done`
+  /// (optional) fires once after every agent settled (suspended or
+  /// declared a straggler) — possibly synchronously.
+  void drain(const std::vector<agent::AgentId>& agents,
+             std::function<void()> all_done = nullptr);
+
+  /// Block until the drain completes; false on timeout.
+  bool wait(util::Duration timeout);
+
+  [[nodiscard]] DrainReport report() const;
+
+  /// The wave width the next wave would use, from live p95 latency —
+  /// exposed for tests and the bench.
+  [[nodiscard]] std::size_t current_wave_size() const;
+
+ private:
+  struct Pending {
+    agent::AgentId id;
+    int attempt = 0;
+  };
+
+  void pump();
+  void issue(Pending pending);
+  void on_suspend_done(const agent::AgentId& id, int attempt,
+                       util::Status status);
+  [[nodiscard]] std::size_t wave_size_locked() const NAPLET_REQUIRES(mu_);
+  void maybe_finish();
+  [[nodiscard]] double now_ms() const;
+
+  const DrainConfig config_;
+  const SuspendFn suspend_ NAPLET_NOT_GUARDED("immutable after construction");
+  obs::Registry& registry_ NAPLET_NOT_GUARDED("immutable reference");
+  obs::Counter& suspended_total_ NAPLET_NOT_GUARDED("lock-free instrument");
+  obs::Counter& stragglers_total_ NAPLET_NOT_GUARDED("lock-free instrument");
+  obs::Counter& retries_total_ NAPLET_NOT_GUARDED("lock-free instrument");
+  obs::Histogram& suspend_us_ NAPLET_NOT_GUARDED("lock-free instrument");
+  obs::Histogram& wave_width_ NAPLET_NOT_GUARDED("lock-free instrument");
+
+  mutable util::Mutex mu_{util::LockRank::kSwarmDrain, "swarm.drain"};
+  util::CondVar cv_;
+  std::deque<Pending> queue_ NAPLET_GUARDED_BY(mu_);
+  std::map<std::string, double> issue_ms_ NAPLET_GUARDED_BY(mu_);
+  std::size_t in_flight_ NAPLET_GUARDED_BY(mu_) = 0;
+  std::size_t outstanding_ NAPLET_GUARDED_BY(mu_) = 0;
+  std::size_t deferred_ NAPLET_GUARDED_BY(mu_) = 0;
+  bool started_ NAPLET_GUARDED_BY(mu_) = false;
+  bool finished_ NAPLET_GUARDED_BY(mu_) = false;
+  bool pumping_ NAPLET_GUARDED_BY(mu_) = false;
+  bool repump_ NAPLET_GUARDED_BY(mu_) = false;
+  double start_ms_ NAPLET_GUARDED_BY(mu_) = 0.0;
+  double first_pass_end_ms_ NAPLET_GUARDED_BY(mu_) = 0.0;
+  DrainReport report_ NAPLET_GUARDED_BY(mu_);
+  std::function<void()> all_done_ NAPLET_GUARDED_BY(mu_);
+};
+
+}  // namespace naplet::swarm

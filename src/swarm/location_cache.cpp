@@ -1,0 +1,283 @@
+#include "swarm/location_cache.hpp"
+
+#include <utility>
+
+#include "fault/fault.hpp"
+
+namespace naplet::swarm {
+
+CachingLocationService::CachingLocationService(agent::LocationService& backing,
+                                               LocationCacheConfig config,
+                                               obs::Registry* registry)
+    : backing_(backing),
+      config_(std::move(config)),
+      registry_(registry != nullptr ? *registry : obs::Registry::global()),
+      hits_(registry_.counter("loc_cache_hits")),
+      misses_(registry_.counter("loc_cache_misses")),
+      stale_(registry_.counter("loc_cache_stale")),
+      negative_hits_(registry_.counter("loc_cache_negative_hits")),
+      coalesced_(registry_.counter("loc_cache_coalesced")) {}
+
+std::int64_t CachingLocationService::now_us() const {
+  return config_.now_us ? config_.now_us()
+                        : util::RealClock::instance().now_us();
+}
+
+std::optional<agent::NodeInfo> CachingLocationService::cached_or_fetch(
+    const agent::AgentId& id, bool allow_negative) const {
+  {
+    util::MutexLock lock(mu_);
+    for (;;) {
+      auto it = agents_.find(id.name());
+      if (it == agents_.end()) {
+        // Miss: become the single-flight leader. The placeholder parks
+        // concurrent lookers on cv_ until our fetch lands.
+        misses_.add(1);
+        CacheEntry placeholder;
+        placeholder.fetching = true;
+        agents_.emplace(id.name(), placeholder);
+        break;
+      }
+      CacheEntry& entry = it->second;
+      if (entry.fetching) {
+        // Another thread's fetch is on the wire; wait and re-check.
+        coalesced_.add(1);
+        cv_.wait(mu_);
+        continue;
+      }
+      if (entry.expires_us > now_us()) {
+        if (entry.negative) {
+          if (allow_negative) {
+            negative_hits_.add(1);
+            return std::nullopt;
+          }
+          // Caller insists on asking the directory; take the lead.
+          entry.fetching = true;
+          break;
+        }
+        hits_.add(1);
+        return entry.node;
+      }
+      // Lease expired: re-fetch, leading for any followers.
+      stale_.add(1);
+      entry.fetching = true;
+      break;
+    }
+  }
+  // Leader path, no cache lock held across the backing call.
+  (void)fault::hit("swarm.cache.lookup");
+  std::optional<agent::NodeInfo> result = backing_.try_lookup(id);
+  {
+    util::MutexLock lock(mu_);
+    CacheEntry& entry = agents_[id.name()];
+    entry.fetching = false;
+    if (result.has_value()) {
+      entry.node = *result;
+      entry.negative = false;
+      entry.expires_us = now_us() + config_.positive_ttl.count();
+    } else {
+      entry.negative = true;
+      entry.expires_us = now_us() + config_.negative_ttl.count();
+    }
+  }
+  cv_.notify_all();
+  return result;
+}
+
+std::optional<agent::NodeInfo> CachingLocationService::try_lookup(
+    const agent::AgentId& id) const {
+  return cached_or_fetch(id, /*allow_negative=*/true);
+}
+
+util::StatusOr<agent::NodeInfo> CachingLocationService::lookup(
+    const agent::AgentId& id, util::Duration timeout) const {
+  // A blocking lookup must not be short-circuited by the negative cache —
+  // the whole point is waiting for the agent to appear. Serve a fresh
+  // positive entry if we have one, otherwise delegate the blocking wait to
+  // the backing service and cache the outcome.
+  {
+    util::MutexLock lock(mu_);
+    auto it = agents_.find(id.name());
+    if (it != agents_.end() && !it->second.fetching && !it->second.negative &&
+        it->second.expires_us > now_us()) {
+      hits_.add(1);
+      return it->second.node;
+    }
+  }
+  misses_.add(1);
+  (void)fault::hit("swarm.cache.lookup");
+  util::StatusOr<agent::NodeInfo> result = backing_.lookup(id, timeout);
+  {
+    util::MutexLock lock(mu_);
+    auto it = agents_.find(id.name());
+    // Never clobber an in-flight single-flight placeholder; its leader
+    // owns the entry and will publish the freshest answer.
+    if (it == agents_.end() || !it->second.fetching) {
+      CacheEntry& entry = agents_[id.name()];
+      if (result.ok()) {
+        entry.node = *result;
+        entry.negative = false;
+        entry.expires_us = now_us() + config_.positive_ttl.count();
+      } else {
+        entry.negative = true;
+        entry.expires_us = now_us() + config_.negative_ttl.count();
+      }
+    }
+  }
+  cv_.notify_all();
+  return result;
+}
+
+bool CachingLocationService::known(const agent::AgentId& id) const {
+  {
+    util::MutexLock lock(mu_);
+    auto it = agents_.find(id.name());
+    if (it != agents_.end() && !it->second.fetching && !it->second.negative &&
+        it->second.expires_us > now_us()) {
+      hits_.add(1);
+      return true;
+    }
+  }
+  // "known" includes in-transit agents, which the positive cache never
+  // holds — ask the authority rather than guess from a negative entry.
+  return backing_.known(id);
+}
+
+std::size_t CachingLocationService::size() const { return backing_.size(); }
+
+util::StatusOr<agent::NodeInfo> CachingLocationService::lookup_server(
+    const std::string& server_name) const {
+  {
+    util::MutexLock lock(mu_);
+    for (;;) {
+      auto it = servers_.find(server_name);
+      if (it == servers_.end()) {
+        misses_.add(1);
+        CacheEntry placeholder;
+        placeholder.fetching = true;
+        servers_.emplace(server_name, placeholder);
+        break;
+      }
+      CacheEntry& entry = it->second;
+      if (entry.fetching) {
+        coalesced_.add(1);
+        cv_.wait(mu_);
+        continue;
+      }
+      if (entry.expires_us > now_us()) {
+        if (entry.negative) {
+          negative_hits_.add(1);
+          return util::NotFound("server " + server_name +
+                                " (cached negative)");
+        }
+        hits_.add(1);
+        return entry.node;
+      }
+      stale_.add(1);
+      entry.fetching = true;
+      break;
+    }
+  }
+  (void)fault::hit("swarm.cache.lookup");
+  util::StatusOr<agent::NodeInfo> result = backing_.lookup_server(server_name);
+  {
+    util::MutexLock lock(mu_);
+    CacheEntry& entry = servers_[server_name];
+    entry.fetching = false;
+    if (result.ok()) {
+      entry.node = *result;
+      entry.negative = false;
+      entry.expires_us = now_us() + config_.positive_ttl.count();
+    } else {
+      entry.negative = true;
+      entry.expires_us = now_us() + config_.negative_ttl.count();
+    }
+  }
+  cv_.notify_all();
+  return result;
+}
+
+void CachingLocationService::invalidate_agent(const agent::AgentId& id) {
+  bool erased = false;
+  {
+    util::MutexLock lock(mu_);
+    auto it = agents_.find(id.name());
+    // A fetching placeholder belongs to its leader; expiring it instead of
+    // erasing keeps the single-flight handshake intact (the leader's
+    // publish then carries an already-expired lease and is re-fetched).
+    if (it != agents_.end()) {
+      if (it->second.fetching) {
+        it->second.expires_us = 0;
+      } else {
+        agents_.erase(it);
+        erased = true;
+      }
+    }
+  }
+  if (erased) cv_.notify_all();
+}
+
+void CachingLocationService::invalidate_server(const std::string& name) {
+  util::MutexLock lock(mu_);
+  auto it = servers_.find(name);
+  if (it != servers_.end() && !it->second.fetching) servers_.erase(it);
+}
+
+void CachingLocationService::register_agent(const agent::AgentId& id,
+                                            const agent::NodeInfo& node) {
+  backing_.register_agent(id, node);
+  invalidate_agent(id);
+}
+
+void CachingLocationService::begin_migration(const agent::AgentId& id) {
+  backing_.begin_migration(id);
+  invalidate_agent(id);
+}
+
+void CachingLocationService::end_migration(const agent::AgentId& id) {
+  backing_.end_migration(id);
+  invalidate_agent(id);
+}
+
+void CachingLocationService::deregister_agent(const agent::AgentId& id) {
+  backing_.deregister_agent(id);
+  invalidate_agent(id);
+}
+
+void CachingLocationService::register_server(const agent::NodeInfo& node) {
+  backing_.register_server(node);
+  invalidate_server(node.server_name);
+}
+
+void CachingLocationService::deregister_server(
+    const std::string& server_name) {
+  backing_.deregister_server(server_name);
+  invalidate_server(server_name);
+}
+
+void CachingLocationService::flush() {
+  {
+    util::MutexLock lock(mu_);
+    // Keep single-flight placeholders (their leaders still publish);
+    // everything else goes.
+    for (auto it = agents_.begin(); it != agents_.end();) {
+      if (it->second.fetching) {
+        it->second.expires_us = 0;
+        ++it;
+      } else {
+        it = agents_.erase(it);
+      }
+    }
+    for (auto it = servers_.begin(); it != servers_.end();) {
+      if (it->second.fetching) {
+        it->second.expires_us = 0;
+        ++it;
+      } else {
+        it = servers_.erase(it);
+      }
+    }
+  }
+  cv_.notify_all();
+}
+
+}  // namespace naplet::swarm

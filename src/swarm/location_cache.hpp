@@ -1,0 +1,108 @@
+// CachingLocationService: a churn-tolerant read cache in front of a
+// LocationService (typically a RemoteLocationService talking to the
+// DirectoryServer).
+//
+// A fleet rebalance is a thundering herd against the directory: thousands
+// of agents resolving the same few destination servers and peer agents.
+// This tier absorbs it with three mechanisms:
+//
+//  * Lease-TTL positive cache — every hit carries a lease that expires
+//    after `positive_ttl` (the PR-4 redirector lease pattern applied to
+//    lookups): a stale entry is re-fetched, never served beyond its lease.
+//  * Negative cache — a miss is remembered for the (short) `negative_ttl`
+//    so absent agents don't hammer the backing directory.
+//  * Single-flight — concurrent misses for the same key collapse into one
+//    backing lookup; followers wait for the leader's result.
+//
+// Writes (register/begin/end migration, deregister) are passed through to
+// the backing service AND invalidate the local entry, so a process's own
+// mutations are never masked by its cache. Remote churn is bounded by the
+// lease: the worst case is `positive_ttl` of staleness, which the
+// migration paths already tolerate (a stale redirector target fails the
+// handoff and the retry loop re-resolves).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "agent/location.hpp"
+#include "obs/metrics.hpp"
+#include "util/clock.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace naplet::swarm {
+
+struct LocationCacheConfig {
+  util::Duration positive_ttl = std::chrono::milliseconds(500);
+  util::Duration negative_ttl = std::chrono::milliseconds(50);
+  /// Time source in microseconds; defaults to the real clock (DES benches
+  /// bind simulator time).
+  std::function<std::int64_t()> now_us;
+};
+
+class CachingLocationService final : public agent::LocationService {
+ public:
+  /// `backing` must outlive this service. Instruments register in
+  /// `registry` (nullptr: the process-global registry).
+  CachingLocationService(agent::LocationService& backing,
+                         LocationCacheConfig config = {},
+                         obs::Registry* registry = nullptr);
+
+  // Reads: served from cache within the lease, single-flighted on miss.
+  [[nodiscard]] std::optional<agent::NodeInfo> try_lookup(
+      const agent::AgentId& id) const override;
+  [[nodiscard]] util::StatusOr<agent::NodeInfo> lookup(
+      const agent::AgentId& id, util::Duration timeout) const override;
+  [[nodiscard]] bool known(const agent::AgentId& id) const override;
+  [[nodiscard]] std::size_t size() const override;
+  [[nodiscard]] util::StatusOr<agent::NodeInfo> lookup_server(
+      const std::string& server_name) const override;
+
+  // Writes: pass through + invalidate.
+  void register_agent(const agent::AgentId& id,
+                      const agent::NodeInfo& node) override;
+  void begin_migration(const agent::AgentId& id) override;
+  void end_migration(const agent::AgentId& id) override;
+  void deregister_agent(const agent::AgentId& id) override;
+  void register_server(const agent::NodeInfo& node) override;
+  void deregister_server(const std::string& server_name) override;
+
+  /// Drop every cached entry (tests; operator reset after a partition).
+  void flush();
+
+ private:
+  struct CacheEntry {
+    agent::NodeInfo node;
+    std::int64_t expires_us = 0;
+    bool negative = false;  ///< "known absent" until expires_us
+    bool fetching = false;  ///< single-flight leader is on the wire
+  };
+
+  [[nodiscard]] std::int64_t now_us() const;
+  /// Cache-or-fetch core shared by try_lookup/lookup.
+  [[nodiscard]] std::optional<agent::NodeInfo> cached_or_fetch(
+      const agent::AgentId& id, bool allow_negative) const;
+  void invalidate_agent(const agent::AgentId& id);
+  void invalidate_server(const std::string& name);
+
+  agent::LocationService& backing_ NAPLET_NOT_GUARDED("immutable reference");
+  const LocationCacheConfig config_;
+  obs::Registry& registry_ NAPLET_NOT_GUARDED("immutable reference");
+  obs::Counter& hits_ NAPLET_NOT_GUARDED("lock-free instrument");
+  obs::Counter& misses_ NAPLET_NOT_GUARDED("lock-free instrument");
+  obs::Counter& stale_ NAPLET_NOT_GUARDED("lock-free instrument");
+  obs::Counter& negative_hits_ NAPLET_NOT_GUARDED("lock-free instrument");
+  obs::Counter& coalesced_ NAPLET_NOT_GUARDED("lock-free instrument");
+
+  mutable util::Mutex mu_{util::LockRank::kSwarmCache, "swarm.loc_cache"};
+  mutable util::CondVar cv_;
+  mutable std::map<std::string, CacheEntry> agents_ NAPLET_GUARDED_BY(mu_);
+  mutable std::map<std::string, CacheEntry> servers_ NAPLET_GUARDED_BY(mu_);
+};
+
+}  // namespace naplet::swarm

@@ -1,0 +1,364 @@
+#include "swarm/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "fault/fault.hpp"
+#include "util/log.hpp"
+
+namespace naplet::swarm {
+
+namespace {
+
+double real_now_ms() {
+  return static_cast<double>(util::RealClock::instance().now_us()) / 1000.0;
+}
+
+std::uint64_t ms_delta_to_us(double start_ms, double end_ms) {
+  const double us = (end_ms - start_ms) * 1000.0;
+  return us <= 0.0 ? 0 : static_cast<std::uint64_t>(us);
+}
+
+}  // namespace
+
+MigrationScheduler::MigrationScheduler(SchedulerConfig config,
+                                       StageExecutor& executor,
+                                       obs::Registry* registry)
+    : config_(std::move(config)),
+      executor_(executor),
+      registry_(registry != nullptr ? *registry : obs::Registry::global()),
+      agents_migrated_(registry_.counter("swarm_agents_migrated")),
+      agents_failed_(registry_.counter("swarm_agents_failed")),
+      agents_rerouted_(registry_.counter("swarm_agents_rerouted")),
+      batches_total_(registry_.counter("swarm_batches")),
+      handoff_exchanges_(registry_.counter("swarm_handoff_exchanges")),
+      admission_refusals_(registry_.counter("swarm_admission_refusals")),
+      serialize_us_(registry_.histogram("swarm_serialize_us")),
+      transfer_us_(registry_.histogram("swarm_transfer_us")),
+      reactivate_us_(registry_.histogram("swarm_reactivate_us")),
+      batch_fill_(registry_.histogram("swarm_batch_fill", "agents")) {}
+
+double MigrationScheduler::now_ms() const {
+  return config_.now_ms ? config_.now_ms() : real_now_ms();
+}
+
+std::vector<MigrationBatch> MigrationScheduler::plan(
+    const std::vector<AgentPlan>& plans) const {
+  const std::size_t cap = std::max<std::size_t>(1, config_.max_batch);
+  // Group by destination preserving first-appearance order of destinations
+  // and plan order within each destination.
+  std::vector<std::string> order;
+  std::map<std::string, std::vector<agent::AgentId>> by_dest;
+  for (const AgentPlan& p : plans) {
+    auto [it, inserted] = by_dest.try_emplace(p.destination);
+    if (inserted) order.push_back(p.destination);
+    it->second.push_back(p.id);
+  }
+  std::vector<MigrationBatch> batches;
+  std::uint64_t next_id = 1;
+  for (const std::string& dest : order) {
+    const std::vector<agent::AgentId>& agents = by_dest[dest];
+    for (std::size_t off = 0; off < agents.size(); off += cap) {
+      MigrationBatch b;
+      b.batch_id = next_id++;
+      b.destination = dest;
+      const std::size_t end = std::min(agents.size(), off + cap);
+      b.agents.assign(agents.begin() + static_cast<std::ptrdiff_t>(off),
+                      agents.begin() + static_cast<std::ptrdiff_t>(end));
+      batches.push_back(std::move(b));
+    }
+  }
+  return batches;
+}
+
+void MigrationScheduler::run(const std::vector<AgentPlan>& plans,
+                             std::function<void()> all_done) {
+  std::vector<MigrationBatch> batches = plan(plans);
+  {
+    util::MutexLock lock(mu_);
+    if (started_) {
+      NAPLET_LOG(kWarn, "swarm") << "MigrationScheduler::run called twice";
+      return;
+    }
+    started_ = true;
+    all_done_ = std::move(all_done);
+    start_ms_ = now_ms();
+    report_.agents = plans.size();
+    for (MigrationBatch& b : batches) {
+      next_batch_id_ = std::max(next_batch_id_, b.batch_id + 1);
+      batch_fill_.record(b.agents.size());
+      batches_total_.add(1);
+      ++report_.batches;
+      ++outstanding_batches_;
+      serialize_q_.push_back(std::move(b));
+    }
+  }
+  pump();
+}
+
+void MigrationScheduler::collect_dispatches(std::vector<Dispatch>& out) {
+  while (serialize_active_ < config_.serialize_slots && !serialize_q_.empty()) {
+    MigrationBatch b = std::move(serialize_q_.front());
+    serialize_q_.pop_front();
+    ++serialize_active_;
+    const std::uint64_t id = b.batch_id;
+    active_[id] = Active{b, Stage::kSerialize, now_ms()};
+    out.push_back(Dispatch{id, std::move(b), Stage::kSerialize});
+  }
+  while (transfer_active_ < config_.transfer_slots && !transfer_q_.empty()) {
+    MigrationBatch b = std::move(transfer_q_.front());
+    transfer_q_.pop_front();
+    ++transfer_active_;
+    const std::uint64_t id = b.batch_id;
+    active_[id] = Active{b, Stage::kTransfer, now_ms()};
+    out.push_back(Dispatch{id, std::move(b), Stage::kTransfer});
+  }
+  // Reactivation admits per destination; skip over batches whose
+  // destination is saturated without starving the ones behind them.
+  for (auto it = reactivate_q_.begin(); it != reactivate_q_.end();) {
+    if (reactivate_by_dest_[it->destination] >=
+        config_.per_destination_admission) {
+      ++it;
+      continue;
+    }
+    MigrationBatch b = std::move(*it);
+    it = reactivate_q_.erase(it);
+    ++reactivate_by_dest_[b.destination];
+    const std::uint64_t id = b.batch_id;
+    active_[id] = Active{b, Stage::kReactivate, now_ms()};
+    out.push_back(Dispatch{id, std::move(b), Stage::kReactivate});
+  }
+}
+
+void MigrationScheduler::pump() {
+  {
+    util::MutexLock lock(mu_);
+    if (pumping_) {
+      repump_ = true;  // the running pump will loop again
+      return;
+    }
+    pumping_ = true;
+  }
+  bool again = true;
+  while (again) {
+    std::vector<Dispatch> dispatches;
+    {
+      util::MutexLock lock(mu_);
+      repump_ = false;
+      collect_dispatches(dispatches);
+    }
+    // Invoke the executor with no lock held; synchronous completions
+    // re-enter pump(), see pumping_, and set repump_.
+    for (Dispatch& d : dispatches) issue(std::move(d));
+    {
+      util::MutexLock lock(mu_);
+      again = repump_;
+      if (!again) pumping_ = false;
+    }
+  }
+  maybe_finish();
+}
+
+void MigrationScheduler::issue(Dispatch dispatch) {
+  const std::uint64_t id = dispatch.batch_id;
+  const Stage stage = dispatch.stage;
+  auto done = [this, id, stage](util::Status status) {
+    on_stage_done(id, stage, std::move(status));
+  };
+  switch (stage) {
+    case Stage::kSerialize: {
+      if (fault::armed()) {
+        const fault::Decision d = fault::hit("swarm.batch.dispatch");
+        if (d.action == fault::Action::kError ||
+            d.action == fault::Action::kDrop ||
+            d.action == fault::Action::kKill) {
+          done(util::Unavailable("injected dispatch failure"));
+          return;
+        }
+      }
+      executor_.serialize(dispatch.batch, std::move(done));
+      return;
+    }
+    case Stage::kTransfer:
+      executor_.transfer(dispatch.batch, std::move(done));
+      return;
+    case Stage::kReactivate: {
+      if (fault::armed()) {
+        const fault::Decision d = fault::hit("swarm.batch.admit");
+        if (d.action == fault::Action::kError ||
+            d.action == fault::Action::kDrop ||
+            d.action == fault::Action::kKill) {
+          on_admission_refused(id);
+          return;
+        }
+      }
+      executor_.reactivate(dispatch.batch, std::move(done));
+      return;
+    }
+  }
+}
+
+void MigrationScheduler::enqueue_stage(MigrationBatch batch, Stage stage) {
+  switch (stage) {
+    case Stage::kSerialize:
+      serialize_q_.push_back(std::move(batch));
+      return;
+    case Stage::kTransfer:
+      transfer_q_.push_back(std::move(batch));
+      return;
+    case Stage::kReactivate:
+      reactivate_q_.push_back(std::move(batch));
+      return;
+  }
+}
+
+void MigrationScheduler::fail_batch(const MigrationBatch& batch) {
+  report_.failed += batch.agents.size();
+  agents_failed_.add(batch.agents.size());
+  --outstanding_batches_;
+}
+
+void MigrationScheduler::on_stage_done(std::uint64_t batch_id, Stage stage,
+                                       util::Status status) {
+  {
+    util::MutexLock lock(mu_);
+    auto it = active_.find(batch_id);
+    if (it == active_.end() || it->second.stage != stage) return;  // stale
+    Active entry = std::move(it->second);
+    active_.erase(it);
+    const std::uint64_t stage_us = ms_delta_to_us(entry.stage_start_ms,
+                                                  now_ms());
+    switch (stage) {
+      case Stage::kSerialize:
+        --serialize_active_;
+        serialize_us_.record(stage_us);
+        break;
+      case Stage::kTransfer:
+        --transfer_active_;
+        transfer_us_.record(stage_us);
+        break;
+      case Stage::kReactivate: {
+        auto dest = reactivate_by_dest_.find(entry.batch.destination);
+        if (dest != reactivate_by_dest_.end() && dest->second > 0) {
+          --dest->second;
+        }
+        reactivate_us_.record(stage_us);
+        break;
+      }
+    }
+    if (status.ok()) {
+      switch (stage) {
+        case Stage::kSerialize:
+          enqueue_stage(std::move(entry.batch), Stage::kTransfer);
+          break;
+        case Stage::kTransfer:
+          enqueue_stage(std::move(entry.batch), Stage::kReactivate);
+          break;
+        case Stage::kReactivate:
+          // The batch landed: its handoffs count as one coalesced exchange
+          // (or one per agent when coalescing is off).
+          report_.migrated += entry.batch.agents.size();
+          agents_migrated_.add(
+              entry.batch.agents.size());
+          const std::uint64_t exchanges =
+              config_.coalesce_handoffs ? 1 : entry.batch.agents.size();
+          report_.handoff_exchanges += exchanges;
+          handoff_exchanges_.add(exchanges);
+          --outstanding_batches_;
+          break;
+      }
+    } else {
+      MigrationBatch retry = std::move(entry.batch);
+      ++retry.attempt;
+      if (retry.attempt >= config_.max_attempts) {
+        NAPLET_LOG(kWarn, "swarm")
+            << "batch " << batch_id << " -> " << retry.destination
+            << " failed after " << retry.attempt
+            << " attempts: " << status.to_string();
+        fail_batch(retry);
+      } else {
+        enqueue_stage(std::move(retry), stage);
+      }
+    }
+  }
+  pump();
+}
+
+void MigrationScheduler::on_admission_refused(std::uint64_t batch_id) {
+  admission_refusals_.add(1);
+  {
+    util::MutexLock lock(mu_);
+    auto it = active_.find(batch_id);
+    if (it == active_.end() || it->second.stage != Stage::kReactivate) return;
+    Active entry = std::move(it->second);
+    active_.erase(it);
+    auto dest = reactivate_by_dest_.find(entry.batch.destination);
+    if (dest != reactivate_by_dest_.end() && dest->second > 0) --dest->second;
+
+    MigrationBatch front = std::move(entry.batch);
+    ++front.attempt;
+    if (!config_.fallback_destination.empty() && front.agents.size() > 1 &&
+        front.destination != config_.fallback_destination) {
+      // Cascading rebalance: the destination refused the batch, so shed
+      // half the load to the fallback. The rear half re-enters at the
+      // transfer stage (its bytes must travel to the new destination); the
+      // front half retries the original destination at half the size.
+      const std::size_t half = front.agents.size() / 2;
+      MigrationBatch rear;
+      rear.batch_id = next_batch_id_++;
+      rear.destination = config_.fallback_destination;
+      rear.agents.assign(front.agents.begin() +
+                             static_cast<std::ptrdiff_t>(half),
+                         front.agents.end());
+      front.agents.resize(half);
+      report_.rerouted += rear.agents.size();
+      agents_rerouted_.add(rear.agents.size());
+      batches_total_.add(1);
+      ++report_.batches;
+      ++outstanding_batches_;
+      batch_fill_.record(rear.agents.size());
+      enqueue_stage(std::move(rear), Stage::kTransfer);
+    }
+    if (front.attempt >= config_.max_attempts) {
+      fail_batch(front);
+    } else {
+      enqueue_stage(std::move(front), Stage::kReactivate);
+    }
+  }
+  pump();
+}
+
+void MigrationScheduler::maybe_finish() {
+  std::function<void()> callback;
+  {
+    util::MutexLock lock(mu_);
+    if (!started_ || finished_ || outstanding_batches_ != 0 || pumping_) {
+      return;
+    }
+    finished_ = true;
+    report_.makespan_ms = now_ms() - start_ms_;
+    callback = std::move(all_done_);
+  }
+  cv_.notify_all();
+  if (callback) callback();
+}
+
+bool MigrationScheduler::wait(util::Duration timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  util::MutexLock lock(mu_);
+  while (!finished_) {
+    if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout &&
+        !finished_) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SchedulerReport MigrationScheduler::report() const {
+  util::MutexLock lock(mu_);
+  return report_;
+}
+
+}  // namespace naplet::swarm

@@ -1,0 +1,168 @@
+// MigrationScheduler: itinerary-aware batch migration with a pipelined
+// serialize -> transfer -> reactivate flow (Gavalas-style, ROADMAP item 2).
+//
+// Agents bound for the same destination are grouped into batches of at
+// most `max_batch`; batches move through three stages driven by an
+// executor the caller supplies (real controllers, a DES model, or a test
+// fake). The stages are independently capacity-limited, so stage N+1 of
+// batch k overlaps stage N of batch k+1:
+//
+//   serialize  — CPU at the source host      (serialize_slots, default 1)
+//   transfer   — bytes on the wire           (transfer_slots = the bounded
+//                                             in-flight budget)
+//   reactivate — import + handoff + resume   (per_destination_admission
+//                                             batches per destination)
+//
+// With `coalesce_handoffs` the batch's redirector handoffs count as ONE
+// exchange (the BatchHandoffMsg wire exchange); otherwise one per agent.
+// A destination may refuse admission (fault site `swarm.batch.admit`);
+// the refused batch is split and its rear half rerouted to the fallback
+// destination — the cascading-rebalance path chaos scenario 7 drives.
+//
+// Thread/lock model: mu_ (LockRank::kSwarmScheduler, outermost) guards
+// the queues; the executor and completion callbacks are ALWAYS invoked
+// with no scheduler lock held, and executors may complete synchronously
+// (the DES executor does) — re-entrant completions are flattened by the
+// pump trampoline.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "swarm/batch.hpp"
+#include "util/clock.hpp"
+#include "util/status.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace naplet::swarm {
+
+/// The three pipeline stages, implemented by the environment. `done` may
+/// be called synchronously or from any thread, exactly once per call.
+class StageExecutor {
+ public:
+  using Done = std::function<void(util::Status)>;
+
+  virtual ~StageExecutor() = default;
+  virtual void serialize(const MigrationBatch& batch, Done done) = 0;
+  virtual void transfer(const MigrationBatch& batch, Done done) = 0;
+  virtual void reactivate(const MigrationBatch& batch, Done done) = 0;
+};
+
+struct SchedulerConfig {
+  std::size_t max_batch = 32;
+  std::size_t serialize_slots = 1;
+  std::size_t transfer_slots = 4;
+  std::size_t per_destination_admission = 2;
+  bool coalesce_handoffs = true;
+  int max_attempts = 3;  ///< per batch, across dispatch/stage retries
+  /// Where a refused batch's rear half goes (cascading rebalance). Empty:
+  /// refusals retry the original destination until max_attempts.
+  std::string fallback_destination;
+  /// Time source for stage latency histograms and makespan; defaults to
+  /// the real clock. DES benches bind simulator time here.
+  std::function<double()> now_ms;
+};
+
+struct SchedulerReport {
+  std::size_t agents = 0;
+  std::size_t migrated = 0;
+  std::size_t failed = 0;
+  std::size_t batches = 0;
+  std::size_t rerouted = 0;  ///< agents pushed to the fallback destination
+  std::uint64_t handoff_exchanges = 0;
+  double makespan_ms = 0.0;
+};
+
+class MigrationScheduler {
+ public:
+  /// `executor` must outlive the scheduler. Instruments register in
+  /// `registry` (nullptr: the process-global registry).
+  MigrationScheduler(SchedulerConfig config, StageExecutor& executor,
+                     obs::Registry* registry = nullptr);
+
+  /// Pure planning: group plans by destination, split into batches of at
+  /// most max_batch, preserving plan order within a destination.
+  [[nodiscard]] std::vector<MigrationBatch> plan(
+      const std::vector<AgentPlan>& plans) const;
+
+  /// Run the pipeline over `plans`. One run per scheduler instance.
+  /// `all_done` (optional) fires once, after the last batch settles —
+  /// possibly synchronously when the executor completes inline.
+  void run(const std::vector<AgentPlan>& plans,
+           std::function<void()> all_done = nullptr);
+
+  /// Block until the run completes (threaded executors). True on
+  /// completion, false on timeout.
+  bool wait(util::Duration timeout);
+
+  [[nodiscard]] SchedulerReport report() const;
+
+ private:
+  enum class Stage { kSerialize, kTransfer, kReactivate };
+
+  struct Active {
+    MigrationBatch batch;
+    Stage stage = Stage::kSerialize;
+    double stage_start_ms = 0.0;
+  };
+  struct Dispatch {
+    std::uint64_t batch_id = 0;
+    MigrationBatch batch;
+    Stage stage = Stage::kSerialize;
+  };
+
+  void pump();
+  void collect_dispatches(std::vector<Dispatch>& out) NAPLET_REQUIRES(mu_);
+  void issue(Dispatch dispatch);
+  void on_stage_done(std::uint64_t batch_id, Stage stage, util::Status status);
+  void on_admission_refused(std::uint64_t batch_id);
+  void enqueue_stage(MigrationBatch batch, Stage stage) NAPLET_REQUIRES(mu_);
+  void fail_batch(const MigrationBatch& batch) NAPLET_REQUIRES(mu_);
+  void maybe_finish();
+  [[nodiscard]] double now_ms() const;
+
+  const SchedulerConfig config_;
+  StageExecutor& executor_ NAPLET_NOT_GUARDED("immutable reference");
+  obs::Registry& registry_ NAPLET_NOT_GUARDED("immutable reference");
+
+  // Instruments: references are stable; record/add are lock-free.
+  obs::Counter& agents_migrated_ NAPLET_NOT_GUARDED("lock-free instrument");
+  obs::Counter& agents_failed_ NAPLET_NOT_GUARDED("lock-free instrument");
+  obs::Counter& agents_rerouted_ NAPLET_NOT_GUARDED("lock-free instrument");
+  obs::Counter& batches_total_ NAPLET_NOT_GUARDED("lock-free instrument");
+  obs::Counter& handoff_exchanges_ NAPLET_NOT_GUARDED("lock-free instrument");
+  obs::Counter& admission_refusals_ NAPLET_NOT_GUARDED("lock-free instrument");
+  obs::Histogram& serialize_us_ NAPLET_NOT_GUARDED("lock-free instrument");
+  obs::Histogram& transfer_us_ NAPLET_NOT_GUARDED("lock-free instrument");
+  obs::Histogram& reactivate_us_ NAPLET_NOT_GUARDED("lock-free instrument");
+  obs::Histogram& batch_fill_ NAPLET_NOT_GUARDED("lock-free instrument");
+
+  mutable util::Mutex mu_{util::LockRank::kSwarmScheduler, "swarm.scheduler"};
+  util::CondVar cv_;
+  std::deque<MigrationBatch> serialize_q_ NAPLET_GUARDED_BY(mu_);
+  std::deque<MigrationBatch> transfer_q_ NAPLET_GUARDED_BY(mu_);
+  std::deque<MigrationBatch> reactivate_q_ NAPLET_GUARDED_BY(mu_);
+  std::map<std::uint64_t, Active> active_ NAPLET_GUARDED_BY(mu_);
+  std::size_t serialize_active_ NAPLET_GUARDED_BY(mu_) = 0;
+  std::size_t transfer_active_ NAPLET_GUARDED_BY(mu_) = 0;
+  std::map<std::string, std::size_t> reactivate_by_dest_
+      NAPLET_GUARDED_BY(mu_);
+  std::size_t outstanding_batches_ NAPLET_GUARDED_BY(mu_) = 0;
+  std::uint64_t next_batch_id_ NAPLET_GUARDED_BY(mu_) = 1;
+  bool started_ NAPLET_GUARDED_BY(mu_) = false;
+  bool finished_ NAPLET_GUARDED_BY(mu_) = false;
+  bool pumping_ NAPLET_GUARDED_BY(mu_) = false;
+  bool repump_ NAPLET_GUARDED_BY(mu_) = false;
+  double start_ms_ NAPLET_GUARDED_BY(mu_) = 0.0;
+  SchedulerReport report_ NAPLET_GUARDED_BY(mu_);
+  std::function<void()> all_done_ NAPLET_GUARDED_BY(mu_);
+};
+
+}  // namespace naplet::swarm

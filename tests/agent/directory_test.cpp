@@ -134,6 +134,75 @@ TEST_F(DirectoryTest, GarbageRequestRejected) {
   EXPECT_NE(static_cast<util::StatusCode>(*r.u8()), util::StatusCode::kOk);
 }
 
+TEST_F(DirectoryTest, EndMigrationOverTheWire) {
+  remote_->register_agent(AgentId("mover"), node("host-1"));
+  remote_->begin_migration(AgentId("mover"));
+  EXPECT_FALSE(remote_->try_lookup(AgentId("mover")).has_value());
+  EXPECT_TRUE(backing_.known(AgentId("mover")));
+
+  // The migration fails; the source rolls the transit mark back through
+  // the directory, and every client sees the agent settled again.
+  remote_->end_migration(AgentId("mover"));
+  auto found = remote_->try_lookup(AgentId("mover"));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->server_name, "host-1");
+  EXPECT_EQ(backing_.size(), 1u);
+}
+
+TEST_F(DirectoryTest, EndMigrationReleasesRemoteWaiter) {
+  remote_->register_agent(AgentId("mover"), node("host-1"));
+  remote_->begin_migration(AgentId("mover"));
+  std::thread rollback([&] {
+    std::this_thread::sleep_for(50ms);
+    RemoteLocationService other(network_, server_.endpoint());
+    other.end_migration(AgentId("mover"));
+  });
+  auto found = remote_->lookup(AgentId("mover"), 5s);
+  rollback.join();
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->server_name, "host-1");
+}
+
+TEST(DirectoryInstruments, PerOpCountersAndLatency) {
+  auto network = std::make_shared<net::TcpNetwork>();
+  LocationService backing;
+  obs::Registry registry;
+  DirectoryServer server(network, backing, 0, &registry);
+  ASSERT_TRUE(server.start().ok());
+  RemoteLocationService remote(network, server.endpoint());
+
+  remote.register_agent(AgentId("a"), node("host-1"));  // mutation
+  (void)remote.try_lookup(AgentId("a"));                // lookup
+  (void)remote.known(AgentId("a"));                     // lookup
+  remote.begin_migration(AgentId("a"));                 // mutation
+  remote.end_migration(AgentId("a"));                   // mutation
+
+  // The worker thread records latency and drops the inflight gauge after
+  // writing the reply, so the final op can still be settling when the
+  // client returns; wait for the instruments to quiesce.
+  obs::Snapshot snap = registry.snapshot();
+  for (int i = 0; i < 200; ++i) {
+    const auto* hist = snap.histogram("directory_op_us");
+    const auto* gauge = snap.gauge("directory_inflight");
+    if (hist != nullptr && hist->count == 5u && gauge != nullptr &&
+        gauge->value == 0) {
+      break;
+    }
+    std::this_thread::sleep_for(10ms);
+    snap = registry.snapshot();
+  }
+  ASSERT_NE(snap.counter("directory_requests"), nullptr);
+  EXPECT_EQ(snap.counter("directory_requests")->value, 5u);
+  EXPECT_EQ(snap.counter("directory_lookups")->value, 2u);
+  EXPECT_EQ(snap.counter("directory_mutations")->value, 3u);
+  // Every request was timed, and none is being served right now.
+  ASSERT_NE(snap.histogram("directory_op_us"), nullptr);
+  EXPECT_EQ(snap.histogram("directory_op_us")->count, 5u);
+  ASSERT_NE(snap.gauge("directory_inflight"), nullptr);
+  EXPECT_EQ(snap.gauge("directory_inflight")->value, 0);
+  server.stop();
+}
+
 TEST_F(DirectoryTest, ConcurrentClients) {
   constexpr int kThreads = 4;
   constexpr int kOpsPerThread = 25;

@@ -93,6 +93,50 @@ TEST(LocationService, BeginMigrationOnUnknownIsNoop) {
   EXPECT_FALSE(svc.known(AgentId("ghost")));
 }
 
+// Regression: a failed migration used to leave the agent in-transit
+// forever (begin_migration with no matching register), wedging every
+// blocking lookup until its timeout. end_migration rolls the mark back.
+TEST(LocationService, EndMigrationRollsBackFailedTransit) {
+  LocationService svc;
+  svc.register_agent(AgentId("a"), node("host-1"));
+  svc.begin_migration(AgentId("a"));
+  ASSERT_FALSE(svc.try_lookup(AgentId("a")).has_value());
+  ASSERT_EQ(svc.size(), 0u);
+
+  svc.end_migration(AgentId("a"));  // migration failed; agent stays put
+  auto found = svc.try_lookup(AgentId("a"));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->server_name, "host-1");
+  EXPECT_EQ(svc.size(), 1u);
+}
+
+TEST(LocationService, EndMigrationReleasesBlockedLookup) {
+  LocationService svc;
+  svc.register_agent(AgentId("a"), node("host-1"));
+  svc.begin_migration(AgentId("a"));
+  std::thread rollback([&] {
+    std::this_thread::sleep_for(30ms);
+    svc.end_migration(AgentId("a"));
+  });
+  // The waiter must see the rolled-back (still settled) location, not
+  // time out against a permanently in-transit entry.
+  auto found = svc.lookup(AgentId("a"), 2s);
+  rollback.join();
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->server_name, "host-1");
+}
+
+TEST(LocationService, EndMigrationWithoutBeginIsNoop) {
+  LocationService svc;
+  svc.end_migration(AgentId("ghost"));  // unknown agent: no crash
+  EXPECT_FALSE(svc.known(AgentId("ghost")));
+
+  svc.register_agent(AgentId("a"), node("host-1"));
+  svc.end_migration(AgentId("a"));  // settled agent: stays settled
+  EXPECT_TRUE(svc.try_lookup(AgentId("a")).has_value());
+  EXPECT_EQ(svc.size(), 1u);
+}
+
 TEST(NodeInfo, Persist) {
   NodeInfo original = node("host-9");
   util::Archive w;

@@ -1,0 +1,232 @@
+#include "swarm/drain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace naplet::swarm {
+namespace {
+
+using agent::AgentId;
+
+std::vector<AgentId> fleet_of(int n, const std::string& prefix = "agent") {
+  std::vector<AgentId> fleet;
+  for (int i = 0; i < n; ++i) fleet.emplace_back(prefix + std::to_string(i));
+  return fleet;
+}
+
+/// A minimal deterministic event loop: the drain's injected clock and
+/// defer() both run off it, so backoff timing is exact.
+class FakeTimeline {
+ public:
+  [[nodiscard]] double now() const { return now_ms_; }
+
+  void defer(double delay_ms, std::function<void()> fn) {
+    timers_.emplace_back(now_ms_ + delay_ms, std::move(fn));
+  }
+
+  /// Run timers in due order until none remain. Returns the fire times.
+  std::vector<double> run() {
+    std::vector<double> fired;
+    while (!timers_.empty()) {
+      auto due = std::min_element(
+          timers_.begin(), timers_.end(),
+          [](const auto& a, const auto& b) { return a.first < b.first; });
+      auto [at, fn] = std::move(*due);
+      timers_.erase(due);
+      now_ms_ = std::max(now_ms_, at);
+      fired.push_back(at);
+      fn();
+    }
+    return fired;
+  }
+
+  void advance(double dt_ms) { now_ms_ += dt_ms; }
+
+ private:
+  double now_ms_ = 0.0;
+  std::vector<std::pair<double, std::function<void()>>> timers_;
+};
+
+TEST(DrainCoordinator, DrainsEveryAgentInWaves) {
+  obs::Registry registry;
+  DrainConfig config;
+  config.max_wave = 3;
+  int suspends = 0;
+  DrainCoordinator drain(
+      config,
+      [&](const AgentId&, std::function<void(util::Status)> done) {
+        ++suspends;
+        done(util::OkStatus());
+      },
+      &registry);
+
+  bool done_fired = false;
+  drain.drain(fleet_of(10), [&] { done_fired = true; });
+  EXPECT_TRUE(done_fired);  // inline suspends settle before drain() returns
+  ASSERT_TRUE(drain.wait(std::chrono::seconds(0)));
+
+  const DrainReport report = drain.report();
+  EXPECT_EQ(report.agents, 10u);
+  EXPECT_EQ(report.suspended, 10u);
+  EXPECT_EQ(report.stragglers, 0u);
+  EXPECT_EQ(suspends, 10);
+  EXPECT_GE(report.waves, 4u);  // max_wave 3 -> at least ceil(10/3) waves
+  EXPECT_TRUE(report.unresolved.empty());
+
+  const obs::Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter("swarm_drain_suspended")->value, 10u);
+  EXPECT_EQ(snap.histogram("swarm_drain_wave_width")->count, report.waves);
+}
+
+TEST(DrainCoordinator, RetriesWithExponentialBackoff) {
+  FakeTimeline timeline;
+  DrainConfig config;
+  config.max_retries = 3;
+  config.backoff_base_ms = 10.0;
+  config.backoff_cap_ms = 200.0;
+  config.now_ms = [&] { return timeline.now(); };
+  config.defer = [&](double delay_ms, std::function<void()> fn) {
+    timeline.defer(delay_ms, std::move(fn));
+  };
+
+  int flaky_attempts = 0;
+  DrainCoordinator drain(
+      config, [&](const AgentId& id, std::function<void(util::Status)> done) {
+        if (id.name() == "flaky" && flaky_attempts++ < 2) {
+          done(util::Unavailable("still busy"));
+          return;
+        }
+        done(util::OkStatus());
+      });
+
+  drain.drain({AgentId("steady"), AgentId("flaky")});
+  const std::vector<double> fired = timeline.run();
+  ASSERT_TRUE(drain.wait(std::chrono::seconds(0)));
+
+  const DrainReport report = drain.report();
+  EXPECT_EQ(report.suspended, 2u);
+  EXPECT_EQ(report.stragglers, 0u);
+  EXPECT_EQ(report.retries, 2u);
+  // Backoff doubles from the base: first retry parks 10ms, second 20ms.
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(fired[0], 10.0);
+  EXPECT_DOUBLE_EQ(fired[1], 30.0);
+  EXPECT_DOUBLE_EQ(report.makespan_ms, 30.0);
+}
+
+TEST(DrainCoordinator, DeclaresStragglerAfterMaxRetries) {
+  FakeTimeline timeline;
+  DrainConfig config;
+  config.max_retries = 2;
+  config.backoff_base_ms = 5.0;
+  config.now_ms = [&] { return timeline.now(); };
+  config.defer = [&](double delay_ms, std::function<void()> fn) {
+    timeline.defer(delay_ms, std::move(fn));
+  };
+
+  DrainCoordinator drain(
+      config, [&](const AgentId& id, std::function<void(util::Status)> done) {
+        done(id.name() == "stuck" ? util::Unavailable("wedged")
+                                  : util::OkStatus());
+      });
+
+  drain.drain({AgentId("a"), AgentId("stuck"), AgentId("b")});
+  timeline.run();
+  ASSERT_TRUE(drain.wait(std::chrono::seconds(0)));
+
+  const DrainReport report = drain.report();
+  EXPECT_EQ(report.suspended, 2u);
+  EXPECT_EQ(report.stragglers, 1u);
+  EXPECT_EQ(report.retries, 2u);  // initial try + 2 retries, then give up
+  ASSERT_EQ(report.unresolved.size(), 1u);
+  EXPECT_EQ(report.unresolved[0].name(), "stuck");
+  // The straggler tail is attributed to its own phase, after the sweep.
+  EXPECT_GT(report.straggler_phase_ms, 0.0);
+}
+
+TEST(DrainCoordinator, WaveWidthAdaptsToObservedLatency) {
+  FakeTimeline timeline;
+  DrainConfig config;
+  config.target_wave_ms = 50.0;
+  config.min_wave = 1;
+  config.max_wave = 64;
+  config.now_ms = [&] { return timeline.now(); };
+  config.defer = [&](double delay_ms, std::function<void()> fn) {
+    timeline.defer(delay_ms, std::move(fn));
+  };
+
+  // Every suspend takes 40ms of simulated time.
+  DrainCoordinator drain(
+      config, [&](const AgentId&, std::function<void(util::Status)> done) {
+        timeline.defer(40.0, [done] { done(util::OkStatus()); });
+      });
+
+  // No samples yet: the first wave opens at full width.
+  EXPECT_EQ(drain.current_wave_size(), 64u);
+
+  drain.drain(fleet_of(80));
+  timeline.run();
+  ASSERT_TRUE(drain.wait(std::chrono::seconds(0)));
+
+  const DrainReport report = drain.report();
+  EXPECT_EQ(report.suspended, 80u);
+  // After the first 64-wide wave lands, the observed p95 (~40ms or more,
+  // given log2 bucket interpolation) caps later waves near
+  // target_wave_ms / p95 ~ 1 agent — far below the opening width.
+  EXPECT_LT(drain.current_wave_size(), 8u);
+  EXPECT_GT(report.waves, 2u);
+}
+
+TEST(DrainCoordinator, ImmediateRetryWithoutDeferHook) {
+  DrainConfig config;
+  config.max_retries = 5;
+  int attempts = 0;
+  DrainCoordinator drain(
+      config, [&](const AgentId&, std::function<void(util::Status)> done) {
+        done(++attempts < 4 ? util::Unavailable("not yet")
+                            : util::OkStatus());
+      });
+  drain.drain({AgentId("solo")});
+  ASSERT_TRUE(drain.wait(std::chrono::seconds(1)));
+  const DrainReport report = drain.report();
+  EXPECT_EQ(report.suspended, 1u);
+  EXPECT_EQ(report.retries, 3u);
+  EXPECT_EQ(attempts, 4);
+}
+
+TEST(DrainCoordinator, EmptyDrainFinishesImmediately) {
+  DrainCoordinator drain(
+      DrainConfig{},
+      [](const AgentId&, std::function<void(util::Status)> done) {
+        done(util::OkStatus());
+      });
+  bool done_fired = false;
+  drain.drain({}, [&] { done_fired = true; });
+  EXPECT_TRUE(done_fired);
+  EXPECT_TRUE(drain.wait(std::chrono::seconds(0)));
+  EXPECT_EQ(drain.report().agents, 0u);
+}
+
+TEST(DrainCoordinator, EachAgentSuspendedExactlyOnce) {
+  std::multiset<std::string> seen;
+  DrainConfig config;
+  config.max_wave = 4;
+  DrainCoordinator drain(
+      config, [&](const AgentId& id, std::function<void(util::Status)> done) {
+        seen.insert(id.name());
+        done(util::OkStatus());
+      });
+  drain.drain(fleet_of(17));
+  ASSERT_TRUE(drain.wait(std::chrono::seconds(1)));
+  EXPECT_EQ(seen.size(), 17u);
+  for (const auto& name : seen) EXPECT_EQ(seen.count(name), 1u) << name;
+}
+
+}  // namespace
+}  // namespace naplet::swarm

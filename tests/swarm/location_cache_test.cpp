@@ -1,0 +1,241 @@
+#include "swarm/location_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace naplet::swarm {
+namespace {
+
+using namespace std::chrono_literals;
+using agent::AgentId;
+using agent::LocationService;
+using agent::NodeInfo;
+
+NodeInfo node(const std::string& name) {
+  NodeInfo info;
+  info.server_name = name;
+  info.control = {name, 1};
+  info.redirector = {name, 2};
+  info.migration = {name, 3};
+  return info;
+}
+
+/// Counts every read that reaches the authority; the whole point of the
+/// cache is keeping these numbers small.
+class CountingLocationService : public LocationService {
+ public:
+  std::optional<NodeInfo> try_lookup(const AgentId& id) const override {
+    ++reads_;
+    return LocationService::try_lookup(id);
+  }
+  util::StatusOr<NodeInfo> lookup(const AgentId& id,
+                                  util::Duration timeout) const override {
+    ++reads_;
+    return LocationService::lookup(id, timeout);
+  }
+  util::StatusOr<NodeInfo> lookup_server(
+      const std::string& server_name) const override {
+    ++reads_;
+    return LocationService::lookup_server(server_name);
+  }
+
+  [[nodiscard]] std::uint64_t reads() const { return reads_; }
+
+ private:
+  mutable std::atomic<std::uint64_t> reads_{0};
+};
+
+class LocationCacheTest : public ::testing::Test {
+ protected:
+  LocationCacheTest() { config_.now_us = [this] { return now_us_; }; }
+
+  CachingLocationService make_cache() {
+    return CachingLocationService(backing_, config_, &registry_);
+  }
+
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const {
+    const obs::Snapshot snap = registry_.snapshot();
+    const obs::CounterSnapshot* c = snap.counter(name);
+    return c == nullptr ? 0 : c->value;
+  }
+
+  std::int64_t now_us_ = 1'000'000;
+  CountingLocationService backing_;
+  LocationCacheConfig config_;
+  obs::Registry registry_;
+};
+
+TEST_F(LocationCacheTest, HitWithinLeaseSkipsBacking) {
+  backing_.register_agent(AgentId("a"), node("host-1"));
+  CachingLocationService cache = make_cache();
+
+  auto first = cache.try_lookup(AgentId("a"));
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->server_name, "host-1");
+  EXPECT_EQ(backing_.reads(), 1u);
+
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(cache.try_lookup(AgentId("a")).has_value());
+  }
+  EXPECT_EQ(backing_.reads(), 1u);  // every repeat served from the lease
+  EXPECT_EQ(counter("loc_cache_hits"), 10u);
+  EXPECT_EQ(counter("loc_cache_misses"), 1u);
+}
+
+TEST_F(LocationCacheTest, LeaseExpiryForcesRefetch) {
+  backing_.register_agent(AgentId("a"), node("host-1"));
+  config_.positive_ttl = 500ms;
+  CachingLocationService cache = make_cache();
+
+  ASSERT_TRUE(cache.try_lookup(AgentId("a")).has_value());
+  // Remote churn the cache can't see: the agent moves via another process.
+  backing_.register_agent(AgentId("a"), node("host-2"));
+  // Within the lease the stale answer is served (bounded staleness)...
+  EXPECT_EQ(cache.try_lookup(AgentId("a"))->server_name, "host-1");
+  // ...and past it the entry is re-fetched, never served beyond its lease.
+  now_us_ += 500'001;
+  EXPECT_EQ(cache.try_lookup(AgentId("a"))->server_name, "host-2");
+  EXPECT_EQ(backing_.reads(), 2u);
+  EXPECT_EQ(counter("loc_cache_stale"), 1u);
+}
+
+TEST_F(LocationCacheTest, NegativeCacheAbsorbsRepeatedMisses) {
+  config_.negative_ttl = 50ms;
+  CachingLocationService cache = make_cache();
+
+  EXPECT_FALSE(cache.try_lookup(AgentId("ghost")).has_value());
+  EXPECT_EQ(backing_.reads(), 1u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(cache.try_lookup(AgentId("ghost")).has_value());
+  }
+  EXPECT_EQ(backing_.reads(), 1u);  // "known absent" until the TTL
+  EXPECT_EQ(counter("loc_cache_negative_hits"), 5u);
+
+  now_us_ += 50'001;
+  backing_.register_agent(AgentId("ghost"), node("host-9"));
+  auto found = cache.try_lookup(AgentId("ghost"));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->server_name, "host-9");
+}
+
+TEST_F(LocationCacheTest, BlockingLookupBypassesNegativeCache) {
+  CachingLocationService cache = make_cache();
+  EXPECT_FALSE(cache.try_lookup(AgentId("late")).has_value());  // negative
+
+  std::thread settler([&] {
+    std::this_thread::sleep_for(30ms);
+    backing_.register_agent(AgentId("late"), node("host-3"));
+  });
+  // A blocking lookup waits for the agent to APPEAR; a cached "absent"
+  // from a moment ago must not short-circuit it.
+  auto found = cache.lookup(AgentId("late"), 5s);
+  settler.join();
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->server_name, "host-3");
+}
+
+TEST_F(LocationCacheTest, OwnWritesInvalidateImmediately) {
+  backing_.register_agent(AgentId("a"), node("host-1"));
+  CachingLocationService cache = make_cache();
+  ASSERT_EQ(cache.try_lookup(AgentId("a"))->server_name, "host-1");
+
+  // A write THROUGH the cache must never be masked by its own cache,
+  // lease or not.
+  cache.register_agent(AgentId("a"), node("host-2"));
+  EXPECT_EQ(cache.try_lookup(AgentId("a"))->server_name, "host-2");
+  EXPECT_TRUE(backing_.known(AgentId("a")));
+
+  cache.begin_migration(AgentId("a"));
+  EXPECT_FALSE(cache.try_lookup(AgentId("a")).has_value());
+  EXPECT_TRUE(cache.known(AgentId("a")));  // in transit: known, not settled
+
+  cache.end_migration(AgentId("a"));
+  EXPECT_EQ(cache.try_lookup(AgentId("a"))->server_name, "host-2");
+
+  cache.deregister_agent(AgentId("a"));
+  EXPECT_FALSE(cache.try_lookup(AgentId("a")).has_value());
+  EXPECT_FALSE(cache.known(AgentId("a")));
+}
+
+TEST_F(LocationCacheTest, ServerLookupsAreCachedToo) {
+  backing_.register_server(node("alpha"));
+  CachingLocationService cache = make_cache();
+
+  ASSERT_TRUE(cache.lookup_server("alpha").ok());
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(cache.lookup_server("alpha").ok());
+  EXPECT_EQ(backing_.reads(), 1u);
+
+  // Negative server entries too.
+  EXPECT_FALSE(cache.lookup_server("missing").ok());
+  EXPECT_FALSE(cache.lookup_server("missing").ok());
+  EXPECT_EQ(backing_.reads(), 2u);
+
+  // Write-through invalidation.
+  cache.register_server(node("missing"));
+  now_us_ += 50'001;  // step past any lingering negative lease
+  EXPECT_TRUE(cache.lookup_server("missing").ok());
+
+  cache.deregister_server("alpha");
+  now_us_ += 500'001;
+  EXPECT_FALSE(cache.lookup_server("alpha").ok());
+}
+
+TEST_F(LocationCacheTest, FlushDropsEveryLease) {
+  backing_.register_agent(AgentId("a"), node("host-1"));
+  CachingLocationService cache = make_cache();
+  ASSERT_TRUE(cache.try_lookup(AgentId("a")).has_value());
+  EXPECT_EQ(backing_.reads(), 1u);
+
+  cache.flush();
+  ASSERT_TRUE(cache.try_lookup(AgentId("a")).has_value());
+  EXPECT_EQ(backing_.reads(), 2u);  // re-fetched after the flush
+}
+
+TEST_F(LocationCacheTest, SizeAndKnownConsultTheAuthority) {
+  backing_.register_agent(AgentId("a"), node("host-1"));
+  CachingLocationService cache = make_cache();
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.known(AgentId("a")));
+  backing_.register_agent(AgentId("b"), node("host-1"));
+  EXPECT_EQ(cache.size(), 2u);  // size is authoritative, never cached
+}
+
+TEST_F(LocationCacheTest, SingleFlightCollapsesConcurrentMisses) {
+  // A slow authority: the first fetch parks followers on the leader.
+  class SlowBacking : public CountingLocationService {
+   public:
+    std::optional<NodeInfo> try_lookup(const AgentId& id) const override {
+      std::this_thread::sleep_for(50ms);
+      return CountingLocationService::try_lookup(id);
+    }
+  };
+  SlowBacking slow;
+  slow.register_agent(AgentId("hot"), node("host-1"));
+  // Real clock here: the fake one isn't thread-safe.
+  CachingLocationService cache(slow, LocationCacheConfig{}, &registry_);
+
+  constexpr int kThreads = 8;
+  std::atomic<int> found{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&] {
+      if (cache.try_lookup(AgentId("hot")).has_value()) ++found;
+    });
+  }
+  for (auto& r : readers) r.join();
+
+  EXPECT_EQ(found.load(), kThreads);
+  // One backing fetch total: everyone else coalesced behind the leader.
+  EXPECT_EQ(slow.reads(), 1u);
+  EXPECT_EQ(counter("loc_cache_misses"), 1u);
+  EXPECT_GE(counter("loc_cache_coalesced"), 1u);
+}
+
+}  // namespace
+}  // namespace naplet::swarm

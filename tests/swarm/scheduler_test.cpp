@@ -1,0 +1,362 @@
+#include "swarm/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "agent/itinerary.hpp"
+#include "fault/fault.hpp"
+#include "swarm/batch.hpp"
+
+namespace naplet::swarm {
+namespace {
+
+using agent::AgentId;
+
+AgentPlan plan_to(const std::string& name, const std::string& dest) {
+  return AgentPlan{AgentId(name), dest};
+}
+
+/// Completes every stage synchronously; per-(stage, destination) failure
+/// budgets make a stage fail its first N calls.
+class InlineExecutor : public StageExecutor {
+ public:
+  void serialize(const MigrationBatch& batch, Done done) override {
+    finish("serialize", batch, std::move(done));
+  }
+  void transfer(const MigrationBatch& batch, Done done) override {
+    finish("transfer", batch, std::move(done));
+  }
+  void reactivate(const MigrationBatch& batch, Done done) override {
+    finish("reactivate", batch, std::move(done));
+  }
+
+  void fail_next(const std::string& stage, const std::string& dest,
+                 int times) {
+    failures_[{stage, dest}] = times;
+  }
+
+  [[nodiscard]] int calls(const std::string& stage) const {
+    auto it = calls_.find(stage);
+    return it == calls_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] const std::vector<std::string>& reactivated_dests() const {
+    return reactivated_dests_;
+  }
+
+ private:
+  void finish(const std::string& stage, const MigrationBatch& batch,
+              Done done) {
+    ++calls_[stage];
+    if (stage == "reactivate") reactivated_dests_.push_back(batch.destination);
+    auto it = failures_.find({stage, batch.destination});
+    if (it != failures_.end() && it->second > 0) {
+      --it->second;
+      done(util::Unavailable("scripted " + stage + " failure"));
+      return;
+    }
+    done(util::OkStatus());
+  }
+
+  std::map<std::pair<std::string, std::string>, int> failures_;
+  std::map<std::string, int> calls_;
+  std::vector<std::string> reactivated_dests_;
+};
+
+/// Parks every Done for the test to release one at a time — makes the
+/// stage capacity limits directly observable.
+class ManualExecutor : public StageExecutor {
+ public:
+  struct Call {
+    MigrationBatch batch;
+    Done done;
+  };
+
+  void serialize(const MigrationBatch& batch, Done done) override {
+    serialize_calls.push_back(Call{batch, std::move(done)});
+  }
+  void transfer(const MigrationBatch& batch, Done done) override {
+    transfer_calls.push_back(Call{batch, std::move(done)});
+  }
+  void reactivate(const MigrationBatch& batch, Done done) override {
+    reactivate_calls.push_back(Call{batch, std::move(done)});
+  }
+
+  /// Complete the next parked call of `calls`; false when none is parked.
+  /// The completion re-enters the scheduler, which may synchronously park
+  /// more calls — index cursors (not iterators) keep that safe.
+  bool release(std::vector<Call>& calls, std::size_t& cursor) {
+    if (cursor >= calls.size()) return false;
+    Done done = std::move(calls[cursor].done);
+    ++cursor;
+    done(util::OkStatus());
+    return true;
+  }
+
+  std::vector<Call> serialize_calls;
+  std::vector<Call> transfer_calls;
+  std::vector<Call> reactivate_calls;
+};
+
+TEST(MigrationSchedulerPlan, GroupsByDestinationAndSplits) {
+  InlineExecutor exec;
+  SchedulerConfig config;
+  config.max_batch = 2;
+  MigrationScheduler sched(config, exec);
+
+  const std::vector<AgentPlan> plans = {
+      plan_to("a1", "east"), plan_to("b1", "west"), plan_to("a2", "east"),
+      plan_to("a3", "east"), plan_to("b2", "west"),
+  };
+  const std::vector<MigrationBatch> batches = sched.plan(plans);
+
+  ASSERT_EQ(batches.size(), 3u);
+  // Destinations appear in first-appearance order; east (3 agents) splits
+  // into 2 + 1, plan order preserved within each.
+  EXPECT_EQ(batches[0].destination, "east");
+  ASSERT_EQ(batches[0].agents.size(), 2u);
+  EXPECT_EQ(batches[0].agents[0].name(), "a1");
+  EXPECT_EQ(batches[0].agents[1].name(), "a2");
+  EXPECT_EQ(batches[1].destination, "east");
+  ASSERT_EQ(batches[1].agents.size(), 1u);
+  EXPECT_EQ(batches[1].agents[0].name(), "a3");
+  EXPECT_EQ(batches[2].destination, "west");
+  ASSERT_EQ(batches[2].agents.size(), 2u);
+  // Batch ids are dense from 1.
+  EXPECT_EQ(batches[0].batch_id, 1u);
+  EXPECT_EQ(batches[2].batch_id, 3u);
+}
+
+TEST(MigrationSchedulerPlan, FromItinerariesSkipsExhausted) {
+  std::vector<std::pair<AgentId, agent::Itinerary>> fleet;
+  fleet.emplace_back(AgentId("goer"), agent::Itinerary({"north"}));
+  fleet.emplace_back(AgentId("stayer"), agent::Itinerary());  // exhausted
+  fleet.emplace_back(AgentId("looper"),
+                     agent::Itinerary({"north", "south"}, /*loop=*/true));
+
+  const std::vector<AgentPlan> plans = plans_of(fleet);
+  ASSERT_EQ(plans.size(), 2u);
+  EXPECT_EQ(plans[0].id.name(), "goer");
+  EXPECT_EQ(plans[0].destination, "north");
+  EXPECT_EQ(plans[1].id.name(), "looper");
+  EXPECT_EQ(plans[1].destination, "north");
+}
+
+TEST(MigrationScheduler, PipelineCompletesWithInlineExecutor) {
+  InlineExecutor exec;
+  obs::Registry registry;
+  SchedulerConfig config;
+  config.max_batch = 3;
+  MigrationScheduler sched(config, exec, &registry);
+
+  std::vector<AgentPlan> plans;
+  for (int i = 0; i < 7; ++i) {
+    plans.push_back(plan_to("e" + std::to_string(i), "east"));
+  }
+  plans.push_back(plan_to("w0", "west"));
+
+  bool done_fired = false;
+  sched.run(plans, [&] { done_fired = true; });
+
+  // Inline executor: everything settles before run() returns.
+  EXPECT_TRUE(done_fired);
+  ASSERT_TRUE(sched.wait(std::chrono::seconds(0)));
+  const SchedulerReport report = sched.report();
+  EXPECT_EQ(report.agents, 8u);
+  EXPECT_EQ(report.migrated, 8u);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.batches, 4u);  // east 3+3+1, west 1
+  // Coalesced: one redirector exchange per batch, not per agent.
+  EXPECT_EQ(report.handoff_exchanges, 4u);
+  EXPECT_EQ(exec.calls("serialize"), 4);
+  EXPECT_EQ(exec.calls("transfer"), 4);
+  EXPECT_EQ(exec.calls("reactivate"), 4);
+
+  const obs::Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter("swarm_agents_migrated")->value, 8u);
+  EXPECT_EQ(snap.counter("swarm_handoff_exchanges")->value, 4u);
+  EXPECT_EQ(snap.histogram("swarm_batch_fill")->count, 4u);
+}
+
+TEST(MigrationScheduler, PerAgentExchangesWithoutCoalescing) {
+  InlineExecutor exec;
+  SchedulerConfig config;
+  config.max_batch = 4;
+  config.coalesce_handoffs = false;
+  MigrationScheduler sched(config, exec);
+
+  std::vector<AgentPlan> plans;
+  for (int i = 0; i < 4; ++i) {
+    plans.push_back(plan_to("a" + std::to_string(i), "east"));
+  }
+  sched.run(plans);
+  EXPECT_EQ(sched.report().handoff_exchanges, 4u);  // one per agent
+}
+
+TEST(MigrationScheduler, RetriesFailedStageThenSucceeds) {
+  InlineExecutor exec;
+  exec.fail_next("transfer", "east", 1);
+  SchedulerConfig config;
+  config.max_attempts = 3;
+  MigrationScheduler sched(config, exec);
+
+  sched.run({plan_to("a", "east"), plan_to("b", "east")});
+  const SchedulerReport report = sched.report();
+  EXPECT_EQ(report.migrated, 2u);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(exec.calls("transfer"), 2);  // failed once, retried once
+  EXPECT_EQ(exec.calls("serialize"), 1);  // retry re-enters at the SAME stage
+}
+
+TEST(MigrationScheduler, FailsBatchAfterMaxAttempts) {
+  InlineExecutor exec;
+  exec.fail_next("serialize", "doomed", 99);
+  SchedulerConfig config;
+  config.max_attempts = 3;
+  MigrationScheduler sched(config, exec);
+
+  sched.run({plan_to("a", "doomed"), plan_to("b", "doomed"),
+             plan_to("c", "fine")});
+  const SchedulerReport report = sched.report();
+  EXPECT_EQ(report.failed, 2u);
+  EXPECT_EQ(report.migrated, 1u);
+  EXPECT_EQ(exec.calls("serialize"), 4);  // 3 attempts doomed + 1 fine
+}
+
+class MigrationSchedulerFaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::Injector::instance().disarm(); }
+};
+
+TEST_F(MigrationSchedulerFaultTest, AdmissionRefusalSplitsToFallback) {
+  fault::Plan plan;
+  fault::Rule rule;
+  rule.site = "swarm.batch.admit";
+  rule.hit = 1;
+  rule.count = 1;
+  rule.action = fault::Action::kError;
+  plan.rules.push_back(rule);
+  fault::Injector::instance().arm(plan);
+
+  InlineExecutor exec;
+  SchedulerConfig config;
+  config.max_batch = 4;
+  config.fallback_destination = "spare";
+  MigrationScheduler sched(config, exec);
+
+  sched.run({plan_to("a", "busy"), plan_to("b", "busy"),
+             plan_to("c", "busy"), plan_to("d", "busy")});
+  const SchedulerReport report = sched.report();
+  // The refused 4-agent batch sheds its rear half to the fallback; the
+  // front half retries the original destination. Nobody is lost.
+  EXPECT_EQ(report.migrated, 4u);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.rerouted, 2u);
+  EXPECT_EQ(report.batches, 2u);
+  bool saw_spare = false;
+  for (const std::string& dest : exec.reactivated_dests()) {
+    if (dest == "spare") saw_spare = true;
+  }
+  EXPECT_TRUE(saw_spare);
+}
+
+TEST_F(MigrationSchedulerFaultTest, RepeatedRefusalWithoutFallbackFails) {
+  fault::Plan plan;
+  fault::Rule rule;
+  rule.site = "swarm.batch.admit";
+  rule.hit = 1;
+  rule.count = 99;  // every admission refused
+  rule.action = fault::Action::kError;
+  plan.rules.push_back(rule);
+  fault::Injector::instance().arm(plan);
+
+  InlineExecutor exec;
+  SchedulerConfig config;
+  config.max_attempts = 3;
+  MigrationScheduler sched(config, exec);
+
+  sched.run({plan_to("a", "busy"), plan_to("b", "busy")});
+  const SchedulerReport report = sched.report();
+  EXPECT_EQ(report.failed, 2u);
+  EXPECT_EQ(report.migrated, 0u);
+  EXPECT_EQ(report.rerouted, 0u);
+}
+
+TEST(MigrationScheduler, StageSlotsBoundInFlightWork) {
+  ManualExecutor exec;
+  SchedulerConfig config;
+  config.max_batch = 1;  // 6 agents -> 6 single-agent batches
+  config.serialize_slots = 2;
+  config.transfer_slots = 1;
+  config.per_destination_admission = 1;
+  MigrationScheduler sched(config, exec);
+
+  std::vector<AgentPlan> plans;
+  for (int i = 0; i < 6; ++i) {
+    plans.push_back(plan_to("a" + std::to_string(i), "east"));
+  }
+  sched.run(plans);
+
+  // Only serialize_slots batches are in the executor; the rest queue.
+  EXPECT_EQ(exec.serialize_calls.size(), 2u);
+  EXPECT_TRUE(exec.transfer_calls.empty());
+
+  std::size_t s_cursor = 0;
+  std::size_t t_cursor = 0;
+  std::size_t r_cursor = 0;
+  ASSERT_TRUE(exec.release(exec.serialize_calls, s_cursor));
+  ASSERT_TRUE(exec.release(exec.serialize_calls, s_cursor));
+  // Completions backfill serialize up to its slots and feed transfer,
+  // which admits exactly one batch (transfer_slots = 1).
+  EXPECT_EQ(exec.serialize_calls.size(), 4u);
+  EXPECT_EQ(exec.transfer_calls.size(), 1u);
+
+  while (s_cursor < exec.serialize_calls.size()) {
+    ASSERT_TRUE(exec.release(exec.serialize_calls, s_cursor));
+  }
+  EXPECT_EQ(exec.serialize_calls.size(), 6u);
+  // One destination, admission 1: at most one reactivate outstanding.
+  while (sched.report().migrated < 6u) {
+    if (exec.release(exec.reactivate_calls, r_cursor)) {
+      EXPECT_LE(exec.reactivate_calls.size() - r_cursor, 1u);
+      continue;
+    }
+    ASSERT_TRUE(exec.release(exec.transfer_calls, t_cursor))
+        << "pipeline stalled with " << sched.report().migrated
+        << " agents migrated";
+    EXPECT_LE(exec.transfer_calls.size() - t_cursor, 1u);
+  }
+  ASSERT_TRUE(sched.wait(std::chrono::seconds(0)));
+  EXPECT_EQ(sched.report().migrated, 6u);
+}
+
+TEST(MigrationScheduler, WaitTimesOutWhileParked) {
+  ManualExecutor exec;
+  MigrationScheduler sched(SchedulerConfig{}, exec);
+  sched.run({plan_to("a", "east")});
+  EXPECT_FALSE(sched.wait(std::chrono::milliseconds(20)));
+
+  std::size_t s = 0;
+  std::size_t t = 0;
+  std::size_t r = 0;
+  ASSERT_TRUE(exec.release(exec.serialize_calls, s));
+  ASSERT_TRUE(exec.release(exec.transfer_calls, t));
+  ASSERT_TRUE(exec.release(exec.reactivate_calls, r));
+  EXPECT_TRUE(sched.wait(std::chrono::seconds(1)));
+}
+
+TEST(MigrationScheduler, EmptyPlanFinishesImmediately) {
+  InlineExecutor exec;
+  MigrationScheduler sched(SchedulerConfig{}, exec);
+  bool done_fired = false;
+  sched.run({}, [&] { done_fired = true; });
+  EXPECT_TRUE(done_fired);
+  EXPECT_TRUE(sched.wait(std::chrono::seconds(0)));
+  EXPECT_EQ(sched.report().agents, 0u);
+}
+
+}  // namespace
+}  // namespace naplet::swarm

@@ -20,6 +20,11 @@
 //   chaos_runner --scenario 4 --no-recovery  the control: same crash, all
 //                                            recovery off — must fail
 //                                            cleanly, not hang
+//   chaos_runner --scenario 6 --seed 5       swarm scenario (6 = host
+//                                            drain under a healing
+//                                            partition, 7 = cascading
+//                                            rebalance off a refused
+//                                            batch admission)
 //   chaos_runner --list-sites                print every injection site
 //
 // Every failure line carries the seed that reproduces it. Exit code is the
@@ -38,7 +43,7 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--runs N] [--light] [--plan RULES]\n"
-               "          [--scenario 0..5] [--no-recovery] [--plant-dup]\n"
+               "          [--scenario 0..7] [--no-recovery] [--plant-dup]\n"
                "          [--minimize] [--list-sites] [--verbose]\n",
                argv0);
 }
@@ -108,11 +113,17 @@ int main(int argc, char** argv) {
     const bool crash =
         scenario >= 0 && naplet::fault::is_crash_scenario(
                              static_cast<naplet::fault::Scenario>(scenario));
+    const bool swarm =
+        scenario >= 0 && naplet::fault::is_swarm_scenario(
+                             static_cast<naplet::fault::Scenario>(scenario));
     naplet::fault::ChaosCase chaos_case =
         crash ? naplet::fault::make_crash_case(
                     case_seed, static_cast<naplet::fault::Scenario>(scenario),
                     light, recovery)
-              : naplet::fault::generate_case(case_seed, light);
+        : swarm ? naplet::fault::make_swarm_case(
+                      case_seed,
+                      static_cast<naplet::fault::Scenario>(scenario), light)
+                : naplet::fault::generate_case(case_seed, light);
     if (!plan_text.empty()) {
       auto parsed = naplet::fault::Plan::parse(plan_text);
       if (!parsed.ok()) {
@@ -123,7 +134,7 @@ int main(int argc, char** argv) {
       chaos_case.plan = std::move(*parsed);
       chaos_case.plan.seed = case_seed;
     }
-    if (scenario >= 0 && !crash) {
+    if (scenario >= 0 && !crash && !swarm) {
       chaos_case.scenario =
           static_cast<naplet::fault::Scenario>(scenario);
     }
