@@ -9,9 +9,14 @@
 #      + pinned-seed crash-restart smoke (recovery on and off)
 #      + pinned-seed swarm smoke       (drain under partition, cascading
 #                                       rebalance)
+#      + explicit `ctest -L group`     (checkpoint-barrier unit tests, the
+#                                       whole-agent sweep, pinned group
+#                                       chaos scenarios 8/9)
 #      + loss-sweep bench smoke        (fast-mode JSON, parsed + shape-checked)
 #      + fleet-rebalance bench smoke   (fast-mode JSON: batching and caching
 #                                       ratios shape-checked)
+#      + group-suspend bench smoke     (fast-mode JSON: makespan + per-phase
+#                                       percentiles for 1/8/64-member agents)
 #   2. Sanitize build + full ctest    (ASan + UBSan)
 #      + explicit `ctest -L net`
 #   3. Tsan build + `ctest -L tsan`   (pinned light concurrency sweep)
@@ -20,6 +25,7 @@
 #      + `ctest -L obs`              (observability suite under TSan)
 #      + `ctest -L net`              (the rudp transport under TSan)
 #      + `ctest -L swarm`            (swarm pipeline + smoke under TSan)
+#      + `ctest -L group`            (group barrier + sweep under TSan)
 #   4. naplet-analyze gate            (lock-order graph, annotation
 #      coverage, invariant registries; registry_check is dependency-free
 #      and always runs, the optional libTooling cross-check only when the
@@ -81,6 +87,9 @@ for scenario in 6 7; do
     --seed 5 --scenario "$scenario" --light
 done
 
+note "group-suspend suite (ctest -L group, Debug)"
+ctest --test-dir build-debug -L group --output-on-failure -j "$JOBS"
+
 note "loss-sweep bench smoke (fast mode, JSON parsed)"
 if command -v python3 >/dev/null 2>&1; then
   (cd build-debug/bench && NAPLET_BENCH_FAST=1 ./ext_failure_recovery --json \
@@ -131,6 +140,35 @@ else
   skip "python3 not installed (fleet-rebalance JSON parse)"
 fi
 
+note "group-suspend bench smoke (fast mode, makespan + phase percentiles)"
+# The binary shape-checks itself (no rollbacks, 64-member sweep beats the
+# serial bound); the JSON parse confirms every agent size carries a
+# makespan distribution and per-phase p50/p95/p99.
+(cd build-debug/bench && NAPLET_BENCH_FAST=1 ./ops_group_suspend --json)
+if command -v python3 >/dev/null 2>&1; then
+  python3 - build-debug/bench/BENCH_ops_group_suspend.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+agents = data["agents"]
+assert [a["connections"] for a in agents] == [1, 8, 64], "agent sizes wrong"
+for a in agents:
+    assert a["rollbacks"] == 0, f"{a['connections']}-conn sweep rolled back"
+    for span in ("prepare_makespan", "resume_makespan"):
+        for key in ("mean_ms", "p50_ms", "p95_ms", "p99_ms"):
+            assert a[span][key] > 0, f"{a['connections']}-conn {span}.{key} missing"
+    for phase in ("group_prepare", "group_commit", "group_suspend"):
+        assert a[phase]["count"] > 0, f"{a['connections']}-conn {phase} never recorded"
+        assert a[phase]["p99_us"] >= a[phase]["p50_us"] > 0, \
+            f"{a['connections']}-conn {phase} percentiles malformed"
+print("group-suspend JSON ok:", ", ".join(
+    f"{a['connections']}c prepare p95 {a['prepare_makespan']['p95_ms']:.2f}ms"
+    for a in agents))
+EOF
+else
+  skip "python3 not installed (group-suspend JSON parse)"
+fi
+
 if [ "$SKIP_SANITIZE" -eq 0 ]; then
   note "Sanitize build (ASan + UBSan)"
   cmake --preset sanitize >/dev/null
@@ -151,6 +189,7 @@ if [ "$SKIP_TSAN" -eq 0 ]; then
   ctest --test-dir build-tsan -L recovery --output-on-failure -j "$JOBS"
   ctest --test-dir build-tsan -L obs --output-on-failure -j "$JOBS"
   ctest --test-dir build-tsan -L swarm --output-on-failure -j "$JOBS"
+  ctest --test-dir build-tsan -L group --output-on-failure -j "$JOBS"
   # The `net` test has no per-test TSAN env property (it also runs in
   # non-TSan builds), so supply the suppressions here.
   NAPLET_TSAN_LIGHT=1 \

@@ -15,9 +15,13 @@
 //  * the ConnectionMigrator hooks the docking system calls around hops.
 #pragma once
 
+#include <initializer_list>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "agent/agent_server.hpp"
 #include "core/redirector.hpp"
@@ -25,6 +29,7 @@
 #include "core/stats.hpp"
 #include "core/wire.hpp"
 #include "crypto/dh.hpp"
+#include "group/coordinator.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "recovery/journal.hpp"
@@ -84,6 +89,15 @@ struct ControllerConfig {
   /// data stream is still healthy, roll back to ESTABLISHED instead of the
   /// fail-safe local suspension.
   bool suspend_rollback = false;
+  /// Atomic whole-agent group suspend: prepare_migration sweeps ALL of an
+  /// agent's established connections into SUSPENDED behind one barrier
+  /// (consistent cross-connection cut) with a two-phase journal commit and
+  /// full-group rollback on any member failure. Off = the paper's serial
+  /// §3.2 sweep.
+  bool group_suspend = false;
+  /// Phase-1 bound: how long the group coordinator waits for every member
+  /// to reach the barrier before failing the whole group.
+  util::Duration group_prepare_timeout{std::chrono::seconds(8)};
 
   util::Duration ctrl_response_timeout{std::chrono::seconds(5)};
   util::Duration connect_timeout{std::chrono::seconds(5)};
@@ -151,6 +165,22 @@ class SocketController final : public agent::ConnectionMigrator {
   util::Status resume(const SessionPtr& session);
   /// Close from ESTABLISHED or SUSPENDED.
   util::Status close(const SessionPtr& session);
+
+  /// Atomic whole-agent group suspend (the group_suspend config path,
+  /// also reachable directly): sweep every established connection of `id`
+  /// into SUSPENDED as one barrier operation with a two-phase journal
+  /// commit. On any member failure the ENTIRE group rolls back to
+  /// ESTABLISHED with blocked senders/receivers woken. Public so tests
+  /// and tools can drive the group path without a full migration.
+  util::Status group_suspend(const agent::AgentId& id);
+
+  /// In-flight group-suspend registry (tests: barrier/cancel visibility).
+  [[nodiscard]] group::GroupSuspendCoordinator& group_coordinator() {
+    return group_coordinator_;
+  }
+  [[nodiscard]] std::uint64_t group_rollbacks() const {
+    return group_rollbacks_.value();
+  }
 
   /// Crash-recovery extension: replay the durable journal after a restart.
   /// Every recorded session is reconstructed in SUSPENDED with its sealed
@@ -292,6 +322,36 @@ class SocketController final : public agent::ConnectionMigrator {
   /// One resume attempt (the paper's single-shot flow).
   util::Status do_resume_once(const SessionPtr& session);
 
+  // Group-suspend internals (controller_group.cpp).
+  /// The whole sweep: freeze members, run phase 1 workers, then commit or
+  /// roll back. Called with the agent already marked migrating.
+  util::Status group_suspend_sweep(const agent::AgentId& id,
+                                   const std::vector<SessionPtr>& members);
+  /// Phase-1 worker body for one member: send SUS with the group id, wait
+  /// for the ack, drain to the peer's mark, arrive at the barrier.
+  util::Status group_prepare_member(const SessionPtr& session,
+                                    const std::shared_ptr<group::GroupBarrier>&
+                                        barrier);
+  /// Roll the entire group back after a phase-1 failure or commit abort.
+  void group_rollback(const std::vector<SessionPtr>& members,
+                      std::uint64_t group_id, const std::string& reason);
+  /// Peer side of the consistent cut: on the first SUS carrying a group
+  /// id, pre-freeze every OTHER established session facing the migrating
+  /// agent so nothing written after the first member's cut can slip into
+  /// a later member's buffer. A watchdog reverts orphaned pre-freezes.
+  void group_freeze_inbound(const SessionPtr& trigger, const CtrlMsg& msg);
+  /// Watchdog body: revert still-pre-frozen sessions of `peer_agent` to
+  /// ESTABLISHED if their own group SUS never arrives within the bound.
+  void group_prefreeze_watchdog(std::string peer_agent,
+                                std::vector<std::uint64_t> conn_ids);
+
+  /// Wait on session.responses() for one of `want`, discarding stale
+  /// response types. Shared by the suspend/close/resume waiters in
+  /// controller_ops.cpp and the group prepare workers.
+  static std::optional<Session::CtrlResponse> wait_response(
+      Session& session, std::initializer_list<CtrlType> want,
+      util::Duration timeout);
+
   // Crash-recovery extension internals.
   /// Journal the session's current state at a protocol commit point.
   void journal_commit(recovery::CommitPoint point, const SessionPtr& session);
@@ -346,6 +406,21 @@ class SocketController final : public agent::ConnectionMigrator {
       NAPLET_GUARDED_BY(mu_);
   std::set<agent::AgentId> migrating_agents_ NAPLET_GUARDED_BY(mu_);
 
+  // Group-suspend state. The coordinator registry is internally
+  // synchronized (ranks 7/9, below mu_'s 10 — group code always releases
+  // them before touching controller state). Watchdog threads revert
+  // orphaned peer-side pre-freezes; finished entries are reaped on the
+  // next spawn and all are joined in stop().
+  group::GroupSuspendCoordinator group_coordinator_ NAPLET_NOT_GUARDED(
+      "internally synchronized behind its own rank-7 registry mutex");
+  struct PrefreezeWatchdog {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::vector<PrefreezeWatchdog> prefreeze_watchdogs_ NAPLET_GUARDED_BY(mu_);
+  /// Monotonic group-id source (combined with the epoch on the wire).
+  std::atomic<std::uint64_t> next_group_id_{1};
+
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
   obs::Counter& mac_rejections_;
@@ -370,6 +445,7 @@ class SocketController final : public agent::ConnectionMigrator {
   obs::Counter& sessions_recovered_;
   obs::Counter& resume_retries_;
   obs::Counter& epoch_fenced_;
+  obs::Counter& group_rollbacks_;
 
   // Latency / size distributions (paper §4.2 phases + the extensions).
   obs::Histogram& hist_suspend_us_;
@@ -383,6 +459,13 @@ class SocketController final : public agent::ConnectionMigrator {
   obs::Histogram& hist_connect_key_exchange_us_;
   obs::Histogram& hist_connect_handshake_us_;
   obs::Histogram& hist_connect_open_us_;
+  // Group-suspend phase breakdown (prepare = SUS fan-out to barrier,
+  // commit = journal pair, rollback = full-group revert, suspend = whole
+  // group_suspend() makespan).
+  obs::Histogram& hist_group_prepare_us_;
+  obs::Histogram& hist_group_commit_us_;
+  obs::Histogram& hist_group_rollback_us_;
+  obs::Histogram& hist_group_suspend_us_;
 };
 
 }  // namespace naplet::nsock

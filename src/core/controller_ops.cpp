@@ -5,6 +5,7 @@
 
 #include "core/controller.hpp"
 #include "crypto/random.hpp"
+#include "fault/fault.hpp"
 #include "net/frame.hpp"
 #include "util/log.hpp"
 
@@ -17,7 +18,17 @@ constexpr util::Duration kStatePollSlice = std::chrono::milliseconds(50);
 
 std::int64_t now_us() { return util::RealClock::instance().now_us(); }
 
-std::optional<Session::CtrlResponse> wait_response(
+bool verify_session_mac(Session& session, const CtrlMsg& msg) {
+  const util::Bytes payload = msg.mac_payload();
+  return verify_mac(util::ByteSpan(session.session_key().data(),
+                                   session.session_key().size()),
+                    util::ByteSpan(payload.data(), payload.size()),
+                    util::ByteSpan(msg.mac.data(), msg.mac.size()));
+}
+
+}  // namespace
+
+std::optional<Session::CtrlResponse> SocketController::wait_response(
     Session& session, std::initializer_list<CtrlType> want,
     util::Duration timeout) {
   const std::int64_t deadline = now_us() + timeout.count();
@@ -34,16 +45,6 @@ std::optional<Session::CtrlResponse> wait_response(
         << static_cast<int>(resp->type);
   }
 }
-
-bool verify_session_mac(Session& session, const CtrlMsg& msg) {
-  const util::Bytes payload = msg.mac_payload();
-  return verify_mac(util::ByteSpan(session.session_key().data(),
-                                   session.session_key().size()),
-                    util::ByteSpan(payload.data(), payload.size()),
-                    util::ByteSpan(msg.mac.data(), msg.mac.size()));
-}
-
-}  // namespace
 
 // ===========================================================================
 // Suspension — active side
@@ -257,6 +258,19 @@ void SocketController::handle_sus(CtrlMsg msg) {
   const ConnState st = session->state();
   switch (st) {
     case ConnState::kEstablished: {
+      if (msg.group_id != 0) {
+        // Group-suspend prepare: the peer is sweeping its whole agent.
+        // A refusal here (injected or policy) vetoes the ENTIRE group —
+        // the coordinator rolls every member back (chaos scenario 9).
+        const fault::Decision d = fault::hit("ctrl.group.prepare");
+        if (d.action == fault::Action::kError ||
+            d.action == fault::Action::kKill) {
+          reply.type = CtrlType::kReject;
+          reply.reason = "fault: group prepare refused";
+          (void)send_session_ctrl(msg.node.control, reply, *session);
+          return;
+        }
+      }
       // Normal passive suspension (paper §2.2).
       (void)session->advance(ConnEvent::kRecvSus);  // -> SUS_ACKED
       const std::uint64_t mark = session->freeze_writes_and_mark();
@@ -264,6 +278,11 @@ void SocketController::handle_sus(CtrlMsg msg) {
         f.remote_suspended = true;
         f.peer_declared_seq = msg.sent_seq;
       });
+      // Consistent cut: before acknowledging the FIRST member of a group
+      // sweep, freeze every OTHER established session facing the
+      // migrating agent, so no later member's buffer can contain data the
+      // application produced after this member's cut point.
+      if (msg.group_id != 0) group_freeze_inbound(session, msg);
       reply.type = CtrlType::kSusAck;
       reply.sent_seq = mark;
       (void)send_session_ctrl(msg.node.control, reply, *session);
@@ -300,7 +319,24 @@ void SocketController::handle_sus(CtrlMsg msg) {
       return;
     }
 
-    case ConnState::kSusAcked:
+    case ConnState::kSusAcked: {
+      // Pre-frozen group member: group_freeze_inbound froze this session
+      // ahead of its own SUS (consistent cut). That SUS has now arrived —
+      // acknowledge with the pre-freeze mark and complete the passive
+      // suspension that was deferred until the peer actually asked.
+      if (session->flags().group_prefrozen) {
+        session->update_flags([&](Session::Flags& f) {
+          f.group_prefrozen = false;
+          f.peer_declared_seq = msg.sent_seq;
+        });
+        reply.type = CtrlType::kSusAck;
+        reply.sent_seq = session->sent_seq();
+        (void)send_session_ctrl(msg.node.control, reply, *session);
+        finish_passive_suspend(session, msg.sent_seq);
+        return;
+      }
+      [[fallthrough]];
+    }
     case ConnState::kSuspended:
     case ConnState::kSuspendWait: {
       // Duplicate SUS (a lost ACK was retransmitted around): re-acknowledge.
@@ -874,6 +910,10 @@ void SocketController::handle_cls(CtrlMsg msg) {
 // ConnectionMigrator (docking-system hooks)
 
 util::Status SocketController::prepare_migration(const agent::AgentId& id) {
+  // Atomic whole-agent sweep: every established connection suspends
+  // behind one barrier with a two-phase journal commit, instead of the
+  // serial one-at-a-time walk below.
+  if (config_.group_suspend) return group_suspend(id);
   {
     util::MutexLock lock(mu_);
     migrating_agents_.insert(id);

@@ -80,6 +80,7 @@ util::Bytes CtrlMsg::mac_payload() const {
   w.u64(trace_id);
   w.u64(verifier);
   w.u64(sent_seq);
+  w.u64(group_id);
   w.str(client_agent);
   w.str(server_agent);
   write_node(w, node);
@@ -124,6 +125,9 @@ util::StatusOr<CtrlMsg> CtrlMsg::decode(util::ByteSpan data) {
   auto sent_seq = r.u64();
   if (!sent_seq.ok()) return sent_seq.status();
   msg.sent_seq = *sent_seq;
+  auto group_id = r.u64();
+  if (!group_id.ok()) return group_id.status();
+  msg.group_id = *group_id;
 
   auto client_agent = r.str();
   if (!client_agent.ok()) return client_agent.status();

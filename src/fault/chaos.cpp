@@ -1,5 +1,6 @@
 #include "fault/chaos.hpp"
 
+#include <atomic>
 #include <filesystem>
 #include <sstream>
 #include <thread>
@@ -165,6 +166,8 @@ std::string_view to_string(Scenario scenario) noexcept {
     case Scenario::kCrashDouble: return "crash-double";
     case Scenario::kDrainPartition: return "drain-partition";
     case Scenario::kCascadeRebalance: return "cascade-rebalance";
+    case Scenario::kGroupCrashCommit: return "group-crash-commit";
+    case Scenario::kGroupPeerRefusal: return "group-peer-refusal";
   }
   return "?";
 }
@@ -244,6 +247,32 @@ ChaosCase make_swarm_case(std::uint64_t seed, Scenario scenario, bool light) {
     rule.hit = 1;
     rule.action = Action::kError;
   }
+  rule.count = 1;
+  chaos_case.plan.rules.push_back(rule);
+  return chaos_case;
+}
+
+ChaosCase make_group_case(std::uint64_t seed, Scenario scenario, bool light) {
+  ChaosCase chaos_case;
+  chaos_case.seed = seed;
+  chaos_case.scenario = scenario;
+  chaos_case.forward_msgs = light ? 4 : 8;
+  chaos_case.reverse_msgs = light ? 3 : 6;
+  chaos_case.plan.seed = seed;
+  Rule rule;
+  if (scenario == Scenario::kGroupCrashCommit) {
+    // Kill the mover's controller in the window between the group-prepare
+    // and group-commit journal records; recovery must resolve the whole
+    // group one way (roll forward: every peer already sealed).
+    rule.site = "ctrl.group.commit";
+    rule.action = Action::kKill;
+  } else {
+    // The first group SUS the peer host processes is refused; the
+    // coordinator must roll the ENTIRE group back under send load.
+    rule.site = "ctrl.group.prepare";
+    rule.action = Action::kError;
+  }
+  rule.hit = 1;
   rule.count = 1;
   chaos_case.plan.rules.push_back(rule);
   return chaos_case;
@@ -848,9 +877,414 @@ ChaosResult run_swarm_case(const ChaosCase& chaos_case) {
   return result;
 }
 
+/// Node config for group cases: the group sweep itself plus
+/// recovery-grade patience (the rollback resumes acknowledged members
+/// through the redirector). Only the mover's host (chaos0) carries a
+/// journal, and only the crash scenario needs one.
+nsock::NodeConfig group_node_config(const ChaosCase& chaos_case, int i,
+                                    const std::string& durable_dir) {
+  nsock::NodeConfig config;
+  config.controller.security = false;
+  config.server.rudp_config.retransmit_interval = 15ms;
+  config.server.rudp_config.max_attempts = 40;
+  config.server.rudp_config.jitter_seed = chaos_case.seed * 3 + i + 1;
+  config.server.rudp_config.repair = net::LossRepair::kXorFec;
+  config.controller.ctrl_response_timeout = 1s;
+  config.controller.drain_timeout = 1s;
+  config.controller.group_suspend = true;
+  config.controller.group_prepare_timeout = 3s;
+  config.controller.suspend_rollback = true;
+  config.controller.resume_max_attempts = 25;
+  config.controller.resume_retry_backoff = 50ms;
+  config.controller.resume_retry_cap = 400ms;
+  config.controller.resume_timeout = 8s;
+  config.controller.redirector_leases.enabled = true;
+  config.controller.redirector_leases.ttl = 3s;
+  if (!durable_dir.empty()) {
+    config.controller.durability.enabled = true;
+    config.controller.durability.dir = durable_dir;
+    config.controller.durability.compact_every = 8;
+  }
+  return config;
+}
+
+/// The group-suspend choreography behind Scenario::kGroupCrashCommit and
+/// Scenario::kGroupPeerRefusal: one agent (chaos-cli on chaos0) holds
+/// several live connections to chaos-srv on chaos1, and the whole set is
+/// swept through the atomic group barrier. Scenario 8 kills the mover's
+/// host in the prepare→commit journal window and recovery must be
+/// all-or-nothing; scenario 9 has one peer refuse mid-prepare under send
+/// load and the ENTIRE group must roll back with blocked senders waking.
+ChaosResult run_group_case(const ChaosCase& chaos_case) {
+  ChaosResult result;
+  const auto fail = [&](const std::string& why) {
+    result.pass = false;
+    result.failure = why;
+    result.recorder_dump = obs::dump_all();
+    return result;
+  };
+
+  Injector& injector = Injector::instance();
+  injector.disarm();
+
+  const bool crash = chaos_case.scenario == Scenario::kGroupCrashCommit;
+  std::string durable_dir;
+  if (crash) {
+    durable_dir = (std::filesystem::temp_directory_path() /
+                   ("naplet-chaos-" + std::to_string(chaos_case.seed) + "-" +
+                    std::string(to_string(chaos_case.scenario))))
+                      .string();
+    std::error_code ec;
+    std::filesystem::remove_all(durable_dir, ec);
+  }
+
+  net::SimNet net(chaos_case.seed);
+  net.set_default_link(net::LinkConfig{.latency = 1ms});
+
+  nsock::Realm realm;
+  for (int i = 0; i < 3; ++i) {
+    realm.add_node(node_name(i), net.add_node(node_name(i)),
+                   group_node_config(chaos_case, i,
+                                     i == 0 ? durable_dir : std::string()));
+  }
+  if (auto st = realm.start(); !st.ok()) {
+    return fail("realm start: " + st.to_string());
+  }
+
+  const agent::AgentId cli("chaos-cli");
+  const agent::AgentId srv("chaos-srv");
+  realm.locations().register_agent(
+      cli, realm.node(node_name(0)).server().node_info());
+  realm.locations().register_agent(
+      srv, realm.node(node_name(1)).server().node_info());
+
+  auto& ctrl0 = realm.node(node_name(0)).controller();
+  auto& ctrl1 = realm.node(node_name(1)).controller();
+  if (auto st = ctrl1.listen(srv); !st.ok()) {
+    return fail("listen: " + st.to_string());
+  }
+
+  // The group: one agent, several live connections — the point of the
+  // barrier is that they suspend as one atomic cut.
+  constexpr int kConns = 3;
+  std::vector<nsock::SessionPtr> clients, servers;
+  std::vector<std::uint64_t> conns;
+  for (int i = 0; i < kConns; ++i) {
+    auto client = ctrl0.connect(cli, srv);
+    if (!client.ok()) return fail("connect: " + client.status().to_string());
+    auto server = ctrl1.accept(srv, 5s);
+    if (!server.ok()) return fail("accept: " + server.status().to_string());
+    clients.push_back(*client);
+    servers.push_back(*server);
+    conns.push_back((*client)->conn_id());
+  }
+
+  DeliveryLedger ledger;
+  const auto fwd = [](int i) { return static_cast<std::uint64_t>(2 * i); };
+  const auto rev = [](int i) { return static_cast<std::uint64_t>(2 * i + 1); };
+  const auto deliver = [&ledger](std::uint64_t stream, std::uint64_t seq,
+                                 const util::Bytes& body) {
+    ledger.record_delivered(stream, seq,
+                            util::ByteSpan(body.data(), body.size()));
+  };
+
+  // Phase A — per-connection traffic: forward delivered live, reverse
+  // left riding toward the suspension buffers.
+  for (int i = 0; i < kConns; ++i) {
+    for (int j = 0; j < chaos_case.forward_msgs; ++j) {
+      const std::string body =
+          "f" + std::to_string(i) + "." + std::to_string(j);
+      if (auto st = clients[i]->send(span_of(body), 2s); !st.ok()) {
+        return fail("pre-fault send: " + st.to_string());
+      }
+      ledger.record_sent(fwd(i), span_of(body));
+    }
+    for (int j = 0; j < chaos_case.forward_msgs; ++j) {
+      auto got = servers[i]->recv(2s);
+      if (!got.ok()) {
+        return fail("pre-fault recv: " + got.status().to_string());
+      }
+      deliver(fwd(i), got->seq, got->body);
+    }
+    for (int j = 0; j < chaos_case.reverse_msgs; ++j) {
+      const std::string body =
+          "r" + std::to_string(i) + "." + std::to_string(j);
+      if (auto st = servers[i]->send(span_of(body), 2s); !st.ok()) {
+        return fail("reverse send: " + st.to_string());
+      }
+      ledger.record_sent(rev(i), span_of(body));
+    }
+  }
+  std::this_thread::sleep_for(30ms);
+
+  // Phase B — scenario choreography.
+  std::uint64_t rollbacks = 0;
+  if (crash) {
+    // The kill lands between the group-prepare and group-commit journal
+    // records; the first migration attempt must fail.
+    injector.arm(chaos_case.plan);
+    const util::Status first = migrate_agent(realm, cli, 0, 2);
+    if (first.ok()) {
+      injector.disarm();
+      return fail("migration succeeded despite the kill between group "
+                  "prepare and commit");
+    }
+
+    // The crash: the mover's host (the one holding the journal) dies with
+    // no protocol goodbye and is stood up again from its journal.
+    realm.remove_node(node_name(0));
+    injector.disarm();
+    auto& node0 =
+        realm.add_node(node_name(0), net.add_node(node_name(0)),
+                       group_node_config(chaos_case, 0, durable_dir));
+    if (auto st = node0.start(); !st.ok()) {
+      return fail("restart: " + st.to_string());
+    }
+    if (auto st = node0.controller().recover(); !st.ok()) {
+      return fail("recover: " + st.to_string());
+    }
+    realm.locations().register_agent(cli, node0.server().node_info());
+
+    // The all-or-nothing oracle: after recover() the agent must never be
+    // left with a SUSPENDED/ESTABLISHED mix. The dangling prepare rolls
+    // forward (every peer had sealed), so the deterministic outcome is
+    // ALL suspended.
+    int suspended = 0, established = 0;
+    for (int i = 0; i < kConns; ++i) {
+      const nsock::SessionPtr session =
+          node0.controller().session_by_id(conns[i]);
+      if (session == nullptr) {
+        return fail("conn " + std::to_string(conns[i]) +
+                    " lost across the crash");
+      }
+      const nsock::ConnState st = session->state();
+      if (st == nsock::ConnState::kSuspended) {
+        ++suspended;
+      } else if (st == nsock::ConnState::kEstablished) {
+        ++established;
+      }
+    }
+    if (suspended != 0 && established != 0) {
+      return fail("all-or-nothing violated: " + std::to_string(suspended) +
+                  " suspended, " + std::to_string(established) +
+                  " established after recover()");
+    }
+    if (suspended != kConns) {
+      return fail("dangling group prepare did not roll forward: " +
+                  std::to_string(suspended) + "/" + std::to_string(kConns) +
+                  " suspended");
+    }
+
+    // The cut the group declared must be causally consistent; the peers
+    // recorded each member's mark at passive suspension, and the marks
+    // survived the mover's crash.
+    std::vector<DeliveryLedger::CutPoint> cut;
+    for (int i = 0; i < kConns; ++i) {
+      const std::uint64_t mark = servers[i]->flags().peer_declared_seq;
+      if (mark == 0) {
+        return fail("peer of conn " + std::to_string(conns[i]) +
+                    " holds no declared group mark");
+      }
+      cut.push_back({fwd(i), mark});
+    }
+    if (auto st = ledger.check_consistent_cut(cut); !st.ok()) {
+      return fail(st.to_string());
+    }
+
+    // Roll the interrupted migration forward to its destination.
+    if (auto st = migrate_agent(realm, cli, 0, 2); !st.ok()) {
+      return fail("post-recovery migration: " + st.to_string());
+    }
+  } else {
+    // kGroupPeerRefusal: concurrent send pressure on every member while
+    // the first group SUS the peer host processes is refused.
+    std::vector<std::thread> load;
+    std::vector<util::Status> load_status(kConns, util::OkStatus());
+    for (int i = 0; i < kConns; ++i) {
+      load.emplace_back([&, i] {
+        for (int j = 0; j < 8; ++j) {
+          const std::string body =
+              "l" + std::to_string(i) + "." + std::to_string(j);
+          if (auto st = clients[i]->send(span_of(body), 10s); !st.ok()) {
+            load_status[i] = st;
+            return;
+          }
+          ledger.record_sent(fwd(i), span_of(body));
+          std::this_thread::sleep_for(2ms);
+        }
+      });
+    }
+    std::this_thread::sleep_for(10ms);
+
+    injector.arm(chaos_case.plan);
+    const util::Status refused = ctrl0.prepare_migration(cli);
+    injector.disarm();
+    if (refused.ok()) {
+      for (auto& t : load) t.join();
+      return fail("group prepare succeeded despite the refused peer");
+    }
+
+    // Full-group rollback oracle: every member returns to ESTABLISHED
+    // (never a mix), and the senders blocked across the rollback wake
+    // and finish cleanly.
+    for (int i = 0; i < kConns; ++i) {
+      if (auto st = await_established(*clients[i], 8s); !st.ok()) {
+        for (auto& t : load) t.join();
+        return fail("rollback: " + st.to_string());
+      }
+    }
+    for (auto& t : load) t.join();
+    for (int i = 0; i < kConns; ++i) {
+      if (!load_status[i].ok()) {
+        return fail("sender under rollback: " + load_status[i].to_string());
+      }
+    }
+    rollbacks = ctrl0.group_rollbacks();
+    if (rollbacks == 0) {
+      return fail("refusal did not count a group rollback");
+    }
+
+    // Retry the sweep fault-free with senders RACING the freeze: the
+    // consistent-cut oracle proves no send slipped past another member's
+    // pinned mark. Sends that time out never entered the stream (the
+    // freeze parks them before the write), so only OK sends are recorded.
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> racers;
+    std::vector<util::Status> racer_status(kConns, util::OkStatus());
+    for (int i = 0; i < kConns; ++i) {
+      racers.emplace_back([&, i] {
+        int j = 0;
+        while (!stop.load()) {
+          const std::string body =
+              "g" + std::to_string(i) + "." + std::to_string(j);
+          auto st = clients[i]->send(span_of(body), 300ms);
+          if (st.ok()) {
+            ledger.record_sent(fwd(i), span_of(body));
+            ++j;
+          } else if (st.code() != util::StatusCode::kTimeout) {
+            racer_status[i] = st;
+            return;
+          }
+          std::this_thread::sleep_for(2ms);
+        }
+      });
+    }
+    std::this_thread::sleep_for(10ms);
+    realm.locations().begin_migration(cli);
+    const util::Status prepared = ctrl0.prepare_migration(cli);
+    stop.store(true);
+    for (auto& t : racers) t.join();
+    if (!prepared.ok()) {
+      realm.locations().end_migration(cli);
+      return fail("fault-free retry: " + prepared.to_string());
+    }
+    for (int i = 0; i < kConns; ++i) {
+      if (!racer_status[i].ok()) {
+        realm.locations().end_migration(cli);
+        return fail("racing sender: " + racer_status[i].to_string());
+      }
+    }
+
+    std::vector<DeliveryLedger::CutPoint> cut;
+    for (int i = 0; i < kConns; ++i) {
+      if (clients[i]->state() != nsock::ConnState::kSuspended) {
+        realm.locations().end_migration(cli);
+        return fail("conn " + std::to_string(conns[i]) +
+                    " not SUSPENDED after the group prepare: " +
+                    std::string(nsock::to_string(clients[i]->state())));
+      }
+      cut.push_back({fwd(i), clients[i]->sent_seq()});
+    }
+    if (auto st = ledger.check_consistent_cut(cut); !st.ok()) {
+      realm.locations().end_migration(cli);
+      return fail(st.to_string());
+    }
+
+    // Ship the suspended group to its destination.
+    const util::Bytes blob = ctrl0.export_sessions(cli);
+    auto& node2 = realm.node(node_name(2));
+    if (auto st = node2.controller().import_sessions(
+            cli, util::ByteSpan(blob.data(), blob.size()));
+        !st.ok()) {
+      realm.locations().end_migration(cli);
+      return fail("import: " + st.to_string());
+    }
+    realm.locations().register_agent(cli, node2.server().node_info());
+    if (auto st = node2.controller().complete_migration(cli); !st.ok()) {
+      return fail("complete: " + st.to_string());
+    }
+  }
+
+  // Phase C — judgement: liveness bounds the re-establishment, then the
+  // ledger must balance exactly once across the whole ordeal.
+  std::vector<nsock::SessionPtr> clients2, servers2;
+  for (int i = 0; i < kConns; ++i) {
+    nsock::SessionPtr c =
+        realm.node(node_name(2)).controller().session_by_id(conns[i]);
+    nsock::SessionPtr s = ctrl1.session_by_id(conns[i]);
+    if (!c || !s) return fail("session lost across the group migration");
+    if (auto st = await_established(*c, 8s); !st.ok()) {
+      return fail(st.to_string());
+    }
+    if (auto st = await_established(*s, 8s); !st.ok()) {
+      return fail(st.to_string());
+    }
+    clients2.push_back(std::move(c));
+    servers2.push_back(std::move(s));
+  }
+
+  for (int i = 0; i < kConns; ++i) {
+    while (true) {
+      auto got = clients2[i]->recv(500ms);
+      if (!got.ok()) break;
+      deliver(rev(i), got->seq, got->body);
+    }
+    while (true) {
+      auto got = servers2[i]->recv(300ms);
+      if (!got.ok()) break;
+      deliver(fwd(i), got->seq, got->body);
+    }
+    for (int j = 0; j < 2; ++j) {
+      const std::string body =
+          "post" + std::to_string(i) + "." + std::to_string(j);
+      if (auto st = clients2[i]->send(span_of(body), 2s); !st.ok()) {
+        return fail("post-migration send: " + st.to_string());
+      }
+      ledger.record_sent(fwd(i), span_of(body));
+      auto got = servers2[i]->recv(2s);
+      if (!got.ok()) {
+        return fail("post-migration recv: " + got.status().to_string());
+      }
+      deliver(fwd(i), got->seq, got->body);
+    }
+  }
+
+  if (auto st = ledger.check(/*require_complete=*/true); !st.ok()) {
+    return fail(st.to_string());
+  }
+  if (auto st = check_fsm_trace(injector.transitions()); !st.ok()) {
+    return fail(st.to_string());
+  }
+
+  const auto counters = net.counters();
+  result.net_datagrams_dropped = counters.datagrams_dropped;
+  const auto cli_stats = realm.node(node_name(2)).controller().stats();
+  const auto srv_stats = ctrl1.stats();
+  result.ctrl_retransmissions =
+      cli_stats.ctrl_retransmissions + srv_stats.ctrl_retransmissions;
+  result.stats = "group: rollbacks=" + std::to_string(rollbacks) +
+                 "\nclient: " + cli_stats.to_string() +
+                 "\nserver: " + srv_stats.to_string();
+  result.pass = true;
+  return result;
+}
+
 }  // namespace
 
 ChaosResult run_case(const ChaosCase& chaos_case) {
+  if (is_group_scenario(chaos_case.scenario)) {
+    return run_group_case(chaos_case);
+  }
   if (is_swarm_scenario(chaos_case.scenario)) {
     return run_swarm_case(chaos_case);
   }
@@ -965,6 +1399,10 @@ ChaosResult run_case(const ChaosCase& chaos_case) {
       srv_node = 0;
       break;
     }
+    default:
+      // Crash, swarm, and group scenarios dispatch to their own runners
+      // before this switch is reached.
+      break;
   }
   injector.disarm();
   if (!cli_migrate.ok()) {

@@ -39,14 +39,25 @@ enum class Scenario : std::uint8_t {
                           ///< reach the peer (partition heals mid-run)
   kCascadeRebalance = 7,  ///< destination refuses its first batch
                           ///< admission; half reroutes to the fallback
+
+  // Group-suspend scenarios: one agent with several live connections is
+  // swept through the atomic group barrier (ControllerConfig::
+  // group_suspend). Opt-in like the crash scenarios.
+  kGroupCrashCommit = 8,   ///< mover's host dies between the group
+                           ///< prepare and commit journal records;
+                           ///< recovery must be all-or-nothing
+  kGroupPeerRefusal = 9,   ///< one peer refuses mid-prepare under send
+                           ///< load; the ENTIRE group must roll back
 };
 
-inline constexpr int kScenarioCount = 8;
+inline constexpr int kScenarioCount = 10;
 /// Scenarios generate_case(seed) draws from (the crash scenarios are
 /// opt-in and carry their own staged fault plans).
 inline constexpr int kGeneratedScenarioCount = 3;
-/// First swarm scenario (the tail of the enum).
+/// First swarm scenario.
 inline constexpr int kSwarmScenarioStart = 6;
+/// First group-suspend scenario (the tail of the enum).
+inline constexpr int kGroupScenarioStart = 8;
 
 [[nodiscard]] constexpr bool is_crash_scenario(Scenario s) noexcept {
   return static_cast<int>(s) >= kGeneratedScenarioCount &&
@@ -54,7 +65,12 @@ inline constexpr int kSwarmScenarioStart = 6;
 }
 
 [[nodiscard]] constexpr bool is_swarm_scenario(Scenario s) noexcept {
-  return static_cast<int>(s) >= kSwarmScenarioStart;
+  return static_cast<int>(s) >= kSwarmScenarioStart &&
+         static_cast<int>(s) < kGroupScenarioStart;
+}
+
+[[nodiscard]] constexpr bool is_group_scenario(Scenario s) noexcept {
+  return static_cast<int>(s) >= kGroupScenarioStart;
 }
 
 [[nodiscard]] std::string_view to_string(Scenario scenario) noexcept;
@@ -111,6 +127,15 @@ struct ChaosResult {
 /// a failing first suspend for kDrainPartition, a refused first batch
 /// admission for kCascadeRebalance.
 [[nodiscard]] ChaosCase make_swarm_case(std::uint64_t seed, Scenario scenario,
+                                        bool light);
+
+/// Build a group-suspend case: a multi-connection agent swept through the
+/// group barrier, with a kill in the prepare→commit journal window
+/// (kGroupCrashCommit) or a refused peer mid-prepare (kGroupPeerRefusal).
+/// run_case adds the crash/restart/recover (resp. rollback-under-load)
+/// choreography and the group oracles: no SUSPENDED/ESTABLISHED mix after
+/// recover(), a causally consistent cut, exactly-once delivery.
+[[nodiscard]] ChaosCase make_group_case(std::uint64_t seed, Scenario scenario,
                                         bool light);
 
 /// Execute one case end to end: establish, pump traffic, arm the plan, run

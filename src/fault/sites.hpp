@@ -34,6 +34,12 @@ inline constexpr std::string_view kFaultSites[] = {
     "swarm.batch.admit",
     "swarm.drain.suspend",
     "swarm.cache.lookup",
+    // Whole-agent group suspend (controller_group.cpp + group/barrier.cpp).
+    // NOT part of the generic ctrl.<type>.<stage> cross-product: these mark
+    // the two-phase barrier protocol, not individual message hops.
+    "ctrl.group.prepare",
+    "ctrl.group.commit",
+    "group.barrier",
     // Control messages: ctrl.<type>.<stage>, woven generically through
     // ctrl_site() in controller.cpp for every CtrlType.
     "ctrl.connect.pre_send",

@@ -1,0 +1,87 @@
+#include "group/barrier.hpp"
+
+#include "fault/fault.hpp"
+
+namespace naplet::group {
+
+std::string_view to_string(Verdict verdict) noexcept {
+  switch (verdict) {
+    case Verdict::kCommit: return "COMMIT";
+    case Verdict::kAbort: return "ABORT";
+  }
+  return "?";
+}
+
+GroupBarrier::GroupBarrier(std::uint64_t group_id, std::size_t member_count)
+    : group_id_(group_id), total_(member_count) {}
+
+bool GroupBarrier::arrive() {
+  const fault::Decision d = fault::hit("group.barrier");
+  util::MutexLock lock(mu_);
+  if (d.action == fault::Action::kError ||
+      d.action == fault::Action::kKill) {
+    if (!failed_ && arrived_ < total_) {
+      failed_ = true;
+      reason_ = "fault: barrier arrival failed";
+      cv_.notify_all();
+    }
+    return false;
+  }
+  if (failed_) return false;
+  ++arrived_;
+  if (arrived_ >= total_) cv_.notify_all();
+  return true;
+}
+
+void GroupBarrier::fail(std::string reason) {
+  util::MutexLock lock(mu_);
+  // After the barrier trips the cut is taken; only the verdict matters.
+  if (failed_ || arrived_ >= total_) return;
+  failed_ = true;
+  reason_ = std::move(reason);
+  cv_.notify_all();
+}
+
+bool GroupBarrier::cancelled() const {
+  util::MutexLock lock(mu_);
+  return failed_;
+}
+
+std::string GroupBarrier::failure() const {
+  util::MutexLock lock(mu_);
+  return reason_;
+}
+
+bool GroupBarrier::await_prepared(util::Duration timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  util::MutexLock lock(mu_);
+  while (!failed_ && arrived_ < total_) {
+    if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) break;
+  }
+  if (arrived_ >= total_ && !failed_) return true;
+  if (!failed_) {
+    // Timeout: fail the barrier so late arrivers see it and bail out
+    // instead of parking their streams against a dead coordinator.
+    failed_ = true;
+    reason_ = "prepare barrier timed out";
+    cv_.notify_all();
+  }
+  return false;
+}
+
+void GroupBarrier::resolve(Verdict verdict) {
+  util::MutexLock lock(mu_);
+  verdict_ = verdict;
+  cv_.notify_all();
+}
+
+std::optional<Verdict> GroupBarrier::await_verdict(util::Duration timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  util::MutexLock lock(mu_);
+  while (!verdict_) {
+    if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) break;
+  }
+  return verdict_;
+}
+
+}  // namespace naplet::group

@@ -1,0 +1,93 @@
+// Checkpoint barrier for atomic whole-agent group suspend.
+//
+// One GroupBarrier choreographs phase 1 (*prepare*) of a group suspend:
+// the coordinator spawns one worker per member connection, each sends SUS
+// carrying the group id, drains its stream to the peer's declared mark,
+// and then calls arrive(). The barrier trips when every member has
+// arrived cleanly — that instant is the group's consistent cut — after
+// which the coordinator performs phase 2 (*commit*: journal group-prepare
+// then group-commit through the DurableStore) and resolves the barrier
+// with a verdict so any observer knows whether the cut survived.
+//
+// Any member may fail() the barrier instead (peer refused, timed out, or
+// the session was aborted mid-prepare); the first failure wins, is
+// remembered by reason, and wakes everyone immediately — the coordinator
+// then rolls the whole group back. fail() after the barrier has tripped
+// is ignored: the cut is already taken and only the commit verdict
+// matters from then on.
+//
+// Lock rank: kGroupBarrier (9), between the coordinator registry lock (7)
+// and the controller lock (10). No controller or session call is ever
+// made under the barrier lock; fault::hit (rank 90) under it is legal.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/clock.hpp"
+#include "util/status.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace naplet::group {
+
+/// Outcome of phase 2, published by the coordinator once it is decided.
+enum class Verdict : std::uint8_t {
+  kCommit = 1,  ///< group journaled prepare+commit; members may export
+  kAbort = 2,   ///< group rolled back; members are ESTABLISHED again
+};
+
+[[nodiscard]] std::string_view to_string(Verdict verdict) noexcept;
+
+class GroupBarrier {
+ public:
+  GroupBarrier(std::uint64_t group_id, std::size_t member_count);
+
+  GroupBarrier(const GroupBarrier&) = delete;
+  GroupBarrier& operator=(const GroupBarrier&) = delete;
+
+  [[nodiscard]] std::uint64_t group_id() const noexcept { return group_id_; }
+  [[nodiscard]] std::size_t member_count() const noexcept { return total_; }
+
+  /// A member worker reached its cut point (SUS acked, stream drained to
+  /// the peer's declared mark). Returns false when the barrier is already
+  /// cancelled — the worker must not park its stream in that case.
+  /// Weaves the "group.barrier" fault site: an injected error or kill
+  /// fails the barrier instead of arriving.
+  [[nodiscard]] bool arrive();
+
+  /// A member (or abort_session racing the prepare) vetoes the group.
+  /// First failure wins; every waiter wakes immediately.
+  void fail(std::string reason);
+
+  /// True once fail() has been called (and the barrier had not tripped).
+  [[nodiscard]] bool cancelled() const;
+
+  /// First failure reason, empty when none.
+  [[nodiscard]] std::string failure() const;
+
+  /// Coordinator side: block until every member arrived cleanly (true) or
+  /// the barrier failed / `timeout` elapsed (false; a timeout fails the
+  /// barrier so late arrivers don't park forever).
+  [[nodiscard]] bool await_prepared(util::Duration timeout);
+
+  /// Coordinator publishes the phase-2 outcome, waking verdict waiters.
+  void resolve(Verdict verdict);
+
+  /// Wait for the phase-2 verdict; nullopt on timeout.
+  [[nodiscard]] std::optional<Verdict> await_verdict(util::Duration timeout);
+
+ private:
+  const std::uint64_t group_id_;
+  const std::size_t total_;
+
+  mutable util::Mutex mu_{util::LockRank::kGroupBarrier, "group_barrier"};
+  util::CondVar cv_;
+  std::size_t arrived_ NAPLET_GUARDED_BY(mu_) = 0;
+  bool failed_ NAPLET_GUARDED_BY(mu_) = false;
+  std::string reason_ NAPLET_GUARDED_BY(mu_);
+  std::optional<Verdict> verdict_ NAPLET_GUARDED_BY(mu_);
+};
+
+}  // namespace naplet::group

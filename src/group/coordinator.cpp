@@ -1,0 +1,52 @@
+#include "group/coordinator.hpp"
+
+namespace naplet::group {
+
+std::shared_ptr<GroupBarrier> GroupSuspendCoordinator::begin(
+    const std::string& agent, std::uint64_t group_id,
+    const std::vector<std::uint64_t>& conn_ids) {
+  util::MutexLock lock(mu_);
+  if (by_agent_.contains(agent)) return nullptr;
+  auto barrier = std::make_shared<GroupBarrier>(group_id, conn_ids.size());
+  by_agent_[agent] = barrier;
+  for (std::uint64_t id : conn_ids) member_agent_[id] = agent;
+  return barrier;
+}
+
+void GroupSuspendCoordinator::end(const std::string& agent) {
+  util::MutexLock lock(mu_);
+  by_agent_.erase(agent);
+  for (auto it = member_agent_.begin(); it != member_agent_.end();) {
+    if (it->second == agent) {
+      it = member_agent_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool GroupSuspendCoordinator::cancel_member(std::uint64_t conn_id,
+                                            const std::string& reason) {
+  util::MutexLock lock(mu_);
+  const auto member = member_agent_.find(conn_id);
+  if (member == member_agent_.end()) return false;
+  const auto group = by_agent_.find(member->second);
+  if (group == by_agent_.end()) return false;
+  group->second->fail("member " + std::to_string(conn_id) + " aborted: " +
+                      reason);
+  return true;
+}
+
+std::shared_ptr<GroupBarrier> GroupSuspendCoordinator::find(
+    const std::string& agent) const {
+  util::MutexLock lock(mu_);
+  const auto it = by_agent_.find(agent);
+  return it == by_agent_.end() ? nullptr : it->second;
+}
+
+std::size_t GroupSuspendCoordinator::active() const {
+  util::MutexLock lock(mu_);
+  return by_agent_.size();
+}
+
+}  // namespace naplet::group

@@ -1,0 +1,66 @@
+// Registry of in-flight whole-agent group suspends.
+//
+// The SocketController runs at most one group suspend per agent at a
+// time; this registry hands out the group's barrier and, crucially, lets
+// *other* control-plane paths veto a group they discover mid-flight:
+// abort_session() racing an in-flight prepare looks its connection up
+// here and cancels the member, which fails the barrier and wakes every
+// parked worker bounded — the PR-4/PR-5 waiter-wake contract extended to
+// the group path (ISSUE 9 satellite 2).
+//
+// Lock rank: kGroupCoordinator (7). cancel_member() takes the registry
+// lock and then the barrier lock (rank 9) — the only place the two nest —
+// and never calls into controller or session code under either.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "group/barrier.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace naplet::group {
+
+class GroupSuspendCoordinator {
+ public:
+  GroupSuspendCoordinator() = default;
+
+  GroupSuspendCoordinator(const GroupSuspendCoordinator&) = delete;
+  GroupSuspendCoordinator& operator=(const GroupSuspendCoordinator&) = delete;
+
+  /// Start a group suspend for `agent` over `conn_ids`. Returns the new
+  /// barrier, or nullptr when a group for this agent is already in flight
+  /// (the caller must not start a second one).
+  std::shared_ptr<GroupBarrier> begin(const std::string& agent,
+                                      std::uint64_t group_id,
+                                      const std::vector<std::uint64_t>& conn_ids);
+
+  /// The group for `agent` is finished (committed or rolled back);
+  /// forget it and release its members.
+  void end(const std::string& agent);
+
+  /// A connection participating in some in-flight group is being torn
+  /// down (abort_session). Fails that group's barrier so the coordinator
+  /// rolls the whole group back. Returns true when a group was cancelled.
+  bool cancel_member(std::uint64_t conn_id, const std::string& reason);
+
+  /// Barrier of the in-flight group for `agent`, or nullptr.
+  [[nodiscard]] std::shared_ptr<GroupBarrier> find(
+      const std::string& agent) const;
+
+  /// Number of in-flight groups (tests / metrics).
+  [[nodiscard]] std::size_t active() const;
+
+ private:
+  mutable util::Mutex mu_{util::LockRank::kGroupCoordinator,
+                          "group_coordinator"};
+  std::map<std::string, std::shared_ptr<GroupBarrier>> by_agent_
+      NAPLET_GUARDED_BY(mu_);
+  std::map<std::uint64_t, std::string> member_agent_ NAPLET_GUARDED_BY(mu_);
+};
+
+}  // namespace naplet::group

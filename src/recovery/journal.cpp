@@ -50,8 +50,46 @@ std::string_view to_string(CommitPoint point) noexcept {
     case CommitPoint::kImported: return "imported";
     case CommitPoint::kDeparted: return "departed";
     case CommitPoint::kClosed: return "closed";
+    case CommitPoint::kGroupPrepare: return "group-prepare";
+    case CommitPoint::kGroupCommit: return "group-commit";
+    case CommitPoint::kGroupAbort: return "group-abort";
   }
   return "?";
+}
+
+util::Bytes GroupManifest::encode() const {
+  std::size_t size = 4;
+  for (const Member& m : members) size += 8 + 4 + m.blob.size();
+  util::BytesWriter w(size);
+  w.u32(static_cast<std::uint32_t>(members.size()));
+  for (const Member& m : members) {
+    w.u64(m.conn_id);
+    w.u32(static_cast<std::uint32_t>(m.blob.size()));
+    w.raw(util::ByteSpan(m.blob.data(), m.blob.size()));
+  }
+  return std::move(w).take();
+}
+
+util::StatusOr<GroupManifest> GroupManifest::decode(util::ByteSpan data) {
+  util::BytesReader r(data);
+  const auto count = r.u32();
+  if (!count.ok()) return util::ProtocolError("group manifest header");
+  GroupManifest manifest;
+  manifest.members.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    const auto conn_id = r.u64();
+    const auto blob_len = r.u32();
+    if (!conn_id.ok() || !blob_len.ok() || r.remaining() < *blob_len) {
+      return util::ProtocolError("group manifest member truncated");
+    }
+    auto blob = r.raw(*blob_len);
+    if (!blob.ok()) return util::ProtocolError("group manifest member blob");
+    manifest.members.push_back(Member{*conn_id, std::move(*blob)});
+  }
+  if (r.remaining() != 0) {
+    return util::ProtocolError("trailing group manifest bytes");
+  }
+  return manifest;
 }
 
 Journal::~Journal() {
@@ -145,7 +183,7 @@ util::StatusOr<ReplayResult> Journal::replay(const std::string& path) {
     const auto point = br.u8();
     const auto conn_id = br.u64();
     if (!point.ok() || !conn_id.ok() || *point < 1 ||
-        *point > static_cast<std::uint8_t>(CommitPoint::kClosed)) {
+        *point > static_cast<std::uint8_t>(CommitPoint::kGroupAbort)) {
       result.truncated = true;
       result.note = "bad record body at offset " + std::to_string(record_start);
       break;
@@ -202,11 +240,52 @@ util::Status DurableStore::open() {
       if (!degraded_note_.empty()) degraded_note_ += "; ";
       degraded_note_ += "journal: " + replayed->note;
     }
+    // Group two-phase replay: a prepare parks its manifest; the matching
+    // commit folds the members into the live map, the matching abort
+    // discards them. A prepare still parked when the journal ends is a
+    // crash between prepare and commit — the prepare is only written
+    // after the group barrier resolved (every peer sealed), so the
+    // deterministic resolution is FORWARD: fold the manifest exactly as
+    // the commit would have. Either way recovery is all-or-nothing: no
+    // member's suspended state lands unless every member's does.
+    std::uint64_t parked_group = 0;
+    GroupManifest parked_manifest;
     for (auto& record : replayed->records) {
+      if (record.point == CommitPoint::kGroupPrepare) {
+        auto manifest = GroupManifest::decode(
+            util::ByteSpan(record.payload.data(), record.payload.size()));
+        if (manifest.ok()) {
+          parked_group = record.conn_id;
+          parked_manifest = std::move(*manifest);
+        } else {
+          degraded_ = true;
+          if (!degraded_note_.empty()) degraded_note_ += "; ";
+          degraded_note_ += "group prepare: " + manifest.status().message();
+        }
+        continue;
+      }
+      if (record.point == CommitPoint::kGroupCommit ||
+          record.point == CommitPoint::kGroupAbort) {
+        if (record.point == CommitPoint::kGroupCommit &&
+            parked_group != 0 && parked_group == record.conn_id) {
+          for (auto& member : parked_manifest.members) {
+            live_[member.conn_id] = std::move(member.blob);
+          }
+        }
+        parked_group = 0;
+        parked_manifest.members.clear();
+        continue;
+      }
       if (is_removal(record.point)) {
         live_.erase(record.conn_id);
       } else {
         live_[record.conn_id] = std::move(record.payload);
+      }
+    }
+    if (parked_group != 0) {
+      // Dangling prepare: roll the group forward (see above).
+      for (auto& member : parked_manifest.members) {
+        live_[member.conn_id] = std::move(member.blob);
       }
     }
   } else if (replayed.status().code() == util::StatusCode::kProtocolError) {
@@ -233,16 +312,60 @@ util::Status DurableStore::record(CommitPoint point, std::uint64_t conn_id,
   NAPLET_RETURN_IF_ERROR(journal_->append(record));
   ++records_written_;
 
-  if (is_removal(point)) {
+  if (point == CommitPoint::kGroupPrepare) {
+    auto manifest = GroupManifest::decode(blob);
+    if (!manifest.ok()) return manifest.status();
+    pending_group_ = conn_id;
+    pending_manifest_ = std::move(*manifest);
+  } else if (point == CommitPoint::kGroupCommit ||
+             point == CommitPoint::kGroupAbort) {
+    if (point == CommitPoint::kGroupCommit && pending_group_ != 0 &&
+        pending_group_ == conn_id) {
+      for (auto& member : pending_manifest_.members) {
+        live_[member.conn_id] = std::move(member.blob);
+      }
+    }
+    pending_group_ = 0;
+    pending_manifest_.members.clear();
+  } else if (is_removal(point)) {
     live_.erase(conn_id);
   } else {
     live_[conn_id] = std::move(record.payload);
   }
 
-  if (++appends_since_compact_ >= options_.compact_every) {
+  // Compaction is deferred while a group prepare is pending: folding the
+  // live map into a snapshot and resetting the journal would erase the
+  // prepare record the crash path depends on.
+  if (++appends_since_compact_ >= options_.compact_every &&
+      pending_group_ == 0) {
     return compact_locked();
   }
   return util::OkStatus();
+}
+
+void DurableStore::abort_group(std::uint64_t group_id) {
+  util::MutexLock lock(mu_);
+  if (pending_group_ != group_id) return;
+  pending_group_ = 0;
+  pending_manifest_.members.clear();
+  if (journal_ == nullptr) return;
+  // The prepare reached disk, so the abort must too: replay treats a
+  // dangling prepare as a crash in the commit window and rolls the group
+  // FORWARD — only this record tells it the rollback was deliberate.
+  JournalRecord record;
+  record.point = CommitPoint::kGroupAbort;
+  record.conn_id = group_id;
+  if (auto st = journal_->append(record); st.ok()) {
+    ++records_written_;
+    ++appends_since_compact_;
+  }
+  // On append failure the next compaction still folds the clean live map
+  // (the pending manifest is already dropped), closing the window.
+}
+
+std::uint64_t DurableStore::pending_group() const {
+  util::MutexLock lock(mu_);
+  return pending_group_;
 }
 
 util::Status DurableStore::compact() {

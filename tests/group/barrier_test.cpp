@@ -1,0 +1,113 @@
+// GroupBarrier + GroupSuspendCoordinator unit tests: the checkpoint
+// barrier trips only when every member arrives, the first failure wins and
+// wakes everyone, a coordinator timeout fails the barrier so late arrivers
+// bail instead of parking, and cancel_member (the abort_session hook)
+// vetoes the right group.
+#include "group/barrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "group/coordinator.hpp"
+
+namespace naplet::group {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(GroupBarrier, TripsWhenEveryMemberArrives) {
+  GroupBarrier barrier(7, 3);
+  EXPECT_EQ(barrier.group_id(), 7u);
+  EXPECT_EQ(barrier.member_count(), 3u);
+  EXPECT_TRUE(barrier.arrive());
+  EXPECT_TRUE(barrier.arrive());
+  std::thread last([&] {
+    std::this_thread::sleep_for(20ms);
+    EXPECT_TRUE(barrier.arrive());
+  });
+  EXPECT_TRUE(barrier.await_prepared(2s));
+  last.join();
+  EXPECT_FALSE(barrier.cancelled());
+}
+
+TEST(GroupBarrier, FirstFailureWinsAndWakesWaiters) {
+  GroupBarrier barrier(8, 2);
+  EXPECT_TRUE(barrier.arrive());
+  std::thread failer([&] {
+    std::this_thread::sleep_for(20ms);
+    barrier.fail("peer refused");
+    barrier.fail("second reason loses");
+  });
+  EXPECT_FALSE(barrier.await_prepared(2s));
+  failer.join();
+  EXPECT_TRUE(barrier.cancelled());
+  EXPECT_EQ(barrier.failure(), "peer refused");
+  // A member arriving after the veto must not park its stream.
+  EXPECT_FALSE(barrier.arrive());
+}
+
+TEST(GroupBarrier, AwaitTimeoutFailsTheBarrier) {
+  GroupBarrier barrier(9, 2);
+  EXPECT_TRUE(barrier.arrive());
+  EXPECT_FALSE(barrier.await_prepared(50ms));
+  EXPECT_TRUE(barrier.cancelled());
+  EXPECT_EQ(barrier.failure(), "prepare barrier timed out");
+  EXPECT_FALSE(barrier.arrive());
+}
+
+TEST(GroupBarrier, FailAfterTripIsIgnored) {
+  GroupBarrier barrier(10, 1);
+  EXPECT_TRUE(barrier.arrive());
+  barrier.fail("too late: cut already taken");
+  EXPECT_FALSE(barrier.cancelled());
+  EXPECT_TRUE(barrier.await_prepared(1s));
+}
+
+TEST(GroupBarrier, VerdictRoundTrip) {
+  GroupBarrier barrier(11, 1);
+  EXPECT_EQ(barrier.await_verdict(10ms), std::nullopt);
+  std::thread resolver([&] {
+    std::this_thread::sleep_for(20ms);
+    barrier.resolve(Verdict::kCommit);
+  });
+  EXPECT_EQ(barrier.await_verdict(2s), Verdict::kCommit);
+  resolver.join();
+  // The verdict is sticky for later observers.
+  EXPECT_EQ(barrier.await_verdict(0ms), Verdict::kCommit);
+}
+
+TEST(GroupCoordinator, OneGroupPerAgent) {
+  GroupSuspendCoordinator coordinator;
+  auto first = coordinator.begin("ant", 100, {1, 2});
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(coordinator.begin("ant", 101, {3}), nullptr);
+  EXPECT_EQ(coordinator.active(), 1u);
+  EXPECT_EQ(coordinator.find("ant"), first);
+  coordinator.end("ant");
+  EXPECT_EQ(coordinator.active(), 0u);
+  EXPECT_EQ(coordinator.find("ant"), nullptr);
+  EXPECT_NE(coordinator.begin("ant", 102, {1, 2}), nullptr);
+}
+
+TEST(GroupCoordinator, CancelMemberVetoesItsGroup) {
+  GroupSuspendCoordinator coordinator;
+  auto ant = coordinator.begin("ant", 200, {1, 2});
+  auto bee = coordinator.begin("bee", 201, {3, 4});
+  ASSERT_NE(ant, nullptr);
+  ASSERT_NE(bee, nullptr);
+
+  EXPECT_FALSE(coordinator.cancel_member(99, "not a member"));
+  EXPECT_TRUE(coordinator.cancel_member(2, "conn aborted"));
+  EXPECT_TRUE(ant->cancelled());
+  EXPECT_NE(ant->failure().find("conn aborted"), std::string::npos);
+  EXPECT_FALSE(bee->cancelled());
+
+  // Members are released on end(): the id no longer maps to a group.
+  coordinator.end("ant");
+  EXPECT_FALSE(coordinator.cancel_member(1, "stale"));
+}
+
+}  // namespace
+}  // namespace naplet::group

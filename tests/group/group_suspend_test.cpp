@@ -1,0 +1,238 @@
+// Controller-level group-suspend tests (ISSUE 9): the atomic whole-agent
+// sweep behind ControllerConfig::group_suspend — happy-path migration of a
+// multi-connection agent, abort_session racing an in-flight prepare
+// (bounded barrier wake, full-group rollback), the single-connection
+// suspend-rollback arc under concurrent send pressure, and the
+// DrainCoordinator driving whole-agent group sweeps.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/test_realm.hpp"
+#include "fault/fault.hpp"
+#include "fault/oracle.hpp"
+#include "swarm/drain.hpp"
+
+namespace naplet::nsock {
+namespace {
+
+using namespace std::chrono_literals;
+using testing::ConnPair;
+using testing::SimRealm;
+using testing::make_connection;
+using testing::span;
+using testing::text;
+
+/// The group sweep plus recovery-grade patience (rollback resumes
+/// acknowledged members through the redirector).
+void group_config(NodeConfig& config) {
+  config.controller.group_suspend = true;
+  config.controller.group_prepare_timeout = 5s;
+  config.controller.suspend_rollback = true;
+  config.controller.ctrl_response_timeout = 1s;
+  config.controller.drain_timeout = 1s;
+  config.controller.resume_max_attempts = 10;
+  config.controller.resume_retry_backoff = 50ms;
+  config.controller.resume_retry_cap = 400ms;
+  config.controller.resume_timeout = 8s;
+  config.controller.redirector_leases.enabled = true;
+  config.controller.redirector_leases.ttl = 3s;
+}
+
+class GroupSuspendTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::Injector::instance().disarm(); }
+};
+
+/// make_connection calls listen() each time; for multi-connection agents
+/// the server agent listens once and the pairs attach to it.
+ConnPair connect_pair(SimRealm& realm, const agent::AgentId& client,
+                      int client_node, const agent::AgentId& server,
+                      int server_node) {
+  auto client_session = realm.ctrl(client_node).connect(client, server);
+  EXPECT_TRUE(client_session.ok()) << client_session.status().to_string();
+  auto server_session = realm.ctrl(server_node).accept(server, 5s);
+  EXPECT_TRUE(server_session.ok()) << server_session.status().to_string();
+  return ConnPair{client_session.ok() ? *client_session : nullptr,
+                  server_session.ok() ? *server_session : nullptr};
+}
+
+TEST_F(GroupSuspendTest, AtomicSweepMigratesWholeAgent) {
+  SimRealm realm(3, /*security=*/false, /*link_latency=*/{}, group_config);
+  const agent::AgentId cli = realm.pseudo_agent("grp-cli", 0);
+  const agent::AgentId srv = realm.pseudo_agent("grp-srv", 1);
+
+  constexpr int kConns = 3;
+  ASSERT_TRUE(realm.ctrl(1).listen(srv).ok());
+  std::vector<ConnPair> conns;
+  for (int i = 0; i < kConns; ++i) {
+    conns.push_back(connect_pair(realm, cli, 0, srv, 1));
+    ASSERT_NE(conns.back().client, nullptr);
+    ASSERT_NE(conns.back().server, nullptr);
+  }
+  for (int i = 0; i < kConns; ++i) {
+    const std::string body = "pre" + std::to_string(i);
+    ASSERT_TRUE(conns[i].client->send(span(body), 2s).ok());
+    auto got = conns[i].server->recv(2s);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(text(got->body), body);
+  }
+
+  ASSERT_TRUE(realm.migrate_pseudo_agent(cli, 0, 2).ok());
+  EXPECT_EQ(realm.ctrl(0).group_rollbacks(), 0u);
+
+  // Every member re-established on the destination; data still flows.
+  for (int i = 0; i < kConns; ++i) {
+    SessionPtr moved = realm.ctrl(2).session_by_id(conns[i].client->conn_id());
+    ASSERT_NE(moved, nullptr);
+    ASSERT_TRUE(fault::await_established(*moved, 8s).ok());
+    const std::string body = "post" + std::to_string(i);
+    ASSERT_TRUE(moved->send(span(body), 2s).ok());
+    auto got = conns[i].server->recv(2s);
+    ASSERT_TRUE(got.ok()) << got.status().to_string();
+    EXPECT_EQ(text(got->body), body);
+  }
+  EXPECT_EQ(realm.ctrl(0).group_coordinator().active(), 0u);
+}
+
+TEST_F(GroupSuspendTest, AbortRacingPrepareWakesBarrierBounded) {
+  SimRealm realm(3, /*security=*/false, /*link_latency=*/{}, group_config);
+  const agent::AgentId cli = realm.pseudo_agent("abr-cli", 0);
+  const agent::AgentId srv = realm.pseudo_agent("abr-srv", 1);
+  ASSERT_TRUE(realm.ctrl(1).listen(srv).ok());
+  ConnPair a = connect_pair(realm, cli, 0, srv, 1);
+  ConnPair b = connect_pair(realm, cli, 0, srv, 1);
+  ASSERT_NE(a.client, nullptr);
+  ASSERT_NE(b.client, nullptr);
+
+  // Drop every SUS: the prepare workers park waiting for acks that will
+  // never come, so only the abort can release the barrier.
+  auto plan = fault::Plan::parse("ctrl.suspend.pre_send@#1x1000:drop");
+  ASSERT_TRUE(plan.ok());
+  fault::Injector::instance().arm(*plan);
+
+  std::thread aborter([&] {
+    std::this_thread::sleep_for(150ms);
+    realm.ctrl(0).abort(a.client);
+  });
+  const auto start = std::chrono::steady_clock::now();
+  const util::Status st = realm.ctrl(0).prepare_migration(cli);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  aborter.join();
+  fault::Injector::instance().disarm();
+
+  // ISSUE 9 satellite 2: the aborted member vetoes the group and every
+  // parked waiter wakes well under the 2 s bound — no deadlocked barrier.
+  EXPECT_FALSE(st.ok());
+  EXPECT_LT(elapsed, 2s);
+  EXPECT_GE(realm.ctrl(0).group_rollbacks(), 1u);
+  EXPECT_EQ(realm.ctrl(0).group_coordinator().active(), 0u);
+
+  // The surviving member rolls back to ESTABLISHED and still carries data.
+  ASSERT_TRUE(fault::await_established(*b.client, 5s).ok());
+  ASSERT_TRUE(b.client->send(span("after-rollback"), 2s).ok());
+  auto got = b.server->recv(2s);
+  ASSERT_TRUE(got.ok()) << got.status().to_string();
+  EXPECT_EQ(text(got->body), "after-rollback");
+}
+
+TEST_F(GroupSuspendTest, SingleConnRollbackUnderSendPressure) {
+  // ISSUE 9 satellite 3: the kSusSent --kSuspendAbort--> kEstablished arc
+  // on the plain (non-group) path, with senders blocked mid-handshake.
+  SimRealm realm(2, /*security=*/false, /*link_latency=*/{},
+                 [](NodeConfig& config) {
+                   config.controller.suspend_rollback = true;
+                   config.controller.ctrl_response_timeout = 300ms;
+                   config.controller.drain_timeout = 1s;
+                 });
+  const agent::AgentId cli = realm.pseudo_agent("one-cli", 0);
+  const agent::AgentId srv = realm.pseudo_agent("one-srv", 1);
+  ConnPair conn = make_connection(realm, cli, 0, srv, 1);
+  ASSERT_NE(conn.client, nullptr);
+
+  fault::DeliveryLedger ledger;
+  constexpr int kMsgs = 20;
+  std::atomic<int> sent_ok{0};
+  std::thread sender([&] {
+    for (int i = 0; i < kMsgs; ++i) {
+      const std::string body = "p" + std::to_string(i);
+      // Generous timeout: sends issued while the suspend holds the write
+      // freeze must block, then wake and complete once it rolls back.
+      if (!conn.client->send(span(body), 10s).ok()) return;
+      ledger.record_sent(0, span(body));
+      sent_ok.fetch_add(1);
+      std::this_thread::sleep_for(1ms);
+    }
+  });
+  std::this_thread::sleep_for(5ms);
+
+  auto plan = fault::Plan::parse("ctrl.suspend.pre_send@#1x1000:drop");
+  ASSERT_TRUE(plan.ok());
+  fault::Injector::instance().arm(*plan);
+  const util::Status st = realm.ctrl(0).prepare_migration(cli);
+  fault::Injector::instance().disarm();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), util::StatusCode::kTimeout);
+
+  // Senders wake, the stream stays usable, and delivery is exactly-once.
+  ASSERT_TRUE(fault::await_established(*conn.client, 5s).ok());
+  sender.join();
+  EXPECT_EQ(sent_ok.load(), kMsgs);
+  for (int i = 0; i < kMsgs; ++i) {
+    auto got = conn.server->recv(2s);
+    ASSERT_TRUE(got.ok()) << got.status().to_string();
+    ledger.record_delivered(0, got->seq,
+                            util::ByteSpan(got->body.data(),
+                                           got->body.size()));
+  }
+  EXPECT_TRUE(ledger.check(/*require_complete=*/true).ok());
+}
+
+TEST_F(GroupSuspendTest, DrainCoordinatorSweepsAgentGroups) {
+  // The swarm drain wired to the group path: each agent's connections
+  // suspend behind one barrier per prepare_migration call.
+  SimRealm realm(3, /*security=*/false, /*link_latency=*/{}, group_config);
+  const agent::AgentId ant = realm.pseudo_agent("drain-ant", 0);
+  const agent::AgentId bee = realm.pseudo_agent("drain-bee", 0);
+  const agent::AgentId srv = realm.pseudo_agent("drain-srv", 1);
+
+  ASSERT_TRUE(realm.ctrl(1).listen(srv).ok());
+  std::vector<ConnPair> conns;
+  for (const auto& id : {ant, bee}) {
+    for (int i = 0; i < 2; ++i) {
+      conns.push_back(connect_pair(realm, id, 0, srv, 1));
+      ASSERT_NE(conns.back().client, nullptr);
+    }
+  }
+
+  swarm::DrainCoordinator drain(
+      swarm::DrainConfig{},
+      [&](const agent::AgentId& id, std::function<void(util::Status)> done) {
+        done(realm.ctrl(0).prepare_migration(id));
+      });
+  drain.drain({ant, bee});
+  ASSERT_TRUE(drain.wait(20s));
+  const swarm::DrainReport report = drain.report();
+  EXPECT_EQ(report.agents, 2u);
+  EXPECT_EQ(report.suspended, 2u);
+  EXPECT_EQ(report.stragglers, 0u);
+  for (const ConnPair& conn : conns) {
+    EXPECT_EQ(conn.client->state(), ConnState::kSuspended);
+  }
+
+  // Drained agents complete their hops like any suspended group.
+  ASSERT_TRUE(realm.migrate_pseudo_agent(ant, 0, 2).ok());
+  ASSERT_TRUE(realm.migrate_pseudo_agent(bee, 0, 2).ok());
+  for (const ConnPair& conn : conns) {
+    SessionPtr moved = realm.ctrl(2).session_by_id(conn.client->conn_id());
+    ASSERT_NE(moved, nullptr);
+    EXPECT_TRUE(fault::await_established(*moved, 8s).ok());
+  }
+}
+
+}  // namespace
+}  // namespace naplet::nsock

@@ -25,6 +25,12 @@
 //                                            partition, 7 = cascading
 //                                            rebalance off a refused
 //                                            batch admission)
+//   chaos_runner --scenario 8 --seed 5       group-suspend scenario (8 =
+//                                            kill between group prepare
+//                                            and commit, recover all-or-
+//                                            nothing; 9 = one peer refuses
+//                                            mid-prepare, full-group
+//                                            rollback under send load)
 //   chaos_runner --list-sites                print every injection site
 //
 // Every failure line carries the seed that reproduces it. Exit code is the
@@ -43,7 +49,7 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--runs N] [--light] [--plan RULES]\n"
-               "          [--scenario 0..7] [--no-recovery] [--plant-dup]\n"
+               "          [--scenario 0..9] [--no-recovery] [--plant-dup]\n"
                "          [--minimize] [--list-sites] [--verbose]\n",
                argv0);
 }
@@ -116,11 +122,17 @@ int main(int argc, char** argv) {
     const bool swarm =
         scenario >= 0 && naplet::fault::is_swarm_scenario(
                              static_cast<naplet::fault::Scenario>(scenario));
+    const bool group =
+        scenario >= 0 && naplet::fault::is_group_scenario(
+                             static_cast<naplet::fault::Scenario>(scenario));
     naplet::fault::ChaosCase chaos_case =
         crash ? naplet::fault::make_crash_case(
                     case_seed, static_cast<naplet::fault::Scenario>(scenario),
                     light, recovery)
         : swarm ? naplet::fault::make_swarm_case(
+                      case_seed,
+                      static_cast<naplet::fault::Scenario>(scenario), light)
+        : group ? naplet::fault::make_group_case(
                       case_seed,
                       static_cast<naplet::fault::Scenario>(scenario), light)
                 : naplet::fault::generate_case(case_seed, light);
@@ -134,7 +146,7 @@ int main(int argc, char** argv) {
       chaos_case.plan = std::move(*parsed);
       chaos_case.plan.seed = case_seed;
     }
-    if (scenario >= 0 && !crash && !swarm) {
+    if (scenario >= 0 && !crash && !swarm && !group) {
       chaos_case.scenario =
           static_cast<naplet::fault::Scenario>(scenario);
     }
