@@ -540,13 +540,9 @@ void AgentServer::handle_incoming_migration(net::StreamPtr stream) {
 
 bool wait_agent_gone(const LocationService& locations, const AgentId& id,
                      util::Duration timeout) {
-  const std::int64_t deadline =
-      util::RealClock::instance().now_us() + timeout.count();
-  while (util::RealClock::instance().now_us() < deadline) {
-    if (!locations.known(id)) return true;
-    util::RealClock::instance().sleep_for(std::chrono::milliseconds(5));
-  }
-  return !locations.known(id);
+  // Event-driven: the location service wakes waiters on deregistration,
+  // so no polling slice bounds the latency here.
+  return locations.wait_gone(id, timeout);
 }
 
 }  // namespace naplet::agent

@@ -372,6 +372,22 @@ bool RemoteLocationService::known(const AgentId& id) const {
   return known.ok() && *known;
 }
 
+bool RemoteLocationService::wait_gone(const AgentId& id,
+                                      util::Duration timeout) const {
+  // One RPC per check; escalate the pacing so a long wait does not hammer
+  // the directory while a short one still resolves in a few ms.
+  const std::int64_t deadline =
+      util::RealClock::instance().now_us() + timeout.count();
+  util::Duration pause = std::chrono::milliseconds(1);
+  while (util::RealClock::instance().now_us() < deadline) {
+    if (!known(id)) return true;
+    util::RealClock::instance().sleep_for(pause);
+    pause = std::min<util::Duration>(std::chrono::milliseconds(20),
+                                     pause * 2);
+  }
+  return !known(id);
+}
+
 std::size_t RemoteLocationService::size() const {
   util::BytesWriter w;
   w.u8(static_cast<std::uint8_t>(Op::kSize));

@@ -87,6 +87,10 @@ class RemoteLocationService final : public LocationService {
   [[nodiscard]] util::StatusOr<NodeInfo> lookup(
       const AgentId& id, util::Duration timeout) const override;
   [[nodiscard]] bool known(const AgentId& id) const override;
+  /// Remote poll: the directory protocol has no push channel, so this
+  /// re-queries known() with escalating pacing until gone or timeout.
+  [[nodiscard]] bool wait_gone(const AgentId& id,
+                               util::Duration timeout) const override;
   [[nodiscard]] std::size_t size() const override;
 
   void register_server(const NodeInfo& node) override;

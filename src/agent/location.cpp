@@ -63,6 +63,13 @@ bool LocationService::known(const AgentId& id) const {
   return entries_.contains(id);
 }
 
+bool LocationService::wait_gone(const AgentId& id,
+                                util::Duration timeout) const {
+  std::unique_lock lock(mu_);
+  return cv_.wait_for(lock, timeout,
+                      [&] { return !entries_.contains(id); });
+}
+
 void LocationService::register_server(const NodeInfo& node) {
   std::lock_guard lock(mu_);
   servers_[node.server_name] = node;

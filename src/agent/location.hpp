@@ -75,6 +75,12 @@ class LocationService {
   /// True if the agent is known (settled or in transit).
   [[nodiscard]] virtual bool known(const AgentId& id) const;
 
+  /// Block until the agent is completely deregistered (not merely in
+  /// transit), up to `timeout`. False on timeout. Event-driven: woken by
+  /// deregister_agent instead of polling known().
+  [[nodiscard]] virtual bool wait_gone(const AgentId& id,
+                                       util::Duration timeout) const;
+
   /// Number of settled agents (tests/observability).
   [[nodiscard]] virtual std::size_t size() const;
 

@@ -5,6 +5,7 @@
 #include "crypto/random.hpp"
 #include "fault/fault.hpp"
 #include "net/frame.hpp"
+#include "reactor/reactor.hpp"
 #include "util/log.hpp"
 
 namespace naplet::nsock {
@@ -48,6 +49,7 @@ SocketController::SocketController(agent::AgentServer& server,
                                    ControllerConfig config)
     : server_(server),
       config_(config),
+      sessions_(config_.reactor.shards),
       mac_rejections_(registry_.counter("mac_rejections")),
       access_denials_(registry_.counter("access_denials")),
       links_repaired_(registry_.counter("links_repaired")),
@@ -102,6 +104,19 @@ util::Status SocketController::start() {
     }
   }
 
+  // Event loop before any component that registers with it. Instrument
+  // registration happens here (not the ctor) so the registry only carries
+  // reactor metrics when the reactor actually runs.
+  if (config_.reactor.enabled) {
+    reactor_ = std::make_unique<reactor::Reactor>();
+    reactor_->bind_instruments(reactor::ReactorInstruments{
+        .loop_lag_us = &registry_.histogram("reactor_loop_lag_us"),
+        .dispatch_batch =
+            &registry_.histogram("reactor_dispatch_batch", "count"),
+    });
+    NAPLET_RETURN_IF_ERROR(reactor_->start());
+  }
+
   redirector_ = std::make_unique<Redirector>(
       server_.network(), config_.redirector_port,
       [this](std::shared_ptr<net::Stream> stream, HandoffMsg msg) {
@@ -109,6 +124,7 @@ util::Status SocketController::start() {
       },
       config_.redirector_leases);
   redirector_->set_host_label(server_.node_info().server_name);
+  if (reactor_) redirector_->attach_reactor(reactor_.get());
   NAPLET_RETURN_IF_ERROR(redirector_->start());
 
   server_.bus().subscribe(
@@ -125,6 +141,9 @@ util::Status SocketController::start() {
       .fast_retransmits = &registry_.counter("rudp_fast_retransmits"),
       .fec_repairs = &registry_.counter("rudp_fec_repairs"),
   });
+  // Readiness-driven control channel: the rudp retransmission scan and
+  // receive path move onto the reactor, retiring two blocking threads.
+  if (reactor_) server_.bus().channel().attach_reactor(reactor_.get());
   server_.set_redirector_endpoint(redirector_->endpoint());
   server_.set_migrator(this);
   server_.register_service(kServiceName, this);
@@ -138,14 +157,14 @@ util::Status SocketController::start() {
 
 void SocketController::stop() {
   if (!started_.load() || stopped_.exchange(true)) return;
-  std::map<std::pair<std::uint64_t, std::string>, SessionPtr> sessions;
+  stop_event_.set();  // wake every retry/backoff pause in flight
+  const std::vector<SessionPtr> sessions = sessions_.clear_all();
   {
     util::MutexLock lock(mu_);
-    sessions = std::exchange(sessions_, {});
     for (auto& [id, queue] : accept_queues_) queue->close();
     accept_queues_.clear();
   }
-  for (auto& [id, session] : sessions) {
+  for (const SessionPtr& session : sessions) {
     session->close_stream();
     session->park_event().set();
     session->resume_event().set();
@@ -153,6 +172,13 @@ void SocketController::stop() {
   }
   if (redirector_) redirector_->stop();
   if (repair_thread_.joinable()) repair_thread_.join();
+  if (reactor_) {
+    // Every reactor user detaches before the loop stops: the redirector's
+    // sweep timer is already cancelled (stop above), the repair loop has
+    // exited, and the channel quiesces its handlers here.
+    server_.bus().channel().detach_reactor();
+    reactor_->stop();
+  }
   std::vector<PrefreezeWatchdog> watchdogs;
   {
     util::MutexLock lock(mu_);
@@ -245,47 +271,26 @@ util::Status SocketController::reply_handoff(net::Stream& stream,
 }
 
 SessionPtr SocketController::find_session(std::uint64_t conn_id) const {
-  util::MutexLock lock(mu_);
-  auto it = sessions_.lower_bound({conn_id, std::string()});
-  if (it == sessions_.end() || it->first.first != conn_id) return nullptr;
-  return it->second;
+  return sessions_.find(conn_id);
 }
 
 SessionPtr SocketController::find_session_from(
     std::uint64_t conn_id, const std::string& sender) const {
-  util::MutexLock lock(mu_);
-  SessionPtr sole;
-  int matches = 0;
-  for (auto it = sessions_.lower_bound({conn_id, std::string()});
-       it != sessions_.end() && it->first.first == conn_id; ++it) {
-    if (!sender.empty() && it->second->peer_agent().name() == sender) {
-      return it->second;
-    }
-    sole = it->second;
-    ++matches;
-  }
-  // Tolerate a missing sender field only when the match is unambiguous.
-  return (sender.empty() && matches == 1) ? sole : nullptr;
+  // Tolerating a missing sender only on an unambiguous match is the shard
+  // map's contract too.
+  return sessions_.find_from(conn_id, sender);
 }
 
 void SocketController::insert_session(const SessionPtr& session) {
-  {
-    util::MutexLock lock(mu_);
-    sessions_[{session->conn_id(), session->local_agent().name()}] = session;
-  }
+  sessions_.insert(session);
   if (redirector_) redirector_->register_lease(session->conn_id());
 }
 
 void SocketController::remove_session(const SessionPtr& session) {
-  bool gone;
-  {
-    util::MutexLock lock(mu_);
-    sessions_.erase({session->conn_id(), session->local_agent().name()});
-    // Same-node pairs share a conn_id: only drop the lease once the LAST
-    // endpoint is gone.
-    auto it = sessions_.lower_bound({session->conn_id(), std::string()});
-    gone = it == sessions_.end() || it->first.first != session->conn_id();
-  }
+  // Same-node pairs share a conn_id (and therefore a shard): only drop
+  // the lease once the LAST endpoint is gone.
+  const bool gone = sessions_.erase(session->conn_id(),
+                                    session->local_agent().name());
   if (gone && redirector_) redirector_->release_lease(session->conn_id());
 }
 
@@ -340,14 +345,10 @@ void SocketController::span(std::uint64_t trace_id, obs::SpanKind kind,
 }
 
 std::string SocketController::recorder_dumps() const {
-  std::vector<SessionPtr> sessions;
-  {
-    util::MutexLock lock(mu_);
-    sessions.reserve(sessions_.size());
-    for (const auto& [key, session] : sessions_) sessions.push_back(session);
-  }
   std::string out;
-  for (const auto& session : sessions) out += session->recorder().dump();
+  for (const auto& session : sessions_.snapshot_all()) {
+    out += session->recorder().dump();
+  }
   return out;
 }
 
@@ -363,12 +364,7 @@ bool SocketController::admit_epoch(Session& session, const CtrlMsg& msg) {
 
 std::vector<SessionPtr> SocketController::sessions_of(
     const agent::AgentId& id) const {
-  std::vector<SessionPtr> out;
-  util::MutexLock lock(mu_);
-  for (const auto& [key, session] : sessions_) {
-    if (session->local_agent() == id) out.push_back(session);
-  }
-  return out;  // map order => sorted by conn_id (deterministic sweep)
+  return sessions_.of_agent(id);  // sorted by conn_id (deterministic sweep)
 }
 
 bool SocketController::agent_is_migrating(const agent::AgentId& id) const {
@@ -377,24 +373,25 @@ bool SocketController::agent_is_migrating(const agent::AgentId& id) const {
 }
 
 std::size_t SocketController::session_count() const {
-  util::MutexLock lock(mu_);
   return sessions_.size();
 }
 
 ControllerStats SocketController::stats() const {
   ControllerStats out;
+  const std::vector<SessionPtr> sessions = sessions_.snapshot_all();
+  out.sessions = sessions.size();
+  for (const SessionPtr& session : sessions) {
+    ++out.by_state[static_cast<std::size_t>(session->state())];
+    const DataPathStats dp = session->data_stats();
+    out.data_payload_bytes_copied += dp.payload_bytes_copied;
+    out.data_stream_write_ops += dp.stream_write_ops;
+    out.data_stream_read_ops += dp.stream_read_ops;
+    out.data_recv_wakeups += dp.recv_wakeups;
+    out.data_frames_coalesced += dp.frames_coalesced;
+  }
+  out.shard_sessions = sessions_.shard_sizes();
   {
     util::MutexLock lock(mu_);
-    out.sessions = sessions_.size();
-    for (const auto& [key, session] : sessions_) {
-      ++out.by_state[static_cast<std::size_t>(session->state())];
-      const DataPathStats dp = session->data_stats();
-      out.data_payload_bytes_copied += dp.payload_bytes_copied;
-      out.data_stream_write_ops += dp.stream_write_ops;
-      out.data_stream_read_ops += dp.stream_read_ops;
-      out.data_recv_wakeups += dp.recv_wakeups;
-      out.data_frames_coalesced += dp.frames_coalesced;
-    }
     out.listening_agents = accept_queues_.size();
     out.migrating_agents = migrating_agents_.size();
   }
@@ -755,17 +752,13 @@ void SocketController::handle_connect(const net::Endpoint& from,
   }
 
   // Allocate the connection and park it until the client's ATTACH arrives.
+  // (The uniqueness probe and the insert below are not atomic, but ids are
+  // 64-bit crypto-random — a collision with a CONCURRENT allocation is
+  // beyond negligible; the probe only guards against reusing a live id.)
   std::uint64_t conn_id;
-  {
-    util::MutexLock lock(mu_);
-    do {
-      conn_id = crypto::random_u64();
-    } while (conn_id == 0 ||
-             [&] {
-               auto it = sessions_.lower_bound({conn_id, std::string()});
-               return it != sessions_.end() && it->first.first == conn_id;
-             }());
-  }
+  do {
+    conn_id = crypto::random_u64();
+  } while (conn_id == 0 || sessions_.contains_conn(conn_id));
   auto session = std::make_shared<Session>(conn_id, msg.verifier,
                                            /*is_client=*/false, target,
                                            agent::AgentId(msg.client_agent));

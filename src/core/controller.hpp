@@ -26,6 +26,7 @@
 #include "agent/agent_server.hpp"
 #include "core/redirector.hpp"
 #include "core/session.hpp"
+#include "core/session_shards.hpp"
 #include "core/stats.hpp"
 #include "core/wire.hpp"
 #include "crypto/dh.hpp"
@@ -33,6 +34,10 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "recovery/journal.hpp"
+
+namespace naplet::reactor {
+class Reactor;
+}  // namespace naplet::reactor
 
 namespace naplet::nsock {
 
@@ -64,6 +69,19 @@ struct DurabilityConfig {
   std::string dir;
   /// Journal appends between snapshot compactions.
   std::uint64_t compact_every = 64;
+};
+
+/// Event-driven reactor core (DESIGN.md §15). The session table is ALWAYS
+/// sharded (`shards` per-shard locks, rank kControllerShard); `enabled`
+/// additionally moves the controller onto one epoll/timer-wheel event
+/// loop: the control channel's retransmission scan and receive path run
+/// from reactor timers and fd readiness instead of two blocking threads,
+/// and the redirector's lease eviction serves from the same wheel. The
+/// blocking public API (connect/suspend/resume/close) is unchanged.
+struct ReactorConfig {
+  bool enabled = false;
+  /// Session-table shard count; rounded up to a power of two.
+  int shards = 16;
 };
 
 struct ControllerConfig {
@@ -107,6 +125,8 @@ struct ControllerConfig {
   util::Duration park_timeout{std::chrono::seconds(30)};
   /// Default application send/recv blocking bound.
   util::Duration io_timeout{std::chrono::seconds(30)};
+  /// Event-driven reactor core + session-table sharding (DESIGN.md §15).
+  ReactorConfig reactor{};
 };
 
 /// Client-observed phase breakdown of one connection setup (Figure 8).
@@ -383,6 +403,12 @@ class SocketController final : public agent::ConnectionMigrator {
   std::unique_ptr<Redirector> redirector_ NAPLET_NOT_GUARDED(
       "created in start() before worker threads; the Redirector is "
       "internally synchronized");
+  /// Event loop (reactor.enabled): owns the epoll loop + timer wheel that
+  /// drive the control channel and the redirector lease sweep. Created in
+  /// start() before any worker; stopped AFTER every user detaches.
+  std::unique_ptr<reactor::Reactor> reactor_ NAPLET_NOT_GUARDED(
+      "created in start() before worker threads; the Reactor is "
+      "internally synchronized");
 
   // Observability. The registry owns every instrument; the references
   // below are cached registrations, so hot-path recording is lock-free.
@@ -395,10 +421,10 @@ class SocketController final : public agent::ConnectionMigrator {
   // invariants"): held while calling into session state cells and accept
   // queues, never the other way around.
   mutable util::Mutex mu_{util::LockRank::kController, "controller"};
-  // Keyed by (conn_id, local agent): the two endpoints of one connection
-  // may both be hosted by this controller (same-node agent pairs).
-  std::map<std::pair<std::uint64_t, std::string>, SessionPtr> sessions_
-      NAPLET_GUARDED_BY(mu_);
+  // Sharded session table (DESIGN.md §15): per-shard locks at rank
+  // kControllerShard, legal to take with or without mu_ held.
+  SessionShardMap sessions_ NAPLET_NOT_GUARDED(
+      "internally synchronized per-shard (rank kControllerShard)");
   std::map<agent::AgentId,
            std::shared_ptr<util::BlockingQueue<SessionPtr>>>
       accept_queues_ NAPLET_GUARDED_BY(mu_);
@@ -423,6 +449,10 @@ class SocketController final : public agent::ConnectionMigrator {
 
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
+  /// Set once by stop(): every retry/backoff pause in the operation paths
+  /// waits on this instead of sleeping, so shutdown interrupts them
+  /// immediately (a woken waiter returns kCancelled).
+  util::Event stop_event_;
   obs::Counter& mac_rejections_;
   obs::Counter& access_denials_;
 

@@ -403,13 +403,10 @@ void SocketController::group_freeze_inbound(const SessionPtr& trigger,
   // group_prefrozen); a watchdog reverts orphans if the group dies first.
   const std::string mover = msg.client_agent;
   std::vector<SessionPtr> candidates;
-  {
-    util::MutexLock lock(mu_);
-    for (const auto& [key, session] : sessions_) {
-      if (session == trigger) continue;
-      if (session->peer_agent().name() != mover) continue;
-      candidates.push_back(session);
-    }
+  for (const SessionPtr& session : sessions_.snapshot_all()) {
+    if (session == trigger) continue;
+    if (session->peer_agent().name() != mover) continue;
+    candidates.push_back(session);
   }
   std::vector<std::uint64_t> frozen_ids;
   for (const SessionPtr& session : candidates) {
@@ -467,7 +464,7 @@ void SocketController::group_prefreeze_watchdog(
       }
     }
     if (!pending) return;  // every pre-freeze resolved
-    util::RealClock::instance().sleep_for(kWatchdogSlice);
+    if (stop_event_.wait_for(kWatchdogSlice)) break;  // controller stopping
   }
   for (std::uint64_t conn_id : conn_ids) {
     const SessionPtr session = find_session_from(conn_id, peer_agent);

@@ -127,7 +127,11 @@ util::Status SocketController::active_suspend(const SessionPtr& session) {
       if (resp &&
           resp->type == static_cast<std::uint8_t>(CtrlType::kReject)) {
         resp.reset();
-        util::RealClock::instance().sleep_for(kRetrySleep);
+        // Interruptible pause: stop() sets the event and this suspension
+        // unwinds immediately instead of finishing its retry budget.
+        if (stop_event_.wait_for(kRetrySleep)) {
+          return util::Cancelled("controller stopping");
+        }
         if (auto fresh =
                 server_.locations().try_lookup(session->peer_agent())) {
           session->set_peer_node(*fresh);
@@ -472,7 +476,9 @@ util::Status SocketController::do_resume(const SessionPtr& session) {
     NAPLET_LOG(kInfo, "recovery")
         << "conn " << session->conn_id() << ": resume attempt " << attempt
         << " timed out; retrying in " << backoff.count() / 1000 << "ms";
-    util::RealClock::instance().sleep_for(backoff);
+    if (stop_event_.wait_for(backoff)) {
+      return util::Cancelled("controller stopping");
+    }
     backoff = std::min(
         config_.resume_retry_cap,
         util::Duration(static_cast<std::int64_t>(
@@ -515,10 +521,13 @@ util::Status SocketController::do_resume_once(const SessionPtr& session) {
   // settling (its passive suspend draining, or a location entry one step
   // stale), which resolves within a few ms. Start small and escalate to
   // the old fixed 20ms only if the peer stays unreachable.
+  // Pauses wait on stop_event_ so a controller shutdown interrupts the
+  // retry loop instead of letting it run out its deadline.
   util::Duration retry_pause = std::chrono::milliseconds(2);
-  const auto pause_and_escalate = [&retry_pause] {
-    util::RealClock::instance().sleep_for(retry_pause);
+  const auto pause_and_escalate = [&retry_pause, this] {
+    const bool stopping = stop_event_.wait_for(retry_pause);
     retry_pause = std::min(kRetrySleep, retry_pause * 2);
+    return stopping;
   };
 
   while (now_us() < deadline) {
@@ -547,7 +556,7 @@ util::Status SocketController::do_resume_once(const SessionPtr& session) {
       // location service and retry.
       auto fresh = server_.locations().try_lookup(session->peer_agent());
       if (fresh) session->set_peer_node(*fresh);
-      pause_and_escalate();
+      if (pause_and_escalate()) return util::Cancelled("controller stopping");
       continue;
     }
     std::shared_ptr<net::Stream> data_socket(std::move(*stream));
@@ -568,13 +577,13 @@ util::Status SocketController::do_resume_once(const SessionPtr& session) {
                                                 session->session_key().size()));
         !st2.ok()) {
       data_socket->close();
-      pause_and_escalate();
+      if (pause_and_escalate()) return util::Cancelled("controller stopping");
       continue;
     }
     auto reply_frame = net::read_frame(*data_socket);
     if (!reply_frame.ok()) {
       data_socket->close();
-      pause_and_escalate();
+      if (pause_and_escalate()) return util::Cancelled("controller stopping");
       continue;
     }
     auto reply = HandoffMsg::decode(
@@ -663,7 +672,9 @@ util::Status SocketController::do_resume_once(const SessionPtr& session) {
         data_socket->close();
         auto fresh = server_.locations().try_lookup(session->peer_agent());
         if (fresh) session->set_peer_node(*fresh);
-        pause_and_escalate();
+        if (pause_and_escalate()) {
+          return util::Cancelled("controller stopping");
+        }
         continue;
       }
     }
@@ -1021,17 +1032,9 @@ util::Status SocketController::suspend_for_migration(
 }
 
 util::Bytes SocketController::export_sessions(const agent::AgentId& id) {
-  std::vector<SessionPtr> sessions;
+  const std::vector<SessionPtr> sessions = sessions_.extract_agent(id);
   {
     util::MutexLock lock(mu_);
-    for (auto it = sessions_.begin(); it != sessions_.end();) {
-      if (it->second->local_agent() == id) {
-        sessions.push_back(it->second);
-        it = sessions_.erase(it);
-      } else {
-        ++it;
-      }
-    }
     migrating_agents_.erase(id);
   }
 

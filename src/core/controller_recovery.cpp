@@ -25,14 +25,12 @@ namespace naplet::nsock {
 void SocketController::repair_loop() {
   const FailureRecoveryConfig& fr = config_.failure_recovery;
   while (!stopped_.load()) {
-    util::RealClock::instance().sleep_for(fr.probe_interval);
+    // stop() sets the event: the loop wakes immediately instead of
+    // finishing its probe-interval sleep.
+    if (stop_event_.wait_for(fr.probe_interval)) break;
     if (stopped_.load()) break;
 
-    std::vector<SessionPtr> sessions;
-    {
-      util::MutexLock lock(mu_);
-      for (const auto& [key, session] : sessions_) sessions.push_back(session);
-    }
+    const std::vector<SessionPtr> sessions = sessions_.snapshot_all();
 
     // Lease upkeep runs even when failure recovery proper is off (the
     // thread is also spawned for lease-only configurations).
@@ -81,11 +79,7 @@ void SocketController::repair_session(const SessionPtr& session) {
 
 void SocketController::probe_peers() {
   const FailureRecoveryConfig& fr = config_.failure_recovery;
-  std::vector<SessionPtr> sessions;
-  {
-    util::MutexLock lock(mu_);
-    for (const auto& [key, session] : sessions_) sessions.push_back(session);
-  }
+  const std::vector<SessionPtr> sessions = sessions_.snapshot_all();
 
   std::vector<SessionPtr> dead;
   for (const SessionPtr& session : sessions) {

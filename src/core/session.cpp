@@ -260,8 +260,11 @@ util::Status Session::send(util::ByteSpan body, util::Duration timeout)
             // Pinned seq on a broken link: pace the retry while the
             // repair loop re-establishes the stream (the state stays
             // transferable, so the wait at the bottom would not block).
+            // Waiting on the state cell instead of sleeping lets a racing
+            // close/abort interrupt the pacing immediately.
             wl.unlock();
-            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            state_.wait_for([](ConnState s) { return is_dead(s); },
+                            std::chrono::milliseconds(1));
           }
           // Racing suspension killed the write (or rollback was not
           // possible): the seq is already assigned (and covered by any

@@ -1,5 +1,6 @@
 #include "core/stats.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace naplet::nsock {
@@ -16,6 +17,12 @@ std::string ControllerStats::to_string() const {
     any = true;
   }
   if (any) out << "]";
+  if (!shard_sessions.empty()) {
+    std::size_t max_shard = 0;
+    for (std::size_t n : shard_sessions) max_shard = std::max(max_shard, n);
+    out << " shards{n=" << shard_sessions.size() << ",max=" << max_shard
+        << "}";
+  }
   out << " listeners=" << listening_agents
       << " migrating=" << migrating_agents
       << " mac_rej=" << mac_rejections << " denials=" << access_denials

@@ -5,6 +5,7 @@
 
 #include <array>
 #include <string>
+#include <vector>
 
 #include "core/state.hpp"
 #include "obs/metrics.hpp"
@@ -16,6 +17,9 @@ struct ControllerStats {
   std::array<std::size_t, kConnStateCount> by_state{};
   std::size_t listening_agents = 0;
   std::size_t migrating_agents = 0;
+  /// Per-shard session-table occupancy (DESIGN.md §15): hash-spread
+  /// sanity for operators and the fleet-churn bench.
+  std::vector<std::size_t> shard_sessions{};
 
   std::uint64_t mac_rejections = 0;
   std::uint64_t access_denials = 0;

@@ -1,0 +1,416 @@
+#include "reactor/reactor.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/clock.hpp"
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/timerfd.h>
+#include <unistd.h>
+#define NAPLET_REACTOR_EPOLL 1
+#else
+#define NAPLET_REACTOR_EPOLL 0
+#endif
+
+namespace naplet::reactor {
+
+namespace {
+// Longest the loop sleeps with nothing armed: keeps stop() responsive even
+// if a wake is somehow lost, costs one spurious pass per quarter second.
+constexpr std::int64_t kIdleSliceUs = 250'000;
+constexpr int kMaxEpollEvents = 64;
+// Spin-then-park budget: a loop that just dispatched usually sees the
+// reply to what it sent within tens of microseconds (request/response
+// ping-pong), so a short zero-timeout poll catches it without paying the
+// park + eventfd-wake round trip. An idle loop parks immediately.
+constexpr std::int64_t kSpinUs = 150;
+}  // namespace
+
+Reactor::Reactor() = default;
+
+Reactor::~Reactor() { stop(); }
+
+std::int64_t Reactor::now_us() {
+  return util::RealClock::instance().now_us();
+}
+
+util::Status Reactor::start() {
+  util::MutexLock lock(mu_);
+  if (running_.load(std::memory_order_relaxed)) return util::OkStatus();
+#if NAPLET_REACTOR_EPOLL
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return util::Internal("epoll_create1 failed");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+    return util::Internal("eventfd failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  // Microsecond-precision sleeps; optional (the ms epoll timeout is the
+  // fallback if timerfd creation fails).
+  timer_fd_ = ::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC);
+  if (timer_fd_ >= 0) {
+    epoll_event tev{};
+    tev.events = EPOLLIN;
+    tev.data.fd = timer_fd_;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, timer_fd_, &tev);
+  }
+#endif
+  stopping_.store(false, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_release);
+  // The loop publishes its own tid (under mu_, so it blocks until this
+  // start() call releases the lock) before dispatching anything.
+  loop_thread_ = std::thread([this] { loop(); });
+  return util::OkStatus();
+}
+
+void Reactor::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  wake();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  std::vector<std::function<void()>> leftovers;
+  {
+    util::MutexLock lock(mu_);
+    running_.store(false, std::memory_order_release);
+    leftovers.swap(posted_);
+    injected_.clear();
+    injected_set_.clear();
+    loop_tid_ = std::thread::id{};
+#if NAPLET_REACTOR_EPOLL
+    if (wake_fd_ >= 0) {
+      ::close(wake_fd_);
+      wake_fd_ = -1;
+    }
+    if (timer_fd_ >= 0) {
+      ::close(timer_fd_);
+      timer_fd_ = -1;
+    }
+    if (epoll_fd_ >= 0) {
+      ::close(epoll_fd_);
+      epoll_fd_ = -1;
+    }
+#endif
+  }
+  // Posted closures are guaranteed to run exactly once (remove_handler
+  // barriers depend on it), so drain stragglers on the stopping thread.
+  for (auto& fn : leftovers) fn();
+}
+
+bool Reactor::on_loop_thread() const {
+  util::MutexLock lock(mu_);
+  return loop_tid_ == std::this_thread::get_id();
+}
+
+bool Reactor::running() const {
+  return running_.load(std::memory_order_acquire);
+}
+
+void Reactor::add_handler(EventHandler* h) {
+  util::MutexLock lock(mu_);
+  handlers_.insert(h);
+}
+
+util::Status Reactor::add_fd(int fd, EventHandler* h, std::uint32_t events) {
+#if NAPLET_REACTOR_EPOLL
+  util::MutexLock lock(mu_);
+  if (epoll_fd_ < 0) return util::FailedPrecondition("reactor not started");
+  epoll_event ev{};
+  ev.events = 0;
+  if (events & kReadable) ev.events |= EPOLLIN;
+  if (events & kWritable) ev.events |= EPOLLOUT;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return util::Internal("epoll_ctl(ADD) failed");
+  }
+  handlers_.insert(h);
+  fds_[fd] = FdReg{h, events};
+  return util::OkStatus();
+#else
+  (void)fd;
+  (void)h;
+  (void)events;
+  return util::Unavailable("fd readiness requires epoll (Linux)");
+#endif
+}
+
+void Reactor::del_fd(int fd) {
+  util::MutexLock lock(mu_);
+#if NAPLET_REACTOR_EPOLL
+  if (epoll_fd_ >= 0 && fds_.count(fd) != 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+#endif
+  fds_.erase(fd);
+}
+
+void Reactor::remove_handler(EventHandler* h) {
+  bool need_barrier = false;
+  {
+    util::MutexLock lock(mu_);
+    handlers_.erase(h);
+    injected_set_.erase(h);
+    injected_.erase(std::remove(injected_.begin(), injected_.end(), h),
+                    injected_.end());
+    for (auto it = fds_.begin(); it != fds_.end();) {
+      if (it->second.handler == h) {
+#if NAPLET_REACTOR_EPOLL
+        if (epoll_fd_ >= 0) {
+          ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->first, nullptr);
+        }
+#endif
+        it = fds_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    need_barrier = running_.load(std::memory_order_relaxed) &&
+                   loop_tid_ != std::this_thread::get_id();
+  }
+  if (!need_barrier) return;
+  // Quiesce: the loop validates registration per dispatch, so once it has
+  // processed a barrier posted after the erasure above, no on_ready(h) is
+  // in flight. post() runs the closure inline if the loop already stopped.
+  auto barrier = std::make_shared<util::Event>();
+  post([barrier] { barrier->set(); });
+  barrier->wait();
+}
+
+void Reactor::notify(EventHandler* h) {
+  bool wake_loop = false;
+  {
+    util::MutexLock lock(mu_);
+    if (handlers_.count(h) == 0) return;
+    if (injected_set_.insert(h).second) {
+      injected_.push_back(h);
+      // Only a parked loop needs the eventfd poke: an awake loop
+      // re-checks the queue under mu_ before it parks (see loop()).
+      wake_loop = running_.load(std::memory_order_relaxed) &&
+                  parked_.load(std::memory_order_relaxed);
+    }
+  }
+  if (wake_loop) wake();
+}
+
+void Reactor::post(std::function<void()> fn) {
+  bool inline_run = false;
+  bool wake_loop = false;
+  {
+    util::MutexLock lock(mu_);
+    if (running_.load(std::memory_order_relaxed)) {
+      posted_.push_back(std::move(fn));
+      wake_loop = parked_.load(std::memory_order_relaxed);
+    } else {
+      inline_run = true;
+    }
+  }
+  if (inline_run) {
+    fn();
+  } else if (wake_loop) {
+    wake();
+  }
+}
+
+TimerId Reactor::schedule_at_us(std::int64_t deadline_us,
+                                std::function<void()> fn) {
+  const TimerId id = wheel_.schedule_at(deadline_us, std::move(fn));
+  if (running_.load(std::memory_order_acquire) &&
+      deadline_us < sleep_until_us_.load(std::memory_order_relaxed)) {
+    wake();
+  }
+  return id;
+}
+
+TimerId Reactor::schedule(util::Duration delay, std::function<void()> fn) {
+  return schedule_at_us(now_us() + delay.count(), std::move(fn));
+}
+
+bool Reactor::cancel_timer(TimerId id) { return wheel_.cancel(id); }
+
+void Reactor::bind_instruments(const ReactorInstruments& ins) {
+  instruments_ = ins;
+}
+
+void Reactor::wake() {
+#if NAPLET_REACTOR_EPOLL
+  int fd = -1;
+  {
+    util::MutexLock lock(mu_);
+    fd = wake_fd_;
+  }
+  if (fd >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] auto n = ::write(fd, &one, sizeof(one));
+  }
+#else
+  wake_event_.set();
+#endif
+}
+
+std::size_t Reactor::drain_injected() {
+  {
+    util::MutexLock lock(mu_);
+    scratch_ready_.swap(injected_);
+    injected_set_.clear();
+    scratch_fns_.swap(posted_);
+  }
+  for (auto& fn : scratch_fns_) fn();
+  scratch_fns_.clear();
+  std::size_t dispatched = 0;
+  for (EventHandler* h : scratch_ready_) {
+    bool live;
+    {
+      util::MutexLock lock(mu_);
+      live = handlers_.count(h) != 0;
+    }
+    if (live) {
+      h->on_ready(kReadable);
+      ++dispatched;
+    }
+  }
+  scratch_ready_.clear();
+  return dispatched;
+}
+
+void Reactor::loop() {
+  {
+    util::MutexLock lock(mu_);
+    loop_tid_ = std::this_thread::get_id();
+  }
+  bool active = true;  // did the previous pass dispatch anything?
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const std::int64_t now = now_us();
+    // Timer lateness: how far past the earliest armed deadline we woke.
+    if (instruments_.loop_lag_us) {
+      const auto next = wheel_.next_deadline_us();
+      if (next && *next <= now) {
+        instruments_.loop_lag_us->record(
+            static_cast<std::uint64_t>(now - *next));
+      }
+    }
+    const std::size_t fired = wheel_.advance_to(now);
+
+    const std::size_t batch = drain_injected();
+    if (instruments_.dispatch_batch && batch > 0) {
+      instruments_.dispatch_batch->record(batch);
+    }
+
+    // Sleep until the next deadline — or not at all if more work arrived
+    // while dispatching.
+    bool more;
+    {
+      util::MutexLock lock(mu_);
+      more = !injected_.empty() || !posted_.empty();
+    }
+    const std::int64_t after = now_us();
+    std::int64_t sleep_us = kIdleSliceUs;
+    if (const auto next = wheel_.next_deadline_us()) {
+      sleep_us = std::clamp<std::int64_t>(*next - after, 0, kIdleSliceUs);
+    }
+    if (more) sleep_us = 0;
+    sleep_until_us_.store(after + sleep_us, std::memory_order_relaxed);
+
+#if NAPLET_REACTOR_EPOLL
+    epoll_event evs[kMaxEpollEvents];
+    int n = 0;
+    // Spin-then-park. notify()/post()/wake() all write the eventfd, so a
+    // zero-timeout epoll_wait observes every wake source — the spin needs
+    // no extra signaling. Only worth it when another core can produce
+    // work during the spin; on a single CPU it just steals the producer's
+    // timeslice.
+    static const bool spin_ok = std::thread::hardware_concurrency() > 1;
+    if (spin_ok && active && sleep_us > 0) {
+      const std::int64_t spin_until =
+          after + std::min<std::int64_t>(sleep_us, kSpinUs);
+      while (n == 0 && now_us() < spin_until &&
+             !stopping_.load(std::memory_order_relaxed)) {
+        n = ::epoll_wait(epoll_fd_, evs, kMaxEpollEvents, 0);
+      }
+    }
+    if (n == 0) {
+      // Park. epoll's timeout is millisecond-granular; the timerfd
+      // carries the exact sub-ms deadline, with the ceiled ms timeout
+      // kept as backstop. The spin consumed part of the sleep budget, so
+      // re-measure against the original wake-up instant.
+      std::int64_t remaining =
+          std::max<std::int64_t>(0, after + sleep_us - now_us());
+      if (remaining > 0) {
+        // The park handshake with notify()/post(): verify the queues are
+        // still empty and publish parked_ in one critical section, so a
+        // producer either sees parked_ (and writes the eventfd) or its
+        // enqueue is visible here (and we don't block).
+        util::MutexLock lock(mu_);
+        if (!injected_.empty() || !posted_.empty()) {
+          remaining = 0;
+        } else {
+          parked_.store(true, std::memory_order_relaxed);
+        }
+      }
+      const int timeout_ms = static_cast<int>((remaining + 999) / 1000);
+      if (timer_fd_ >= 0 && remaining > 0) {
+        // Re-arm only when the wake-up instant moved: the armed kernel
+        // timer survives eventfd wakes, and a fired timer always changes
+        // the wheel's next deadline (the fire consumes the wheel entry).
+        const std::int64_t target = after + sleep_us;
+        if (target != timerfd_target_us_) {
+          itimerspec its{};
+          its.it_value.tv_sec = remaining / 1'000'000;
+          its.it_value.tv_nsec = (remaining % 1'000'000) * 1'000;
+          ::timerfd_settime(timer_fd_, 0, &its, nullptr);
+          timerfd_target_us_ = target;
+        }
+      }
+      n = ::epoll_wait(epoll_fd_, evs, kMaxEpollEvents, timeout_ms);
+      parked_.store(false, std::memory_order_relaxed);
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = evs[i].data.fd;
+      if (fd == wake_fd_ || fd == timer_fd_) {
+        std::uint64_t drained;
+        [[maybe_unused]] auto r = ::read(fd, &drained, sizeof(drained));
+        // A consumed expiration disarms the kernel timer.
+        if (fd == timer_fd_) timerfd_target_us_ = 0;
+        continue;
+      }
+      EventHandler* h = nullptr;
+      {
+        util::MutexLock lock(mu_);
+        auto it = fds_.find(fd);
+        if (it != fds_.end()) h = it->second.handler;
+      }
+      if (h == nullptr) continue;
+      std::uint32_t bits = 0;
+      if (evs[i].events & EPOLLIN) bits |= kReadable;
+      if (evs[i].events & EPOLLOUT) bits |= kWritable;
+      if (evs[i].events & (EPOLLERR | EPOLLHUP)) bits |= kError;
+      h->on_ready(bits);
+    }
+    active = fired > 0 || batch > 0 || n > 0;
+#else
+    if (sleep_us > 0) {
+      bool park = false;
+      {
+        util::MutexLock lock(mu_);
+        if (injected_.empty() && posted_.empty()) {
+          parked_.store(true, std::memory_order_relaxed);
+          park = true;
+        }
+      }
+      if (park) wake_event_.wait_for(util::us(sleep_us));
+      parked_.store(false, std::memory_order_relaxed);
+    }
+    wake_event_.reset();
+    active = fired > 0 || batch > 0;
+#endif
+  }
+}
+
+}  // namespace naplet::reactor

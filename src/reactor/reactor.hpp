@@ -1,0 +1,192 @@
+// Event-driven reactor core (DESIGN.md §15): a single epoll loop plus the
+// hierarchical timer wheel, serving fd readiness, fd-less readiness
+// injections (SimNet delivery callbacks), deadline timers, and posted
+// closures — all dispatched in batches on one loop thread.
+//
+// The design splits cleanly along the ISSUE-10 requirements:
+//
+//  * EventHandler is the one dispatch interface. Real sockets reach it
+//    through epoll (add_fd); SimNet reaches the *same* interface through
+//    notify(), so DES tests exercise identical dispatch code.
+//  * Timers live in the TimerWheel and fire on the loop thread; the loop
+//    sleeps in epoll_wait exactly until the next deadline, so an idle
+//    reactor burns zero CPU — no per-deadline sleep_for threads.
+//  * Handler removal is quiesced: remove_handler()/del_fd() do not return
+//    (when called off-loop) until the loop has passed a barrier, after
+//    which no on_ready() for that handler is running or will run. That is
+//    the guarantee that makes rudp detach and controller stop safe.
+//
+// Locking: mu_ (rank kReactor) guards the handler tables and injected
+// ready/post lists and is never held across a callback; the wheel has its
+// own rank-kReactorTimer lock with the same discipline. Callbacks may
+// therefore take any outer-rank lock (controller, session, rudp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "reactor/timer_wheel.hpp"
+#include "util/clock.hpp"
+#include "util/status.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace naplet::obs {
+class Histogram;
+}  // namespace naplet::obs
+
+namespace naplet::reactor {
+
+/// Readiness bits passed to EventHandler::on_ready.
+inline constexpr std::uint32_t kReadable = 0x1;
+inline constexpr std::uint32_t kWritable = 0x2;
+inline constexpr std::uint32_t kError = 0x4;
+
+/// The one dispatch interface: implemented by rudp's receive glue, the
+/// redirector sweep, and anything else the loop serves. on_ready runs on
+/// the loop thread and must not block indefinitely.
+class EventHandler {
+ public:
+  virtual ~EventHandler() = default;
+  virtual void on_ready(std::uint32_t events) = 0;
+};
+
+/// Instruments are owned by the embedding layer (the controller registers
+/// them by name so the analyzer's bench/src cross-check sees the strings).
+struct ReactorInstruments {
+  obs::Histogram* loop_lag_us = nullptr;     ///< timer fire lateness
+  obs::Histogram* dispatch_batch = nullptr;  ///< handlers per loop pass
+};
+
+class Reactor {
+ public:
+  Reactor();
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Spawn the loop thread. Idempotent.
+  util::Status start();
+
+  /// Stop and join the loop. Pending timers are dropped; registered
+  /// handlers are forgotten (their owners outlive the reactor by the
+  /// documented teardown order: detach first, then stop()).
+  void stop();
+
+  /// Register `h` for fd-less readiness injections (notify()).
+  void add_handler(EventHandler* h);
+
+  /// Watch `fd` for `events` (kReadable/kWritable), dispatching to `h`.
+  /// Also registers `h` as with add_handler.
+  util::Status add_fd(int fd, EventHandler* h, std::uint32_t events);
+
+  /// Stop watching `fd`. Does NOT quiesce the handler; pair with
+  /// remove_handler for that.
+  void del_fd(int fd);
+
+  /// Unregister `h` everywhere and quiesce: when this returns, no
+  /// on_ready(h) is running or will run. Callable from the loop thread
+  /// itself (no barrier needed there) or any other thread.
+  void remove_handler(EventHandler* h);
+
+  /// Inject readiness for a registered handler (SimNet delivery path).
+  /// Coalesces: a handler already marked ready is not queued twice.
+  void notify(EventHandler* h);
+
+  /// Run `fn` once on the loop thread, as soon as possible.
+  void post(std::function<void()> fn);
+
+  /// Arm a timer at absolute steady-clock microseconds (see now_us()).
+  TimerId schedule_at_us(std::int64_t deadline_us, std::function<void()> fn);
+  /// Arm a timer `delay` from now.
+  TimerId schedule(util::Duration delay, std::function<void()> fn);
+  bool cancel_timer(TimerId id);
+
+  /// The reactor's time base: RealClock (steady) microseconds — the same
+  /// base SimNet stamps delivery times in, so next_ready_us() hints from
+  /// sim datagrams can be fed straight into schedule_at_us.
+  [[nodiscard]] static std::int64_t now_us();
+
+  [[nodiscard]] bool on_loop_thread() const;
+  [[nodiscard]] bool running() const;
+
+  /// Direct access to the wheel (tests; DES drivers advance it manually
+  /// only when the loop is not running).
+  TimerWheel& wheel() { return wheel_; }
+
+  void bind_instruments(const ReactorInstruments& ins);
+
+ private:
+  struct FdReg {
+    EventHandler* handler = nullptr;
+    std::uint32_t events = 0;
+  };
+
+  void loop();
+  void wake();
+  /// Dispatch one batch of injected readiness + posted closures.
+  /// Returns the number of handlers dispatched.
+  std::size_t drain_injected();
+
+  mutable util::Mutex mu_{util::LockRank::kReactor, "reactor"};
+  std::unordered_set<EventHandler*> handlers_ NAPLET_GUARDED_BY(mu_);
+  std::unordered_map<int, FdReg> fds_ NAPLET_GUARDED_BY(mu_);
+  std::vector<EventHandler*> injected_ NAPLET_GUARDED_BY(mu_);
+  std::unordered_set<EventHandler*> injected_set_ NAPLET_GUARDED_BY(mu_);
+  std::vector<std::function<void()>> posted_ NAPLET_GUARDED_BY(mu_);
+  /// Loop-thread scratch, swapped with the queues above each pass so the
+  /// hot path reuses their capacity instead of reallocating. Touched only
+  /// by the loop thread (drain_injected), so no guard.
+  std::vector<EventHandler*> scratch_ready_;  // analyze-ignore(unguarded-member)
+  std::vector<std::function<void()>> scratch_fns_;  // analyze-ignore(unguarded-member)
+
+  /// Anchored at construction so the loop's first advance_to does not
+  /// replay the machine's whole uptime in 1 ms ticks. Internally
+  /// synchronized (owns its own rank-kReactorTimer mutex).
+  TimerWheel wheel_{Reactor::now_us()};  // analyze-ignore(unguarded-member)
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  /// True only while the loop is blocked in epoll_wait with a nonzero
+  /// timeout. Set under mu_ in the same critical section that verifies
+  /// the injected/posted queues are empty, so notify()/post() either see
+  /// parked_ and write the eventfd, or enqueue before the park check and
+  /// the loop skips the park — no lost wakeup either way. Skipping the
+  /// eventfd write while the loop is awake removes two syscalls from
+  /// every busy-path dispatch (notify is called under the sim pipe lock,
+  /// so the saving also shortens that critical section).
+  std::atomic<bool> parked_{false};
+  std::atomic<std::int64_t> sleep_until_us_{0};
+  std::thread::id loop_tid_ NAPLET_GUARDED_BY(mu_);
+  std::thread loop_thread_;
+
+  // The fds are opened in start() and closed in stop(); const in between,
+  // so loop-thread reads need no lock.
+  int epoll_fd_ = -1;   // -1 when epoll is unavailable  analyze-ignore(unguarded-member)
+  int wake_fd_ = -1;    // eventfd; always watched  analyze-ignore(unguarded-member)
+  /// timerfd armed each pass at the next wheel deadline: epoll_wait's
+  /// timeout is millisecond-granular, the timerfd is not — without it
+  /// every sub-ms sleep overshoots by up to 1 ms per message hop.
+  int timer_fd_ = -1;   // analyze-ignore(unguarded-member)
+  /// Absolute wake-up instant the timerfd is currently armed for; 0 when
+  /// disarmed (or after its expiration was consumed). Lets the park path
+  /// skip timerfd_settime when the next deadline has not moved. Loop
+  /// thread only.
+  std::int64_t timerfd_target_us_ = 0;  // analyze-ignore(unguarded-member)
+  /// Fallback wake when epoll/eventfd are unavailable (non-Linux): the
+  /// loop sleeps on this event instead of epoll_wait.
+  util::Event wake_event_;
+
+  /// Pointers into the obs registry; bound before start() (documented on
+  /// bind_instruments) and read only by the loop thread after that.
+  ReactorInstruments instruments_;  // analyze-ignore(unguarded-member)
+};
+
+}  // namespace naplet::reactor

@@ -1,0 +1,214 @@
+#include "reactor/timer_wheel.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace naplet::reactor {
+
+namespace {
+
+// Span (in ticks) covered by one slot of `level`: 256^level.
+constexpr std::int64_t slot_span(int level) {
+  std::int64_t span = 1;
+  for (int i = 0; i < level; ++i) span *= TimerWheel::kSlotsPerLevel;
+  return span;
+}
+
+// Span (in ticks) covered by the whole of `level`: 256^(level+1).
+constexpr std::int64_t level_span(int level) {
+  return slot_span(level) * TimerWheel::kSlotsPerLevel;
+}
+
+constexpr std::int64_t tick_of(std::int64_t t_us) {
+  // Ceil so an entry never fires before its microsecond deadline.
+  return (t_us + TimerWheel::kTickUs - 1) / TimerWheel::kTickUs;
+}
+
+}  // namespace
+
+TimerWheel::TimerWheel(std::int64_t start_us) {
+  util::MutexLock lock(mu_);
+  current_tick_ = start_us / kTickUs;
+}
+
+void TimerWheel::insert_locked(Entry entry) {
+  const std::int64_t delta = entry.deadline_tick - current_tick_;
+  if (delta <= 0) {
+    // Already due: the current tick's slot has been swept, so park in the
+    // overdue list — drained at the top of every advance_to.
+    const TimerId id = entry.id;
+    overdue_.push_back(std::move(entry));
+    live_[id] = Location{kOverdue, 0, std::prev(overdue_.end())};
+    return;
+  }
+  int level = kLevels - 1;
+  for (int l = 0; l < kLevels; ++l) {
+    if (delta < level_span(l)) {
+      level = l;
+      break;
+    }
+  }
+  // Beyond the outermost horizon: clamp the *placement* to the far edge;
+  // the true deadline_tick is kept, so the entry simply re-cascades when
+  // its clamped slot comes up.
+  const std::int64_t placement_tick =
+      std::min<std::int64_t>(entry.deadline_tick,
+                             current_tick_ + level_span(kLevels - 1) - 1);
+  const int slot = static_cast<int>((placement_tick / slot_span(level)) %
+                                    kSlotsPerLevel);
+  const TimerId id = entry.id;
+  SlotList& list = slots_[level][slot];
+  list.push_back(std::move(entry));
+  live_[id] = Location{level, slot, std::prev(list.end())};
+}
+
+TimerId TimerWheel::schedule_at(std::int64_t deadline_us,
+                                std::function<void()> fn) {
+  util::MutexLock lock(mu_);
+  Entry entry;
+  entry.id = next_id_++;
+  entry.deadline_us = deadline_us;
+  entry.deadline_tick = tick_of(deadline_us);
+  entry.fn = std::move(fn);
+  deadlines_.emplace(deadline_us, entry.id);
+  const TimerId id = entry.id;
+  insert_locked(std::move(entry));
+  return id;
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  util::MutexLock lock(mu_);
+  auto it = live_.find(id);
+  if (it == live_.end()) {
+    // Collected as due by an advance_to still in its firing pass: flag it
+    // so that pass skips the callback. True means "will not run".
+    if (firing_.erase(id) != 0) {
+      fire_cancelled_.insert(id);
+      return true;
+    }
+    return false;
+  }
+  const Location& loc = it->second;
+  erase_deadline_locked(loc.it->deadline_us, id);
+  if (loc.level == kOverdue) {
+    overdue_.erase(loc.it);
+  } else {
+    slots_[loc.level][loc.slot].erase(loc.it);
+  }
+  live_.erase(it);
+  return true;
+}
+
+void TimerWheel::erase_deadline_locked(std::int64_t deadline_us, TimerId id) {
+  auto range = deadlines_.equal_range(deadline_us);
+  for (auto it = range.first; it != range.second; ++it) {
+    if (it->second == id) {
+      deadlines_.erase(it);
+      return;
+    }
+  }
+}
+
+void TimerWheel::cascade_locked(int level, int slot, std::vector<Entry>& due) {
+  SlotList pulled;
+  pulled.swap(slots_[level][slot]);
+  for (Entry& entry : pulled) {
+    live_.erase(entry.id);
+    if (entry.deadline_tick <= current_tick_) {
+      erase_deadline_locked(entry.deadline_us, entry.id);
+      due.push_back(std::move(entry));
+    } else {
+      insert_locked(std::move(entry));
+    }
+  }
+}
+
+std::size_t TimerWheel::advance_to(std::int64_t now_us) {
+  std::vector<Entry> due;
+  {
+    util::MutexLock lock(mu_);
+    for (Entry& entry : overdue_) {
+      live_.erase(entry.id);
+      erase_deadline_locked(entry.deadline_us, entry.id);
+      due.push_back(std::move(entry));
+    }
+    overdue_.clear();
+    const std::int64_t target_tick = now_us / kTickUs;
+    while (current_tick_ < target_tick) {
+      ++current_tick_;
+      // When a level's index wraps, pull the next outer slot down
+      // (outermost first so entries sift through every level in one pass).
+      for (int level = kLevels - 1; level >= 1; --level) {
+        if (current_tick_ % slot_span(level) == 0) {
+          cascade_locked(
+              level,
+              static_cast<int>((current_tick_ / slot_span(level)) %
+                               kSlotsPerLevel),
+              due);
+        }
+      }
+      cascade_locked(0, static_cast<int>(current_tick_ % kSlotsPerLevel),
+                     due);
+    }
+    // Exact sweep: tick assignment ceils, so an entry due at `now_us` but
+    // mid-tick still sits in a future slot. The driver sleeps until the
+    // exact deadline (next_deadline_us); without this sweep every such
+    // timer would fire up to one tick late — and the driver would spin
+    // with zero-timeout polls until the boundary. Pull anything due by
+    // microseconds straight out of its slot.
+    while (!deadlines_.empty() && deadlines_.begin()->first <= now_us) {
+      const auto head = deadlines_.begin();
+      auto lit = live_.find(head->second);
+      // live_ and deadlines_ are updated together; a pair here always has
+      // a live entry.
+      const Location& loc = lit->second;
+      Entry entry = std::move(*loc.it);
+      if (loc.level == kOverdue) {
+        overdue_.erase(loc.it);
+      } else {
+        slots_[loc.level][loc.slot].erase(loc.it);
+      }
+      live_.erase(lit);
+      deadlines_.erase(head);
+      due.push_back(std::move(entry));
+    }
+    for (const Entry& entry : due) firing_.insert(entry.id);
+  }
+  std::stable_sort(due.begin(), due.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.deadline_us < b.deadline_us;
+                   });
+  std::size_t fired = 0;
+  for (Entry& entry : due) {
+    bool skip;
+    {
+      util::MutexLock lock(mu_);
+      skip = fire_cancelled_.erase(entry.id) != 0;
+      firing_.erase(entry.id);
+    }
+    if (skip) continue;
+    if (entry.fn) {
+      entry.fn();
+      ++fired;
+    }
+  }
+  return fired;
+}
+
+std::optional<std::int64_t> TimerWheel::next_deadline_us() const {
+  util::MutexLock lock(mu_);
+  if (deadlines_.empty()) return std::nullopt;
+  return deadlines_.begin()->first;
+}
+
+std::size_t TimerWheel::pending() const {
+  util::MutexLock lock(mu_);
+  return live_.size();
+}
+
+std::int64_t TimerWheel::now_us() const {
+  util::MutexLock lock(mu_);
+  return current_tick_ * kTickUs;
+}
+
+}  // namespace naplet::reactor

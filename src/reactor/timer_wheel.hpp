@@ -1,0 +1,124 @@
+// Hierarchical timer wheel for the reactor core (DESIGN.md §15): absorbs
+// the rudp RTO/fec-flush, redirector lease-TTL, recovery probe, and
+// resume-retry deadlines that previously each burned a sleep_for/condvar
+// wait on a dedicated thread.
+//
+// The wheel is clock-agnostic: it never reads a clock itself. A driver —
+// the Reactor loop on steady time, or a DES harness on virtual time —
+// calls advance_to(now_us) and the wheel fires everything due, cascading
+// entries down the levels as the horizon rolls forward. That single design
+// choice is what lets SimNet tests drive the exact same timer code from
+// deterministic virtual time.
+//
+// Four levels of 256 slots at ~1 ms ticks cover horizons from 1 ms to
+// ~50 days; entries beyond the top level clamp to the outermost slot and
+// re-cascade (schedule_at keeps the true deadline, so nothing fires early).
+// Callbacks are invoked with the wheel lock RELEASED — a callback may
+// freely schedule or cancel timers, including on this wheel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace naplet::reactor {
+
+/// Opaque timer handle; 0 is never a live timer.
+using TimerId = std::uint64_t;
+inline constexpr TimerId kInvalidTimer = 0;
+
+class TimerWheel {
+ public:
+  static constexpr int kLevels = 4;
+  static constexpr int kSlotsPerLevel = 256;
+  /// Tick resolution. 1024 us ≈ 1 ms, and a power of two keeps the
+  /// tick-index math to shifts.
+  static constexpr std::int64_t kTickUs = 1024;
+
+  /// `start_us` anchors tick 0; pass the driving clock's current reading
+  /// so the first advance_to does not replay a huge idle span.
+  explicit TimerWheel(std::int64_t start_us = 0);
+
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  /// Arm `fn` to fire at absolute `deadline_us` (same time base as the
+  /// driver's advance_to calls). Past deadlines fire on the next advance.
+  TimerId schedule_at(std::int64_t deadline_us, std::function<void()> fn);
+
+  /// Disarm. Returns false if the timer already fired or never existed.
+  /// Safe to call from a timer callback (including for the firing timer,
+  /// which is already gone by then — returns false). A timer that is due
+  /// in the SAME advance_to batch but has not fired yet is still
+  /// cancellable: cancel returns true and its callback will not run.
+  bool cancel(TimerId id);
+
+  /// Roll time forward to `now_us`, firing every due callback (with the
+  /// wheel lock released, in deadline order). Returns the number fired.
+  /// Time never moves backwards; stale `now_us` values are ignored.
+  std::size_t advance_to(std::int64_t now_us);
+
+  /// Earliest pending deadline, or nullopt when nothing is armed. Exact
+  /// (not slot-granular): the driver can sleep precisely until it.
+  [[nodiscard]] std::optional<std::int64_t> next_deadline_us() const;
+
+  /// Number of armed (not yet fired) timers.
+  [[nodiscard]] std::size_t pending() const;
+
+  /// Current wheel time (last advance_to / construction anchor).
+  [[nodiscard]] std::int64_t now_us() const;
+
+ private:
+  struct Entry {
+    TimerId id = kInvalidTimer;
+    std::int64_t deadline_tick = 0;
+    std::int64_t deadline_us = 0;
+    std::function<void()> fn;
+  };
+  using SlotList = std::list<Entry>;
+  /// level == kOverdue marks the already-due list (slot unused).
+  static constexpr int kOverdue = -1;
+  struct Location {
+    int level = 0;
+    int slot = 0;
+    SlotList::iterator it;
+  };
+
+  void insert_locked(Entry entry) NAPLET_REQUIRES(mu_);
+  void cascade_locked(int level, int slot, std::vector<Entry>& due)
+      NAPLET_REQUIRES(mu_);
+  /// Drop `id`'s pair from the deadline mirror.
+  void erase_deadline_locked(std::int64_t deadline_us, TimerId id)
+      NAPLET_REQUIRES(mu_);
+
+  mutable util::Mutex mu_{util::LockRank::kReactorTimer, "reactor.timer"};
+  SlotList slots_[kLevels][kSlotsPerLevel] NAPLET_GUARDED_BY(mu_);
+  /// Entries whose deadline had already passed at schedule time: the
+  /// current tick's slot has been swept, so they park here and fire on
+  /// the very next advance_to (even one that crosses no tick boundary).
+  SlotList overdue_ NAPLET_GUARDED_BY(mu_);
+  std::unordered_map<TimerId, Location> live_ NAPLET_GUARDED_BY(mu_);
+  /// Ids collected as due by an in-progress advance_to but not yet fired.
+  /// cancel() moves an id from here to fire_cancelled_, and the firing
+  /// pass then skips it — so cancelling a same-batch peer from a callback
+  /// still prevents its run.
+  std::unordered_set<TimerId> firing_ NAPLET_GUARDED_BY(mu_);
+  std::unordered_set<TimerId> fire_cancelled_ NAPLET_GUARDED_BY(mu_);
+  /// Exact deadline → id mirror. Serves two purposes: next_deadline_us()
+  /// is O(1) and precise, and advance_to's exact sweep fires entries at
+  /// their microsecond deadline instead of the next tick boundary — the
+  /// driver sleeps until the exact deadline, so without the sweep every
+  /// timer would land up to one tick (~1 ms) late.
+  std::multimap<std::int64_t, TimerId> deadlines_ NAPLET_GUARDED_BY(mu_);
+  std::int64_t current_tick_ NAPLET_GUARDED_BY(mu_) = 0;
+  TimerId next_id_ NAPLET_GUARDED_BY(mu_) = 1;
+};
+
+}  // namespace naplet::reactor

@@ -45,8 +45,13 @@ enum class LockRank : int {
 
   // Control plane (outermost): the controller owns sessions, the agent
   // server owns residents, and both call down into session/queue locks.
-  kController = 10,   ///< SocketController::mu_
-  kAgentServer = 12,  ///< AgentServer::mu_
+  kController = 10,      ///< SocketController::mu_
+  kControllerShard = 11, ///< SessionShardMap per-shard lock (nested inside
+                         ///< kController when registration must be atomic
+                         ///< with control state; never shard-under-shard —
+                         ///< equal ranks are an inversion by design, which
+                         ///< is what makes the sharding statically safe)
+  kAgentServer = 12,     ///< AgentServer::mu_
   kPostOffice = 14,   ///< PostOffice::mu_ (pushes into mailbox queues)
   kRedirector = 16,   ///< Redirector::handlers_mu_
   kBus = 18,          ///< ServerBus::mu_
@@ -72,6 +77,15 @@ enum class LockRank : int {
   kEvent = 64,        ///< util::Event
   kSimFabric = 68,    ///< net::SimNet::Impl::mu
   kSimPipe = 70,      ///< sim Pipe / datagram inbox locks
+
+  // Reactor core: the event loop's registration lock and the timer wheel's
+  // slot lock are taken by code that may hold any lock above (a rudp
+  // channel re-arms its retransmit timer under kRudpChannel; SimNet's
+  // delivery path notifies the reactor under kSimPipe), and neither is
+  // ever held while calling out — timer callbacks fire with the wheel
+  // lock released.
+  kReactor = 84,       ///< reactor::Reactor::mu_ (handler/ready-list state)
+  kReactorTimer = 86,  ///< reactor::TimerWheel::mu_ (slot + cascade state)
 
   // The fault injector is consulted from control-plane code that may hold
   // any of the locks above (e.g. the FSM audit hook fires under the state

@@ -1,0 +1,174 @@
+// Hierarchical timer wheel unit tests (DESIGN.md §15): insertion, firing
+// order, cancellation, cascading across levels, and the two driver
+// regimes — a DES-style virtual clock advancing in arbitrary jumps, and
+// the steady clock the live Reactor loop uses.
+#include "reactor/timer_wheel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/clock.hpp"
+
+namespace naplet::reactor {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr std::int64_t kTick = TimerWheel::kTickUs;
+
+TEST(TimerWheel, FiresInDeadlineOrder) {
+  TimerWheel wheel(/*start_us=*/0);
+  std::vector<int> fired;
+  wheel.schedule_at(30 * kTick, [&] { fired.push_back(3); });
+  wheel.schedule_at(10 * kTick, [&] { fired.push_back(1); });
+  wheel.schedule_at(20 * kTick, [&] { fired.push_back(2); });
+  EXPECT_EQ(wheel.pending(), 3u);
+
+  EXPECT_EQ(wheel.advance_to(9 * kTick), 0u);
+  EXPECT_EQ(wheel.advance_to(35 * kTick), 3u);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheel, NothingFiresBeforeItsDeadline) {
+  TimerWheel wheel(0);
+  bool fired = false;
+  const std::int64_t deadline = 5 * kTick + 1;  // strictly inside tick 6
+  wheel.schedule_at(deadline, [&] { fired = true; });
+  wheel.advance_to(deadline - 1);
+  EXPECT_FALSE(fired);  // ceil tick assignment: never early
+  wheel.advance_to(deadline + kTick);
+  EXPECT_TRUE(fired);
+}
+
+TEST(TimerWheel, PastDeadlineFiresOnNextAdvance) {
+  TimerWheel wheel(0);
+  wheel.advance_to(100 * kTick);
+  bool fired = false;
+  wheel.schedule_at(50 * kTick, [&] { fired = true; });  // already due
+  // Even an advance that crosses no tick boundary drains the overdue list.
+  wheel.advance_to(100 * kTick);
+  EXPECT_TRUE(fired);
+}
+
+TEST(TimerWheel, CancelDisarms) {
+  TimerWheel wheel(0);
+  bool fired = false;
+  const TimerId id = wheel.schedule_at(10 * kTick, [&] { fired = true; });
+  EXPECT_TRUE(wheel.cancel(id));
+  EXPECT_FALSE(wheel.cancel(id));  // second cancel: already gone
+  EXPECT_FALSE(wheel.cancel(kInvalidTimer));
+  wheel.advance_to(20 * kTick);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheel, CancelAfterFireReturnsFalse) {
+  TimerWheel wheel(0);
+  const TimerId id = wheel.schedule_at(kTick, [] {});
+  wheel.advance_to(2 * kTick);
+  EXPECT_FALSE(wheel.cancel(id));
+}
+
+TEST(TimerWheel, CascadesAcrossLevels) {
+  TimerWheel wheel(0);
+  // Level 0 spans 256 ticks (~262 ms), level 1 spans 256^2 (~67 s): one
+  // deadline in each outer level must cascade down and fire exactly once,
+  // never early.
+  const std::int64_t level1_deadline = 1000 * kTick;    // ~1 s
+  const std::int64_t level2_deadline = 100'000 * kTick;  // ~102 s
+  int level1_fires = 0, level2_fires = 0;
+  wheel.schedule_at(level1_deadline, [&] { ++level1_fires; });
+  wheel.schedule_at(level2_deadline, [&] { ++level2_fires; });
+
+  // Walk time forward in coarse, uneven jumps (a DES driver's pattern).
+  for (std::int64_t now = 0; now < level2_deadline + 10 * kTick;
+       now += 777 * kTick) {
+    wheel.advance_to(now);
+    if (now < level1_deadline) EXPECT_EQ(level1_fires, 0);
+    if (now < level2_deadline) EXPECT_EQ(level2_fires, 0);
+  }
+  wheel.advance_to(level2_deadline + 10 * kTick);
+  EXPECT_EQ(level1_fires, 1);
+  EXPECT_EQ(level2_fires, 1);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheel, CancelSurvivesCascade) {
+  TimerWheel wheel(0);
+  bool fired = false;
+  // Armed in level 1, cancelled after time has rolled far enough that the
+  // entry cascaded into level 0.
+  const TimerId id = wheel.schedule_at(1000 * kTick, [&] { fired = true; });
+  wheel.advance_to(990 * kTick);
+  EXPECT_TRUE(wheel.cancel(id));
+  wheel.advance_to(2000 * kTick);
+  EXPECT_FALSE(fired);
+}
+
+TEST(TimerWheel, NextDeadlineIsExact) {
+  TimerWheel wheel(0);
+  EXPECT_FALSE(wheel.next_deadline_us().has_value());
+  wheel.schedule_at(12345, [] {});
+  const TimerId later = wheel.schedule_at(99999, [] {});
+  ASSERT_TRUE(wheel.next_deadline_us().has_value());
+  EXPECT_EQ(*wheel.next_deadline_us(), 12345);  // exact, not slot-granular
+  wheel.advance_to(13000 + kTick);
+  ASSERT_TRUE(wheel.next_deadline_us().has_value());
+  EXPECT_EQ(*wheel.next_deadline_us(), 99999);
+  wheel.cancel(later);
+  EXPECT_FALSE(wheel.next_deadline_us().has_value());
+}
+
+TEST(TimerWheel, CallbackMayRearm) {
+  TimerWheel wheel(0);
+  int fires = 0;
+  std::function<void()> tick = [&] {
+    if (++fires < 3) {
+      wheel.schedule_at(wheel.now_us() + 10 * kTick, tick);
+    }
+  };
+  wheel.schedule_at(10 * kTick, tick);
+  for (std::int64_t now = 0; now <= 100 * kTick; now += kTick) {
+    wheel.advance_to(now);
+  }
+  EXPECT_EQ(fires, 3);  // periodic re-arm from inside the callback
+}
+
+TEST(TimerWheel, CallbackMayCancelPeer) {
+  TimerWheel wheel(0);
+  bool peer_fired = false;
+  const TimerId peer =
+      wheel.schedule_at(10 * kTick, [&] { peer_fired = true; });
+  wheel.schedule_at(5 * kTick, [&] { EXPECT_TRUE(wheel.cancel(peer)); });
+  wheel.advance_to(20 * kTick);
+  EXPECT_FALSE(peer_fired);
+}
+
+TEST(TimerWheel, TimeNeverMovesBackwards) {
+  TimerWheel wheel(0);
+  wheel.advance_to(100 * kTick);
+  EXPECT_EQ(wheel.now_us(), 100 * kTick);
+  wheel.advance_to(50 * kTick);  // stale reading: ignored
+  EXPECT_EQ(wheel.now_us(), 100 * kTick);
+}
+
+TEST(TimerWheel, SteadyClockDriver) {
+  // The live regime: anchor at the real steady clock and poll-advance,
+  // exactly as the Reactor loop does between epoll wakeups.
+  util::RealClock& clock = util::RealClock::instance();
+  TimerWheel wheel(clock.now_us());
+  std::int64_t fired_at = 0;
+  const std::int64_t deadline = clock.now_us() + 20'000;  // +20 ms
+  wheel.schedule_at(deadline, [&] { fired_at = clock.now_us(); });
+  while (fired_at == 0 && clock.now_us() < deadline + 2'000'000) {
+    clock.sleep_for(1ms);
+    wheel.advance_to(clock.now_us());
+  }
+  ASSERT_NE(fired_at, 0);
+  EXPECT_GE(fired_at, deadline);  // steady drivers never fire early either
+}
+
+}  // namespace
+}  // namespace naplet::reactor
